@@ -1,0 +1,63 @@
+// Ablation: T1 (SoA vs AoS) across associativity and block size. The
+// paper evaluates T1 only on a direct-mapped cache; this sweep shows
+// where the layouts converge — higher associativity absorbs the SoA
+// banding, larger blocks amortize the AoS padding.
+#include <cstdio>
+
+#include "analysis/experiment.hpp"
+#include "core/rule_parser.hpp"
+#include "fig_common.hpp"
+#include "tracer/kernels.hpp"
+#include "util/table.hpp"
+
+namespace {
+
+using namespace tdt;
+
+struct Cell {
+  double before = 0;
+  double after = 0;
+};
+
+Cell run_cell(std::uint32_t assoc, std::uint64_t block) {
+  layout::TypeTable types;
+  trace::TraceContext ctx;
+  constexpr std::int64_t kLen = 1024;
+  const core::RuleSet rules = core::parse_rules(bench::t1_rules(kLen));
+  cache::CacheConfig cfg;
+  cfg.size = 8 * 1024;  // smaller than the 12-16 KiB walk: pressure
+  cfg.block_size = block;
+  cfg.assoc = assoc;
+  const auto result = analysis::run_experiment(
+      types, ctx, tracer::make_t1_soa(types, kLen), cfg, &rules);
+  return Cell{result.before.l1.miss_ratio(), result.after.l1.miss_ratio()};
+}
+
+}  // namespace
+
+int main() {
+  std::puts("=== ablation: T1 miss ratio (SoA -> AoS) over associativity x "
+            "block size, 8 KiB cache ===");
+  TextTable table(
+      {"assoc", "32B soa", "32B aos", "64B soa", "64B aos", "128B soa",
+       "128B aos"});
+  for (std::uint32_t assoc : {1u, 2u, 4u, 8u, 0u}) {
+    std::vector<std::string> row{assoc == 0 ? "full"
+                                            : std::to_string(assoc) + "-way"};
+    for (std::uint64_t block : {32ull, 64ull, 128ull}) {
+      const Cell cell = run_cell(assoc, block);
+      char buf[32];
+      std::snprintf(buf, sizeof buf, "%.4f", cell.before);
+      row.emplace_back(buf);
+      std::snprintf(buf, sizeof buf, "%.4f", cell.after);
+      row.emplace_back(buf);
+    }
+    table.add_row(std::move(row));
+  }
+  std::fputs(table.render().c_str(), stdout);
+  std::puts("\nreading: the AoS walk covers 16 KiB (padded elements) vs "
+            "SoA's 12 KiB, so under capacity pressure AoS pays more cold "
+            "misses; AoS wins when the workload pairs mX/mY per iteration "
+            "and conflict (not capacity) misses dominate.");
+  return 0;
+}

@@ -1,0 +1,100 @@
+// Ablation: array padding through a stride rule — a transformation class
+// the paper's rule machinery enables beyond its three examples. A
+// column-order sweep of a flat row-major matrix whose row size is a
+// power of two (4 KiB) hammers a handful of sets of the direct-mapped
+// cache; padding every row by one cache line via the index formula
+//
+//   lI + (lI/COLS)*PAD
+//
+// staggers the columns across all sets and eliminates the conflicts, at
+// the cost of PAD ints per row — the same space-for-conflicts trade as
+// the paper's T3.
+#include <cstdio>
+
+#include "analysis/experiment.hpp"
+#include "core/rule_parser.hpp"
+#include "core/transformer.hpp"
+#include "tracer/interp.hpp"
+#include "util/table.hpp"
+
+namespace {
+
+using namespace tdt;
+using namespace tdt::tracer;
+
+constexpr std::int64_t kRows = 64;
+constexpr std::int64_t kCols = 1024;  // 4 KiB rows: the pathological case
+constexpr std::int64_t kPad = 8;      // one 32 B line of ints per row
+
+/// for (j) for (i) lMatrix[i*kCols + j] = i;  — column-order sweep.
+Program make_column_sweep(layout::TypeTable& types) {
+  const auto t_int = types.int_type();
+  Program prog;
+  FunctionDef main_fn;
+  main_fn.name = "main";
+  std::vector<StmtPtr> body;
+  body.push_back(decl_local(
+      "lMatrix",
+      types.array_of(t_int, static_cast<std::uint64_t>(kRows * kCols))));
+  body.push_back(decl_local("lI", t_int));
+  body.push_back(decl_local("lJ", t_int));
+  body.push_back(start_instr());
+  std::vector<StmtPtr> inner;
+  inner.push_back(
+      assign(LValue("lMatrix").index(add(mul(rd("lI"), lit(kCols)), rd("lJ"))),
+             rd("lI")));
+  auto i_loop = count_loop("lI", lit(kRows), block(std::move(inner)));
+  std::vector<StmtPtr> outer;
+  outer.push_back(std::move(i_loop));
+  body.push_back(count_loop("lJ", lit(kCols), block(std::move(outer))));
+  body.push_back(stop_instr());
+  main_fn.body = block(std::move(body));
+  prog.functions.push_back(std::move(main_fn));
+  return prog;
+}
+
+std::string padding_rule() {
+  const std::int64_t total = kRows * kCols;
+  const std::int64_t padded = kRows * (kCols + kPad);
+  return "in:\nint lMatrix[" + std::to_string(total) +
+         "]:lPaddedMatrix;\nout:\nint lPaddedMatrix[" +
+         std::to_string(padded) + "(lI+(lI/" + std::to_string(kCols) + ")*" +
+         std::to_string(kPad) + ")];\n";
+}
+
+}  // namespace
+
+int main() {
+  layout::TypeTable types;
+  trace::TraceContext ctx;
+  const core::RuleSet rules = core::parse_rules(padding_rule());
+
+  const auto result = analysis::run_experiment(
+      types, ctx, make_column_sweep(types), cache::paper_direct_mapped(),
+      &rules);
+
+  std::printf("column-order sweep of int[%lld][%lld] (row = %lld B) on %s\n",
+              (long long)kRows, (long long)kCols, (long long)(kCols * 4),
+              cache::paper_direct_mapped().describe().c_str());
+  std::printf("padding rule: %lld ints (%lld B) per row\n\n", (long long)kPad,
+              (long long)(kPad * 4));
+
+  TextTable table({"layout", "hits", "misses", "miss%", "conflict misses"});
+  auto add_row = [&](const char* name,
+                     const analysis::SimulationResult& sim) {
+    table.add(name, sim.l1.hits(), sim.l1.misses(),
+              100.0 * sim.l1.miss_ratio(), sim.l1.conflict);
+  };
+  add_row("unpadded (4 KiB rows)", result.before);
+  add_row("padded (+32 B per row)", result.after);
+  std::fputs(table.render().c_str(), stdout);
+
+  std::printf("\nreading: with 4 KiB rows each column walks %lld addresses "
+              "4096 B apart — only 8 of 1024 sets absorb all %lld rows; "
+              "one line of padding staggers columns across sets. space "
+              "cost: %lld -> %lld bytes.\n",
+              (long long)kRows, (long long)kRows,
+              (long long)(kRows * kCols * 4),
+              (long long)(kRows * (kCols + kPad) * 4));
+  return 0;
+}

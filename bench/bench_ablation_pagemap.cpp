@@ -1,0 +1,104 @@
+// Ablation: virtual vs physical indexing (the paper's §VI future-work
+// item, implemented as the PageMapper substrate). Two page-sized arrays
+// are swept alternately (a[i]; b[i]; ...). Virtually they are adjacent —
+// different cache colours, no interference. Physically, a random page
+// allocator can land them on the same colour of a direct-mapped,
+// physically-indexed cache, and the interleaved sweep then thrashes —
+// behaviour that is invisible to the paper's virtual-address simulation.
+#include <cstdio>
+
+#include "cache/hierarchy.hpp"
+#include "cache/page_map.hpp"
+#include "cache/sim.hpp"
+#include "tracer/interp.hpp"
+#include "util/table.hpp"
+
+namespace {
+
+using namespace tdt;
+using namespace tdt::tracer;
+
+constexpr std::int64_t kInts = 1024;  // 4 KiB per array = one page
+constexpr std::int64_t kSweeps = 4;
+
+/// for (s) for (i) { a[i] += 1; b[i] += 1; }
+Program make_ping_pong(layout::TypeTable& types) {
+  const auto t_int = types.int_type();
+  Program prog;
+  FunctionDef main_fn;
+  main_fn.name = "main";
+  std::vector<StmtPtr> body;
+  body.push_back(decl_local(
+      "a", types.array_of(t_int, static_cast<std::uint64_t>(kInts))));
+  body.push_back(decl_local(
+      "b", types.array_of(t_int, static_cast<std::uint64_t>(kInts))));
+  body.push_back(decl_local("lI", t_int));
+  body.push_back(decl_local("lS", t_int));
+  body.push_back(start_instr());
+  std::vector<StmtPtr> inner;
+  inner.push_back(modify(LValue("a").index(rd("lI")), lit(1)));
+  inner.push_back(modify(LValue("b").index(rd("lI")), lit(1)));
+  auto i_loop = count_loop("lI", lit(kInts), block(std::move(inner)));
+  std::vector<StmtPtr> outer;
+  outer.push_back(std::move(i_loop));
+  body.push_back(count_loop("lS", lit(kSweeps), block(std::move(outer))));
+  body.push_back(stop_instr());
+  main_fn.body = block(std::move(body));
+  prog.functions.push_back(std::move(main_fn));
+  return prog;
+}
+
+struct Outcome {
+  std::uint64_t misses = 0;
+  std::uint64_t conflicts = 0;
+};
+
+Outcome misses_under(const std::vector<trace::TraceRecord>& records,
+                     cache::PagePolicy policy, std::uint64_t seed) {
+  // 32 KiB direct-mapped with 4 KiB pages: 8 page colours.
+  cache::CacheConfig cfg = cache::paper_direct_mapped();
+  cache::CacheHierarchy hierarchy(cfg);
+  cache::PageMapper mapper(policy, 4096, /*frame_count=*/32, seed);
+  cache::SimOptions opts;
+  opts.page_mapper = &mapper;
+  cache::TraceCacheSim sim(hierarchy, opts);
+  sim.simulate(records);
+  return Outcome{hierarchy.l1().stats().misses(),
+                 hierarchy.l1().stats().conflict};
+}
+
+}  // namespace
+
+int main() {
+  layout::TypeTable types;
+  trace::TraceContext ctx;
+  const auto records = tracer::run_program(types, ctx, make_ping_pong(types));
+  std::printf("interleaved sweep of two 4 KiB arrays x%lld on a 32 KiB "
+              "direct-mapped physically-indexed cache (8 page colours, 32 "
+              "physical frames)\n\n",
+              (long long)kSweeps);
+
+  TextTable table({"page policy", "seed", "misses", "conflict misses"});
+  const Outcome ident =
+      misses_under(records, cache::PagePolicy::Identity, 0);
+  table.add("identity (= virtual)", "-", ident.misses, ident.conflicts);
+  const Outcome ft =
+      misses_under(records, cache::PagePolicy::FirstTouch, 0);
+  table.add("first-touch", "-", ft.misses, ft.conflicts);
+  std::uint64_t worst = 0;
+  for (std::uint64_t seed = 1; seed <= 8; ++seed) {
+    const Outcome r = misses_under(records, cache::PagePolicy::Random, seed);
+    table.add("random", seed, r.misses, r.conflicts);
+    worst = std::max(worst, r.misses);
+  }
+  std::fputs(table.render().c_str(), stdout);
+
+  std::printf("\nreading: adjacent virtual pages never collide (identity / "
+              "first-touch); random placement puts a and b on the same "
+              "colour with probability 1/8, and the interleaved sweep then "
+              "thrashes (worst seed: %llux the identity misses). This is "
+              "the shared-cache effect the paper's virtual-only traces "
+              "cannot capture (§VI).\n",
+              (unsigned long long)(worst / std::max<std::uint64_t>(ident.misses, 1)));
+  return 0;
+}

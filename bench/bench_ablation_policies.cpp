@@ -1,0 +1,70 @@
+// Ablation: why the PPC440's round-robin policy matters for the paper's
+// set-pinning transformation (T3). Runs the pinned trace against all four
+// replacement policies at several re-walk counts and prints the miss
+// counts. Round-robin and FIFO sustain the paper's "50% residency"
+// arithmetic; LRU thrashes completely on the cyclic re-walk (128 lines
+// through 64 ways); random lands in between.
+#include <cstdio>
+
+#include "analysis/experiment.hpp"
+#include "core/rule_parser.hpp"
+#include "core/transformer.hpp"
+#include "fig_common.hpp"
+#include "tracer/interp.hpp"
+#include "tracer/kernels.hpp"
+#include "util/table.hpp"
+
+namespace {
+
+using namespace tdt;
+
+/// Walks the pinned trace `walks` times through a PPC440-geometry cache
+/// with the given policy; returns array misses.
+std::uint64_t misses_with(const std::vector<trace::TraceRecord>& records,
+                          cache::ReplacementPolicy policy, int walks) {
+  cache::CacheConfig cfg = cache::ppc440();
+  cfg.replacement = policy;
+  cache::CacheHierarchy hierarchy(cfg);
+  cache::TraceCacheSim sim(hierarchy);
+  for (int w = 0; w < walks; ++w) {
+    for (const trace::TraceRecord& r : records) sim.on_record(r);
+  }
+  sim.on_end();
+  return hierarchy.l1().stats().misses();
+}
+
+}  // namespace
+
+int main() {
+  constexpr std::int64_t kLen = 1024;
+  constexpr std::int64_t kSets = 16;
+
+  layout::TypeTable types;
+  trace::TraceContext ctx;
+  const auto original = tracer::run_program(
+      types, ctx, tracer::make_t3_contiguous(types, kLen));
+  const core::RuleSet rules =
+      core::parse_rules(bench::t3_rules(kLen, kSets));
+  const auto pinned = core::transform_trace(rules, ctx, original);
+
+  std::puts("=== ablation: replacement policy x re-walk count, pinned T3 "
+            "trace on PPC440 geometry (L1 misses) ===");
+  TextTable table({"policy", "1 walk", "2 walks", "4 walks", "8 walks"});
+  for (auto policy :
+       {cache::ReplacementPolicy::RoundRobin, cache::ReplacementPolicy::Fifo,
+        cache::ReplacementPolicy::Lru, cache::ReplacementPolicy::Random}) {
+    table.add(std::string(cache::to_string(policy)),
+              misses_with(pinned, policy, 1), misses_with(pinned, policy, 2),
+              misses_with(pinned, policy, 4), misses_with(pinned, policy, 8));
+  }
+  std::fputs(table.render().c_str(), stdout);
+  std::puts("\nreading: 128 lines cycling through one 64-way set defeat "
+            "every deterministic policy identically (the line needed next "
+            "is always the one just evicted); only random retains some "
+            "residents across walks. The pinning win is therefore "
+            "ISOLATION — the other 15 sets never see this array — not a "
+            "better hit rate on the pinned array itself, matching the "
+            "paper's 'reduce cache trashing ... maintaining the same "
+            "amount of cache misses'.");
+  return 0;
+}

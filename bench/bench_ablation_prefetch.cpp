@@ -1,0 +1,81 @@
+// Ablation: sequential prefetching vs data-structure layout. Prefetching
+// and layout transformation attack the same symptom (cold/streaming
+// misses) by different means; this table shows where each wins. The
+// sequential T1 walks prefetch almost perfectly; the shuffled linked
+// list — the layout problem the paper's future-work targets — defeats a
+// next-block prefetcher entirely, so only a layout change can help it.
+#include <cstdio>
+
+#include "cache/hierarchy.hpp"
+#include "cache/sim.hpp"
+#include "tracer/interp.hpp"
+#include "tracer/kernels.hpp"
+#include "util/table.hpp"
+
+namespace {
+
+using namespace tdt;
+
+std::uint64_t misses_with(const std::vector<trace::TraceRecord>& records,
+                          cache::PrefetchPolicy policy) {
+  cache::CacheConfig cfg = cache::paper_direct_mapped();
+  cfg.prefetch = policy;
+  cache::CacheHierarchy hierarchy(cfg);
+  cache::TraceCacheSim sim(hierarchy);
+  sim.simulate(records);
+  return hierarchy.l1().stats().misses();
+}
+
+}  // namespace
+
+int main() {
+  struct Workload {
+    const char* name;
+    std::vector<trace::TraceRecord> records;
+  };
+  std::vector<Workload> workloads;
+  {
+    layout::TypeTable t;
+    trace::TraceContext ctx;
+    workloads.push_back(
+        {"t1 SoA walk", tracer::run_program(t, ctx, tracer::make_t1_soa(t, 1024))});
+  }
+  {
+    layout::TypeTable t;
+    trace::TraceContext ctx;
+    workloads.push_back(
+        {"t1 AoS walk", tracer::run_program(t, ctx, tracer::make_t1_aos(t, 1024))});
+  }
+  {
+    layout::TypeTable t;
+    trace::TraceContext ctx;
+    workloads.push_back({"list sequential",
+                         tracer::run_program(
+                             t, ctx, tracer::make_linked_list(t, 2048, false))});
+  }
+  {
+    layout::TypeTable t;
+    trace::TraceContext ctx;
+    workloads.push_back({"list shuffled",
+                         tracer::run_program(
+                             t, ctx, tracer::make_linked_list(t, 2048, true))});
+  }
+
+  std::puts("=== ablation: prefetch policy x workload (L1 misses, 32 KiB "
+            "direct-mapped) ===");
+  TextTable table({"workload", "none", "miss", "tagged", "always"});
+  for (const Workload& w : workloads) {
+    table.add(w.name, misses_with(w.records, cache::PrefetchPolicy::None),
+              misses_with(w.records, cache::PrefetchPolicy::Miss),
+              misses_with(w.records, cache::PrefetchPolicy::Tagged),
+              misses_with(w.records, cache::PrefetchPolicy::Always));
+  }
+  std::fputs(table.render().c_str(), stdout);
+  std::puts("\nreading: tagged prefetch removes nearly all misses of the "
+            "sequential walks (layout-independent), but pointer chasing "
+            "over a shuffled list keeps half its misses (the next block is "
+            "rarely the next node) — there a layout transformation "
+            "(re-pooling the nodes in traversal order) is the remaining "
+            "lever.");
+  return 0;
+}

@@ -1,0 +1,96 @@
+// Microbenchmark ablation (google-benchmark): cost of the rule-matching
+// fast path. The transformer looks up each record's variable name in a
+// hash index; this measures how throughput scales with the number of
+// loaded rules (it should stay flat) and with the fraction of records
+// that actually match (rewriting costs more than passing through).
+#include <benchmark/benchmark.h>
+
+#include "core/rule_parser.hpp"
+#include "core/transformer.hpp"
+#include "trace/reader.hpp"
+
+namespace {
+
+using namespace tdt;
+
+/// Builds a rule set with `n` independent struct rules (var0..var{n-1}).
+core::RuleSet make_rules(int n) {
+  std::string text;
+  for (int i = 0; i < n; ++i) {
+    const std::string id = std::to_string(i);
+    text += "in:\nstruct var" + id + " { int a[8]; double b[8]; };\n";
+    text += "out:\nstruct out" + id + " { int a; double b; }[8];\n";
+  }
+  return core::parse_rules(text);
+}
+
+/// Trace with `match_pct` percent of records matching rule var0.
+std::vector<trace::TraceRecord> make_trace(trace::TraceContext& ctx,
+                                           int match_pct) {
+  std::string text;
+  for (int i = 0; i < 4096; ++i) {
+    if (i % 100 < match_pct) {
+      text += "S 7ff000400 4 main LS 0 1 var0.a[" + std::to_string(i % 8) +
+              "]\n";
+    } else {
+      text += "L 7ff000100 4 main LV 0 1 unrelated\n";
+    }
+  }
+  return trace::read_trace_string(ctx, text);
+}
+
+void BM_RuleCountScaling(benchmark::State& state) {
+  trace::TraceContext ctx;
+  const core::RuleSet rules = make_rules(static_cast<int>(state.range(0)));
+  const auto records = make_trace(ctx, 50);
+  for (auto _ : state) {
+    const auto out = core::transform_trace(rules, ctx, records);
+    benchmark::DoNotOptimize(out.data());
+    state.SetItemsProcessed(state.items_processed() +
+                            static_cast<std::int64_t>(records.size()));
+  }
+}
+BENCHMARK(BM_RuleCountScaling)->Arg(1)->Arg(8)->Arg(64);
+
+void BM_MatchFraction(benchmark::State& state) {
+  trace::TraceContext ctx;
+  const core::RuleSet rules = make_rules(1);
+  const auto records = make_trace(ctx, static_cast<int>(state.range(0)));
+  for (auto _ : state) {
+    const auto out = core::transform_trace(rules, ctx, records);
+    benchmark::DoNotOptimize(out.data());
+    state.SetItemsProcessed(state.items_processed() +
+                            static_cast<std::int64_t>(records.size()));
+  }
+}
+BENCHMARK(BM_MatchFraction)->Arg(0)->Arg(10)->Arg(50)->Arg(100);
+
+void BM_IndirectionInsertion(benchmark::State& state) {
+  // T2-style rule: every matching record costs an extra inserted load.
+  trace::TraceContext ctx;
+  const core::RuleSet rules = core::parse_rules(R"(
+in:
+struct cold { double y; int z; };
+struct var0 { int hot; struct cold; }[8];
+out:
+struct pool { double y; int z; }[8];
+struct var0out { int hot; + cold:pool; }[8];
+)");
+  std::string text;
+  for (int i = 0; i < 4096; ++i) {
+    text += "S 7ff000408 8 main LS 0 1 var0[" + std::to_string(i % 8) +
+            "].cold.y\n";
+  }
+  const auto records = trace::read_trace_string(ctx, text);
+  for (auto _ : state) {
+    const auto out = core::transform_trace(rules, ctx, records);
+    benchmark::DoNotOptimize(out.data());
+    state.SetItemsProcessed(state.items_processed() +
+                            static_cast<std::int64_t>(records.size()));
+  }
+}
+BENCHMARK(BM_IndirectionInsertion);
+
+}  // namespace
+
+BENCHMARK_MAIN();

@@ -1,0 +1,113 @@
+// Multicore extension study: false sharing quantified and fixed by a
+// trace transformation. Two/four cores increment adjacent per-thread
+// counters packed into one cache line; the MESI simulation counts the
+// invalidation ping-pong; a stride rule pads the counters onto separate
+// lines and the traffic disappears. (Beyond the paper: its traces carry
+// thread ids but its evaluation is single-core; this is where the rule
+// machinery naturally extends.)
+#include <cstdio>
+
+#include "cache/multicore.hpp"
+#include "core/rule_parser.hpp"
+#include "core/transformer.hpp"
+#include "tracer/interp.hpp"
+#include "util/table.hpp"
+
+namespace {
+
+using namespace tdt;
+using namespace tdt::tracer;
+
+constexpr std::int64_t kIterations = 2048;
+
+Program make_worker(layout::TypeTable& types, std::int64_t slot) {
+  Program prog;
+  prog.globals.push_back({"counters", types.array_of(types.int_type(), 16)});
+  FunctionDef main_fn;
+  main_fn.name = "main";
+  std::vector<StmtPtr> body;
+  body.push_back(decl_local("lI", types.int_type()));
+  body.push_back(start_instr());
+  std::vector<StmtPtr> loop;
+  loop.push_back(modify(LValue("counters").index(lit(slot)), lit(1)));
+  body.push_back(count_loop("lI", lit(kIterations), block(std::move(loop))));
+  body.push_back(stop_instr());
+  main_fn.body = block(std::move(body));
+  prog.functions.push_back(std::move(main_fn));
+  return prog;
+}
+
+std::vector<trace::TraceRecord> make_trace(trace::TraceContext& ctx,
+                                           std::uint32_t threads) {
+  InterpOptions opts;
+  opts.emit_zzq_marker = false;
+  std::vector<std::vector<trace::TraceRecord>> per_thread;
+  for (std::uint32_t t = 0; t < threads; ++t) {
+    layout::TypeTable types;
+    // Distinct per-thread stacks (1 MiB apart); shared globals.
+    opts.address_space.stack_base = 0x7ff000000ULL - t * 0x100000ULL;
+    per_thread.push_back(
+        run_program(types, ctx, make_worker(types, t), opts));
+  }
+  return trace::interleave_threads(std::move(per_thread));
+}
+
+struct Row {
+  std::uint64_t invalidations = 0;
+  std::uint64_t coherence_misses = 0;
+  std::uint64_t false_sharing = 0;
+};
+
+Row run(const trace::TraceContext& ctx,
+        const std::vector<trace::TraceRecord>& records,
+        std::uint32_t cores) {
+  cache::CacheConfig cfg;
+  cfg.size = 32768;
+  cfg.block_size = 32;
+  cfg.assoc = 8;
+  cache::MesiSystem sys(cfg, cores);
+  cache::MultiCoreSim sim(sys, ctx);
+  sim.simulate(records);
+  Row row;
+  row.invalidations = sys.total_invalidations();
+  row.false_sharing = sim.false_sharing_invalidations();
+  for (std::uint32_t c = 0; c < cores; ++c) {
+    row.coherence_misses += sys.core_stats(c).coherence_misses;
+  }
+  return row;
+}
+
+}  // namespace
+
+int main() {
+  const core::RuleSet rules = core::parse_rules(R"(
+in:
+int counters[16]:spreadCounters;
+out:
+int spreadCounters[128(lI*8)];
+)");
+
+  std::printf("per-thread counters packed in one 32 B line, %lld increments "
+              "per thread; fix: stride rule spreading counters 32 B apart\n\n",
+              (long long)kIterations);
+
+  TextTable table({"cores", "layout", "invalidations", "coherence misses",
+                   "false sharing"});
+  for (std::uint32_t cores : {2u, 4u}) {
+    trace::TraceContext ctx;
+    const auto packed = make_trace(ctx, cores);
+    const Row before = run(ctx, packed, cores);
+    const auto spread = core::transform_trace(rules, ctx, packed);
+    const Row after = run(ctx, spread, cores);
+    table.add(cores, "packed", before.invalidations, before.coherence_misses,
+              before.false_sharing);
+    table.add(cores, "spread", after.invalidations, after.coherence_misses,
+              after.false_sharing);
+  }
+  std::fputs(table.render().c_str(), stdout);
+  std::puts("\nreading: packed counters bounce one line between cores on "
+            "every increment; after the stride transformation each core "
+            "owns its line in M state and the coherence traffic drops to "
+            "zero — the layout change needs no source edit, only a rule.");
+  return 0;
+}

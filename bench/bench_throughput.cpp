@@ -1,0 +1,171 @@
+// Microbenchmarks (google-benchmark): throughput of every pipeline stage —
+// tracing, text/binary parse and write, cache simulation, transformation,
+// and layout queries. Rates are reported as records (or lines) per second
+// via the Items counter.
+#include <benchmark/benchmark.h>
+
+#include <sstream>
+
+#include "cache/hierarchy.hpp"
+#include "cache/sim.hpp"
+#include "core/rule_parser.hpp"
+#include "core/transformer.hpp"
+#include "layout/path.hpp"
+#include "trace/binary.hpp"
+#include "trace/reader.hpp"
+#include "trace/writer.hpp"
+#include "tracer/interp.hpp"
+#include "tracer/kernels.hpp"
+
+namespace {
+
+using namespace tdt;
+
+constexpr std::int64_t kLen = 1024;
+
+struct SharedTrace {
+  layout::TypeTable types;
+  trace::TraceContext ctx;
+  std::vector<trace::TraceRecord> records;
+  std::string text;
+  std::vector<char> blob;
+
+  SharedTrace() {
+    records = tracer::run_program(types, ctx, tracer::make_t1_soa(types, kLen));
+    text = trace::write_trace_string(ctx, records);
+    blob = trace::write_binary_trace(ctx, records);
+  }
+};
+
+SharedTrace& shared() {
+  static SharedTrace instance;
+  return instance;
+}
+
+void BM_TracerEmit(benchmark::State& state) {
+  for (auto _ : state) {
+    layout::TypeTable types;
+    trace::TraceContext ctx;
+    const auto records =
+        tracer::run_program(types, ctx, tracer::make_t1_soa(types, kLen));
+    benchmark::DoNotOptimize(records.data());
+    state.SetItemsProcessed(state.items_processed() +
+                            static_cast<std::int64_t>(records.size()));
+  }
+}
+BENCHMARK(BM_TracerEmit);
+
+void BM_TextParse(benchmark::State& state) {
+  SharedTrace& s = shared();
+  for (auto _ : state) {
+    trace::TraceContext ctx;
+    const auto records = trace::read_trace_string(ctx, s.text);
+    benchmark::DoNotOptimize(records.data());
+    state.SetItemsProcessed(state.items_processed() +
+                            static_cast<std::int64_t>(records.size()));
+  }
+}
+BENCHMARK(BM_TextParse);
+
+void BM_TextWrite(benchmark::State& state) {
+  SharedTrace& s = shared();
+  for (auto _ : state) {
+    const std::string text = trace::write_trace_string(s.ctx, s.records);
+    benchmark::DoNotOptimize(text.data());
+    state.SetItemsProcessed(state.items_processed() +
+                            static_cast<std::int64_t>(s.records.size()));
+  }
+}
+BENCHMARK(BM_TextWrite);
+
+void BM_BinaryParse(benchmark::State& state) {
+  SharedTrace& s = shared();
+  for (auto _ : state) {
+    trace::TraceContext ctx;
+    const auto records = trace::read_binary_trace(ctx, s.blob);
+    benchmark::DoNotOptimize(records.data());
+    state.SetItemsProcessed(state.items_processed() +
+                            static_cast<std::int64_t>(records.size()));
+  }
+}
+BENCHMARK(BM_BinaryParse);
+
+void BM_BinaryWrite(benchmark::State& state) {
+  SharedTrace& s = shared();
+  for (auto _ : state) {
+    const auto blob = trace::write_binary_trace(s.ctx, s.records);
+    benchmark::DoNotOptimize(blob.data());
+    state.SetItemsProcessed(state.items_processed() +
+                            static_cast<std::int64_t>(s.records.size()));
+  }
+}
+BENCHMARK(BM_BinaryWrite);
+
+void BM_CacheSim(benchmark::State& state) {
+  SharedTrace& s = shared();
+  cache::CacheConfig cfg = cache::paper_direct_mapped();
+  cfg.assoc = static_cast<std::uint32_t>(state.range(0));
+  for (auto _ : state) {
+    cache::CacheHierarchy hierarchy(cfg);
+    cache::TraceCacheSim sim(hierarchy);
+    sim.simulate(s.records);
+    benchmark::DoNotOptimize(hierarchy.l1().stats().misses());
+    state.SetItemsProcessed(state.items_processed() +
+                            static_cast<std::int64_t>(s.records.size()));
+  }
+}
+BENCHMARK(BM_CacheSim)->Arg(1)->Arg(8)->Arg(64);
+
+void BM_Transform(benchmark::State& state) {
+  SharedTrace& s = shared();
+  const core::RuleSet rules = core::parse_rules(
+      "in:\nstruct lSoA { int mX[" + std::to_string(kLen) +
+      "]; double mY[" + std::to_string(kLen) +
+      "]; };\nout:\nstruct lAoS { int mX; double mY; }[" +
+      std::to_string(kLen) + "];\n");
+  for (auto _ : state) {
+    const auto out = core::transform_trace(rules, s.ctx, s.records);
+    benchmark::DoNotOptimize(out.data());
+    state.SetItemsProcessed(state.items_processed() +
+                            static_cast<std::int64_t>(s.records.size()));
+  }
+}
+BENCHMARK(BM_Transform);
+
+void BM_LayoutResolve(benchmark::State& state) {
+  layout::TypeTable types;
+  const auto inner = types.define_struct(
+      "Inner", {{"y", types.double_type()},
+                {"z", types.array_of(types.int_type(), 4)}});
+  const auto outer = types.array_of(
+      types.define_struct("Outer",
+                          {{"hot", types.int_type()}, {"cold", inner}}),
+      64);
+  layout::Path path;
+  path.push_back(layout::PathStep::make_index(17));
+  path.push_back(layout::PathStep::make_field("cold"));
+  path.push_back(layout::PathStep::make_field("z"));
+  path.push_back(layout::PathStep::make_index(3));
+  for (auto _ : state) {
+    const auto r = layout::resolve_path(types, outer, {path.data(), path.size()});
+    benchmark::DoNotOptimize(r.offset);
+    state.SetItemsProcessed(state.items_processed() + 1);
+  }
+}
+BENCHMARK(BM_LayoutResolve);
+
+void BM_RuleParse(benchmark::State& state) {
+  const std::string text =
+      "in:\nstruct lSoA { int mX[16]; double mY[16]; };\n"
+      "out:\nstruct lAoS { int mX; double mY; }[16];\n";
+  for (auto _ : state) {
+    const core::RuleSet rules = core::parse_rules(text);
+    benchmark::DoNotOptimize(rules.rules().size());
+    state.SetItemsProcessed(state.items_processed() + 1);
+  }
+}
+BENCHMARK(BM_RuleParse);
+
+}  // namespace
+
+BENCHMARK_MAIN();

@@ -1,0 +1,92 @@
+// Multicore study: find false sharing with the MESI simulation and fix it
+// with a trace transformation — no source change, only a rule.
+//
+// Two worker threads increment their own counters, which the original
+// layout packs into one cache line. The MESI system shows the line
+// ping-ponging between the cores; the false-sharing detector attributes
+// the invalidations to the counters; a stride rule pads the counters onto
+// separate lines and the coherence traffic disappears.
+//
+// Build & run:  ./build/examples/false_sharing
+#include <cstdio>
+
+#include "cache/multicore.hpp"
+#include "core/rule_parser.hpp"
+#include "core/transformer.hpp"
+#include "tracer/interp.hpp"
+
+namespace {
+
+using namespace tdt;
+using namespace tdt::tracer;
+
+constexpr std::int64_t kIterations = 512;
+constexpr std::uint32_t kThreads = 2;
+
+Program make_worker(layout::TypeTable& types, std::int64_t slot) {
+  Program prog;
+  prog.globals.push_back({"counters", types.array_of(types.int_type(), 16)});
+  FunctionDef main_fn;
+  main_fn.name = "worker";
+  std::vector<StmtPtr> body;
+  body.push_back(decl_local("lI", types.int_type()));
+  body.push_back(start_instr());
+  std::vector<StmtPtr> loop;
+  loop.push_back(modify(LValue("counters").index(lit(slot)), lit(1)));
+  body.push_back(count_loop("lI", lit(kIterations), block(std::move(loop))));
+  body.push_back(stop_instr());
+  main_fn.body = block(std::move(body));
+  prog.functions.push_back(std::move(main_fn));
+  // The interpreter enters at `main`; alias it.
+  prog.functions.push_back(FunctionDef{});
+  prog.functions.back().name = "main";
+  std::vector<StmtPtr> main_body;
+  main_body.push_back(call("worker", {}));
+  prog.functions.back().body = block(std::move(main_body));
+  return prog;
+}
+
+void simulate(const trace::TraceContext& ctx,
+              const std::vector<trace::TraceRecord>& records,
+              const char* title) {
+  cache::CacheConfig cfg;
+  cfg.size = 32768;
+  cfg.block_size = 32;
+  cfg.assoc = 8;
+  cache::MesiSystem sys(cfg, kThreads);
+  cache::MultiCoreSim sim(sys, ctx);
+  sim.simulate(records);
+  std::printf("=== %s ===\n", title);
+  std::fputs(sim.report().c_str(), stdout);
+  std::printf("\n");
+}
+
+}  // namespace
+
+int main() {
+  trace::TraceContext ctx;
+  InterpOptions opts;
+  opts.emit_zzq_marker = false;
+  std::vector<std::vector<trace::TraceRecord>> per_thread;
+  for (std::uint32_t t = 0; t < kThreads; ++t) {
+    layout::TypeTable types;
+    // Per-thread stacks 1 MiB apart; globals shared.
+    opts.address_space.stack_base = 0x7ff000000ULL - t * 0x100000ULL;
+    per_thread.push_back(run_program(types, ctx, make_worker(types, t), opts));
+  }
+  const auto packed = trace::interleave_threads(std::move(per_thread));
+  simulate(ctx, packed, "packed counters (one shared line)");
+
+  const core::RuleSet rules = core::parse_rules(R"(
+in:
+int counters[16]:spreadCounters;
+out:
+int spreadCounters[128(lI*8)];
+)");
+  core::TransformStats stats;
+  const auto spread = core::transform_trace(rules, ctx, packed, {}, &stats);
+  std::printf("transformation: %llu counter accesses remapped 32 B apart\n\n",
+              (unsigned long long)stats.rewritten);
+  simulate(ctx, spread, "spread counters (one line per thread)");
+  return 0;
+}

@@ -1,0 +1,139 @@
+// Hot/cold splitting (the paper's transformation T2) on a workload shaped
+// like the particle systems that motivate it: a tight integration loop
+// touches only the hot field of every particle on every step, while the
+// cold metadata is visited once at the end. The inline layout drags the
+// cold bytes through the cache on every step; outlining them behind a
+// pointer shrinks the hot stream.
+//
+// This example also shows the programmatic AST API: the kernel is built
+// by hand rather than taken from the kernel library.
+//
+// Build & run:  ./build/examples/hot_cold_splitting
+#include <cstdio>
+
+#include "analysis/experiment.hpp"
+#include "core/rule_parser.hpp"
+#include "tracer/interp.hpp"
+
+namespace {
+
+using namespace tdt;
+using namespace tdt::tracer;
+
+constexpr std::int64_t kParticles = 512;
+constexpr std::int64_t kSteps = 8;
+
+/// struct Particle { int mVel; struct mMeta { 3 doubles + tag }; } — the
+/// cold metadata dominates the 40-byte element;
+/// for (s < kSteps) for (i < kParticles) p[i].mVel += 1;
+/// for (i < kParticles) { p[i].mMeta.mMass = i; p[i].mMeta.mTag = i; }
+Program make_particles(layout::TypeTable& types) {
+  const auto t_int = types.int_type();
+  const auto meta = types.define_struct(
+      "mMeta", {{"mMass", types.double_type()},
+                {"mPosX", types.double_type()},
+                {"mPosY", types.double_type()},
+                {"mTag", t_int}});
+  const auto particle = types.define_struct(
+      "Particle", {{"mVel", t_int}, {"mMeta", meta}});
+
+  Program prog;
+  FunctionDef main_fn;
+  main_fn.name = "main";
+  std::vector<StmtPtr> body;
+  body.push_back(decl_local(
+      "lParticles",
+      types.array_of(particle, static_cast<std::uint64_t>(kParticles))));
+  body.push_back(decl_local("lI", t_int));
+  body.push_back(decl_local("lS", t_int));
+  body.push_back(start_instr());
+
+  // Hot phase: kSteps sweeps over mVel only.
+  std::vector<StmtPtr> hot;
+  hot.push_back(modify(LValue("lParticles").index(rd("lI")).field("mVel"),
+                       lit(1)));
+  std::vector<StmtPtr> sweep;
+  sweep.push_back(count_loop("lI", lit(kParticles), block(std::move(hot))));
+  body.push_back(count_loop("lS", lit(kSteps), block(std::move(sweep))));
+
+  // Cold phase: one pass over the metadata.
+  std::vector<StmtPtr> cold;
+  cold.push_back(
+      assign(LValue("lParticles").index(rd("lI")).field("mMeta").field("mMass"),
+             cast_real(rd("lI"))));
+  cold.push_back(
+      assign(LValue("lParticles").index(rd("lI")).field("mMeta").field("mTag"),
+             rd("lI")));
+  body.push_back(count_loop("lI", lit(kParticles), block(std::move(cold))));
+
+  body.push_back(stop_instr());
+  main_fn.body = block(std::move(body));
+  prog.functions.push_back(std::move(main_fn));
+  return prog;
+}
+
+std::string rules_text() {
+  const std::string n = std::to_string(kParticles);
+  return "in:\n"
+         "struct mMeta { double mMass; double mPosX; double mPosY; int mTag; };\n"
+         "struct lParticles {\n"
+         "  int mVel;\n"
+         "  struct mMeta;\n"
+         "}[" + n + "];\n"
+         "out:\n"
+         "struct lMetaPool { double mMass; double mPosX; double mPosY; int mTag; }[" + n + "];\n"
+         "struct lHot {\n"
+         "  int mVel;\n"
+         "  + mMeta:lMetaPool;\n"
+         "}[" + n + "];\n";
+}
+
+std::uint64_t hot_phase_misses(const analysis::SimulationResult& sim,
+                               const std::string& variable) {
+  std::uint64_t misses = 0;
+  for (const analysis::SetCell& c : sim.per_set.at(variable)) {
+    misses += c.misses;
+  }
+  return misses;
+}
+
+}  // namespace
+
+int main() {
+  layout::TypeTable types;
+  trace::TraceContext ctx;
+  const core::RuleSet rules = core::parse_rules(rules_text());
+
+  const auto result =
+      analysis::run_experiment(types, ctx, make_particles(types),
+                               cache::CacheConfig{
+                                   "small-l1", 4096, 32, 1,
+                                   cache::ReplacementPolicy::Lru,
+                                   cache::WritePolicy::WriteBack,
+                                   cache::AllocPolicy::WriteAllocate, 1},
+                               &rules);
+
+  std::printf("particles: %lld, hot sweeps: %lld\n", (long long)kParticles,
+              (long long)kSteps);
+  std::printf("trace records: %zu -> %zu (%llu pointer loads inserted)\n\n",
+              result.original.size(), result.transformed.size(),
+              static_cast<unsigned long long>(result.transform_stats.inserted));
+
+  const std::uint64_t before = hot_phase_misses(result.before, "lParticles");
+  const std::uint64_t after = hot_phase_misses(result.after, "lHot") +
+                              hot_phase_misses(result.after, "lMetaPool");
+  std::printf("structure misses before (inline): %llu\n",
+              static_cast<unsigned long long>(before));
+  std::printf("structure misses after (outlined): %llu\n",
+              static_cast<unsigned long long>(after));
+  std::printf("hot stream footprint: %lld x 40 B inline vs %lld x 16 B "
+              "outlined elements\n\n",
+              (long long)kParticles, (long long)kParticles);
+
+  std::printf("L1 miss ratio before %.4f -> after %.4f\n",
+              result.before.l1.miss_ratio(), result.after.l1.miss_ratio());
+  std::puts(before > after
+                ? "outlining reduced structure misses (hot loop dominates)"
+                : "outlining did not pay off at these parameters");
+  return 0;
+}

@@ -1,0 +1,86 @@
+// Scientific-kernel study: dense matmul loop orders on a small cache, the
+// kind of "effects of data-structure layouts on program memory behavior"
+// study the paper's introduction motivates. Uses per-variable statistics
+// and the conflict report of the modified simulator to show WHY ijk loses:
+// column-wise walks of B thrash, and B's lines evict C's.
+//
+// Build & run:  ./build/examples/matmul_layout
+#include <cstdio>
+
+#include "analysis/advisor.hpp"
+#include "analysis/var_stats.hpp"
+#include "cache/hierarchy.hpp"
+#include "cache/sim.hpp"
+#include "tracer/interp.hpp"
+#include "tracer/kernels.hpp"
+
+namespace {
+
+struct RunResult {
+  std::uint64_t l1_misses = 0;
+  std::uint64_t l2_misses = 0;
+  std::string var_report;
+  std::string conflict_report;
+  std::string advice;
+};
+
+RunResult run_order(bool ikj, std::int64_t n) {
+  using namespace tdt;
+  layout::TypeTable types;
+  trace::TraceContext ctx;
+  const auto records =
+      tracer::run_program(types, ctx, tracer::make_matmul(types, n, ikj));
+
+  cache::CacheHierarchy hierarchy(
+      {cache::CacheConfig{"l1", 4096, 64, 2, cache::ReplacementPolicy::Lru,
+                          cache::WritePolicy::WriteBack,
+                          cache::AllocPolicy::WriteAllocate, 1},
+       cache::modern_l2()});
+  cache::TraceCacheSim sim(hierarchy);
+  analysis::VarStatsCollector vars(ctx);
+  analysis::ConflictCollector conflicts(ctx);
+  analysis::AdjacencyCollector adjacency(ctx, 64);
+  sim.add_observer(&vars);
+  sim.add_observer(&conflicts);
+  sim.add_observer(&adjacency);
+  sim.simulate(records);
+
+  RunResult out;
+  out.l1_misses = hierarchy.l1().stats().misses();
+  out.l2_misses = hierarchy.level(1).stats().misses();
+  out.var_report = vars.report();
+  out.conflict_report = conflicts.report(6);
+  out.advice = analysis::render(analysis::advise(vars, conflicts, {}, &adjacency));
+  return out;
+}
+
+}  // namespace
+
+int main() {
+  constexpr std::int64_t kN = 32;
+  std::printf("dense %lldx%lld matmul, 4 KiB 2-way L1 + 256 KiB L2\n\n",
+              (long long)kN, (long long)kN);
+
+  const RunResult ijk = run_order(false, kN);
+  const RunResult ikj = run_order(true, kN);
+
+  std::puts("=== ijk order (B walked column-wise) ===");
+  std::printf("L1 misses: %llu   L2 misses: %llu\n",
+              static_cast<unsigned long long>(ijk.l1_misses),
+              static_cast<unsigned long long>(ijk.l2_misses));
+  std::fputs(ijk.var_report.c_str(), stdout);
+  std::puts("top eviction pairs:");
+  std::fputs(ijk.conflict_report.c_str(), stdout);
+  std::fputs(ijk.advice.c_str(), stdout);
+
+  std::puts("\n=== ikj order (all row-wise) ===");
+  std::printf("L1 misses: %llu   L2 misses: %llu\n",
+              static_cast<unsigned long long>(ikj.l1_misses),
+              static_cast<unsigned long long>(ikj.l2_misses));
+  std::fputs(ikj.var_report.c_str(), stdout);
+
+  std::printf("\nloop-order speed-up proxy (L1 miss reduction): %.2fx\n",
+              static_cast<double>(ijk.l1_misses) /
+                  static_cast<double>(ikj.l1_misses));
+  return 0;
+}

@@ -1,0 +1,80 @@
+// Set pinning (the paper's transformation T3) on the PowerPC 440 cache:
+// a contiguous array walk that normally spreads over all 16 sets is
+// remapped by a stride rule so every access lands in one set, trading
+// 16x address-space footprint for isolation from the rest of the cache.
+//
+// Prints the per-set tables of Figures 10 and 11 plus the ASCII chart.
+//
+// Build & run:  ./build/examples/set_pinning
+#include <cstdio>
+
+#include "analysis/experiment.hpp"
+#include "analysis/report.hpp"
+#include "analysis/set_activity.hpp"
+#include "cache/hierarchy.hpp"
+#include "cache/sim.hpp"
+#include "core/rule_parser.hpp"
+#include "core/transformer.hpp"
+#include "tracer/interp.hpp"
+#include "tracer/kernels.hpp"
+
+namespace {
+
+constexpr std::int64_t kLen = 1024;
+constexpr std::int64_t kSets = 16;
+
+std::string rules_text() {
+  return "in:\n"
+         "int lContiguousArray[" + std::to_string(kLen) +
+         "]:lSetHashingArray;\n"
+         "out:\n"
+         "int lSetHashingArray[" + std::to_string(kLen * kSets) +
+         "((lI/8)*(16*8)+(lI%8))];\n"
+         "inject:\n"
+         "L lITEMSPERLINE 4;\n"
+         "L lITEMSPERLINE 4;\n"
+         "L lITEMSPERLINE 4;\n";
+}
+
+void simulate_and_chart(const tdt::trace::TraceContext& ctx,
+                        const std::vector<tdt::trace::TraceRecord>& records,
+                        const std::string& variable, const char* title) {
+  using namespace tdt;
+  cache::CacheHierarchy hierarchy(cache::ppc440());
+  cache::TraceCacheSim sim(hierarchy);
+  analysis::SetActivityCollector sets(ctx, cache::ppc440().num_sets());
+  sim.add_observer(&sets);
+  sim.simulate(records);
+
+  std::printf("=== %s ===\n", title);
+  std::fputs(analysis::set_table(sets, {variable}).c_str(), stdout);
+  std::fputs(analysis::ascii_chart(sets, variable, 48).c_str(), stdout);
+  std::printf("\n");
+}
+
+}  // namespace
+
+int main() {
+  using namespace tdt;
+
+  layout::TypeTable types;
+  trace::TraceContext ctx;
+  std::printf("cache: %s\n\n", cache::ppc440().describe().c_str());
+
+  const auto original =
+      tracer::run_program(types, ctx, tracer::make_t3_contiguous(types, kLen));
+  simulate_and_chart(ctx, original, "lContiguousArray",
+                     "Figure 10: contiguous walk (sets 0..15)");
+
+  const core::RuleSet rules = core::parse_rules(rules_text());
+  core::TransformStats stats;
+  const auto transformed =
+      core::transform_trace(rules, ctx, original, {}, &stats);
+  std::printf("transformed: %llu remapped, %llu index-arithmetic loads "
+              "injected\n\n",
+              static_cast<unsigned long long>(stats.rewritten),
+              static_cast<unsigned long long>(stats.inserted));
+  simulate_and_chart(ctx, transformed, "lSetHashingArray",
+                     "Figure 11: pinned walk (single set)");
+  return 0;
+}

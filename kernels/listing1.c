@@ -1,0 +1,39 @@
+/* Paper Listing 1: the running example with globals, nested structures,
+ * and a function call through an array parameter. */
+struct _typeA {
+  double dl;
+  int myArray[10];
+};
+struct _typeA glStruct;
+struct _typeA glStructArray[10];
+
+int glScalar;
+int glArray[10];
+
+void foo(struct _typeA StrcParam[]) {
+  int i;
+  for (i = 0; i < 2; i++) {
+    glStructArray[i].dl = glScalar;
+    glStructArray[i].myArray[i] = glArray[i + 1];
+    StrcParam[i].dl = glArray[i];
+  }
+  return;
+}
+
+int main(void) {
+  GLEIPNIR_START_INSTRUMENTATION;
+
+  struct _typeA lcStrcArray[5];
+  int i, lcScalar, lcArray[10];
+
+  glScalar = 321;
+  lcScalar = 123;
+
+  for (i = 0; i < 2; i++)
+    lcArray[i] = glScalar;
+
+  foo(lcStrcArray);
+
+  GLEIPNIR_STOP_INSTRUMENTATION;
+  return 0;
+}

@@ -1,0 +1,24 @@
+/* Dense matrix multiply (ijk order) — the scientific-kernel workload the
+ * paper's introduction motivates. Swap the two inner loops (ikj) to see
+ * the loop-order effect in examples/matmul_layout. */
+#define N 24
+
+double A[N][N];
+double B[N][N];
+double C[N][N];
+
+int main(void) {
+  int i;
+  int j;
+  int k;
+  GLEIPNIR_START_INSTRUMENTATION;
+  for (i = 0; i < N; i++) {
+    for (j = 0; j < N; j++) {
+      for (k = 0; k < N; k++) {
+        C[i][j] += A[i][k] * B[k][j];
+      }
+    }
+  }
+  GLEIPNIR_STOP_INSTRUMENTATION;
+  return 0;
+}

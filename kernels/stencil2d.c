@@ -1,0 +1,30 @@
+/* 5-point stencil with branch-handled boundaries: exercises if-statements
+ * and 2D indexing in the kernel language. */
+#define N 32
+
+double grid[N][N];
+double next[N][N];
+
+int main(void) {
+  int i;
+  int j;
+  GLEIPNIR_START_INSTRUMENTATION;
+  for (i = 0; i < N; i++) {
+    for (j = 0; j < N; j++) {
+      if (i == 0) {
+        next[i][j] = grid[i][j];
+      } else if (i == N - 1) {
+        next[i][j] = grid[i][j];
+      } else if (j == 0) {
+        next[i][j] = grid[i][j];
+      } else if (j == N - 1) {
+        next[i][j] = grid[i][j];
+      } else {
+        next[i][j] = (grid[i - 1][j] + grid[i + 1][j] + grid[i][j - 1]
+                      + grid[i][j + 1] + grid[i][j]) / 5.0;
+      }
+    }
+  }
+  GLEIPNIR_STOP_INSTRUMENTATION;
+  return 0;
+}

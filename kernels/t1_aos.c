@@ -1,0 +1,18 @@
+/* Paper Listing 3 ("Transformation 1B" source): array-of-structures walk,
+ * the hand-written target layout of transformation T1. */
+#define LEN 1024
+
+int main(int aArgc, char **aArgv) {
+  typedef struct {
+    int mX;
+    double mY;
+  } MyStruct;
+  MyStruct lAoS[LEN];
+  GLEIPNIR_START_INSTRUMENTATION;
+  for (int lI = 0; lI < LEN; lI++) {
+    lAoS[lI].mX = (int)lI;
+    lAoS[lI].mY = (double)lI;
+  }
+  GLEIPNIR_STOP_INSTRUMENTATION;
+  return 0;
+}

@@ -1,0 +1,18 @@
+/* Paper Listing 4 ("Transformation 1A" source): structure-of-arrays walk.
+ * Matches rules/t1_soa_to_aos.rules at LEN = 1024. */
+#define LEN 1024
+
+int main(int aArgc, char **aArgv) {
+  typedef struct {
+    int mX[LEN];
+    double mY[LEN];
+  } MyStructOfArrays;
+  MyStructOfArrays lSoA;
+  GLEIPNIR_START_INSTRUMENTATION;
+  for (int lI = 0; lI < LEN; lI++) {
+    lSoA.mX[lI] = (int)lI;
+    lSoA.mY[lI] = (double)lI;
+  }
+  GLEIPNIR_STOP_INSTRUMENTATION;
+  return (0);
+}

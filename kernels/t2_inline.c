@@ -1,0 +1,20 @@
+/* Paper Listing 6 ("Transformation 2A" source): nested hot/cold struct.
+ * Matches rules/t2_outline_rarely_used.rules at LEN = 1024. */
+#define LEN 1024
+
+int main(int aArgc, char **aArgv) {
+  typedef struct {
+    int mFrequentlyUsed;
+    struct { double mY; int mZ; } mRarelyUsed;
+  } MyInlineStruct;
+
+  MyInlineStruct lS1[LEN];
+  GLEIPNIR_START_INSTRUMENTATION;
+  for (int lI = 0; lI < LEN; lI++) {
+    lS1[lI].mFrequentlyUsed = lI;
+    lS1[lI].mRarelyUsed.mY = lI;
+    lS1[lI].mRarelyUsed.mZ = lI;
+  }
+  GLEIPNIR_STOP_INSTRUMENTATION;
+  return (0);
+}

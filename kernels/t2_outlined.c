@@ -1,0 +1,27 @@
+/* Paper Listing 7 ("Transformation 2B" source): hand-outlined version
+ * with the rarely-used struct behind a pointer. */
+#define LEN 1024
+
+int main(int aArgc, char **aArgv) {
+  typedef struct { double mY; int mZ; } RarelyUsed;
+  typedef struct {
+    int mFrequentlyUsed;
+    RarelyUsed *mRarelyUsed;
+  } MyOutlinedStruct;
+
+  RarelyUsed lStorageForRarelyUsed[LEN];
+  MyOutlinedStruct lS2[LEN];
+
+  for (int lI = 0; lI < LEN; lI++) {
+    lS2[lI].mRarelyUsed = lStorageForRarelyUsed + lI;
+  }
+
+  GLEIPNIR_START_INSTRUMENTATION;
+  for (int lI = 0; lI < LEN; lI++) {
+    lS2[lI].mFrequentlyUsed = lI;
+    lS2[lI].mRarelyUsed->mY = lI;
+    lS2[lI].mRarelyUsed->mZ = lI;
+  }
+  GLEIPNIR_STOP_INSTRUMENTATION;
+  return (0);
+}

@@ -1,0 +1,13 @@
+/* Paper Listing 9 ("Transformation 3A" source): contiguous array walk.
+ * Matches rules/t3_set_pinning.rules at LEN = 1024. */
+#define LEN 1024
+
+int main(int aArgc, char **aArgv) {
+  int lContiguousArray[LEN];
+  GLEIPNIR_START_INSTRUMENTATION;
+  for (int lI = 0; lI < LEN; lI++) {
+    lContiguousArray[lI] = lI;
+  }
+  GLEIPNIR_STOP_INSTRUMENTATION;
+  return (0);
+}

@@ -1,0 +1,19 @@
+/* Paper Listing 10 ("Transformation 3B" source): hand-strided set-pinning
+ * walk for the PowerPC 440 cache (16 sets, 32-byte lines). The index
+ * formula follows the rule form (lI/IPL)*(SETS*IPL)+(lI%IPL); see
+ * EXPERIMENTS.md for the discrepancy in the paper's Listing 10 text. */
+#define LEN 1024
+#define SETS 16
+#define CACHELINE 32
+
+int main(int aArgc, char **aArgv) {
+  const int lITEMSPERLINE = CACHELINE / sizeof(int);
+  int lSetHashingArray[LEN * SETS];
+  GLEIPNIR_START_INSTRUMENTATION;
+  for (int lI = 0; lI < LEN; lI++) {
+    lSetHashingArray[(lI / lITEMSPERLINE) * (SETS * lITEMSPERLINE)
+                     + (lI % lITEMSPERLINE)] = lI;
+  }
+  GLEIPNIR_STOP_INSTRUMENTATION;
+  return (0);
+}

@@ -1,0 +1,164 @@
+#include "analysis/advisor.hpp"
+
+#include <algorithm>
+#include <map>
+
+namespace tdt::analysis {
+
+std::string_view to_string(SuggestionKind k) noexcept {
+  switch (k) {
+    case SuggestionKind::PadOrDisplace: return "pad-or-displace";
+    case SuggestionKind::SplitHotCold: return "split-hot-cold";
+    case SuggestionKind::Interleave: return "interleave";
+    case SuggestionKind::NoAction: return "no-action";
+  }
+  return "?";
+}
+
+AdjacencyCollector::AdjacencyCollector(const trace::TraceContext& ctx,
+                                       std::uint64_t far_bytes)
+    : ctx_(&ctx), far_bytes_(far_bytes) {}
+
+void AdjacencyCollector::on_access(const trace::TraceRecord& rec,
+                                   const cache::AccessOutcome&) {
+  // Only aggregate-element accesses participate; intervening scalar loads
+  // (loop counters, pointers) do not break the alternation chain.
+  if (rec.var.empty() || rec.var.steps.empty()) return;
+  // Label = base plus the first field in the chain, so the two field
+  // arrays of one SoA struct ("lSoA.mX" vs "lSoA.mY") count as a pair.
+  std::string label(ctx_->name(rec.var.base));
+  for (const trace::VarStep& step : rec.var.steps) {
+    if (step.is_field) {
+      label += '.';
+      label += ctx_->name(step.field);
+      break;
+    }
+  }
+  if (have_prev_ && label != prev_var_) {
+    const std::uint64_t gap = rec.address > prev_addr_
+                                  ? rec.address - prev_addr_
+                                  : prev_addr_ - rec.address;
+    if (gap > far_bytes_) {
+      auto key = label < prev_var_ ? std::make_pair(label, prev_var_)
+                                   : std::make_pair(prev_var_, label);
+      ++pairs_[key];
+    }
+  }
+  have_prev_ = true;
+  prev_addr_ = rec.address;
+  prev_var_ = label;
+}
+
+std::vector<Suggestion> advise(const VarStatsCollector& vars,
+                               const ConflictCollector& conflicts,
+                               AdvisorOptions options,
+                               const AdjacencyCollector* adjacency) {
+  std::vector<std::pair<double, Suggestion>> scored;
+
+  // --- T3-style: mutual eviction pairs -----------------------------------
+  // Sum both directions of each unordered pair.
+  std::map<std::pair<std::string, std::string>, std::uint64_t> mutual;
+  for (const auto& [pair, count] : conflicts.pairs()) {
+    auto key = pair.first < pair.second
+                   ? pair
+                   : std::make_pair(pair.second, pair.first);
+    mutual[key] += count;
+  }
+  for (const auto& [pair, count] : mutual) {
+    if (count < options.min_conflict_evictions) continue;
+    if (pair.first == pair.second) continue;  // self-eviction = capacity
+    Suggestion s;
+    s.kind = SuggestionKind::PadOrDisplace;
+    s.variables = {pair.first, pair.second};
+    s.rationale = pair.first + " and " + pair.second + " evicted each other " +
+                  std::to_string(count) +
+                  " times: displace one of them (stride rule) or pad so "
+                  "their hot lines map to different sets";
+    scored.emplace_back(static_cast<double>(count), std::move(s));
+  }
+
+  // --- per-variable symptoms ---------------------------------------------
+  for (const auto& [name, hm] : vars.by_variable()) {
+    if (name == "<anon>") continue;
+    if (hm.accesses() < 64 || hm.miss_ratio() < options.healthy_miss_ratio) {
+      continue;
+    }
+    const double conflict_frac =
+        hm.misses == 0 ? 0.0
+                       : static_cast<double>(hm.conflict) /
+                             static_cast<double>(hm.misses);
+    const double capacity_frac =
+        hm.misses == 0 ? 0.0
+                       : static_cast<double>(hm.capacity) /
+                             static_cast<double>(hm.misses);
+    if (conflict_frac >= options.conflict_fraction) {
+      Suggestion s;
+      s.kind = SuggestionKind::PadOrDisplace;
+      s.variables = {name};
+      s.rationale = name + ": " + std::to_string(hm.conflict) + " of " +
+                    std::to_string(hm.misses) +
+                    " misses are set conflicts; consider a displacement or "
+                    "set-pinning rule";
+      scored.emplace_back(static_cast<double>(hm.conflict), std::move(s));
+    } else if (capacity_frac >= options.capacity_fraction &&
+               hm.misses >= options.min_conflict_evictions) {
+      Suggestion s;
+      s.kind = SuggestionKind::SplitHotCold;
+      s.variables = {name};
+      s.rationale = name + ": " + std::to_string(hm.capacity) + " of " +
+                    std::to_string(hm.misses) +
+                    " misses are capacity misses; if only part of each "
+                    "element is hot, outline the cold part behind a pointer "
+                    "to shrink the streamed footprint";
+      scored.emplace_back(static_cast<double>(hm.capacity) * 0.5,
+                          std::move(s));
+    }
+  }
+
+  // --- T1-style: paired far-apart walks -----------------------------------
+  if (adjacency != nullptr) {
+    for (const auto& [pair, count] : adjacency->pairs()) {
+      if (count < options.min_adjacency) continue;
+      Suggestion s;
+      s.kind = SuggestionKind::Interleave;
+      s.variables = {pair.first, pair.second};
+      s.rationale = pair.first + " and " + pair.second +
+                    " are accessed in alternation " + std::to_string(count) +
+                    " times but far apart in memory: interleaving them "
+                    "(SoA -> AoS rule) would pair their elements in one "
+                    "cache line";
+      scored.emplace_back(static_cast<double>(count) * 0.75, std::move(s));
+    }
+  }
+
+  std::sort(scored.begin(), scored.end(),
+            [](const auto& a, const auto& b) { return a.first > b.first; });
+  std::vector<Suggestion> out;
+  for (auto& [score, s] : scored) {
+    if (out.size() >= options.max_suggestions) break;
+    out.push_back(std::move(s));
+  }
+  if (out.empty()) {
+    Suggestion s;
+    s.kind = SuggestionKind::NoAction;
+    s.rationale =
+        "no structure exceeds the conflict/capacity thresholds; the layout "
+        "looks healthy at this cache configuration";
+    out.push_back(std::move(s));
+  }
+  return out;
+}
+
+std::string render(const std::vector<Suggestion>& suggestions) {
+  std::string out = "transformation advisor:\n";
+  for (const Suggestion& s : suggestions) {
+    out += "  [";
+    out += to_string(s.kind);
+    out += "] ";
+    out += s.rationale;
+    out += '\n';
+  }
+  return out;
+}
+
+}  // namespace tdt::analysis

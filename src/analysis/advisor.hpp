@@ -1,0 +1,92 @@
+// Transformation advisor: turns the simulator's per-variable statistics
+// and eviction-conflict pairs into concrete suggestions, closing the loop
+// the paper describes — "a user is able to observe conflicts between
+// program structures and analyze if any transformation should be
+// considered to improve an application's cache behavior" (§I).
+//
+// Heuristics, not guarantees: each suggestion names the paper
+// transformation (T1/T2/T3-style) that targets the observed symptom.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "analysis/var_stats.hpp"
+
+namespace tdt::analysis {
+
+/// Kind of suggested transformation.
+enum class SuggestionKind : std::uint8_t {
+  PadOrDisplace,   ///< T3-style: two structures fight over the same sets
+  SplitHotCold,    ///< T2-style: capacity-bound aggregate
+  Interleave,      ///< T1-style: paired streaming over parallel arrays
+  NoAction,        ///< statistics look healthy
+};
+
+[[nodiscard]] std::string_view to_string(SuggestionKind k) noexcept;
+
+/// One advisor finding.
+struct Suggestion {
+  SuggestionKind kind = SuggestionKind::NoAction;
+  std::vector<std::string> variables;
+  std::string rationale;
+};
+
+/// Tunable thresholds.
+struct AdvisorOptions {
+  /// Minimum evictions between a pair to flag a conflict.
+  std::uint64_t min_conflict_evictions = 32;
+  /// Conflict misses must exceed this fraction of a variable's misses for
+  /// a PadOrDisplace suggestion.
+  double conflict_fraction = 0.25;
+  /// Capacity misses must exceed this fraction for SplitHotCold.
+  double capacity_fraction = 0.5;
+  /// Miss ratio below which a variable is considered healthy.
+  double healthy_miss_ratio = 0.02;
+  /// Max suggestions returned, strongest first.
+  std::size_t max_suggestions = 8;
+  /// Minimum far-apart adjacent accesses for an Interleave suggestion.
+  std::uint64_t min_adjacency = 256;
+};
+
+/// Tracks which aggregates are accessed in tight alternation with each
+/// other but far apart in memory — the T1 (interleave) symptom: paired
+/// walks over parallel arrays whose elements could share lines.
+class AdjacencyCollector final : public cache::AccessObserver {
+ public:
+  explicit AdjacencyCollector(const trace::TraceContext& ctx,
+                              std::uint64_t far_bytes = 64);
+
+  void on_access(const trace::TraceRecord& rec,
+                 const cache::AccessOutcome& outcome) override;
+
+  /// Unordered variable pair -> count of adjacent accesses more than
+  /// `far_bytes` apart. Scalar-to-scalar pairs are ignored.
+  [[nodiscard]] const std::map<std::pair<std::string, std::string>,
+                               std::uint64_t>&
+  pairs() const noexcept {
+    return pairs_;
+  }
+
+ private:
+  const trace::TraceContext* ctx_;
+  std::uint64_t far_bytes_;
+  bool have_prev_ = false;
+  std::uint64_t prev_addr_ = 0;
+  std::string prev_var_;
+  std::map<std::pair<std::string, std::string>, std::uint64_t> pairs_;
+};
+
+/// Analyzes collected statistics and returns ranked suggestions. The
+/// result always contains at least one entry (NoAction when healthy).
+/// `adjacency` is optional; with it the advisor can also propose T1-style
+/// interleaving.
+[[nodiscard]] std::vector<Suggestion> advise(
+    const VarStatsCollector& vars, const ConflictCollector& conflicts,
+    AdvisorOptions options = {}, const AdjacencyCollector* adjacency = nullptr);
+
+/// Renders suggestions for terminal output.
+[[nodiscard]] std::string render(const std::vector<Suggestion>& suggestions);
+
+}  // namespace tdt::analysis

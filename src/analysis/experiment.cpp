@@ -1,0 +1,53 @@
+#include "analysis/experiment.hpp"
+
+#include "analysis/set_activity.hpp"
+#include "cache/hierarchy.hpp"
+#include "cache/sim.hpp"
+#include "tracer/interp.hpp"
+
+namespace tdt::analysis {
+
+SimulationResult simulate_trace(const trace::TraceContext& ctx,
+                                std::span<const trace::TraceRecord> records,
+                                const cache::CacheConfig& config) {
+  cache::CacheHierarchy hierarchy(config);
+  cache::TraceCacheSim sim(hierarchy);
+  SetActivityCollector collector(ctx, config.num_sets());
+  sim.add_observer(&collector);
+  sim.simulate(records);
+
+  SimulationResult result;
+  result.l1 = hierarchy.l1().stats();
+  result.num_sets = config.num_sets();
+  result.variable_order = collector.variables();
+  for (const std::string& v : result.variable_order) {
+    result.per_set.emplace(v, collector.series(v));
+  }
+  return result;
+}
+
+ExperimentResult run_experiment(layout::TypeTable& types,
+                                trace::TraceContext& ctx,
+                                const tracer::Program& program,
+                                const cache::CacheConfig& config,
+                                const core::RuleSet* rules,
+                                core::TransformOptions transform_options) {
+  ExperimentResult result;
+  result.original = tracer::run_program(types, ctx, program);
+  result.before = simulate_trace(ctx, result.original, config);
+
+  if (rules != nullptr) {
+    result.transformed =
+        core::transform_trace(*rules, ctx, result.original, transform_options,
+                              &result.transform_stats);
+    result.after = simulate_trace(ctx, result.transformed, config);
+    result.diff =
+        trace::summarize(trace::diff_traces(result.original, result.transformed));
+    result.transformed_ran = true;
+  } else {
+    result.transformed = result.original;
+  }
+  return result;
+}
+
+}  // namespace tdt::analysis

@@ -1,0 +1,58 @@
+// Experiment runner: the full analysis cycle of the paper's Figure 2 in
+// one call — trace a kernel, optionally transform the trace through a
+// rule set, simulate both traces on a cache configuration, and collect
+// per-set activity plus a trace diff. Every figure-reproduction bench and
+// most examples are thin wrappers over this.
+#pragma once
+
+#include <map>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "analysis/set_activity.hpp"
+#include "cache/config.hpp"
+#include "cache/cache.hpp"
+#include "core/rules.hpp"
+#include "core/transformer.hpp"
+#include "trace/diff.hpp"
+#include "trace/record.hpp"
+#include "tracer/ast.hpp"
+
+namespace tdt::analysis {
+
+/// Everything one trace → simulate pass produces.
+struct SimulationResult {
+  cache::LevelStats l1;
+  std::map<std::string, std::vector<SetCell>> per_set;  ///< variable -> sets
+  std::vector<std::string> variable_order;
+  std::uint64_t num_sets = 0;
+};
+
+/// Result of a full before/after experiment.
+struct ExperimentResult {
+  std::vector<trace::TraceRecord> original;
+  std::vector<trace::TraceRecord> transformed;  ///< == original when no rules
+  SimulationResult before;
+  SimulationResult after;  ///< meaningful only when rules were applied
+  core::TransformStats transform_stats;
+  trace::DiffSummary diff;
+  bool transformed_ran = false;
+};
+
+/// Traces `program` (types in `types`), simulates on `config`, and — when
+/// `rules` is non-null — transforms and re-simulates. `ctx` supplies name
+/// interning and must outlive the result.
+ExperimentResult run_experiment(layout::TypeTable& types,
+                                trace::TraceContext& ctx,
+                                const tracer::Program& program,
+                                const cache::CacheConfig& config,
+                                const core::RuleSet* rules = nullptr,
+                                core::TransformOptions transform_options = {});
+
+/// Simulates an existing trace on `config`, collecting per-set activity.
+SimulationResult simulate_trace(const trace::TraceContext& ctx,
+                                std::span<const trace::TraceRecord> records,
+                                const cache::CacheConfig& config);
+
+}  // namespace tdt::analysis

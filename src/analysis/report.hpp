@@ -1,0 +1,36 @@
+// Report renderers for per-set activity: fixed-width tables (the series
+// the paper's figures plot), CSV/gnuplot output matching the paper's
+// plotting pipeline ("plotting the graphs is supplemented through scripts
+// that parse DineroIV output"), and an ASCII chart for terminals.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "analysis/set_activity.hpp"
+
+namespace tdt::analysis {
+
+/// Table with one row per cache set and hit/miss columns per variable —
+/// the exact series of Figures 3/4/6/7/10/11.
+[[nodiscard]] std::string set_table(const SetActivityCollector& collector,
+                                    const std::vector<std::string>& variables,
+                                    bool skip_empty_sets = true);
+
+/// CSV with columns: set, <var>_hits, <var>_misses, ...
+[[nodiscard]] std::string set_csv(const SetActivityCollector& collector,
+                                  const std::vector<std::string>& variables);
+
+/// Gnuplot-ready data file + plot script (written side by side as
+/// `<prefix>.dat` and `<prefix>.gp`). Throws Error{Io} on failure.
+void write_gnuplot(const SetActivityCollector& collector,
+                   const std::vector<std::string>& variables,
+                   const std::string& prefix, const std::string& title);
+
+/// Log-scale ASCII bar chart of one variable's hits (upper panel) and
+/// misses (lower panel) per set, visually mirroring the paper's figures.
+[[nodiscard]] std::string ascii_chart(const SetActivityCollector& collector,
+                                      const std::string& variable,
+                                      std::size_t max_width = 64);
+
+}  // namespace tdt::analysis

@@ -1,0 +1,63 @@
+#include "analysis/set_activity.hpp"
+
+#include "util/error.hpp"
+
+namespace tdt::analysis {
+
+SetActivityCollector::SetActivityCollector(const trace::TraceContext& ctx,
+                                           std::uint64_t num_sets)
+    : ctx_(&ctx), num_sets_(num_sets) {
+  internal_check(num_sets > 0, "collector needs at least one set");
+  empty_.assign(num_sets_, SetCell{});
+}
+
+void SetActivityCollector::on_access(const trace::TraceRecord& rec,
+                                     const cache::AccessOutcome& outcome) {
+  internal_check(outcome.set < num_sets_,
+                 "outcome set exceeds collector width");
+  const std::string name = rec.var.empty()
+                               ? std::string("<anon>")
+                               : std::string(ctx_->name(rec.var.base));
+  auto [it, fresh] = cells_.try_emplace(name);
+  if (fresh) {
+    it->second.assign(num_sets_, SetCell{});
+    order_.push_back(name);
+  }
+  SetCell& cell = it->second[outcome.set];
+  if (outcome.hit) {
+    ++cell.hits;
+  } else {
+    ++cell.misses;
+  }
+}
+
+const std::vector<SetCell>& SetActivityCollector::series(
+    const std::string& variable) const {
+  if (auto it = cells_.find(variable); it != cells_.end()) {
+    return it->second;
+  }
+  return empty_;
+}
+
+std::vector<SetCell> SetActivityCollector::totals() const {
+  std::vector<SetCell> out(num_sets_);
+  for (const auto& [name, cells] : cells_) {
+    for (std::uint64_t s = 0; s < num_sets_; ++s) {
+      out[s].hits += cells[s].hits;
+      out[s].misses += cells[s].misses;
+    }
+  }
+  return out;
+}
+
+std::vector<std::uint64_t> SetActivityCollector::active_sets(
+    const std::string& variable) const {
+  std::vector<std::uint64_t> out;
+  const std::vector<SetCell>& cells = series(variable);
+  for (std::uint64_t s = 0; s < cells.size(); ++s) {
+    if (cells[s].hits != 0 || cells[s].misses != 0) out.push_back(s);
+  }
+  return out;
+}
+
+}  // namespace tdt::analysis

@@ -1,0 +1,90 @@
+#include "analysis/var_stats.hpp"
+
+#include <algorithm>
+
+#include "util/table.hpp"
+
+namespace tdt::analysis {
+namespace {
+
+std::string var_name(const trace::TraceContext& ctx,
+                     const trace::TraceRecord& rec) {
+  return rec.var.empty() ? std::string("<anon>")
+                         : std::string(ctx.name(rec.var.base));
+}
+
+void tally(HitMiss& hm, const cache::AccessOutcome& outcome) {
+  if (outcome.hit) {
+    ++hm.hits;
+    return;
+  }
+  ++hm.misses;
+  switch (outcome.miss_class) {
+    case cache::MissClass::Compulsory: ++hm.compulsory; break;
+    case cache::MissClass::Capacity: ++hm.capacity; break;
+    case cache::MissClass::Conflict: ++hm.conflict; break;
+    case cache::MissClass::None: break;
+  }
+}
+
+}  // namespace
+
+VarStatsCollector::VarStatsCollector(const trace::TraceContext& ctx)
+    : ctx_(&ctx) {}
+
+void VarStatsCollector::on_access(const trace::TraceRecord& rec,
+                                  const cache::AccessOutcome& outcome) {
+  tally(by_variable_[var_name(*ctx_, rec)], outcome);
+  tally(by_function_[std::string(ctx_->name(rec.function))], outcome);
+}
+
+std::string VarStatsCollector::report() const {
+  std::string out;
+  auto emit = [&](const char* title,
+                  const std::map<std::string, HitMiss>& map) {
+    TextTable t({title, "hits", "misses", "miss%", "compulsory", "capacity",
+                 "conflict"});
+    for (const auto& [name, hm] : map) {
+      t.add(name, hm.hits, hm.misses, 100.0 * hm.miss_ratio(), hm.compulsory,
+            hm.capacity, hm.conflict);
+    }
+    out += t.render();
+    out += '\n';
+  };
+  emit("variable", by_variable_);
+  emit("function", by_function_);
+  return out;
+}
+
+ConflictCollector::ConflictCollector(const trace::TraceContext& ctx)
+    : ctx_(&ctx) {}
+
+void ConflictCollector::on_access(const trace::TraceRecord& rec,
+                                  const cache::AccessOutcome& outcome) {
+  const std::string name = var_name(*ctx_, rec);
+  if (!outcome.hit && outcome.evicted) {
+    if (auto it = block_owner_.find(outcome.evicted_block);
+        it != block_owner_.end()) {
+      ++pairs_[{name, it->second}];
+      block_owner_.erase(it);
+    }
+  }
+  if (!outcome.hit) {
+    block_owner_[outcome.block] = name;
+  }
+}
+
+std::string ConflictCollector::report(std::size_t top_n) const {
+  std::vector<std::pair<std::pair<std::string, std::string>, std::uint64_t>>
+      rows(pairs_.begin(), pairs_.end());
+  std::sort(rows.begin(), rows.end(),
+            [](const auto& a, const auto& b) { return a.second > b.second; });
+  if (rows.size() > top_n) rows.resize(top_n);
+  TextTable t({"evictor", "evicted", "evictions"});
+  for (const auto& [pair, count] : rows) {
+    t.add(pair.first, pair.second, count);
+  }
+  return t.render();
+}
+
+}  // namespace tdt::analysis

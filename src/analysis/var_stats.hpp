@@ -1,0 +1,87 @@
+// Function- and variable-granularity cache statistics plus the conflict
+// report: "a user is able to observe conflicts between program structures
+// and analyze if any transformation should be considered" (paper §I).
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "cache/sim.hpp"
+#include "trace/record.hpp"
+
+namespace tdt::analysis {
+
+/// Hit/miss/eviction counters for one function or variable.
+struct HitMiss {
+  std::uint64_t hits = 0;
+  std::uint64_t misses = 0;
+  std::uint64_t compulsory = 0;
+  std::uint64_t capacity = 0;
+  std::uint64_t conflict = 0;
+
+  [[nodiscard]] std::uint64_t accesses() const noexcept {
+    return hits + misses;
+  }
+  [[nodiscard]] double miss_ratio() const noexcept {
+    return accesses() == 0
+               ? 0.0
+               : static_cast<double>(misses) / static_cast<double>(accesses());
+  }
+};
+
+/// Per-variable and per-function accounting observer.
+class VarStatsCollector final : public cache::AccessObserver {
+ public:
+  explicit VarStatsCollector(const trace::TraceContext& ctx);
+
+  void on_access(const trace::TraceRecord& rec,
+                 const cache::AccessOutcome& outcome) override;
+
+  [[nodiscard]] const std::map<std::string, HitMiss>& by_variable()
+      const noexcept {
+    return by_variable_;
+  }
+  [[nodiscard]] const std::map<std::string, HitMiss>& by_function()
+      const noexcept {
+    return by_function_;
+  }
+
+  /// Renders the per-variable / per-function table.
+  [[nodiscard]] std::string report() const;
+
+ private:
+  const trace::TraceContext* ctx_;
+  std::map<std::string, HitMiss> by_variable_;
+  std::map<std::string, HitMiss> by_function_;
+};
+
+/// Conflict tracker: for each set, which variables evicted whose blocks.
+/// A large off-diagonal count between two variables is the signal that a
+/// transformation (padding, set pinning) should be considered.
+class ConflictCollector final : public cache::AccessObserver {
+ public:
+  explicit ConflictCollector(const trace::TraceContext& ctx);
+
+  void on_access(const trace::TraceRecord& rec,
+                 const cache::AccessOutcome& outcome) override;
+
+  /// (evictor variable, evicted variable) -> count. The evicted variable
+  /// is attributed by remembering which variable last filled each block.
+  [[nodiscard]] const std::map<std::pair<std::string, std::string>,
+                               std::uint64_t>&
+  pairs() const noexcept {
+    return pairs_;
+  }
+
+  /// Renders the top-N conflict pairs.
+  [[nodiscard]] std::string report(std::size_t top_n = 10) const;
+
+ private:
+  const trace::TraceContext* ctx_;
+  std::map<std::uint64_t, std::string> block_owner_;
+  std::map<std::pair<std::string, std::string>, std::uint64_t> pairs_;
+};
+
+}  // namespace tdt::analysis

@@ -1,0 +1,271 @@
+#include "cache/cache.hpp"
+
+#include "util/error.hpp"
+
+namespace tdt::cache {
+
+std::string_view to_string(MissClass c) noexcept {
+  switch (c) {
+    case MissClass::None: return "hit";
+    case MissClass::Compulsory: return "compulsory";
+    case MissClass::Capacity: return "capacity";
+    case MissClass::Conflict: return "conflict";
+  }
+  return "?";
+}
+
+CacheLevel::CacheLevel(CacheConfig config, CacheLevel* next)
+    : config_(std::move(config)), next_(next), rng_(config_.random_seed) {
+  config_.validate();
+  lines_.assign(config_.num_sets() * config_.effective_assoc(), Line{});
+  rr_cursor_.assign(config_.num_sets(), 0);
+  set_stats_.assign(config_.num_sets(), SetStats{});
+}
+
+void CacheLevel::reset() {
+  for (Line& l : lines_) l = Line{};
+  rr_cursor_.assign(config_.num_sets(), 0);
+  set_stats_.assign(config_.num_sets(), SetStats{});
+  stats_ = LevelStats{};
+  clock_ = 0;
+  ever_seen_.clear();
+  shadow_lru_.clear();
+  shadow_index_.clear();
+  rng_ = Xoshiro256(config_.random_seed);
+}
+
+void CacheLevel::flush() {
+  for (Line& l : lines_) {
+    l.valid = false;
+    l.dirty = false;
+  }
+  rr_cursor_.assign(config_.num_sets(), 0);
+}
+
+CacheLevel::Line* CacheLevel::find_line(std::uint64_t set,
+                                        std::uint64_t block) {
+  const std::uint32_t ways = config_.effective_assoc();
+  Line* base = &lines_[set * ways];
+  for (std::uint32_t w = 0; w < ways; ++w) {
+    if (base[w].valid && base[w].block == block) return &base[w];
+  }
+  return nullptr;
+}
+
+std::uint32_t CacheLevel::pick_victim(std::uint64_t set) {
+  const std::uint32_t ways = config_.effective_assoc();
+  Line* base = &lines_[set * ways];
+  // Prefer an invalid way.
+  for (std::uint32_t w = 0; w < ways; ++w) {
+    if (!base[w].valid) return w;
+  }
+  switch (config_.replacement) {
+    case ReplacementPolicy::Lru: {
+      std::uint32_t victim = 0;
+      for (std::uint32_t w = 1; w < ways; ++w) {
+        if (base[w].last_use < base[victim].last_use) victim = w;
+      }
+      return victim;
+    }
+    case ReplacementPolicy::Fifo: {
+      std::uint32_t victim = 0;
+      for (std::uint32_t w = 1; w < ways; ++w) {
+        if (base[w].fill_time < base[victim].fill_time) victim = w;
+      }
+      return victim;
+    }
+    case ReplacementPolicy::Random:
+      return static_cast<std::uint32_t>(rng_.next_below(ways));
+    case ReplacementPolicy::RoundRobin: {
+      const std::uint32_t victim = rr_cursor_[set];
+      rr_cursor_[set] = (victim + 1) % ways;
+      return victim;
+    }
+  }
+  return 0;
+}
+
+void CacheLevel::touch_shadow(std::uint64_t block) {
+  // Fully associative LRU of the same block capacity; used to separate
+  // capacity misses (miss here too) from conflict misses (hit here).
+  if (auto it = shadow_index_.find(block); it != shadow_index_.end()) {
+    shadow_lru_.erase(it->second);
+  } else if (shadow_lru_.size() >= config_.num_blocks()) {
+    shadow_index_.erase(shadow_lru_.back());
+    shadow_lru_.pop_back();
+  }
+  shadow_lru_.push_front(block);
+  shadow_index_[block] = shadow_lru_.begin();
+}
+
+MissClass CacheLevel::classify_miss(std::uint64_t block) {
+  if (!ever_seen_.contains(block)) return MissClass::Compulsory;
+  if (!shadow_index_.contains(block)) return MissClass::Capacity;
+  return MissClass::Conflict;
+}
+
+void CacheLevel::prefetch_block(std::uint64_t block) {
+  const std::uint64_t set = block % config_.num_sets();
+  if (find_line(set, block) != nullptr) return;  // already resident
+  ++stats_.prefetches;
+  if (next_ != nullptr) {
+    next_->access(block * config_.block_size, /*is_write=*/false);
+  }
+  const std::uint32_t way = pick_victim(set);
+  Line& victim = lines_[set * config_.effective_assoc() + way];
+  if (victim.valid) {
+    ++stats_.evictions;
+    if (victim.dirty) {
+      ++stats_.writebacks;
+      if (next_ != nullptr) {
+        next_->access(victim.block * config_.block_size, /*is_write=*/true);
+      }
+    }
+  }
+  victim.valid = true;
+  victim.block = block;
+  victim.dirty = false;
+  victim.last_use = clock_;
+  victim.fill_time = clock_;
+  victim.prefetched = true;
+  ever_seen_.insert(block);
+}
+
+void CacheLevel::maybe_prefetch(std::uint64_t block, bool demand_hit,
+                                bool hit_on_prefetched) {
+  switch (config_.prefetch) {
+    case PrefetchPolicy::None:
+      return;
+    case PrefetchPolicy::Always:
+      prefetch_block(block + 1);
+      return;
+    case PrefetchPolicy::Miss:
+      if (!demand_hit) prefetch_block(block + 1);
+      return;
+    case PrefetchPolicy::Tagged:
+      // First demand reference to a block: a demand miss, or the first
+      // demand hit on a line the prefetcher brought in.
+      if (!demand_hit || hit_on_prefetched) prefetch_block(block + 1);
+      return;
+  }
+}
+
+AccessOutcome CacheLevel::access(std::uint64_t address, bool is_write) {
+  ++clock_;
+  const std::uint64_t block = config_.block_of(address);
+  const std::uint64_t set = block % config_.num_sets();
+
+  AccessOutcome out;
+  out.set = set;
+  out.block = block;
+
+  bool hit_on_prefetched = false;
+  Line* line = find_line(set, block);
+  if (line != nullptr) {
+    out.hit = true;
+    if (line->prefetched) {
+      hit_on_prefetched = true;
+      line->prefetched = false;
+      ++stats_.prefetch_hits;
+    }
+    line->last_use = clock_;
+    if (is_write) {
+      if (config_.write == WritePolicy::WriteThrough) {
+        if (next_ != nullptr) next_->access(address, /*is_write=*/true);
+      } else {
+        line->dirty = true;
+      }
+      ++stats_.write_hits;
+    } else {
+      ++stats_.read_hits;
+    }
+    ++set_stats_[set].hits;
+  } else {
+    out.hit = false;
+    out.miss_class = classify_miss(block);
+    switch (out.miss_class) {
+      case MissClass::Compulsory: ++stats_.compulsory; break;
+      case MissClass::Capacity: ++stats_.capacity; break;
+      case MissClass::Conflict: ++stats_.conflict; break;
+      case MissClass::None: break;
+    }
+    if (is_write) {
+      ++stats_.write_misses;
+    } else {
+      ++stats_.read_misses;
+    }
+    ++set_stats_[set].misses;
+
+    const bool allocate =
+        !is_write || config_.alloc == AllocPolicy::WriteAllocate;
+    if (is_write && (config_.write == WritePolicy::WriteThrough || !allocate)) {
+      // The write itself goes to the next level.
+      if (next_ != nullptr) next_->access(address, /*is_write=*/true);
+    }
+    if (allocate) {
+      // Demand fetch from the next level.
+      if (next_ != nullptr) next_->access(address, /*is_write=*/false);
+      const std::uint32_t way = pick_victim(set);
+      Line& victim = lines_[set * config_.effective_assoc() + way];
+      if (victim.valid) {
+        out.evicted = true;
+        out.evicted_block = victim.block;
+        ++stats_.evictions;
+        if (victim.dirty) {
+          out.writeback = true;
+          ++stats_.writebacks;
+          if (next_ != nullptr) {
+            next_->access(victim.block * config_.block_size,
+                          /*is_write=*/true);
+          }
+        }
+      }
+      victim.valid = true;
+      victim.block = block;
+      victim.dirty =
+          is_write && config_.write == WritePolicy::WriteBack;
+      victim.last_use = clock_;
+      victim.fill_time = clock_;
+      victim.prefetched = false;
+    }
+  }
+
+  ever_seen_.insert(block);
+  touch_shadow(block);
+  maybe_prefetch(block, out.hit, hit_on_prefetched);
+  return out;
+}
+
+AccessOutcome CacheLevel::access_range(std::uint64_t address,
+                                       std::uint64_t size, bool is_write) {
+  internal_check(size > 0, "access_range of zero bytes");
+  const std::uint64_t first_block = config_.block_of(address);
+  const std::uint64_t last_block = config_.block_of(address + size - 1);
+  AccessOutcome first = access(address, is_write);
+  for (std::uint64_t b = first_block + 1; b <= last_block; ++b) {
+    access(b * config_.block_size, is_write);
+  }
+  return first;
+}
+
+bool CacheLevel::contains_block(std::uint64_t block) const {
+  const std::uint64_t set = block % config_.num_sets();
+  const std::uint32_t ways = config_.effective_assoc();
+  const Line* base = &lines_[set * ways];
+  for (std::uint32_t w = 0; w < ways; ++w) {
+    if (base[w].valid && base[w].block == block) return true;
+  }
+  return false;
+}
+
+std::uint32_t CacheLevel::set_occupancy(std::uint64_t set) const {
+  const std::uint32_t ways = config_.effective_assoc();
+  const Line* base = &lines_[set * ways];
+  std::uint32_t n = 0;
+  for (std::uint32_t w = 0; w < ways; ++w) {
+    if (base[w].valid) ++n;
+  }
+  return n;
+}
+
+}  // namespace tdt::cache

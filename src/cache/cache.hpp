@@ -1,0 +1,146 @@
+// One cache level: the trace-driven simulator core, modelled on DineroIV.
+// Tracks hits/misses globally, per set, and per access kind; classifies
+// every miss as compulsory, capacity, or conflict (via an infinite-seen
+// set and a same-capacity fully-associative LRU shadow); supports
+// write-back/write-through and allocate policies and four replacement
+// policies including the PPC440's round-robin.
+#pragma once
+
+#include <cstdint>
+#include <list>
+#include <optional>
+#include <unordered_map>
+#include <unordered_set>
+#include <vector>
+
+#include "cache/config.hpp"
+#include "util/rng.hpp"
+
+namespace tdt::cache {
+
+/// Classification of one access.
+enum class MissClass : std::uint8_t {
+  None,        ///< the access hit
+  Compulsory,  ///< first touch of the block, ever
+  Capacity,    ///< would miss even in a fully associative cache
+  Conflict,    ///< set conflict: fully associative cache would have hit
+};
+
+[[nodiscard]] std::string_view to_string(MissClass c) noexcept;
+
+/// What happened on one block access.
+struct AccessOutcome {
+  bool hit = false;
+  MissClass miss_class = MissClass::None;
+  std::uint64_t set = 0;
+  std::uint64_t block = 0;  ///< block number (address / block_size)
+  bool evicted = false;
+  std::uint64_t evicted_block = 0;
+  bool writeback = false;  ///< eviction was dirty (write-back caches)
+};
+
+/// Aggregate counters for one level.
+struct LevelStats {
+  std::uint64_t read_hits = 0, read_misses = 0;
+  std::uint64_t write_hits = 0, write_misses = 0;
+  std::uint64_t compulsory = 0, capacity = 0, conflict = 0;
+  std::uint64_t writebacks = 0;
+  std::uint64_t evictions = 0;
+  std::uint64_t prefetches = 0;     ///< lines brought in by the prefetcher
+  std::uint64_t prefetch_hits = 0;  ///< demand hits on prefetched lines
+
+  [[nodiscard]] std::uint64_t hits() const noexcept {
+    return read_hits + write_hits;
+  }
+  [[nodiscard]] std::uint64_t misses() const noexcept {
+    return read_misses + write_misses;
+  }
+  [[nodiscard]] std::uint64_t accesses() const noexcept {
+    return hits() + misses();
+  }
+  [[nodiscard]] double miss_ratio() const noexcept {
+    const std::uint64_t n = accesses();
+    return n == 0 ? 0.0 : static_cast<double>(misses()) / static_cast<double>(n);
+  }
+};
+
+/// Per-set hit/miss counters (the series plotted in the paper's figures).
+struct SetStats {
+  std::uint64_t hits = 0;
+  std::uint64_t misses = 0;
+};
+
+/// A single cache level. On misses and dirty evictions the access is
+/// propagated to `next` (when non-null), simulating a hierarchy.
+class CacheLevel {
+ public:
+  explicit CacheLevel(CacheConfig config, CacheLevel* next = nullptr);
+
+  /// Accesses one block-aligned region containing `address`. `size` must
+  /// not cross a block boundary — use access_range for arbitrary spans.
+  AccessOutcome access(std::uint64_t address, bool is_write);
+
+  /// Accesses an arbitrary [address, address+size) span, splitting on
+  /// block boundaries. Returns the outcome of the first block (the
+  /// record's primary access) — follow-on blocks update stats only.
+  AccessOutcome access_range(std::uint64_t address, std::uint64_t size,
+                             bool is_write);
+
+  /// Invalidates all lines and zeroes statistics.
+  void reset();
+
+  /// Invalidates all lines but keeps statistics (cold restart).
+  void flush();
+
+  [[nodiscard]] const CacheConfig& config() const noexcept { return config_; }
+  [[nodiscard]] const LevelStats& stats() const noexcept { return stats_; }
+  [[nodiscard]] const std::vector<SetStats>& set_stats() const noexcept {
+    return set_stats_;
+  }
+  [[nodiscard]] CacheLevel* next() const noexcept { return next_; }
+
+  /// True when `block` (block number) currently resides in the cache.
+  [[nodiscard]] bool contains_block(std::uint64_t block) const;
+
+  /// Number of valid lines currently in `set`.
+  [[nodiscard]] std::uint32_t set_occupancy(std::uint64_t set) const;
+
+ private:
+  struct Line {
+    std::uint64_t block = 0;
+    std::uint64_t last_use = 0;   // LRU
+    std::uint64_t fill_time = 0;  // FIFO
+    bool valid = false;
+    bool dirty = false;
+    bool prefetched = false;  // filled by the prefetcher, untouched since
+  };
+
+  Line* find_line(std::uint64_t set, std::uint64_t block);
+  std::uint32_t pick_victim(std::uint64_t set);
+  MissClass classify_miss(std::uint64_t block);
+  void touch_shadow(std::uint64_t block);
+
+  /// Fills `block` ahead of demand (no stats beyond prefetch counters,
+  /// no classification); evictions it causes are real.
+  void prefetch_block(std::uint64_t block);
+  /// Issues the configured prefetch after a demand access.
+  void maybe_prefetch(std::uint64_t block, bool demand_hit,
+                      bool hit_on_prefetched);
+
+  CacheConfig config_;
+  CacheLevel* next_;
+  std::vector<Line> lines_;  // sets * ways, row-major by set
+  std::vector<std::uint32_t> rr_cursor_;
+  LevelStats stats_;
+  std::vector<SetStats> set_stats_;
+  std::uint64_t clock_ = 0;
+  Xoshiro256 rng_;
+
+  // Miss classification state.
+  std::unordered_set<std::uint64_t> ever_seen_;
+  std::list<std::uint64_t> shadow_lru_;  // fully associative, same capacity
+  std::unordered_map<std::uint64_t, std::list<std::uint64_t>::iterator>
+      shadow_index_;
+};
+
+}  // namespace tdt::cache

@@ -1,0 +1,97 @@
+// Cache geometry and policy configuration, DineroIV-style. Presets cover
+// the two machines the paper simulates: a 32 KiB direct-mapped cache with
+// 32-byte blocks (Figures 3-7) and the PowerPC 440 L1 (32 KiB, 64-way,
+// 32-byte lines, round-robin eviction; Figures 10-11).
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+namespace tdt::cache {
+
+/// Victim selection within a set.
+enum class ReplacementPolicy : std::uint8_t {
+  Lru,         ///< least recently used
+  Fifo,        ///< oldest fill evicted first
+  Random,      ///< uniform random victim (deterministic xoshiro stream)
+  RoundRobin,  ///< per-set cursor, PPC440-style
+};
+
+/// Write-hit handling.
+enum class WritePolicy : std::uint8_t {
+  WriteBack,     ///< dirty lines written to the next level on eviction
+  WriteThrough,  ///< every write forwarded immediately
+};
+
+/// Write-miss handling.
+enum class AllocPolicy : std::uint8_t {
+  WriteAllocate,    ///< write misses fill the line
+  NoWriteAllocate,  ///< write misses bypass the cache
+};
+
+/// Sequential (next-block) hardware prefetching, as in DineroIV's
+/// -Tfetch options.
+enum class PrefetchPolicy : std::uint8_t {
+  None,    ///< demand fetches only
+  Always,  ///< prefetch block+1 on every access
+  Miss,    ///< prefetch block+1 on every demand miss
+  Tagged,  ///< prefetch block+1 on the first demand reference to a block
+           ///< (demand miss or first hit on a prefetched line)
+};
+
+[[nodiscard]] std::string_view to_string(PrefetchPolicy p) noexcept;
+
+[[nodiscard]] std::string_view to_string(ReplacementPolicy p) noexcept;
+[[nodiscard]] std::string_view to_string(WritePolicy p) noexcept;
+[[nodiscard]] std::string_view to_string(AllocPolicy p) noexcept;
+
+/// Geometry + policies of one cache level.
+struct CacheConfig {
+  std::string name = "L1";
+  std::uint64_t size = 32 * 1024;  ///< total data bytes
+  std::uint64_t block_size = 32;   ///< line size in bytes (power of two)
+  std::uint32_t assoc = 1;         ///< ways per set; 0 = fully associative
+  ReplacementPolicy replacement = ReplacementPolicy::Lru;
+  WritePolicy write = WritePolicy::WriteBack;
+  AllocPolicy alloc = AllocPolicy::WriteAllocate;
+  std::uint64_t random_seed = 1;   ///< seed for ReplacementPolicy::Random
+  PrefetchPolicy prefetch = PrefetchPolicy::None;
+
+  /// Throws Error{Config} unless sizes are powers of two and consistent.
+  void validate() const;
+
+  [[nodiscard]] std::uint64_t num_blocks() const noexcept {
+    return size / block_size;
+  }
+  [[nodiscard]] std::uint32_t effective_assoc() const noexcept {
+    return assoc == 0 ? static_cast<std::uint32_t>(num_blocks()) : assoc;
+  }
+  [[nodiscard]] std::uint64_t num_sets() const noexcept {
+    return num_blocks() / effective_assoc();
+  }
+  [[nodiscard]] std::uint64_t block_of(std::uint64_t address) const noexcept {
+    return address / block_size;
+  }
+  [[nodiscard]] std::uint64_t set_of(std::uint64_t address) const noexcept {
+    return block_of(address) % num_sets();
+  }
+
+  /// One-line description, e.g. "L1 32 KiB, 32 B blocks, 1-way, lru".
+  [[nodiscard]] std::string describe() const;
+};
+
+/// The direct-mapped cache of Figures 3-7: 32 KiB, 32 B blocks, 1-way.
+[[nodiscard]] CacheConfig paper_direct_mapped();
+
+/// The PowerPC 440 L1 of Figures 10-11: 32 KiB, 32 B lines, 64-way,
+/// round-robin (paper §IV-A.3: "64 ways per set ... round-robin eviction";
+/// 16 sets).
+[[nodiscard]] CacheConfig ppc440();
+
+/// A typical modern L1D for the extension studies: 32 KiB, 64 B, 8-way LRU.
+[[nodiscard]] CacheConfig modern_l1();
+
+/// A 256 KiB, 64 B, 8-way LRU L2 for hierarchy studies.
+[[nodiscard]] CacheConfig modern_l2();
+
+}  // namespace tdt::cache

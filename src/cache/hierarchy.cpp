@@ -1,0 +1,51 @@
+#include "cache/hierarchy.hpp"
+
+#include "util/error.hpp"
+#include "util/table.hpp"
+
+namespace tdt::cache {
+
+CacheHierarchy::CacheHierarchy(std::vector<CacheConfig> configs) {
+  internal_check(!configs.empty(), "hierarchy needs at least one level");
+  // Build from the last level backwards so each level can point at its
+  // successor, then reverse into front-first order.
+  CacheLevel* next = nullptr;
+  std::vector<std::unique_ptr<CacheLevel>> reversed;
+  for (std::size_t i = configs.size(); i-- > 0;) {
+    reversed.push_back(std::make_unique<CacheLevel>(configs[i], next));
+    next = reversed.back().get();
+  }
+  for (std::size_t i = reversed.size(); i-- > 0;) {
+    levels_.push_back(std::move(reversed[i]));
+  }
+}
+
+CacheHierarchy::CacheHierarchy(CacheConfig config)
+    : CacheHierarchy(std::vector<CacheConfig>{std::move(config)}) {}
+
+void CacheHierarchy::reset() {
+  for (auto& l : levels_) l->reset();
+}
+
+std::string CacheHierarchy::report() const {
+  std::string out;
+  for (const auto& l : levels_) {
+    const LevelStats& s = l->stats();
+    out += l->config().describe() + "\n";
+    TextTable t({"metric", "reads", "writes", "total"});
+    t.add("hits", s.read_hits, s.write_hits, s.hits());
+    t.add("misses", s.read_misses, s.write_misses, s.misses());
+    t.add("accesses", s.read_hits + s.read_misses,
+          s.write_hits + s.write_misses, s.accesses());
+    out += t.render();
+    out += "miss ratio: " + std::to_string(s.miss_ratio()) + "\n";
+    out += "miss classes: compulsory " + std::to_string(s.compulsory) +
+           ", capacity " + std::to_string(s.capacity) + ", conflict " +
+           std::to_string(s.conflict) + "\n";
+    out += "evictions: " + std::to_string(s.evictions) + " (writebacks " +
+           std::to_string(s.writebacks) + ")\n\n";
+  }
+  return out;
+}
+
+}  // namespace tdt::cache

@@ -1,0 +1,48 @@
+// A multi-level cache hierarchy: owns CacheLevels chained so that misses
+// and write-backs at level i propagate to level i+1. A trailing implicit
+// "memory" absorbs the last level's traffic.
+#pragma once
+
+#include <memory>
+#include <span>
+#include <string>
+#include <vector>
+
+#include "cache/cache.hpp"
+
+namespace tdt::cache {
+
+/// Owning container of chained cache levels.
+class CacheHierarchy {
+ public:
+  /// Builds levels from first (closest to the CPU) to last. Must be
+  /// non-empty.
+  explicit CacheHierarchy(std::vector<CacheConfig> configs);
+
+  /// Convenience single-level hierarchy.
+  explicit CacheHierarchy(CacheConfig config);
+
+  [[nodiscard]] std::size_t depth() const noexcept { return levels_.size(); }
+
+  [[nodiscard]] CacheLevel& level(std::size_t i) { return *levels_[i]; }
+  [[nodiscard]] const CacheLevel& level(std::size_t i) const {
+    return *levels_[i];
+  }
+
+  /// First (L1) level — the one trace accesses enter through.
+  [[nodiscard]] CacheLevel& l1() { return *levels_.front(); }
+  [[nodiscard]] const CacheLevel& l1() const { return *levels_.front(); }
+
+  /// Resets all levels (lines and statistics).
+  void reset();
+
+  /// Renders a stats report across all levels.
+  [[nodiscard]] std::string report() const;
+
+ private:
+  // Levels stored back-to-front internally so construction can pass the
+  // already-built next pointer; accessors re-map to front-first order.
+  std::vector<std::unique_ptr<CacheLevel>> levels_;
+};
+
+}  // namespace tdt::cache

@@ -1,0 +1,112 @@
+#include "cache/multicore.hpp"
+
+#include "util/error.hpp"
+
+namespace tdt::cache {
+namespace {
+
+std::uint64_t touch_key(std::uint32_t core, std::uint64_t block) {
+  return (static_cast<std::uint64_t>(core) << 48) ^ block;
+}
+
+}  // namespace
+
+MultiCoreSim::MultiCoreSim(MesiSystem& system, const trace::TraceContext& ctx)
+    : system_(&system), ctx_(&ctx) {}
+
+void MultiCoreSim::on_record(const trace::TraceRecord& rec) {
+  if (rec.kind == trace::AccessKind::Instr) return;
+  const std::uint32_t core =
+      (rec.thread == 0 ? 0u : static_cast<std::uint32_t>(rec.thread) - 1u) %
+      system_->cores();
+  const bool is_write = rec.kind == trace::AccessKind::Store ||
+                        rec.kind == trace::AccessKind::Modify;
+  const CacheConfig& cfg = system_->config();
+  const std::uint64_t first = cfg.block_of(rec.address);
+  const std::uint64_t last = cfg.block_of(rec.address + rec.size - 1);
+
+  for (std::uint64_t block = first; block <= last; ++block) {
+    const std::uint64_t begin =
+        std::max(rec.address, block * cfg.block_size);
+    const std::uint64_t end = std::min(rec.address + rec.size,
+                                       (block + 1) * cfg.block_size);
+    const CoherenceOutcome outcome = system_->access(core, begin, is_write);
+
+    if (outcome.invalidated != 0) {
+      // Classify each remote copy we killed by whether the victim's last
+      // bytes in this line overlap ours.
+      for (std::uint32_t other = 0; other < system_->cores(); ++other) {
+        if (other == core) continue;
+        auto it = last_touch_.find(touch_key(other, block));
+        if (it == last_touch_.end() || !it->second.valid) continue;
+        const Touch& t = it->second;
+        const bool overlap = begin < t.end && t.begin < end;
+        if (overlap) {
+          ++true_sharing_;
+        } else {
+          ++false_sharing_;
+          const std::string writer = rec.var.empty()
+                                         ? std::string("<anon>")
+                                         : std::string(ctx_->name(rec.var.base));
+          const std::string victim =
+              t.var.empty() ? std::string("<anon>")
+                            : std::string(ctx_->name(t.var));
+          ++pairs_[{writer, victim}];
+        }
+        it->second.valid = false;  // the copy is gone
+      }
+    }
+    // Record this core's touch.
+    Touch& mine = last_touch_[touch_key(core, block)];
+    mine.begin = begin;
+    mine.end = end;
+    mine.var = rec.var.base;
+    mine.valid = true;
+  }
+}
+
+void MultiCoreSim::simulate(std::span<const trace::TraceRecord> records) {
+  for (const trace::TraceRecord& rec : records) on_record(rec);
+  on_end();
+}
+
+std::string MultiCoreSim::report() const {
+  std::string out = system_->report();
+  out += "sharing: " + std::to_string(true_sharing_) + " true, " +
+         std::to_string(false_sharing_) + " false invalidations\n";
+  for (const auto& [pair, count] : pairs_) {
+    out += "  false sharing: " + pair.first + " invalidates " + pair.second +
+           " x" + std::to_string(count) + "\n";
+  }
+  return out;
+}
+
+}  // namespace tdt::cache
+
+namespace tdt::trace {
+
+std::vector<TraceRecord> interleave_threads(
+    std::vector<std::vector<TraceRecord>> threads, std::size_t chunk) {
+  internal_check(chunk > 0, "interleave chunk must be positive");
+  std::vector<TraceRecord> out;
+  std::size_t total = 0;
+  for (const auto& t : threads) total += t.size();
+  out.reserve(total);
+  std::vector<std::size_t> cursor(threads.size(), 0);
+  bool progress = true;
+  while (progress) {
+    progress = false;
+    for (std::size_t t = 0; t < threads.size(); ++t) {
+      for (std::size_t k = 0; k < chunk && cursor[t] < threads[t].size();
+           ++k) {
+        TraceRecord rec = threads[t][cursor[t]++];
+        rec.thread = static_cast<std::uint16_t>(t + 1);
+        out.push_back(std::move(rec));
+        progress = true;
+      }
+    }
+  }
+  return out;
+}
+
+}  // namespace tdt::trace

@@ -1,0 +1,50 @@
+#include "cache/page_map.hpp"
+
+#include "util/error.hpp"
+
+namespace tdt::cache {
+
+std::string_view to_string(PagePolicy p) noexcept {
+  switch (p) {
+    case PagePolicy::Identity: return "identity";
+    case PagePolicy::FirstTouch: return "first-touch";
+    case PagePolicy::Random: return "random";
+  }
+  return "?";
+}
+
+PageMapper::PageMapper(PagePolicy policy, std::uint64_t page_size,
+                       std::uint64_t frame_count, std::uint64_t seed)
+    : policy_(policy),
+      page_size_(page_size),
+      frame_count_(frame_count),
+      rng_(seed) {
+  if (page_size == 0 || (page_size & (page_size - 1)) != 0) {
+    throw_config_error("page size must be a power of two, got " +
+                       std::to_string(page_size));
+  }
+}
+
+std::uint64_t PageMapper::translate(std::uint64_t vaddr) {
+  if (policy_ == PagePolicy::Identity) return vaddr;
+  const std::uint64_t vpage = vaddr / page_size_;
+  const std::uint64_t offset = vaddr % page_size_;
+  auto [it, fresh] = map_.try_emplace(vpage, 0);
+  if (fresh) {
+    switch (policy_) {
+      case PagePolicy::FirstTouch:
+        it->second = next_frame_++;
+        if (frame_count_ != 0) next_frame_ %= frame_count_;
+        break;
+      case PagePolicy::Random:
+        it->second =
+            frame_count_ != 0 ? rng_.next_below(frame_count_) : rng_.next();
+        break;
+      case PagePolicy::Identity:
+        break;
+    }
+  }
+  return it->second * page_size_ + offset;
+}
+
+}  // namespace tdt::cache

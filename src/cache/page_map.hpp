@@ -1,0 +1,60 @@
+// Virtual-to-physical page mapping — the paper's §VI future-work item:
+// "the trace information is limited ... to private caches only because
+// the addresses used are virtual addresses. ... This can be remedied ...
+// by mapping kernel page-maps information directly into the trace."
+//
+// A PageMapper translates the trace's virtual addresses to synthetic
+// physical frames under a chosen allocation policy, so physically-indexed
+// (shared-level) caches can be simulated. First-touch sequential
+// allocation models a freshly booted process; the random policy models a
+// fragmented machine where page colouring is uncontrolled.
+#pragma once
+
+#include <cstdint>
+#include <string_view>
+#include <unordered_map>
+
+#include "util/rng.hpp"
+
+namespace tdt::cache {
+
+/// How physical frames are assigned to newly touched virtual pages.
+enum class PagePolicy : std::uint8_t {
+  Identity,    ///< paddr == vaddr (private-cache behaviour, the default)
+  FirstTouch,  ///< frames handed out sequentially in first-touch order
+  Random,      ///< frames drawn from a deterministic random stream
+};
+
+[[nodiscard]] std::string_view to_string(PagePolicy p) noexcept;
+
+/// Deterministic virtual->physical translator.
+class PageMapper {
+ public:
+  /// `page_size` must be a power of two. `frame_count` bounds the
+  /// physical space for Random (frames may collide by design, modelling
+  /// page-colour conflicts); 0 means unbounded.
+  explicit PageMapper(PagePolicy policy, std::uint64_t page_size = 4096,
+                      std::uint64_t frame_count = 0,
+                      std::uint64_t seed = 1);
+
+  /// Translates a virtual address.
+  [[nodiscard]] std::uint64_t translate(std::uint64_t vaddr);
+
+  /// Number of distinct virtual pages seen so far.
+  [[nodiscard]] std::uint64_t pages_touched() const noexcept {
+    return map_.size();
+  }
+
+  [[nodiscard]] PagePolicy policy() const noexcept { return policy_; }
+  [[nodiscard]] std::uint64_t page_size() const noexcept { return page_size_; }
+
+ private:
+  PagePolicy policy_;
+  std::uint64_t page_size_;
+  std::uint64_t frame_count_;
+  std::uint64_t next_frame_ = 0;
+  Xoshiro256 rng_;
+  std::unordered_map<std::uint64_t, std::uint64_t> map_;  // vpage -> pframe
+};
+
+}  // namespace tdt::cache

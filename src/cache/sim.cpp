@@ -1,0 +1,41 @@
+#include "cache/sim.hpp"
+
+namespace tdt::cache {
+
+using trace::AccessKind;
+
+TraceCacheSim::TraceCacheSim(CacheHierarchy& hierarchy, SimOptions options)
+    : hierarchy_(&hierarchy), options_(options) {}
+
+void TraceCacheSim::add_observer(AccessObserver* observer) {
+  observers_.push_back(observer);
+}
+
+void TraceCacheSim::on_record(const trace::TraceRecord& rec) {
+  if (rec.kind == AccessKind::Instr && options_.ignore_instr) return;
+  CacheLevel& l1 = hierarchy_->l1();
+
+  const std::uint64_t address = options_.page_mapper != nullptr
+                                    ? options_.page_mapper->translate(rec.address)
+                                    : rec.address;
+  const bool is_write =
+      rec.kind == AccessKind::Store || rec.kind == AccessKind::Modify;
+  if (rec.kind == AccessKind::Modify && options_.modify_is_read_write) {
+    // DineroIV-style: the read part first (classified), then the write.
+    l1.access_range(address, rec.size, /*is_write=*/false);
+  }
+  const AccessOutcome outcome = l1.access_range(address, rec.size, is_write);
+  ++simulated_;
+  for (AccessObserver* obs : observers_) obs->on_access(rec, outcome);
+}
+
+void TraceCacheSim::on_end() {
+  for (AccessObserver* obs : observers_) obs->on_done();
+}
+
+void TraceCacheSim::simulate(std::span<const trace::TraceRecord> records) {
+  for (const trace::TraceRecord& rec : records) on_record(rec);
+  on_end();
+}
+
+}  // namespace tdt::cache

@@ -1,0 +1,71 @@
+// Integer index formulas for stride rules (paper Listing 11):
+//
+//   int lSetHashingArray[256((lI/8)*(16*8)+(lI%8))];
+//                            ^^^^^^^^^^^^^^^^^^^^ formula over lI
+//
+// The paper hard-codes the stride computation in the simulator; we parse
+// it as a real expression AST so arbitrary remap formulas work.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <string_view>
+
+#include "util/lexer.hpp"
+
+namespace tdt::core {
+
+/// Node of an integer expression over named variables.
+class Formula {
+ public:
+  enum class Op : std::uint8_t {
+    Const, Var, Add, Sub, Mul, Div, Mod, Neg,
+  };
+
+  /// Integer constant.
+  static Formula constant(std::int64_t v);
+  /// Named variable (e.g. "lI", the original flat index).
+  static Formula variable(std::string name);
+  static Formula binary(Op op, Formula lhs, Formula rhs);
+  static Formula negate(Formula operand);
+
+  Formula() = default;
+  Formula(Formula&&) noexcept = default;
+  Formula& operator=(Formula&&) noexcept = default;
+  Formula(const Formula& other);
+  Formula& operator=(const Formula& other);
+
+  /// Evaluates with every variable bound to `value` (single-variable
+  /// formulas, the common case). Throws Error{Semantic} on division by
+  /// zero.
+  [[nodiscard]] std::int64_t eval(std::int64_t value) const;
+
+  /// Renders with explicit parentheses, e.g. "((lI/8)*(128))+(lI%8)".
+  [[nodiscard]] std::string render() const;
+
+  /// True when the formula contains at least one variable.
+  [[nodiscard]] bool has_variable() const;
+
+  [[nodiscard]] Op op() const noexcept { return op_; }
+
+ private:
+  Op op_ = Op::Const;
+  std::int64_t value_ = 0;
+  std::string name_;
+  std::unique_ptr<Formula> lhs_;
+  std::unique_ptr<Formula> rhs_;
+};
+
+/// Parses a formula from `lex` (stops at the first token that cannot
+/// continue an expression). Grammar:
+///   expr   := term (('+'|'-') term)*
+///   term   := unary (('*'|'/'|'%') unary)*
+///   unary  := '-' unary | primary
+///   primary:= number | identifier | '(' expr ')'
+[[nodiscard]] Formula parse_formula(Lexer& lex);
+
+/// Parses a formula from a standalone string; requires full consumption.
+[[nodiscard]] Formula parse_formula(std::string_view text);
+
+}  // namespace tdt::core

@@ -1,0 +1,111 @@
+#include "core/mapping.hpp"
+
+#include "util/error.hpp"
+
+namespace tdt::core {
+
+using layout::PathStep;
+using layout::TypeId;
+using layout::TypeKind;
+using layout::TypeTable;
+
+layout::Path LeafTemplate::instantiate(
+    std::span<const std::uint64_t> indices) const {
+  if (indices.size() != wildcards) {
+    throw_semantic_error("template expects " + std::to_string(wildcards) +
+                         " indices, got " + std::to_string(indices.size()));
+  }
+  layout::Path path;
+  std::size_t next_index = 0;
+  for (const TemplateStep& step : steps) {
+    if (step.is_field) {
+      path.push_back(PathStep::make_field(step.field));
+    } else {
+      const std::uint64_t idx = indices[next_index++];
+      if (idx >= step.extent) {
+        throw_semantic_error("index " + std::to_string(idx) +
+                             " out of range for extent " +
+                             std::to_string(step.extent));
+      }
+      path.push_back(PathStep::make_index(idx));
+    }
+  }
+  return path;
+}
+
+namespace {
+
+void enumerate_impl(const TypeTable& table, TypeId type,
+                    std::vector<TemplateStep>& prefix,
+                    std::vector<std::string>& chain, std::uint64_t wildcards,
+                    std::vector<LeafTemplate>& out) {
+  switch (table.kind(type)) {
+    case TypeKind::Primitive:
+    case TypeKind::Pointer: {
+      LeafTemplate t;
+      t.steps = prefix;
+      t.chain = chain;
+      t.wildcards = wildcards;
+      t.leaf_type = type;
+      t.leaf_size = table.size_of(type);
+      out.push_back(std::move(t));
+      return;
+    }
+    case TypeKind::Array: {
+      prefix.push_back(TemplateStep{false, {}, table.array_count(type)});
+      enumerate_impl(table, table.element(type), prefix, chain, wildcards + 1,
+                     out);
+      prefix.pop_back();
+      return;
+    }
+    case TypeKind::Struct: {
+      for (const layout::FieldInfo& f : table.fields(type)) {
+        prefix.push_back(TemplateStep{true, f.name, 0});
+        chain.push_back(f.name);
+        enumerate_impl(table, f.type, prefix, chain, wildcards, out);
+        chain.pop_back();
+        prefix.pop_back();
+      }
+      return;
+    }
+  }
+}
+
+}  // namespace
+
+std::vector<LeafTemplate> enumerate_leaf_templates(const TypeTable& table,
+                                                   TypeId root) {
+  std::vector<LeafTemplate> out;
+  std::vector<TemplateStep> prefix;
+  std::vector<std::string> chain;
+  enumerate_impl(table, root, prefix, chain, 0, out);
+  return out;
+}
+
+ChainKey chain_key_of(std::span<const PathStep> path) {
+  ChainKey key;
+  for (const PathStep& step : path) {
+    if (step.is_field()) {
+      key.chain.push_back(step.field);
+    } else {
+      key.indices.push_back(step.index);
+    }
+  }
+  return key;
+}
+
+TemplateIndex::TemplateIndex(const TypeTable& table, TypeId root)
+    : templates_(enumerate_leaf_templates(table, root)) {}
+
+const LeafTemplate* TemplateIndex::find(
+    std::span<const std::string> chain) const {
+  for (const LeafTemplate& t : templates_) {
+    if (t.chain.size() == chain.size() &&
+        std::equal(t.chain.begin(), t.chain.end(), chain.begin())) {
+      return &t;
+    }
+  }
+  return nullptr;
+}
+
+}  // namespace tdt::core

@@ -1,0 +1,83 @@
+// Leaf-template mapping: the heart of structure-layout rewriting.
+//
+// The paper matches `in` and `out` structures "by element name" (§IV-A.1:
+// "structure's element names must match because we rely on the element's
+// name to map"). We formalize that: every leaf of a type is described by
+// its *field chain* (the sequence of field names on the way down, ignoring
+// array indices) plus a list of wildcard index slots (one per array
+// dimension crossed). Two layouts correspond when they expose the same
+// field chains with the same wildcard counts; an access is rewritten by
+// extracting its (chain, indices) and substituting the indices into the
+// matching template of the out layout.
+//
+//   in  lSoA.mX[7]      chain ["mX"], indices [7]
+//   out lAoS[16]{mX,..} template chain ["mX"], steps [*, .mX]
+//   =>  lAoS[7].mX
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <span>
+#include <string>
+#include <vector>
+
+#include "layout/path.hpp"
+#include "layout/type.hpp"
+
+namespace tdt::core {
+
+/// One step of a leaf template: a concrete field name or an index
+/// wildcard with its array extent.
+struct TemplateStep {
+  bool is_field = false;
+  std::string field;        // when is_field
+  std::uint64_t extent = 0; // when !is_field (array dimension size)
+};
+
+/// A leaf of a type with wildcard indices.
+struct LeafTemplate {
+  std::vector<TemplateStep> steps;
+  std::vector<std::string> chain;  ///< field names only, in order
+  std::uint64_t wildcards = 0;     ///< number of index slots
+  layout::TypeId leaf_type = layout::kInvalidType;
+  std::uint64_t leaf_size = 0;
+
+  /// Substitutes `indices` (one per wildcard, in order) producing a
+  /// concrete path. Throws Error{Semantic} when an index exceeds the
+  /// extent or the count mismatches.
+  [[nodiscard]] layout::Path instantiate(
+      std::span<const std::uint64_t> indices) const;
+};
+
+/// All leaf templates of `root`, in layout order.
+[[nodiscard]] std::vector<LeafTemplate> enumerate_leaf_templates(
+    const layout::TypeTable& table, layout::TypeId root);
+
+/// Decomposition of a concrete access path into chain + indices.
+struct ChainKey {
+  std::vector<std::string> chain;
+  std::vector<std::uint64_t> indices;
+};
+
+/// Extracts the chain key from a concrete layout path.
+[[nodiscard]] ChainKey chain_key_of(std::span<const layout::PathStep> path);
+
+/// Index of leaf templates searchable by field chain.
+class TemplateIndex {
+ public:
+  TemplateIndex() = default;
+  TemplateIndex(const layout::TypeTable& table, layout::TypeId root);
+
+  /// Finds the template whose chain equals `chain`; nullptr when absent.
+  [[nodiscard]] const LeafTemplate* find(
+      std::span<const std::string> chain) const;
+
+  [[nodiscard]] const std::vector<LeafTemplate>& all() const noexcept {
+    return templates_;
+  }
+
+ private:
+  std::vector<LeafTemplate> templates_;
+};
+
+}  // namespace tdt::core

@@ -1,0 +1,187 @@
+#include "core/rules.hpp"
+
+#include <algorithm>
+
+#include "util/error.hpp"
+#include "util/string_util.hpp"
+
+namespace tdt::core {
+
+const std::string& rule_in_name(const TransformRule& rule) {
+  if (const auto* s = std::get_if<StructRule>(&rule)) return s->in_name;
+  return std::get<StrideRule>(rule).in_name;
+}
+
+void RuleSet::add(TransformRule rule) {
+  const std::string& name = rule_in_name(rule);
+  if (find(name) != nullptr) {
+    throw_semantic_error("duplicate rule for variable '" + name +
+                         "' (rules are one-to-one)");
+  }
+  rules_.push_back(std::move(rule));
+}
+
+const TransformRule* RuleSet::find(std::string_view in_name) const {
+  for (const TransformRule& r : rules_) {
+    if (rule_in_name(r) == in_name) return &r;
+  }
+  return nullptr;
+}
+
+StructRuleMatcher::StructRuleMatcher(const layout::TypeTable& types,
+                                     const StructRule& rule)
+    : rule_(&rule), in_index_(types, rule.in_type) {
+  out_indices_.reserve(rule.outs.size());
+  for (const OutVar& out : rule.outs) {
+    out_indices_.emplace_back(types, out.type);
+  }
+}
+
+ChainRoute StructRuleMatcher::route(
+    std::span<const std::string> chain) const {
+  ChainRoute route;
+  // Outlined chains take priority: a chain starting with a linked nested
+  // field is served from the pool, never from a direct out field of the
+  // same name.
+  for (const PointerLink& link : rule_->links) {
+    if (chain.empty() || chain.front() != link.field) continue;
+    // Strip the nested-field name; the remainder is looked up in the pool.
+    std::vector<std::string> rest(chain.begin() + 1, chain.end());
+    for (std::size_t i = 0; i < rule_->outs.size(); ++i) {
+      if (rule_->outs[i].name != link.pool) continue;
+      const LeafTemplate* leaf = out_indices_[i].find(rest);
+      if (leaf == nullptr) break;
+      route.out = &rule_->outs[i];
+      route.leaf = leaf;
+      route.link = &link;
+      // Locate the owner out var and its pointer-field template.
+      for (std::size_t k = 0; k < rule_->outs.size(); ++k) {
+        if (rule_->outs[k].name != link.owner) continue;
+        route.link_owner = &rule_->outs[k];
+        const std::vector<std::string> ptr_chain{link.field};
+        route.pointer_leaf = out_indices_[k].find(ptr_chain);
+        break;
+      }
+      return route;
+    }
+  }
+  // Direct match in any out variable.
+  for (std::size_t i = 0; i < rule_->outs.size(); ++i) {
+    if (const LeafTemplate* leaf = out_indices_[i].find(chain)) {
+      route.out = &rule_->outs[i];
+      route.leaf = leaf;
+      return route;
+    }
+  }
+  return route;  // .out == nullptr: unmappable
+}
+
+std::vector<RuleDiagnostic> RuleSet::validate() const {
+  std::vector<RuleDiagnostic> diags;
+  auto warn = [&](std::string msg) {
+    diags.push_back({RuleDiagnostic::Severity::Warning, std::move(msg)});
+  };
+  auto error = [&](std::string msg) {
+    diags.push_back({RuleDiagnostic::Severity::Error, std::move(msg)});
+  };
+
+  for (const TransformRule& rule : rules_) {
+    if (const auto* stride = std::get_if<StrideRule>(&rule)) {
+      if (!stride->formula.has_variable()) {
+        warn("stride rule '" + stride->in_name +
+             "': formula has no index variable; every access maps to one "
+             "element");
+      }
+      // The formula must keep all remapped indices inside the out array.
+      for (std::uint64_t i = 0; i < stride->in_count; ++i) {
+        const std::int64_t j =
+            stride->formula.eval(static_cast<std::int64_t>(i));
+        if (j < 0 || static_cast<std::uint64_t>(j) >= stride->out_count) {
+          error("stride rule '" + stride->in_name + "': formula maps index " +
+                std::to_string(i) + " to " + std::to_string(j) +
+                ", outside " + stride->out_name + "[" +
+                std::to_string(stride->out_count) + "]");
+          break;
+        }
+      }
+      continue;
+    }
+
+    const auto& sr = std::get<StructRule>(rule);
+    StructRuleMatcher matcher(types_, sr);
+    // Every link must reference existing out vars and a pointer field.
+    for (const PointerLink& link : sr.links) {
+      ChainRoute probe;
+      bool owner_found = false, pool_found = false;
+      for (const OutVar& o : sr.outs) {
+        owner_found |= o.name == link.owner;
+        pool_found |= o.name == link.pool;
+      }
+      (void)probe;
+      if (!owner_found) {
+        error("rule '" + sr.in_name + "': link owner '" + link.owner +
+              "' is not an out variable");
+      }
+      if (!pool_found) {
+        error("rule '" + sr.in_name + "': link pool '" + link.pool +
+              "' is not an out variable");
+      }
+    }
+    // Route every in leaf.
+    std::vector<bool> out_leaf_covered;
+    std::vector<const LeafTemplate*> all_out_leaves;
+    for (std::size_t i = 0; i < sr.outs.size(); ++i) {
+      for (const LeafTemplate& t : matcher.out_index(i).all()) {
+        all_out_leaves.push_back(&t);
+      }
+    }
+    out_leaf_covered.assign(all_out_leaves.size(), false);
+
+    for (const LeafTemplate& in_leaf : matcher.in_index().all()) {
+      const ChainRoute route = matcher.route(in_leaf.chain);
+      if (route.out == nullptr) {
+        error("rule '" + sr.in_name + "': in element '" +
+              join(in_leaf.chain, ".") + "' has no out mapping");
+        continue;
+      }
+      if (route.leaf->wildcards != in_leaf.wildcards) {
+        error("rule '" + sr.in_name + "': element '" +
+              join(in_leaf.chain, ".") + "' has " +
+              std::to_string(in_leaf.wildcards) + " array dimensions in, " +
+              std::to_string(route.leaf->wildcards) + " out");
+        continue;
+      }
+      if (route.leaf->leaf_size != in_leaf.leaf_size) {
+        warn("rule '" + sr.in_name + "': element '" +
+             join(in_leaf.chain, ".") + "' changes size " +
+             std::to_string(in_leaf.leaf_size) + " -> " +
+             std::to_string(route.leaf->leaf_size));
+      }
+      if (route.link != nullptr && route.pointer_leaf == nullptr) {
+        error("rule '" + sr.in_name + "': out variable '" + route.link->owner +
+              "' lacks pointer field '" + route.link->field + "'");
+      }
+      for (std::size_t k = 0; k < all_out_leaves.size(); ++k) {
+        if (all_out_leaves[k] == route.leaf) out_leaf_covered[k] = true;
+      }
+    }
+    // Pointer fields themselves are "covered" by construction.
+    for (std::size_t k = 0; k < all_out_leaves.size(); ++k) {
+      if (out_leaf_covered[k]) continue;
+      const LeafTemplate* t = all_out_leaves[k];
+      bool is_pointer_field = false;
+      for (const PointerLink& link : sr.links) {
+        if (t->chain.size() == 1 && t->chain.front() == link.field) {
+          is_pointer_field = true;
+        }
+      }
+      if (!is_pointer_field) {
+        warn("rule '" + sr.in_name + "': out element '" + join(t->chain, ".") +
+             "' receives no in data (padding?)");
+      }
+    }
+  }
+  return diags;
+}
+
+}  // namespace tdt::core

@@ -1,0 +1,152 @@
+// Transformation rules: the data model behind the paper's rule files
+// (Listings 5, 8, 11). A RuleSet owns the TypeTable holding the rule
+// structures and a list of rules keyed by the trace variable they match.
+//
+// Rule kinds:
+//  * StructRule — layout rewriting between an `in` structure and one or
+//    more `out` variables, matched by element name. Covers SoA<->AoS
+//    (paper T1), field reordering, hot/cold splitting, and — when a
+//    PointerLink is present — outlining behind a pointer with inserted
+//    indirection loads (paper T2).
+//  * StrideRule — index remapping of a flat array through a formula, with
+//    optional injected auxiliary accesses (paper T3 set pinning).
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <variant>
+#include <vector>
+
+#include "core/formula.hpp"
+#include "core/mapping.hpp"
+#include "layout/type.hpp"
+#include "trace/record.hpp"
+
+namespace tdt::core {
+
+/// One output variable of a StructRule.
+struct OutVar {
+  std::string name;
+  layout::TypeId type = layout::kInvalidType;
+};
+
+/// A pointer field in an out variable: in-accesses to the nested field
+/// `field` are outlined into `pool` and preceded by a load of
+/// `owner[...].field` (the pointer), reproducing the indirection the
+/// rewritten program would perform (paper §IV-A.2).
+struct PointerLink {
+  std::string owner;  ///< out variable holding the pointer field
+  std::string field;  ///< pointer/nested-struct field name
+  std::string pool;   ///< out variable receiving the outlined elements
+};
+
+/// Layout / outlining rule.
+struct StructRule {
+  std::string in_name;
+  layout::TypeId in_type = layout::kInvalidType;
+  std::vector<OutVar> outs;
+  std::vector<PointerLink> links;
+};
+
+/// Auxiliary access injected per transformed record of a stride rule
+/// (the paper "hand forced the simulator to inject additional
+/// instructions" for the index arithmetic; we declare them in the rule).
+struct InjectSpec {
+  trace::AccessKind kind = trace::AccessKind::Load;
+  std::string name;
+  std::uint32_t size = 4;
+};
+
+/// Stride / set-pinning rule.
+struct StrideRule {
+  std::string in_name;
+  layout::TypeId elem_type = layout::kInvalidType;
+  std::uint64_t in_count = 0;
+  std::string out_name;
+  std::uint64_t out_count = 0;
+  Formula formula;  ///< maps the original flat index to the new index
+  std::vector<InjectSpec> injects;
+};
+
+using TransformRule = std::variant<StructRule, StrideRule>;
+
+/// Name of the variable a rule matches.
+[[nodiscard]] const std::string& rule_in_name(const TransformRule& rule);
+
+/// One validation finding (rule-load time).
+struct RuleDiagnostic {
+  enum class Severity : std::uint8_t { Warning, Error };
+  Severity severity = Severity::Warning;
+  std::string message;
+};
+
+/// A set of rules plus the types they define.
+class RuleSet {
+ public:
+  RuleSet() = default;
+  explicit RuleSet(layout::TypeTable types) : types_(std::move(types)) {}
+
+  RuleSet(RuleSet&&) noexcept = default;
+  RuleSet& operator=(RuleSet&&) noexcept = default;
+
+  /// Adds a rule. Throws Error{Semantic} when a rule for the same in
+  /// variable already exists ("each rule is one to one mapping", §IV-A).
+  void add(TransformRule rule);
+
+  /// Finds the rule matching `in_name`; nullptr when none.
+  [[nodiscard]] const TransformRule* find(std::string_view in_name) const;
+
+  [[nodiscard]] const std::vector<TransformRule>& rules() const noexcept {
+    return rules_;
+  }
+  [[nodiscard]] layout::TypeTable& types() noexcept { return types_; }
+  [[nodiscard]] const layout::TypeTable& types() const noexcept {
+    return types_;
+  }
+
+  /// Validates every rule: each in leaf chain must map to exactly one out
+  /// template (directly or through a PointerLink) with matching wildcard
+  /// counts. Size changes and uncovered out leaves produce warnings;
+  /// unmappable in leaves produce errors.
+  [[nodiscard]] std::vector<RuleDiagnostic> validate() const;
+
+ private:
+  layout::TypeTable types_;
+  std::vector<TransformRule> rules_;
+};
+
+/// Resolution of one in-chain against a StructRule's outs: which out
+/// variable, which template, and (for outlined chains) the pointer link
+/// with the owner's pointer template.
+struct ChainRoute {
+  const OutVar* out = nullptr;
+  const LeafTemplate* leaf = nullptr;
+  const PointerLink* link = nullptr;        // non-null for outlined chains
+  const OutVar* link_owner = nullptr;       // out var holding the pointer
+  const LeafTemplate* pointer_leaf = nullptr;  // template of the pointer field
+};
+
+/// Precomputed per-StructRule matching state used by the transformer and
+/// by RuleSet::validate().
+class StructRuleMatcher {
+ public:
+  StructRuleMatcher(const layout::TypeTable& types, const StructRule& rule);
+
+  /// Routes an in-access chain; nullptr Route.out when unmappable.
+  [[nodiscard]] ChainRoute route(std::span<const std::string> chain) const;
+
+  [[nodiscard]] const TemplateIndex& in_index() const noexcept {
+    return in_index_;
+  }
+  [[nodiscard]] const TemplateIndex& out_index(std::size_t i) const {
+    return out_indices_[i];
+  }
+  [[nodiscard]] const StructRule& rule() const noexcept { return *rule_; }
+
+ private:
+  const StructRule* rule_;
+  TemplateIndex in_index_;
+  std::vector<TemplateIndex> out_indices_;
+};
+
+}  // namespace tdt::core

@@ -1,0 +1,285 @@
+#include "core/transformer.hpp"
+
+#include "layout/path.hpp"
+#include "util/error.hpp"
+
+namespace tdt::core {
+
+using layout::PathStep;
+using layout::TypeKind;
+using layout::align_up;
+using trace::TraceRecord;
+
+TraceTransformer::TraceTransformer(const RuleSet& rules,
+                                   trace::TraceContext& ctx,
+                                   trace::TraceSink& downstream,
+                                   TransformOptions options)
+    : rules_(&rules),
+      ctx_(&ctx),
+      downstream_(&downstream),
+      options_(options),
+      stack_arena_cursor_(options.stack_arena_base),
+      global_arena_cursor_(options.global_arena_base) {
+  for (const TransformRule& rule : rules.rules()) {
+    if (const auto* sr = std::get_if<StructRule>(&rule)) {
+      struct_by_name_.emplace(sr->in_name, struct_states_.size());
+      struct_states_.emplace_back(rules.types(), *sr);
+    } else {
+      const auto& stride = std::get<StrideRule>(rule);
+      stride_by_name_.emplace(stride.in_name, stride_states_.size());
+      stride_states_.push_back(StrideState{&stride, std::nullopt, {}});
+    }
+  }
+}
+
+void TraceTransformer::diag(std::string message) {
+  if (stats_.diagnostics.size() < options_.max_diagnostics) {
+    stats_.diagnostics.push_back(std::move(message));
+  }
+}
+
+void TraceTransformer::forward(const TraceRecord& rec, bool inserted_record) {
+  ++stats_.records_out;
+  if (inserted_record) ++stats_.inserted;
+  downstream_->on_record(rec);
+}
+
+std::uint64_t TraceTransformer::arena_alloc(std::uint64_t size,
+                                            std::uint64_t align,
+                                            bool stack_side) {
+  if (stack_side) {
+    std::uint64_t addr = stack_arena_cursor_ - size;
+    addr -= addr % align;
+    stack_arena_cursor_ = addr;
+    return addr;
+  }
+  global_arena_cursor_ = align_up(global_arena_cursor_, align);
+  const std::uint64_t addr = global_arena_cursor_;
+  global_arena_cursor_ += size;
+  return addr;
+}
+
+std::uint64_t TraceTransformer::ensure_out_base(StructState& st,
+                                                const OutVar& out,
+                                                bool primary,
+                                                std::uint64_t in_address) {
+  if (auto it = st.out_bases.find(out.name); it != st.out_bases.end()) {
+    return it->second;
+  }
+  const auto& types = rules_->types();
+  const std::uint64_t out_size = types.size_of(out.type);
+  const std::uint64_t out_align = types.align_of(out.type);
+  const std::uint64_t in_size = types.size_of(st.rule->in_type);
+  const bool stack_side = in_address >= options_.stack_segment_min;
+
+  std::uint64_t base;
+  if (primary && options_.reuse_in_footprint && st.in_base.has_value() &&
+      align_up(*st.in_base, out_align) + out_size <= *st.in_base + in_size) {
+    // The out structure fits inside the in structure's footprint: keep it
+    // there so the surrounding address neighbourhood stays comparable.
+    base = align_up(*st.in_base, out_align);
+  } else {
+    base = arena_alloc(out_size, out_align, stack_side);
+  }
+  st.out_bases.emplace(out.name, base);
+  return base;
+}
+
+trace::VarRef TraceTransformer::make_var(
+    std::string_view base, std::span<const PathStep> path) {
+  trace::VarRef var;
+  var.base = ctx_->intern(base);
+  for (const PathStep& step : path) {
+    var.steps.push_back(step.is_field()
+                            ? trace::VarStep::make_field(ctx_->intern(step.field))
+                            : trace::VarStep::make_index(step.index));
+  }
+  return var;
+}
+
+bool TraceTransformer::apply_struct(StructState& st, const TraceRecord& rec) {
+  const auto& types = rules_->types();
+  // Convert the trace variable's steps to a layout path.
+  layout::Path in_path;
+  for (const trace::VarStep& step : rec.var.steps) {
+    in_path.push_back(step.is_field
+                          ? PathStep::make_field(
+                                std::string(ctx_->name(step.field)))
+                          : PathStep::make_index(step.index));
+  }
+  layout::Resolved resolved;
+  try {
+    resolved = layout::resolve_path(types, st.rule->in_type,
+                                    {in_path.data(), in_path.size()});
+  } catch (const Error& e) {
+    diag("record variable '" + ctx_->format_var(rec.var) +
+         "' does not fit rule '" + st.rule->in_name + "': " + e.message());
+    return false;
+  }
+  if (!st.in_base.has_value()) {
+    st.in_base = rec.address - resolved.offset;
+  }
+
+  const ChainKey key = chain_key_of({in_path.data(), in_path.size()});
+  const ChainRoute route = st.matcher.route(key.chain);
+  if (route.out == nullptr) {
+    diag("no out mapping for element '" + ctx_->format_var(rec.var) +
+         "' under rule '" + st.rule->in_name + "'");
+    return false;
+  }
+  layout::Path out_path;
+  try {
+    out_path = route.leaf->instantiate(key.indices);
+  } catch (const Error& e) {
+    diag("cannot instantiate out path for '" + ctx_->format_var(rec.var) +
+         "': " + e.message());
+    return false;
+  }
+  const layout::Resolved out_resolved = layout::resolve_path(
+      types, route.out->type, {out_path.data(), out_path.size()});
+
+  // Insert the pointer-indirection load first (paper Fig 8: the green
+  // `L ... lS2[i].mRarelyUsed` lines precede each outlined access).
+  if (route.link != nullptr) {
+    internal_check(route.pointer_leaf != nullptr && route.link_owner != nullptr,
+                   "validated rule lost its pointer template");
+    const std::uint64_t w = route.pointer_leaf->wildcards;
+    if (w > key.indices.size()) {
+      diag("pointer field of rule '" + st.rule->in_name +
+           "' needs more indices than access '" + ctx_->format_var(rec.var) +
+           "' provides");
+      return false;
+    }
+    const std::uint64_t owner_base = ensure_out_base(
+        st, *route.link_owner, /*primary=*/route.link_owner == &st.rule->outs.front(),
+        rec.address);
+    const layout::Path ptr_path = route.pointer_leaf->instantiate(
+        {key.indices.data(), static_cast<std::size_t>(w)});
+    const layout::Resolved ptr_resolved = layout::resolve_path(
+        types, route.link_owner->type, {ptr_path.data(), ptr_path.size()});
+    TraceRecord ptr_rec = rec;
+    ptr_rec.kind = trace::AccessKind::Load;
+    ptr_rec.address = owner_base + ptr_resolved.offset;
+    ptr_rec.size = 8;
+    ptr_rec.var = make_var(route.link_owner->name,
+                           {ptr_path.data(), ptr_path.size()});
+    forward(ptr_rec, /*inserted_record=*/true);
+  }
+
+  const bool primary = route.out == &st.rule->outs.front();
+  const std::uint64_t out_base =
+      ensure_out_base(st, *route.out, primary, rec.address);
+
+  TraceRecord out_rec = rec;
+  out_rec.address = out_base + out_resolved.offset;
+  out_rec.size = static_cast<std::uint32_t>(route.leaf->leaf_size);
+  out_rec.var = make_var(route.out->name, {out_path.data(), out_path.size()});
+  ++stats_.rewritten;
+  forward(out_rec);
+  return true;
+}
+
+bool TraceTransformer::apply_stride(StrideState& st, const TraceRecord& rec) {
+  const StrideRule& rule = *st.rule;
+  if (rec.var.steps.size() != 1 || rec.var.steps[0].is_field) {
+    diag("stride rule '" + rule.in_name +
+         "' expects a flat array access, got '" + ctx_->format_var(rec.var) +
+         "'");
+    return false;
+  }
+  const auto& types = rules_->types();
+  const std::uint64_t elem_size = types.size_of(rule.elem_type);
+  const std::uint64_t i = rec.var.steps[0].index;
+  const std::int64_t j = rule.formula.eval(static_cast<std::int64_t>(i));
+  if (j < 0 || static_cast<std::uint64_t>(j) >= rule.out_count) {
+    diag("stride rule '" + rule.in_name + "': index " + std::to_string(i) +
+         " maps outside the out array");
+    return false;
+  }
+  const bool stack_side = rec.address >= options_.stack_segment_min;
+  if (!st.out_base.has_value()) {
+    st.out_base = arena_alloc(rule.out_count * elem_size,
+                              types.align_of(rule.elem_type), stack_side);
+  }
+  // Injected index-arithmetic accesses (the paper's "additional
+  // instructions ... accounted for in the trace").
+  for (const InjectSpec& inj : rule.injects) {
+    auto [it, fresh] = st.inject_addrs.try_emplace(inj.name, 0);
+    if (fresh) {
+      it->second = arena_alloc(8, 8, stack_side);
+    }
+    TraceRecord aux = rec;
+    aux.kind = inj.kind;
+    aux.address = it->second;
+    aux.size = inj.size;
+    aux.scope = trace::VarScope::LocalVariable;
+    aux.var = trace::VarRef{ctx_->intern(inj.name), {}};
+    forward(aux, /*inserted_record=*/true);
+  }
+  TraceRecord out_rec = rec;
+  out_rec.address = *st.out_base + static_cast<std::uint64_t>(j) * elem_size;
+  out_rec.size = static_cast<std::uint32_t>(elem_size);
+  const PathStep step = PathStep::make_index(static_cast<std::uint64_t>(j));
+  out_rec.var = make_var(rule.out_name, {&step, 1});
+  ++stats_.rewritten;
+  forward(out_rec);
+  return true;
+}
+
+void TraceTransformer::on_record(const TraceRecord& rec) {
+  ++stats_.records_in;
+  if (rec.var.empty()) {
+    ++stats_.passthrough;
+    forward(rec);
+    return;
+  }
+  const std::string base_name(ctx_->name(rec.var.base));
+  if (auto it = struct_by_name_.find(base_name); it != struct_by_name_.end()) {
+    if (apply_struct(struct_states_[it->second], rec)) return;
+    ++stats_.skipped;
+    forward(rec);
+    return;
+  }
+  if (auto it = stride_by_name_.find(base_name); it != stride_by_name_.end()) {
+    if (apply_stride(stride_states_[it->second], rec)) return;
+    ++stats_.skipped;
+    forward(rec);
+    return;
+  }
+  ++stats_.passthrough;
+  forward(rec);
+}
+
+void TraceTransformer::on_end() { downstream_->on_end(); }
+
+std::optional<std::uint64_t> TraceTransformer::out_base(
+    std::string_view in_name, std::string_view out_name) const {
+  if (auto it = struct_by_name_.find(std::string(in_name));
+      it != struct_by_name_.end()) {
+    const StructState& st = struct_states_[it->second];
+    if (auto b = st.out_bases.find(std::string(out_name));
+        b != st.out_bases.end()) {
+      return b->second;
+    }
+    return std::nullopt;
+  }
+  if (auto it = stride_by_name_.find(std::string(in_name));
+      it != stride_by_name_.end()) {
+    return stride_states_[it->second].out_base;
+  }
+  return std::nullopt;
+}
+
+std::vector<TraceRecord> transform_trace(
+    const RuleSet& rules, trace::TraceContext& ctx,
+    std::span<const TraceRecord> records, TransformOptions options,
+    TransformStats* stats) {
+  trace::VectorSink sink;
+  TraceTransformer transformer(rules, ctx, sink, options);
+  for (const TraceRecord& rec : records) transformer.on_record(rec);
+  transformer.on_end();
+  if (stats != nullptr) *stats = transformer.stats();
+  return sink.take();
+}
+
+}  // namespace tdt::core

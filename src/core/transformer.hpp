@@ -1,0 +1,129 @@
+// The trace transformation engine (the paper's §IV contribution).
+//
+// A TraceTransformer sits between a trace producer and any consumer
+// (cache simulator, trace writer): every record whose variable matches a
+// rule's `in` structure is rewritten to reference the `out` layout — new
+// base address, new offset, renamed variable — and, where the out layout
+// introduces indirection or index arithmetic, extra records are inserted
+// (pointer loads for outlined structures, auxiliary scalar loads for
+// stride remaps). Records that match no rule pass through unchanged.
+//
+// Process (paper §IV-A): 1) initialize rules and allocate new base
+// addresses; 2) check each trace line's variable against the rules;
+// 3) apply the mapping, inserting indirection accesses as needed;
+// 4) emit the transformed trace; 5) compare with the original
+// (trace/diff.hpp).
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <span>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "core/rules.hpp"
+#include "trace/record.hpp"
+#include "trace/sink.hpp"
+
+namespace tdt::core {
+
+/// Placement and diagnostics knobs.
+struct TransformOptions {
+  /// Arena for relocated stack-side structures; grows downward.
+  std::uint64_t stack_arena_base = 0x7fe800000ULL;
+  /// Arena for relocated global/heap-side structures; grows upward.
+  std::uint64_t global_arena_base = 0x000900000ULL;
+  /// Addresses at or above this are considered stack-side.
+  std::uint64_t stack_segment_min = 0x700000000ULL;
+  /// Place the first out variable inside the in variable's footprint when
+  /// it fits (keeps neighbourhood effects comparable, like the paper's
+  /// Fig 5 where lAoS lands near lSoA). Pools and oversized structures
+  /// always go to an arena.
+  bool reuse_in_footprint = true;
+  /// Cap on retained diagnostic messages.
+  std::size_t max_diagnostics = 64;
+};
+
+/// Counters describing what the transformer did.
+struct TransformStats {
+  std::uint64_t records_in = 0;
+  std::uint64_t records_out = 0;
+  std::uint64_t rewritten = 0;    ///< records remapped by a rule
+  std::uint64_t inserted = 0;     ///< extra indirection/inject records
+  std::uint64_t passthrough = 0;  ///< untouched records
+  std::uint64_t skipped = 0;      ///< matched a rule but could not be mapped
+  std::vector<std::string> diagnostics;
+};
+
+/// Streaming transformer; also usable one-shot via transform_trace().
+class TraceTransformer final : public trace::TraceSink {
+ public:
+  /// `rules`, `ctx` and `downstream` must outlive the transformer.
+  TraceTransformer(const RuleSet& rules, trace::TraceContext& ctx,
+                   trace::TraceSink& downstream,
+                   TransformOptions options = {});
+
+  // TraceSink
+  void on_record(const trace::TraceRecord& rec) override;
+  void on_end() override;
+
+  [[nodiscard]] const TransformStats& stats() const noexcept { return stats_; }
+
+  /// Address the transformer assigned to `out_name` of the rule matching
+  /// `in_name`; nullopt until the first matching record arrives.
+  [[nodiscard]] std::optional<std::uint64_t> out_base(
+      std::string_view in_name, std::string_view out_name) const;
+
+ private:
+  struct StructState {
+    const StructRule* rule = nullptr;
+    StructRuleMatcher matcher;
+    std::optional<std::uint64_t> in_base;
+    std::unordered_map<std::string, std::uint64_t> out_bases;
+
+    StructState(const layout::TypeTable& types, const StructRule& r)
+        : rule(&r), matcher(types, r) {}
+  };
+
+  struct StrideState {
+    const StrideRule* rule = nullptr;
+    std::optional<std::uint64_t> out_base;
+    std::unordered_map<std::string, std::uint64_t> inject_addrs;
+  };
+
+  void diag(std::string message);
+  void forward(const trace::TraceRecord& rec, bool inserted_record = false);
+  std::uint64_t arena_alloc(std::uint64_t size, std::uint64_t align,
+                            bool stack_side);
+  std::uint64_t ensure_out_base(StructState& st, const OutVar& out,
+                                bool primary, std::uint64_t in_address);
+  trace::VarRef make_var(std::string_view base,
+                         std::span<const layout::PathStep> path);
+
+  bool apply_struct(StructState& st, const trace::TraceRecord& rec);
+  bool apply_stride(StrideState& st, const trace::TraceRecord& rec);
+
+  const RuleSet* rules_;
+  trace::TraceContext* ctx_;
+  trace::TraceSink* downstream_;
+  TransformOptions options_;
+  TransformStats stats_;
+
+  std::unordered_map<std::string, std::size_t> struct_by_name_;
+  std::unordered_map<std::string, std::size_t> stride_by_name_;
+  std::vector<StructState> struct_states_;
+  std::vector<StrideState> stride_states_;
+
+  std::uint64_t stack_arena_cursor_;
+  std::uint64_t global_arena_cursor_;
+};
+
+/// One-shot transformation of an in-memory trace. Stats are written to
+/// *stats when non-null.
+[[nodiscard]] std::vector<trace::TraceRecord> transform_trace(
+    const RuleSet& rules, trace::TraceContext& ctx,
+    std::span<const trace::TraceRecord> records,
+    TransformOptions options = {}, TransformStats* stats = nullptr);
+
+}  // namespace tdt::core

@@ -1,0 +1,229 @@
+#include "layout/decl_parser.hpp"
+
+#include "util/error.hpp"
+
+namespace tdt::layout {
+namespace {
+
+bool is_type_keyword(std::string_view s) {
+  return s == "char" || s == "short" || s == "int" || s == "long" ||
+         s == "float" || s == "double" || s == "bool" || s == "signed" ||
+         s == "unsigned";
+}
+
+}  // namespace
+
+TypeId DeclParser::parse_type_spec(Lexer& lex) {
+  const Token& t = lex.peek();
+  if (t.is("struct")) {
+    lex.next();
+    Token name = lex.expect(TokKind::Ident, "struct name");
+    const TypeId id = table_->find_struct(name.text);
+    if (id == kInvalidType) {
+      throw_parse_error("reference to undefined struct '" +
+                            std::string(name.text) + "'",
+                        name.loc);
+    }
+    return id;
+  }
+  if (t.kind == TokKind::Ident && is_type_keyword(t.text)) {
+    // Absorb [signed|unsigned] [short|long [long]] [int|char|double] combos.
+    bool saw_long = false, saw_short = false;
+    std::string base;
+    while (lex.peek().kind == TokKind::Ident &&
+           is_type_keyword(lex.peek().text)) {
+      std::string_view w = lex.next().text;
+      if (w == "signed" || w == "unsigned") {
+        continue;  // signedness does not affect layout
+      }
+      if (w == "long") {
+        saw_long = true;
+        continue;
+      }
+      if (w == "short") {
+        saw_short = true;
+        continue;
+      }
+      base = std::string(w);
+    }
+    if (base == "double") return table_->double_type();
+    if (base == "float") return table_->float_type();
+    if (base == "char") return table_->char_type();
+    if (base == "bool") return table_->bool_type();
+    if (saw_long) return table_->long_type();
+    if (saw_short) return table_->short_type();
+    // bare "int", "signed", "unsigned"
+    return table_->int_type();
+  }
+  if (t.kind == TokKind::Ident) {
+    // typedef-style bare struct name
+    const TypeId id = table_->find_struct(t.text);
+    if (id != kInvalidType) {
+      lex.next();
+      return id;
+    }
+  }
+  throw_parse_error("expected a type, got '" +
+                        std::string(t.kind == TokKind::End ? "<end>" : t.text) +
+                        "'",
+                    t.loc);
+}
+
+namespace {
+
+std::uint64_t parse_extent_expr(Lexer& lex);
+
+// Constant integer expressions in array extents: numbers, parentheses,
+// * / % + -. (Macro identifiers are expanded before parsing.)
+std::uint64_t parse_extent_primary(Lexer& lex) {
+  if (lex.accept("(")) {
+    const std::uint64_t v = parse_extent_expr(lex);
+    lex.expect(")");
+    return v;
+  }
+  return lex.expect(TokKind::Number, "array length").number();
+}
+
+std::uint64_t parse_extent_term(Lexer& lex) {
+  std::uint64_t v = parse_extent_primary(lex);
+  for (;;) {
+    if (lex.accept("*")) {
+      v *= parse_extent_primary(lex);
+    } else if (lex.accept("/")) {
+      const std::uint64_t d = parse_extent_primary(lex);
+      if (d == 0) throw_parse_error("division by zero in array length");
+      v /= d;
+    } else if (lex.accept("%")) {
+      const std::uint64_t d = parse_extent_primary(lex);
+      if (d == 0) throw_parse_error("modulo by zero in array length");
+      v %= d;
+    } else {
+      return v;
+    }
+  }
+}
+
+std::uint64_t parse_extent_expr(Lexer& lex) {
+  std::uint64_t v = parse_extent_term(lex);
+  for (;;) {
+    if (lex.accept("+")) {
+      v += parse_extent_term(lex);
+    } else if (lex.accept("-")) {
+      v -= parse_extent_term(lex);
+    } else {
+      return v;
+    }
+  }
+}
+
+}  // namespace
+
+VarDecl DeclParser::parse_declarator(Lexer& lex, TypeId base) {
+  TypeId type = base;
+  while (lex.accept("*")) {
+    type = table_->pointer_to(type);
+  }
+  Token name = lex.expect(TokKind::Ident, "declarator name");
+  // Collect array extents left-to-right, then wrap right-to-left so that
+  // `int a[2][3]` becomes array(2, array(3, int)).
+  std::vector<std::uint64_t> extents;
+  while (lex.accept("[")) {
+    extents.push_back(parse_extent_expr(lex));
+    lex.expect("]");
+  }
+  for (std::size_t i = extents.size(); i-- > 0;) {
+    type = table_->array_of(type, extents[i]);
+  }
+  return VarDecl{std::string(name.text), type};
+}
+
+std::vector<PendingField> DeclParser::parse_field_list(Lexer& lex) {
+  lex.expect("{");
+  std::vector<PendingField> fields;
+  while (!lex.accept("}")) {
+    if (lex.peek().is("struct")) {
+      // Two forms: `struct Name field;` (named field of previously defined
+      // struct) and the paper's shorthand `struct Name;` meaning an
+      // embedded field *named after* the struct (Listing 8, `struct
+      // mRarelyUsed;`).
+      lex.next();
+      Token name = lex.expect(TokKind::Ident, "struct name");
+      const TypeId st = table_->find_struct(name.text);
+      if (st == kInvalidType) {
+        throw_parse_error("reference to undefined struct '" +
+                              std::string(name.text) + "'",
+                          name.loc);
+      }
+      if (lex.accept(";")) {
+        fields.push_back(PendingField{std::string(name.text), st});
+        continue;
+      }
+      VarDecl d = parse_declarator(lex, st);
+      lex.expect(";");
+      fields.push_back(PendingField{std::move(d.name), d.type});
+      continue;
+    }
+    const TypeId base = parse_type_spec(lex);
+    VarDecl d = parse_declarator(lex, base);
+    lex.expect(";");
+    fields.push_back(PendingField{std::move(d.name), d.type});
+  }
+  return fields;
+}
+
+StructDecl DeclParser::parse_struct_decl(Lexer& lex, bool define) {
+  lex.expect("struct");
+  Token name = lex.expect(TokKind::Ident, "struct name");
+  std::vector<PendingField> fields = parse_field_list(lex);
+  StructDecl decl;
+  decl.name = std::string(name.text);
+  if (lex.accept("[")) {
+    Token n = lex.expect(TokKind::Number, "array length");
+    decl.array_count = n.number();
+    lex.expect("]");
+  }
+  lex.expect(";");
+  if (define) {
+    decl.type = table_->define_struct(decl.name, std::move(fields));
+  }
+  return decl;
+}
+
+std::vector<VarDecl> DeclParser::parse_all(std::string_view src) {
+  Lexer lex(src);
+  std::vector<VarDecl> vars;
+  while (!lex.at_end()) {
+    if (lex.peek().is("struct")) {
+      // Could be a struct definition or a variable of struct type; decide
+      // by whether a '{' follows the name. The lexer has only one token of
+      // lookahead, so probe with a scratch lexer is avoided by parsing the
+      // name and branching.
+      Lexer probe = lex;  // cheap copy: lexer is a view + offsets
+      probe.next();       // 'struct'
+      probe.next();       // name
+      if (probe.peek().is("{")) {
+        StructDecl sd = parse_struct_decl(lex);
+        if (sd.array_count != 0) {
+          // `struct X {...}[N];` at top level declares variable X of X[N].
+          vars.push_back(
+              VarDecl{sd.name, table_->array_of(sd.type, sd.array_count)});
+        }
+        continue;
+      }
+    }
+    const TypeId base = parse_type_spec(lex);
+    vars.push_back(parse_declarator(lex, base));
+    while (lex.accept(",")) {
+      vars.push_back(parse_declarator(lex, base));
+    }
+    lex.expect(";");
+  }
+  return vars;
+}
+
+std::vector<VarDecl> parse_declarations(std::string_view src,
+                                        TypeTable& table) {
+  return DeclParser(table).parse_all(src);
+}
+
+}  // namespace tdt::layout

@@ -1,0 +1,70 @@
+// Parser for C-like type and variable declarations, e.g.
+//
+//   struct _typeA { double dl; int myArray[10]; };
+//   struct _typeA glStructArray[10];
+//   int glArray[10];
+//
+// This is the subset of C used by the paper's rule files (Listings 5, 8,
+// 11) and by kernel definitions in tdt::tracer. The transformation-rule
+// parser (tdt::core) reuses the exposed helpers for its extended syntax.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "layout/type.hpp"
+#include "util/lexer.hpp"
+
+namespace tdt::layout {
+
+/// A declared variable: `int glArray[10];` -> { "glArray", int[10] }.
+struct VarDecl {
+  std::string name;
+  TypeId type = kInvalidType;
+};
+
+/// A struct definition with the paper's optional trailing array count:
+/// `struct lAoS { ... }[16];` -> { "lAoS", <struct type>, 16 }.
+/// array_count == 0 means no trailing `[N]`.
+struct StructDecl {
+  std::string name;
+  TypeId type = kInvalidType;
+  std::uint64_t array_count = 0;
+};
+
+/// Stateless parsing helpers over a shared TypeTable.
+class DeclParser {
+ public:
+  explicit DeclParser(TypeTable& table) : table_(&table) {}
+
+  /// Parses a whole source: any mix of struct definitions and variable
+  /// declarations. Struct definitions are registered in the table; variable
+  /// declarations are returned.
+  std::vector<VarDecl> parse_all(std::string_view src);
+
+  /// Parses `struct Name { fields... } [N]? ;` starting at the `struct`
+  /// keyword. When `define` is true the struct is registered in the table.
+  StructDecl parse_struct_decl(Lexer& lex, bool define = true);
+
+  /// Parses a type specifier: primitive (with signed/unsigned/long
+  /// combinations), `struct Name` reference, or a bare identifier naming a
+  /// known struct. Throws Error{Parse} when nothing matches.
+  TypeId parse_type_spec(Lexer& lex);
+
+  /// Parses `*`* name `[N]`* and composes the final type from `base`.
+  VarDecl parse_declarator(Lexer& lex, TypeId base);
+
+  /// Parses the field list between `{` and `}` (both consumed).
+  std::vector<PendingField> parse_field_list(Lexer& lex);
+
+ private:
+  TypeTable* table_;
+};
+
+/// Convenience wrapper: parse declarations from `src` into `table`.
+std::vector<VarDecl> parse_declarations(std::string_view src,
+                                        TypeTable& table);
+
+}  // namespace tdt::layout

@@ -1,0 +1,161 @@
+// Type system and record-layout engine. Replaces the compiler/DWARF symbol
+// information Gleipnir reads: given C-like type definitions it computes the
+// System-V x86-64 sizes, alignments, and field offsets that a compiler
+// would produce, and supports the reverse mapping from a byte offset back
+// to a field path (needed to interpret raw trace addresses).
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <string>
+#include <string_view>
+#include <unordered_map>
+#include <vector>
+
+namespace tdt::layout {
+
+/// Index of a type inside a TypeTable. Stable for the table's lifetime.
+using TypeId = std::uint32_t;
+
+/// Sentinel for "no type".
+inline constexpr TypeId kInvalidType = 0xFFFFFFFFu;
+
+/// The four structural kinds of types we model.
+enum class TypeKind : std::uint8_t { Primitive, Pointer, Array, Struct };
+
+/// A named member of a struct with its computed byte offset.
+struct FieldInfo {
+  std::string name;
+  TypeId type = kInvalidType;
+  std::uint64_t offset = 0;
+};
+
+/// A field requested during struct definition (offset not yet computed).
+struct PendingField {
+  std::string name;
+  TypeId type = kInvalidType;
+};
+
+/// Arena of interned types. Layout rules follow the LP64 System-V ABI:
+/// char=1, short=2, int=4, long=8, float=4, double=8, pointers=8, each
+/// aligned to its size; structs are padded so every field sits at a
+/// multiple of its alignment and the total size is a multiple of the
+/// largest member alignment.
+class TypeTable {
+ public:
+  TypeTable();
+
+  TypeTable(const TypeTable&) = delete;
+  TypeTable& operator=(const TypeTable&) = delete;
+  TypeTable(TypeTable&&) noexcept = default;
+  TypeTable& operator=(TypeTable&&) noexcept = default;
+
+  // --- primitives -------------------------------------------------------
+
+  /// Finds a primitive by canonical name ("char", "short", "int", "long",
+  /// "float", "double", "bool"); returns kInvalidType when unknown.
+  [[nodiscard]] TypeId find_primitive(std::string_view name) const noexcept;
+
+  [[nodiscard]] TypeId char_type() const noexcept { return char_; }
+  [[nodiscard]] TypeId short_type() const noexcept { return short_; }
+  [[nodiscard]] TypeId int_type() const noexcept { return int_; }
+  [[nodiscard]] TypeId long_type() const noexcept { return long_; }
+  [[nodiscard]] TypeId float_type() const noexcept { return float_; }
+  [[nodiscard]] TypeId double_type() const noexcept { return double_; }
+  [[nodiscard]] TypeId bool_type() const noexcept { return bool_; }
+
+  // --- constructors (interned) ------------------------------------------
+
+  /// Pointer to `pointee` (8 bytes, 8-aligned).
+  TypeId pointer_to(TypeId pointee);
+
+  /// Array of `count` elements of `element`. count must be > 0.
+  TypeId array_of(TypeId element, std::uint64_t count);
+
+  /// Defines a new struct named `name` with the given fields, computing
+  /// offsets and padding. Throws Error{Semantic} when `name` is already
+  /// defined or a field name repeats.
+  TypeId define_struct(std::string name, std::vector<PendingField> fields);
+
+  /// Declares a struct name without a body (size 0 until completed), so
+  /// self-referential types like `struct Node { int v; Node* next; }` can
+  /// be built: forward-declare, form the pointer, then complete.
+  TypeId forward_struct(std::string name);
+
+  /// Completes a forward-declared struct with its fields. Throws
+  /// Error{Semantic} when `id` is not an incomplete struct.
+  void complete_struct(TypeId id, std::vector<PendingField> fields);
+
+  /// True when `id` is a struct whose body has been provided.
+  [[nodiscard]] bool is_complete(TypeId id) const;
+
+  /// Finds a previously defined struct; returns kInvalidType when unknown.
+  [[nodiscard]] TypeId find_struct(std::string_view name) const noexcept;
+
+  // --- queries ----------------------------------------------------------
+
+  [[nodiscard]] TypeKind kind(TypeId id) const;
+  [[nodiscard]] std::uint64_t size_of(TypeId id) const;
+  [[nodiscard]] std::uint64_t align_of(TypeId id) const;
+
+  /// Element type of an array or pointee of a pointer.
+  [[nodiscard]] TypeId element(TypeId id) const;
+
+  /// Number of elements of an array type.
+  [[nodiscard]] std::uint64_t array_count(TypeId id) const;
+
+  /// Fields of a struct type, in declaration order with computed offsets.
+  [[nodiscard]] std::span<const FieldInfo> fields(TypeId id) const;
+
+  /// Finds a struct field by name; nullptr when absent.
+  [[nodiscard]] const FieldInfo* find_field(TypeId id,
+                                            std::string_view name) const;
+
+  /// Struct or primitive name; empty for pointers/arrays (use render()).
+  [[nodiscard]] std::string_view name(TypeId id) const;
+
+  /// Human-readable rendering: "int", "double*", "int[10]",
+  /// "struct Pt{int x; int y;}" rendered as "Pt".
+  [[nodiscard]] std::string render(TypeId id) const;
+
+  /// Total number of types in the table.
+  [[nodiscard]] std::size_t size() const noexcept { return nodes_.size(); }
+
+  /// Bytes of padding inside a struct (total size minus sum of leaf sizes).
+  [[nodiscard]] std::uint64_t padding_bytes(TypeId id) const;
+
+ private:
+  struct Node {
+    TypeKind kind;
+    std::uint64_t size = 0;
+    std::uint64_t align = 1;
+    std::string name;          // primitives and structs
+    TypeId element = kInvalidType;  // arrays and pointers
+    std::uint64_t count = 0;        // arrays
+    std::vector<FieldInfo> fields;  // structs
+    bool complete = true;           // false for forward-declared structs
+  };
+
+  const Node& node(TypeId id) const;
+  TypeId add_primitive(std::string name, std::uint64_t size);
+
+  std::vector<Node> nodes_;
+  std::unordered_map<std::string, TypeId> primitive_index_;
+  std::unordered_map<std::string, TypeId> struct_index_;
+  std::unordered_map<std::uint64_t, TypeId> pointer_index_;  // key: pointee
+  std::unordered_map<std::uint64_t, TypeId> array_index_;    // key: elem<<24|count hash
+  TypeId char_ = kInvalidType, short_ = kInvalidType, int_ = kInvalidType,
+         long_ = kInvalidType, float_ = kInvalidType, double_ = kInvalidType,
+         bool_ = kInvalidType;
+};
+
+/// Rounds `value` up to the next multiple of `alignment` (a power of two
+/// or any positive integer).
+[[nodiscard]] constexpr std::uint64_t align_up(std::uint64_t value,
+                                               std::uint64_t alignment) noexcept {
+  if (alignment == 0) return value;
+  const std::uint64_t rem = value % alignment;
+  return rem == 0 ? value : value + (alignment - rem);
+}
+
+}  // namespace tdt::layout

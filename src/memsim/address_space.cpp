@@ -1,0 +1,112 @@
+#include "memsim/address_space.hpp"
+
+#include "layout/type.hpp"
+#include "util/error.hpp"
+
+namespace tdt::memsim {
+
+using layout::align_up;
+
+AddressSpace::AddressSpace(AddressSpaceConfig config)
+    : config_(config),
+      global_cursor_(config.global_base),
+      heap_cursor_(config.heap_base) {
+  frames_.push_back(Frame{config_.stack_base});
+}
+
+std::uint64_t AddressSpace::alloc_global(std::uint64_t size,
+                                         std::uint64_t align) {
+  internal_check(size > 0 && align > 0, "bad global allocation request");
+  global_cursor_ = align_up(global_cursor_, align);
+  const std::uint64_t addr = global_cursor_;
+  global_cursor_ += size;
+  return addr;
+}
+
+std::uint16_t AddressSpace::push_frame() {
+  frames_.push_back(Frame{frames_.back().top});
+  return current_frame();
+}
+
+std::uint64_t AddressSpace::alloc_stack(std::uint64_t size,
+                                        std::uint64_t align) {
+  internal_check(size > 0 && align > 0, "bad stack allocation request");
+  Frame& frame = frames_.back();
+  std::uint64_t addr = frame.top - size;
+  addr -= addr % align;  // align downward
+  if (addr < config_.stack_limit) {
+    throw_config_error("simulated stack overflow (limit 0x" +
+                       std::to_string(config_.stack_limit) + ")");
+  }
+  frame.top = addr;
+  return addr;
+}
+
+void AddressSpace::pop_frame() {
+  internal_check(frames_.size() > 1, "pop_frame on outermost frame");
+  frames_.pop_back();
+}
+
+std::uint16_t AddressSpace::current_frame() const noexcept {
+  return static_cast<std::uint16_t>(frames_.size() - 1);
+}
+
+std::uint64_t AddressSpace::heap_alloc(std::uint64_t size) {
+  internal_check(size > 0, "heap_alloc of zero bytes");
+  size = align_up(size, 16);
+  // First fit over the free list.
+  for (auto it = heap_free_.begin(); it != heap_free_.end(); ++it) {
+    if (it->second >= size) {
+      const std::uint64_t addr = it->first;
+      const std::uint64_t remaining = it->second - size;
+      heap_free_.erase(it);
+      if (remaining != 0) {
+        heap_free_.emplace(addr + size, remaining);
+      }
+      heap_blocks_.emplace(addr, size);
+      heap_live_ += size;
+      return addr;
+    }
+  }
+  const std::uint64_t addr = heap_cursor_;
+  heap_cursor_ += size;
+  heap_blocks_.emplace(addr, size);
+  heap_live_ += size;
+  return addr;
+}
+
+void AddressSpace::heap_free(std::uint64_t address) {
+  auto it = heap_blocks_.find(address);
+  if (it == heap_blocks_.end()) {
+    throw_semantic_error("heap_free of unknown or already-freed address");
+  }
+  const std::uint64_t size = it->second;
+  heap_blocks_.erase(it);
+  heap_live_ -= size;
+
+  // Insert into the free list, coalescing with neighbours.
+  auto [pos, inserted] = heap_free_.emplace(address, size);
+  internal_check(inserted, "free list corruption");
+  // Coalesce with successor.
+  auto next = std::next(pos);
+  if (next != heap_free_.end() && pos->first + pos->second == next->first) {
+    pos->second += next->second;
+    heap_free_.erase(next);
+  }
+  // Coalesce with predecessor.
+  if (pos != heap_free_.begin()) {
+    auto prev = std::prev(pos);
+    if (prev->first + prev->second == pos->first) {
+      prev->second += pos->second;
+      heap_free_.erase(pos);
+    }
+  }
+}
+
+Segment AddressSpace::segment_of(std::uint64_t address) const noexcept {
+  if (address >= config_.stack_limit) return Segment::Stack;
+  if (address >= config_.heap_base) return Segment::Heap;
+  return Segment::Globals;
+}
+
+}  // namespace tdt::memsim

@@ -1,0 +1,230 @@
+// dinerosim — the modified-DineroIV stand-in: trace-driven cache
+// simulation with per-variable / per-function / per-set statistics and
+// the trace transformation module.
+//
+//   dinerosim --trace t.out --size 32768 --block 32 --assoc 1
+//   dinerosim --trace t.out --rules soa2aos.rules
+//             --xform-out transformed_trace.out --per-set
+#include <cstdio>
+#include <fstream>
+
+#include "analysis/advisor.hpp"
+#include "analysis/report.hpp"
+#include "analysis/set_activity.hpp"
+#include "analysis/var_stats.hpp"
+#include "cache/hierarchy.hpp"
+#include "cache/multicore.hpp"
+#include "cache/sim.hpp"
+#include "core/rule_parser.hpp"
+#include "core/transformer.hpp"
+#include "trace/binary.hpp"
+#include "trace/din.hpp"
+#include "trace/reader.hpp"
+#include "trace/writer.hpp"
+#include "util/error.hpp"
+#include "util/flags.hpp"
+#include "util/string_util.hpp"
+
+namespace {
+
+using namespace tdt;
+
+cache::ReplacementPolicy parse_replacement(const std::string& s) {
+  if (s == "lru") return cache::ReplacementPolicy::Lru;
+  if (s == "fifo") return cache::ReplacementPolicy::Fifo;
+  if (s == "random") return cache::ReplacementPolicy::Random;
+  if (s == "rr" || s == "round-robin") {
+    return cache::ReplacementPolicy::RoundRobin;
+  }
+  throw_config_error("unknown replacement policy '" + s +
+                     "' (lru|fifo|random|rr)");
+}
+
+std::vector<trace::TraceRecord> load_trace(trace::TraceContext& ctx,
+                                           const std::string& path) {
+  if (ends_with(path, ".tdtb")) {
+    std::ifstream f(path, std::ios::binary);
+    if (!f) throw_io_error("cannot open '" + path + "'");
+    std::string blob((std::istreambuf_iterator<char>(f)),
+                     std::istreambuf_iterator<char>());
+    return trace::read_binary_trace(ctx, {blob.data(), blob.size()});
+  }
+  if (ends_with(path, ".din")) {
+    return trace::read_din_file(ctx, path);
+  }
+  return trace::read_trace_file(ctx, path);
+}
+
+cache::PrefetchPolicy parse_prefetch(const std::string& s) {
+  if (s == "none") return cache::PrefetchPolicy::None;
+  if (s == "always") return cache::PrefetchPolicy::Always;
+  if (s == "miss") return cache::PrefetchPolicy::Miss;
+  if (s == "tagged") return cache::PrefetchPolicy::Tagged;
+  throw_config_error("unknown prefetch policy '" + s +
+                     "' (none|always|miss|tagged)");
+}
+
+cache::PagePolicy parse_page_policy(const std::string& s) {
+  if (s == "identity") return cache::PagePolicy::Identity;
+  if (s == "first-touch") return cache::PagePolicy::FirstTouch;
+  if (s == "random") return cache::PagePolicy::Random;
+  throw_config_error("unknown page policy '" + s +
+                     "' (identity|first-touch|random)");
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  try {
+    FlagParser flags("dinerosim",
+                     "trace-driven cache simulator with transformations");
+    const auto* trace_path = flags.add_string("trace", "", "input trace file");
+    const auto* rules_path =
+        flags.add_string("rules", "", "transformation rule file (optional)");
+    const auto* xform_out = flags.add_string(
+        "xform-out", "", "write the transformed trace here (default "
+                         "transformed_trace.out when --rules is given)");
+    const auto* size = flags.add_uint("size", 32768, "cache bytes");
+    const auto* block = flags.add_uint("block", 32, "block bytes");
+    const auto* assoc =
+        flags.add_uint("assoc", 1, "ways per set (0 = fully associative)");
+    const auto* repl =
+        flags.add_string("replacement", "lru", "lru|fifo|random|rr");
+    const auto* per_set =
+        flags.add_bool("per-set", false, "print per-set activity table");
+    const auto* per_var =
+        flags.add_bool("per-var", false, "print per-variable statistics");
+    const auto* conflicts =
+        flags.add_bool("conflicts", false, "print eviction conflict pairs");
+    const auto* gnuplot = flags.add_string(
+        "gnuplot", "", "write <prefix>.dat/.gp for plotting");
+    const auto* l2_size = flags.add_uint(
+        "l2-size", 0, "add an L2 level of this many bytes (0 = none)");
+    const auto* l2_assoc = flags.add_uint("l2-assoc", 8, "L2 ways per set");
+    const auto* l2_block = flags.add_uint("l2-block", 64, "L2 block bytes");
+    const auto* page_policy = flags.add_string(
+        "page-policy", "identity",
+        "virtual->physical mapping: identity|first-touch|random");
+    const auto* page_size = flags.add_uint("page-size", 4096, "page bytes");
+    const auto* page_frames = flags.add_uint(
+        "page-frames", 0, "physical frame count (0 = unbounded)");
+    const auto* page_seed =
+        flags.add_uint("page-seed", 1, "random page policy seed");
+    const auto* modify_rw = flags.add_bool(
+        "modify-read-write", false,
+        "count Modify as a read followed by a write (DineroIV style)");
+    const auto* prefetch = flags.add_string(
+        "prefetch", "none", "L1 prefetch: none|always|miss|tagged");
+    const auto* advise =
+        flags.add_bool("advise", false, "print transformation suggestions");
+    const auto* cores = flags.add_uint(
+        "cores", 0, "run a MESI multicore simulation with this many "
+                    "private caches instead of the hierarchy (records "
+                    "route by thread id)");
+    if (!flags.parse(argc, argv)) return 0;
+    if (trace_path->empty()) {
+      throw_config_error("--trace is required");
+    }
+
+    trace::TraceContext ctx;
+    std::vector<trace::TraceRecord> records = load_trace(ctx, *trace_path);
+
+    // Optional transformation pass.
+    if (!rules_path->empty()) {
+      core::RuleSet rules = core::parse_rules_file(*rules_path);
+      for (const core::RuleDiagnostic& d : rules.validate()) {
+        std::fprintf(stderr, "dinerosim: rule %s: %s\n",
+                     d.severity == core::RuleDiagnostic::Severity::Error
+                         ? "error"
+                         : "warning",
+                     d.message.c_str());
+      }
+      core::TransformStats tstats;
+      records = core::transform_trace(rules, ctx, records, {}, &tstats);
+      std::fprintf(stderr,
+                   "dinerosim: transformed %llu records (%llu rewritten, "
+                   "%llu inserted, %llu passthrough, %llu skipped)\n",
+                   static_cast<unsigned long long>(tstats.records_out),
+                   static_cast<unsigned long long>(tstats.rewritten),
+                   static_cast<unsigned long long>(tstats.inserted),
+                   static_cast<unsigned long long>(tstats.passthrough),
+                   static_cast<unsigned long long>(tstats.skipped));
+      for (const std::string& d : tstats.diagnostics) {
+        std::fprintf(stderr, "dinerosim: %s\n", d.c_str());
+      }
+      const std::string out_path =
+          xform_out->empty() ? "transformed_trace.out" : *xform_out;
+      trace::write_trace_file(ctx, records, out_path);
+    }
+
+    // Multicore mode short-circuits the single-core hierarchy path.
+    if (*cores != 0) {
+      cache::CacheConfig cc;
+      cc.size = *size;
+      cc.block_size = *block;
+      cc.assoc = static_cast<std::uint32_t>(*assoc);
+      cache::MesiSystem mesi(cc, static_cast<std::uint32_t>(*cores));
+      cache::MultiCoreSim msim(mesi, ctx);
+      msim.simulate(records);
+      std::fputs(msim.report().c_str(), stdout);
+      return 0;
+    }
+
+    cache::CacheConfig config;
+    config.size = *size;
+    config.block_size = *block;
+    config.assoc = static_cast<std::uint32_t>(*assoc);
+    config.replacement = parse_replacement(*repl);
+    config.prefetch = parse_prefetch(*prefetch);
+    std::vector<cache::CacheConfig> levels{config};
+    if (*l2_size != 0) {
+      cache::CacheConfig l2;
+      l2.name = "L2";
+      l2.size = *l2_size;
+      l2.assoc = static_cast<std::uint32_t>(*l2_assoc);
+      l2.block_size = *l2_block;
+      levels.push_back(l2);
+    }
+    cache::CacheHierarchy hierarchy(std::move(levels));
+    cache::PageMapper mapper(parse_page_policy(*page_policy), *page_size,
+                             *page_frames, *page_seed);
+    cache::SimOptions sim_options;
+    sim_options.modify_is_read_write = *modify_rw;
+    if (mapper.policy() != cache::PagePolicy::Identity) {
+      sim_options.page_mapper = &mapper;
+    }
+    cache::TraceCacheSim sim(hierarchy, sim_options);
+
+    analysis::SetActivityCollector sets(ctx, config.num_sets());
+    analysis::VarStatsCollector vars(ctx);
+    analysis::ConflictCollector conf(ctx);
+    analysis::AdjacencyCollector adj(ctx, config.block_size);
+    sim.add_observer(&sets);
+    if (*per_var || *advise) sim.add_observer(&vars);
+    if (*conflicts || *advise) sim.add_observer(&conf);
+    if (*advise) sim.add_observer(&adj);
+    sim.simulate(records);
+
+    std::fputs(hierarchy.report().c_str(), stdout);
+    if (*per_set) {
+      std::fputs(analysis::set_table(sets, sets.variables()).c_str(), stdout);
+    }
+    if (*per_var) std::fputs(vars.report().c_str(), stdout);
+    if (*conflicts) std::fputs(conf.report().c_str(), stdout);
+    if (*advise) {
+      std::fputs(
+          analysis::render(analysis::advise(vars, conf, {}, &adj)).c_str(),
+          stdout);
+    }
+    if (!gnuplot->empty()) {
+      analysis::write_gnuplot(sets, sets.variables(), *gnuplot,
+                              config.describe());
+      std::fprintf(stderr, "dinerosim: wrote %s.dat and %s.gp\n",
+                   gnuplot->c_str(), gnuplot->c_str());
+    }
+    return 0;
+  } catch (const Error& e) {
+    std::fprintf(stderr, "dinerosim: %s\n", e.what());
+    return 1;
+  }
+}

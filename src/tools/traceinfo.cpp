@@ -1,0 +1,38 @@
+// traceinfo — quick trace statistics: access mix, per-function and
+// per-variable counts, footprint.
+//
+//   traceinfo trace.out [--block 32] [--top 16]
+#include <cstdio>
+
+#include "trace/reader.hpp"
+#include "trace/stats.hpp"
+#include "util/error.hpp"
+#include "util/flags.hpp"
+
+int main(int argc, char** argv) {
+  using namespace tdt;
+  try {
+    FlagParser flags("traceinfo", "trace statistics");
+    const auto* block =
+        flags.add_uint("block", 32, "block size for footprint in blocks");
+    const auto* top = flags.add_uint("top", 16, "rows per ranking table");
+    if (!flags.parse(argc, argv)) return 0;
+    if (flags.positional().size() != 1) {
+      std::fprintf(stderr, "usage: traceinfo <trace-file> [flags]\n");
+      return 2;
+    }
+
+    trace::TraceContext ctx;
+    const auto records = trace::read_trace_file(ctx, flags.positional()[0]);
+    trace::TraceStats stats;
+    stats.add_all(records);
+    std::fputs(stats.report(ctx, *top).c_str(), stdout);
+    std::printf("footprint at %llu-byte blocks: %llu blocks\n",
+                static_cast<unsigned long long>(*block),
+                static_cast<unsigned long long>(stats.footprint_blocks(*block)));
+    return 0;
+  } catch (const Error& e) {
+    std::fprintf(stderr, "traceinfo: %s\n", e.what());
+    return 2;
+  }
+}

@@ -1,0 +1,197 @@
+#include "trace/binary.hpp"
+
+#include <sstream>
+
+#include "util/error.hpp"
+
+namespace tdt::trace {
+namespace {
+
+constexpr char kMagic[4] = {'T', 'D', 'T', 'B'};
+constexpr std::uint8_t kVersion = 1;
+
+// Entry tags.
+constexpr std::uint8_t kTagRecord = 0;
+constexpr std::uint8_t kTagString = 1;
+constexpr std::uint8_t kTagEnd = 2;
+
+}  // namespace
+
+BinaryTraceWriter::BinaryTraceWriter(const TraceContext& ctx,
+                                     std::ostream& out, std::uint64_t pid)
+    : ctx_(&ctx), out_(&out) {
+  out_->write(kMagic, 4);
+  out_->put(static_cast<char>(kVersion));
+  put_varint(pid);
+}
+
+void BinaryTraceWriter::put_varint(std::uint64_t v) {
+  while (v >= 0x80) {
+    out_->put(static_cast<char>((v & 0x7F) | 0x80));
+    v >>= 7;
+  }
+  out_->put(static_cast<char>(v));
+}
+
+void BinaryTraceWriter::define_symbol_if_new(Symbol s) {
+  if (s.id() < defined_.size() && defined_[s.id()]) return;
+  if (s.id() >= defined_.size()) defined_.resize(s.id() + 1, false);
+  defined_[s.id()] = true;
+  const std::string_view text = ctx_->name(s);
+  out_->put(static_cast<char>(kTagString));
+  put_varint(s.id());
+  put_varint(text.size());
+  out_->write(text.data(), static_cast<std::streamsize>(text.size()));
+}
+
+void BinaryTraceWriter::write(const TraceRecord& rec) {
+  internal_check(!finished_, "write after finish");
+  define_symbol_if_new(rec.function);
+  if (!rec.var.empty()) {
+    define_symbol_if_new(rec.var.base);
+    for (const VarStep& step : rec.var.steps) {
+      if (step.is_field) define_symbol_if_new(step.field);
+    }
+  }
+  out_->put(static_cast<char>(kTagRecord));
+  const std::uint8_t packed = static_cast<std::uint8_t>(
+      (static_cast<unsigned>(rec.kind) & 0x7) |
+      ((static_cast<unsigned>(rec.scope) & 0x7) << 3));
+  out_->put(static_cast<char>(packed));
+  put_varint(rec.address);
+  put_varint(rec.size);
+  put_varint(rec.function.id());
+  put_varint(rec.frame);
+  put_varint(rec.thread);
+  if (rec.scope == VarScope::Unknown) return;
+  put_varint(rec.var.base.id());
+  put_varint(rec.var.steps.size());
+  for (const VarStep& step : rec.var.steps) {
+    out_->put(static_cast<char>(step.is_field ? 1 : 0));
+    put_varint(step.is_field ? step.field.id() : step.index);
+  }
+}
+
+void BinaryTraceWriter::finish() {
+  internal_check(!finished_, "double finish");
+  out_->put(static_cast<char>(kTagEnd));
+  finished_ = true;
+}
+
+BinaryTraceReader::BinaryTraceReader(TraceContext& ctx, std::istream& in)
+    : ctx_(&ctx), in_(&in) {
+  char magic[4];
+  in_->read(magic, 4);
+  if (!*in_ || std::string_view(magic, 4) != std::string_view(kMagic, 4)) {
+    throw_parse_error("not a TDTB binary trace (bad magic)");
+  }
+  const int version = in_->get();
+  if (version != kVersion) {
+    throw_parse_error("unsupported TDTB version " + std::to_string(version));
+  }
+  pid_ = get_varint();
+}
+
+std::uint64_t BinaryTraceReader::get_varint() {
+  std::uint64_t v = 0;
+  int shift = 0;
+  for (;;) {
+    const int byte = in_->get();
+    if (byte == std::istream::traits_type::eof()) {
+      throw_parse_error("truncated binary trace (eof inside varint)");
+    }
+    v |= static_cast<std::uint64_t>(byte & 0x7F) << shift;
+    if ((byte & 0x80) == 0) return v;
+    shift += 7;
+    if (shift >= 64) {
+      throw_parse_error("overlong varint in binary trace");
+    }
+  }
+}
+
+Symbol BinaryTraceReader::map_symbol(std::uint64_t file_id) const {
+  if (file_id >= symbol_map_.size()) {
+    throw_parse_error("binary trace references undefined string id " +
+                      std::to_string(file_id));
+  }
+  return symbol_map_[file_id];
+}
+
+bool BinaryTraceReader::next(TraceRecord& out) {
+  for (;;) {
+    const int tag = in_->get();
+    if (tag == std::istream::traits_type::eof()) {
+      throw_parse_error("truncated binary trace (missing end marker)");
+    }
+    if (tag == kTagEnd) return false;
+    if (tag == kTagString) {
+      const std::uint64_t id = get_varint();
+      const std::uint64_t len = get_varint();
+      std::string text(len, '\0');
+      in_->read(text.data(), static_cast<std::streamsize>(len));
+      if (!*in_) {
+        throw_parse_error("truncated string in binary trace");
+      }
+      if (id >= symbol_map_.size()) symbol_map_.resize(id + 1);
+      symbol_map_[id] = ctx_->intern(text);
+      continue;
+    }
+    if (tag != kTagRecord) {
+      throw_parse_error("unknown entry tag " + std::to_string(tag) +
+                        " in binary trace");
+    }
+    const int packed = in_->get();
+    if (packed == std::istream::traits_type::eof()) {
+      throw_parse_error("truncated record in binary trace");
+    }
+    out = TraceRecord{};
+    out.kind = static_cast<AccessKind>(packed & 0x7);
+    out.scope = static_cast<VarScope>((packed >> 3) & 0x7);
+    out.address = get_varint();
+    out.size = static_cast<std::uint32_t>(get_varint());
+    out.function = map_symbol(get_varint());
+    out.frame = static_cast<std::uint16_t>(get_varint());
+    out.thread = static_cast<std::uint16_t>(get_varint());
+    if (out.scope != VarScope::Unknown) {
+      out.var.base = map_symbol(get_varint());
+      const std::uint64_t nsteps = get_varint();
+      for (std::uint64_t i = 0; i < nsteps; ++i) {
+        const int is_field = in_->get();
+        if (is_field == std::istream::traits_type::eof()) {
+          throw_parse_error("truncated var steps in binary trace");
+        }
+        const std::uint64_t v = get_varint();
+        out.var.steps.push_back(is_field != 0
+                                    ? VarStep::make_field(map_symbol(v))
+                                    : VarStep::make_index(v));
+      }
+    }
+    return true;
+  }
+}
+
+std::vector<char> write_binary_trace(const TraceContext& ctx,
+                                     std::span<const TraceRecord> records,
+                                     std::uint64_t pid) {
+  std::ostringstream out(std::ios::binary);
+  BinaryTraceWriter w(ctx, out, pid);
+  for (const TraceRecord& rec : records) w.write(rec);
+  w.finish();
+  const std::string s = out.str();
+  return {s.begin(), s.end()};
+}
+
+std::vector<TraceRecord> read_binary_trace(TraceContext& ctx,
+                                           std::span<const char> blob,
+                                           std::uint64_t* pid) {
+  std::istringstream in(std::string(blob.data(), blob.size()),
+                        std::ios::binary);
+  BinaryTraceReader r(ctx, in);
+  if (pid != nullptr) *pid = r.pid();
+  std::vector<TraceRecord> records;
+  TraceRecord rec;
+  while (r.next(rec)) records.push_back(rec);
+  return records;
+}
+
+}  // namespace tdt::trace

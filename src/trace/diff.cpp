@@ -1,0 +1,146 @@
+#include "trace/diff.hpp"
+
+#include <algorithm>
+
+namespace tdt::trace {
+namespace {
+
+/// "Same event" — the record describes the same program action even if the
+/// transformation moved it to a different address or renamed the variable.
+bool corresponds(const TraceRecord& a, const TraceRecord& b) {
+  return a.kind == b.kind && a.function == b.function &&
+         a.thread == b.thread;
+}
+
+}  // namespace
+
+std::vector<DiffEntry> diff_traces(std::span<const TraceRecord> original,
+                                   std::span<const TraceRecord> transformed) {
+  std::vector<DiffEntry> out;
+  std::uint32_t i = 0;
+  std::uint32_t j = 0;
+  const auto n = static_cast<std::uint32_t>(original.size());
+  const auto m = static_cast<std::uint32_t>(transformed.size());
+
+  // How far ahead to look for re-synchronisation. Transformations insert
+  // at most a few records per source access (one pointer load per
+  // indirection level, a handful of injected index loads), so a small
+  // window is sufficient and keeps the diff O(n).
+  constexpr std::uint32_t kWindow = 8;
+
+  while (i < n || j < m) {
+    if (i >= n) {
+      out.push_back({DiffKind::Inserted, DiffEntry::kUnpaired, j++});
+      continue;
+    }
+    if (j >= m) {
+      out.push_back({DiffKind::Deleted, i++, DiffEntry::kUnpaired});
+      continue;
+    }
+    if (original[i] == transformed[j]) {
+      out.push_back({DiffKind::Same, i++, j++});
+      continue;
+    }
+    // Does an exact copy of original[i] appear shortly ahead in the
+    // transformed trace? Then the records in between were inserted.
+    bool resynced = false;
+    for (std::uint32_t k = 1; k <= kWindow && j + k < m; ++k) {
+      if (original[i] == transformed[j + k]) {
+        for (std::uint32_t t = 0; t < k; ++t) {
+          out.push_back({DiffKind::Inserted, DiffEntry::kUnpaired, j++});
+        }
+        resynced = true;
+        break;
+      }
+    }
+    if (resynced) continue;
+    // Does original[i] vanish while original[i+k] matches transformed[j]?
+    for (std::uint32_t k = 1; k <= kWindow && i + k < n; ++k) {
+      if (original[i + k] == transformed[j]) {
+        for (std::uint32_t t = 0; t < k; ++t) {
+          out.push_back({DiffKind::Deleted, i++, DiffEntry::kUnpaired});
+        }
+        resynced = true;
+        break;
+      }
+    }
+    if (resynced) continue;
+    if (corresponds(original[i], transformed[j])) {
+      out.push_back({DiffKind::Modified, i++, j++});
+      continue;
+    }
+    // No correspondence: prefer treating the transformed record as an
+    // insertion when it re-synchronises on a *corresponding* (not
+    // necessarily equal) record within the window; otherwise fall back to
+    // a modification so the diff always terminates.
+    bool inserted = false;
+    for (std::uint32_t k = 1; k <= kWindow && j + k < m; ++k) {
+      if (corresponds(original[i], transformed[j + k])) {
+        out.push_back({DiffKind::Inserted, DiffEntry::kUnpaired, j++});
+        inserted = true;
+        break;
+      }
+    }
+    if (inserted) continue;
+    out.push_back({DiffKind::Modified, i++, j++});
+  }
+  return out;
+}
+
+DiffSummary summarize(std::span<const DiffEntry> entries) {
+  DiffSummary s;
+  for (const DiffEntry& e : entries) {
+    switch (e.kind) {
+      case DiffKind::Same: ++s.same; break;
+      case DiffKind::Modified: ++s.modified; break;
+      case DiffKind::Inserted: ++s.inserted; break;
+      case DiffKind::Deleted: ++s.deleted; break;
+    }
+  }
+  return s;
+}
+
+std::string render_side_by_side(const TraceContext& ctx,
+                                std::span<const TraceRecord> original,
+                                std::span<const TraceRecord> transformed,
+                                std::span<const DiffEntry> entries,
+                                std::size_t max_rows) {
+  // First pass: width of the left column.
+  std::size_t left_width = 0;
+  std::vector<std::string> left(entries.size());
+  std::vector<std::string> right(entries.size());
+  std::size_t rows = std::min(entries.size(), max_rows);
+  for (std::size_t r = 0; r < rows; ++r) {
+    const DiffEntry& e = entries[r];
+    if (e.original != DiffEntry::kUnpaired) {
+      left[r] = ctx.format_record(original[e.original]);
+    }
+    if (e.transformed != DiffEntry::kUnpaired) {
+      right[r] = ctx.format_record(transformed[e.transformed]);
+    }
+    left_width = std::max(left_width, left[r].size());
+  }
+  std::string out;
+  for (std::size_t r = 0; r < rows; ++r) {
+    char tag = ' ';
+    switch (entries[r].kind) {
+      case DiffKind::Same: tag = ' '; break;
+      case DiffKind::Modified: tag = '~'; break;
+      case DiffKind::Inserted: tag = '+'; break;
+      case DiffKind::Deleted: tag = '-'; break;
+    }
+    out += tag;
+    out += ' ';
+    out += left[r];
+    out.append(left_width - left[r].size(), ' ');
+    out += " | ";
+    out += right[r];
+    out += '\n';
+  }
+  if (rows < entries.size()) {
+    out += "... (" + std::to_string(entries.size() - rows) + " more rows)\n";
+  }
+  return out;
+}
+
+}  // namespace tdt::trace

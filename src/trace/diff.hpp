@@ -1,0 +1,70 @@
+// Trace diff: aligns an original trace with its transformed counterpart
+// and classifies every line, reproducing the side-by-side comparisons of
+// the paper's Figures 5, 8 and 9 ("A complete and transformed trace is
+// compared with the original trace", §IV-A step 5).
+//
+// A transformed trace is the original with (a) some records rewritten in
+// place (same event, new address / variable) and (b) extra records
+// inserted for pointer indirection or injected index arithmetic. The
+// aligner exploits that structure instead of running a general LCS.
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <string>
+#include <vector>
+
+#include "trace/record.hpp"
+
+namespace tdt::trace {
+
+/// Classification of one aligned diff row.
+enum class DiffKind : std::uint8_t {
+  Same,      ///< identical record on both sides
+  Modified,  ///< same event, rewritten address/variable (Fig 5 arrows)
+  Inserted,  ///< present only in the transformed trace (Fig 8 green lines)
+  Deleted,   ///< present only in the original trace
+};
+
+/// One aligned row. Indices refer to the input spans; kUnpaired marks the
+/// missing side of an insertion/deletion.
+struct DiffEntry {
+  static constexpr std::uint32_t kUnpaired = 0xFFFFFFFFu;
+
+  DiffKind kind = DiffKind::Same;
+  std::uint32_t original = kUnpaired;
+  std::uint32_t transformed = kUnpaired;
+};
+
+/// Summary counts over a diff.
+struct DiffSummary {
+  std::uint64_t same = 0;
+  std::uint64_t modified = 0;
+  std::uint64_t inserted = 0;
+  std::uint64_t deleted = 0;
+
+  [[nodiscard]] std::uint64_t rows() const noexcept {
+    return same + modified + inserted + deleted;
+  }
+  friend bool operator==(const DiffSummary&, const DiffSummary&) = default;
+};
+
+/// Aligns `original` against `transformed`.
+[[nodiscard]] std::vector<DiffEntry> diff_traces(
+    std::span<const TraceRecord> original,
+    std::span<const TraceRecord> transformed);
+
+/// Tallies a diff.
+[[nodiscard]] DiffSummary summarize(std::span<const DiffEntry> entries);
+
+/// Renders a side-by-side view:
+///   `  <original line> | <transformed line>`   (Same)
+///   `~ <original line> | <transformed line>`   (Modified)
+///   `+                 | <transformed line>`   (Inserted)
+///   `- <original line> |`                      (Deleted)
+[[nodiscard]] std::string render_side_by_side(
+    const TraceContext& ctx, std::span<const TraceRecord> original,
+    std::span<const TraceRecord> transformed,
+    std::span<const DiffEntry> entries, std::size_t max_rows = ~std::size_t{0});
+
+}  // namespace tdt::trace

@@ -1,0 +1,110 @@
+#include "trace/din.hpp"
+
+#include <fstream>
+#include <sstream>
+
+#include "util/error.hpp"
+#include "util/string_util.hpp"
+
+namespace tdt::trace {
+namespace {
+
+std::vector<TraceRecord> read_din_stream(TraceContext& ctx, std::istream& in,
+                                         std::uint32_t default_size) {
+  std::vector<TraceRecord> records;
+  std::string line;
+  std::uint32_t line_no = 0;
+  const Symbol unknown_fn = ctx.intern("?");
+  while (std::getline(in, line)) {
+    ++line_no;
+    const std::string_view body = trim(line);
+    if (body.empty() || body[0] == '#') continue;
+    const auto fields = split_ws(body);
+    if (fields.size() < 2 || fields.size() > 3) {
+      throw_parse_error("din line needs 2 or 3 fields", {line_no, 1});
+    }
+    TraceRecord rec;
+    if (fields[0] == "0") {
+      rec.kind = AccessKind::Load;
+    } else if (fields[0] == "1") {
+      rec.kind = AccessKind::Store;
+    } else if (fields[0] == "2") {
+      rec.kind = AccessKind::Instr;
+    } else {
+      throw_parse_error("bad din label '" + std::string(fields[0]) + "'",
+                        {line_no, 1});
+    }
+    const auto addr = parse_hex(fields[1]);
+    if (!addr) {
+      throw_parse_error("bad din address '" + std::string(fields[1]) + "'",
+                        {line_no, 1});
+    }
+    rec.address = *addr;
+    rec.size = default_size;
+    if (fields.size() == 3) {
+      const auto size = parse_hex(fields[2]);
+      if (!size || *size == 0) {
+        throw_parse_error("bad din size '" + std::string(fields[2]) + "'",
+                          {line_no, 1});
+      }
+      rec.size = static_cast<std::uint32_t>(*size);
+    }
+    rec.function = unknown_fn;
+    records.push_back(rec);
+  }
+  return records;
+}
+
+}  // namespace
+
+std::vector<TraceRecord> read_din_string(TraceContext& ctx,
+                                         std::string_view text,
+                                         std::uint32_t default_size) {
+  std::istringstream in{std::string(text)};
+  return read_din_stream(ctx, in, default_size);
+}
+
+std::vector<TraceRecord> read_din_file(TraceContext& ctx,
+                                       const std::string& path,
+                                       std::uint32_t default_size) {
+  std::ifstream in(path);
+  if (!in) {
+    throw_io_error("cannot open din trace '" + path + "'");
+  }
+  return read_din_stream(ctx, in, default_size);
+}
+
+std::string write_din_string(std::span<const TraceRecord> records) {
+  std::string out;
+  for (const TraceRecord& rec : records) {
+    char label = '0';
+    switch (rec.kind) {
+      case AccessKind::Load: label = '0'; break;
+      case AccessKind::Store:
+      case AccessKind::Modify: label = '1'; break;
+      case AccessKind::Instr: label = '2'; break;
+      case AccessKind::Misc: continue;  // not representable
+    }
+    out += label;
+    out += ' ';
+    out += to_hex(rec.address);
+    out += ' ';
+    out += to_hex(rec.size);
+    out += '\n';
+  }
+  return out;
+}
+
+void write_din_file(std::span<const TraceRecord> records,
+                    const std::string& path) {
+  std::ofstream out(path);
+  if (!out) {
+    throw_io_error("cannot open '" + path + "' for writing");
+  }
+  out << write_din_string(records);
+  if (!out) {
+    throw_io_error("write to '" + path + "' failed");
+  }
+}
+
+}  // namespace tdt::trace

@@ -1,0 +1,42 @@
+// Classic DineroIV "din" trace format for interoperability with the
+// original tool's ecosystem:
+//
+//   <label> <hex address> [hex size]
+//
+// where label 0 = data read, 1 = data write, 2 = instruction fetch.
+// din traces carry no symbol metadata, so records import with Unknown
+// scope (they simulate fine but cannot be transformed — the paper's rule
+// matching needs Gleipnir's variable annotations).
+#pragma once
+
+#include <istream>
+#include <ostream>
+#include <span>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "trace/record.hpp"
+
+namespace tdt::trace {
+
+/// Parses a din-format text into records. Missing sizes default to
+/// `default_size` bytes. Modify records cannot be represented in din.
+std::vector<TraceRecord> read_din_string(TraceContext& ctx,
+                                         std::string_view text,
+                                         std::uint32_t default_size = 4);
+
+/// Reads a din file from disk. Throws Error{Io} when unreadable.
+std::vector<TraceRecord> read_din_file(TraceContext& ctx,
+                                       const std::string& path,
+                                       std::uint32_t default_size = 4);
+
+/// Renders records as din text: Load -> 0, Store and Modify -> 1 (din has
+/// no read-modify-write label), Instr -> 2, Misc -> dropped.
+std::string write_din_string(std::span<const TraceRecord> records);
+
+/// Writes a din file. Throws Error{Io} on failure.
+void write_din_file(std::span<const TraceRecord> records,
+                    const std::string& path);
+
+}  // namespace tdt::trace

@@ -1,0 +1,150 @@
+#include "trace/reader.hpp"
+
+#include <fstream>
+#include <sstream>
+
+#include "util/error.hpp"
+#include "util/string_util.hpp"
+
+namespace tdt::trace {
+
+GleipnirReader::GleipnirReader(TraceContext& ctx, std::istream& in)
+    : ctx_(&ctx), in_(&in) {}
+
+TraceRecord GleipnirReader::parse_record_line(TraceContext& ctx,
+                                              std::string_view line,
+                                              std::uint32_t line_number) {
+  const SourceLoc loc{line_number, 1};
+  const std::vector<std::string_view> f = split_ws(line);
+  if (f.size() < 4) {
+    throw_parse_error("trace line needs at least 4 fields, got " +
+                          std::to_string(f.size()),
+                      loc);
+  }
+  TraceRecord rec;
+  if (f[0].size() != 1 || !parse_access_kind(f[0][0], rec.kind)) {
+    throw_parse_error("bad access kind '" + std::string(f[0]) + "'", loc);
+  }
+  auto addr = parse_hex(f[1]);
+  if (!addr) {
+    throw_parse_error("bad address '" + std::string(f[1]) + "'", loc);
+  }
+  rec.address = *addr;
+  auto size = parse_uint(f[2]);
+  if (!size || *size == 0 || *size > 0xFFFFFFFFull) {
+    throw_parse_error("bad access size '" + std::string(f[2]) + "'", loc);
+  }
+  rec.size = static_cast<std::uint32_t>(*size);
+  rec.function = ctx.intern(f[3]);
+
+  if (f.size() == 4) {
+    return rec;  // no symbol info
+  }
+  if (!parse_var_scope(f[4], rec.scope)) {
+    throw_parse_error("bad scope '" + std::string(f[4]) + "'", loc);
+  }
+  std::size_t i = 5;
+  if (!is_global_scope(rec.scope)) {
+    if (f.size() < 8) {
+      throw_parse_error("local-scope line needs frame, thread and variable",
+                        loc);
+    }
+    auto frame = parse_uint(f[5]);
+    auto thread = parse_uint(f[6]);
+    if (!frame || !thread || *frame > 0xFFFF || *thread > 0xFFFF) {
+      throw_parse_error("bad frame/thread on trace line", loc);
+    }
+    rec.frame = static_cast<std::uint16_t>(*frame);
+    rec.thread = static_cast<std::uint16_t>(*thread);
+    i = 7;
+  }
+  if (i >= f.size()) {
+    throw_parse_error("missing variable reference", loc);
+  }
+  if (i + 1 != f.size()) {
+    throw_parse_error("trailing fields after variable reference", loc);
+  }
+  rec.var = ctx.parse_var(f[i]);
+  return rec;
+}
+
+std::optional<TraceEvent> GleipnirReader::next() {
+  std::string line;
+  while (std::getline(*in_, line)) {
+    ++line_;
+    std::string_view body = trim(line);
+    if (body.empty()) continue;
+    if (starts_with(body, "START") || starts_with(body, "END")) {
+      const bool is_start = starts_with(body, "START");
+      const std::vector<std::string_view> f = split_ws(body);
+      if (f.size() != 3 || f[1] != "PID") {
+        throw_parse_error("malformed marker line '" + std::string(body) + "'",
+                          {line_, 1});
+      }
+      auto pid = parse_uint(f[2]);
+      if (!pid) {
+        throw_parse_error("bad pid '" + std::string(f[2]) + "'", {line_, 1});
+      }
+      TraceEvent ev;
+      ev.kind = is_start ? TraceEvent::Kind::Start : TraceEvent::Kind::End;
+      ev.pid = *pid;
+      return ev;
+    }
+    TraceEvent ev;
+    ev.kind = TraceEvent::Kind::Record;
+    ev.record = parse_record_line(*ctx_, body, line_);
+    return ev;
+  }
+  return std::nullopt;
+}
+
+std::vector<TraceRecord> read_trace_string(TraceContext& ctx,
+                                           std::string_view text,
+                                           std::uint64_t* pid) {
+  std::istringstream in{std::string(text)};
+  GleipnirReader reader(ctx, in);
+  std::vector<TraceRecord> records;
+  bool saw_start = false;
+  while (auto ev = reader.next()) {
+    switch (ev->kind) {
+      case TraceEvent::Kind::Start:
+        if (!saw_start && pid != nullptr) *pid = ev->pid;
+        saw_start = true;
+        break;
+      case TraceEvent::Kind::End:
+        break;
+      case TraceEvent::Kind::Record:
+        records.push_back(std::move(ev->record));
+        break;
+    }
+  }
+  return records;
+}
+
+std::vector<TraceRecord> read_trace_file(TraceContext& ctx,
+                                         const std::string& path,
+                                         std::uint64_t* pid) {
+  std::ifstream in(path);
+  if (!in) {
+    throw_io_error("cannot open trace file '" + path + "'");
+  }
+  GleipnirReader reader(ctx, in);
+  std::vector<TraceRecord> records;
+  bool saw_start = false;
+  while (auto ev = reader.next()) {
+    switch (ev->kind) {
+      case TraceEvent::Kind::Start:
+        if (!saw_start && pid != nullptr) *pid = ev->pid;
+        saw_start = true;
+        break;
+      case TraceEvent::Kind::End:
+        break;
+      case TraceEvent::Kind::Record:
+        records.push_back(std::move(ev->record));
+        break;
+    }
+  }
+  return records;
+}
+
+}  // namespace tdt::trace

@@ -1,0 +1,67 @@
+// Reader for the Gleipnir textual trace format (paper Listing 2):
+//
+//   START PID 13063
+//   S 7ff0001b0 8 main LV 0 1 _zzq_result
+//   L 7ff0001b0 8 main
+//   S 000601040 4 main GV glScalar
+//   ...
+//   END PID 13063
+#pragma once
+
+#include <istream>
+#include <optional>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "trace/record.hpp"
+
+namespace tdt::trace {
+
+/// One parsed trace-file event: either a record or a START/END marker.
+struct TraceEvent {
+  enum class Kind : std::uint8_t { Record, Start, End };
+
+  Kind kind = Kind::Record;
+  TraceRecord record;    // when kind == Record
+  std::uint64_t pid = 0; // when kind == Start / End
+};
+
+/// Streaming line-by-line parser. Throws Error{Parse} with the offending
+/// line number on malformed input; blank lines are skipped.
+class GleipnirReader {
+ public:
+  GleipnirReader(TraceContext& ctx, std::istream& in);
+
+  /// Returns the next event, or nullopt at end of input.
+  std::optional<TraceEvent> next();
+
+  /// 1-based number of the line most recently consumed.
+  [[nodiscard]] std::uint32_t line_number() const noexcept { return line_; }
+
+  /// Parses a single record line (no START/END handling). Exposed for
+  /// tests and the diff tool.
+  static TraceRecord parse_record_line(TraceContext& ctx,
+                                       std::string_view line,
+                                       std::uint32_t line_number = 0);
+
+ private:
+  TraceContext* ctx_;
+  std::istream* in_;
+  std::uint32_t line_ = 0;
+};
+
+/// Reads every record of an in-memory trace text. START/END markers are
+/// validated and dropped; the first START's pid is stored in *pid when
+/// non-null.
+std::vector<TraceRecord> read_trace_string(TraceContext& ctx,
+                                           std::string_view text,
+                                           std::uint64_t* pid = nullptr);
+
+/// Reads a trace file from disk. Throws Error{Io} when the file cannot be
+/// opened.
+std::vector<TraceRecord> read_trace_file(TraceContext& ctx,
+                                         const std::string& path,
+                                         std::uint64_t* pid = nullptr);
+
+}  // namespace tdt::trace

@@ -1,0 +1,135 @@
+// The trace record model: an in-memory representation of one Gleipnir
+// trace line (paper Fig. 1):
+//
+//   [ S ] 7ff000108 [ malloc ] [ LS ] [ 0 ] [ 1 ] [ _zzq_args[5] ]
+//    kind  address    function  scope  frame thread variable
+//
+// Function and variable names are interned in a TraceContext's StringPool
+// so a record is cheap to copy and compare.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+
+#include "util/small_vector.hpp"
+#include "util/string_pool.hpp"
+
+namespace tdt::trace {
+
+/// Kind of memory event, matching Gleipnir's first trace column.
+enum class AccessKind : std::uint8_t {
+  Load,    ///< 'L' — data read
+  Store,   ///< 'S' — data write
+  Modify,  ///< 'M' — read-modify-write (e.g. i++)
+  Instr,   ///< 'I' — instruction fetch (disabled in the paper's runs)
+  Misc,    ///< 'X' — miscellaneous
+};
+
+/// Variable scope annotation, matching Gleipnir's LV/LS/GV/GS column.
+enum class VarScope : std::uint8_t {
+  Unknown,          ///< no symbol information on this line
+  LocalVariable,    ///< LV — scalar local
+  LocalStructure,   ///< LS — local aggregate (struct or array) element
+  GlobalVariable,   ///< GV — scalar global
+  GlobalStructure,  ///< GS — global aggregate element
+};
+
+/// True for LS/GS scopes (aggregate element accesses).
+[[nodiscard]] constexpr bool is_structure_scope(VarScope s) noexcept {
+  return s == VarScope::LocalStructure || s == VarScope::GlobalStructure;
+}
+
+/// True for GV/GS scopes. Global accesses omit frame/thread in the text
+/// format ("there is no need to identify the frame", paper §III-A).
+[[nodiscard]] constexpr bool is_global_scope(VarScope s) noexcept {
+  return s == VarScope::GlobalVariable || s == VarScope::GlobalStructure;
+}
+
+/// Single-character code for an access kind ('L', 'S', 'M', 'I', 'X').
+[[nodiscard]] char access_kind_code(AccessKind k) noexcept;
+
+/// Parses an access-kind code; returns false when `c` is not one.
+[[nodiscard]] bool parse_access_kind(char c, AccessKind& out) noexcept;
+
+/// Two-character scope code ("LV", "LS", "GV", "GS"; "" for Unknown).
+[[nodiscard]] std::string_view var_scope_code(VarScope s) noexcept;
+
+/// Parses a scope code; returns false when `text` is not one.
+[[nodiscard]] bool parse_var_scope(std::string_view text,
+                                   VarScope& out) noexcept;
+
+/// One selector step inside a variable reference: either `.field` or
+/// `[index]`.
+struct VarStep {
+  Symbol field;             // valid when is_field
+  std::uint64_t index = 0;  // valid when !is_field
+  bool is_field = false;
+
+  static VarStep make_field(Symbol f) { return VarStep{f, 0, true}; }
+  static VarStep make_index(std::uint64_t i) { return VarStep{{}, i, false}; }
+
+  friend bool operator==(const VarStep& a, const VarStep& b) noexcept {
+    return a.is_field == b.is_field &&
+           (a.is_field ? a.field == b.field : a.index == b.index);
+  }
+};
+
+/// A structured variable reference: base name plus selector chain, e.g.
+/// glStructArray[0].myArray[1] -> base=glStructArray,
+/// steps=[ [0], .myArray, [1] ].
+struct VarRef {
+  Symbol base;
+  SmallVector<VarStep, 3> steps;
+
+  [[nodiscard]] bool empty() const noexcept { return base.empty(); }
+
+  friend bool operator==(const VarRef& a, const VarRef& b) noexcept {
+    return a.base == b.base && a.steps == b.steps;
+  }
+};
+
+/// One trace line.
+struct TraceRecord {
+  AccessKind kind = AccessKind::Load;
+  VarScope scope = VarScope::Unknown;
+  std::uint16_t frame = 0;
+  std::uint16_t thread = 1;
+  std::uint32_t size = 0;
+  std::uint64_t address = 0;
+  Symbol function;
+  VarRef var;
+
+  friend bool operator==(const TraceRecord&, const TraceRecord&) = default;
+};
+
+/// Owns the string pool shared by all records of one trace pipeline and
+/// provides formatting helpers that need name lookup.
+class TraceContext {
+ public:
+  TraceContext() = default;
+
+  [[nodiscard]] StringPool& pool() noexcept { return pool_; }
+  [[nodiscard]] const StringPool& pool() const noexcept { return pool_; }
+
+  /// Interns a name.
+  Symbol intern(std::string_view s) { return pool_.intern(s); }
+
+  /// Name for a symbol.
+  [[nodiscard]] std::string_view name(Symbol s) const { return pool_.view(s); }
+
+  /// Renders a variable reference ("lSoA.mX[3]").
+  [[nodiscard]] std::string format_var(const VarRef& var) const;
+
+  /// Parses a variable reference text into interned form.
+  [[nodiscard]] VarRef parse_var(std::string_view text);
+
+  /// Renders a full trace line exactly as Gleipnir prints it
+  /// (no trailing newline).
+  [[nodiscard]] std::string format_record(const TraceRecord& rec) const;
+
+ private:
+  StringPool pool_;
+};
+
+}  // namespace tdt::trace

@@ -1,0 +1,75 @@
+// TraceSink: push-style consumer interface connecting pipeline stages.
+// The tracer produces records into a sink; the transformation engine is a
+// sink that filters/rewrites into another sink; the cache simulator and
+// the writers are terminal sinks. This mirrors the paper's Figure 2 cycle
+// (tracer -> trace file -> analyzer) while also allowing fully in-memory
+// pipelines.
+#pragma once
+
+#include <vector>
+
+#include "trace/record.hpp"
+
+namespace tdt::trace {
+
+/// Abstract consumer of trace records.
+class TraceSink {
+ public:
+  virtual ~TraceSink() = default;
+
+  /// Receives one record.
+  virtual void on_record(const TraceRecord& rec) = 0;
+
+  /// Signals end of trace (flush opportunity). Default: no-op.
+  virtual void on_end() {}
+};
+
+/// Sink that accumulates records into a vector.
+class VectorSink final : public TraceSink {
+ public:
+  void on_record(const TraceRecord& rec) override { records_.push_back(rec); }
+
+  [[nodiscard]] std::vector<TraceRecord>& records() noexcept {
+    return records_;
+  }
+  [[nodiscard]] const std::vector<TraceRecord>& records() const noexcept {
+    return records_;
+  }
+
+  /// Moves the accumulated records out, leaving the sink empty.
+  [[nodiscard]] std::vector<TraceRecord> take() noexcept {
+    return std::move(records_);
+  }
+
+ private:
+  std::vector<TraceRecord> records_;
+};
+
+/// Sink that forwards every record to several downstream sinks (e.g. a
+/// cache simulator and a file writer at once).
+class TeeSink final : public TraceSink {
+ public:
+  explicit TeeSink(std::vector<TraceSink*> sinks) : sinks_(std::move(sinks)) {}
+
+  void on_record(const TraceRecord& rec) override {
+    for (TraceSink* s : sinks_) s->on_record(rec);
+  }
+  void on_end() override {
+    for (TraceSink* s : sinks_) s->on_end();
+  }
+
+ private:
+  std::vector<TraceSink*> sinks_;
+};
+
+/// Sink that counts records and otherwise discards them.
+class NullSink final : public TraceSink {
+ public:
+  void on_record(const TraceRecord&) override { ++count_; }
+  [[nodiscard]] std::uint64_t count() const noexcept { return count_; }
+
+ private:
+  std::uint64_t count_ = 0;
+};
+
+}  // namespace tdt::trace

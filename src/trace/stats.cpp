@@ -1,0 +1,72 @@
+#include "trace/stats.hpp"
+
+#include <algorithm>
+
+#include "util/table.hpp"
+
+namespace tdt::trace {
+
+void TraceStats::add(const TraceRecord& rec) {
+  totals_.add(rec.kind);
+  by_function_[rec.function].add(rec.kind);
+  if (!rec.var.empty()) {
+    by_variable_[rec.var.base].add(rec.kind);
+  }
+  for (std::uint32_t b = 0; b < rec.size; ++b) {
+    addresses_.insert(rec.address + b);
+  }
+  min_addr_ = std::min(min_addr_, rec.address);
+  max_addr_ = std::max(max_addr_, rec.address + rec.size - 1);
+}
+
+void TraceStats::add_all(std::span<const TraceRecord> records) {
+  for (const TraceRecord& rec : records) add(rec);
+}
+
+std::uint64_t TraceStats::footprint_blocks(std::uint64_t block_size) const {
+  std::unordered_set<std::uint64_t> blocks;
+  for (std::uint64_t a : addresses_) {
+    blocks.insert(a / block_size);
+  }
+  return blocks.size();
+}
+
+std::string TraceStats::report(const TraceContext& ctx,
+                               std::size_t top_n) const {
+  std::string out;
+  out += "records: " + std::to_string(records()) + "\n";
+  out += "  loads: " + std::to_string(totals_.loads) +
+         "  stores: " + std::to_string(totals_.stores) +
+         "  modifies: " + std::to_string(totals_.modifies) +
+         "  other: " + std::to_string(totals_.other) + "\n";
+  out += "distinct bytes touched: " + std::to_string(distinct_addresses()) +
+         "\n";
+  if (!addresses_.empty()) {
+    out += "address range: 0x" + std::to_string(min_addr_) + " .. 0x" +
+           std::to_string(max_addr_) + "\n";
+  }
+
+  auto emit_top = [&](const char* title,
+                      const std::unordered_map<Symbol, AccessCounts>& map) {
+    std::vector<std::pair<Symbol, AccessCounts>> rows(map.begin(), map.end());
+    std::sort(rows.begin(), rows.end(), [](const auto& a, const auto& b) {
+      if (a.second.total() != b.second.total()) {
+        return a.second.total() > b.second.total();
+      }
+      return a.first.id() < b.first.id();
+    });
+    if (rows.size() > top_n) rows.resize(top_n);
+    TextTable t({title, "loads", "stores", "modifies", "total"});
+    for (const auto& [sym, counts] : rows) {
+      t.add(std::string(ctx.name(sym)), counts.loads, counts.stores,
+            counts.modifies, counts.total());
+    }
+    out += t.render();
+  };
+
+  emit_top("function", by_function_);
+  emit_top("variable", by_variable_);
+  return out;
+}
+
+}  // namespace tdt::trace

@@ -1,0 +1,94 @@
+// Aggregate statistics over a trace: access-kind mix, per-function and
+// per-variable counts, address footprint. This is the "rudimentary
+// analysis" of the paper's §I, and feeds the `traceinfo` tool.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <span>
+#include <string>
+#include <unordered_map>
+#include <unordered_set>
+#include <vector>
+
+#include "trace/record.hpp"
+
+namespace tdt::trace {
+
+/// Counts for one function or variable.
+struct AccessCounts {
+  std::uint64_t loads = 0;
+  std::uint64_t stores = 0;
+  std::uint64_t modifies = 0;
+  std::uint64_t other = 0;
+
+  [[nodiscard]] std::uint64_t total() const noexcept {
+    return loads + stores + modifies + other;
+  }
+
+  void add(AccessKind kind) noexcept {
+    switch (kind) {
+      case AccessKind::Load: ++loads; break;
+      case AccessKind::Store: ++stores; break;
+      case AccessKind::Modify: ++modifies; break;
+      default: ++other; break;
+    }
+  }
+
+  friend bool operator==(const AccessCounts&, const AccessCounts&) = default;
+};
+
+/// Whole-trace statistics.
+class TraceStats {
+ public:
+  /// Accumulates one record.
+  void add(const TraceRecord& rec);
+
+  /// Accumulates a whole trace.
+  void add_all(std::span<const TraceRecord> records);
+
+  [[nodiscard]] const AccessCounts& totals() const noexcept { return totals_; }
+
+  /// Per-function counts keyed by interned function symbol.
+  [[nodiscard]] const std::unordered_map<Symbol, AccessCounts>& by_function()
+      const noexcept {
+    return by_function_;
+  }
+
+  /// Per-variable counts keyed by the variable's *base* symbol (all
+  /// elements of an aggregate accumulate under one name).
+  [[nodiscard]] const std::unordered_map<Symbol, AccessCounts>& by_variable()
+      const noexcept {
+    return by_variable_;
+  }
+
+  /// Number of distinct byte addresses touched.
+  [[nodiscard]] std::uint64_t distinct_addresses() const noexcept {
+    return addresses_.size();
+  }
+
+  /// Number of distinct aligned blocks of `block_size` bytes touched
+  /// (the trace's cache footprint at that block size).
+  [[nodiscard]] std::uint64_t footprint_blocks(
+      std::uint64_t block_size) const;
+
+  [[nodiscard]] std::uint64_t min_address() const noexcept { return min_addr_; }
+  [[nodiscard]] std::uint64_t max_address() const noexcept { return max_addr_; }
+  [[nodiscard]] std::uint64_t records() const noexcept {
+    return totals_.total();
+  }
+
+  /// Renders a human-readable report (used by `traceinfo`).
+  [[nodiscard]] std::string report(const TraceContext& ctx,
+                                   std::size_t top_n = 16) const;
+
+ private:
+  AccessCounts totals_;
+  std::unordered_map<Symbol, AccessCounts> by_function_;
+  std::unordered_map<Symbol, AccessCounts> by_variable_;
+  std::unordered_set<std::uint64_t> addresses_;
+  std::uint64_t min_addr_ = ~0ULL;
+  std::uint64_t max_addr_ = 0;
+};
+
+}  // namespace tdt::trace

@@ -1,0 +1,53 @@
+#include "trace/writer.hpp"
+
+#include <fstream>
+#include <sstream>
+
+#include "util/error.hpp"
+
+namespace tdt::trace {
+
+GleipnirWriter::GleipnirWriter(const TraceContext& ctx, std::ostream& out)
+    : ctx_(&ctx), out_(&out) {}
+
+void GleipnirWriter::start(std::uint64_t pid) {
+  *out_ << "START PID " << pid << '\n';
+}
+
+void GleipnirWriter::write(const TraceRecord& rec) {
+  *out_ << ctx_->format_record(rec) << '\n';
+  ++count_;
+}
+
+void GleipnirWriter::end(std::uint64_t pid) {
+  *out_ << "END PID " << pid << '\n';
+}
+
+std::string write_trace_string(const TraceContext& ctx,
+                               std::span<const TraceRecord> records,
+                               std::uint64_t pid) {
+  std::ostringstream out;
+  GleipnirWriter w(ctx, out);
+  w.start(pid);
+  for (const TraceRecord& rec : records) w.write(rec);
+  w.end(pid);
+  return out.str();
+}
+
+void write_trace_file(const TraceContext& ctx,
+                      std::span<const TraceRecord> records,
+                      const std::string& path, std::uint64_t pid) {
+  std::ofstream out(path);
+  if (!out) {
+    throw_io_error("cannot open '" + path + "' for writing");
+  }
+  GleipnirWriter w(ctx, out);
+  w.start(pid);
+  for (const TraceRecord& rec : records) w.write(rec);
+  w.end(pid);
+  if (!out) {
+    throw_io_error("write to '" + path + "' failed");
+  }
+}
+
+}  // namespace tdt::trace

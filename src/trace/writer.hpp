@@ -1,0 +1,48 @@
+// Writer emitting the Gleipnir textual trace format; the transformed
+// trace (`transformed_trace.out` in the paper) is produced through this.
+#pragma once
+
+#include <ostream>
+#include <span>
+#include <string>
+
+#include "trace/record.hpp"
+
+namespace tdt::trace {
+
+/// Streaming trace writer.
+class GleipnirWriter {
+ public:
+  GleipnirWriter(const TraceContext& ctx, std::ostream& out);
+
+  /// Emits `START PID <pid>`.
+  void start(std::uint64_t pid);
+
+  /// Emits one record line.
+  void write(const TraceRecord& rec);
+
+  /// Emits `END PID <pid>`.
+  void end(std::uint64_t pid);
+
+  /// Number of record lines written so far.
+  [[nodiscard]] std::uint64_t records_written() const noexcept {
+    return count_;
+  }
+
+ private:
+  const TraceContext* ctx_;
+  std::ostream* out_;
+  std::uint64_t count_ = 0;
+};
+
+/// Renders a whole trace (with START/END markers) to a string.
+std::string write_trace_string(const TraceContext& ctx,
+                               std::span<const TraceRecord> records,
+                               std::uint64_t pid = 0);
+
+/// Writes a whole trace to a file. Throws Error{Io} on failure.
+void write_trace_file(const TraceContext& ctx,
+                      std::span<const TraceRecord> records,
+                      const std::string& path, std::uint64_t pid = 0);
+
+}  // namespace tdt::trace

@@ -1,0 +1,227 @@
+#include "tracer/ast.hpp"
+
+#include <utility>
+
+namespace tdt::tracer {
+
+LValue&& LValue::field(std::string f) && {
+  steps.emplace_back(LValueStep::Kind::Field, std::move(f));
+  return std::move(*this);
+}
+
+LValue&& LValue::index(ExprPtr idx) && {
+  steps.emplace_back(std::move(idx));
+  return std::move(*this);
+}
+
+LValue&& LValue::index(std::int64_t idx) && {
+  steps.emplace_back(lit(idx));
+  return std::move(*this);
+}
+
+LValue&& LValue::arrow(std::string f) && {
+  steps.emplace_back(LValueStep::Kind::Arrow, std::move(f));
+  return std::move(*this);
+}
+
+LValue LValue::clone() const {
+  LValue out(name);
+  for (const LValueStep& s : steps) {
+    switch (s.kind) {
+      case LValueStep::Kind::Field:
+        out.steps.emplace_back(LValueStep::Kind::Field, s.field);
+        break;
+      case LValueStep::Kind::Arrow:
+        out.steps.emplace_back(LValueStep::Kind::Arrow, s.field);
+        break;
+      case LValueStep::Kind::Index:
+        out.steps.emplace_back(s.index->clone());
+        break;
+    }
+  }
+  return out;
+}
+
+ExprPtr Expr::clone() const {
+  auto out = std::make_unique<Expr>();
+  out->op = op;
+  out->int_value = int_value;
+  out->real_value = real_value;
+  out->place = place.clone();
+  if (lhs) out->lhs = lhs->clone();
+  if (rhs) out->rhs = rhs->clone();
+  return out;
+}
+
+ExprPtr lit(std::int64_t v) {
+  auto e = std::make_unique<Expr>();
+  e->op = Expr::Op::IntLit;
+  e->int_value = v;
+  return e;
+}
+
+ExprPtr real_lit(double v) {
+  auto e = std::make_unique<Expr>();
+  e->op = Expr::Op::RealLit;
+  e->real_value = v;
+  return e;
+}
+
+ExprPtr rd(std::string name) { return rd(LValue(std::move(name))); }
+
+ExprPtr rd(LValue place) {
+  auto e = std::make_unique<Expr>();
+  e->op = Expr::Op::Read;
+  e->place = std::move(place);
+  return e;
+}
+
+ExprPtr addr(LValue place) {
+  auto e = std::make_unique<Expr>();
+  e->op = Expr::Op::AddrOf;
+  e->place = std::move(place);
+  return e;
+}
+
+ExprPtr bin(Expr::Op op, ExprPtr l, ExprPtr r) {
+  auto e = std::make_unique<Expr>();
+  e->op = op;
+  e->lhs = std::move(l);
+  e->rhs = std::move(r);
+  return e;
+}
+
+ExprPtr add(ExprPtr l, ExprPtr r) { return bin(Expr::Op::Add, std::move(l), std::move(r)); }
+ExprPtr sub(ExprPtr l, ExprPtr r) { return bin(Expr::Op::Sub, std::move(l), std::move(r)); }
+ExprPtr mul(ExprPtr l, ExprPtr r) { return bin(Expr::Op::Mul, std::move(l), std::move(r)); }
+ExprPtr div(ExprPtr l, ExprPtr r) { return bin(Expr::Op::Div, std::move(l), std::move(r)); }
+ExprPtr mod(ExprPtr l, ExprPtr r) { return bin(Expr::Op::Mod, std::move(l), std::move(r)); }
+ExprPtr lt(ExprPtr l, ExprPtr r) { return bin(Expr::Op::Lt, std::move(l), std::move(r)); }
+
+ExprPtr cast_int(ExprPtr e) {
+  auto out = std::make_unique<Expr>();
+  out->op = Expr::Op::CastInt;
+  out->lhs = std::move(e);
+  return out;
+}
+
+ExprPtr cast_real(ExprPtr e) {
+  auto out = std::make_unique<Expr>();
+  out->op = Expr::Op::CastReal;
+  out->lhs = std::move(e);
+  return out;
+}
+
+StmtPtr block(std::vector<StmtPtr> body) {
+  auto s = std::make_unique<Stmt>();
+  s->kind = Stmt::Kind::Block;
+  s->body = std::move(body);
+  return s;
+}
+
+StmtPtr decl_local(std::string name, layout::TypeId type, ExprPtr init) {
+  auto s = std::make_unique<Stmt>();
+  s->kind = Stmt::Kind::DeclLocal;
+  s->name = std::move(name);
+  s->type = type;
+  s->value = std::move(init);
+  return s;
+}
+
+StmtPtr assign(LValue place, ExprPtr value) {
+  auto s = std::make_unique<Stmt>();
+  s->kind = Stmt::Kind::Assign;
+  s->place = std::move(place);
+  s->value = std::move(value);
+  return s;
+}
+
+StmtPtr modify(LValue place, ExprPtr value) {
+  auto s = std::make_unique<Stmt>();
+  s->kind = Stmt::Kind::Assign;
+  s->place = std::move(place);
+  s->value = std::move(value);
+  s->compound = true;
+  return s;
+}
+
+StmtPtr for_loop(StmtPtr init, ExprPtr cond, StmtPtr step, StmtPtr body) {
+  auto s = std::make_unique<Stmt>();
+  s->kind = Stmt::Kind::For;
+  s->init = std::move(init);
+  s->cond = std::move(cond);
+  s->step = std::move(step);
+  s->body.push_back(std::move(body));
+  return s;
+}
+
+StmtPtr count_loop(std::string iter, ExprPtr bound, StmtPtr body) {
+  // for (iter = 0; iter < bound; iter += 1) body
+  auto init = assign(LValue(iter), lit(0));
+  auto cond = lt(rd(iter), std::move(bound));
+  auto step = modify(LValue(iter), lit(1));
+  return for_loop(std::move(init), std::move(cond), std::move(step),
+                  std::move(body));
+}
+
+StmtPtr call(std::string callee, std::vector<ExprPtr> args) {
+  auto s = std::make_unique<Stmt>();
+  s->kind = Stmt::Kind::Call;
+  s->name = std::move(callee);
+  s->args = std::move(args);
+  return s;
+}
+
+StmtPtr start_instr() {
+  auto s = std::make_unique<Stmt>();
+  s->kind = Stmt::Kind::StartInstr;
+  return s;
+}
+
+StmtPtr stop_instr() {
+  auto s = std::make_unique<Stmt>();
+  s->kind = Stmt::Kind::StopInstr;
+  return s;
+}
+
+StmtPtr heap_alloc(LValue place, layout::TypeId elem_type, ExprPtr count) {
+  auto s = std::make_unique<Stmt>();
+  s->kind = Stmt::Kind::HeapAlloc;
+  s->place = std::move(place);
+  s->type = elem_type;
+  s->count = std::move(count);
+  return s;
+}
+
+StmtPtr heap_free(LValue place) {
+  auto s = std::make_unique<Stmt>();
+  s->kind = Stmt::Kind::HeapFree;
+  s->place = std::move(place);
+  return s;
+}
+
+StmtPtr if_stmt(ExprPtr cond, StmtPtr then_body, StmtPtr else_body) {
+  auto s = std::make_unique<Stmt>();
+  s->kind = Stmt::Kind::If;
+  s->cond = std::move(cond);
+  s->body.push_back(std::move(then_body));
+  s->else_body = std::move(else_body);
+  return s;
+}
+
+StmtPtr while_loop(ExprPtr cond, StmtPtr body) {
+  auto s = std::make_unique<Stmt>();
+  s->kind = Stmt::Kind::While;
+  s->cond = std::move(cond);
+  s->body.push_back(std::move(body));
+  return s;
+}
+
+const FunctionDef* Program::find_function(std::string_view name) const {
+  for (const FunctionDef& f : functions) {
+    if (f.name == name) return &f;
+  }
+  return nullptr;
+}
+
+}  // namespace tdt::tracer

@@ -1,0 +1,185 @@
+// Abstract syntax for the synthetic tracer's mini-language: a typed
+// C subset (declarations, assignments, for-loops, calls) sufficient to
+// express every kernel in the paper's listings. The interpreter
+// (interp.hpp) executes these programs and emits one Gleipnir trace
+// record per memory access, which substitutes for running a compiled
+// binary under Valgrind+Gleipnir.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "layout/type.hpp"
+
+namespace tdt::tracer {
+
+struct Expr;
+using ExprPtr = std::unique_ptr<Expr>;
+
+/// One selector step in an l-value: `.field`, `[index]`, or `->field`
+/// (pointer dereference plus field selection, as in
+/// `lS2[lI].mRarelyUsed->mY`).
+struct LValueStep {
+  enum class Kind : std::uint8_t { Field, Index, Arrow };
+
+  Kind kind = Kind::Field;
+  std::string field;  // Field / Arrow
+  ExprPtr index;      // Index
+
+  LValueStep(Kind k, std::string f) : kind(k), field(std::move(f)) {}
+  explicit LValueStep(ExprPtr idx)
+      : kind(Kind::Index), index(std::move(idx)) {}
+};
+
+/// An assignable location: variable name plus selector chain.
+/// Move-only because index expressions own subtrees.
+struct LValue {
+  std::string name;
+  std::vector<LValueStep> steps;
+
+  LValue() = default;
+  explicit LValue(std::string n) : name(std::move(n)) {}
+  LValue(LValue&&) noexcept = default;
+  LValue& operator=(LValue&&) noexcept = default;
+
+  /// Appends `.field`.
+  LValue&& field(std::string f) &&;
+  /// Appends `[index]`.
+  LValue&& index(ExprPtr idx) &&;
+  /// Appends `[constant]`.
+  LValue&& index(std::int64_t idx) &&;
+  /// Appends `->field`.
+  LValue&& arrow(std::string f) &&;
+
+  /// Deep copy (expression subtrees cloned).
+  [[nodiscard]] LValue clone() const;
+};
+
+/// Expression node.
+struct Expr {
+  enum class Op : std::uint8_t {
+    IntLit,    ///< integer constant
+    RealLit,   ///< floating constant
+    Read,      ///< read of an l-value (emits Load records)
+    AddrOf,    ///< address of an l-value (no memory access; array decay)
+    Add, Sub, Mul, Div, Mod,
+    Lt, Le, Gt, Ge, Eq, Ne,
+    Neg,
+    CastInt,   ///< (int) e
+    CastReal,  ///< (double) e
+  };
+
+  Op op = Op::IntLit;
+  std::int64_t int_value = 0;
+  double real_value = 0;
+  LValue place;  // Read / AddrOf
+  ExprPtr lhs;
+  ExprPtr rhs;
+
+  [[nodiscard]] ExprPtr clone() const;
+};
+
+// --- expression builders ---------------------------------------------
+
+/// Integer literal.
+ExprPtr lit(std::int64_t v);
+/// Floating literal.
+ExprPtr real_lit(double v);
+/// Read of a bare variable.
+ExprPtr rd(std::string name);
+/// Read of an l-value.
+ExprPtr rd(LValue place);
+/// Address-of (array decay / pointer formation).
+ExprPtr addr(LValue place);
+/// Binary operation.
+ExprPtr bin(Expr::Op op, ExprPtr l, ExprPtr r);
+ExprPtr add(ExprPtr l, ExprPtr r);
+ExprPtr sub(ExprPtr l, ExprPtr r);
+ExprPtr mul(ExprPtr l, ExprPtr r);
+ExprPtr div(ExprPtr l, ExprPtr r);
+ExprPtr mod(ExprPtr l, ExprPtr r);
+ExprPtr lt(ExprPtr l, ExprPtr r);
+ExprPtr cast_int(ExprPtr e);
+ExprPtr cast_real(ExprPtr e);
+
+struct Stmt;
+using StmtPtr = std::unique_ptr<Stmt>;
+
+/// Statement node.
+struct Stmt {
+  enum class Kind : std::uint8_t {
+    Block,       ///< { body... }
+    DeclLocal,   ///< type name; with optional initializer
+    Assign,      ///< place = value  (Store; Modify when `compound`)
+    For,         ///< for (init; cond; step) body
+    Call,        ///< callee(args...)
+    StartInstr,  ///< GLEIPNIR_START_INSTRUMENTATION
+    StopInstr,   ///< GLEIPNIR_STOP_INSTRUMENTATION
+    HeapAlloc,   ///< place = malloc(count * sizeof(elem_type))
+    HeapFree,    ///< free(place)
+    If,          ///< if (cond) body [else else_body]
+    While,       ///< while (cond) body
+  };
+
+  Kind kind = Kind::Block;
+  std::vector<StmtPtr> body;           // Block / For body
+  std::string name;                    // DeclLocal var name / Call callee
+  layout::TypeId type = layout::kInvalidType;  // DeclLocal / HeapAlloc elem
+  LValue place;                        // Assign / HeapAlloc / HeapFree target
+  ExprPtr value;                       // Assign RHS / DeclLocal init
+  bool compound = false;               // Assign: read-modify-write
+  StmtPtr init;                        // For
+  ExprPtr cond;                        // For
+  StmtPtr step;                        // For
+  std::vector<ExprPtr> args;           // Call
+  ExprPtr count;                       // HeapAlloc element count
+  StmtPtr else_body;                   // If
+};
+
+// --- statement builders ------------------------------------------------
+
+StmtPtr block(std::vector<StmtPtr> body);
+StmtPtr decl_local(std::string name, layout::TypeId type,
+                   ExprPtr init = nullptr);
+StmtPtr assign(LValue place, ExprPtr value);
+/// Read-modify-write: `place = place + value` traced as a Modify.
+StmtPtr modify(LValue place, ExprPtr value);
+StmtPtr for_loop(StmtPtr init, ExprPtr cond, StmtPtr step, StmtPtr body);
+/// Canonical counted loop: for (iter = 0; iter < bound; iter++) body.
+StmtPtr count_loop(std::string iter, ExprPtr bound, StmtPtr body);
+StmtPtr call(std::string callee, std::vector<ExprPtr> args);
+StmtPtr start_instr();
+StmtPtr stop_instr();
+StmtPtr heap_alloc(LValue place, layout::TypeId elem_type, ExprPtr count);
+StmtPtr heap_free(LValue place);
+/// if (cond) then_body [else else_body]
+StmtPtr if_stmt(ExprPtr cond, StmtPtr then_body, StmtPtr else_body = nullptr);
+/// while (cond) body
+StmtPtr while_loop(ExprPtr cond, StmtPtr body);
+
+/// A function definition.
+struct FunctionDef {
+  std::string name;
+  struct Param {
+    std::string name;
+    layout::TypeId type = layout::kInvalidType;
+  };
+  std::vector<Param> params;
+  StmtPtr body;
+};
+
+/// A whole program: globals + functions; execution starts at `main`.
+struct Program {
+  struct Global {
+    std::string name;
+    layout::TypeId type = layout::kInvalidType;
+  };
+  std::vector<Global> globals;
+  std::vector<FunctionDef> functions;
+
+  [[nodiscard]] const FunctionDef* find_function(std::string_view name) const;
+};
+
+}  // namespace tdt::tracer

@@ -1,0 +1,58 @@
+// Kernel library: mini-language programs reproducing every listing in the
+// paper plus additional workloads used by the examples and ablation
+// benches. Each factory registers the types it needs in the caller's
+// TypeTable (reusing structs already defined there) and returns a Program
+// ready for the Interpreter.
+#pragma once
+
+#include <cstdint>
+
+#include "layout/type.hpp"
+#include "tracer/ast.hpp"
+
+namespace tdt::tracer {
+
+/// Paper Listing 1/2: global struct array + locals, function call `foo`.
+/// Demonstrates every metadata feature of the trace format (GV/GS/LV/LS,
+/// frames, parameter passing).
+Program make_listing1(layout::TypeTable& types);
+
+/// Paper Listing 4 ("1A" in Fig 5): structure-of-arrays walk.
+///   struct MyStructOfArrays { int mX[len]; double mY[len]; } lSoA;
+///   for i: lSoA.mX[i] = i; lSoA.mY[i] = i;
+Program make_t1_soa(layout::TypeTable& types, std::int64_t len);
+
+/// Paper Listing 3 ("1B"): the hand-written array-of-structures version.
+///   struct MyStruct { int mX; double mY; } lAoS[len];
+Program make_t1_aos(layout::TypeTable& types, std::int64_t len);
+
+/// Paper Listing 6 ("2A"): nested hot/cold struct accessed inline.
+Program make_t2_inline(layout::TypeTable& types, std::int64_t len);
+
+/// Paper Listing 7 ("2B"): hand-outlined version with a pointer to a
+/// separate cold-storage pool (extra indirection loads).
+Program make_t2_outlined(layout::TypeTable& types, std::int64_t len);
+
+/// Paper Listing 9 ("3A"): contiguous array walk.
+Program make_t3_contiguous(layout::TypeTable& types, std::int64_t len);
+
+/// Paper Listing 10 ("3B"): hand-strided set-pinning walk.
+/// Index formula: (i/IPL)*(sets*IPL) + (i%IPL), IPL = cacheline/sizeof(int).
+Program make_t3_strided(layout::TypeTable& types, std::int64_t len,
+                        std::int64_t sets, std::int64_t cacheline);
+
+/// Dense square matmul C += A*B on double[n][n] globals; `ikj` selects the
+/// cache-friendlier loop order for the layout-study example.
+Program make_matmul(layout::TypeTable& types, std::int64_t n, bool ikj);
+
+/// Row-major array swept in row or column order (classic stride study).
+Program make_row_col(layout::TypeTable& types, std::int64_t rows,
+                     std::int64_t cols, bool column_order);
+
+/// Heap linked-list build + pointer-chasing walk. `shuffled` links nodes
+/// in a pseudo-random order (seeded) to destroy spatial locality —
+/// exercises the dynamic-structure extension of the rule engine.
+Program make_linked_list(layout::TypeTable& types, std::int64_t nodes,
+                         bool shuffled, std::uint64_t seed = 42);
+
+}  // namespace tdt::tracer

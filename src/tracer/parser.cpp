@@ -1,0 +1,671 @@
+#include "tracer/parser.hpp"
+
+#include <fstream>
+#include <sstream>
+#include <unordered_map>
+
+#include "layout/decl_parser.hpp"
+#include "util/error.hpp"
+#include "util/lexer.hpp"
+#include "util/string_util.hpp"
+
+namespace tdt::tracer {
+namespace {
+
+using layout::DeclParser;
+using layout::PendingField;
+using layout::TypeId;
+using layout::TypeTable;
+
+/// Extracts simple `#define NAME <integer>` macros. The lexer skips
+/// `#`-lines as comments, so this prepass is the whole preprocessor.
+std::unordered_map<std::string, std::int64_t> scan_defines(
+    std::string_view source) {
+  std::unordered_map<std::string, std::int64_t> defines;
+  std::size_t pos = 0;
+  while (pos < source.size()) {
+    std::size_t eol = source.find('\n', pos);
+    if (eol == std::string_view::npos) eol = source.size();
+    const std::string_view line = trim(source.substr(pos, eol - pos));
+    pos = eol + 1;
+    if (!starts_with(line, "#define")) continue;
+    const auto fields = split_ws(line);
+    if (fields.size() != 3) continue;  // function-like or empty: ignore
+    const auto value = parse_int(fields[2]);
+    if (value.has_value() && is_identifier(fields[1])) {
+      defines.emplace(std::string(fields[1]), *value);
+    }
+  }
+  return defines;
+}
+
+/// Substitutes whole-word macro uses with their values, so defines work
+/// everywhere the grammar wants an integer literal (array extents, loop
+/// bounds, expressions).
+std::string expand_defines(
+    std::string_view source,
+    const std::unordered_map<std::string, std::int64_t>& defines) {
+  std::string out;
+  out.reserve(source.size());
+  std::size_t i = 0;
+  while (i < source.size()) {
+    // Leave #define lines intact (the lexer skips them as comments).
+    if (source[i] == '#') {
+      while (i < source.size() && source[i] != '\n') out += source[i++];
+      continue;
+    }
+    if (is_ident_start(source[i])) {
+      const std::size_t start = i;
+      while (i < source.size() && is_ident_char(source[i])) ++i;
+      const std::string_view word = source.substr(start, i - start);
+      if (auto it = defines.find(std::string(word)); it != defines.end()) {
+        out += std::to_string(it->second);
+      } else {
+        out += word;
+      }
+      continue;
+    }
+    out += source[i++];
+  }
+  return out;
+}
+
+class KernelParser {
+ public:
+  KernelParser(std::string_view source, TypeTable& types)
+      : defines_(scan_defines(source)),
+        expanded_(expand_defines(source, defines_)),
+        lex_(expanded_),
+        types_(&types),
+        decls_(types) {}
+
+  Program parse() {
+    while (!lex_.at_end()) {
+      parse_top_level();
+    }
+    if (program_.find_function("main") == nullptr) {
+      throw_parse_error("kernel source has no main function");
+    }
+    return std::move(program_);
+  }
+
+ private:
+  // --- type helpers -------------------------------------------------------
+
+  bool peek_is_type() {
+    const Token& t = lex_.peek();
+    if (t.kind != TokKind::Ident) return false;
+    if (t.text == "struct" || t.text == "const" || t.text == "typedef") {
+      return true;
+    }
+    static constexpr std::string_view kKeywords[] = {
+        "char", "short", "int", "long", "float",
+        "double", "bool", "signed", "unsigned", "void"};
+    for (std::string_view k : kKeywords) {
+      if (t.text == k) return true;
+    }
+    return types_->find_struct(t.text) != layout::kInvalidType;
+  }
+
+  void skip_const() {
+    while (lex_.peek().is("const")) lex_.next();
+  }
+
+  /// Parses a type-spec, accepting anonymous `struct { ... }` bodies
+  /// (named after `field_hint`) in addition to DeclParser's forms.
+  TypeId parse_type_spec(const std::string& field_hint) {
+    skip_const();
+    if (lex_.peek().is("struct")) {
+      // `struct { ... }` (anonymous) or `struct Name [{...}]`.
+      Lexer probe = lex_;
+      probe.next();
+      if (probe.peek().is("{")) {
+        lex_.next();  // struct
+        std::vector<PendingField> fields = parse_field_list();
+        std::string name = field_hint;
+        while (types_->find_struct(name) != layout::kInvalidType) {
+          name += "_";
+        }
+        return types_->define_struct(name, std::move(fields));
+      }
+      // `struct Name { ... }` definition in type position?
+      Token kw = lex_.next();  // struct
+      Token name = lex_.expect(TokKind::Ident, "struct name");
+      (void)kw;
+      if (lex_.peek().is("{")) {
+        std::vector<PendingField> fields = parse_field_list();
+        return types_->define_struct(std::string(name.text),
+                                     std::move(fields));
+      }
+      const TypeId id = types_->find_struct(name.text);
+      if (id == layout::kInvalidType) {
+        throw_parse_error("reference to undefined struct '" +
+                              std::string(name.text) + "'",
+                          name.loc);
+      }
+      return id;
+    }
+    return decls_.parse_type_spec(lex_);
+  }
+
+  /// Field list between braces, supporting anonymous struct fields.
+  std::vector<PendingField> parse_field_list() {
+    lex_.expect("{");
+    std::vector<PendingField> fields;
+    while (!lex_.accept("}")) {
+      if (lex_.peek().is("struct")) {
+        Lexer probe = lex_;
+        probe.next();
+        if (probe.peek().kind == TokKind::Ident) {
+          probe.next();
+          if (probe.peek().is(";")) {
+            // `struct Name;` shorthand: embedded field named after it.
+            lex_.next();
+            Token name = lex_.expect(TokKind::Ident, "struct name");
+            lex_.expect(";");
+            const TypeId st = types_->find_struct(name.text);
+            if (st == layout::kInvalidType) {
+              throw_parse_error("reference to undefined struct '" +
+                                    std::string(name.text) + "'",
+                                name.loc);
+            }
+            fields.push_back(PendingField{std::string(name.text), st});
+            continue;
+          }
+        }
+      }
+      // `type declarator ;` where the type may be an anonymous struct —
+      // peek ahead for the declarator name to use as the hint.
+      const TypeId base = parse_type_spec(peek_declarator_name());
+      layout::VarDecl d = decls_.parse_declarator(lex_, base);
+      lex_.expect(";");
+      fields.push_back(PendingField{std::move(d.name), d.type});
+    }
+    return fields;
+  }
+
+  /// Best-effort scan for the declarator name following an anonymous
+  /// struct body (used only to name anonymous structs meaningfully).
+  std::string peek_declarator_name() {
+    Lexer probe = lex_;
+    int depth = 0;
+    for (int guard = 0; guard < 4096; ++guard) {
+      const Token t = probe.next();
+      if (t.kind == TokKind::End) break;
+      if (t.is("{")) ++depth;
+      if (t.is("}")) {
+        --depth;
+        if (depth == 0) {
+          // The declarator name follows the closing brace.
+          Token name = probe.next();
+          if (name.kind == TokKind::Ident) return std::string(name.text);
+          break;
+        }
+      }
+      if (depth == 0 && t.kind == TokKind::Ident && !t.is("struct") &&
+          !t.is("const")) {
+        return std::string(t.text);
+      }
+    }
+    return "anon";
+  }
+
+  // --- top level -----------------------------------------------------------
+
+  void parse_top_level() {
+    if (lex_.accept("typedef")) {
+      // typedef struct {...} Name;  /  typedef struct Old New; (aliasing
+      // an existing struct is rejected to keep the type table simple).
+      lex_.expect("struct");
+      if (!lex_.peek().is("{")) {
+        throw_parse_error("only `typedef struct { ... } Name;` is supported",
+                          lex_.loc());
+      }
+      std::vector<PendingField> fields = parse_field_list();
+      Token name = lex_.expect(TokKind::Ident, "typedef name");
+      lex_.expect(";");
+      types_->define_struct(std::string(name.text), std::move(fields));
+      return;
+    }
+    if (lex_.peek().is("void")) {
+      parse_function(/*returns_int=*/false);
+      return;
+    }
+    // Distinguish `int main(...)` from a global declaration.
+    {
+      Lexer probe = lex_;
+      if (probe.peek().is("int")) {
+        probe.next();
+        if (probe.peek().is("main")) {
+          parse_function(/*returns_int=*/true);
+          return;
+        }
+      }
+    }
+    if (lex_.peek().is("struct")) {
+      // `struct Name { ... };` definition or a struct-typed global.
+      Lexer probe = lex_;
+      probe.next();
+      probe.next();
+      if (probe.peek().is("{")) {
+        const TypeId base = parse_type_spec("anon");
+        if (lex_.accept(";")) return;  // bare definition
+        parse_global_declarators(base);
+        return;
+      }
+    }
+    const TypeId base = parse_type_spec(peek_declarator_name());
+    parse_global_declarators(base);
+  }
+
+  void parse_global_declarators(TypeId base) {
+    do {
+      layout::VarDecl d = decls_.parse_declarator(lex_, base);
+      program_.globals.push_back({std::move(d.name), d.type});
+    } while (lex_.accept(","));
+    lex_.expect(";");
+  }
+
+  void parse_function(bool returns_int) {
+    lex_.next();  // return type keyword
+    Token name = lex_.expect(TokKind::Ident, "function name");
+    FunctionDef fn;
+    fn.name = std::string(name.text);
+    lex_.expect("(");
+    if (!lex_.accept(")")) {
+      if (lex_.accept("void")) {
+        lex_.expect(")");
+      } else {
+        do {
+          fn.params.push_back(parse_param());
+        } while (lex_.accept(","));
+        lex_.expect(")");
+      }
+    }
+    fn.body = parse_block();
+    (void)returns_int;
+    program_.functions.push_back(std::move(fn));
+  }
+
+  FunctionDef::Param parse_param() {
+    TypeId base = parse_type_spec("param");
+    while (lex_.accept("*")) base = types_->pointer_to(base);
+    Token name = lex_.expect(TokKind::Ident, "parameter name");
+    // `T p[]` decays to `T* p`.
+    if (lex_.accept("[")) {
+      lex_.expect("]");
+      base = types_->pointer_to(base);
+    }
+    return FunctionDef::Param{std::string(name.text), base};
+  }
+
+  // --- statements ----------------------------------------------------------
+
+  StmtPtr parse_block() {
+    lex_.expect("{");
+    std::vector<StmtPtr> body;
+    while (!lex_.accept("}")) {
+      if (StmtPtr s = parse_stmt()) body.push_back(std::move(s));
+    }
+    return block(std::move(body));
+  }
+
+  /// Parses one statement; returns nullptr for statements with no runtime
+  /// effect (bare `return;`).
+  StmtPtr parse_stmt() {
+    if (lex_.peek().is("{")) return parse_block();
+    if (lex_.accept("for")) return parse_for();
+    if (lex_.accept("while")) {
+      lex_.expect("(");
+      ExprPtr cond = parse_expr();
+      lex_.expect(")");
+      StmtPtr body = parse_stmt();
+      if (!body) body = block({});
+      return while_loop(std::move(cond), std::move(body));
+    }
+    if (lex_.accept("if")) {
+      lex_.expect("(");
+      ExprPtr cond = parse_expr();
+      lex_.expect(")");
+      StmtPtr then_body = parse_stmt();
+      if (!then_body) then_body = block({});
+      StmtPtr else_body;
+      if (lex_.accept("else")) {
+        else_body = parse_stmt();
+        if (!else_body) else_body = block({});
+      }
+      return if_stmt(std::move(cond), std::move(then_body),
+                     std::move(else_body));
+    }
+    if (lex_.accept("typedef")) {
+      // Function-scope `typedef struct { ... } Name;` (paper Listings 3/4
+      // declare their structs inside main). Types are program-global.
+      lex_.expect("struct");
+      if (!lex_.peek().is("{")) {
+        throw_parse_error("only `typedef struct { ... } Name;` is supported",
+                          lex_.loc());
+      }
+      std::vector<PendingField> fields = parse_field_list();
+      Token name = lex_.expect(TokKind::Ident, "typedef name");
+      lex_.expect(";");
+      types_->define_struct(std::string(name.text), std::move(fields));
+      return nullptr;
+    }
+    if (lex_.peek().is("GLEIPNIR_START_INSTRUMENTATION")) {
+      lex_.next();
+      lex_.expect(";");
+      return start_instr();
+    }
+    if (lex_.peek().is("GLEIPNIR_STOP_INSTRUMENTATION")) {
+      lex_.next();
+      lex_.expect(";");
+      return stop_instr();
+    }
+    if (lex_.accept("return")) {
+      // Return values carry no memory traffic in the paper's kernels;
+      // a constant expression is parsed and dropped.
+      if (!lex_.peek().is(";")) (void)parse_expr();
+      lex_.expect(";");
+      return nullptr;
+    }
+    if (lex_.peek().is("free")) {
+      lex_.next();
+      lex_.expect("(");
+      LValue place = parse_lvalue();
+      lex_.expect(")");
+      lex_.expect(";");
+      return heap_free(std::move(place));
+    }
+    if (peek_is_type()) {
+      StmtPtr s = parse_local_decls();
+      lex_.expect(";");
+      return s;
+    }
+    StmtPtr s = parse_simple_stmt();
+    lex_.expect(";");
+    return s;
+  }
+
+  /// `type declarator [= init] (, declarator [= init])*` — wrapped in a
+  /// Block when more than one declarator.
+  StmtPtr parse_local_decls() {
+    const TypeId base = parse_type_spec(peek_declarator_name());
+    std::vector<StmtPtr> decls;
+    do {
+      layout::VarDecl d = decls_.parse_declarator(lex_, base);
+      ExprPtr init;
+      if (lex_.accept("=")) init = parse_expr();
+      decls.push_back(decl_local(std::move(d.name), d.type, std::move(init)));
+    } while (lex_.accept(","));
+    if (decls.size() == 1) return std::move(decls.front());
+    return block(std::move(decls));
+  }
+
+  /// Assignment, increment, compound assignment, call, or malloc.
+  StmtPtr parse_simple_stmt() {
+    const Token& t = lex_.peek();
+    if (t.kind != TokKind::Ident) {
+      throw_parse_error("expected a statement, got '" + std::string(t.text) +
+                            "'",
+                        t.loc);
+    }
+    // Function call?  `name(args...)`
+    {
+      Lexer probe = lex_;
+      Token name = probe.next();
+      if (probe.peek().is("(")) {
+        lex_ = probe;
+        lex_.next();  // '('
+        std::vector<ExprPtr> args;
+        if (!lex_.accept(")")) {
+          do {
+            args.push_back(parse_expr());
+          } while (lex_.accept(","));
+          lex_.expect(")");
+        }
+        return call(std::string(name.text), std::move(args));
+      }
+    }
+    LValue place = parse_lvalue();
+    if (lex_.accept("++")) {
+      return modify(std::move(place), lit(1));
+    }
+    if (lex_.accept("+=")) {
+      return modify(std::move(place), parse_expr());
+    }
+    lex_.expect("=");
+    // malloc?
+    if (lex_.peek().is("malloc")) {
+      lex_.next();
+      lex_.expect("(");
+      auto [elem, count] = parse_malloc_arg();
+      lex_.expect(")");
+      return heap_alloc(std::move(place), elem, std::move(count));
+    }
+    return assign(std::move(place), parse_expr());
+  }
+
+  /// `N * sizeof(T)` / `sizeof(T) * N` / `sizeof(T)`.
+  std::pair<TypeId, ExprPtr> parse_malloc_arg() {
+    if (lex_.peek().is("sizeof")) {
+      const TypeId elem = parse_sizeof_type();
+      if (lex_.accept("*")) {
+        return {elem, parse_expr()};
+      }
+      return {elem, lit(1)};
+    }
+    ExprPtr count = parse_mul_operand_until_sizeof();
+    lex_.expect("*");
+    const TypeId elem = parse_sizeof_type();
+    return {elem, std::move(count)};
+  }
+
+  /// Parses the count part of `count * sizeof(T)`: a multiplicative
+  /// expression that stops before the `* sizeof`.
+  ExprPtr parse_mul_operand_until_sizeof() {
+    ExprPtr out = parse_unary();
+    for (;;) {
+      Lexer probe = lex_;
+      if (probe.accept("*") && probe.peek().is("sizeof")) return out;
+      if (lex_.accept("*")) {
+        out = mul(std::move(out), parse_unary());
+      } else {
+        return out;
+      }
+    }
+  }
+
+  TypeId parse_sizeof_type() {
+    lex_.expect("sizeof");
+    lex_.expect("(");
+    const TypeId t = parse_type_spec("sizeof");
+    lex_.expect(")");
+    return t;
+  }
+
+  StmtPtr parse_for() {
+    lex_.expect("(");
+    StmtPtr init;
+    if (!lex_.peek().is(";")) {
+      init = peek_is_type() ? parse_local_decls() : parse_simple_stmt();
+    } else {
+      init = block({});
+    }
+    lex_.expect(";");
+    ExprPtr cond = lex_.peek().is(";") ? lit(1) : parse_expr();
+    lex_.expect(";");
+    StmtPtr step = lex_.peek().is(")") ? block({}) : parse_simple_stmt();
+    lex_.expect(")");
+    StmtPtr body = parse_stmt();
+    if (!body) body = block({});
+    return for_loop(std::move(init), std::move(cond), std::move(step),
+                    std::move(body));
+  }
+
+  // --- expressions ---------------------------------------------------------
+
+  LValue parse_lvalue() {
+    Token name = lex_.expect(TokKind::Ident, "variable name");
+    LValue place{std::string(name.text)};
+    // Steps are appended in place (the fluent &&-qualified builders are
+    // for expression-style construction, not incremental parsing).
+    for (;;) {
+      if (lex_.accept("[")) {
+        place.steps.emplace_back(parse_expr());
+        lex_.expect("]");
+      } else if (lex_.accept(".")) {
+        place.steps.emplace_back(
+            LValueStep::Kind::Field,
+            std::string(lex_.expect(TokKind::Ident, "field name").text));
+      } else if (lex_.accept("->")) {
+        place.steps.emplace_back(
+            LValueStep::Kind::Arrow,
+            std::string(lex_.expect(TokKind::Ident, "field name").text));
+      } else {
+        return place;
+      }
+    }
+  }
+
+  ExprPtr parse_expr() { return parse_comparison(); }
+
+  ExprPtr parse_comparison() {
+    ExprPtr out = parse_additive();
+    for (;;) {
+      Expr::Op op;
+      if (lex_.accept("<")) {
+        op = Expr::Op::Lt;
+      } else if (lex_.accept("<=")) {
+        op = Expr::Op::Le;
+      } else if (lex_.accept(">")) {
+        op = Expr::Op::Gt;
+      } else if (lex_.accept(">=")) {
+        op = Expr::Op::Ge;
+      } else if (lex_.accept("==")) {
+        op = Expr::Op::Eq;
+      } else if (lex_.accept("!=")) {
+        op = Expr::Op::Ne;
+      } else {
+        return out;
+      }
+      out = bin(op, std::move(out), parse_additive());
+    }
+  }
+
+  ExprPtr parse_additive() {
+    ExprPtr out = parse_multiplicative();
+    for (;;) {
+      if (lex_.accept("+")) {
+        out = add(std::move(out), parse_multiplicative());
+      } else if (lex_.accept("-")) {
+        out = sub(std::move(out), parse_multiplicative());
+      } else {
+        return out;
+      }
+    }
+  }
+
+  ExprPtr parse_multiplicative() {
+    ExprPtr out = parse_unary();
+    for (;;) {
+      if (lex_.accept("*")) {
+        out = mul(std::move(out), parse_unary());
+      } else if (lex_.accept("/")) {
+        out = div(std::move(out), parse_unary());
+      } else if (lex_.accept("%")) {
+        out = mod(std::move(out), parse_unary());
+      } else {
+        return out;
+      }
+    }
+  }
+
+  ExprPtr parse_unary() {
+    if (lex_.accept("-")) {
+      auto e = std::make_unique<Expr>();
+      e->op = Expr::Op::Neg;
+      e->lhs = parse_unary();
+      return e;
+    }
+    if (lex_.accept("&")) {
+      return addr(parse_lvalue());
+    }
+    return parse_primary();
+  }
+
+  ExprPtr parse_primary() {
+    const Token& t = lex_.peek();
+    if (t.kind == TokKind::Number) {
+      Token n = lex_.next();
+      return n.is_float() ? real_lit(n.real())
+                          : lit(static_cast<std::int64_t>(n.number()));
+    }
+    if (t.is("(")) {
+      // Cast or parenthesized expression: a type name after '(' is a cast.
+      Lexer probe = lex_;
+      probe.next();
+      const Token& inner = probe.peek();
+      const bool is_cast =
+          inner.kind == TokKind::Ident &&
+          (inner.is("int") || inner.is("double") || inner.is("float") ||
+           inner.is("long") || inner.is("short") || inner.is("char") ||
+           inner.is("unsigned") || inner.is("signed"));
+      if (is_cast) {
+        lex_.next();  // '('
+        const TypeId target = decls_.parse_type_spec(lex_);
+        lex_.expect(")");
+        ExprPtr operand = parse_unary();
+        if (target == types_->double_type() ||
+            target == types_->float_type()) {
+          return cast_real(std::move(operand));
+        }
+        return cast_int(std::move(operand));
+      }
+      lex_.next();
+      ExprPtr e = parse_expr();
+      lex_.expect(")");
+      return e;
+    }
+    if (t.is("sizeof")) {
+      const TypeId st = parse_sizeof_type();
+      return lit(static_cast<std::int64_t>(types_->size_of(st)));
+    }
+    if (t.kind == TokKind::Ident) {
+      if (auto it = defines_.find(std::string(t.text)); it != defines_.end()) {
+        lex_.next();
+        return lit(it->second);
+      }
+      return rd(parse_lvalue());
+    }
+    throw_parse_error("expected an expression, got '" +
+                          std::string(t.kind == TokKind::End ? "<end>"
+                                                             : t.text) +
+                          "'",
+                      t.loc);
+  }
+
+  std::unordered_map<std::string, std::int64_t> defines_;
+  std::string expanded_;
+  Lexer lex_;
+  TypeTable* types_;
+  DeclParser decls_;
+  Program program_;
+};
+
+}  // namespace
+
+Program parse_kernel(std::string_view source, layout::TypeTable& types) {
+  return KernelParser(source, types).parse();
+}
+
+Program parse_kernel_file(const std::string& path, layout::TypeTable& types) {
+  std::ifstream in(path);
+  if (!in) {
+    throw_io_error("cannot open kernel source '" + path + "'");
+  }
+  std::ostringstream buf;
+  buf << in.rdbuf();
+  return parse_kernel(buf.str(), types);
+}
+
+}  // namespace tdt::tracer

@@ -1,0 +1,39 @@
+// Kernel source parser: a C subset large enough to express the paper's
+// listings nearly verbatim, compiled into the tracer's mini-language AST.
+// With this, `gtracer --source kernel.c` plays the role of "compile with
+// -g and run under Gleipnir" for user-written kernels.
+//
+// Supported subset:
+//   * struct definitions, `typedef struct {...} Name;`, anonymous struct
+//     fields (named after the field, as the paper's Listing 6 uses)
+//   * global and local declarations with initializers, multi-declarators
+//   * `void f(T a, U b)` functions, `int main(...)`; array parameters
+//     decay to pointers
+//   * assignments (=, +=), increment (i++), for loops, function calls,
+//     `return`, GLEIPNIR_START/STOP_INSTRUMENTATION
+//   * expressions with C precedence, comparisons, casts `(int)e`,
+//     `sizeof(T)`, address-of, pointer `->` and `[]` access
+//   * `p = malloc(N * sizeof(T));` / `free(p);`
+//   * `#define NAME <integer>` constants (simple object-like macros)
+#pragma once
+
+#include <string>
+#include <string_view>
+
+#include "layout/type.hpp"
+#include "tracer/ast.hpp"
+
+namespace tdt::tracer {
+
+/// Parses kernel source into a Program, registering its types in `types`.
+/// Throws Error{Parse} / Error{Semantic} on unsupported or malformed
+/// constructs.
+[[nodiscard]] Program parse_kernel(std::string_view source,
+                                   layout::TypeTable& types);
+
+/// Reads and parses a kernel source file. Throws Error{Io} when the file
+/// cannot be read.
+[[nodiscard]] Program parse_kernel_file(const std::string& path,
+                                        layout::TypeTable& types);
+
+}  // namespace tdt::tracer

@@ -1,0 +1,204 @@
+#include "util/lexer.hpp"
+
+#include <array>
+#include <cctype>
+
+#include "util/string_util.hpp"
+
+namespace tdt {
+namespace {
+
+// Two-character punctuation recognized before single characters.
+// ("--" is deliberately absent: it would break unary minus chains like
+// "--5" in index formulas; kernels write `i = i - 1` instead.)
+constexpr std::array<std::string_view, 8> kTwoCharPunct = {
+    "->", "::", "==", "!=", "<=", ">=", "++", "+="};
+
+bool is_digit(char c) noexcept {
+  return std::isdigit(static_cast<unsigned char>(c)) != 0;
+}
+
+}  // namespace
+
+std::uint64_t Token::number() const {
+  internal_check(kind == TokKind::Number, "number() on non-number token");
+  if (is_float()) {
+    throw_parse_error("expected an integer, got floating literal '" +
+                          std::string(text) + "'",
+                      loc);
+  }
+  auto v = parse_uint(text);
+  if (!v.has_value()) {
+    throw_parse_error("integer literal out of range: '" + std::string(text) +
+                          "'",
+                      loc);
+  }
+  return *v;
+}
+
+bool Token::is_float() const noexcept {
+  return kind == TokKind::Number &&
+         text.find('.') != std::string_view::npos;
+}
+
+double Token::real() const {
+  internal_check(kind == TokKind::Number, "real() on non-number token");
+  if (is_float()) {
+    try {
+      return std::stod(std::string(text));
+    } catch (const std::exception&) {
+      throw_parse_error("floating literal out of range: '" +
+                            std::string(text) + "'",
+                        loc);
+    }
+  }
+  return static_cast<double>(number());
+}
+
+Lexer::Lexer(std::string_view source) : src_(source) {}
+
+void Lexer::skip_space_and_comments() {
+  while (pos_ < src_.size()) {
+    const char c = src_[pos_];
+    if (c == '\n') {
+      ++line_;
+      col_ = 1;
+      ++pos_;
+    } else if (c == ' ' || c == '\t' || c == '\r' || c == '\v' || c == '\f') {
+      ++col_;
+      ++pos_;
+    } else if (c == '#' ||
+               (c == '/' && pos_ + 1 < src_.size() && src_[pos_ + 1] == '/')) {
+      while (pos_ < src_.size() && src_[pos_] != '\n') ++pos_;
+    } else if (c == '/' && pos_ + 1 < src_.size() && src_[pos_ + 1] == '*') {
+      pos_ += 2;
+      col_ += 2;
+      while (pos_ + 1 < src_.size() &&
+             !(src_[pos_] == '*' && src_[pos_ + 1] == '/')) {
+        if (src_[pos_] == '\n') {
+          ++line_;
+          col_ = 1;
+        } else {
+          ++col_;
+        }
+        ++pos_;
+      }
+      if (pos_ + 1 < src_.size()) {
+        pos_ += 2;
+        col_ += 2;
+      } else {
+        throw_parse_error("unterminated block comment", {line_, col_});
+      }
+    } else {
+      return;
+    }
+  }
+}
+
+Token Lexer::lex() {
+  skip_space_and_comments();
+  SourceLoc loc{line_, col_};
+  if (pos_ >= src_.size()) {
+    return Token{TokKind::End, {}, loc};
+  }
+  const char c = src_[pos_];
+  if (is_ident_start(c)) {
+    std::size_t start = pos_;
+    while (pos_ < src_.size() && is_ident_char(src_[pos_])) {
+      ++pos_;
+      ++col_;
+    }
+    return Token{TokKind::Ident, src_.substr(start, pos_ - start), loc};
+  }
+  if (is_digit(c)) {
+    std::size_t start = pos_;
+    if (c == '0' && pos_ + 1 < src_.size() &&
+        (src_[pos_ + 1] == 'x' || src_[pos_ + 1] == 'X')) {
+      pos_ += 2;
+      col_ += 2;
+      while (pos_ < src_.size() &&
+             std::isxdigit(static_cast<unsigned char>(src_[pos_])) != 0) {
+        ++pos_;
+        ++col_;
+      }
+    } else {
+      while (pos_ < src_.size() && is_digit(src_[pos_])) {
+        ++pos_;
+        ++col_;
+      }
+      // Floating literal: digits '.' digit+ (a bare '.' stays punctuation
+      // so member access after an index, `a[1].f`, lexes correctly).
+      if (pos_ + 1 < src_.size() && src_[pos_] == '.' &&
+          is_digit(src_[pos_ + 1])) {
+        ++pos_;
+        ++col_;
+        while (pos_ < src_.size() && is_digit(src_[pos_])) {
+          ++pos_;
+          ++col_;
+        }
+      }
+    }
+    return Token{TokKind::Number, src_.substr(start, pos_ - start), loc};
+  }
+  for (std::string_view two : kTwoCharPunct) {
+    if (src_.substr(pos_).size() >= 2 && src_.substr(pos_, 2) == two) {
+      pos_ += 2;
+      col_ += 2;
+      return Token{TokKind::Punct, two, loc};
+    }
+  }
+  std::string_view one = src_.substr(pos_, 1);
+  ++pos_;
+  ++col_;
+  return Token{TokKind::Punct, one, loc};
+}
+
+const Token& Lexer::peek() {
+  if (!has_lookahead_) {
+    lookahead_ = lex();
+    has_lookahead_ = true;
+  }
+  return lookahead_;
+}
+
+Token Lexer::next() {
+  (void)peek();
+  has_lookahead_ = false;
+  return lookahead_;
+}
+
+bool Lexer::accept(std::string_view text) {
+  if (peek().is(text)) {
+    next();
+    return true;
+  }
+  return false;
+}
+
+Token Lexer::expect(std::string_view text) {
+  const Token& t = peek();
+  if (!t.is(text)) {
+    throw_parse_error("expected '" + std::string(text) + "', got '" +
+                          std::string(t.kind == TokKind::End ? "<end>" : t.text) +
+                          "'",
+                      t.loc);
+  }
+  return next();
+}
+
+Token Lexer::expect(TokKind k, std::string_view what) {
+  const Token& t = peek();
+  if (t.kind != k) {
+    throw_parse_error("expected " + std::string(what) + ", got '" +
+                          std::string(t.kind == TokKind::End ? "<end>" : t.text) +
+                          "'",
+                      t.loc);
+  }
+  return next();
+}
+
+bool Lexer::at_end() { return peek().kind == TokKind::End; }
+
+SourceLoc Lexer::loc() { return peek().loc; }
+
+}  // namespace tdt

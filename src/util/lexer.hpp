@@ -1,0 +1,82 @@
+// Hand-written lexer shared by the C-declaration parser (tdt::layout) and
+// the transformation-rule DSL parser (tdt::core). Produces identifiers,
+// integer literals, and punctuation; skips `//`, `/* */` and `#` comments.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+
+#include "util/error.hpp"
+
+namespace tdt {
+
+/// Token classification.
+enum class TokKind : std::uint8_t {
+  Ident,   ///< [A-Za-z_][A-Za-z0-9_]*
+  Number,  ///< decimal or 0x-hex integer literal
+  Punct,   ///< one of the punctuation strings (possibly two chars: "->")
+  End,     ///< end of input
+};
+
+/// A lexed token. `text` views into the source buffer passed to Lexer.
+struct Token {
+  TokKind kind = TokKind::End;
+  std::string_view text;
+  SourceLoc loc;
+
+  [[nodiscard]] bool is(TokKind k) const noexcept { return kind == k; }
+  [[nodiscard]] bool is(std::string_view t) const noexcept {
+    return text == t && kind != TokKind::End;
+  }
+  /// Numeric value of an integer Number token.
+  [[nodiscard]] std::uint64_t number() const;
+
+  /// True for a Number token with a fractional part ("1.5").
+  [[nodiscard]] bool is_float() const noexcept;
+
+  /// Value of a Number token as double (integer or floating).
+  [[nodiscard]] double real() const;
+};
+
+/// Single-pass lexer with one token of lookahead.
+/// The source buffer must outlive the lexer and all produced tokens.
+class Lexer {
+ public:
+  explicit Lexer(std::string_view source);
+
+  /// Returns the next token without consuming it.
+  [[nodiscard]] const Token& peek();
+
+  /// Consumes and returns the next token.
+  Token next();
+
+  /// Consumes the next token when it matches `text`; returns whether it did.
+  bool accept(std::string_view text);
+
+  /// Consumes the next token, requiring it to match `text`;
+  /// throws Error{Parse} otherwise.
+  Token expect(std::string_view text);
+
+  /// Consumes the next token, requiring kind `k` (e.g. an identifier).
+  Token expect(TokKind k, std::string_view what);
+
+  /// True when all input has been consumed.
+  [[nodiscard]] bool at_end();
+
+  /// Location of the next token (for error reporting by parsers).
+  [[nodiscard]] SourceLoc loc();
+
+ private:
+  void skip_space_and_comments();
+  Token lex();
+
+  std::string_view src_;
+  std::size_t pos_ = 0;
+  std::uint32_t line_ = 1;
+  std::uint32_t col_ = 1;
+  Token lookahead_;
+  bool has_lookahead_ = false;
+};
+
+}  // namespace tdt

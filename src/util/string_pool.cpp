@@ -1,0 +1,33 @@
+#include "util/string_pool.hpp"
+
+#include "util/error.hpp"
+
+namespace tdt {
+
+StringPool::StringPool() {
+  intern("");  // Symbol{0} == ""
+}
+
+Symbol StringPool::intern(std::string_view s) {
+  if (auto it = index_.find(s); it != index_.end()) {
+    return Symbol{it->second};
+  }
+  const auto id = static_cast<std::uint32_t>(strings_.size());
+  strings_.emplace_back(s);
+  index_.emplace(strings_.back(), id);
+  return Symbol{id};
+}
+
+Symbol StringPool::find(std::string_view s) const noexcept {
+  if (auto it = index_.find(s); it != index_.end()) {
+    return Symbol{it->second};
+  }
+  return Symbol{};
+}
+
+std::string_view StringPool::view(Symbol sym) const {
+  internal_check(sym.id() < strings_.size(), "Symbol from foreign pool");
+  return strings_[sym.id()];
+}
+
+}  // namespace tdt

@@ -1,0 +1,68 @@
+// Interned strings. Trace files repeat the same function and variable
+// names millions of times; interning them lets TraceRecord store a 4-byte
+// Symbol instead of a std::string, and makes per-variable statistics a
+// dense-array lookup instead of a hash of strings.
+#pragma once
+
+#include <cstdint>
+#include <deque>
+#include <string>
+#include <string_view>
+#include <unordered_map>
+
+namespace tdt {
+
+/// Handle to an interned string. Symbol{0} is always the empty string.
+class Symbol {
+ public:
+  constexpr Symbol() noexcept = default;
+  constexpr explicit Symbol(std::uint32_t id) noexcept : id_(id) {}
+
+  [[nodiscard]] constexpr std::uint32_t id() const noexcept { return id_; }
+  /// True for any symbol other than the interned empty string.
+  [[nodiscard]] constexpr bool empty() const noexcept { return id_ == 0; }
+
+  friend constexpr bool operator==(Symbol, Symbol) noexcept = default;
+  friend constexpr auto operator<=>(Symbol, Symbol) noexcept = default;
+
+ private:
+  std::uint32_t id_ = 0;
+};
+
+/// Append-only intern table. Not thread-safe; each pipeline owns one pool
+/// (typically via TraceContext).
+class StringPool {
+ public:
+  StringPool();
+
+  StringPool(const StringPool&) = delete;
+  StringPool& operator=(const StringPool&) = delete;
+  StringPool(StringPool&&) noexcept = default;
+  StringPool& operator=(StringPool&&) noexcept = default;
+
+  /// Interns `s`, returning its stable Symbol.
+  Symbol intern(std::string_view s);
+
+  /// Looks up an already-interned string; returns Symbol{0} ("") when absent.
+  [[nodiscard]] Symbol find(std::string_view s) const noexcept;
+
+  /// Returns the string for `sym`. `sym` must come from this pool.
+  [[nodiscard]] std::string_view view(Symbol sym) const;
+
+  /// Number of interned strings (including the empty string).
+  [[nodiscard]] std::size_t size() const noexcept { return strings_.size(); }
+
+ private:
+  // deque gives stable storage for string_view keys into the map.
+  std::deque<std::string> strings_;
+  std::unordered_map<std::string_view, std::uint32_t> index_;
+};
+
+}  // namespace tdt
+
+template <>
+struct std::hash<tdt::Symbol> {
+  std::size_t operator()(tdt::Symbol s) const noexcept {
+    return std::hash<std::uint32_t>{}(s.id());
+  }
+};

@@ -1,0 +1,150 @@
+#include "util/string_util.hpp"
+
+#include <cctype>
+#include <charconv>
+
+namespace tdt {
+namespace {
+
+bool is_space(char c) noexcept {
+  return c == ' ' || c == '\t' || c == '\n' || c == '\r' || c == '\f' ||
+         c == '\v';
+}
+
+}  // namespace
+
+std::string_view trim_left(std::string_view s) noexcept {
+  std::size_t i = 0;
+  while (i < s.size() && is_space(s[i])) ++i;
+  return s.substr(i);
+}
+
+std::string_view trim_right(std::string_view s) noexcept {
+  std::size_t n = s.size();
+  while (n > 0 && is_space(s[n - 1])) --n;
+  return s.substr(0, n);
+}
+
+std::string_view trim(std::string_view s) noexcept {
+  return trim_right(trim_left(s));
+}
+
+std::vector<std::string_view> split(std::string_view s, char sep) {
+  std::vector<std::string_view> out;
+  std::size_t start = 0;
+  for (std::size_t i = 0; i <= s.size(); ++i) {
+    if (i == s.size() || s[i] == sep) {
+      out.push_back(s.substr(start, i - start));
+      start = i + 1;
+    }
+  }
+  return out;
+}
+
+std::vector<std::string_view> split_ws(std::string_view s) {
+  std::vector<std::string_view> out;
+  std::size_t i = 0;
+  while (i < s.size()) {
+    while (i < s.size() && is_space(s[i])) ++i;
+    std::size_t start = i;
+    while (i < s.size() && !is_space(s[i])) ++i;
+    if (i > start) out.push_back(s.substr(start, i - start));
+  }
+  return out;
+}
+
+bool starts_with(std::string_view s, std::string_view prefix) noexcept {
+  return s.size() >= prefix.size() && s.substr(0, prefix.size()) == prefix;
+}
+
+bool ends_with(std::string_view s, std::string_view suffix) noexcept {
+  return s.size() >= suffix.size() &&
+         s.substr(s.size() - suffix.size()) == suffix;
+}
+
+std::optional<std::int64_t> parse_int(std::string_view s) {
+  std::int64_t value = 0;
+  const char* first = s.data();
+  const char* last = s.data() + s.size();
+  auto [ptr, ec] = std::from_chars(first, last, value, 10);
+  if (ec != std::errc() || ptr != last || s.empty()) return std::nullopt;
+  return value;
+}
+
+std::optional<std::uint64_t> parse_uint(std::string_view s) {
+  if (starts_with(s, "0x") || starts_with(s, "0X")) {
+    return parse_hex(s.substr(2));
+  }
+  std::uint64_t value = 0;
+  auto [ptr, ec] = std::from_chars(s.data(), s.data() + s.size(), value, 10);
+  if (ec != std::errc() || ptr != s.data() + s.size() || s.empty()) {
+    return std::nullopt;
+  }
+  return value;
+}
+
+std::optional<std::uint64_t> parse_hex(std::string_view s) {
+  std::uint64_t value = 0;
+  auto [ptr, ec] = std::from_chars(s.data(), s.data() + s.size(), value, 16);
+  if (ec != std::errc() || ptr != s.data() + s.size() || s.empty()) {
+    return std::nullopt;
+  }
+  return value;
+}
+
+std::string to_hex(std::uint64_t value, int width) {
+  char buf[16];
+  int n = 0;
+  if (value == 0) {
+    buf[n++] = '0';
+  } else {
+    while (value != 0) {
+      buf[n++] = "0123456789abcdef"[value & 0xF];
+      value >>= 4;
+    }
+  }
+  std::string out;
+  for (int pad = width - n; pad > 0; --pad) out += '0';
+  for (int i = n - 1; i >= 0; --i) out += buf[i];
+  return out;
+}
+
+bool is_ident_start(char c) noexcept {
+  return c == '_' || std::isalpha(static_cast<unsigned char>(c)) != 0;
+}
+
+bool is_ident_char(char c) noexcept {
+  return c == '_' || std::isalnum(static_cast<unsigned char>(c)) != 0;
+}
+
+bool is_identifier(std::string_view s) noexcept {
+  if (s.empty() || !is_ident_start(s[0])) return false;
+  for (char c : s) {
+    if (!is_ident_char(c)) return false;
+  }
+  return true;
+}
+
+std::string join(const std::vector<std::string>& parts, std::string_view sep) {
+  std::string out;
+  for (std::size_t i = 0; i < parts.size(); ++i) {
+    if (i != 0) out += sep;
+    out += parts[i];
+  }
+  return out;
+}
+
+std::string format_bytes(std::uint64_t bytes) {
+  if (bytes >= (1ULL << 30) && bytes % (1ULL << 30) == 0) {
+    return std::to_string(bytes >> 30) + " GiB";
+  }
+  if (bytes >= (1ULL << 20) && bytes % (1ULL << 20) == 0) {
+    return std::to_string(bytes >> 20) + " MiB";
+  }
+  if (bytes >= (1ULL << 10) && bytes % (1ULL << 10) == 0) {
+    return std::to_string(bytes >> 10) + " KiB";
+  }
+  return std::to_string(bytes) + " B";
+}
+
+}  // namespace tdt

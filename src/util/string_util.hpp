@@ -1,0 +1,68 @@
+// Small string helpers shared by the parsers (trace reader, rule DSL,
+// declaration parser) and the report writers. All functions operate on
+// string_view and never allocate unless they return std::string.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace tdt {
+
+/// Removes leading and trailing ASCII whitespace.
+[[nodiscard]] std::string_view trim(std::string_view s) noexcept;
+
+/// Removes leading ASCII whitespace.
+[[nodiscard]] std::string_view trim_left(std::string_view s) noexcept;
+
+/// Removes trailing ASCII whitespace.
+[[nodiscard]] std::string_view trim_right(std::string_view s) noexcept;
+
+/// Splits `s` on `sep`, keeping empty fields. "a,,b" -> {"a","","b"}.
+[[nodiscard]] std::vector<std::string_view> split(std::string_view s,
+                                                  char sep);
+
+/// Splits `s` on runs of ASCII whitespace, dropping empty fields.
+[[nodiscard]] std::vector<std::string_view> split_ws(std::string_view s);
+
+/// True when `s` starts with `prefix`.
+[[nodiscard]] bool starts_with(std::string_view s,
+                               std::string_view prefix) noexcept;
+
+/// True when `s` ends with `suffix`.
+[[nodiscard]] bool ends_with(std::string_view s,
+                             std::string_view suffix) noexcept;
+
+/// Parses a decimal signed integer; returns nullopt on any deviation
+/// (empty, trailing junk, overflow).
+[[nodiscard]] std::optional<std::int64_t> parse_int(std::string_view s);
+
+/// Parses an unsigned integer in base 10 or, with "0x" prefix, base 16.
+[[nodiscard]] std::optional<std::uint64_t> parse_uint(std::string_view s);
+
+/// Parses a hexadecimal unsigned integer (no 0x prefix required).
+[[nodiscard]] std::optional<std::uint64_t> parse_hex(std::string_view s);
+
+/// Formats `value` as lower-case hex, zero padded to `width` digits
+/// (Gleipnir prints addresses as 9-digit hex, e.g. "7ff000108").
+[[nodiscard]] std::string to_hex(std::uint64_t value, int width = 0);
+
+/// True when `c` is a valid identifier start ([A-Za-z_]).
+[[nodiscard]] bool is_ident_start(char c) noexcept;
+
+/// True when `c` is a valid identifier continuation ([A-Za-z0-9_]).
+[[nodiscard]] bool is_ident_char(char c) noexcept;
+
+/// True when `s` is a non-empty well-formed identifier.
+[[nodiscard]] bool is_identifier(std::string_view s) noexcept;
+
+/// Joins `parts` with `sep`.
+[[nodiscard]] std::string join(const std::vector<std::string>& parts,
+                               std::string_view sep);
+
+/// Human-readable byte size: 32768 -> "32 KiB", 32 -> "32 B".
+[[nodiscard]] std::string format_bytes(std::uint64_t bytes);
+
+}  // namespace tdt

@@ -1,0 +1,72 @@
+#include "util/table.hpp"
+
+#include <algorithm>
+
+namespace tdt {
+
+TextTable::TextTable(std::vector<std::string> header)
+    : header_(std::move(header)) {
+  aligns_.assign(header_.size(), Align::Right);
+  if (!aligns_.empty()) aligns_[0] = Align::Left;
+}
+
+void TextTable::set_align(std::size_t column, Align align) {
+  if (column < aligns_.size()) aligns_[column] = align;
+}
+
+void TextTable::add_row(std::vector<std::string> cells) {
+  cells.resize(header_.size());
+  rows_.push_back(std::move(cells));
+}
+
+std::string TextTable::render() const {
+  std::vector<std::size_t> widths(header_.size());
+  for (std::size_t c = 0; c < header_.size(); ++c) {
+    widths[c] = header_[c].size();
+  }
+  for (const auto& row : rows_) {
+    for (std::size_t c = 0; c < row.size(); ++c) {
+      widths[c] = std::max(widths[c], row[c].size());
+    }
+  }
+
+  auto emit_row = [&](std::string& out, const std::vector<std::string>& row) {
+    for (std::size_t c = 0; c < header_.size(); ++c) {
+      const std::string& cell = c < row.size() ? row[c] : header_[c];
+      const std::size_t pad = widths[c] - cell.size();
+      if (c != 0) out += "  ";
+      if (aligns_[c] == Align::Right) out.append(pad, ' ');
+      out += cell;
+      if (aligns_[c] == Align::Left && c + 1 != header_.size()) {
+        out.append(pad, ' ');
+      }
+    }
+    out += '\n';
+  };
+
+  std::string out;
+  emit_row(out, header_);
+  for (std::size_t c = 0; c < header_.size(); ++c) {
+    if (c != 0) out += "  ";
+    out.append(widths[c], '-');
+  }
+  out += '\n';
+  for (const auto& row : rows_) emit_row(out, row);
+  return out;
+}
+
+std::string TextTable::render_csv() const {
+  std::string out;
+  auto emit = [&](const std::vector<std::string>& row) {
+    for (std::size_t c = 0; c < row.size(); ++c) {
+      if (c != 0) out += ',';
+      out += row[c];
+    }
+    out += '\n';
+  };
+  emit(header_);
+  for (const auto& row : rows_) emit(row);
+  return out;
+}
+
+}  // namespace tdt

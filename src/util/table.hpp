@@ -1,0 +1,66 @@
+// Fixed-width text table writer used by the stats reports and the bench
+// harnesses that print the paper's figure series as rows.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace tdt {
+
+/// Column alignment inside a TextTable.
+enum class Align : std::uint8_t { Left, Right };
+
+/// Accumulates rows of strings and renders them with aligned columns.
+///
+///   TextTable t({"set", "hits", "misses"});
+///   t.add_row({"0", "124", "8"});
+///   std::fputs(t.render().c_str(), stdout);
+class TextTable {
+ public:
+  explicit TextTable(std::vector<std::string> header);
+
+  /// Sets the alignment for a column (default: Right for all but column 0).
+  void set_align(std::size_t column, Align align);
+
+  /// Appends a data row; pads / truncates to the header width.
+  void add_row(std::vector<std::string> cells);
+
+  /// Convenience: formats arithmetic cells via std::to_string.
+  template <typename... Cells>
+  void add(const Cells&... cells) {
+    add_row({cell_to_string(cells)...});
+  }
+
+  [[nodiscard]] std::size_t rows() const noexcept { return rows_.size(); }
+
+  /// Renders with a header rule:  `set  hits  misses\n---  ----  ------\n...`
+  [[nodiscard]] std::string render() const;
+
+  /// Renders as CSV (no alignment, comma-separated, header first).
+  [[nodiscard]] std::string render_csv() const;
+
+ private:
+  static std::string cell_to_string(const std::string& s) { return s; }
+  static std::string cell_to_string(const char* s) { return s; }
+  static std::string cell_to_string(std::string_view s) {
+    return std::string(s);
+  }
+  template <typename T>
+  static std::string cell_to_string(const T& v) {
+    if constexpr (std::is_floating_point_v<T>) {
+      char buf[32];
+      std::snprintf(buf, sizeof buf, "%.4g", static_cast<double>(v));
+      return buf;
+    } else {
+      return std::to_string(v);
+    }
+  }
+
+  std::vector<std::string> header_;
+  std::vector<Align> aligns_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+}  // namespace tdt

@@ -1,0 +1,196 @@
+#include "analysis/advisor.hpp"
+
+#include <gtest/gtest.h>
+
+#include "cache/hierarchy.hpp"
+#include "cache/sim.hpp"
+#include "trace/reader.hpp"
+#include "util/string_util.hpp"
+#include "tracer/interp.hpp"
+#include "tracer/kernels.hpp"
+
+namespace tdt::analysis {
+namespace {
+
+struct Collected {
+  trace::TraceContext ctx;
+  std::unique_ptr<VarStatsCollector> vars;
+  std::unique_ptr<ConflictCollector> conflicts;
+
+  void run(const std::vector<trace::TraceRecord>& records,
+           cache::CacheConfig cfg) {
+    cache::CacheHierarchy h(cfg);
+    cache::TraceCacheSim sim(h);
+    vars = std::make_unique<VarStatsCollector>(ctx);
+    conflicts = std::make_unique<ConflictCollector>(ctx);
+    sim.add_observer(vars.get());
+    sim.add_observer(conflicts.get());
+    sim.simulate(records);
+  }
+};
+
+cache::CacheConfig tiny_dm(std::uint64_t size) {
+  cache::CacheConfig c;
+  c.size = size;
+  c.block_size = 32;
+  c.assoc = 1;
+  return c;
+}
+
+TEST(Advisor, HealthyTraceYieldsNoAction) {
+  Collected c;
+  // A small sequential walk that fits the cache: nothing to improve.
+  std::string text;
+  for (int rep = 0; rep < 4; ++rep) {
+    for (int i = 0; i < 32; ++i) {
+      text += "L " + to_hex(0x1000 + i * 4ull, 9) + " 4 main GS a[" +
+              std::to_string(i) + "]\n";
+    }
+  }
+  c.run(trace::read_trace_string(c.ctx, text), tiny_dm(4096));
+  const auto suggestions = advise(*c.vars, *c.conflicts);
+  ASSERT_EQ(suggestions.size(), 1u);
+  EXPECT_EQ(suggestions[0].kind, SuggestionKind::NoAction);
+}
+
+TEST(Advisor, PingPongConflictSuggestsPadding) {
+  Collected c;
+  // Two arrays one cache-size apart: pure set conflicts.
+  std::string text;
+  for (int rep = 0; rep < 64; ++rep) {
+    text += "L 000001000 4 main GS a[0]\n";
+    text += "L 000002000 4 main GS b[0]\n";  // 4096 = cache size apart
+  }
+  c.run(trace::read_trace_string(c.ctx, text), tiny_dm(4096));
+  const auto suggestions = advise(*c.vars, *c.conflicts);
+  ASSERT_FALSE(suggestions.empty());
+  EXPECT_EQ(suggestions[0].kind, SuggestionKind::PadOrDisplace);
+  // Both variables named.
+  ASSERT_EQ(suggestions[0].variables.size(), 2u);
+  EXPECT_NE(suggestions[0].rationale.find("a"), std::string::npos);
+  EXPECT_NE(suggestions[0].rationale.find("b"), std::string::npos);
+}
+
+TEST(Advisor, CapacityBoundAggregateSuggestsSplit) {
+  // Stream a structure 8x larger than the cache, repeatedly.
+  Collected c;
+  std::string text;
+  for (int rep = 0; rep < 4; ++rep) {
+    for (int i = 0; i < 1024; ++i) {
+      text += "L " + to_hex(0x10000 + i * 32ull, 9) + " 4 main GS big[" +
+              std::to_string(i) + "]\n";
+    }
+  }
+  c.run(trace::read_trace_string(c.ctx, text), tiny_dm(4096));
+  const auto suggestions = advise(*c.vars, *c.conflicts);
+  bool saw_split = false;
+  for (const Suggestion& s : suggestions) {
+    saw_split |= s.kind == SuggestionKind::SplitHotCold &&
+                 s.variables == std::vector<std::string>{"big"};
+  }
+  EXPECT_TRUE(saw_split);
+}
+
+TEST(Advisor, MatmulIjkFlagsConflictingMatrices) {
+  layout::TypeTable types;
+  Collected c;
+  const auto records =
+      tracer::run_program(types, c.ctx, tracer::make_matmul(types, 32, false));
+  cache::CacheConfig cfg;
+  cfg.size = 4096;
+  cfg.block_size = 64;
+  cfg.assoc = 1;
+  c.run(records, cfg);
+  const auto suggestions = advise(*c.vars, *c.conflicts);
+  ASSERT_FALSE(suggestions.empty());
+  EXPECT_NE(suggestions[0].kind, SuggestionKind::NoAction);
+}
+
+TEST(Advisor, RenderListsEverySuggestion) {
+  std::vector<Suggestion> suggestions;
+  Suggestion s;
+  s.kind = SuggestionKind::PadOrDisplace;
+  s.rationale = "x fights y";
+  suggestions.push_back(s);
+  s.kind = SuggestionKind::SplitHotCold;
+  s.rationale = "z streams";
+  suggestions.push_back(s);
+  const std::string text = render(suggestions);
+  EXPECT_NE(text.find("pad-or-displace"), std::string::npos);
+  EXPECT_NE(text.find("split-hot-cold"), std::string::npos);
+  EXPECT_NE(text.find("x fights y"), std::string::npos);
+}
+
+TEST(Advisor, MaxSuggestionsRespected) {
+  Collected c;
+  std::string text;
+  // Many pairwise-conflicting arrays.
+  for (int rep = 0; rep < 64; ++rep) {
+    for (int v = 0; v < 6; ++v) {
+      text += "L " + to_hex(0x1000 + v * 0x1000ull, 9) + " 4 main GS v" +
+              std::to_string(v) + "[0]\n";
+    }
+  }
+  c.run(trace::read_trace_string(c.ctx, text), tiny_dm(4096));
+  AdvisorOptions opts;
+  opts.max_suggestions = 3;
+  const auto suggestions = advise(*c.vars, *c.conflicts, opts);
+  EXPECT_LE(suggestions.size(), 3u);
+}
+
+TEST(Advisor, SoAWalkSuggestsInterleave) {
+  // The T1 symptom: alternating mX/mY accesses 4 KiB apart.
+  layout::TypeTable types;
+  Collected c;
+  const auto records =
+      tracer::run_program(types, c.ctx, tracer::make_t1_soa(types, 1024));
+  cache::CacheHierarchy h(cache::paper_direct_mapped());
+  cache::TraceCacheSim sim(h);
+  c.vars = std::make_unique<VarStatsCollector>(c.ctx);
+  c.conflicts = std::make_unique<ConflictCollector>(c.ctx);
+  AdjacencyCollector adjacency(c.ctx, 64);
+  sim.add_observer(c.vars.get());
+  sim.add_observer(c.conflicts.get());
+  sim.add_observer(&adjacency);
+  sim.simulate(records);
+
+  EXPECT_GT(adjacency.pairs().at({"lSoA.mX", "lSoA.mY"}), 1000u);
+  const auto suggestions = advise(*c.vars, *c.conflicts, {}, &adjacency);
+  bool saw_interleave = false;
+  for (const Suggestion& s : suggestions) {
+    saw_interleave |= s.kind == SuggestionKind::Interleave;
+  }
+  EXPECT_TRUE(saw_interleave);
+}
+
+TEST(Advisor, AoSWalkDoesNotSuggestInterleave) {
+  // Already interleaved: adjacent mX/mY are 8 bytes apart — no pair.
+  layout::TypeTable types;
+  Collected c;
+  const auto records =
+      tracer::run_program(types, c.ctx, tracer::make_t1_aos(types, 1024));
+  cache::CacheHierarchy h(cache::paper_direct_mapped());
+  cache::TraceCacheSim sim(h);
+  c.vars = std::make_unique<VarStatsCollector>(c.ctx);
+  c.conflicts = std::make_unique<ConflictCollector>(c.ctx);
+  AdjacencyCollector adjacency(c.ctx, 64);
+  sim.add_observer(c.vars.get());
+  sim.add_observer(c.conflicts.get());
+  sim.add_observer(&adjacency);
+  sim.simulate(records);
+
+  const auto suggestions = advise(*c.vars, *c.conflicts, {}, &adjacency);
+  for (const Suggestion& s : suggestions) {
+    EXPECT_NE(s.kind, SuggestionKind::Interleave) << s.rationale;
+  }
+}
+
+TEST(SuggestionKind, Names) {
+  EXPECT_EQ(to_string(SuggestionKind::PadOrDisplace), "pad-or-displace");
+  EXPECT_EQ(to_string(SuggestionKind::SplitHotCold), "split-hot-cold");
+  EXPECT_EQ(to_string(SuggestionKind::Interleave), "interleave");
+  EXPECT_EQ(to_string(SuggestionKind::NoAction), "no-action");
+}
+
+}  // namespace
+}  // namespace tdt::analysis

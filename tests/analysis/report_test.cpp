@@ -1,0 +1,108 @@
+#include "analysis/report.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <filesystem>
+#include <fstream>
+
+#include "cache/hierarchy.hpp"
+#include "trace/reader.hpp"
+
+namespace tdt::analysis {
+namespace {
+
+using cache::CacheConfig;
+using cache::CacheHierarchy;
+using cache::TraceCacheSim;
+using trace::TraceContext;
+
+struct Collected {
+  TraceContext ctx;
+  std::unique_ptr<SetActivityCollector> collector;
+
+  Collected() {
+    const auto records = trace::read_trace_string(
+        ctx,
+        "L 000000000 4 main GS a[0]\n"
+        "L 000000000 4 main GS a[0]\n"
+        "L 000000020 4 main GS b[0]\n"
+        "L 0000000e0 4 main GS b[7]\n");
+    CacheConfig cfg;
+    cfg.size = 256;
+    cfg.block_size = 32;
+    cfg.assoc = 1;
+    CacheHierarchy h(cfg);
+    TraceCacheSim sim(h);
+    collector = std::make_unique<SetActivityCollector>(ctx, 8);
+    sim.add_observer(collector.get());
+    sim.simulate(records);
+  }
+};
+
+TEST(Report, SetTableContainsSeriesRows) {
+  Collected c;
+  const std::string table = set_table(*c.collector, {"a", "b"});
+  EXPECT_NE(table.find("a:hits"), std::string::npos);
+  EXPECT_NE(table.find("b:misses"), std::string::npos);
+  // Set 0 row: a has 1 hit 1 miss.
+  EXPECT_NE(table.find("0"), std::string::npos);
+}
+
+TEST(Report, SetTableSkipsEmptySetsByDefault) {
+  Collected c;
+  const std::string table = set_table(*c.collector, {"a", "b"});
+  // Sets 2..6 have no activity; rows: header + rule + sets {0,1,7}.
+  int newlines = 0;
+  for (char ch : table) newlines += ch == '\n';
+  EXPECT_EQ(newlines, 2 + 3);
+  const std::string full =
+      set_table(*c.collector, {"a", "b"}, /*skip_empty_sets=*/false);
+  int full_newlines = 0;
+  for (char ch : full) full_newlines += ch == '\n';
+  EXPECT_EQ(full_newlines, 2 + 8);
+}
+
+TEST(Report, CsvHasHeaderAndAllSets) {
+  Collected c;
+  const std::string csv = set_csv(*c.collector, {"a"});
+  EXPECT_EQ(csv.substr(0, 22), "set,a_hits,a_misses\n0,");
+  int lines = 0;
+  for (char ch : csv) lines += ch == '\n';
+  EXPECT_EQ(lines, 9);  // header + 8 sets
+}
+
+TEST(Report, GnuplotFilesWritten) {
+  Collected c;
+  const std::string prefix =
+      (std::filesystem::temp_directory_path() / "tdt_report_test").string();
+  write_gnuplot(*c.collector, {"a", "b"}, prefix, "test title");
+  std::ifstream dat(prefix + ".dat");
+  ASSERT_TRUE(dat.good());
+  std::ifstream gp(prefix + ".gp");
+  ASSERT_TRUE(gp.good());
+  std::string gp_text((std::istreambuf_iterator<char>(gp)),
+                      std::istreambuf_iterator<char>());
+  EXPECT_NE(gp_text.find("logscale"), std::string::npos);
+  EXPECT_NE(gp_text.find("multiplot"), std::string::npos);
+  EXPECT_NE(gp_text.find("Cache Sets"), std::string::npos);
+  std::remove((prefix + ".dat").c_str());
+  std::remove((prefix + ".gp").c_str());
+}
+
+TEST(Report, AsciiChartShowsHitsAndMisses) {
+  Collected c;
+  const std::string chart = ascii_chart(*c.collector, "a");
+  EXPECT_NE(chart.find("hits per set"), std::string::npos);
+  EXPECT_NE(chart.find("misses per set"), std::string::npos);
+  EXPECT_NE(chart.find('#'), std::string::npos);
+}
+
+TEST(Report, AsciiChartEmptyVariable) {
+  Collected c;
+  const std::string chart = ascii_chart(*c.collector, "ghost");
+  EXPECT_NE(chart.find("max 0"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace tdt::analysis

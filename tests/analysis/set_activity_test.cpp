@@ -1,0 +1,124 @@
+#include "analysis/set_activity.hpp"
+
+#include <gtest/gtest.h>
+
+#include "cache/hierarchy.hpp"
+#include "trace/reader.hpp"
+
+namespace tdt::analysis {
+namespace {
+
+using cache::CacheConfig;
+using cache::CacheHierarchy;
+using cache::TraceCacheSim;
+using trace::TraceContext;
+
+CacheConfig tiny() {
+  CacheConfig c;
+  c.size = 256;  // 8 sets of 32 B, direct mapped
+  c.block_size = 32;
+  c.assoc = 1;
+  return c;
+}
+
+TEST(SetActivity, AttributesAccessesToVariablesAndSets) {
+  TraceContext ctx;
+  const auto records = trace::read_trace_string(
+      ctx,
+      "L 000000000 4 main GS a[0]\n"   // set 0 miss
+      "L 000000000 4 main GS a[0]\n"   // set 0 hit
+      "L 000000020 4 main GS b[0]\n"); // set 1 miss
+  CacheHierarchy h(tiny());
+  TraceCacheSim sim(h);
+  SetActivityCollector collector(ctx, 8);
+  sim.add_observer(&collector);
+  sim.simulate(records);
+
+  ASSERT_EQ(collector.variables().size(), 2u);
+  EXPECT_EQ(collector.variables()[0], "a");
+  EXPECT_EQ(collector.series("a")[0].misses, 1u);
+  EXPECT_EQ(collector.series("a")[0].hits, 1u);
+  EXPECT_EQ(collector.series("b")[1].misses, 1u);
+  EXPECT_EQ(collector.series("b")[0].hits, 0u);
+}
+
+TEST(SetActivity, AnonymousRecordsBucketed) {
+  TraceContext ctx;
+  const auto records =
+      trace::read_trace_string(ctx, "L 000000000 4 main\n");
+  CacheHierarchy h(tiny());
+  TraceCacheSim sim(h);
+  SetActivityCollector collector(ctx, 8);
+  sim.add_observer(&collector);
+  sim.simulate(records);
+  EXPECT_EQ(collector.series("<anon>")[0].misses, 1u);
+}
+
+TEST(SetActivity, UnknownVariableYieldsEmptySeries) {
+  TraceContext ctx;
+  SetActivityCollector collector(ctx, 4);
+  const auto& series = collector.series("ghost");
+  ASSERT_EQ(series.size(), 4u);
+  for (const SetCell& c : series) {
+    EXPECT_EQ(c.hits + c.misses, 0u);
+  }
+}
+
+TEST(SetActivity, TotalsSumOverVariables) {
+  TraceContext ctx;
+  const auto records = trace::read_trace_string(
+      ctx,
+      "L 000000000 4 main GS a[0]\n"
+      "L 000000020 4 main GS b[0]\n"
+      "L 000000020 4 main GS b[0]\n");
+  CacheHierarchy h(tiny());
+  TraceCacheSim sim(h);
+  SetActivityCollector collector(ctx, 8);
+  sim.add_observer(&collector);
+  sim.simulate(records);
+  const auto totals = collector.totals();
+  std::uint64_t all = 0;
+  for (const SetCell& c : totals) all += c.hits + c.misses;
+  EXPECT_EQ(all, 3u);
+  // Totals per set match the cache's own per-set counters.
+  const auto& set_stats = h.l1().set_stats();
+  for (std::size_t s = 0; s < 8; ++s) {
+    EXPECT_EQ(totals[s].hits, set_stats[s].hits);
+    EXPECT_EQ(totals[s].misses, set_stats[s].misses);
+  }
+}
+
+TEST(SetActivity, ActiveSetsListsTouchedOnly) {
+  TraceContext ctx;
+  const auto records = trace::read_trace_string(
+      ctx,
+      "L 000000000 4 main GS a[0]\n"
+      "L 0000000e0 4 main GS a[7]\n");  // set 7
+  CacheHierarchy h(tiny());
+  TraceCacheSim sim(h);
+  SetActivityCollector collector(ctx, 8);
+  sim.add_observer(&collector);
+  sim.simulate(records);
+  EXPECT_EQ(collector.active_sets("a"),
+            (std::vector<std::uint64_t>{0, 7}));
+  EXPECT_TRUE(collector.active_sets("ghost").empty());
+}
+
+TEST(SetActivity, VariablesOrderedByFirstTouch) {
+  TraceContext ctx;
+  const auto records = trace::read_trace_string(
+      ctx,
+      "L 000000000 4 main GS zebra[0]\n"
+      "L 000000020 4 main GS apple[0]\n"
+      "L 000000000 4 main GS zebra[0]\n");
+  CacheHierarchy h(tiny());
+  TraceCacheSim sim(h);
+  SetActivityCollector collector(ctx, 8);
+  sim.add_observer(&collector);
+  sim.simulate(records);
+  EXPECT_EQ(collector.variables(),
+            (std::vector<std::string>{"zebra", "apple"}));
+}
+
+}  // namespace
+}  // namespace tdt::analysis

@@ -1,0 +1,119 @@
+#include "analysis/var_stats.hpp"
+
+#include <gtest/gtest.h>
+
+#include "cache/hierarchy.hpp"
+#include "trace/reader.hpp"
+
+namespace tdt::analysis {
+namespace {
+
+using cache::CacheConfig;
+using cache::CacheHierarchy;
+using cache::TraceCacheSim;
+using trace::TraceContext;
+
+CacheConfig tiny() {
+  CacheConfig c;
+  c.size = 256;
+  c.block_size = 32;
+  c.assoc = 1;
+  return c;
+}
+
+TEST(VarStats, PerVariableHitMiss) {
+  TraceContext ctx;
+  const auto records = trace::read_trace_string(
+      ctx,
+      "L 000000000 4 main GS a[0]\n"
+      "L 000000000 4 main GS a[0]\n"
+      "L 000000040 4 foo GS b[0]\n");
+  CacheHierarchy h(tiny());
+  TraceCacheSim sim(h);
+  VarStatsCollector vars(ctx);
+  sim.add_observer(&vars);
+  sim.simulate(records);
+
+  EXPECT_EQ(vars.by_variable().at("a").hits, 1u);
+  EXPECT_EQ(vars.by_variable().at("a").misses, 1u);
+  EXPECT_EQ(vars.by_variable().at("a").compulsory, 1u);
+  EXPECT_EQ(vars.by_variable().at("b").misses, 1u);
+  EXPECT_EQ(vars.by_function().at("main").accesses(), 2u);
+  EXPECT_EQ(vars.by_function().at("foo").accesses(), 1u);
+}
+
+TEST(VarStats, MissRatioPerVariable) {
+  HitMiss hm;
+  hm.hits = 3;
+  hm.misses = 1;
+  EXPECT_DOUBLE_EQ(hm.miss_ratio(), 0.25);
+  EXPECT_DOUBLE_EQ(HitMiss{}.miss_ratio(), 0.0);
+}
+
+TEST(VarStats, ReportContainsTables) {
+  TraceContext ctx;
+  const auto records = trace::read_trace_string(
+      ctx, "L 000000000 4 main GS myvar[0]\n");
+  CacheHierarchy h(tiny());
+  TraceCacheSim sim(h);
+  VarStatsCollector vars(ctx);
+  sim.add_observer(&vars);
+  sim.simulate(records);
+  const std::string report = vars.report();
+  EXPECT_NE(report.find("myvar"), std::string::npos);
+  EXPECT_NE(report.find("main"), std::string::npos);
+  EXPECT_NE(report.find("compulsory"), std::string::npos);
+}
+
+TEST(Conflicts, EvictionPairsAttributed) {
+  TraceContext ctx;
+  // a and b alternate in the same set of a direct-mapped cache.
+  const auto records = trace::read_trace_string(
+      ctx,
+      "L 000000000 4 main GS a[0]\n"
+      "L 000000100 4 main GS b[0]\n"  // evicts a
+      "L 000000000 4 main GS a[0]\n"  // evicts b
+      "L 000000100 4 main GS b[0]\n");
+  CacheHierarchy h(tiny());
+  TraceCacheSim sim(h);
+  ConflictCollector conflicts(ctx);
+  sim.add_observer(&conflicts);
+  sim.simulate(records);
+  EXPECT_EQ(conflicts.pairs().at({"b", "a"}), 2u);
+  EXPECT_EQ(conflicts.pairs().at({"a", "b"}), 1u);
+}
+
+TEST(Conflicts, NoPairsWithoutEvictions) {
+  TraceContext ctx;
+  const auto records = trace::read_trace_string(
+      ctx,
+      "L 000000000 4 main GS a[0]\n"
+      "L 000000020 4 main GS b[0]\n");
+  CacheHierarchy h(tiny());
+  TraceCacheSim sim(h);
+  ConflictCollector conflicts(ctx);
+  sim.add_observer(&conflicts);
+  sim.simulate(records);
+  EXPECT_TRUE(conflicts.pairs().empty());
+}
+
+TEST(Conflicts, ReportTopPairs) {
+  TraceContext ctx;
+  const auto records = trace::read_trace_string(
+      ctx,
+      "L 000000000 4 main GS a[0]\n"
+      "L 000000100 4 main GS b[0]\n"
+      "L 000000000 4 main GS a[0]\n");
+  CacheHierarchy h(tiny());
+  TraceCacheSim sim(h);
+  ConflictCollector conflicts(ctx);
+  sim.add_observer(&conflicts);
+  sim.simulate(records);
+  const std::string report = conflicts.report();
+  EXPECT_NE(report.find("evictor"), std::string::npos);
+  EXPECT_NE(report.find("a"), std::string::npos);
+  EXPECT_NE(report.find("b"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace tdt::analysis

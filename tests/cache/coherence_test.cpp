@@ -1,0 +1,174 @@
+#include "cache/coherence.hpp"
+
+#include <gtest/gtest.h>
+
+#include "util/error.hpp"
+#include "util/rng.hpp"
+
+namespace tdt::cache {
+namespace {
+
+CacheConfig tiny() {
+  CacheConfig c;
+  c.size = 256;
+  c.block_size = 32;
+  c.assoc = 2;
+  return c;
+}
+
+TEST(Mesi, FirstReadIsExclusive) {
+  MesiSystem sys(tiny(), 2);
+  const CoherenceOutcome o = sys.access(0, 0x1000, false);
+  EXPECT_FALSE(o.hit);
+  EXPECT_EQ(o.new_state, Mesi::Exclusive);
+  EXPECT_EQ(sys.state_of(0, 0x1000 / 32), Mesi::Exclusive);
+  EXPECT_EQ(sys.state_of(1, 0x1000 / 32), Mesi::Invalid);
+}
+
+TEST(Mesi, SecondReaderDemotesToShared) {
+  MesiSystem sys(tiny(), 2);
+  (void)sys.access(0, 0x1000, false);
+  const CoherenceOutcome o = sys.access(1, 0x1000, false);
+  EXPECT_FALSE(o.hit);
+  EXPECT_EQ(o.new_state, Mesi::Shared);
+  EXPECT_EQ(sys.state_of(0, 0x1000 / 32), Mesi::Shared);
+  EXPECT_EQ(sys.state_of(1, 0x1000 / 32), Mesi::Shared);
+}
+
+TEST(Mesi, WriteOnExclusiveUpgradesSilently) {
+  MesiSystem sys(tiny(), 2);
+  (void)sys.access(0, 0x1000, false);
+  const CoherenceOutcome o = sys.access(0, 0x1000, true);
+  EXPECT_TRUE(o.hit);
+  EXPECT_EQ(o.invalidated, 0u);
+  EXPECT_EQ(o.new_state, Mesi::Modified);
+}
+
+TEST(Mesi, WriteOnSharedInvalidatesRemotes) {
+  MesiSystem sys(tiny(), 3);
+  (void)sys.access(0, 0x1000, false);
+  (void)sys.access(1, 0x1000, false);
+  (void)sys.access(2, 0x1000, false);
+  const CoherenceOutcome o = sys.access(0, 0x1000, true);
+  EXPECT_TRUE(o.hit);
+  EXPECT_EQ(o.invalidated, 2u);
+  EXPECT_EQ(sys.core_stats(0).upgrades, 1u);
+  EXPECT_EQ(sys.state_of(1, 0x1000 / 32), Mesi::Invalid);
+  EXPECT_EQ(sys.state_of(2, 0x1000 / 32), Mesi::Invalid);
+  EXPECT_EQ(sys.core_stats(1).invalidations, 1u);
+  EXPECT_EQ(sys.total_invalidations(), 2u);
+}
+
+TEST(Mesi, WriteMissInvalidatesRemoteModified) {
+  MesiSystem sys(tiny(), 2);
+  (void)sys.access(0, 0x1000, true);  // core 0: M
+  const CoherenceOutcome o = sys.access(1, 0x1000, true);
+  EXPECT_FALSE(o.hit);
+  EXPECT_EQ(o.invalidated, 1u);
+  EXPECT_EQ(sys.core_stats(0).writebacks, 1u);  // remote M flushed
+  EXPECT_EQ(sys.state_of(1, 0x1000 / 32), Mesi::Modified);
+  EXPECT_EQ(sys.state_of(0, 0x1000 / 32), Mesi::Invalid);
+}
+
+TEST(Mesi, ReadOfRemoteModifiedForcesWritebackAndShares) {
+  MesiSystem sys(tiny(), 2);
+  (void)sys.access(0, 0x1000, true);  // core 0: M
+  const CoherenceOutcome o = sys.access(1, 0x1000, false);
+  EXPECT_EQ(o.new_state, Mesi::Shared);
+  EXPECT_EQ(sys.state_of(0, 0x1000 / 32), Mesi::Shared);
+  EXPECT_EQ(sys.core_stats(0).writebacks, 1u);
+}
+
+TEST(Mesi, CoherenceMissClassified) {
+  MesiSystem sys(tiny(), 2);
+  (void)sys.access(0, 0x1000, false);
+  (void)sys.access(1, 0x1000, true);  // invalidates core 0
+  const CoherenceOutcome o = sys.access(0, 0x1000, false);
+  EXPECT_FALSE(o.hit);
+  EXPECT_TRUE(o.coherence_miss);
+  EXPECT_EQ(sys.core_stats(0).coherence_misses, 1u);
+}
+
+TEST(Mesi, PingPongGeneratesInvalidationPerWrite) {
+  MesiSystem sys(tiny(), 2);
+  // Alternating writes to one line: every write after the first kills the
+  // other core's copy.
+  for (int i = 0; i < 10; ++i) {
+    (void)sys.access(0, 0x1000, true);
+    (void)sys.access(1, 0x1000, true);
+  }
+  EXPECT_EQ(sys.total_invalidations(), 19u);
+}
+
+TEST(Mesi, DistinctLinesDoNotInterfere) {
+  MesiSystem sys(tiny(), 2);
+  for (int i = 0; i < 10; ++i) {
+    (void)sys.access(0, 0x1000, true);
+    (void)sys.access(1, 0x1040, true);  // different block
+  }
+  EXPECT_EQ(sys.total_invalidations(), 0u);
+  EXPECT_EQ(sys.core_stats(0).write_hits, 9u);
+  EXPECT_EQ(sys.core_stats(1).write_hits, 9u);
+}
+
+TEST(Mesi, EvictionWritesBackModified) {
+  CacheConfig c;
+  c.size = 64;  // one set, two ways
+  c.block_size = 32;
+  c.assoc = 2;
+  MesiSystem sys(c, 1);
+  (void)sys.access(0, 0x0, true);
+  (void)sys.access(0, 0x40, true);
+  (void)sys.access(0, 0x80, true);  // evicts LRU modified line
+  EXPECT_EQ(sys.core_stats(0).writebacks, 1u);
+}
+
+TEST(Mesi, SingleCoreBehavesLikePlainCache) {
+  MesiSystem sys(tiny(), 1);
+  (void)sys.access(0, 0x1000, false);
+  EXPECT_TRUE(sys.access(0, 0x1000, false).hit);
+  EXPECT_TRUE(sys.access(0, 0x1000, true).hit);
+  EXPECT_EQ(sys.total_invalidations(), 0u);
+}
+
+TEST(Mesi, StatsInvariants) {
+  MesiSystem sys(tiny(), 4);
+  SplitMix64 rng(3);
+  for (int i = 0; i < 5000; ++i) {
+    const auto core = static_cast<std::uint32_t>(rng.next() % 4);
+    const std::uint64_t addr = (rng.next() % 64) * 32;
+    (void)sys.access(core, addr, rng.next() % 2 == 0);
+  }
+  std::uint64_t total = 0;
+  for (std::uint32_t c = 0; c < 4; ++c) {
+    const CoreStats& s = sys.core_stats(c);
+    EXPECT_EQ(s.hits() + s.misses(), s.accesses());
+    EXPECT_LE(s.coherence_misses, s.misses());
+    total += s.accesses();
+  }
+  EXPECT_EQ(total, 5000u);
+}
+
+TEST(Mesi, BadCoreIdThrows) {
+  MesiSystem sys(tiny(), 2);
+  EXPECT_THROW((void)sys.access(2, 0x0, false), Error);
+  EXPECT_THROW((void)sys.core_stats(5), Error);
+}
+
+TEST(Mesi, StateNames) {
+  EXPECT_EQ(to_string(Mesi::Invalid), "I");
+  EXPECT_EQ(to_string(Mesi::Shared), "S");
+  EXPECT_EQ(to_string(Mesi::Exclusive), "E");
+  EXPECT_EQ(to_string(Mesi::Modified), "M");
+}
+
+TEST(Mesi, ReportListsCores) {
+  MesiSystem sys(tiny(), 2);
+  (void)sys.access(0, 0x1000, true);
+  const std::string report = sys.report();
+  EXPECT_NE(report.find("core 0"), std::string::npos);
+  EXPECT_NE(report.find("core 1"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace tdt::cache

@@ -1,0 +1,97 @@
+#include "cache/hierarchy.hpp"
+
+#include <gtest/gtest.h>
+
+#include "util/error.hpp"
+
+namespace tdt::cache {
+namespace {
+
+CacheConfig small(const char* name, std::uint64_t size) {
+  CacheConfig c;
+  c.name = name;
+  c.size = size;
+  c.block_size = 32;
+  c.assoc = 2;
+  return c;
+}
+
+TEST(Hierarchy, SingleLevel) {
+  CacheHierarchy h(small("only", 256));
+  EXPECT_EQ(h.depth(), 1u);
+  (void)h.l1().access(0x100, false);
+  EXPECT_EQ(h.l1().stats().accesses(), 1u);
+}
+
+TEST(Hierarchy, MissesPropagateToNextLevel) {
+  CacheHierarchy h({small("l1", 256), small("l2", 4096)});
+  EXPECT_EQ(h.depth(), 2u);
+  (void)h.l1().access(0x100, false);
+  EXPECT_EQ(h.level(1).stats().accesses(), 1u);  // demand fetch
+  (void)h.l1().access(0x100, false);             // L1 hit: L2 untouched
+  EXPECT_EQ(h.level(1).stats().accesses(), 1u);
+}
+
+TEST(Hierarchy, L2HitsAfterL1Eviction) {
+  CacheHierarchy h({small("l1", 64), small("l2", 4096)});
+  // L1 is 2 blocks (1 set x 2 ways); touch 3 conflicting blocks.
+  (void)h.l1().access(0x0, false);
+  (void)h.l1().access(0x40, false);
+  (void)h.l1().access(0x80, false);  // evicts 0x0 from L1
+  (void)h.l1().access(0x0, false);   // L1 miss, L2 hit
+  EXPECT_GE(h.level(1).stats().read_hits, 1u);
+}
+
+TEST(Hierarchy, LevelsOrderedFrontFirst) {
+  CacheHierarchy h({small("l1", 256), small("l2", 4096)});
+  EXPECT_EQ(h.level(0).config().name, "l1");
+  EXPECT_EQ(h.level(1).config().name, "l2");
+  EXPECT_EQ(&h.l1(), &h.level(0));
+  EXPECT_EQ(h.level(0).next(), &h.level(1));
+  EXPECT_EQ(h.level(1).next(), nullptr);
+}
+
+TEST(Hierarchy, ThreeLevels) {
+  CacheHierarchy h({small("l1", 64), small("l2", 256), small("l3", 4096)});
+  (void)h.l1().access(0x100, false);
+  EXPECT_EQ(h.level(1).stats().accesses(), 1u);
+  EXPECT_EQ(h.level(2).stats().accesses(), 1u);
+}
+
+TEST(Hierarchy, ResetClearsAllLevels) {
+  CacheHierarchy h({small("l1", 256), small("l2", 4096)});
+  (void)h.l1().access(0x100, true);
+  h.reset();
+  EXPECT_EQ(h.l1().stats().accesses(), 0u);
+  EXPECT_EQ(h.level(1).stats().accesses(), 0u);
+}
+
+TEST(Hierarchy, InclusionHoldsForLruUnderReadStream) {
+  // With LRU and L2 >= L1 (same block size), any L1 hit implies the block
+  // is also present in L2 for a read-only stream.
+  CacheHierarchy h({small("l1", 128), small("l2", 1024)});
+  Xoshiro256 rng(3);
+  for (int i = 0; i < 2000; ++i) {
+    const std::uint64_t addr = rng.next_below(64) * 32;
+    const bool l1_hit = h.l1().access(addr, false).hit;
+    if (l1_hit) {
+      EXPECT_TRUE(h.level(1).contains_block(addr / 32));
+    }
+  }
+}
+
+TEST(Hierarchy, EmptyConfigRejected) {
+  EXPECT_THROW(CacheHierarchy h(std::vector<CacheConfig>{}), Error);
+}
+
+TEST(Hierarchy, ReportMentionsEveryLevel) {
+  CacheHierarchy h({small("alpha", 256), small("beta", 4096)});
+  (void)h.l1().access(0x0, false);
+  const std::string report = h.report();
+  EXPECT_NE(report.find("alpha"), std::string::npos);
+  EXPECT_NE(report.find("beta"), std::string::npos);
+  EXPECT_NE(report.find("miss ratio"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace tdt::cache

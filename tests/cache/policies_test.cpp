@@ -1,0 +1,148 @@
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "cache/cache.hpp"
+
+namespace tdt::cache {
+namespace {
+
+CacheConfig one_set(std::uint32_t ways, ReplacementPolicy policy) {
+  CacheConfig c;
+  c.size = 32ull * ways;  // exactly one set
+  c.block_size = 32;
+  c.assoc = ways;
+  c.replacement = policy;
+  return c;
+}
+
+std::uint64_t addr_of(int block) {
+  return static_cast<std::uint64_t>(block) * 32;
+}
+
+TEST(Lru, EvictsLeastRecentlyUsed) {
+  CacheLevel cache(one_set(2, ReplacementPolicy::Lru));
+  (void)cache.access(addr_of(0), false);
+  (void)cache.access(addr_of(1), false);
+  (void)cache.access(addr_of(0), false);  // 0 now MRU
+  (void)cache.access(addr_of(2), false);  // evicts 1
+  EXPECT_TRUE(cache.contains_block(0));
+  EXPECT_FALSE(cache.contains_block(1));
+  EXPECT_TRUE(cache.contains_block(2));
+}
+
+TEST(Lru, StackProperty) {
+  // LRU inclusion: a hit in a k-way LRU set is also a hit in any larger
+  // LRU set fed the same single-set stream.
+  const int trace[] = {0, 1, 2, 0, 3, 1, 0, 2, 4, 0, 1, 2, 3, 4, 0};
+  CacheLevel small(one_set(2, ReplacementPolicy::Lru));
+  CacheLevel big(one_set(4, ReplacementPolicy::Lru));
+  for (int b : trace) {
+    const bool small_hit = small.access(addr_of(b), false).hit;
+    const bool big_hit = big.access(addr_of(b), false).hit;
+    if (small_hit) {
+      EXPECT_TRUE(big_hit);
+    }
+  }
+}
+
+TEST(Fifo, EvictsOldestFillRegardlessOfUse) {
+  CacheLevel cache(one_set(2, ReplacementPolicy::Fifo));
+  (void)cache.access(addr_of(0), false);
+  (void)cache.access(addr_of(1), false);
+  (void)cache.access(addr_of(0), false);  // touch does not refresh FIFO age
+  (void)cache.access(addr_of(2), false);  // evicts 0 (oldest fill)
+  EXPECT_FALSE(cache.contains_block(0));
+  EXPECT_TRUE(cache.contains_block(1));
+  EXPECT_TRUE(cache.contains_block(2));
+}
+
+TEST(RoundRobin, CyclesThroughWays) {
+  CacheLevel cache(one_set(4, ReplacementPolicy::RoundRobin));
+  for (int b = 0; b < 4; ++b) (void)cache.access(addr_of(b), false);
+  // Set full. Next 4 misses evict ways 0,1,2,3 in order: blocks 0,1,2,3.
+  for (int b = 4; b < 8; ++b) {
+    const AccessOutcome o = cache.access(addr_of(b), false);
+    EXPECT_TRUE(o.evicted);
+    EXPECT_EQ(o.evicted_block, static_cast<std::uint64_t>(b - 4));
+  }
+}
+
+TEST(RoundRobin, CursorIgnoresHits) {
+  CacheLevel cache(one_set(2, ReplacementPolicy::RoundRobin));
+  (void)cache.access(addr_of(0), false);
+  (void)cache.access(addr_of(1), false);
+  for (int i = 0; i < 10; ++i) (void)cache.access(addr_of(1), false);
+  const AccessOutcome o = cache.access(addr_of(2), false);
+  EXPECT_EQ(o.evicted_block, 0u);  // cursor still at way 0
+}
+
+TEST(Random, IsDeterministicForSeed) {
+  CacheConfig a_cfg = one_set(4, ReplacementPolicy::Random);
+  a_cfg.random_seed = 11;
+  CacheConfig b_cfg = a_cfg;
+  CacheLevel a(a_cfg), b(b_cfg);
+  for (int i = 0; i < 200; ++i) {
+    const int blk = (i * 7) % 13;
+    EXPECT_EQ(a.access(addr_of(blk), false).hit,
+              b.access(addr_of(blk), false).hit);
+  }
+}
+
+TEST(Random, EventuallyEvictsEveryWay) {
+  CacheLevel cache(one_set(4, ReplacementPolicy::Random));
+  for (int b = 0; b < 4; ++b) (void)cache.access(addr_of(b), false);
+  std::set<std::uint64_t> evicted;
+  for (int i = 0; i < 200; ++i) {
+    const AccessOutcome o = cache.access(addr_of(4 + i), false);
+    if (o.evicted) evicted.insert(o.evicted_block % 4 < 4 ? o.set : 0);
+  }
+  // With 200 random evictions in one set the cursor hit all ways; we just
+  // confirm evictions happened continuously.
+  EXPECT_EQ(cache.stats().evictions, 200u);
+}
+
+TEST(Policies, InvalidWaysFilledBeforeEviction) {
+  for (ReplacementPolicy p :
+       {ReplacementPolicy::Lru, ReplacementPolicy::Fifo,
+        ReplacementPolicy::Random, ReplacementPolicy::RoundRobin}) {
+    CacheLevel cache(one_set(4, p));
+    for (int b = 0; b < 4; ++b) {
+      EXPECT_FALSE(cache.access(addr_of(b), false).evicted)
+          << to_string(p);
+    }
+    EXPECT_EQ(cache.stats().evictions, 0u) << to_string(p);
+  }
+}
+
+TEST(Policies, SequentialSweepBehavesIdentically) {
+  // A pure cold sweep has no replacement decisions that differ: all
+  // policies produce the same miss count.
+  std::uint64_t misses[4];
+  int i = 0;
+  for (ReplacementPolicy p :
+       {ReplacementPolicy::Lru, ReplacementPolicy::Fifo,
+        ReplacementPolicy::Random, ReplacementPolicy::RoundRobin}) {
+    CacheLevel cache(one_set(8, p));
+    for (int b = 0; b < 64; ++b) (void)cache.access(addr_of(b), false);
+    misses[i++] = cache.stats().misses();
+  }
+  EXPECT_EQ(misses[0], 64u);
+  EXPECT_EQ(misses[1], misses[0]);
+  EXPECT_EQ(misses[2], misses[0]);
+  EXPECT_EQ(misses[3], misses[0]);
+}
+
+TEST(Policies, CyclicPatternIsLruWorstCase) {
+  // Classic anomaly: cycling over assoc+1 blocks thrashes LRU completely
+  // (the block about to be reused is always the one just evicted).
+  CacheLevel lru(one_set(4, ReplacementPolicy::Lru));
+  std::uint64_t lru_hits = 0;
+  for (int i = 0; i < 50; ++i) {
+    if (lru.access(addr_of(i % 5), false).hit) ++lru_hits;
+  }
+  EXPECT_EQ(lru_hits, 0u);  // 5 blocks cycling through 4 ways: thrash
+}
+
+}  // namespace
+}  // namespace tdt::cache

@@ -1,0 +1,114 @@
+// Sequential prefetching (DineroIV's -Tfetch family): Always / Miss /
+// Tagged next-block prefetch.
+#include <gtest/gtest.h>
+
+#include "cache/cache.hpp"
+
+namespace tdt::cache {
+namespace {
+
+CacheConfig cfg_with(PrefetchPolicy p) {
+  CacheConfig c;
+  c.size = 1024;  // 32 blocks, plenty for these streams
+  c.block_size = 32;
+  c.assoc = 0;  // fully associative: no placement interference
+  c.prefetch = p;
+  return c;
+}
+
+std::uint64_t addr_of(int block) {
+  return static_cast<std::uint64_t>(block) * 32;
+}
+
+TEST(Prefetch, NoneIssuesNothing) {
+  CacheLevel cache(cfg_with(PrefetchPolicy::None));
+  for (int b = 0; b < 8; ++b) (void)cache.access(addr_of(b), false);
+  EXPECT_EQ(cache.stats().prefetches, 0u);
+  EXPECT_EQ(cache.stats().prefetch_hits, 0u);
+}
+
+TEST(Prefetch, MissPolicyHidesSequentialStream) {
+  CacheLevel cache(cfg_with(PrefetchPolicy::Miss));
+  // Sequential walk: first block misses and prefetches the next; every
+  // subsequent block hits its prefetched line — but a hit does not
+  // prefetch further under Miss, so the stream alternates miss/hit.
+  std::uint64_t misses = 0;
+  for (int b = 0; b < 16; ++b) {
+    if (!cache.access(addr_of(b), false).hit) ++misses;
+  }
+  EXPECT_EQ(misses, 8u);  // every other block
+  EXPECT_EQ(cache.stats().prefetch_hits, 8u);
+}
+
+TEST(Prefetch, TaggedPolicyHidesWholeStream) {
+  CacheLevel cache(cfg_with(PrefetchPolicy::Tagged));
+  // Tagged re-arms on the first demand hit of a prefetched line, so a
+  // sequential stream misses only once.
+  std::uint64_t misses = 0;
+  for (int b = 0; b < 16; ++b) {
+    if (!cache.access(addr_of(b), false).hit) ++misses;
+  }
+  EXPECT_EQ(misses, 1u);
+  EXPECT_EQ(cache.stats().prefetch_hits, 15u);
+}
+
+TEST(Prefetch, AlwaysPrefetchesOnHitsToo) {
+  CacheLevel cache(cfg_with(PrefetchPolicy::Always));
+  (void)cache.access(addr_of(0), false);  // miss, prefetch 1
+  (void)cache.access(addr_of(0), false);  // hit, prefetch 1 (resident: no-op)
+  EXPECT_EQ(cache.stats().prefetches, 1u);
+  (void)cache.access(addr_of(1), false);  // hit on prefetched, prefetch 2
+  EXPECT_EQ(cache.stats().prefetches, 2u);
+  EXPECT_TRUE(cache.contains_block(2));
+}
+
+TEST(Prefetch, ResidentNextBlockNotRefetched) {
+  CacheLevel cache(cfg_with(PrefetchPolicy::Miss));
+  (void)cache.access(addr_of(5), false);  // miss, prefetch 6
+  (void)cache.access(addr_of(4), false);  // miss, prefetch 5 (resident)
+  EXPECT_EQ(cache.stats().prefetches, 1u);
+}
+
+TEST(Prefetch, PrefetchTrafficReachesNextLevel) {
+  CacheConfig l2_cfg = cfg_with(PrefetchPolicy::None);
+  l2_cfg.size = 4096;
+  CacheLevel l2(l2_cfg);
+  CacheConfig l1_cfg = cfg_with(PrefetchPolicy::Miss);
+  CacheLevel l1(l1_cfg, &l2);
+  (void)l1.access(addr_of(0), false);
+  // L2 saw the demand fetch and the prefetch fetch.
+  EXPECT_EQ(l2.stats().accesses(), 2u);
+}
+
+TEST(Prefetch, RandomStrideDefeatsSequentialPrefetch) {
+  CacheLevel cache(cfg_with(PrefetchPolicy::Tagged));
+  // Stride-7 walk: prefetched block+1 is never the next reference.
+  std::uint64_t hits = 0;
+  for (int i = 0; i < 16; ++i) {
+    if (cache.access(addr_of((i * 7) % 128), false).hit) ++hits;
+  }
+  EXPECT_EQ(hits, 0u);
+  EXPECT_GT(cache.stats().prefetches, 0u);
+  EXPECT_EQ(cache.stats().prefetch_hits, 0u);
+}
+
+TEST(Prefetch, StatsInvariantHolds) {
+  CacheLevel cache(cfg_with(PrefetchPolicy::Always));
+  for (int i = 0; i < 500; ++i) {
+    (void)cache.access(addr_of((i * 13) % 64), i % 4 == 0);
+  }
+  const LevelStats& s = cache.stats();
+  EXPECT_EQ(s.hits() + s.misses(), 500u);
+  EXPECT_LE(s.prefetch_hits, s.hits());
+  EXPECT_EQ(s.compulsory + s.capacity + s.conflict, s.misses());
+}
+
+TEST(Prefetch, PolicyNames) {
+  EXPECT_EQ(to_string(PrefetchPolicy::None), "no-prefetch");
+  EXPECT_EQ(to_string(PrefetchPolicy::Always), "prefetch-always");
+  EXPECT_EQ(to_string(PrefetchPolicy::Miss), "prefetch-on-miss");
+  EXPECT_EQ(to_string(PrefetchPolicy::Tagged), "tagged-prefetch");
+}
+
+}  // namespace
+}  // namespace tdt::cache

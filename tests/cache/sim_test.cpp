@@ -1,0 +1,138 @@
+#include "cache/sim.hpp"
+
+#include <gtest/gtest.h>
+
+#include "trace/reader.hpp"
+
+namespace tdt::cache {
+namespace {
+
+using trace::TraceContext;
+using trace::TraceRecord;
+
+struct Probe final : AccessObserver {
+  std::vector<AccessOutcome> outcomes;
+  std::vector<TraceRecord> records;
+  bool done = false;
+
+  void on_access(const TraceRecord& rec, const AccessOutcome& o) override {
+    records.push_back(rec);
+    outcomes.push_back(o);
+  }
+  void on_done() override { done = true; }
+};
+
+CacheConfig tiny() {
+  CacheConfig c;
+  c.size = 256;
+  c.block_size = 32;
+  c.assoc = 1;
+  return c;
+}
+
+TEST(Sim, SimulatesLoadsAndStores) {
+  TraceContext ctx;
+  const auto records = trace::read_trace_string(
+      ctx,
+      "L 000001000 4 main\n"
+      "S 000001000 4 main\n"
+      "L 000001020 4 main\n");
+  CacheHierarchy h(tiny());
+  TraceCacheSim sim(h);
+  sim.simulate(records);
+  EXPECT_EQ(sim.records_simulated(), 3u);
+  EXPECT_EQ(h.l1().stats().read_misses, 2u);
+  EXPECT_EQ(h.l1().stats().write_hits, 1u);
+}
+
+TEST(Sim, ModifyDefaultsToSingleWrite) {
+  TraceContext ctx;
+  const auto records =
+      trace::read_trace_string(ctx, "M 000001000 4 main\n");
+  CacheHierarchy h(tiny());
+  TraceCacheSim sim(h);
+  sim.simulate(records);
+  EXPECT_EQ(h.l1().stats().accesses(), 1u);
+  EXPECT_EQ(h.l1().stats().write_misses, 1u);
+}
+
+TEST(Sim, ModifyAsReadWriteCountsBoth) {
+  TraceContext ctx;
+  const auto records =
+      trace::read_trace_string(ctx, "M 000001000 4 main\n");
+  CacheHierarchy h(tiny());
+  SimOptions opts;
+  opts.modify_is_read_write = true;
+  TraceCacheSim sim(h, opts);
+  sim.simulate(records);
+  EXPECT_EQ(h.l1().stats().accesses(), 2u);
+  EXPECT_EQ(h.l1().stats().read_misses, 1u);
+  EXPECT_EQ(h.l1().stats().write_hits, 1u);
+}
+
+TEST(Sim, InstrRecordsIgnoredByDefault) {
+  TraceContext ctx;
+  const auto records = trace::read_trace_string(
+      ctx, "I 000400000 4 main\nL 000001000 4 main\n");
+  CacheHierarchy h(tiny());
+  TraceCacheSim sim(h);
+  sim.simulate(records);
+  EXPECT_EQ(sim.records_simulated(), 1u);
+
+  CacheHierarchy h2(tiny());
+  SimOptions opts;
+  opts.ignore_instr = false;
+  TraceCacheSim sim2(h2, opts);
+  sim2.simulate(records);
+  EXPECT_EQ(sim2.records_simulated(), 2u);
+}
+
+TEST(Sim, ObserversSeeEveryAccessAndDone) {
+  TraceContext ctx;
+  const auto records = trace::read_trace_string(
+      ctx,
+      "L 000001000 4 main GV glScalar\n"
+      "S 000001020 4 main GV glScalar\n");
+  CacheHierarchy h(tiny());
+  TraceCacheSim sim(h);
+  Probe probe;
+  sim.add_observer(&probe);
+  sim.simulate(records);
+  ASSERT_EQ(probe.outcomes.size(), 2u);
+  EXPECT_FALSE(probe.outcomes[0].hit);
+  EXPECT_EQ(ctx.format_var(probe.records[0].var), "glScalar");
+  EXPECT_TRUE(probe.done);
+}
+
+TEST(Sim, ObserverGetsFirstBlockOutcomeForSplitAccess) {
+  TraceContext ctx;
+  // 8-byte access crossing a 32-byte boundary.
+  const auto records =
+      trace::read_trace_string(ctx, "L 00000101c 8 main\n");
+  CacheHierarchy h(tiny());
+  TraceCacheSim sim(h);
+  Probe probe;
+  sim.add_observer(&probe);
+  sim.simulate(records);
+  ASSERT_EQ(probe.outcomes.size(), 1u);
+  EXPECT_EQ(probe.outcomes[0].block, 0x101cu / 32u);
+  EXPECT_EQ(h.l1().stats().accesses(), 2u);  // both blocks simulated
+}
+
+TEST(Sim, StreamingSinkInterface) {
+  TraceContext ctx;
+  CacheHierarchy h(tiny());
+  TraceCacheSim sim(h);
+  trace::TraceSink& sink = sim;
+  TraceRecord rec;
+  rec.kind = trace::AccessKind::Load;
+  rec.address = 0x1000;
+  rec.size = 4;
+  rec.function = ctx.intern("main");
+  sink.on_record(rec);
+  sink.on_end();
+  EXPECT_EQ(sim.records_simulated(), 1u);
+}
+
+}  // namespace
+}  // namespace tdt::cache

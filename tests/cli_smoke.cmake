@@ -1,0 +1,92 @@
+# CLI smoke test: trace -> transform+simulate -> diff -> info, exactly the
+# paper's workflow, via the installed tools.
+file(MAKE_DIRECTORY ${WORKDIR})
+
+execute_process(
+  COMMAND ${GTRACER} --kernel t1_soa --len 64 --out ${WORKDIR}/orig.out
+  RESULT_VARIABLE rc)
+if(NOT rc EQUAL 0)
+  message(FATAL_ERROR "gtracer failed: ${rc}")
+endif()
+
+execute_process(
+  COMMAND ${DINEROSIM} --trace ${WORKDIR}/orig.out
+          --size 32768 --block 32 --assoc 1 --per-set
+  RESULT_VARIABLE rc OUTPUT_VARIABLE out)
+if(NOT rc EQUAL 0)
+  message(FATAL_ERROR "dinerosim (plain) failed: ${rc}")
+endif()
+if(NOT out MATCHES "miss ratio")
+  message(FATAL_ERROR "dinerosim output missing stats: ${out}")
+endif()
+
+# Rule file is written for LEN=1024; regenerate the matching trace.
+execute_process(
+  COMMAND ${GTRACER} --kernel t1_soa --len 1024 --out ${WORKDIR}/orig.out
+  RESULT_VARIABLE rc)
+if(NOT rc EQUAL 0)
+  message(FATAL_ERROR "gtracer (len 1024) failed: ${rc}")
+endif()
+
+execute_process(
+  COMMAND ${DINEROSIM} --trace ${WORKDIR}/orig.out --rules ${RULES}
+          --xform-out ${WORKDIR}/xform.out --size 32768 --block 32 --assoc 1
+  RESULT_VARIABLE rc)
+if(NOT rc EQUAL 0)
+  message(FATAL_ERROR "dinerosim (rules) failed: ${rc}")
+endif()
+if(NOT EXISTS ${WORKDIR}/xform.out)
+  message(FATAL_ERROR "transformed trace not written")
+endif()
+
+# tracediff exits 1 when differences exist — which they must here.
+execute_process(
+  COMMAND ${TRACEDIFF} ${WORKDIR}/orig.out ${WORKDIR}/xform.out --summary
+  RESULT_VARIABLE rc OUTPUT_VARIABLE out)
+if(NOT rc EQUAL 1)
+  message(FATAL_ERROR "tracediff expected exit 1 (differences), got ${rc}")
+endif()
+if(NOT out MATCHES "modified 2048")
+  message(FATAL_ERROR "tracediff summary unexpected: ${out}")
+endif()
+
+execute_process(
+  COMMAND ${TRACEINFO} ${WORKDIR}/xform.out
+  RESULT_VARIABLE rc OUTPUT_VARIABLE out)
+if(NOT rc EQUAL 0)
+  message(FATAL_ERROR "traceinfo failed: ${rc}")
+endif()
+if(NOT out MATCHES "lAoS")
+  message(FATAL_ERROR "traceinfo output missing transformed variable")
+endif()
+
+# din export + import.
+execute_process(
+  COMMAND ${GTRACER} --kernel t1_soa --len 64 --din --out ${WORKDIR}/t.din
+  RESULT_VARIABLE rc)
+if(NOT rc EQUAL 0)
+  message(FATAL_ERROR "gtracer --din failed: ${rc}")
+endif()
+execute_process(
+  COMMAND ${DINEROSIM} --trace ${WORKDIR}/t.din --size 4096 --block 32
+  RESULT_VARIABLE rc OUTPUT_VARIABLE out)
+if(NOT rc EQUAL 0 OR NOT out MATCHES "miss ratio")
+  message(FATAL_ERROR "dinerosim on din trace failed: ${rc}")
+endif()
+
+# advisor + prefetch + L2 flags.
+execute_process(
+  COMMAND ${DINEROSIM} --trace ${WORKDIR}/orig.out --size 8192
+          --prefetch tagged --l2-size 65536 --advise
+  RESULT_VARIABLE rc OUTPUT_VARIABLE out)
+if(NOT rc EQUAL 0 OR NOT out MATCHES "transformation advisor")
+  message(FATAL_ERROR "dinerosim --advise failed: ${rc}")
+endif()
+
+# multicore mode.
+execute_process(
+  COMMAND ${DINEROSIM} --trace ${WORKDIR}/orig.out --cores 2 --assoc 8
+  RESULT_VARIABLE rc OUTPUT_VARIABLE out)
+if(NOT rc EQUAL 0 OR NOT out MATCHES "MESI system")
+  message(FATAL_ERROR "dinerosim --cores failed: ${rc}")
+endif()

@@ -1,0 +1,111 @@
+#include "core/formula.hpp"
+
+#include <gtest/gtest.h>
+
+#include "util/error.hpp"
+
+namespace tdt::core {
+namespace {
+
+TEST(Formula, ConstantEvaluates) {
+  EXPECT_EQ(parse_formula("42").eval(0), 42);
+  EXPECT_EQ(parse_formula("42").eval(999), 42);
+}
+
+TEST(Formula, VariableTakesBoundValue) {
+  const Formula f = parse_formula("lI");
+  EXPECT_EQ(f.eval(7), 7);
+  EXPECT_EQ(f.eval(-3), -3);
+  EXPECT_TRUE(f.has_variable());
+}
+
+TEST(Formula, Precedence) {
+  EXPECT_EQ(parse_formula("2+3*4").eval(0), 14);
+  EXPECT_EQ(parse_formula("(2+3)*4").eval(0), 20);
+  EXPECT_EQ(parse_formula("10-2-3").eval(0), 5);   // left assoc
+  EXPECT_EQ(parse_formula("100/10/2").eval(0), 5); // left assoc
+  EXPECT_EQ(parse_formula("7%4*2").eval(0), 6);
+}
+
+TEST(Formula, UnaryMinus) {
+  EXPECT_EQ(parse_formula("-5").eval(0), -5);
+  EXPECT_EQ(parse_formula("--5").eval(0), 5);
+  EXPECT_EQ(parse_formula("3*-2").eval(0), -6);
+  EXPECT_EQ(parse_formula("-lI").eval(4), -4);
+}
+
+TEST(Formula, PaperStrideFormula) {
+  // (lI/8)*(16*8) + (lI%8) — Listing 11 with ITEMSPERLINE=8, SETS=16.
+  const Formula f = parse_formula("(lI/8)*(16*8)+(lI%8)");
+  EXPECT_EQ(f.eval(0), 0);
+  EXPECT_EQ(f.eval(7), 7);
+  EXPECT_EQ(f.eval(8), 128);
+  EXPECT_EQ(f.eval(9), 129);
+  EXPECT_EQ(f.eval(1023), 127 * 128 + 7);
+  // Reference: every remapped index stays within LEN*SETS = 16384.
+  for (std::int64_t i = 0; i < 1024; ++i) {
+    const std::int64_t j = f.eval(i);
+    EXPECT_GE(j, 0);
+    EXPECT_LT(j, 16384);
+  }
+}
+
+TEST(Formula, PinnedSetProperty) {
+  // The paper's pinning argument: with 4-byte ints, consecutive groups of
+  // 8 land 512 bytes apart = 16 blocks of 32 B = a multiple of the PPC440
+  // set count, so every access maps to the same set.
+  const Formula f = parse_formula("(lI/8)*(16*8)+(lI%8)");
+  for (std::int64_t i = 0; i < 1024; ++i) {
+    const std::int64_t byte = f.eval(i) * 4;
+    EXPECT_EQ((byte / 32) % 16, 0) << "i=" << i;
+  }
+}
+
+TEST(Formula, DivisionByZeroThrows) {
+  EXPECT_THROW((void)parse_formula("1/0").eval(0), Error);
+  EXPECT_THROW((void)parse_formula("1%0").eval(0), Error);
+  EXPECT_THROW((void)parse_formula("lI/lI").eval(0), Error);
+}
+
+TEST(Formula, ParseErrors) {
+  EXPECT_THROW(parse_formula(""), Error);
+  EXPECT_THROW(parse_formula("1+"), Error);
+  EXPECT_THROW(parse_formula("(1+2"), Error);
+  EXPECT_THROW(parse_formula("1 2"), Error);  // trailing tokens
+  EXPECT_THROW(parse_formula("*3"), Error);
+}
+
+TEST(Formula, RenderParsesBack) {
+  for (const char* text :
+       {"(lI/8)*(16*8)+(lI%8)", "1+2*3", "-(lI)", "lI%7"}) {
+    const Formula f = parse_formula(text);
+    const Formula g = parse_formula(f.render());
+    for (std::int64_t i = 0; i < 100; ++i) {
+      EXPECT_EQ(f.eval(i), g.eval(i)) << text;
+    }
+  }
+}
+
+TEST(Formula, CopySemantics) {
+  const Formula f = parse_formula("lI*2+1");
+  Formula g = f;  // deep copy
+  EXPECT_EQ(g.eval(10), 21);
+  Formula h;
+  h = f;
+  EXPECT_EQ(h.eval(5), 11);
+  EXPECT_EQ(f.eval(5), 11);
+}
+
+TEST(Formula, HasVariableFalseForConstants) {
+  EXPECT_FALSE(parse_formula("3*4+(2-1)").has_variable());
+}
+
+TEST(Formula, LexerEmbeddedParseStopsCleanly) {
+  Lexer lex("3+4]rest");
+  const Formula f = parse_formula(lex);
+  EXPECT_EQ(f.eval(0), 7);
+  EXPECT_TRUE(lex.peek().is("]"));
+}
+
+}  // namespace
+}  // namespace tdt::core

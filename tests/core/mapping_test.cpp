@@ -1,0 +1,149 @@
+#include "core/mapping.hpp"
+
+#include <gtest/gtest.h>
+
+#include "util/error.hpp"
+
+namespace tdt::core {
+namespace {
+
+using layout::TypeId;
+using layout::TypeTable;
+
+struct Fixture {
+  TypeTable t;
+  TypeId soa;      // struct { int mX[16]; double mY[16]; }
+  TypeId aos;      // struct { int mX; double mY; }[16]
+  TypeId nested;   // struct { int hot; struct { double y; int z; } cold; }[4]
+
+  Fixture() {
+    soa = t.define_struct(
+        "SoA", {{"mX", t.array_of(t.int_type(), 16)},
+                {"mY", t.array_of(t.double_type(), 16)}});
+    const TypeId elem = t.define_struct(
+        "AoSElem", {{"mX", t.int_type()}, {"mY", t.double_type()}});
+    aos = t.array_of(elem, 16);
+    const TypeId cold = t.define_struct(
+        "Cold", {{"y", t.double_type()}, {"z", t.int_type()}});
+    const TypeId outer =
+        t.define_struct("Outer", {{"hot", t.int_type()}, {"cold", cold}});
+    nested = t.array_of(outer, 4);
+  }
+};
+
+TEST(LeafTemplates, SoAEnumeration) {
+  Fixture f;
+  const auto templates = enumerate_leaf_templates(f.t, f.soa);
+  ASSERT_EQ(templates.size(), 2u);
+  EXPECT_EQ(templates[0].chain, (std::vector<std::string>{"mX"}));
+  EXPECT_EQ(templates[0].wildcards, 1u);
+  EXPECT_EQ(templates[0].leaf_size, 4u);
+  EXPECT_EQ(templates[1].chain, (std::vector<std::string>{"mY"}));
+  EXPECT_EQ(templates[1].leaf_size, 8u);
+}
+
+TEST(LeafTemplates, AoSEnumerationSameChains) {
+  Fixture f;
+  const auto templates = enumerate_leaf_templates(f.t, f.aos);
+  ASSERT_EQ(templates.size(), 2u);
+  // Array wildcard precedes the field: [*].mX
+  EXPECT_EQ(templates[0].chain, (std::vector<std::string>{"mX"}));
+  EXPECT_EQ(templates[0].wildcards, 1u);
+  EXPECT_FALSE(templates[0].steps[0].is_field);
+  EXPECT_EQ(templates[0].steps[0].extent, 16u);
+  EXPECT_TRUE(templates[0].steps[1].is_field);
+}
+
+TEST(LeafTemplates, NestedChains) {
+  Fixture f;
+  const auto templates = enumerate_leaf_templates(f.t, f.nested);
+  ASSERT_EQ(templates.size(), 3u);
+  EXPECT_EQ(templates[0].chain, (std::vector<std::string>{"hot"}));
+  EXPECT_EQ(templates[1].chain, (std::vector<std::string>{"cold", "y"}));
+  EXPECT_EQ(templates[2].chain, (std::vector<std::string>{"cold", "z"}));
+}
+
+TEST(LeafTemplates, ScalarRootIsOneLeaf) {
+  TypeTable t;
+  const auto templates = enumerate_leaf_templates(t, t.int_type());
+  ASSERT_EQ(templates.size(), 1u);
+  EXPECT_TRUE(templates[0].chain.empty());
+  EXPECT_EQ(templates[0].wildcards, 0u);
+}
+
+TEST(Instantiate, SubstitutesIndicesInOrder) {
+  Fixture f;
+  const auto templates = enumerate_leaf_templates(f.t, f.aos);
+  const std::uint64_t idx[] = {7};
+  const layout::Path p = templates[0].instantiate(idx);
+  EXPECT_EQ(layout::format_path({p.data(), p.size()}), "[7].mX");
+  const auto r = layout::resolve_path(f.t, f.aos, {p.data(), p.size()});
+  EXPECT_EQ(r.offset, 7u * 16u);
+}
+
+TEST(Instantiate, CountMismatchThrows) {
+  Fixture f;
+  const auto templates = enumerate_leaf_templates(f.t, f.aos);
+  EXPECT_THROW((void)templates[0].instantiate({}), Error);
+  const std::uint64_t two[] = {1, 2};
+  EXPECT_THROW((void)templates[0].instantiate(two), Error);
+}
+
+TEST(Instantiate, OutOfExtentThrows) {
+  Fixture f;
+  const auto templates = enumerate_leaf_templates(f.t, f.aos);
+  const std::uint64_t idx[] = {16};
+  EXPECT_THROW((void)templates[0].instantiate(idx), Error);
+}
+
+TEST(ChainKey, SeparatesFieldsAndIndices) {
+  const layout::Path p = layout::parse_path("[3].cold.y");
+  const ChainKey key = chain_key_of({p.data(), p.size()});
+  EXPECT_EQ(key.chain, (std::vector<std::string>{"cold", "y"}));
+  EXPECT_EQ(key.indices, (std::vector<std::uint64_t>{3}));
+}
+
+TEST(ChainKey, MultiDimIndices) {
+  const layout::Path p = layout::parse_path(".m[2][5]");
+  const ChainKey key = chain_key_of({p.data(), p.size()});
+  EXPECT_EQ(key.chain, (std::vector<std::string>{"m"}));
+  EXPECT_EQ(key.indices, (std::vector<std::uint64_t>{2, 5}));
+}
+
+TEST(TemplateIndex, FindsByChain) {
+  Fixture f;
+  TemplateIndex index(f.t, f.nested);
+  const std::vector<std::string> chain{"cold", "y"};
+  const LeafTemplate* leaf = index.find(chain);
+  ASSERT_NE(leaf, nullptr);
+  EXPECT_EQ(leaf->leaf_size, 8u);
+  const std::vector<std::string> missing{"cold", "nope"};
+  EXPECT_EQ(index.find(missing), nullptr);
+}
+
+TEST(Mapping, SoAToAoSRoundTrip) {
+  // The T1 mapping: every SoA leaf re-resolves to an AoS leaf with the
+  // same chain and index, and both sides enumerate identical chain sets.
+  Fixture f;
+  TemplateIndex in_index(f.t, f.soa);
+  TemplateIndex out_index(f.t, f.aos);
+  for (const LeafTemplate& in_leaf : in_index.all()) {
+    const LeafTemplate* out_leaf = out_index.find(in_leaf.chain);
+    ASSERT_NE(out_leaf, nullptr);
+    EXPECT_EQ(out_leaf->wildcards, in_leaf.wildcards);
+    EXPECT_EQ(out_leaf->leaf_size, in_leaf.leaf_size);
+    for (std::uint64_t i = 0; i < 16; ++i) {
+      const std::uint64_t idx[] = {i};
+      const layout::Path in_p = in_leaf.instantiate(idx);
+      const layout::Path out_p = out_leaf->instantiate(idx);
+      const auto in_r =
+          layout::resolve_path(f.t, f.soa, {in_p.data(), in_p.size()});
+      const auto out_r =
+          layout::resolve_path(f.t, f.aos, {out_p.data(), out_p.size()});
+      EXPECT_EQ(f.t.size_of(in_r.type), f.t.size_of(out_r.type));
+    }
+  }
+}
+
+}  // namespace
+}  // namespace tdt::core

@@ -1,0 +1,155 @@
+#include "core/rules.hpp"
+
+#include <gtest/gtest.h>
+
+#include "util/error.hpp"
+
+namespace tdt::core {
+namespace {
+
+using layout::TypeId;
+using layout::TypeTable;
+
+StructRule make_t2_rule(TypeTable& t) {
+  const TypeId rare =
+      t.define_struct("Rare", {{"mY", t.double_type()}, {"mZ", t.int_type()}});
+  const TypeId in_elem = t.define_struct(
+      "lS1", {{"mFrequentlyUsed", t.int_type()}, {"mRarelyUsed", rare}});
+  const TypeId pool_elem = t.define_struct(
+      "Pool", {{"mY", t.double_type()}, {"mZ", t.int_type()}});
+  const TypeId out_elem = t.define_struct(
+      "lS2",
+      {{"mFrequentlyUsed", t.int_type()}, {"mRarelyUsed", t.pointer_to(pool_elem)}});
+  StructRule rule;
+  rule.in_name = "lS1";
+  rule.in_type = t.array_of(in_elem, 16);
+  rule.outs = {{"lStorage", t.array_of(pool_elem, 16)},
+               {"lS2", t.array_of(out_elem, 16)}};
+  rule.links = {{"lS2", "mRarelyUsed", "lStorage"}};
+  return rule;
+}
+
+TEST(RuleSet, AddAndFind) {
+  RuleSet set;
+  StructRule rule;
+  rule.in_name = "x";
+  rule.in_type = set.types().int_type();
+  rule.outs = {{"y", set.types().int_type()}};
+  set.add(rule);
+  EXPECT_NE(set.find("x"), nullptr);
+  EXPECT_EQ(set.find("y"), nullptr);
+  EXPECT_EQ(rule_in_name(*set.find("x")), "x");
+}
+
+TEST(RuleSet, DuplicateAddThrows) {
+  RuleSet set;
+  StructRule rule;
+  rule.in_name = "x";
+  rule.in_type = set.types().int_type();
+  rule.outs = {{"y", set.types().int_type()}};
+  set.add(rule);
+  EXPECT_THROW(set.add(rule), Error);
+}
+
+TEST(Matcher, RoutesDirectChain) {
+  TypeTable t;
+  StructRule rule = make_t2_rule(t);
+  StructRuleMatcher matcher(t, rule);
+  const std::vector<std::string> hot{"mFrequentlyUsed"};
+  const ChainRoute route = matcher.route(hot);
+  ASSERT_NE(route.out, nullptr);
+  EXPECT_EQ(route.out->name, "lS2");
+  EXPECT_EQ(route.link, nullptr);
+}
+
+TEST(Matcher, RoutesOutlinedChainThroughLink) {
+  TypeTable t;
+  StructRule rule = make_t2_rule(t);
+  StructRuleMatcher matcher(t, rule);
+  const std::vector<std::string> cold{"mRarelyUsed", "mY"};
+  const ChainRoute route = matcher.route(cold);
+  ASSERT_NE(route.out, nullptr);
+  EXPECT_EQ(route.out->name, "lStorage");
+  ASSERT_NE(route.link, nullptr);
+  EXPECT_EQ(route.link->pool, "lStorage");
+  ASSERT_NE(route.link_owner, nullptr);
+  EXPECT_EQ(route.link_owner->name, "lS2");
+  ASSERT_NE(route.pointer_leaf, nullptr);
+  EXPECT_EQ(route.pointer_leaf->leaf_size, 8u);  // the pointer itself
+}
+
+TEST(Matcher, UnknownChainRoutesNowhere) {
+  TypeTable t;
+  StructRule rule = make_t2_rule(t);
+  StructRuleMatcher matcher(t, rule);
+  const std::vector<std::string> missing{"nothing"};
+  EXPECT_EQ(matcher.route(missing).out, nullptr);
+}
+
+TEST(Matcher, LinkedChainWithUnknownTailRoutesNowhere) {
+  TypeTable t;
+  StructRule rule = make_t2_rule(t);
+  StructRuleMatcher matcher(t, rule);
+  const std::vector<std::string> bad{"mRarelyUsed", "nope"};
+  EXPECT_EQ(matcher.route(bad).out, nullptr);
+}
+
+TEST(Validate, CleanT2RuleHasNoErrors) {
+  TypeTable t;
+  RuleSet set(std::move(t));
+  set.add(make_t2_rule(set.types()));
+  for (const RuleDiagnostic& d : set.validate()) {
+    EXPECT_NE(d.severity, RuleDiagnostic::Severity::Error) << d.message;
+  }
+}
+
+TEST(Validate, LinkToMissingOwnerIsError) {
+  TypeTable t0;
+  RuleSet set(std::move(t0));
+  auto& t = set.types();
+  StructRule rule = make_t2_rule(t);
+  rule.links[0].owner = "ghost";
+  set.add(std::move(rule));
+  bool has_error = false;
+  for (const RuleDiagnostic& d : set.validate()) {
+    has_error |= d.severity == RuleDiagnostic::Severity::Error;
+  }
+  EXPECT_TRUE(has_error);
+}
+
+TEST(Validate, StrideConstantFormulaWarns) {
+  RuleSet set;
+  StrideRule rule;
+  rule.in_name = "a";
+  rule.elem_type = set.types().int_type();
+  rule.in_count = 4;
+  rule.out_name = "b";
+  rule.out_count = 8;
+  rule.formula = parse_formula("3");
+  set.add(std::move(rule));
+  bool warned = false;
+  for (const RuleDiagnostic& d : set.validate()) {
+    warned |= d.message.find("no index variable") != std::string::npos;
+  }
+  EXPECT_TRUE(warned);
+}
+
+TEST(Validate, StrideNegativeIndexIsError) {
+  RuleSet set;
+  StrideRule rule;
+  rule.in_name = "a";
+  rule.elem_type = set.types().int_type();
+  rule.in_count = 4;
+  rule.out_name = "b";
+  rule.out_count = 64;
+  rule.formula = parse_formula("lI-2");
+  set.add(std::move(rule));
+  bool has_error = false;
+  for (const RuleDiagnostic& d : set.validate()) {
+    has_error |= d.severity == RuleDiagnostic::Severity::Error;
+  }
+  EXPECT_TRUE(has_error);
+}
+
+}  // namespace
+}  // namespace tdt::core

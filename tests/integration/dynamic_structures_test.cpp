@@ -1,0 +1,142 @@
+// Dynamic (heap) structures — the paper's §VI future-work item: "we must
+// explore the ability to transform dynamic structures as well". Heap
+// blocks are named by allocation-site pseudo-variables (heap#N), so the
+// same rule machinery applies to them.
+#include <gtest/gtest.h>
+
+#include "analysis/experiment.hpp"
+#include "core/rule_parser.hpp"
+#include "core/transformer.hpp"
+#include "tracer/interp.hpp"
+#include "tracer/kernels.hpp"
+
+namespace tdt {
+namespace {
+
+using namespace tdt::tracer;
+
+/// Heap array of structs written field-by-field — the dynamic analogue of
+/// the Listing 3 AoS kernel.
+Program make_heap_aos(layout::TypeTable& types, std::int64_t len) {
+  const auto t_int = types.int_type();
+  const auto elem = types.find_struct("HeapElem") != layout::kInvalidType
+                        ? types.find_struct("HeapElem")
+                        : types.define_struct(
+                              "HeapElem",
+                              {{"mX", t_int}, {"mY", types.double_type()}});
+  Program prog;
+  FunctionDef main_fn;
+  main_fn.name = "main";
+  std::vector<StmtPtr> body;
+  body.push_back(decl_local("p", types.pointer_to(elem)));
+  body.push_back(decl_local("lI", t_int));
+  body.push_back(heap_alloc(LValue("p"), elem, lit(len)));
+  body.push_back(start_instr());
+  std::vector<StmtPtr> loop;
+  loop.push_back(
+      assign(LValue("p").index(rd("lI")).field("mX"), cast_int(rd("lI"))));
+  loop.push_back(
+      assign(LValue("p").index(rd("lI")).field("mY"), cast_real(rd("lI"))));
+  body.push_back(count_loop("lI", lit(len), block(std::move(loop))));
+  body.push_back(stop_instr());
+  main_fn.body = block(std::move(body));
+  prog.functions.push_back(std::move(main_fn));
+  return prog;
+}
+
+TEST(DynamicStructures, HeapAccessesAreNamedByAllocationSite) {
+  layout::TypeTable types;
+  trace::TraceContext ctx;
+  const auto records =
+      tracer::run_program(types, ctx, make_heap_aos(types, 8));
+  std::size_t heap_stores = 0;
+  for (const trace::TraceRecord& r : records) {
+    if (r.kind == trace::AccessKind::Store && !r.var.empty() &&
+        std::string(ctx.name(r.var.base)) == "heap#0") {
+      EXPECT_EQ(r.scope, trace::VarScope::GlobalStructure);
+      ++heap_stores;
+    }
+  }
+  EXPECT_EQ(heap_stores, 16u);
+}
+
+TEST(DynamicStructures, HeapStructureTransformsLikeStatic) {
+  // Rule matching the heap pseudo-variable: AoS -> SoA on heap data.
+  layout::TypeTable types;
+  trace::TraceContext ctx;
+  const auto records =
+      tracer::run_program(types, ctx, make_heap_aos(types, 8));
+
+  core::RuleSet rules = [] {
+    // `heap#0` is not a C identifier, so build the rule programmatically:
+    // in: HeapElem[8] named heap#0; out: SoA split.
+    layout::TypeTable t;
+    const auto elem = t.define_struct(
+        "HeapElem", {{"mX", t.int_type()}, {"mY", t.double_type()}});
+    const auto soa = t.define_struct(
+        "heapSoA", {{"mX", t.array_of(t.int_type(), 8)},
+                    {"mY", t.array_of(t.double_type(), 8)}});
+    core::RuleSet set(std::move(t));
+    core::StructRule rule;
+    rule.in_name = "heap#0";
+    rule.in_type = set.types().array_of(elem, 8);
+    rule.outs = {{"heapSoA", soa}};
+    set.add(std::move(rule));
+    return set;
+  }();
+  for (const core::RuleDiagnostic& d : rules.validate()) {
+    ASSERT_NE(d.severity, core::RuleDiagnostic::Severity::Error) << d.message;
+  }
+
+  core::TransformStats stats;
+  const auto out = core::transform_trace(rules, ctx, records, {}, &stats);
+  EXPECT_EQ(stats.rewritten, 16u);
+  EXPECT_EQ(stats.skipped, 0u);
+  bool saw_soa = false;
+  for (const trace::TraceRecord& r : out) {
+    if (!r.var.empty() && std::string(ctx.name(r.var.base)) == "heapSoA") {
+      saw_soa = true;
+      // Heap addresses sit below the stack threshold: relocated to the
+      // global-side arena.
+      EXPECT_LT(r.address, 0x700000000ull);
+    }
+  }
+  EXPECT_TRUE(saw_soa);
+}
+
+TEST(DynamicStructures, LinkedListNodesTransformable) {
+  // Split the ListNode's value out of the pointer chain: values move to a
+  // dense pool while the next pointers stay put — a trace-level preview
+  // of a "pool the hot fields" refactor on a dynamic structure.
+  layout::TypeTable types;
+  trace::TraceContext ctx;
+  const auto records = tracer::run_program(
+      types, ctx, tracer::make_linked_list(types, 16, /*shuffled=*/false));
+
+  core::RuleSet rules = [] {
+    layout::TypeTable t;
+    const auto node = t.forward_struct("ListNode");
+    t.complete_struct(node, {{"value", t.int_type()},
+                             {"next", t.pointer_to(node)}});
+    const auto out_node = t.forward_struct("SlimNode");
+    t.complete_struct(out_node, {{"value", t.int_type()},
+                                 {"next", t.pointer_to(out_node)}});
+    core::RuleSet set(std::move(t));
+    core::StructRule rule;
+    rule.in_name = "heap#0";
+    rule.in_type = set.types().array_of(set.types().find_struct("ListNode"), 16);
+    rule.outs = {
+        {"slim", set.types().array_of(set.types().find_struct("SlimNode"), 16)}};
+    set.add(std::move(rule));
+    return set;
+  }();
+
+  core::TransformStats stats;
+  const auto out = core::transform_trace(rules, ctx, records, {}, &stats);
+  // Every named heap access (value and next loads) is rewritten.
+  EXPECT_EQ(stats.rewritten, 32u);
+  EXPECT_EQ(stats.skipped, 0u);
+}
+
+}  // namespace
+}  // namespace tdt

@@ -1,0 +1,167 @@
+// Robustness sweep: every parser must either succeed or throw tdt::Error
+// on arbitrary input — never crash, hang, or throw anything else. The
+// inputs are deterministic pseudo-random mutations of valid documents
+// (truncations, byte flips, random garbage).
+#include <gtest/gtest.h>
+
+#include "core/rule_parser.hpp"
+#include "layout/decl_parser.hpp"
+#include "trace/binary.hpp"
+#include "trace/din.hpp"
+#include "trace/reader.hpp"
+#include "tracer/parser.hpp"
+#include "util/error.hpp"
+#include "util/rng.hpp"
+
+namespace tdt {
+namespace {
+
+constexpr const char* kValidTrace = R"(START PID 1
+S 7ff0001b0 8 main LV 0 1 _zzq_result
+L 000601040 4 main GV glScalar
+S 0006010e0 8 foo GS glStructArray[0].dl
+END PID 1
+)";
+
+constexpr const char* kValidRules = R"(
+in:
+struct lSoA { int mX[16]; double mY[16]; };
+out:
+struct lAoS { int mX; double mY; }[16];
+)";
+
+constexpr const char* kValidKernel = R"(
+#define LEN 8
+int main(void) {
+  int arr[LEN];
+  GLEIPNIR_START_INSTRUMENTATION;
+  for (int i = 0; i < LEN; i++) {
+    arr[i] = i;
+  }
+  GLEIPNIR_STOP_INSTRUMENTATION;
+  return 0;
+}
+)";
+
+/// Applies a deterministic mutation to `base`.
+std::string mutate(std::string base, Xoshiro256& rng) {
+  if (base.empty()) return base;
+  switch (rng.next_below(4)) {
+    case 0:  // truncate
+      base.resize(rng.next_below(base.size()));
+      break;
+    case 1: {  // flip a byte to printable garbage
+      const std::size_t at = rng.next_below(base.size());
+      base[at] = static_cast<char>(' ' + rng.next_below(95));
+      break;
+    }
+    case 2: {  // duplicate a slice
+      const std::size_t at = rng.next_below(base.size());
+      base.insert(at, base.substr(at / 2, rng.next_below(16) + 1));
+      break;
+    }
+    default: {  // pure noise
+      std::string noise;
+      for (int i = 0; i < 64; ++i) {
+        noise += static_cast<char>(' ' + rng.next_below(95));
+      }
+      base = noise;
+      break;
+    }
+  }
+  return base;
+}
+
+template <typename Fn>
+void expect_no_crash(const char* what, const std::string& input, Fn&& fn) {
+  try {
+    fn(input);
+  } catch (const Error&) {
+    // Expected failure mode: a classified tdt error.
+  } catch (const std::exception& e) {
+    FAIL() << what << " threw a non-tdt exception: " << e.what()
+           << "\ninput: " << input.substr(0, 120);
+  }
+}
+
+class FuzzRobustness : public ::testing::TestWithParam<int> {};
+
+TEST_P(FuzzRobustness, TraceReaderNeverCrashes) {
+  Xoshiro256 rng(static_cast<std::uint64_t>(GetParam()) * 131 + 7);
+  std::string input = kValidTrace;
+  for (int round = 0; round < 8; ++round) {
+    input = mutate(std::move(input), rng);
+    expect_no_crash("trace reader", input, [](const std::string& text) {
+      trace::TraceContext ctx;
+      (void)trace::read_trace_string(ctx, text);
+    });
+  }
+}
+
+TEST_P(FuzzRobustness, RuleParserNeverCrashes) {
+  Xoshiro256 rng(static_cast<std::uint64_t>(GetParam()) * 733 + 3);
+  std::string input = kValidRules;
+  for (int round = 0; round < 8; ++round) {
+    input = mutate(std::move(input), rng);
+    expect_no_crash("rule parser", input, [](const std::string& text) {
+      (void)core::parse_rules(text);
+    });
+  }
+}
+
+TEST_P(FuzzRobustness, KernelParserNeverCrashes) {
+  Xoshiro256 rng(static_cast<std::uint64_t>(GetParam()) * 977 + 1);
+  std::string input = kValidKernel;
+  for (int round = 0; round < 8; ++round) {
+    input = mutate(std::move(input), rng);
+    expect_no_crash("kernel parser", input, [](const std::string& text) {
+      layout::TypeTable types;
+      (void)tracer::parse_kernel(text, types);
+    });
+  }
+}
+
+TEST_P(FuzzRobustness, DeclParserNeverCrashes) {
+  Xoshiro256 rng(static_cast<std::uint64_t>(GetParam()) * 389 + 9);
+  std::string input = "struct A { int a[4]; double b; }; struct A v[8];";
+  for (int round = 0; round < 8; ++round) {
+    input = mutate(std::move(input), rng);
+    expect_no_crash("decl parser", input, [](const std::string& text) {
+      layout::TypeTable types;
+      (void)layout::parse_declarations(text, types);
+    });
+  }
+}
+
+TEST_P(FuzzRobustness, DinReaderNeverCrashes) {
+  Xoshiro256 rng(static_cast<std::uint64_t>(GetParam()) * 557 + 5);
+  std::string input = "0 7ff000100 4\n1 7ff000104 8\n2 400000\n";
+  for (int round = 0; round < 8; ++round) {
+    input = mutate(std::move(input), rng);
+    expect_no_crash("din reader", input, [](const std::string& text) {
+      trace::TraceContext ctx;
+      (void)trace::read_din_string(ctx, text);
+    });
+  }
+}
+
+TEST_P(FuzzRobustness, BinaryReaderNeverCrashes) {
+  Xoshiro256 rng(static_cast<std::uint64_t>(GetParam()) * 211 + 13);
+  trace::TraceContext ctx;
+  const auto records = trace::read_trace_string(ctx, kValidTrace);
+  const auto blob = trace::write_binary_trace(ctx, records);
+  std::string input(blob.begin(), blob.end());
+  for (int round = 0; round < 8; ++round) {
+    input = mutate(std::move(input), rng);
+    expect_no_crash("binary reader", input, [](const std::string& text) {
+      trace::TraceContext ctx2;
+      const std::vector<char> bytes(text.begin(), text.end());
+      (void)trace::read_binary_trace(ctx2, bytes);
+    });
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, FuzzRobustness, ::testing::Range(0, 12));
+
+}  // namespace
+}  // namespace tdt

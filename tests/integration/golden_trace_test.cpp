@@ -1,0 +1,58 @@
+// Golden trace: the T1 SoA kernel at LEN=2 must produce this exact byte
+// sequence. Protects the whole tracer stack (address assignment, access
+// ordering, formatting) against silent drift — the analogue of the
+// paper's Figure 5 left column.
+#include <gtest/gtest.h>
+
+#include "trace/writer.hpp"
+#include "tracer/interp.hpp"
+#include "tracer/kernels.hpp"
+
+namespace tdt {
+namespace {
+
+constexpr const char* kGolden = R"(START PID 4242
+S 7feffffd8 8 main LV 0 1 _zzq_result
+L 7feffffd8 8 main
+S 7feffffe4 4 main LV 0 1 lI
+L 7feffffe4 4 main LV 0 1 lI
+L 7feffffe4 4 main LV 0 1 lI
+L 7feffffe4 4 main LV 0 1 lI
+S 7feffffe8 4 main LS 0 1 lSoA.mX[0]
+L 7feffffe4 4 main LV 0 1 lI
+L 7feffffe4 4 main LV 0 1 lI
+S 7fefffff0 8 main LS 0 1 lSoA.mY[0]
+M 7feffffe4 4 main LV 0 1 lI
+L 7feffffe4 4 main LV 0 1 lI
+L 7feffffe4 4 main LV 0 1 lI
+L 7feffffe4 4 main LV 0 1 lI
+S 7feffffec 4 main LS 0 1 lSoA.mX[1]
+L 7feffffe4 4 main LV 0 1 lI
+L 7feffffe4 4 main LV 0 1 lI
+S 7fefffff8 8 main LS 0 1 lSoA.mY[1]
+M 7feffffe4 4 main LV 0 1 lI
+L 7feffffe4 4 main LV 0 1 lI
+END PID 4242
+)";
+
+TEST(GoldenTrace, T1SoaLenTwoIsByteExact) {
+  layout::TypeTable types;
+  trace::TraceContext ctx;
+  const auto records =
+      tracer::run_program(types, ctx, tracer::make_t1_soa(types, 2));
+  EXPECT_EQ(trace::write_trace_string(ctx, records, 4242), kGolden);
+}
+
+TEST(GoldenTrace, RepeatedRunsAreIdentical) {
+  auto run_once = [] {
+    layout::TypeTable types;
+    trace::TraceContext ctx;
+    const auto records =
+        tracer::run_program(types, ctx, tracer::make_t2_outlined(types, 8));
+    return trace::write_trace_string(ctx, records, 1);
+  };
+  EXPECT_EQ(run_once(), run_once());
+}
+
+}  // namespace
+}  // namespace tdt

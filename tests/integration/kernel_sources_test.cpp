@@ -1,0 +1,128 @@
+// The shipped kernel sources under kernels/ must parse, trace, and—where
+// a rules/ file targets them—transform exactly like the built-in kernels.
+// TDT_KERNELS_DIR / TDT_RULES_DIR are injected by CMake.
+#include <gtest/gtest.h>
+
+#include "analysis/experiment.hpp"
+#include "core/rule_parser.hpp"
+#include "trace/writer.hpp"
+#include "tracer/interp.hpp"
+#include "tracer/kernels.hpp"
+#include "tracer/parser.hpp"
+
+#ifndef TDT_KERNELS_DIR
+#error "TDT_KERNELS_DIR must be defined by the build"
+#endif
+
+namespace tdt {
+namespace {
+
+std::string kernel_path(const char* name) {
+  return std::string(TDT_KERNELS_DIR) + "/" + name;
+}
+
+std::string rules_path(const char* name) {
+  return std::string(TDT_RULES_DIR) + "/" + name;
+}
+
+std::string trace_of(const tracer::Program& prog, layout::TypeTable& types) {
+  trace::TraceContext ctx;
+  return trace::write_trace_string(ctx, tracer::run_program(types, ctx, prog),
+                                   1);
+}
+
+/// Trace text with the address column removed: the .c kernels follow the
+/// paper's C99 style (declarations inside `for`), so stack layout differs
+/// from the builder kernels while the access structure must not.
+std::string structural(std::string text) {
+  std::string out;
+  std::size_t pos = 0;
+  while (pos < text.size()) {
+    std::size_t eol = text.find('\n', pos);
+    if (eol == std::string::npos) eol = text.size();
+    const std::string line = text.substr(pos, eol - pos);
+    pos = eol + 1;
+    // Record lines: "K ADDRESS rest..." -> "K rest...".
+    if (line.size() > 2 && line[1] == ' ' &&
+        line.find(' ', 2) != std::string::npos) {
+      out += line.substr(0, 2) + line.substr(line.find(' ', 2) + 1);
+    } else {
+      out += line;
+    }
+    out += '\n';
+  }
+  return out;
+}
+
+TEST(KernelSources, AllFilesParseAndTrace) {
+  for (const char* name :
+       {"t1_soa.c", "t1_aos.c", "t2_inline.c", "t2_outlined.c",
+        "t3_contiguous.c", "t3_strided.c", "listing1.c", "matmul.c",
+        "stencil2d.c"}) {
+    layout::TypeTable types;
+    trace::TraceContext ctx;
+    const auto prog = tracer::parse_kernel_file(kernel_path(name), types);
+    const auto records = tracer::run_program(types, ctx, prog);
+    EXPECT_GT(records.size(), 20u) << name;
+  }
+}
+
+TEST(KernelSources, SourceKernelsMatchBuiltins) {
+  struct Case {
+    const char* file;
+    tracer::Program (*make)(layout::TypeTable&, std::int64_t);
+  };
+  for (const Case& c : {Case{"t1_soa.c", &tracer::make_t1_soa},
+                        Case{"t1_aos.c", &tracer::make_t1_aos},
+                        Case{"t2_inline.c", &tracer::make_t2_inline},
+                        Case{"t2_outlined.c", &tracer::make_t2_outlined},
+                        Case{"t3_contiguous.c", &tracer::make_t3_contiguous}}) {
+    layout::TypeTable source_types;
+    const std::string from_source = trace_of(
+        tracer::parse_kernel_file(kernel_path(c.file), source_types),
+        source_types);
+    layout::TypeTable builder_types;
+    const std::string from_builder =
+        trace_of(c.make(builder_types, 1024), builder_types);
+    EXPECT_EQ(structural(from_source), structural(from_builder)) << c.file;
+  }
+}
+
+TEST(KernelSources, Listing1MatchesBuiltin) {
+  layout::TypeTable source_types;
+  const std::string from_source = trace_of(
+      tracer::parse_kernel_file(kernel_path("listing1.c"), source_types),
+      source_types);
+  layout::TypeTable builder_types;
+  const std::string from_builder =
+      trace_of(tracer::make_listing1(builder_types), builder_types);
+  EXPECT_EQ(structural(from_source), structural(from_builder));
+}
+
+TEST(KernelSources, StridedSourceMatchesBuiltin) {
+  layout::TypeTable source_types;
+  const std::string from_source = trace_of(
+      tracer::parse_kernel_file(kernel_path("t3_strided.c"), source_types),
+      source_types);
+  layout::TypeTable builder_types;
+  const std::string from_builder = trace_of(
+      tracer::make_t3_strided(builder_types, 1024, 16, 32), builder_types);
+  EXPECT_EQ(structural(from_source), structural(from_builder));
+}
+
+TEST(KernelSources, SourceKernelPlusRuleFileReproducesT1) {
+  // The complete user workflow: C source in, rule file in, transformed
+  // per-set data out.
+  layout::TypeTable types;
+  trace::TraceContext ctx;
+  const auto prog = tracer::parse_kernel_file(kernel_path("t1_soa.c"), types);
+  const core::RuleSet rules =
+      core::parse_rules_file(rules_path("t1_soa_to_aos.rules"));
+  const auto result = analysis::run_experiment(
+      types, ctx, prog, cache::paper_direct_mapped(), &rules);
+  EXPECT_EQ(result.transform_stats.rewritten, 2048u);
+  EXPECT_TRUE(result.after.per_set.contains("lAoS"));
+}
+
+}  // namespace
+}  // namespace tdt

@@ -1,0 +1,159 @@
+// Structural reproduction of the paper's Listing 1/2: the example program
+// with globals, nested structures, and a function call, checked against
+// the trace features the paper calls out in §III-A.
+#include <gtest/gtest.h>
+
+#include "trace/reader.hpp"
+#include "trace/writer.hpp"
+#include "tracer/interp.hpp"
+#include "tracer/kernels.hpp"
+
+namespace tdt {
+namespace {
+
+using trace::AccessKind;
+using trace::TraceRecord;
+using trace::VarScope;
+
+struct Listing1 : ::testing::Test {
+  layout::TypeTable types;
+  trace::TraceContext ctx;
+  std::vector<TraceRecord> records;
+
+  void SetUp() override {
+    records = tracer::run_program(types, ctx, tracer::make_listing1(types));
+  }
+
+  std::vector<std::string> lines() const {
+    std::vector<std::string> out;
+    for (const TraceRecord& r : records) out.push_back(ctx.format_record(r));
+    return out;
+  }
+
+  const TraceRecord* find_store(const std::string& var) const {
+    for (const TraceRecord& r : records) {
+      if (r.kind == AccessKind::Store && !r.var.empty() &&
+          ctx.format_var(r.var) == var) {
+        return &r;
+      }
+    }
+    return nullptr;
+  }
+};
+
+TEST_F(Listing1, StartsWithZzqMarker) {
+  ASSERT_GE(records.size(), 2u);
+  EXPECT_EQ(ctx.format_var(records[0].var), "_zzq_result");
+  EXPECT_EQ(records[0].kind, AccessKind::Store);
+  EXPECT_EQ(records[0].size, 8u);
+  EXPECT_EQ(records[1].scope, VarScope::Unknown);  // bare `L ... main`
+  EXPECT_EQ(records[1].kind, AccessKind::Load);
+}
+
+TEST_F(Listing1, GlobalScalarStoreHasGVScope) {
+  // Paper trace line 4: `S 000601040 4 main GV glScalar`.
+  const TraceRecord* rec = find_store("glScalar");
+  ASSERT_NE(rec, nullptr);
+  EXPECT_EQ(rec->scope, VarScope::GlobalVariable);
+  EXPECT_EQ(rec->size, 4u);
+  EXPECT_EQ(ctx.name(rec->function), "main");
+  // Global addresses live in the 0x601xxx data segment.
+  EXPECT_EQ(rec->address >> 12, 0x601u);
+}
+
+TEST_F(Listing1, GlobalStructElementAccessesFromFoo) {
+  // Paper trace line 25: `S 0006010e0 8 foo GS glStructArray[0].dl`.
+  const TraceRecord* rec = find_store("glStructArray[0].dl");
+  ASSERT_NE(rec, nullptr);
+  EXPECT_EQ(rec->scope, VarScope::GlobalStructure);
+  EXPECT_EQ(rec->size, 8u);
+  EXPECT_EQ(ctx.name(rec->function), "foo");
+  // Paper trace line 29: nested array element inside the struct array.
+  const TraceRecord* nested = find_store("glStructArray[0].myArray[0]");
+  ASSERT_NE(nested, nullptr);
+  EXPECT_EQ(nested->size, 4u);
+}
+
+TEST_F(Listing1, ParamAccessesResolveToCallersArray) {
+  // Paper trace line 34: `S 7ff000060 8 foo LS 1 1 lcStrcArray[0].dl` —
+  // the store through StrcParam is named after main's lcStrcArray with
+  // frame distance 1.
+  const TraceRecord* rec = find_store("lcStrcArray[0].dl");
+  ASSERT_NE(rec, nullptr);
+  EXPECT_EQ(rec->scope, VarScope::LocalStructure);
+  EXPECT_EQ(ctx.name(rec->function), "foo");
+  EXPECT_EQ(rec->frame, 1u);
+  EXPECT_EQ(rec->thread, 1u);
+}
+
+TEST_F(Listing1, PointerParamLoadsAppear) {
+  // Paper trace line 31: `L 7ff000030 8 foo LV 0 1 StrcParam`.
+  std::uint64_t param_loads = 0;
+  for (const TraceRecord& r : records) {
+    if (r.kind == AccessKind::Load && !r.var.empty() &&
+        ctx.format_var(r.var) == "StrcParam") {
+      EXPECT_EQ(r.size, 8u);
+      EXPECT_EQ(r.scope, VarScope::LocalVariable);
+      EXPECT_EQ(r.frame, 0u);
+      ++param_loads;
+    }
+  }
+  EXPECT_EQ(param_loads, 2u);  // one per loop iteration in foo
+}
+
+TEST_F(Listing1, LoopCounterModifiesTraced) {
+  // Paper trace lines 11/16: `M ... i` on each i++.
+  std::uint64_t main_modifies = 0, foo_modifies = 0;
+  for (const TraceRecord& r : records) {
+    if (r.kind != AccessKind::Modify || r.var.empty()) continue;
+    if (ctx.format_var(r.var) != "i") continue;
+    (std::string(ctx.name(r.function)) == "main" ? main_modifies
+                                                 : foo_modifies)++;
+  }
+  EXPECT_EQ(main_modifies, 2u);
+  EXPECT_EQ(foo_modifies, 2u);
+}
+
+TEST_F(Listing1, GlobalLinesOmitFrameThreadInText) {
+  for (const std::string& line : lines()) {
+    if (line.find(" GV ") != std::string::npos ||
+        line.find(" GS ") != std::string::npos) {
+      // Gleipnir format: `K addr size func GV var` — exactly 6 fields.
+      std::size_t fields = 1;
+      for (char ch : line) fields += ch == ' ';
+      EXPECT_EQ(fields, 6u) << line;
+    }
+  }
+}
+
+TEST_F(Listing1, TraceRoundTripsThroughTextFormat) {
+  const std::string text = trace::write_trace_string(ctx, records, 13063);
+  trace::TraceContext ctx2;
+  const auto parsed = trace::read_trace_string(ctx2, text);
+  ASSERT_EQ(parsed.size(), records.size());
+  for (std::size_t i = 0; i < records.size(); ++i) {
+    EXPECT_EQ(ctx2.format_record(parsed[i]), ctx.format_record(records[i]));
+  }
+}
+
+TEST_F(Listing1, CallOverheadStoresAreUnannotated) {
+  // Paper trace lines 18-19: two 8-byte stores with no symbol info around
+  // the call to foo.
+  bool before_foo_seen = false;
+  std::uint64_t unannotated = 0;
+  for (const TraceRecord& r : records) {
+    if (std::string(ctx.name(r.function)) == "foo" &&
+        r.kind == AccessKind::Store && r.var.empty() && r.size == 8) {
+      ++unannotated;
+    }
+    if (std::string(ctx.name(r.function)) == "main" &&
+        r.kind == AccessKind::Store && r.var.empty() && r.size == 8) {
+      before_foo_seen = true;
+    }
+  }
+  EXPECT_TRUE(before_foo_seen);
+  EXPECT_EQ(unannotated, 1u);
+}
+
+}  // namespace
+}  // namespace tdt

@@ -1,0 +1,78 @@
+// The shipped rule files under rules/ must parse cleanly and apply to the
+// kernels they document. TDT_RULES_DIR is injected by CMake.
+#include <gtest/gtest.h>
+
+#include "analysis/experiment.hpp"
+#include "core/rule_parser.hpp"
+#include "tracer/kernels.hpp"
+
+#ifndef TDT_RULES_DIR
+#error "TDT_RULES_DIR must be defined by the build"
+#endif
+
+namespace tdt {
+namespace {
+
+std::string rules_path(const char* name) {
+  return std::string(TDT_RULES_DIR) + "/" + name;
+}
+
+TEST(RuleFiles, T1ParsesAndApplies) {
+  const core::RuleSet rules =
+      core::parse_rules_file(rules_path("t1_soa_to_aos.rules"));
+  ASSERT_EQ(rules.rules().size(), 1u);
+  layout::TypeTable types;
+  trace::TraceContext ctx;
+  const auto result = analysis::run_experiment(
+      types, ctx, tracer::make_t1_soa(types, 1024),
+      cache::paper_direct_mapped(), &rules);
+  EXPECT_EQ(result.transform_stats.rewritten, 2048u);
+  EXPECT_EQ(result.transform_stats.skipped, 0u);
+}
+
+TEST(RuleFiles, T2ParsesAndApplies) {
+  const core::RuleSet rules =
+      core::parse_rules_file(rules_path("t2_outline_rarely_used.rules"));
+  layout::TypeTable types;
+  trace::TraceContext ctx;
+  const auto result = analysis::run_experiment(
+      types, ctx, tracer::make_t2_inline(types, 1024),
+      cache::paper_direct_mapped(), &rules);
+  EXPECT_EQ(result.transform_stats.rewritten, 3072u);
+  EXPECT_EQ(result.transform_stats.inserted, 2048u);
+  EXPECT_EQ(result.transform_stats.skipped, 0u);
+}
+
+TEST(RuleFiles, T3ParsesAndApplies) {
+  const core::RuleSet rules =
+      core::parse_rules_file(rules_path("t3_set_pinning.rules"));
+  layout::TypeTable types;
+  trace::TraceContext ctx;
+  const auto result = analysis::run_experiment(
+      types, ctx, tracer::make_t3_contiguous(types, 1024), cache::ppc440(),
+      &rules);
+  EXPECT_EQ(result.transform_stats.rewritten, 1024u);
+  EXPECT_EQ(result.transform_stats.inserted, 3072u);
+  // Pinned: exactly one active set for the remapped array.
+  std::size_t active = 0;
+  for (const analysis::SetCell& c :
+       result.after.per_set.at("lSetHashingArray")) {
+    active += (c.hits + c.misses) != 0;
+  }
+  EXPECT_EQ(active, 1u);
+}
+
+TEST(RuleFiles, AllFilesHaveNoValidationErrors) {
+  for (const char* name : {"t1_soa_to_aos.rules",
+                           "t2_outline_rarely_used.rules",
+                           "t3_set_pinning.rules"}) {
+    const core::RuleSet rules = core::parse_rules_file(rules_path(name));
+    for (const core::RuleDiagnostic& d : rules.validate()) {
+      EXPECT_NE(d.severity, core::RuleDiagnostic::Severity::Error)
+          << name << ": " << d.message;
+    }
+  }
+}
+
+}  // namespace
+}  // namespace tdt

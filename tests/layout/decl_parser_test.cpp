@@ -1,0 +1,164 @@
+#include "layout/decl_parser.hpp"
+
+#include <gtest/gtest.h>
+
+#include "util/error.hpp"
+
+namespace tdt::layout {
+namespace {
+
+TEST(DeclParser, SimpleScalar) {
+  TypeTable t;
+  const auto vars = parse_declarations("int glScalar;", t);
+  ASSERT_EQ(vars.size(), 1u);
+  EXPECT_EQ(vars[0].name, "glScalar");
+  EXPECT_EQ(vars[0].type, t.int_type());
+}
+
+TEST(DeclParser, ArrayDeclarator) {
+  TypeTable t;
+  const auto vars = parse_declarations("int glArray[10];", t);
+  ASSERT_EQ(vars.size(), 1u);
+  EXPECT_EQ(t.kind(vars[0].type), TypeKind::Array);
+  EXPECT_EQ(t.array_count(vars[0].type), 10u);
+}
+
+TEST(DeclParser, MultiDimArray) {
+  TypeTable t;
+  const auto vars = parse_declarations("double A[2][3];", t);
+  ASSERT_EQ(vars.size(), 1u);
+  EXPECT_EQ(t.size_of(vars[0].type), 48u);
+  EXPECT_EQ(t.array_count(vars[0].type), 2u);
+  EXPECT_EQ(t.array_count(t.element(vars[0].type)), 3u);
+}
+
+TEST(DeclParser, PointerDeclarator) {
+  TypeTable t;
+  const auto vars = parse_declarations("double *p;", t);
+  ASSERT_EQ(vars.size(), 1u);
+  EXPECT_EQ(t.kind(vars[0].type), TypeKind::Pointer);
+  EXPECT_EQ(t.element(vars[0].type), t.double_type());
+}
+
+TEST(DeclParser, CommaSeparatedDeclarators) {
+  TypeTable t;
+  const auto vars = parse_declarations("int i, lcScalar, lcArray[10];", t);
+  ASSERT_EQ(vars.size(), 3u);
+  EXPECT_EQ(vars[0].name, "i");
+  EXPECT_EQ(vars[1].name, "lcScalar");
+  EXPECT_EQ(t.kind(vars[2].type), TypeKind::Array);
+}
+
+TEST(DeclParser, StructDefinitionAndUse) {
+  TypeTable t;
+  const auto vars = parse_declarations(
+      "struct _typeA { double dl; int myArray[10]; };\n"
+      "struct _typeA glStruct;\n"
+      "struct _typeA glStructArray[10];\n",
+      t);
+  ASSERT_EQ(vars.size(), 2u);
+  EXPECT_EQ(vars[0].name, "glStruct");
+  EXPECT_EQ(t.size_of(vars[0].type), 48u);
+  EXPECT_EQ(t.size_of(vars[1].type), 480u);
+}
+
+TEST(DeclParser, TypedefStyleBareStructName) {
+  TypeTable t;
+  const auto vars = parse_declarations(
+      "struct RarelyUsed { double mY; int mZ; };\n"
+      "RarelyUsed pool[16];\n",
+      t);
+  ASSERT_EQ(vars.size(), 1u);
+  EXPECT_EQ(t.size_of(vars[0].type), 16u * 16u);
+}
+
+TEST(DeclParser, NestedStructShorthand) {
+  // Paper Listing 8: `struct mRarelyUsed;` embeds the struct as a field
+  // named after it.
+  TypeTable t;
+  (void)parse_declarations(
+      "struct mRarelyUsed { double mY; int mZ; };\n"
+      "struct lS1 { int mFrequentlyUsed; struct mRarelyUsed; };\n",
+      t);
+  const TypeId s1 = t.find_struct("lS1");
+  ASSERT_NE(s1, kInvalidType);
+  const FieldInfo* f = t.find_field(s1, "mRarelyUsed");
+  ASSERT_NE(f, nullptr);
+  EXPECT_EQ(f->offset, 8u);
+  EXPECT_EQ(t.size_of(s1), 24u);
+}
+
+TEST(DeclParser, TrailingArrayCountDeclaresVariable) {
+  // `struct lAoS { ... }[16];` (paper Listing 5) declares variable lAoS
+  // of type lAoS[16].
+  TypeTable t;
+  const auto vars = parse_declarations(
+      "struct lAoS { int mX; double mY; }[16];", t);
+  ASSERT_EQ(vars.size(), 1u);
+  EXPECT_EQ(vars[0].name, "lAoS");
+  EXPECT_EQ(t.size_of(vars[0].type), 256u);
+}
+
+TEST(DeclParser, UnsignedAndLongCombos) {
+  TypeTable t;
+  const auto vars = parse_declarations(
+      "unsigned int a; unsigned b; long c; long long d; short e; "
+      "unsigned long f; signed char g;",
+      t);
+  ASSERT_EQ(vars.size(), 7u);
+  EXPECT_EQ(t.size_of(vars[0].type), 4u);
+  EXPECT_EQ(t.size_of(vars[1].type), 4u);
+  EXPECT_EQ(t.size_of(vars[2].type), 8u);
+  EXPECT_EQ(t.size_of(vars[3].type), 8u);
+  EXPECT_EQ(t.size_of(vars[4].type), 2u);
+  EXPECT_EQ(t.size_of(vars[5].type), 8u);
+  EXPECT_EQ(t.size_of(vars[6].type), 1u);
+}
+
+TEST(DeclParser, StructFieldWithDeclarator) {
+  TypeTable t;
+  (void)parse_declarations(
+      "struct Inner { int v; };\n"
+      "struct Outer { struct Inner twin[2]; int tail; };\n",
+      t);
+  const TypeId outer = t.find_struct("Outer");
+  EXPECT_EQ(t.size_of(outer), 12u);
+}
+
+TEST(DeclParser, PointerFieldInStruct) {
+  TypeTable t;
+  (void)parse_declarations(
+      "struct R { double y; };\n"
+      "struct S { int hot; R *cold; };\n",
+      t);
+  const TypeId s = t.find_struct("S");
+  EXPECT_EQ(t.size_of(s), 16u);
+  EXPECT_EQ(t.kind(t.find_field(s, "cold")->type), TypeKind::Pointer);
+}
+
+TEST(DeclParser, CommentsIgnored) {
+  TypeTable t;
+  const auto vars = parse_declarations(
+      "// leading\nint a; /* inline */ int b; # trailing\n", t);
+  EXPECT_EQ(vars.size(), 2u);
+}
+
+TEST(DeclParser, Errors) {
+  TypeTable t;
+  EXPECT_THROW(parse_declarations("struct Undefined x;", t), Error);
+  EXPECT_THROW(parse_declarations("int a", t), Error);          // missing ;
+  EXPECT_THROW(parse_declarations("int [3];", t), Error);       // no name
+  EXPECT_THROW(parse_declarations("int a[];", t), Error);       // no length
+  EXPECT_THROW(parse_declarations("banana a;", t), Error);      // bad type
+  EXPECT_THROW(parse_declarations("struct S { int a } x;", t),
+               Error);  // missing ; after field
+}
+
+TEST(DeclParser, EmptyInputIsEmpty) {
+  TypeTable t;
+  EXPECT_TRUE(parse_declarations("", t).empty());
+  EXPECT_TRUE(parse_declarations("  // nothing\n", t).empty());
+}
+
+}  // namespace
+}  // namespace tdt::layout

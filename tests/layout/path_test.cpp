@@ -1,0 +1,212 @@
+#include "layout/path.hpp"
+
+#include <gtest/gtest.h>
+
+#include "util/error.hpp"
+
+namespace tdt::layout {
+namespace {
+
+struct Fixture {
+  TypeTable t;
+  TypeId type_a;       // struct _typeA { double dl; int myArray[10]; }
+  TypeId type_a_arr;   // _typeA[10]
+  TypeId soa;          // struct { int mX[16]; double mY[16]; }
+
+  Fixture() {
+    type_a = t.define_struct(
+        "_typeA",
+        {{"dl", t.double_type()}, {"myArray", t.array_of(t.int_type(), 10)}});
+    type_a_arr = t.array_of(type_a, 10);
+    soa = t.define_struct(
+        "SoA", {{"mX", t.array_of(t.int_type(), 16)},
+                {"mY", t.array_of(t.double_type(), 16)}});
+  }
+};
+
+TEST(ResolvePath, StructField) {
+  Fixture f;
+  Path p;
+  p.push_back(PathStep::make_field("dl"));
+  const Resolved r = resolve_path(f.t, f.type_a, {p.data(), p.size()});
+  EXPECT_EQ(r.offset, 0u);
+  EXPECT_EQ(r.type, f.t.double_type());
+}
+
+TEST(ResolvePath, NestedArrayElement) {
+  Fixture f;
+  // glStructArray[1].myArray[1] -> 1*48 + 8 + 1*4 = 60
+  Path p;
+  p.push_back(PathStep::make_index(1));
+  p.push_back(PathStep::make_field("myArray"));
+  p.push_back(PathStep::make_index(1));
+  const Resolved r = resolve_path(f.t, f.type_a_arr, {p.data(), p.size()});
+  EXPECT_EQ(r.offset, 60u);
+  EXPECT_EQ(r.type, f.t.int_type());
+}
+
+TEST(ResolvePath, SoAFieldElement) {
+  Fixture f;
+  // SoA.mY[3] -> 64 + 3*8 = 88
+  Path p;
+  p.push_back(PathStep::make_field("mY"));
+  p.push_back(PathStep::make_index(3));
+  const Resolved r = resolve_path(f.t, f.soa, {p.data(), p.size()});
+  EXPECT_EQ(r.offset, 88u);
+}
+
+TEST(ResolvePath, EmptyPathIsRoot) {
+  Fixture f;
+  const Resolved r = resolve_path(f.t, f.type_a, {});
+  EXPECT_EQ(r.offset, 0u);
+  EXPECT_EQ(r.type, f.type_a);
+}
+
+TEST(ResolvePath, UnknownFieldThrows) {
+  Fixture f;
+  Path p;
+  p.push_back(PathStep::make_field("nope"));
+  EXPECT_THROW((void)resolve_path(f.t, f.type_a, {p.data(), p.size()}), Error);
+}
+
+TEST(ResolvePath, IndexOnStructThrows) {
+  Fixture f;
+  Path p;
+  p.push_back(PathStep::make_index(0));
+  EXPECT_THROW((void)resolve_path(f.t, f.type_a, {p.data(), p.size()}), Error);
+}
+
+TEST(ResolvePath, FieldOnArrayThrows) {
+  Fixture f;
+  Path p;
+  p.push_back(PathStep::make_field("dl"));
+  EXPECT_THROW((void)resolve_path(f.t, f.type_a_arr, {p.data(), p.size()}), Error);
+}
+
+TEST(ResolvePath, OutOfRangeIndexThrows) {
+  Fixture f;
+  Path p;
+  p.push_back(PathStep::make_index(10));
+  EXPECT_THROW((void)resolve_path(f.t, f.type_a_arr, {p.data(), p.size()}), Error);
+}
+
+TEST(ResolvePath, SelectorOnScalarThrows) {
+  Fixture f;
+  Path p;
+  p.push_back(PathStep::make_field("dl"));
+  p.push_back(PathStep::make_field("oops"));
+  EXPECT_THROW((void)resolve_path(f.t, f.type_a, {p.data(), p.size()}), Error);
+}
+
+TEST(PathAtOffset, FindsLeaf) {
+  Fixture f;
+  auto p = path_at_offset(f.t, f.type_a_arr, 60);
+  ASSERT_TRUE(p.has_value());
+  EXPECT_EQ(format_path({p->data(), p->size()}), "[1].myArray[1]");
+}
+
+TEST(PathAtOffset, MidLeafRemainder) {
+  Fixture f;
+  std::uint64_t rem = 99;
+  auto p = path_at_offset(f.t, f.type_a, 3, &rem);  // inside dl
+  ASSERT_TRUE(p.has_value());
+  EXPECT_EQ(format_path({p->data(), p->size()}), ".dl");
+  EXPECT_EQ(rem, 3u);
+}
+
+TEST(PathAtOffset, PaddingReturnsNullopt) {
+  TypeTable t;
+  // struct { int a; double b; }: bytes 4..7 are padding.
+  const TypeId s =
+      t.define_struct("P", {{"a", t.int_type()}, {"b", t.double_type()}});
+  EXPECT_FALSE(path_at_offset(t, s, 5).has_value());
+  EXPECT_TRUE(path_at_offset(t, s, 0).has_value());
+  EXPECT_TRUE(path_at_offset(t, s, 8).has_value());
+}
+
+TEST(PathAtOffset, BeyondSizeReturnsNullopt) {
+  Fixture f;
+  EXPECT_FALSE(path_at_offset(f.t, f.type_a, 48).has_value());
+}
+
+TEST(ForEachLeaf, VisitsAllInLayoutOrder) {
+  Fixture f;
+  std::vector<std::uint64_t> offsets;
+  for_each_leaf(f.t, f.type_a,
+                [&](const Path&, std::uint64_t off, TypeId) {
+                  offsets.push_back(off);
+                });
+  // dl + 10 myArray elements.
+  ASSERT_EQ(offsets.size(), 11u);
+  EXPECT_EQ(offsets.front(), 0u);
+  EXPECT_EQ(offsets[1], 8u);
+  EXPECT_TRUE(std::is_sorted(offsets.begin(), offsets.end()));
+}
+
+TEST(FormatParse, RoundTrip) {
+  for (const char* text :
+       {".dl", "[3]", ".mX[7]", "[0].myArray[9]", ".a.b.c", "[1][2][3]"}) {
+    const Path p = parse_path(text);
+    EXPECT_EQ(format_path({p.data(), p.size()}), text);
+  }
+}
+
+TEST(ParsePath, ToleratesBareLeadingField) {
+  const Path p = parse_path("mX[2]");
+  ASSERT_EQ(p.size(), 2u);
+  EXPECT_EQ(p[0].field, "mX");
+  EXPECT_EQ(p[1].index, 2u);
+}
+
+TEST(ParsePath, Malformed) {
+  EXPECT_THROW(parse_path("."), Error);
+  EXPECT_THROW(parse_path("[abc]"), Error);
+  EXPECT_THROW(parse_path("[3"), Error);
+  EXPECT_THROW(parse_path("!x"), Error);
+}
+
+TEST(LeafFieldNames, CollapsesArrayElements) {
+  Fixture f;
+  const auto names = leaf_field_names(f.t, f.type_a);
+  ASSERT_EQ(names.size(), 2u);
+  EXPECT_EQ(names[0], "dl");
+  EXPECT_EQ(names[1], "myArray");
+}
+
+// Property: for every leaf path produced by for_each_leaf,
+// resolve_path(offset) round-trips through path_at_offset.
+class PathRoundTrip : public ::testing::TestWithParam<int> {};
+
+TEST_P(PathRoundTrip, ResolveThenReverse) {
+  TypeTable t;
+  const TypeId inner = t.define_struct(
+      "Inner" + std::to_string(GetParam()),
+      {{"y", t.double_type()},
+       {"z", t.array_of(t.int_type(), 1 + GetParam() % 5)}});
+  const TypeId outer = t.define_struct(
+      "Outer" + std::to_string(GetParam()),
+      {{"hot", t.int_type()},
+       {"cold", t.array_of(inner, 1 + GetParam() % 4)}});
+  const TypeId root = t.array_of(outer, 2 + GetParam() % 3);
+
+  std::size_t leaves = 0;
+  for_each_leaf(t, root,
+                [&](const Path& p, std::uint64_t off, TypeId leaf) {
+                  ++leaves;
+                  const Resolved r = resolve_path(t, root, {p.data(), p.size()});
+                  EXPECT_EQ(r.offset, off);
+                  EXPECT_EQ(r.type, leaf);
+                  std::uint64_t rem = 1;
+                  auto back = path_at_offset(t, root, off, &rem);
+                  ASSERT_TRUE(back.has_value());
+                  EXPECT_EQ(rem, 0u);
+                  EXPECT_EQ(format_path({back->data(), back->size()}),
+                            format_path({p.data(), p.size()}));
+                });
+  EXPECT_GT(leaves, 0u);
+}
+
+INSTANTIATE_TEST_SUITE_P(Sweep, PathRoundTrip, ::testing::Range(0, 20));
+
+}  // namespace
+}  // namespace tdt::layout

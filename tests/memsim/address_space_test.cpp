@@ -1,0 +1,145 @@
+#include "memsim/address_space.hpp"
+
+#include <gtest/gtest.h>
+
+#include "util/error.hpp"
+
+namespace tdt::memsim {
+namespace {
+
+TEST(AddressSpace, GlobalsGrowUpwardFromBase) {
+  AddressSpace space;
+  const std::uint64_t a = space.alloc_global(4, 4);
+  const std::uint64_t b = space.alloc_global(4, 4);
+  EXPECT_EQ(a, space.config().global_base);
+  EXPECT_EQ(b, a + 4);
+}
+
+TEST(AddressSpace, GlobalAlignmentRespected) {
+  AddressSpace space;
+  (void)space.alloc_global(1, 1);
+  const std::uint64_t d = space.alloc_global(8, 8);
+  EXPECT_EQ(d % 8, 0u);
+}
+
+TEST(AddressSpace, StackGrowsDownward) {
+  AddressSpace space;
+  const std::uint64_t a = space.alloc_stack(8, 8);
+  const std::uint64_t b = space.alloc_stack(8, 8);
+  EXPECT_LT(a, space.config().stack_base);
+  EXPECT_LT(b, a);
+}
+
+TEST(AddressSpace, StackAlignmentRespected) {
+  AddressSpace space;
+  (void)space.alloc_stack(3, 1);
+  const std::uint64_t d = space.alloc_stack(8, 8);
+  EXPECT_EQ(d % 8, 0u);
+  const std::uint64_t i = space.alloc_stack(4, 4);
+  EXPECT_EQ(i % 4, 0u);
+}
+
+TEST(AddressSpace, FramesNestAndRelease) {
+  AddressSpace space;
+  EXPECT_EQ(space.current_frame(), 0u);
+  const std::uint64_t outer = space.alloc_stack(16, 8);
+  space.push_frame();
+  EXPECT_EQ(space.current_frame(), 1u);
+  const std::uint64_t inner = space.alloc_stack(16, 8);
+  EXPECT_LT(inner, outer);
+  space.pop_frame();
+  EXPECT_EQ(space.current_frame(), 0u);
+  // Allocation after pop reuses the released region.
+  const std::uint64_t again = space.alloc_stack(16, 8);
+  EXPECT_EQ(again, inner);
+}
+
+TEST(AddressSpace, PopOutermostFrameIsInternalError) {
+  AddressSpace space;
+  EXPECT_THROW(space.pop_frame(), Error);
+}
+
+TEST(AddressSpace, StackOverflowDetected) {
+  AddressSpaceConfig cfg;
+  cfg.stack_base = 0x7ff000000;
+  cfg.stack_limit = 0x7fefff000;  // 4 KiB of stack
+  AddressSpace space(cfg);
+  EXPECT_THROW((void)space.alloc_stack(1 << 20, 8), Error);
+}
+
+TEST(AddressSpace, HeapAllocSixteenByteAligned) {
+  AddressSpace space;
+  const std::uint64_t a = space.heap_alloc(5);
+  const std::uint64_t b = space.heap_alloc(17);
+  EXPECT_EQ(a % 16, 0u);
+  EXPECT_EQ(b % 16, 0u);
+  EXPECT_GE(b, a + 16);
+}
+
+TEST(AddressSpace, HeapLiveBytesTracked) {
+  AddressSpace space;
+  const std::uint64_t a = space.heap_alloc(32);
+  EXPECT_EQ(space.heap_live_bytes(), 32u);
+  space.heap_free(a);
+  EXPECT_EQ(space.heap_live_bytes(), 0u);
+}
+
+TEST(AddressSpace, HeapFreeListReuse) {
+  AddressSpace space;
+  const std::uint64_t a = space.heap_alloc(64);
+  (void)space.heap_alloc(64);
+  space.heap_free(a);
+  // Next fitting allocation reuses the hole.
+  EXPECT_EQ(space.heap_alloc(64), a);
+}
+
+TEST(AddressSpace, HeapCoalescingMergesNeighbours) {
+  AddressSpace space;
+  const std::uint64_t a = space.heap_alloc(32);
+  const std::uint64_t b = space.heap_alloc(32);
+  const std::uint64_t guard = space.heap_alloc(32);
+  (void)guard;
+  space.heap_free(a);
+  space.heap_free(b);  // coalesces with a
+  EXPECT_EQ(space.heap_alloc(64), a);
+}
+
+TEST(AddressSpace, HeapDoubleFreeRejected) {
+  AddressSpace space;
+  const std::uint64_t a = space.heap_alloc(16);
+  space.heap_free(a);
+  EXPECT_THROW(space.heap_free(a), Error);
+  EXPECT_THROW(space.heap_free(0xdead0000), Error);
+}
+
+TEST(AddressSpace, SplitFreeBlockKeepsRemainder) {
+  AddressSpace space;
+  const std::uint64_t a = space.heap_alloc(64);
+  (void)space.heap_alloc(16);
+  space.heap_free(a);
+  const std::uint64_t small = space.heap_alloc(16);
+  EXPECT_EQ(small, a);
+  const std::uint64_t rest = space.heap_alloc(48);
+  EXPECT_EQ(rest, a + 16);
+}
+
+TEST(AddressSpace, SegmentClassification) {
+  AddressSpace space;
+  EXPECT_EQ(space.segment_of(0x7ff000000 - 8), Segment::Stack);
+  EXPECT_EQ(space.segment_of(0x000601040), Segment::Globals);
+  EXPECT_EQ(space.segment_of(0x000a00010), Segment::Heap);
+}
+
+TEST(AddressSpace, PaperLikeAddressRanges) {
+  // Default configuration should produce addresses in the ranges visible
+  // in the paper's traces: locals near 0x7ff000000, globals near 0x601000.
+  AddressSpace space;
+  const std::uint64_t local = space.alloc_stack(8, 8);
+  const std::uint64_t global = space.alloc_global(4, 4);
+  EXPECT_LT(local, 0x7ff000000ULL);
+  EXPECT_GE(local, 0x7ff000000ULL - 4096);
+  EXPECT_EQ(global >> 12, 0x601u);
+}
+
+}  // namespace
+}  // namespace tdt::memsim

@@ -1,0 +1,131 @@
+#include "trace/binary.hpp"
+
+#include <gtest/gtest.h>
+
+#include "trace/reader.hpp"
+#include "trace/writer.hpp"
+#include "util/error.hpp"
+
+namespace tdt::trace {
+namespace {
+
+std::vector<TraceRecord> sample_records(TraceContext& ctx) {
+  const char* text = R"(START PID 1
+S 7ff0001b0 8 main LV 0 1 _zzq_result
+L 7ff0001b0 8 main
+S 000601040 4 main GV glScalar
+S 0006010e0 8 foo GS glStructArray[0].dl
+M 7ff000044 4 foo LV 0 1 i
+S 7ff000060 8 foo LS 1 1 lcStrcArray[0].dl
+L 7ff000030 8 foo LV 0 1 StrcParam
+)";
+  return read_trace_string(ctx, text);
+}
+
+TEST(Binary, RoundTripPreservesEverything) {
+  TraceContext ctx;
+  const auto records = sample_records(ctx);
+  const auto blob = write_binary_trace(ctx, records, 4242);
+
+  TraceContext ctx2;
+  std::uint64_t pid = 0;
+  const auto parsed = read_binary_trace(ctx2, blob, &pid);
+  EXPECT_EQ(pid, 4242u);
+  ASSERT_EQ(parsed.size(), records.size());
+  for (std::size_t i = 0; i < records.size(); ++i) {
+    EXPECT_EQ(ctx2.format_record(parsed[i]), ctx.format_record(records[i]))
+        << "record " << i;
+  }
+}
+
+TEST(Binary, EmptyTraceRoundTrips) {
+  TraceContext ctx;
+  const auto blob = write_binary_trace(ctx, {}, 7);
+  TraceContext ctx2;
+  std::uint64_t pid = 0;
+  EXPECT_TRUE(read_binary_trace(ctx2, blob, &pid).empty());
+  EXPECT_EQ(pid, 7u);
+}
+
+TEST(Binary, IsSubstantiallySmallerThanText) {
+  TraceContext ctx;
+  std::vector<TraceRecord> records;
+  const auto base = sample_records(ctx);
+  for (int i = 0; i < 200; ++i) {
+    for (const TraceRecord& r : base) records.push_back(r);
+  }
+  const auto blob = write_binary_trace(ctx, records);
+  const std::string text = write_trace_string(ctx, records);
+  EXPECT_LT(blob.size() * 2, text.size());
+}
+
+TEST(Binary, StringsEmittedOnce) {
+  TraceContext ctx;
+  std::vector<TraceRecord> records;
+  TraceRecord rec;
+  rec.kind = AccessKind::Load;
+  rec.size = 4;
+  rec.function = ctx.intern("very_long_function_name_repeated");
+  for (int i = 0; i < 100; ++i) {
+    rec.address = static_cast<std::uint64_t>(i);
+    records.push_back(rec);
+  }
+  const auto blob = write_binary_trace(ctx, records);
+  // 100 records * ~8 bytes + one string definition; far below 100 copies
+  // of the 33-char name.
+  EXPECT_LT(blob.size(), 100 * 33 / 2);
+}
+
+TEST(Binary, BadMagicRejected) {
+  TraceContext ctx;
+  const std::vector<char> junk{'N', 'O', 'P', 'E', 1, 0, 2};
+  EXPECT_THROW((void)read_binary_trace(ctx, junk), Error);
+}
+
+TEST(Binary, TruncatedBlobRejected) {
+  TraceContext ctx;
+  const auto records = sample_records(ctx);
+  auto blob = write_binary_trace(ctx, records);
+  blob.resize(blob.size() / 2);
+  TraceContext ctx2;
+  EXPECT_THROW((void)read_binary_trace(ctx2, blob), Error);
+}
+
+TEST(Binary, MissingEndMarkerRejected) {
+  TraceContext ctx;
+  auto blob = write_binary_trace(ctx, sample_records(ctx));
+  blob.pop_back();  // drop the end tag
+  TraceContext ctx2;
+  EXPECT_THROW((void)read_binary_trace(ctx2, blob), Error);
+}
+
+TEST(Binary, StreamingWriterMatchesOneShot) {
+  TraceContext ctx;
+  const auto records = sample_records(ctx);
+  std::ostringstream out(std::ios::binary);
+  BinaryTraceWriter w(ctx, out, 4242);
+  for (const TraceRecord& r : records) w.write(r);
+  w.finish();
+  const std::string s = out.str();
+  const auto oneshot = write_binary_trace(ctx, records, 4242);
+  ASSERT_EQ(s.size(), oneshot.size());
+  EXPECT_TRUE(std::equal(s.begin(), s.end(), oneshot.begin()));
+}
+
+TEST(Binary, LargeAddressesSurvive) {
+  TraceContext ctx;
+  TraceRecord rec;
+  rec.kind = AccessKind::Store;
+  rec.address = 0xFFFFFFFFFFFFFFFFull;
+  rec.size = 0x80000001u;
+  rec.function = ctx.intern("f");
+  const auto blob = write_binary_trace(ctx, {&rec, 1});
+  TraceContext ctx2;
+  const auto parsed = read_binary_trace(ctx2, blob);
+  ASSERT_EQ(parsed.size(), 1u);
+  EXPECT_EQ(parsed[0].address, rec.address);
+  EXPECT_EQ(parsed[0].size, rec.size);
+}
+
+}  // namespace
+}  // namespace tdt::trace

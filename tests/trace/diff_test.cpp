@@ -1,0 +1,154 @@
+#include "trace/diff.hpp"
+
+#include <gtest/gtest.h>
+
+#include "trace/reader.hpp"
+
+namespace tdt::trace {
+namespace {
+
+std::vector<TraceRecord> parse(TraceContext& ctx, const char* text) {
+  return read_trace_string(ctx, text);
+}
+
+TEST(Diff, IdenticalTracesAllSame) {
+  TraceContext ctx;
+  const auto a = parse(ctx, "L 7ff000100 4 main\nS 7ff000104 4 main\n");
+  const auto entries = diff_traces(a, a);
+  const DiffSummary s = summarize(entries);
+  EXPECT_EQ(s.same, 2u);
+  EXPECT_EQ(s.modified + s.inserted + s.deleted, 0u);
+}
+
+TEST(Diff, RewrittenAddressIsModified) {
+  TraceContext ctx;
+  const auto a = parse(ctx, "S 7ff000100 4 main LS 0 1 lSoA.mX[0]\n");
+  const auto b = parse(ctx, "S 7fe800000 4 main LS 0 1 lAoS[0].mX\n");
+  const auto entries = diff_traces(a, b);
+  ASSERT_EQ(entries.size(), 1u);
+  EXPECT_EQ(entries[0].kind, DiffKind::Modified);
+}
+
+TEST(Diff, InsertionDetectedBetweenMatches) {
+  TraceContext ctx;
+  const auto a = parse(ctx,
+                       "L 7ff000100 4 main LV 0 1 lI\n"
+                       "S 7ff000200 4 main LS 0 1 x[0]\n");
+  const auto b = parse(ctx,
+                       "L 7ff000100 4 main LV 0 1 lI\n"
+                       "L 7fe800008 8 main LS 0 1 ptr[0]\n"
+                       "S 7ff000200 4 main LS 0 1 x[0]\n");
+  const auto entries = diff_traces(a, b);
+  const DiffSummary s = summarize(entries);
+  EXPECT_EQ(s.same, 2u);
+  EXPECT_EQ(s.inserted, 1u);
+  EXPECT_EQ(s.deleted, 0u);
+  EXPECT_EQ(s.modified, 0u);
+}
+
+TEST(Diff, DeletionDetected) {
+  TraceContext ctx;
+  const auto a = parse(ctx,
+                       "L 7ff000100 4 main\n"
+                       "L 7ff000104 4 main\n"
+                       "S 7ff000200 4 main\n");
+  const auto b = parse(ctx,
+                       "L 7ff000100 4 main\n"
+                       "S 7ff000200 4 main\n");
+  const DiffSummary s = summarize(diff_traces(a, b));
+  EXPECT_EQ(s.same, 2u);
+  EXPECT_EQ(s.deleted, 1u);
+}
+
+TEST(Diff, TrailingInsertions) {
+  TraceContext ctx;
+  const auto a = parse(ctx, "L 7ff000100 4 main\n");
+  const auto b = parse(ctx, "L 7ff000100 4 main\nL 7ff000104 4 main\n");
+  const DiffSummary s = summarize(diff_traces(a, b));
+  EXPECT_EQ(s.same, 1u);
+  EXPECT_EQ(s.inserted, 1u);
+}
+
+TEST(Diff, TrailingDeletions) {
+  TraceContext ctx;
+  const auto a = parse(ctx, "L 7ff000100 4 main\nL 7ff000104 4 main\n");
+  const auto b = parse(ctx, "L 7ff000100 4 main\n");
+  const DiffSummary s = summarize(diff_traces(a, b));
+  EXPECT_EQ(s.deleted, 1u);
+}
+
+TEST(Diff, EmptyTraces) {
+  TraceContext ctx;
+  const auto a = parse(ctx, "");
+  EXPECT_TRUE(diff_traces(a, a).empty());
+  const auto b = parse(ctx, "L 7ff000100 4 main\n");
+  EXPECT_EQ(summarize(diff_traces(a, b)).inserted, 1u);
+  EXPECT_EQ(summarize(diff_traces(b, a)).deleted, 1u);
+}
+
+TEST(Diff, MixedTransformationPattern) {
+  // Mimics the paper's T2 diff: unchanged loop loads, modified stores,
+  // inserted indirection loads.
+  TraceContext ctx;
+  const auto a = parse(ctx,
+                       "L 7ff00009c 4 main LV 0 1 lI\n"
+                       "S 7ff0000a0 4 main LS 0 1 lS1[0].mFrequentlyUsed\n"
+                       "L 7ff00009c 4 main LV 0 1 lI\n"
+                       "S 7ff0000a8 8 main LS 0 1 lS1[0].mRarelyUsed.mY\n"
+                       "M 7ff00009c 4 main LV 0 1 lI\n");
+  const auto b = parse(ctx,
+                       "L 7ff00009c 4 main LV 0 1 lI\n"
+                       "S 7fe800000 4 main LS 0 1 lS2[0].mFrequentlyUsed\n"
+                       "L 7ff00009c 4 main LV 0 1 lI\n"
+                       "L 7fe800008 8 main LS 0 1 lS2[0].mRarelyUsed\n"
+                       "S 7fe900000 8 main LS 0 1 pool[0].mY\n"
+                       "M 7ff00009c 4 main LV 0 1 lI\n");
+  const DiffSummary s = summarize(diff_traces(a, b));
+  EXPECT_EQ(s.same, 3u);
+  EXPECT_EQ(s.modified, 2u);
+  EXPECT_EQ(s.inserted, 1u);
+  EXPECT_EQ(s.deleted, 0u);
+}
+
+TEST(Diff, EntriesIndexCorrectly) {
+  TraceContext ctx;
+  const auto a = parse(ctx, "L 7ff000100 4 main\nS 7ff000200 4 main\n");
+  const auto b = parse(ctx,
+                       "L 7ff000100 4 main\nL 7ff000300 8 main\n"
+                       "S 7ff000200 4 main\n");
+  const auto entries = diff_traces(a, b);
+  ASSERT_EQ(entries.size(), 3u);
+  EXPECT_EQ(entries[0].original, 0u);
+  EXPECT_EQ(entries[0].transformed, 0u);
+  EXPECT_EQ(entries[1].kind, DiffKind::Inserted);
+  EXPECT_EQ(entries[1].original, DiffEntry::kUnpaired);
+  EXPECT_EQ(entries[1].transformed, 1u);
+  EXPECT_EQ(entries[2].original, 1u);
+  EXPECT_EQ(entries[2].transformed, 2u);
+}
+
+TEST(Diff, RenderSideBySideHasTags) {
+  TraceContext ctx;
+  const auto a = parse(ctx, "S 7ff000100 4 main LS 0 1 lSoA.mX[0]\n");
+  const auto b = parse(ctx,
+                       "L 7fe800008 8 main LS 0 1 p[0]\n"
+                       "S 7fe800100 4 main LS 0 1 lAoS[0].mX\n");
+  const auto entries = diff_traces(a, b);
+  const std::string out = render_side_by_side(ctx, a, b, entries);
+  EXPECT_NE(out.find('|'), std::string::npos);
+  EXPECT_NE(out.find("+ "), std::string::npos);
+  EXPECT_NE(out.find("~ "), std::string::npos);
+}
+
+TEST(Diff, RenderRespectsMaxRows) {
+  TraceContext ctx;
+  const auto a = parse(ctx,
+                       "L 7ff000100 4 main\nL 7ff000104 4 main\n"
+                       "L 7ff000108 4 main\n");
+  const auto entries = diff_traces(a, a);
+  const std::string out = render_side_by_side(ctx, a, a, entries, 1);
+  EXPECT_NE(out.find("more rows"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace tdt::trace

@@ -1,0 +1,153 @@
+#include "trace/reader.hpp"
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "util/error.hpp"
+
+namespace tdt::trace {
+namespace {
+
+// A fragment of the paper's Listing 2 trace, verbatim.
+constexpr const char* kPaperSnippet = R"(START PID 13063
+S 7ff0001b0 8 main LV 0 1 _zzq_result
+L 7ff0001b0 8 main
+S 000601040 4 main GV glScalar
+S 7ff0001bc 4 main LV 0 1 lcScalar
+S 7ff0001b8 4 main LV 0 1 i
+L 7ff0001b8 4 main LV 0 1 i
+S 7ff000180 4 main LS 0 1 lcArray[0]
+M 7ff0001b8 4 main LV 0 1 i
+S 0006010e0 8 foo GS glStructArray[0].dl
+S 7ff000060 8 foo LS 1 1 lcStrcArray[0].dl
+)";
+
+TEST(Reader, ParsesPaperSnippet) {
+  TraceContext ctx;
+  std::uint64_t pid = 0;
+  const auto records = read_trace_string(ctx, kPaperSnippet, &pid);
+  EXPECT_EQ(pid, 13063u);
+  ASSERT_EQ(records.size(), 10u);
+
+  EXPECT_EQ(records[0].kind, AccessKind::Store);
+  EXPECT_EQ(records[0].address, 0x7ff0001b0u);
+  EXPECT_EQ(records[0].size, 8u);
+  EXPECT_EQ(ctx.name(records[0].function), "main");
+  EXPECT_EQ(records[0].scope, VarScope::LocalVariable);
+  EXPECT_EQ(ctx.format_var(records[0].var), "_zzq_result");
+
+  EXPECT_EQ(records[1].scope, VarScope::Unknown);
+
+  EXPECT_EQ(records[2].scope, VarScope::GlobalVariable);
+  EXPECT_EQ(ctx.format_var(records[2].var), "glScalar");
+
+  EXPECT_EQ(records[7].kind, AccessKind::Modify);
+
+  EXPECT_EQ(records[8].scope, VarScope::GlobalStructure);
+  EXPECT_EQ(ctx.format_var(records[8].var), "glStructArray[0].dl");
+
+  EXPECT_EQ(records[9].frame, 1u);  // foo touching main's local
+  EXPECT_EQ(records[9].thread, 1u);
+}
+
+TEST(Reader, RoundTripThroughFormat) {
+  TraceContext ctx;
+  const auto records = read_trace_string(ctx, kPaperSnippet);
+  std::istringstream in(kPaperSnippet);
+  std::string line;
+  std::getline(in, line);  // skip START
+  for (const TraceRecord& rec : records) {
+    std::getline(in, line);
+    EXPECT_EQ(ctx.format_record(rec), line);
+  }
+}
+
+TEST(Reader, SkipsBlankLines) {
+  TraceContext ctx;
+  const auto records =
+      read_trace_string(ctx, "\nL 7ff000000 4 main\n\n\nL 7ff000004 4 main\n");
+  EXPECT_EQ(records.size(), 2u);
+}
+
+TEST(Reader, EndMarkerAccepted) {
+  TraceContext ctx;
+  const auto records = read_trace_string(
+      ctx, "START PID 1\nL 7ff000000 4 main\nEND PID 1\n");
+  EXPECT_EQ(records.size(), 1u);
+}
+
+TEST(Reader, StreamingEventsInOrder) {
+  TraceContext ctx;
+  std::istringstream in("START PID 9\nL 7ff000000 4 main\nEND PID 9\n");
+  GleipnirReader reader(ctx, in);
+  auto e1 = reader.next();
+  ASSERT_TRUE(e1.has_value());
+  EXPECT_EQ(e1->kind, TraceEvent::Kind::Start);
+  EXPECT_EQ(e1->pid, 9u);
+  auto e2 = reader.next();
+  ASSERT_TRUE(e2.has_value());
+  EXPECT_EQ(e2->kind, TraceEvent::Kind::Record);
+  auto e3 = reader.next();
+  ASSERT_TRUE(e3.has_value());
+  EXPECT_EQ(e3->kind, TraceEvent::Kind::End);
+  EXPECT_FALSE(reader.next().has_value());
+}
+
+TEST(Reader, ErrorsCarryLineNumbers) {
+  TraceContext ctx;
+  try {
+    (void)read_trace_string(ctx, "L 7ff000000 4 main\nBAD LINE HERE\n");
+    FAIL();
+  } catch (const Error& e) {
+    EXPECT_EQ(e.kind(), ErrorKind::Parse);
+    EXPECT_EQ(e.where().line, 2u);
+  }
+}
+
+TEST(Reader, RejectsMalformedLines) {
+  TraceContext ctx;
+  // too few fields
+  EXPECT_THROW((void)read_trace_string(ctx, "L 7ff000000 4\n"), Error);
+  // bad kind
+  EXPECT_THROW((void)read_trace_string(ctx, "Q 7ff000000 4 main\n"), Error);
+  // bad address
+  EXPECT_THROW((void)read_trace_string(ctx, "L zzz 4 main\n"), Error);
+  // zero size
+  EXPECT_THROW((void)read_trace_string(ctx, "L 7ff000000 0 main\n"), Error);
+  // local scope without frame/thread
+  EXPECT_THROW((void)read_trace_string(ctx, "L 7ff000000 4 main LV x\n"),
+               Error);
+  // bad scope
+  EXPECT_THROW((void)read_trace_string(ctx, "L 7ff000000 4 main ZZ 0 1 v\n"),
+               Error);
+  // trailing junk
+  EXPECT_THROW(
+      (void)read_trace_string(ctx, "L 7ff000000 4 main GV glScalar extra\n"),
+      Error);
+  // malformed marker
+  EXPECT_THROW((void)read_trace_string(ctx, "START 123\n"), Error);
+  EXPECT_THROW((void)read_trace_string(ctx, "START PID abc\n"), Error);
+}
+
+TEST(Reader, MissingFileThrowsIo) {
+  TraceContext ctx;
+  try {
+    (void)read_trace_file(ctx, "/nonexistent/path/trace.out");
+    FAIL();
+  } catch (const Error& e) {
+    EXPECT_EQ(e.kind(), ErrorKind::Io);
+  }
+}
+
+TEST(Reader, ParseRecordLineDirect) {
+  TraceContext ctx;
+  const TraceRecord rec = GleipnirReader::parse_record_line(
+      ctx, "M 7ff000044 4 foo LV 0 1 i", 42);
+  EXPECT_EQ(rec.kind, AccessKind::Modify);
+  EXPECT_EQ(ctx.name(rec.function), "foo");
+  EXPECT_EQ(ctx.format_var(rec.var), "i");
+}
+
+}  // namespace
+}  // namespace tdt::trace

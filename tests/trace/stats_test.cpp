@@ -1,0 +1,114 @@
+#include "trace/stats.hpp"
+
+#include <gtest/gtest.h>
+
+#include "trace/reader.hpp"
+
+namespace tdt::trace {
+namespace {
+
+constexpr const char* kTrace = R"(START PID 1
+S 7ff000100 4 main LV 0 1 i
+L 7ff000100 4 main LV 0 1 i
+L 000601040 4 main GV glScalar
+S 7ff000180 4 main LS 0 1 lcArray[0]
+S 7ff000184 4 main LS 0 1 lcArray[1]
+M 7ff000100 4 main LV 0 1 i
+L 000601040 4 foo GV glScalar
+S 0006010e0 8 foo GS glStructArray[0].dl
+)";
+
+TEST(TraceStats, TotalsByKind) {
+  TraceContext ctx;
+  TraceStats stats;
+  stats.add_all(read_trace_string(ctx, kTrace));
+  EXPECT_EQ(stats.records(), 8u);
+  EXPECT_EQ(stats.totals().loads, 3u);
+  EXPECT_EQ(stats.totals().stores, 4u);
+  EXPECT_EQ(stats.totals().modifies, 1u);
+  EXPECT_EQ(stats.totals().other, 0u);
+}
+
+TEST(TraceStats, PerFunctionCounts) {
+  TraceContext ctx;
+  TraceStats stats;
+  stats.add_all(read_trace_string(ctx, kTrace));
+  const auto& by_fn = stats.by_function();
+  EXPECT_EQ(by_fn.at(ctx.pool().find("main")).total(), 6u);
+  EXPECT_EQ(by_fn.at(ctx.pool().find("foo")).total(), 2u);
+}
+
+TEST(TraceStats, PerVariableAggregatesUnderBaseName) {
+  TraceContext ctx;
+  TraceStats stats;
+  stats.add_all(read_trace_string(ctx, kTrace));
+  const auto& by_var = stats.by_variable();
+  // lcArray[0] and lcArray[1] accumulate under lcArray.
+  EXPECT_EQ(by_var.at(ctx.pool().find("lcArray")).stores, 2u);
+  EXPECT_EQ(by_var.at(ctx.pool().find("glScalar")).loads, 2u);
+  EXPECT_EQ(by_var.at(ctx.pool().find("i")).total(), 3u);
+}
+
+TEST(TraceStats, DistinctAddressesCountBytes) {
+  TraceContext ctx;
+  TraceStats stats;
+  // Two 4-byte accesses to the same address + one to a different one.
+  stats.add_all(read_trace_string(
+      ctx,
+      "L 7ff000100 4 main\nS 7ff000100 4 main\nL 7ff000104 4 main\n"));
+  EXPECT_EQ(stats.distinct_addresses(), 8u);
+  EXPECT_EQ(stats.min_address(), 0x7ff000100u);
+  EXPECT_EQ(stats.max_address(), 0x7ff000107u);
+}
+
+TEST(TraceStats, FootprintBlocks) {
+  TraceContext ctx;
+  TraceStats stats;
+  stats.add_all(read_trace_string(
+      ctx, "L 7ff000100 4 main\nL 7ff000104 4 main\nL 7ff000120 4 main\n"));
+  EXPECT_EQ(stats.footprint_blocks(32), 2u);
+  EXPECT_EQ(stats.footprint_blocks(64), 1u);
+  EXPECT_EQ(stats.footprint_blocks(4), 3u);
+}
+
+TEST(TraceStats, AccessSpanningBlocksCountsBoth) {
+  TraceContext ctx;
+  TraceStats stats;
+  // 8-byte access starting 4 bytes before a 32-byte boundary.
+  stats.add_all(read_trace_string(ctx, "L 7ff00011c 8 main\n"));
+  EXPECT_EQ(stats.footprint_blocks(32), 2u);
+}
+
+TEST(TraceStats, ReportMentionsTopEntries) {
+  TraceContext ctx;
+  TraceStats stats;
+  stats.add_all(read_trace_string(ctx, kTrace));
+  const std::string report = stats.report(ctx);
+  EXPECT_NE(report.find("glScalar"), std::string::npos);
+  EXPECT_NE(report.find("main"), std::string::npos);
+  EXPECT_NE(report.find("records: 8"), std::string::npos);
+}
+
+TEST(TraceStats, EmptyStatsAreZero) {
+  TraceStats stats;
+  EXPECT_EQ(stats.records(), 0u);
+  EXPECT_EQ(stats.distinct_addresses(), 0u);
+  EXPECT_EQ(stats.footprint_blocks(32), 0u);
+}
+
+TEST(AccessCounts, AddDispatch) {
+  AccessCounts c;
+  c.add(AccessKind::Load);
+  c.add(AccessKind::Store);
+  c.add(AccessKind::Modify);
+  c.add(AccessKind::Instr);
+  c.add(AccessKind::Misc);
+  EXPECT_EQ(c.loads, 1u);
+  EXPECT_EQ(c.stores, 1u);
+  EXPECT_EQ(c.modifies, 1u);
+  EXPECT_EQ(c.other, 2u);
+  EXPECT_EQ(c.total(), 5u);
+}
+
+}  // namespace
+}  // namespace tdt::trace

@@ -1,0 +1,63 @@
+#include "util/error.hpp"
+
+#include <gtest/gtest.h>
+
+namespace tdt {
+namespace {
+
+TEST(Error, WhatIsPreformatted) {
+  const Error e(ErrorKind::Parse, "bad token", SourceLoc{3, 7});
+  EXPECT_STREQ(e.what(), "parse error at 3:7: bad token");
+  EXPECT_EQ(e.kind(), ErrorKind::Parse);
+  EXPECT_EQ(e.message(), "bad token");
+  EXPECT_EQ(e.where(), (SourceLoc{3, 7}));
+}
+
+TEST(Error, UnknownLocationOmitted) {
+  const Error e(ErrorKind::Config, "bad size");
+  EXPECT_STREQ(e.what(), "config error: bad size");
+  EXPECT_FALSE(e.where().known());
+}
+
+TEST(Error, KindNames) {
+  EXPECT_EQ(to_string(ErrorKind::Parse), "parse");
+  EXPECT_EQ(to_string(ErrorKind::Config), "config");
+  EXPECT_EQ(to_string(ErrorKind::Semantic), "semantic");
+  EXPECT_EQ(to_string(ErrorKind::Io), "io");
+  EXPECT_EQ(to_string(ErrorKind::Internal), "internal");
+}
+
+TEST(Error, ThrowHelpers) {
+  EXPECT_THROW(throw_parse_error("x"), Error);
+  EXPECT_THROW(throw_config_error("x"), Error);
+  EXPECT_THROW(throw_semantic_error("x"), Error);
+  EXPECT_THROW(throw_io_error("x"), Error);
+  try {
+    throw_semantic_error("msg", {2, 1});
+  } catch (const Error& e) {
+    EXPECT_EQ(e.kind(), ErrorKind::Semantic);
+    EXPECT_EQ(e.where().line, 2u);
+  }
+}
+
+TEST(Error, InternalCheckPassesAndFails) {
+  EXPECT_NO_THROW(internal_check(true, "fine"));
+  try {
+    internal_check(false, "broken invariant");
+    FAIL();
+  } catch (const Error& e) {
+    EXPECT_EQ(e.kind(), ErrorKind::Internal);
+    EXPECT_EQ(e.message(), "broken invariant");
+  }
+}
+
+TEST(Error, IsCatchableAsRuntimeError) {
+  try {
+    throw_io_error("file gone");
+  } catch (const std::runtime_error& e) {
+    EXPECT_NE(std::string(e.what()).find("file gone"), std::string::npos);
+  }
+}
+
+}  // namespace
+}  // namespace tdt

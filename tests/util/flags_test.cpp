@@ -1,0 +1,124 @@
+#include "util/flags.hpp"
+
+#include <gtest/gtest.h>
+
+#include "util/error.hpp"
+
+namespace tdt {
+namespace {
+
+std::vector<const char*> argv_of(std::initializer_list<const char*> args) {
+  return {args.begin(), args.end()};
+}
+
+TEST(Flags, DefaultsApplyWithoutArgs) {
+  FlagParser p("prog", "test");
+  const auto* s = p.add_string("name", "default", "help");
+  const auto* u = p.add_uint("count", 7, "help");
+  const auto* b = p.add_bool("verbose", false, "help");
+  auto args = argv_of({"prog"});
+  EXPECT_TRUE(p.parse(static_cast<int>(args.size()), args.data()));
+  EXPECT_EQ(*s, "default");
+  EXPECT_EQ(*u, 7u);
+  EXPECT_FALSE(*b);
+}
+
+TEST(Flags, SpaceSeparatedValues) {
+  FlagParser p("prog", "test");
+  const auto* s = p.add_string("name", "", "help");
+  const auto* u = p.add_uint("count", 0, "help");
+  auto args = argv_of({"prog", "--name", "hello", "--count", "42"});
+  EXPECT_TRUE(p.parse(static_cast<int>(args.size()), args.data()));
+  EXPECT_EQ(*s, "hello");
+  EXPECT_EQ(*u, 42u);
+}
+
+TEST(Flags, EqualsSeparatedValues) {
+  FlagParser p("prog", "test");
+  const auto* s = p.add_string("name", "", "help");
+  auto args = argv_of({"prog", "--name=world"});
+  EXPECT_TRUE(p.parse(static_cast<int>(args.size()), args.data()));
+  EXPECT_EQ(*s, "world");
+}
+
+TEST(Flags, BoolSwitchAndExplicit) {
+  FlagParser p("prog", "test");
+  const auto* a = p.add_bool("a", false, "help");
+  const auto* b = p.add_bool("b", true, "help");
+  auto args = argv_of({"prog", "--a", "--b=false"});
+  EXPECT_TRUE(p.parse(static_cast<int>(args.size()), args.data()));
+  EXPECT_TRUE(*a);
+  EXPECT_FALSE(*b);
+}
+
+TEST(Flags, HexUintAccepted) {
+  FlagParser p("prog", "test");
+  const auto* u = p.add_uint("addr", 0, "help");
+  auto args = argv_of({"prog", "--addr", "0x7ff000108"});
+  EXPECT_TRUE(p.parse(static_cast<int>(args.size()), args.data()));
+  EXPECT_EQ(*u, 0x7ff000108ull);
+}
+
+TEST(Flags, NegativeInt) {
+  FlagParser p("prog", "test");
+  const auto* i = p.add_int("delta", 0, "help");
+  auto args = argv_of({"prog", "--delta", "-5"});
+  EXPECT_TRUE(p.parse(static_cast<int>(args.size()), args.data()));
+  EXPECT_EQ(*i, -5);
+}
+
+TEST(Flags, PositionalCollected) {
+  FlagParser p("prog", "test");
+  (void)p.add_bool("x", false, "help");
+  auto args = argv_of({"prog", "one", "--x", "two"});
+  EXPECT_TRUE(p.parse(static_cast<int>(args.size()), args.data()));
+  ASSERT_EQ(p.positional().size(), 2u);
+  EXPECT_EQ(p.positional()[0], "one");
+  EXPECT_EQ(p.positional()[1], "two");
+}
+
+TEST(Flags, UnknownFlagThrows) {
+  FlagParser p("prog", "test");
+  auto args = argv_of({"prog", "--nope"});
+  EXPECT_THROW(p.parse(static_cast<int>(args.size()), args.data()), Error);
+}
+
+TEST(Flags, MissingValueThrows) {
+  FlagParser p("prog", "test");
+  (void)p.add_string("name", "", "help");
+  auto args = argv_of({"prog", "--name"});
+  EXPECT_THROW(p.parse(static_cast<int>(args.size()), args.data()), Error);
+}
+
+TEST(Flags, BadUintValueThrows) {
+  FlagParser p("prog", "test");
+  (void)p.add_uint("count", 0, "help");
+  auto args = argv_of({"prog", "--count", "abc"});
+  EXPECT_THROW(p.parse(static_cast<int>(args.size()), args.data()), Error);
+}
+
+TEST(Flags, BadBoolValueThrows) {
+  FlagParser p("prog", "test");
+  (void)p.add_bool("flag", false, "help");
+  auto args = argv_of({"prog", "--flag=maybe"});
+  EXPECT_THROW(p.parse(static_cast<int>(args.size()), args.data()), Error);
+}
+
+TEST(Flags, HelpReturnsFalse) {
+  FlagParser p("prog", "test");
+  (void)p.add_string("name", "x", "the name");
+  auto args = argv_of({"prog", "--help"});
+  EXPECT_FALSE(p.parse(static_cast<int>(args.size()), args.data()));
+}
+
+TEST(Flags, UsageMentionsFlagsAndDefaults) {
+  FlagParser p("prog", "a tester");
+  (void)p.add_uint("count", 9, "how many");
+  const std::string usage = p.usage();
+  EXPECT_NE(usage.find("--count"), std::string::npos);
+  EXPECT_NE(usage.find("how many"), std::string::npos);
+  EXPECT_NE(usage.find("9"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace tdt

@@ -1,0 +1,116 @@
+#include "util/lexer.hpp"
+
+#include <gtest/gtest.h>
+
+namespace tdt {
+namespace {
+
+TEST(Lexer, TokenizesIdentifiersNumbersPunct) {
+  Lexer lex("struct lSoA { int mX[16]; }");
+  EXPECT_EQ(lex.next().text, "struct");
+  EXPECT_EQ(lex.next().text, "lSoA");
+  EXPECT_EQ(lex.next().text, "{");
+  EXPECT_EQ(lex.next().text, "int");
+  EXPECT_EQ(lex.next().text, "mX");
+  EXPECT_EQ(lex.next().text, "[");
+  Token n = lex.next();
+  EXPECT_EQ(n.kind, TokKind::Number);
+  EXPECT_EQ(n.number(), 16u);
+  EXPECT_EQ(lex.next().text, "]");
+  EXPECT_EQ(lex.next().text, ";");
+  EXPECT_EQ(lex.next().text, "}");
+  EXPECT_TRUE(lex.at_end());
+}
+
+TEST(Lexer, PeekDoesNotConsume) {
+  Lexer lex("a b");
+  EXPECT_EQ(lex.peek().text, "a");
+  EXPECT_EQ(lex.peek().text, "a");
+  EXPECT_EQ(lex.next().text, "a");
+  EXPECT_EQ(lex.peek().text, "b");
+}
+
+TEST(Lexer, HexNumbers) {
+  Lexer lex("0x7ff000108");
+  Token t = lex.next();
+  EXPECT_EQ(t.kind, TokKind::Number);
+  EXPECT_EQ(t.number(), 0x7ff000108ull);
+}
+
+TEST(Lexer, SkipsLineComments) {
+  Lexer lex("a // comment\nb # hash comment\nc");
+  EXPECT_EQ(lex.next().text, "a");
+  EXPECT_EQ(lex.next().text, "b");
+  EXPECT_EQ(lex.next().text, "c");
+  EXPECT_TRUE(lex.at_end());
+}
+
+TEST(Lexer, SkipsBlockComments) {
+  Lexer lex("a /* multi\nline */ b");
+  EXPECT_EQ(lex.next().text, "a");
+  EXPECT_EQ(lex.next().text, "b");
+}
+
+TEST(Lexer, UnterminatedBlockCommentThrows) {
+  Lexer lex("a /* never closed");
+  EXPECT_EQ(lex.next().text, "a");
+  EXPECT_THROW(lex.next(), Error);
+}
+
+TEST(Lexer, TwoCharPunct) {
+  Lexer lex("a->b :: ==");
+  EXPECT_EQ(lex.next().text, "a");
+  EXPECT_EQ(lex.next().text, "->");
+  EXPECT_EQ(lex.next().text, "b");
+  EXPECT_EQ(lex.next().text, "::");
+  EXPECT_EQ(lex.next().text, "==");
+}
+
+TEST(Lexer, TracksLineAndColumn) {
+  Lexer lex("a\n  b");
+  Token a = lex.next();
+  EXPECT_EQ(a.loc.line, 1u);
+  EXPECT_EQ(a.loc.column, 1u);
+  Token b = lex.next();
+  EXPECT_EQ(b.loc.line, 2u);
+  EXPECT_EQ(b.loc.column, 3u);
+}
+
+TEST(Lexer, AcceptConsumesOnlyOnMatch) {
+  Lexer lex("[ 5 ]");
+  EXPECT_FALSE(lex.accept("("));
+  EXPECT_TRUE(lex.accept("["));
+  EXPECT_EQ(lex.next().number(), 5u);
+  EXPECT_TRUE(lex.accept("]"));
+  EXPECT_TRUE(lex.at_end());
+}
+
+TEST(Lexer, ExpectThrowsWithLocation) {
+  Lexer lex("foo");
+  try {
+    lex.expect("{");
+    FAIL() << "expected throw";
+  } catch (const Error& e) {
+    EXPECT_EQ(e.kind(), ErrorKind::Parse);
+    EXPECT_EQ(e.where().line, 1u);
+  }
+}
+
+TEST(Lexer, ExpectKind) {
+  Lexer lex("name 42");
+  Token id = lex.expect(TokKind::Ident, "identifier");
+  EXPECT_EQ(id.text, "name");
+  Token num = lex.expect(TokKind::Number, "number");
+  EXPECT_EQ(num.number(), 42u);
+  EXPECT_THROW(lex.expect(TokKind::Ident, "identifier"), Error);
+}
+
+TEST(Lexer, EndTokenIsSticky) {
+  Lexer lex("");
+  EXPECT_TRUE(lex.at_end());
+  EXPECT_EQ(lex.next().kind, TokKind::End);
+  EXPECT_EQ(lex.next().kind, TokKind::End);
+}
+
+}  // namespace
+}  // namespace tdt

@@ -1,0 +1,64 @@
+#include "util/rng.hpp"
+
+#include <gtest/gtest.h>
+
+#include <set>
+
+namespace tdt {
+namespace {
+
+TEST(SplitMix64, DeterministicForSeed) {
+  SplitMix64 a(42), b(42);
+  for (int i = 0; i < 100; ++i) EXPECT_EQ(a.next(), b.next());
+}
+
+TEST(SplitMix64, DifferentSeedsDiverge) {
+  SplitMix64 a(1), b(2);
+  EXPECT_NE(a.next(), b.next());
+}
+
+TEST(Xoshiro, DeterministicForSeed) {
+  Xoshiro256 a(7), b(7);
+  for (int i = 0; i < 100; ++i) EXPECT_EQ(a.next(), b.next());
+}
+
+TEST(Xoshiro, NextBelowInRange) {
+  Xoshiro256 rng(123);
+  for (int i = 0; i < 10000; ++i) {
+    EXPECT_LT(rng.next_below(17), 17u);
+  }
+}
+
+TEST(Xoshiro, NextBelowCoversAllResidues) {
+  Xoshiro256 rng(5);
+  std::set<std::uint64_t> seen;
+  for (int i = 0; i < 1000; ++i) seen.insert(rng.next_below(8));
+  EXPECT_EQ(seen.size(), 8u);
+}
+
+TEST(Xoshiro, DoubleInUnitInterval) {
+  Xoshiro256 rng(99);
+  double sum = 0;
+  for (int i = 0; i < 10000; ++i) {
+    const double d = rng.next_double();
+    ASSERT_GE(d, 0.0);
+    ASSERT_LT(d, 1.0);
+    sum += d;
+  }
+  // Mean of U[0,1) over 10k draws should be close to 0.5.
+  EXPECT_NEAR(sum / 10000.0, 0.5, 0.02);
+}
+
+TEST(Xoshiro, RoughlyUniformBuckets) {
+  Xoshiro256 rng(2024);
+  int buckets[10] = {};
+  const int n = 100000;
+  for (int i = 0; i < n; ++i) ++buckets[rng.next_below(10)];
+  for (int b : buckets) {
+    EXPECT_GT(b, n / 10 - n / 100);
+    EXPECT_LT(b, n / 10 + n / 100);
+  }
+}
+
+}  // namespace
+}  // namespace tdt

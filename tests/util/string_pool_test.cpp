@@ -1,0 +1,76 @@
+#include "util/string_pool.hpp"
+
+#include <gtest/gtest.h>
+
+#include "util/error.hpp"
+
+namespace tdt {
+namespace {
+
+TEST(StringPool, EmptyStringIsSymbolZero) {
+  StringPool pool;
+  EXPECT_EQ(pool.intern("").id(), 0u);
+  EXPECT_TRUE(Symbol{}.empty());
+  EXPECT_EQ(pool.view(Symbol{}), "");
+}
+
+TEST(StringPool, InternIsIdempotent) {
+  StringPool pool;
+  const Symbol a = pool.intern("lSoA");
+  const Symbol b = pool.intern("lSoA");
+  EXPECT_EQ(a, b);
+  EXPECT_EQ(pool.size(), 2u);  // "" + "lSoA"
+}
+
+TEST(StringPool, DistinctStringsDistinctSymbols) {
+  StringPool pool;
+  const Symbol a = pool.intern("mX");
+  const Symbol b = pool.intern("mY");
+  EXPECT_NE(a, b);
+  EXPECT_EQ(pool.view(a), "mX");
+  EXPECT_EQ(pool.view(b), "mY");
+}
+
+TEST(StringPool, FindDoesNotIntern) {
+  StringPool pool;
+  EXPECT_TRUE(pool.find("absent").empty());
+  EXPECT_EQ(pool.size(), 1u);
+  const Symbol a = pool.intern("present");
+  EXPECT_EQ(pool.find("present"), a);
+}
+
+TEST(StringPool, SurvivesRehashing) {
+  StringPool pool;
+  std::vector<Symbol> syms;
+  for (int i = 0; i < 1000; ++i) {
+    syms.push_back(pool.intern("name_" + std::to_string(i)));
+  }
+  for (int i = 0; i < 1000; ++i) {
+    EXPECT_EQ(pool.view(syms[static_cast<std::size_t>(i)]),
+              "name_" + std::to_string(i));
+  }
+}
+
+TEST(StringPool, ForeignSymbolThrows) {
+  StringPool pool;
+  EXPECT_THROW((void)pool.view(Symbol{999}), Error);
+}
+
+TEST(StringPool, SymbolOrderingFollowsInternOrder) {
+  StringPool pool;
+  const Symbol a = pool.intern("first");
+  const Symbol b = pool.intern("second");
+  EXPECT_LT(a, b);
+}
+
+TEST(StringPool, HashIsUsableInUnorderedContainers) {
+  StringPool pool;
+  std::unordered_map<Symbol, int> map;
+  map[pool.intern("x")] = 1;
+  map[pool.intern("y")] = 2;
+  EXPECT_EQ(map.at(pool.intern("x")), 1);
+  EXPECT_EQ(map.at(pool.intern("y")), 2);
+}
+
+}  // namespace
+}  // namespace tdt

@@ -1,0 +1,61 @@
+#include "util/table.hpp"
+
+#include <gtest/gtest.h>
+
+namespace tdt {
+namespace {
+
+TEST(TextTable, RendersHeaderRuleAndRows) {
+  TextTable t({"set", "hits"});
+  t.add("0", 124);
+  t.add("1", 8);
+  const std::string out = t.render();
+  EXPECT_NE(out.find("set"), std::string::npos);
+  EXPECT_NE(out.find("---"), std::string::npos);
+  EXPECT_NE(out.find("124"), std::string::npos);
+  EXPECT_EQ(t.rows(), 2u);
+}
+
+TEST(TextTable, ColumnsAlign) {
+  TextTable t({"name", "value"});
+  t.add("a", 1);
+  t.add("longer", 1000);
+  const std::string out = t.render();
+  // Every line has the same width.
+  std::size_t first_len = out.find('\n');
+  std::size_t pos = first_len + 1;
+  while (pos < out.size()) {
+    std::size_t next = out.find('\n', pos);
+    EXPECT_EQ(next - pos, first_len) << out;
+    pos = next + 1;
+  }
+}
+
+TEST(TextTable, ShortRowsPadded) {
+  TextTable t({"a", "b", "c"});
+  t.add_row({"only"});
+  const std::string out = t.render();
+  EXPECT_NE(out.find("only"), std::string::npos);
+}
+
+TEST(TextTable, CsvEscapesNothingButJoins) {
+  TextTable t({"x", "y"});
+  t.add(1, 2);
+  EXPECT_EQ(t.render_csv(), "x,y\n1,2\n");
+}
+
+TEST(TextTable, FloatingCellsFormatted) {
+  TextTable t({"metric", "ratio"});
+  t.add("miss", 0.277778);
+  EXPECT_NE(t.render().find("0.2778"), std::string::npos);
+}
+
+TEST(TextTable, MixedCellTypes) {
+  TextTable t({"a", "b", "c", "d"});
+  t.add(std::string("str"), std::string_view("view"), 42u, -1);
+  const std::string csv = t.render_csv();
+  EXPECT_EQ(csv, "a,b,c,d\nstr,view,42,-1\n");
+}
+
+}  // namespace
+}  // namespace tdt
