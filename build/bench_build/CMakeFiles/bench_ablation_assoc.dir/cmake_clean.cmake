@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_ablation_assoc"
+  "../bench/bench_ablation_assoc.pdb"
+  "CMakeFiles/bench_ablation_assoc.dir/bench_ablation_assoc.cpp.o"
+  "CMakeFiles/bench_ablation_assoc.dir/bench_ablation_assoc.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ablation_assoc.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_ablation_padding"
+  "../bench/bench_ablation_padding.pdb"
+  "CMakeFiles/bench_ablation_padding.dir/bench_ablation_padding.cpp.o"
+  "CMakeFiles/bench_ablation_padding.dir/bench_ablation_padding.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ablation_padding.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_ablation_pagemap"
+  "../bench/bench_ablation_pagemap.pdb"
+  "CMakeFiles/bench_ablation_pagemap.dir/bench_ablation_pagemap.cpp.o"
+  "CMakeFiles/bench_ablation_pagemap.dir/bench_ablation_pagemap.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ablation_pagemap.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_ablation_policies"
+  "../bench/bench_ablation_policies.pdb"
+  "CMakeFiles/bench_ablation_policies.dir/bench_ablation_policies.cpp.o"
+  "CMakeFiles/bench_ablation_policies.dir/bench_ablation_policies.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ablation_policies.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_ablation_prefetch"
+  "../bench/bench_ablation_prefetch.pdb"
+  "CMakeFiles/bench_ablation_prefetch.dir/bench_ablation_prefetch.cpp.o"
+  "CMakeFiles/bench_ablation_prefetch.dir/bench_ablation_prefetch.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ablation_prefetch.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

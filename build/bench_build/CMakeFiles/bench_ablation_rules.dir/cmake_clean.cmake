@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_ablation_rules"
+  "../bench/bench_ablation_rules.pdb"
+  "CMakeFiles/bench_ablation_rules.dir/bench_ablation_rules.cpp.o"
+  "CMakeFiles/bench_ablation_rules.dir/bench_ablation_rules.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ablation_rules.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

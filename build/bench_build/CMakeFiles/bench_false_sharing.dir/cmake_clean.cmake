@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_false_sharing"
+  "../bench/bench_false_sharing.pdb"
+  "CMakeFiles/bench_false_sharing.dir/bench_false_sharing.cpp.o"
+  "CMakeFiles/bench_false_sharing.dir/bench_false_sharing.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_false_sharing.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

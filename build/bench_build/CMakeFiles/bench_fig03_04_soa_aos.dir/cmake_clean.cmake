@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_fig03_04_soa_aos"
+  "../bench/bench_fig03_04_soa_aos.pdb"
+  "CMakeFiles/bench_fig03_04_soa_aos.dir/bench_fig03_04_soa_aos.cpp.o"
+  "CMakeFiles/bench_fig03_04_soa_aos.dir/bench_fig03_04_soa_aos.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig03_04_soa_aos.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty dependencies file for bench_fig03_04_soa_aos.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_fig05_t1_diff"
+  "../bench/bench_fig05_t1_diff.pdb"
+  "CMakeFiles/bench_fig05_t1_diff.dir/bench_fig05_t1_diff.cpp.o"
+  "CMakeFiles/bench_fig05_t1_diff.dir/bench_fig05_t1_diff.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig05_t1_diff.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_fig06_07_outline"
+  "../bench/bench_fig06_07_outline.pdb"
+  "CMakeFiles/bench_fig06_07_outline.dir/bench_fig06_07_outline.cpp.o"
+  "CMakeFiles/bench_fig06_07_outline.dir/bench_fig06_07_outline.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig06_07_outline.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

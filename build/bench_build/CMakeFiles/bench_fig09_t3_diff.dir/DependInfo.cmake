@@ -1,0 +1,27 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/bench/bench_fig09_t3_diff.cpp" "bench_build/CMakeFiles/bench_fig09_t3_diff.dir/bench_fig09_t3_diff.cpp.o" "gcc" "bench_build/CMakeFiles/bench_fig09_t3_diff.dir/bench_fig09_t3_diff.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/analysis/CMakeFiles/tdt_analysis.dir/DependInfo.cmake"
+  "/root/repo/build/src/core/CMakeFiles/tdt_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/cache/CMakeFiles/tdt_cache.dir/DependInfo.cmake"
+  "/root/repo/build/src/tracer/CMakeFiles/tdt_tracer.dir/DependInfo.cmake"
+  "/root/repo/build/src/memsim/CMakeFiles/tdt_memsim.dir/DependInfo.cmake"
+  "/root/repo/build/src/trace/CMakeFiles/tdt_trace.dir/DependInfo.cmake"
+  "/root/repo/build/src/layout/CMakeFiles/tdt_layout.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/tdt_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_fig10_11_setpin"
+  "../bench/bench_fig10_11_setpin.pdb"
+  "CMakeFiles/bench_fig10_11_setpin.dir/bench_fig10_11_setpin.cpp.o"
+  "CMakeFiles/bench_fig10_11_setpin.dir/bench_fig10_11_setpin.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig10_11_setpin.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

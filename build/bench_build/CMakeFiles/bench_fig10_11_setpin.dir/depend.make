@@ -1,0 +1,2 @@
+# Empty dependencies file for bench_fig10_11_setpin.
+# This may be replaced when dependencies are built.

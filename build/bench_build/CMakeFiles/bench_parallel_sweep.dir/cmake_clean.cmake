@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_parallel_sweep"
+  "../bench/bench_parallel_sweep.pdb"
+  "CMakeFiles/bench_parallel_sweep.dir/bench_parallel_sweep.cpp.o"
+  "CMakeFiles/bench_parallel_sweep.dir/bench_parallel_sweep.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_parallel_sweep.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_throughput"
+  "../bench/bench_throughput.pdb"
+  "CMakeFiles/bench_throughput.dir/bench_throughput.cpp.o"
+  "CMakeFiles/bench_throughput.dir/bench_throughput.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_throughput.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

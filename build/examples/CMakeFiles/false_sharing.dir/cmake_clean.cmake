@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/false_sharing.dir/false_sharing.cpp.o"
+  "CMakeFiles/false_sharing.dir/false_sharing.cpp.o.d"
+  "false_sharing"
+  "false_sharing.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/false_sharing.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/hot_cold_splitting.dir/hot_cold_splitting.cpp.o"
+  "CMakeFiles/hot_cold_splitting.dir/hot_cold_splitting.cpp.o.d"
+  "hot_cold_splitting"
+  "hot_cold_splitting.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/hot_cold_splitting.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty dependencies file for hot_cold_splitting.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/matmul_layout.dir/matmul_layout.cpp.o"
+  "CMakeFiles/matmul_layout.dir/matmul_layout.cpp.o.d"
+  "matmul_layout"
+  "matmul_layout.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/matmul_layout.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

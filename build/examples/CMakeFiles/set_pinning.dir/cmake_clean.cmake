@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/set_pinning.dir/set_pinning.cpp.o"
+  "CMakeFiles/set_pinning.dir/set_pinning.cpp.o.d"
+  "set_pinning"
+  "set_pinning.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/set_pinning.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

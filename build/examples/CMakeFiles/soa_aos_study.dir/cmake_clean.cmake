@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/soa_aos_study.dir/soa_aos_study.cpp.o"
+  "CMakeFiles/soa_aos_study.dir/soa_aos_study.cpp.o.d"
+  "soa_aos_study"
+  "soa_aos_study.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/soa_aos_study.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

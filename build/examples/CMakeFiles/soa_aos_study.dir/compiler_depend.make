@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for soa_aos_study.
+# This may be replaced when dependencies are built.

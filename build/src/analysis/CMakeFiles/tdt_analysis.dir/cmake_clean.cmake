@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tdt_analysis.dir/advisor.cpp.o"
+  "CMakeFiles/tdt_analysis.dir/advisor.cpp.o.d"
+  "CMakeFiles/tdt_analysis.dir/experiment.cpp.o"
+  "CMakeFiles/tdt_analysis.dir/experiment.cpp.o.d"
+  "CMakeFiles/tdt_analysis.dir/report.cpp.o"
+  "CMakeFiles/tdt_analysis.dir/report.cpp.o.d"
+  "CMakeFiles/tdt_analysis.dir/set_activity.cpp.o"
+  "CMakeFiles/tdt_analysis.dir/set_activity.cpp.o.d"
+  "CMakeFiles/tdt_analysis.dir/var_stats.cpp.o"
+  "CMakeFiles/tdt_analysis.dir/var_stats.cpp.o.d"
+  "libtdt_analysis.a"
+  "libtdt_analysis.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tdt_analysis.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,27 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/cache/cache.cpp" "src/cache/CMakeFiles/tdt_cache.dir/cache.cpp.o" "gcc" "src/cache/CMakeFiles/tdt_cache.dir/cache.cpp.o.d"
+  "/root/repo/src/cache/coherence.cpp" "src/cache/CMakeFiles/tdt_cache.dir/coherence.cpp.o" "gcc" "src/cache/CMakeFiles/tdt_cache.dir/coherence.cpp.o.d"
+  "/root/repo/src/cache/config.cpp" "src/cache/CMakeFiles/tdt_cache.dir/config.cpp.o" "gcc" "src/cache/CMakeFiles/tdt_cache.dir/config.cpp.o.d"
+  "/root/repo/src/cache/hierarchy.cpp" "src/cache/CMakeFiles/tdt_cache.dir/hierarchy.cpp.o" "gcc" "src/cache/CMakeFiles/tdt_cache.dir/hierarchy.cpp.o.d"
+  "/root/repo/src/cache/multicore.cpp" "src/cache/CMakeFiles/tdt_cache.dir/multicore.cpp.o" "gcc" "src/cache/CMakeFiles/tdt_cache.dir/multicore.cpp.o.d"
+  "/root/repo/src/cache/page_map.cpp" "src/cache/CMakeFiles/tdt_cache.dir/page_map.cpp.o" "gcc" "src/cache/CMakeFiles/tdt_cache.dir/page_map.cpp.o.d"
+  "/root/repo/src/cache/sim.cpp" "src/cache/CMakeFiles/tdt_cache.dir/sim.cpp.o" "gcc" "src/cache/CMakeFiles/tdt_cache.dir/sim.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/util/CMakeFiles/tdt_util.dir/DependInfo.cmake"
+  "/root/repo/build/src/trace/CMakeFiles/tdt_trace.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

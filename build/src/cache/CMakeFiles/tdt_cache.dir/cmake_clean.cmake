@@ -1,0 +1,23 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tdt_cache.dir/cache.cpp.o"
+  "CMakeFiles/tdt_cache.dir/cache.cpp.o.d"
+  "CMakeFiles/tdt_cache.dir/coherence.cpp.o"
+  "CMakeFiles/tdt_cache.dir/coherence.cpp.o.d"
+  "CMakeFiles/tdt_cache.dir/config.cpp.o"
+  "CMakeFiles/tdt_cache.dir/config.cpp.o.d"
+  "CMakeFiles/tdt_cache.dir/hierarchy.cpp.o"
+  "CMakeFiles/tdt_cache.dir/hierarchy.cpp.o.d"
+  "CMakeFiles/tdt_cache.dir/multicore.cpp.o"
+  "CMakeFiles/tdt_cache.dir/multicore.cpp.o.d"
+  "CMakeFiles/tdt_cache.dir/page_map.cpp.o"
+  "CMakeFiles/tdt_cache.dir/page_map.cpp.o.d"
+  "CMakeFiles/tdt_cache.dir/sim.cpp.o"
+  "CMakeFiles/tdt_cache.dir/sim.cpp.o.d"
+  "libtdt_cache.a"
+  "libtdt_cache.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tdt_cache.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,26 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/core/formula.cpp" "src/core/CMakeFiles/tdt_core.dir/formula.cpp.o" "gcc" "src/core/CMakeFiles/tdt_core.dir/formula.cpp.o.d"
+  "/root/repo/src/core/mapping.cpp" "src/core/CMakeFiles/tdt_core.dir/mapping.cpp.o" "gcc" "src/core/CMakeFiles/tdt_core.dir/mapping.cpp.o.d"
+  "/root/repo/src/core/rule_parser.cpp" "src/core/CMakeFiles/tdt_core.dir/rule_parser.cpp.o" "gcc" "src/core/CMakeFiles/tdt_core.dir/rule_parser.cpp.o.d"
+  "/root/repo/src/core/rules.cpp" "src/core/CMakeFiles/tdt_core.dir/rules.cpp.o" "gcc" "src/core/CMakeFiles/tdt_core.dir/rules.cpp.o.d"
+  "/root/repo/src/core/transformer.cpp" "src/core/CMakeFiles/tdt_core.dir/transformer.cpp.o" "gcc" "src/core/CMakeFiles/tdt_core.dir/transformer.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/util/CMakeFiles/tdt_util.dir/DependInfo.cmake"
+  "/root/repo/build/src/layout/CMakeFiles/tdt_layout.dir/DependInfo.cmake"
+  "/root/repo/build/src/trace/CMakeFiles/tdt_trace.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

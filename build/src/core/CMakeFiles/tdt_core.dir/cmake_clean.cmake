@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tdt_core.dir/formula.cpp.o"
+  "CMakeFiles/tdt_core.dir/formula.cpp.o.d"
+  "CMakeFiles/tdt_core.dir/mapping.cpp.o"
+  "CMakeFiles/tdt_core.dir/mapping.cpp.o.d"
+  "CMakeFiles/tdt_core.dir/rule_parser.cpp.o"
+  "CMakeFiles/tdt_core.dir/rule_parser.cpp.o.d"
+  "CMakeFiles/tdt_core.dir/rules.cpp.o"
+  "CMakeFiles/tdt_core.dir/rules.cpp.o.d"
+  "CMakeFiles/tdt_core.dir/transformer.cpp.o"
+  "CMakeFiles/tdt_core.dir/transformer.cpp.o.d"
+  "libtdt_core.a"
+  "libtdt_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tdt_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,22 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/layout/decl_parser.cpp" "src/layout/CMakeFiles/tdt_layout.dir/decl_parser.cpp.o" "gcc" "src/layout/CMakeFiles/tdt_layout.dir/decl_parser.cpp.o.d"
+  "/root/repo/src/layout/path.cpp" "src/layout/CMakeFiles/tdt_layout.dir/path.cpp.o" "gcc" "src/layout/CMakeFiles/tdt_layout.dir/path.cpp.o.d"
+  "/root/repo/src/layout/type.cpp" "src/layout/CMakeFiles/tdt_layout.dir/type.cpp.o" "gcc" "src/layout/CMakeFiles/tdt_layout.dir/type.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/util/CMakeFiles/tdt_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tdt_layout.dir/decl_parser.cpp.o"
+  "CMakeFiles/tdt_layout.dir/decl_parser.cpp.o.d"
+  "CMakeFiles/tdt_layout.dir/path.cpp.o"
+  "CMakeFiles/tdt_layout.dir/path.cpp.o.d"
+  "CMakeFiles/tdt_layout.dir/type.cpp.o"
+  "CMakeFiles/tdt_layout.dir/type.cpp.o.d"
+  "libtdt_layout.a"
+  "libtdt_layout.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tdt_layout.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

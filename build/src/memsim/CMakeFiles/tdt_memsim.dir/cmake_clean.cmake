@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tdt_memsim.dir/address_space.cpp.o"
+  "CMakeFiles/tdt_memsim.dir/address_space.cpp.o.d"
+  "CMakeFiles/tdt_memsim.dir/symbol_table.cpp.o"
+  "CMakeFiles/tdt_memsim.dir/symbol_table.cpp.o.d"
+  "libtdt_memsim.a"
+  "libtdt_memsim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tdt_memsim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libtdt_memsim.a"
+)

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dinerosim.dir/dinerosim.cpp.o"
+  "CMakeFiles/dinerosim.dir/dinerosim.cpp.o.d"
+  "dinerosim"
+  "dinerosim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dinerosim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

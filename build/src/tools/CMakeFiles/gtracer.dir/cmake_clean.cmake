@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/gtracer.dir/gtracer.cpp.o"
+  "CMakeFiles/gtracer.dir/gtracer.cpp.o.d"
+  "gtracer"
+  "gtracer.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/gtracer.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty dependencies file for gtracer.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tracediff.dir/tracediff.cpp.o"
+  "CMakeFiles/tracediff.dir/tracediff.cpp.o.d"
+  "tracediff"
+  "tracediff.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tracediff.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/traceinfo.dir/traceinfo.cpp.o"
+  "CMakeFiles/traceinfo.dir/traceinfo.cpp.o.d"
+  "traceinfo"
+  "traceinfo.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/traceinfo.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

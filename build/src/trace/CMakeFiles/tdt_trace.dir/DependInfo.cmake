@@ -1,0 +1,26 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/trace/binary.cpp" "src/trace/CMakeFiles/tdt_trace.dir/binary.cpp.o" "gcc" "src/trace/CMakeFiles/tdt_trace.dir/binary.cpp.o.d"
+  "/root/repo/src/trace/diff.cpp" "src/trace/CMakeFiles/tdt_trace.dir/diff.cpp.o" "gcc" "src/trace/CMakeFiles/tdt_trace.dir/diff.cpp.o.d"
+  "/root/repo/src/trace/din.cpp" "src/trace/CMakeFiles/tdt_trace.dir/din.cpp.o" "gcc" "src/trace/CMakeFiles/tdt_trace.dir/din.cpp.o.d"
+  "/root/repo/src/trace/reader.cpp" "src/trace/CMakeFiles/tdt_trace.dir/reader.cpp.o" "gcc" "src/trace/CMakeFiles/tdt_trace.dir/reader.cpp.o.d"
+  "/root/repo/src/trace/record.cpp" "src/trace/CMakeFiles/tdt_trace.dir/record.cpp.o" "gcc" "src/trace/CMakeFiles/tdt_trace.dir/record.cpp.o.d"
+  "/root/repo/src/trace/stats.cpp" "src/trace/CMakeFiles/tdt_trace.dir/stats.cpp.o" "gcc" "src/trace/CMakeFiles/tdt_trace.dir/stats.cpp.o.d"
+  "/root/repo/src/trace/writer.cpp" "src/trace/CMakeFiles/tdt_trace.dir/writer.cpp.o" "gcc" "src/trace/CMakeFiles/tdt_trace.dir/writer.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/util/CMakeFiles/tdt_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

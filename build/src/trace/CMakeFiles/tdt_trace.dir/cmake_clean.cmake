@@ -1,0 +1,23 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tdt_trace.dir/binary.cpp.o"
+  "CMakeFiles/tdt_trace.dir/binary.cpp.o.d"
+  "CMakeFiles/tdt_trace.dir/diff.cpp.o"
+  "CMakeFiles/tdt_trace.dir/diff.cpp.o.d"
+  "CMakeFiles/tdt_trace.dir/din.cpp.o"
+  "CMakeFiles/tdt_trace.dir/din.cpp.o.d"
+  "CMakeFiles/tdt_trace.dir/reader.cpp.o"
+  "CMakeFiles/tdt_trace.dir/reader.cpp.o.d"
+  "CMakeFiles/tdt_trace.dir/record.cpp.o"
+  "CMakeFiles/tdt_trace.dir/record.cpp.o.d"
+  "CMakeFiles/tdt_trace.dir/stats.cpp.o"
+  "CMakeFiles/tdt_trace.dir/stats.cpp.o.d"
+  "CMakeFiles/tdt_trace.dir/writer.cpp.o"
+  "CMakeFiles/tdt_trace.dir/writer.cpp.o.d"
+  "libtdt_trace.a"
+  "libtdt_trace.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tdt_trace.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

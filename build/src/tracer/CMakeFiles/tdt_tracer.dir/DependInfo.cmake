@@ -1,0 +1,26 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/tracer/ast.cpp" "src/tracer/CMakeFiles/tdt_tracer.dir/ast.cpp.o" "gcc" "src/tracer/CMakeFiles/tdt_tracer.dir/ast.cpp.o.d"
+  "/root/repo/src/tracer/interp.cpp" "src/tracer/CMakeFiles/tdt_tracer.dir/interp.cpp.o" "gcc" "src/tracer/CMakeFiles/tdt_tracer.dir/interp.cpp.o.d"
+  "/root/repo/src/tracer/kernels.cpp" "src/tracer/CMakeFiles/tdt_tracer.dir/kernels.cpp.o" "gcc" "src/tracer/CMakeFiles/tdt_tracer.dir/kernels.cpp.o.d"
+  "/root/repo/src/tracer/parser.cpp" "src/tracer/CMakeFiles/tdt_tracer.dir/parser.cpp.o" "gcc" "src/tracer/CMakeFiles/tdt_tracer.dir/parser.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/util/CMakeFiles/tdt_util.dir/DependInfo.cmake"
+  "/root/repo/build/src/layout/CMakeFiles/tdt_layout.dir/DependInfo.cmake"
+  "/root/repo/build/src/trace/CMakeFiles/tdt_trace.dir/DependInfo.cmake"
+  "/root/repo/build/src/memsim/CMakeFiles/tdt_memsim.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

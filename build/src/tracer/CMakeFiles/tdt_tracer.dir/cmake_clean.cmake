@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tdt_tracer.dir/ast.cpp.o"
+  "CMakeFiles/tdt_tracer.dir/ast.cpp.o.d"
+  "CMakeFiles/tdt_tracer.dir/interp.cpp.o"
+  "CMakeFiles/tdt_tracer.dir/interp.cpp.o.d"
+  "CMakeFiles/tdt_tracer.dir/kernels.cpp.o"
+  "CMakeFiles/tdt_tracer.dir/kernels.cpp.o.d"
+  "CMakeFiles/tdt_tracer.dir/parser.cpp.o"
+  "CMakeFiles/tdt_tracer.dir/parser.cpp.o.d"
+  "libtdt_tracer.a"
+  "libtdt_tracer.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tdt_tracer.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

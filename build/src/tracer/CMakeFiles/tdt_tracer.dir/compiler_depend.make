@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for tdt_tracer.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tdt_util.dir/error.cpp.o"
+  "CMakeFiles/tdt_util.dir/error.cpp.o.d"
+  "CMakeFiles/tdt_util.dir/flags.cpp.o"
+  "CMakeFiles/tdt_util.dir/flags.cpp.o.d"
+  "CMakeFiles/tdt_util.dir/lexer.cpp.o"
+  "CMakeFiles/tdt_util.dir/lexer.cpp.o.d"
+  "CMakeFiles/tdt_util.dir/string_pool.cpp.o"
+  "CMakeFiles/tdt_util.dir/string_pool.cpp.o.d"
+  "CMakeFiles/tdt_util.dir/string_util.cpp.o"
+  "CMakeFiles/tdt_util.dir/string_util.cpp.o.d"
+  "CMakeFiles/tdt_util.dir/table.cpp.o"
+  "CMakeFiles/tdt_util.dir/table.cpp.o.d"
+  "libtdt_util.a"
+  "libtdt_util.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tdt_util.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,20 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tests_analysis.dir/analysis/advisor_test.cpp.o"
+  "CMakeFiles/tests_analysis.dir/analysis/advisor_test.cpp.o.d"
+  "CMakeFiles/tests_analysis.dir/analysis/experiment_test.cpp.o"
+  "CMakeFiles/tests_analysis.dir/analysis/experiment_test.cpp.o.d"
+  "CMakeFiles/tests_analysis.dir/analysis/report_test.cpp.o"
+  "CMakeFiles/tests_analysis.dir/analysis/report_test.cpp.o.d"
+  "CMakeFiles/tests_analysis.dir/analysis/set_activity_test.cpp.o"
+  "CMakeFiles/tests_analysis.dir/analysis/set_activity_test.cpp.o.d"
+  "CMakeFiles/tests_analysis.dir/analysis/var_stats_test.cpp.o"
+  "CMakeFiles/tests_analysis.dir/analysis/var_stats_test.cpp.o.d"
+  "tests_analysis"
+  "tests_analysis.pdb"
+  "tests_analysis[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tests_analysis.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,36 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/cache/cache_test.cpp" "tests/CMakeFiles/tests_cache.dir/cache/cache_test.cpp.o" "gcc" "tests/CMakeFiles/tests_cache.dir/cache/cache_test.cpp.o.d"
+  "/root/repo/tests/cache/classify_test.cpp" "tests/CMakeFiles/tests_cache.dir/cache/classify_test.cpp.o" "gcc" "tests/CMakeFiles/tests_cache.dir/cache/classify_test.cpp.o.d"
+  "/root/repo/tests/cache/coherence_test.cpp" "tests/CMakeFiles/tests_cache.dir/cache/coherence_test.cpp.o" "gcc" "tests/CMakeFiles/tests_cache.dir/cache/coherence_test.cpp.o.d"
+  "/root/repo/tests/cache/config_test.cpp" "tests/CMakeFiles/tests_cache.dir/cache/config_test.cpp.o" "gcc" "tests/CMakeFiles/tests_cache.dir/cache/config_test.cpp.o.d"
+  "/root/repo/tests/cache/hierarchy_test.cpp" "tests/CMakeFiles/tests_cache.dir/cache/hierarchy_test.cpp.o" "gcc" "tests/CMakeFiles/tests_cache.dir/cache/hierarchy_test.cpp.o.d"
+  "/root/repo/tests/cache/multicore_test.cpp" "tests/CMakeFiles/tests_cache.dir/cache/multicore_test.cpp.o" "gcc" "tests/CMakeFiles/tests_cache.dir/cache/multicore_test.cpp.o.d"
+  "/root/repo/tests/cache/page_map_test.cpp" "tests/CMakeFiles/tests_cache.dir/cache/page_map_test.cpp.o" "gcc" "tests/CMakeFiles/tests_cache.dir/cache/page_map_test.cpp.o.d"
+  "/root/repo/tests/cache/policies_test.cpp" "tests/CMakeFiles/tests_cache.dir/cache/policies_test.cpp.o" "gcc" "tests/CMakeFiles/tests_cache.dir/cache/policies_test.cpp.o.d"
+  "/root/repo/tests/cache/prefetch_test.cpp" "tests/CMakeFiles/tests_cache.dir/cache/prefetch_test.cpp.o" "gcc" "tests/CMakeFiles/tests_cache.dir/cache/prefetch_test.cpp.o.d"
+  "/root/repo/tests/cache/sim_test.cpp" "tests/CMakeFiles/tests_cache.dir/cache/sim_test.cpp.o" "gcc" "tests/CMakeFiles/tests_cache.dir/cache/sim_test.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/analysis/CMakeFiles/tdt_analysis.dir/DependInfo.cmake"
+  "/root/repo/build/src/core/CMakeFiles/tdt_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/cache/CMakeFiles/tdt_cache.dir/DependInfo.cmake"
+  "/root/repo/build/src/tracer/CMakeFiles/tdt_tracer.dir/DependInfo.cmake"
+  "/root/repo/build/src/memsim/CMakeFiles/tdt_memsim.dir/DependInfo.cmake"
+  "/root/repo/build/src/trace/CMakeFiles/tdt_trace.dir/DependInfo.cmake"
+  "/root/repo/build/src/layout/CMakeFiles/tdt_layout.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/tdt_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,30 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tests_cache.dir/cache/cache_test.cpp.o"
+  "CMakeFiles/tests_cache.dir/cache/cache_test.cpp.o.d"
+  "CMakeFiles/tests_cache.dir/cache/classify_test.cpp.o"
+  "CMakeFiles/tests_cache.dir/cache/classify_test.cpp.o.d"
+  "CMakeFiles/tests_cache.dir/cache/coherence_test.cpp.o"
+  "CMakeFiles/tests_cache.dir/cache/coherence_test.cpp.o.d"
+  "CMakeFiles/tests_cache.dir/cache/config_test.cpp.o"
+  "CMakeFiles/tests_cache.dir/cache/config_test.cpp.o.d"
+  "CMakeFiles/tests_cache.dir/cache/hierarchy_test.cpp.o"
+  "CMakeFiles/tests_cache.dir/cache/hierarchy_test.cpp.o.d"
+  "CMakeFiles/tests_cache.dir/cache/multicore_test.cpp.o"
+  "CMakeFiles/tests_cache.dir/cache/multicore_test.cpp.o.d"
+  "CMakeFiles/tests_cache.dir/cache/page_map_test.cpp.o"
+  "CMakeFiles/tests_cache.dir/cache/page_map_test.cpp.o.d"
+  "CMakeFiles/tests_cache.dir/cache/policies_test.cpp.o"
+  "CMakeFiles/tests_cache.dir/cache/policies_test.cpp.o.d"
+  "CMakeFiles/tests_cache.dir/cache/prefetch_test.cpp.o"
+  "CMakeFiles/tests_cache.dir/cache/prefetch_test.cpp.o.d"
+  "CMakeFiles/tests_cache.dir/cache/sim_test.cpp.o"
+  "CMakeFiles/tests_cache.dir/cache/sim_test.cpp.o.d"
+  "tests_cache"
+  "tests_cache.pdb"
+  "tests_cache[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tests_cache.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

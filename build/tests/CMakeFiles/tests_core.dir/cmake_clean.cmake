@@ -1,0 +1,22 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tests_core.dir/core/formula_test.cpp.o"
+  "CMakeFiles/tests_core.dir/core/formula_test.cpp.o.d"
+  "CMakeFiles/tests_core.dir/core/mapping_test.cpp.o"
+  "CMakeFiles/tests_core.dir/core/mapping_test.cpp.o.d"
+  "CMakeFiles/tests_core.dir/core/reorder_property_test.cpp.o"
+  "CMakeFiles/tests_core.dir/core/reorder_property_test.cpp.o.d"
+  "CMakeFiles/tests_core.dir/core/rule_parser_test.cpp.o"
+  "CMakeFiles/tests_core.dir/core/rule_parser_test.cpp.o.d"
+  "CMakeFiles/tests_core.dir/core/rules_test.cpp.o"
+  "CMakeFiles/tests_core.dir/core/rules_test.cpp.o.d"
+  "CMakeFiles/tests_core.dir/core/transformer_test.cpp.o"
+  "CMakeFiles/tests_core.dir/core/transformer_test.cpp.o.d"
+  "tests_core"
+  "tests_core.pdb"
+  "tests_core[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tests_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

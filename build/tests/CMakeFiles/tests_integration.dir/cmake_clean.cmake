@@ -1,0 +1,32 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tests_integration.dir/integration/dynamic_structures_test.cpp.o"
+  "CMakeFiles/tests_integration.dir/integration/dynamic_structures_test.cpp.o.d"
+  "CMakeFiles/tests_integration.dir/integration/false_sharing_test.cpp.o"
+  "CMakeFiles/tests_integration.dir/integration/false_sharing_test.cpp.o.d"
+  "CMakeFiles/tests_integration.dir/integration/fuzz_robustness_test.cpp.o"
+  "CMakeFiles/tests_integration.dir/integration/fuzz_robustness_test.cpp.o.d"
+  "CMakeFiles/tests_integration.dir/integration/golden_trace_test.cpp.o"
+  "CMakeFiles/tests_integration.dir/integration/golden_trace_test.cpp.o.d"
+  "CMakeFiles/tests_integration.dir/integration/kernel_sources_test.cpp.o"
+  "CMakeFiles/tests_integration.dir/integration/kernel_sources_test.cpp.o.d"
+  "CMakeFiles/tests_integration.dir/integration/listing1_test.cpp.o"
+  "CMakeFiles/tests_integration.dir/integration/listing1_test.cpp.o.d"
+  "CMakeFiles/tests_integration.dir/integration/paper_t1_test.cpp.o"
+  "CMakeFiles/tests_integration.dir/integration/paper_t1_test.cpp.o.d"
+  "CMakeFiles/tests_integration.dir/integration/paper_t2_test.cpp.o"
+  "CMakeFiles/tests_integration.dir/integration/paper_t2_test.cpp.o.d"
+  "CMakeFiles/tests_integration.dir/integration/paper_t3_test.cpp.o"
+  "CMakeFiles/tests_integration.dir/integration/paper_t3_test.cpp.o.d"
+  "CMakeFiles/tests_integration.dir/integration/pipeline_test.cpp.o"
+  "CMakeFiles/tests_integration.dir/integration/pipeline_test.cpp.o.d"
+  "CMakeFiles/tests_integration.dir/integration/rules_files_test.cpp.o"
+  "CMakeFiles/tests_integration.dir/integration/rules_files_test.cpp.o.d"
+  "tests_integration"
+  "tests_integration.pdb"
+  "tests_integration[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tests_integration.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

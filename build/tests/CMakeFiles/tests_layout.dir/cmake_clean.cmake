@@ -1,0 +1,16 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tests_layout.dir/layout/decl_parser_test.cpp.o"
+  "CMakeFiles/tests_layout.dir/layout/decl_parser_test.cpp.o.d"
+  "CMakeFiles/tests_layout.dir/layout/path_test.cpp.o"
+  "CMakeFiles/tests_layout.dir/layout/path_test.cpp.o.d"
+  "CMakeFiles/tests_layout.dir/layout/type_test.cpp.o"
+  "CMakeFiles/tests_layout.dir/layout/type_test.cpp.o.d"
+  "tests_layout"
+  "tests_layout.pdb"
+  "tests_layout[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tests_layout.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,14 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tests_memsim.dir/memsim/address_space_test.cpp.o"
+  "CMakeFiles/tests_memsim.dir/memsim/address_space_test.cpp.o.d"
+  "CMakeFiles/tests_memsim.dir/memsim/symbol_table_test.cpp.o"
+  "CMakeFiles/tests_memsim.dir/memsim/symbol_table_test.cpp.o.d"
+  "tests_memsim"
+  "tests_memsim.pdb"
+  "tests_memsim[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tests_memsim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,26 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tests_trace.dir/trace/binary_test.cpp.o"
+  "CMakeFiles/tests_trace.dir/trace/binary_test.cpp.o.d"
+  "CMakeFiles/tests_trace.dir/trace/diff_test.cpp.o"
+  "CMakeFiles/tests_trace.dir/trace/diff_test.cpp.o.d"
+  "CMakeFiles/tests_trace.dir/trace/din_test.cpp.o"
+  "CMakeFiles/tests_trace.dir/trace/din_test.cpp.o.d"
+  "CMakeFiles/tests_trace.dir/trace/reader_test.cpp.o"
+  "CMakeFiles/tests_trace.dir/trace/reader_test.cpp.o.d"
+  "CMakeFiles/tests_trace.dir/trace/record_test.cpp.o"
+  "CMakeFiles/tests_trace.dir/trace/record_test.cpp.o.d"
+  "CMakeFiles/tests_trace.dir/trace/sink_test.cpp.o"
+  "CMakeFiles/tests_trace.dir/trace/sink_test.cpp.o.d"
+  "CMakeFiles/tests_trace.dir/trace/stats_test.cpp.o"
+  "CMakeFiles/tests_trace.dir/trace/stats_test.cpp.o.d"
+  "CMakeFiles/tests_trace.dir/trace/writer_test.cpp.o"
+  "CMakeFiles/tests_trace.dir/trace/writer_test.cpp.o.d"
+  "tests_trace"
+  "tests_trace.pdb"
+  "tests_trace[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tests_trace.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

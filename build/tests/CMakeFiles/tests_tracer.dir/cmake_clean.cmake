@@ -1,0 +1,18 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tests_tracer.dir/tracer/control_flow_test.cpp.o"
+  "CMakeFiles/tests_tracer.dir/tracer/control_flow_test.cpp.o.d"
+  "CMakeFiles/tests_tracer.dir/tracer/interp_test.cpp.o"
+  "CMakeFiles/tests_tracer.dir/tracer/interp_test.cpp.o.d"
+  "CMakeFiles/tests_tracer.dir/tracer/kernels_test.cpp.o"
+  "CMakeFiles/tests_tracer.dir/tracer/kernels_test.cpp.o.d"
+  "CMakeFiles/tests_tracer.dir/tracer/parser_test.cpp.o"
+  "CMakeFiles/tests_tracer.dir/tracer/parser_test.cpp.o.d"
+  "tests_tracer"
+  "tests_tracer.pdb"
+  "tests_tracer[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tests_tracer.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for tests_tracer.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,34 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/util/error_test.cpp" "tests/CMakeFiles/tests_util.dir/util/error_test.cpp.o" "gcc" "tests/CMakeFiles/tests_util.dir/util/error_test.cpp.o.d"
+  "/root/repo/tests/util/flags_test.cpp" "tests/CMakeFiles/tests_util.dir/util/flags_test.cpp.o" "gcc" "tests/CMakeFiles/tests_util.dir/util/flags_test.cpp.o.d"
+  "/root/repo/tests/util/lexer_test.cpp" "tests/CMakeFiles/tests_util.dir/util/lexer_test.cpp.o" "gcc" "tests/CMakeFiles/tests_util.dir/util/lexer_test.cpp.o.d"
+  "/root/repo/tests/util/rng_test.cpp" "tests/CMakeFiles/tests_util.dir/util/rng_test.cpp.o" "gcc" "tests/CMakeFiles/tests_util.dir/util/rng_test.cpp.o.d"
+  "/root/repo/tests/util/small_vector_test.cpp" "tests/CMakeFiles/tests_util.dir/util/small_vector_test.cpp.o" "gcc" "tests/CMakeFiles/tests_util.dir/util/small_vector_test.cpp.o.d"
+  "/root/repo/tests/util/string_pool_test.cpp" "tests/CMakeFiles/tests_util.dir/util/string_pool_test.cpp.o" "gcc" "tests/CMakeFiles/tests_util.dir/util/string_pool_test.cpp.o.d"
+  "/root/repo/tests/util/string_util_test.cpp" "tests/CMakeFiles/tests_util.dir/util/string_util_test.cpp.o" "gcc" "tests/CMakeFiles/tests_util.dir/util/string_util_test.cpp.o.d"
+  "/root/repo/tests/util/table_test.cpp" "tests/CMakeFiles/tests_util.dir/util/table_test.cpp.o" "gcc" "tests/CMakeFiles/tests_util.dir/util/table_test.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/analysis/CMakeFiles/tdt_analysis.dir/DependInfo.cmake"
+  "/root/repo/build/src/core/CMakeFiles/tdt_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/cache/CMakeFiles/tdt_cache.dir/DependInfo.cmake"
+  "/root/repo/build/src/tracer/CMakeFiles/tdt_tracer.dir/DependInfo.cmake"
+  "/root/repo/build/src/memsim/CMakeFiles/tdt_memsim.dir/DependInfo.cmake"
+  "/root/repo/build/src/trace/CMakeFiles/tdt_trace.dir/DependInfo.cmake"
+  "/root/repo/build/src/layout/CMakeFiles/tdt_layout.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/tdt_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,26 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tests_util.dir/util/error_test.cpp.o"
+  "CMakeFiles/tests_util.dir/util/error_test.cpp.o.d"
+  "CMakeFiles/tests_util.dir/util/flags_test.cpp.o"
+  "CMakeFiles/tests_util.dir/util/flags_test.cpp.o.d"
+  "CMakeFiles/tests_util.dir/util/lexer_test.cpp.o"
+  "CMakeFiles/tests_util.dir/util/lexer_test.cpp.o.d"
+  "CMakeFiles/tests_util.dir/util/rng_test.cpp.o"
+  "CMakeFiles/tests_util.dir/util/rng_test.cpp.o.d"
+  "CMakeFiles/tests_util.dir/util/small_vector_test.cpp.o"
+  "CMakeFiles/tests_util.dir/util/small_vector_test.cpp.o.d"
+  "CMakeFiles/tests_util.dir/util/string_pool_test.cpp.o"
+  "CMakeFiles/tests_util.dir/util/string_pool_test.cpp.o.d"
+  "CMakeFiles/tests_util.dir/util/string_util_test.cpp.o"
+  "CMakeFiles/tests_util.dir/util/string_util_test.cpp.o.d"
+  "CMakeFiles/tests_util.dir/util/table_test.cpp.o"
+  "CMakeFiles/tests_util.dir/util/table_test.cpp.o.d"
+  "tests_util"
+  "tests_util.pdb"
+  "tests_util[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tests_util.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,17 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/tests
+# Build directory: /root/repo/build/tests
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+include("/root/repo/build/tests/tests_util[1]_include.cmake")
+include("/root/repo/build/tests/tests_layout[1]_include.cmake")
+include("/root/repo/build/tests/tests_trace[1]_include.cmake")
+include("/root/repo/build/tests/tests_memsim[1]_include.cmake")
+include("/root/repo/build/tests/tests_tracer[1]_include.cmake")
+include("/root/repo/build/tests/tests_cache[1]_include.cmake")
+include("/root/repo/build/tests/tests_core[1]_include.cmake")
+include("/root/repo/build/tests/tests_analysis[1]_include.cmake")
+include("/root/repo/build/tests/tests_integration[1]_include.cmake")
+add_test(cli.gtracer_dinerosim_t1 "/usr/bin/cmake" "-DGTRACER=/root/repo/build/src/tools/gtracer" "-DDINEROSIM=/root/repo/build/src/tools/dinerosim" "-DTRACEDIFF=/root/repo/build/src/tools/tracediff" "-DTRACEINFO=/root/repo/build/src/tools/traceinfo" "-DRULES=/root/repo/rules/t1_soa_to_aos.rules" "-DWORKDIR=/root/repo/build/tests/cli_t1" "-P" "/root/repo/tests/cli_smoke.cmake")
+set_tests_properties(cli.gtracer_dinerosim_t1 PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/tests/CMakeLists.txt;92;add_test;/root/repo/tests/CMakeLists.txt;0;")
