@@ -33,6 +33,10 @@ TraceTransformer::TraceTransformer(const RuleSet& rules,
 }
 
 void TraceTransformer::diag(std::string message) {
+  if (options_.diags != nullptr) {
+    options_.diags->report(DiagSeverity::Warning, DiagCode::XformUnmatchedVar,
+                           message);
+  }
   if (stats_.diagnostics.size() < options_.max_diagnostics) {
     stats_.diagnostics.push_back(std::move(message));
   }
@@ -233,15 +237,37 @@ void TraceTransformer::on_record(const TraceRecord& rec) {
     forward(rec);
     return;
   }
+  // A mapping error (unresolvable out path, unknown type, bad rule state)
+  // aborts the run under Strict, but with a Skip/Repair engine the record
+  // degrades to an untransformed passthrough — a hostile trace must not
+  // kill a multi-gigabyte simulation at record N.
+  const auto apply_guarded = [&](auto& state, auto apply) {
+    try {
+      return (this->*apply)(state, rec);
+    } catch (const Error& e) {
+      if (options_.diags == nullptr || options_.diags->strict()) throw;
+      options_.diags->report(DiagSeverity::Warning,
+                             DiagCode::XformFailedRecord,
+                             "cannot transform '" + ctx_->format_var(rec.var) +
+                                 "': " + e.message());
+      return false;
+    }
+  };
   const std::string base_name(ctx_->name(rec.var.base));
   if (auto it = struct_by_name_.find(base_name); it != struct_by_name_.end()) {
-    if (apply_struct(struct_states_[it->second], rec)) return;
+    if (apply_guarded(struct_states_[it->second],
+                      &TraceTransformer::apply_struct)) {
+      return;
+    }
     ++stats_.skipped;
     forward(rec);
     return;
   }
   if (auto it = stride_by_name_.find(base_name); it != stride_by_name_.end()) {
-    if (apply_stride(stride_states_[it->second], rec)) return;
+    if (apply_guarded(stride_states_[it->second],
+                      &TraceTransformer::apply_stride)) {
+      return;
+    }
     ++stats_.skipped;
     forward(rec);
     return;

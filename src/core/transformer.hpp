@@ -25,6 +25,7 @@
 #include "core/rules.hpp"
 #include "trace/record.hpp"
 #include "trace/sink.hpp"
+#include "util/diag.hpp"
 
 namespace tdt::core {
 
@@ -43,6 +44,12 @@ struct TransformOptions {
   bool reuse_in_footprint = true;
   /// Cap on retained diagnostic messages.
   std::size_t max_diagnostics = 64;
+  /// Optional diagnostics engine. When set and its policy is Skip or
+  /// Repair, a record whose mapping raises an error is passed through
+  /// untransformed (warning X002) instead of aborting the run, and every
+  /// unmatched-element message is additionally counted as warning X001.
+  /// Not owned; must outlive the transformer.
+  DiagEngine* diags = nullptr;
 };
 
 /// Counters describing what the transformer did.

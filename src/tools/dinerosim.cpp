@@ -5,8 +5,16 @@
 //   dinerosim --trace t.out --size 32768 --block 32 --assoc 1
 //   dinerosim --trace t.out --rules soa2aos.rules
 //             --xform-out transformed_trace.out --per-set
+//   dinerosim --trace huge.tdtb --on-error=skip --max-errors 1000
+//
+// The trace is streamed record-by-record through the transformer and the
+// simulator (traces larger than memory work), with the error-recovery
+// policy from --on-error; exit code 0 = clean, 1 = completed with
+// recovered errors, 2 = fatal (docs/robustness.md).
 #include <cstdio>
 #include <fstream>
+#include <iostream>
+#include <optional>
 
 #include "analysis/advisor.hpp"
 #include "analysis/report.hpp"
@@ -17,13 +25,11 @@
 #include "cache/sim.hpp"
 #include "core/rule_parser.hpp"
 #include "core/transformer.hpp"
-#include "trace/binary.hpp"
-#include "trace/din.hpp"
-#include "trace/reader.hpp"
+#include "trace/stream.hpp"
 #include "trace/writer.hpp"
+#include "util/diag.hpp"
 #include "util/error.hpp"
 #include "util/flags.hpp"
-#include "util/string_util.hpp"
 
 namespace {
 
@@ -38,21 +44,6 @@ cache::ReplacementPolicy parse_replacement(const std::string& s) {
   }
   throw_config_error("unknown replacement policy '" + s +
                      "' (lru|fifo|random|rr)");
-}
-
-std::vector<trace::TraceRecord> load_trace(trace::TraceContext& ctx,
-                                           const std::string& path) {
-  if (ends_with(path, ".tdtb")) {
-    std::ifstream f(path, std::ios::binary);
-    if (!f) throw_io_error("cannot open '" + path + "'");
-    std::string blob((std::istreambuf_iterator<char>(f)),
-                     std::istreambuf_iterator<char>());
-    return trace::read_binary_trace(ctx, {blob.data(), blob.size()});
-  }
-  if (ends_with(path, ".din")) {
-    return trace::read_din_file(ctx, path);
-  }
-  return trace::read_trace_file(ctx, path);
 }
 
 cache::PrefetchPolicy parse_prefetch(const std::string& s) {
@@ -84,6 +75,12 @@ int main(int argc, char** argv) {
     const auto* xform_out = flags.add_string(
         "xform-out", "", "write the transformed trace here (default "
                          "transformed_trace.out when --rules is given)");
+    const auto* on_error = flags.add_string(
+        "on-error", "strict",
+        "malformed-input policy: strict|skip|repair");
+    const auto* max_errors = flags.add_uint(
+        "max-errors", DiagEngine::kDefaultMaxErrors,
+        "give up after this many recovered errors (0 = unlimited)");
     const auto* size = flags.add_uint("size", 32768, "cache bytes");
     const auto* block = flags.add_uint("block", 32, "block bytes");
     const auto* assoc =
@@ -126,21 +123,101 @@ int main(int argc, char** argv) {
       throw_config_error("--trace is required");
     }
 
-    trace::TraceContext ctx;
-    std::vector<trace::TraceRecord> records = load_trace(ctx, *trace_path);
+    DiagEngine diags(parse_error_policy(*on_error), *max_errors);
+    diags.set_echo(&std::cerr);
 
-    // Optional transformation pass.
+    trace::TraceContext ctx;
+
+    // The pipeline is built back to front: terminal simulator sink, an
+    // optional transformed-trace writer teed next to it, an optional
+    // transformer in front, then the streaming reader drives the chain.
+    std::optional<core::RuleSet> rules;
     if (!rules_path->empty()) {
-      core::RuleSet rules = core::parse_rules_file(*rules_path);
-      for (const core::RuleDiagnostic& d : rules.validate()) {
+      rules = core::parse_rules_file(*rules_path);
+      for (const core::RuleDiagnostic& d : rules->validate()) {
         std::fprintf(stderr, "dinerosim: rule %s: %s\n",
                      d.severity == core::RuleDiagnostic::Severity::Error
                          ? "error"
                          : "warning",
                      d.message.c_str());
       }
-      core::TransformStats tstats;
-      records = core::transform_trace(rules, ctx, records, {}, &tstats);
+    }
+
+    // Terminal sink: MESI multicore or the single-core hierarchy.
+    std::optional<cache::MesiSystem> mesi;
+    std::optional<cache::MultiCoreSim> msim;
+    std::optional<cache::CacheHierarchy> hierarchy;
+    std::optional<cache::TraceCacheSim> sim;
+    cache::PageMapper mapper(parse_page_policy(*page_policy), *page_size,
+                             *page_frames, *page_seed);
+
+    cache::CacheConfig config;
+    config.size = *size;
+    config.block_size = *block;
+    config.assoc = static_cast<std::uint32_t>(*assoc);
+
+    analysis::SetActivityCollector sets(ctx, config.num_sets());
+    analysis::VarStatsCollector vars(ctx);
+    analysis::ConflictCollector conf(ctx);
+    analysis::AdjacencyCollector adj(ctx, config.block_size);
+
+    trace::TraceSink* terminal = nullptr;
+    if (*cores != 0) {
+      mesi.emplace(config, static_cast<std::uint32_t>(*cores));
+      msim.emplace(*mesi, ctx);
+      terminal = &*msim;
+    } else {
+      config.replacement = parse_replacement(*repl);
+      config.prefetch = parse_prefetch(*prefetch);
+      std::vector<cache::CacheConfig> levels{config};
+      if (*l2_size != 0) {
+        cache::CacheConfig l2;
+        l2.name = "L2";
+        l2.size = *l2_size;
+        l2.assoc = static_cast<std::uint32_t>(*l2_assoc);
+        l2.block_size = *l2_block;
+        levels.push_back(l2);
+      }
+      hierarchy.emplace(std::move(levels));
+      cache::SimOptions sim_options;
+      sim_options.modify_is_read_write = *modify_rw;
+      if (mapper.policy() != cache::PagePolicy::Identity) {
+        sim_options.page_mapper = &mapper;
+      }
+      sim.emplace(*hierarchy, sim_options);
+      sim->add_observer(&sets);
+      if (*per_var || *advise) sim->add_observer(&vars);
+      if (*conflicts || *advise) sim->add_observer(&conf);
+      if (*advise) sim->add_observer(&adj);
+      terminal = &*sim;
+    }
+
+    // Optional transformation stage in front of the terminal sink, with
+    // the transformed trace teed out to a file as it streams through.
+    std::ofstream xform_file;
+    std::optional<trace::WriterSink> xform_writer;
+    std::optional<trace::TeeSink> tee;
+    std::optional<core::TraceTransformer> transformer;
+    trace::TraceSink* head = terminal;
+    if (rules.has_value()) {
+      const std::string out_path =
+          xform_out->empty() ? "transformed_trace.out" : *xform_out;
+      xform_file.open(out_path);
+      if (!xform_file) {
+        throw_io_error("cannot open '" + out_path + "' for writing");
+      }
+      xform_writer.emplace(ctx, xform_file);
+      tee.emplace(std::vector<trace::TraceSink*>{&*xform_writer, terminal});
+      core::TransformOptions xopt;
+      xopt.diags = &diags;
+      transformer.emplace(*rules, ctx, *tee, xopt);
+      head = &*transformer;
+    }
+
+    trace::stream_trace_file(ctx, *trace_path, *head, &diags);
+
+    if (transformer.has_value()) {
+      const core::TransformStats& tstats = transformer->stats();
       std::fprintf(stderr,
                    "dinerosim: transformed %llu records (%llu rewritten, "
                    "%llu inserted, %llu passthrough, %llu skipped)\n",
@@ -149,82 +226,38 @@ int main(int argc, char** argv) {
                    static_cast<unsigned long long>(tstats.inserted),
                    static_cast<unsigned long long>(tstats.passthrough),
                    static_cast<unsigned long long>(tstats.skipped));
-      for (const std::string& d : tstats.diagnostics) {
-        std::fprintf(stderr, "dinerosim: %s\n", d.c_str());
+    }
+
+    if (msim.has_value()) {
+      std::fputs(msim->report().c_str(), stdout);
+    } else {
+      std::fputs(hierarchy->report().c_str(), stdout);
+      if (*per_set) {
+        std::fputs(analysis::set_table(sets, sets.variables()).c_str(),
+                   stdout);
       }
-      const std::string out_path =
-          xform_out->empty() ? "transformed_trace.out" : *xform_out;
-      trace::write_trace_file(ctx, records, out_path);
+      if (*per_var) std::fputs(vars.report().c_str(), stdout);
+      if (*conflicts) std::fputs(conf.report().c_str(), stdout);
+      if (*advise) {
+        std::fputs(
+            analysis::render(analysis::advise(vars, conf, {}, &adj)).c_str(),
+            stdout);
+      }
+      if (!gnuplot->empty()) {
+        analysis::write_gnuplot(sets, sets.variables(), *gnuplot,
+                                config.describe());
+        std::fprintf(stderr, "dinerosim: wrote %s.dat and %s.gp\n",
+                     gnuplot->c_str(), gnuplot->c_str());
+      }
     }
 
-    // Multicore mode short-circuits the single-core hierarchy path.
-    if (*cores != 0) {
-      cache::CacheConfig cc;
-      cc.size = *size;
-      cc.block_size = *block;
-      cc.assoc = static_cast<std::uint32_t>(*assoc);
-      cache::MesiSystem mesi(cc, static_cast<std::uint32_t>(*cores));
-      cache::MultiCoreSim msim(mesi, ctx);
-      msim.simulate(records);
-      std::fputs(msim.report().c_str(), stdout);
-      return 0;
+    const std::string summary = diags.summary();
+    if (!summary.empty()) {
+      std::fprintf(stderr, "dinerosim: %s", summary.c_str());
     }
-
-    cache::CacheConfig config;
-    config.size = *size;
-    config.block_size = *block;
-    config.assoc = static_cast<std::uint32_t>(*assoc);
-    config.replacement = parse_replacement(*repl);
-    config.prefetch = parse_prefetch(*prefetch);
-    std::vector<cache::CacheConfig> levels{config};
-    if (*l2_size != 0) {
-      cache::CacheConfig l2;
-      l2.name = "L2";
-      l2.size = *l2_size;
-      l2.assoc = static_cast<std::uint32_t>(*l2_assoc);
-      l2.block_size = *l2_block;
-      levels.push_back(l2);
-    }
-    cache::CacheHierarchy hierarchy(std::move(levels));
-    cache::PageMapper mapper(parse_page_policy(*page_policy), *page_size,
-                             *page_frames, *page_seed);
-    cache::SimOptions sim_options;
-    sim_options.modify_is_read_write = *modify_rw;
-    if (mapper.policy() != cache::PagePolicy::Identity) {
-      sim_options.page_mapper = &mapper;
-    }
-    cache::TraceCacheSim sim(hierarchy, sim_options);
-
-    analysis::SetActivityCollector sets(ctx, config.num_sets());
-    analysis::VarStatsCollector vars(ctx);
-    analysis::ConflictCollector conf(ctx);
-    analysis::AdjacencyCollector adj(ctx, config.block_size);
-    sim.add_observer(&sets);
-    if (*per_var || *advise) sim.add_observer(&vars);
-    if (*conflicts || *advise) sim.add_observer(&conf);
-    if (*advise) sim.add_observer(&adj);
-    sim.simulate(records);
-
-    std::fputs(hierarchy.report().c_str(), stdout);
-    if (*per_set) {
-      std::fputs(analysis::set_table(sets, sets.variables()).c_str(), stdout);
-    }
-    if (*per_var) std::fputs(vars.report().c_str(), stdout);
-    if (*conflicts) std::fputs(conf.report().c_str(), stdout);
-    if (*advise) {
-      std::fputs(
-          analysis::render(analysis::advise(vars, conf, {}, &adj)).c_str(),
-          stdout);
-    }
-    if (!gnuplot->empty()) {
-      analysis::write_gnuplot(sets, sets.variables(), *gnuplot,
-                              config.describe());
-      std::fprintf(stderr, "dinerosim: wrote %s.dat and %s.gp\n",
-                   gnuplot->c_str(), gnuplot->c_str());
-    }
-    return 0;
+    return diags.exit_code();
   } catch (const Error& e) {
     std::fprintf(stderr, "dinerosim: %s\n", e.what());
-    return 1;
+    return 2;
   }
 }

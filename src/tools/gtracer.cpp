@@ -105,7 +105,8 @@ int main(int argc, char** argv) {
                  source->empty() ? kernel->c_str() : source->c_str());
     return 0;
   } catch (const Error& e) {
+    // Shared CLI exit-code contract (docs/robustness.md): 2 = fatal.
     std::fprintf(stderr, "gtracer: %s\n", e.what());
-    return 1;
+    return 2;
   }
 }

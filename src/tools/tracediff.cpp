@@ -2,10 +2,16 @@
 // trace with its transformed counterpart (Figures 5, 8, 9).
 //
 //   tracediff original.out transformed_trace.out [--max-rows 64] [--summary]
+//
+// Exit code: 0 = traces identical and no recovered errors, 1 =
+// differences found and/or input errors recovered under --on-error,
+// 2 = fatal/usage.
 #include <cstdio>
+#include <iostream>
 
 #include "trace/diff.hpp"
-#include "trace/reader.hpp"
+#include "trace/stream.hpp"
+#include "util/diag.hpp"
 #include "util/error.hpp"
 #include "util/flags.hpp"
 
@@ -17,6 +23,11 @@ int main(int argc, char** argv) {
         flags.add_uint("max-rows", 0, "limit printed rows (0 = all)");
     const auto* summary_only =
         flags.add_bool("summary", false, "print only the summary counts");
+    const auto* on_error = flags.add_string(
+        "on-error", "strict", "malformed-input policy: strict|skip|repair");
+    const auto* max_errors = flags.add_uint(
+        "max-errors", DiagEngine::kDefaultMaxErrors,
+        "give up after this many recovered errors (0 = unlimited)");
     if (!flags.parse(argc, argv)) return 0;
     if (flags.positional().size() != 2) {
       std::fprintf(stderr,
@@ -24,9 +35,18 @@ int main(int argc, char** argv) {
       return 2;
     }
 
+    DiagEngine diags(parse_error_policy(*on_error), *max_errors);
+    diags.set_echo(&std::cerr);
+
     trace::TraceContext ctx;
-    const auto original = trace::read_trace_file(ctx, flags.positional()[0]);
-    const auto transformed = trace::read_trace_file(ctx, flags.positional()[1]);
+    trace::VectorSink original_sink;
+    trace::stream_trace_file(ctx, flags.positional()[0], original_sink,
+                             &diags);
+    trace::VectorSink transformed_sink;
+    trace::stream_trace_file(ctx, flags.positional()[1], transformed_sink,
+                             &diags);
+    const auto& original = original_sink.records();
+    const auto& transformed = transformed_sink.records();
     const auto entries = trace::diff_traces(original, transformed);
     const trace::DiffSummary s = trace::summarize(entries);
 
@@ -43,7 +63,13 @@ int main(int argc, char** argv) {
                 static_cast<unsigned long long>(s.modified),
                 static_cast<unsigned long long>(s.inserted),
                 static_cast<unsigned long long>(s.deleted));
-    return s.modified + s.inserted + s.deleted == 0 ? 0 : 1;
+
+    const std::string summary = diags.summary();
+    if (!summary.empty()) {
+      std::fprintf(stderr, "tracediff: %s", summary.c_str());
+    }
+    const bool differs = s.modified + s.inserted + s.deleted != 0;
+    return differs || !diags.clean() ? 1 : 0;
   } catch (const Error& e) {
     std::fprintf(stderr, "tracediff: %s\n", e.what());
     return 2;

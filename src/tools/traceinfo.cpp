@@ -1,13 +1,34 @@
 // traceinfo — quick trace statistics: access mix, per-function and
-// per-variable counts, footprint.
+// per-variable counts, footprint. Reads Gleipnir text, din, or TDTB
+// binary traces (format guessed from the extension).
 //
-//   traceinfo trace.out [--block 32] [--top 16]
+//   traceinfo trace.out [--block 32] [--top 16] [--on-error=skip]
+//
+// Exit code: 0 = clean, 1 = completed with recovered errors, 2 = fatal.
 #include <cstdio>
+#include <iostream>
 
-#include "trace/reader.hpp"
 #include "trace/stats.hpp"
+#include "trace/stream.hpp"
+#include "util/diag.hpp"
 #include "util/error.hpp"
 #include "util/flags.hpp"
+
+namespace {
+
+/// Terminal sink feeding the stats collector record-by-record.
+class StatsSink final : public tdt::trace::TraceSink {
+ public:
+  void on_record(const tdt::trace::TraceRecord& rec) override {
+    stats_.add(rec);
+  }
+  [[nodiscard]] tdt::trace::TraceStats& stats() noexcept { return stats_; }
+
+ private:
+  tdt::trace::TraceStats stats_;
+};
+
+}  // namespace
 
 int main(int argc, char** argv) {
   using namespace tdt;
@@ -16,21 +37,34 @@ int main(int argc, char** argv) {
     const auto* block =
         flags.add_uint("block", 32, "block size for footprint in blocks");
     const auto* top = flags.add_uint("top", 16, "rows per ranking table");
+    const auto* on_error = flags.add_string(
+        "on-error", "strict", "malformed-input policy: strict|skip|repair");
+    const auto* max_errors = flags.add_uint(
+        "max-errors", DiagEngine::kDefaultMaxErrors,
+        "give up after this many recovered errors (0 = unlimited)");
     if (!flags.parse(argc, argv)) return 0;
     if (flags.positional().size() != 1) {
       std::fprintf(stderr, "usage: traceinfo <trace-file> [flags]\n");
       return 2;
     }
 
+    DiagEngine diags(parse_error_policy(*on_error), *max_errors);
+    diags.set_echo(&std::cerr);
+
     trace::TraceContext ctx;
-    const auto records = trace::read_trace_file(ctx, flags.positional()[0]);
-    trace::TraceStats stats;
-    stats.add_all(records);
-    std::fputs(stats.report(ctx, *top).c_str(), stdout);
+    StatsSink sink;
+    trace::stream_trace_file(ctx, flags.positional()[0], sink, &diags);
+    std::fputs(sink.stats().report(ctx, *top).c_str(), stdout);
     std::printf("footprint at %llu-byte blocks: %llu blocks\n",
                 static_cast<unsigned long long>(*block),
-                static_cast<unsigned long long>(stats.footprint_blocks(*block)));
-    return 0;
+                static_cast<unsigned long long>(
+                    sink.stats().footprint_blocks(*block)));
+
+    const std::string summary = diags.summary();
+    if (!summary.empty()) {
+      std::fprintf(stderr, "traceinfo: %s", summary.c_str());
+    }
+    return diags.exit_code();
   } catch (const Error& e) {
     std::fprintf(stderr, "traceinfo: %s\n", e.what());
     return 2;

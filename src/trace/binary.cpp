@@ -8,29 +8,62 @@ namespace tdt::trace {
 namespace {
 
 constexpr char kMagic[4] = {'T', 'D', 'T', 'B'};
-constexpr std::uint8_t kVersion = 1;
 
 // Entry tags.
 constexpr std::uint8_t kTagRecord = 0;
 constexpr std::uint8_t kTagString = 1;
 constexpr std::uint8_t kTagEnd = 2;
 
+// Sanity caps: a corrupt varint must not drive a huge allocation or an
+// unbounded loop before the corruption is noticed.
+constexpr std::uint64_t kMaxStringLen = 1u << 20;  // 1 MiB per name
+constexpr std::uint64_t kMaxSymbolId = 1u << 24;
+constexpr std::uint64_t kMaxVarSteps = 1u << 12;
+constexpr int kMaxVarintBytes = 10;  // ceil(64 / 7)
+
+constexpr std::size_t kFooterSize = 12;  // u64 count + u32 crc, both LE
+
+void put_le(char* out, std::uint64_t v, int bytes) {
+  for (int i = 0; i < bytes; ++i) {
+    out[i] = static_cast<char>((v >> (8 * i)) & 0xFF);
+  }
+}
+
+std::uint64_t get_le(const char* in, int bytes) {
+  std::uint64_t v = 0;
+  for (int i = 0; i < bytes; ++i) {
+    v |= static_cast<std::uint64_t>(static_cast<unsigned char>(in[i]))
+         << (8 * i);
+  }
+  return v;
+}
+
 }  // namespace
 
 BinaryTraceWriter::BinaryTraceWriter(const TraceContext& ctx,
-                                     std::ostream& out, std::uint64_t pid)
-    : ctx_(&ctx), out_(&out) {
-  out_->write(kMagic, 4);
-  out_->put(static_cast<char>(kVersion));
+                                     std::ostream& out, std::uint64_t pid,
+                                     std::uint8_t version)
+    : ctx_(&ctx), out_(&out), version_(version) {
+  if (version != 1 && version != 2) {
+    throw_config_error("unsupported TDTB writer version " +
+                       std::to_string(version));
+  }
+  put_bytes(kMagic, 4);
+  put_byte(static_cast<char>(version_));
   put_varint(pid);
+}
+
+void BinaryTraceWriter::put_bytes(const char* data, std::size_t len) {
+  out_->write(data, static_cast<std::streamsize>(len));
+  crc_.update(data, len);
 }
 
 void BinaryTraceWriter::put_varint(std::uint64_t v) {
   while (v >= 0x80) {
-    out_->put(static_cast<char>((v & 0x7F) | 0x80));
+    put_byte(static_cast<char>((v & 0x7F) | 0x80));
     v >>= 7;
   }
-  out_->put(static_cast<char>(v));
+  put_byte(static_cast<char>(v));
 }
 
 void BinaryTraceWriter::define_symbol_if_new(Symbol s) {
@@ -38,10 +71,10 @@ void BinaryTraceWriter::define_symbol_if_new(Symbol s) {
   if (s.id() >= defined_.size()) defined_.resize(s.id() + 1, false);
   defined_[s.id()] = true;
   const std::string_view text = ctx_->name(s);
-  out_->put(static_cast<char>(kTagString));
+  put_byte(static_cast<char>(kTagString));
   put_varint(s.id());
   put_varint(text.size());
-  out_->write(text.data(), static_cast<std::streamsize>(text.size()));
+  put_bytes(text.data(), text.size());
 }
 
 void BinaryTraceWriter::write(const TraceRecord& rec) {
@@ -53,128 +86,241 @@ void BinaryTraceWriter::write(const TraceRecord& rec) {
       if (step.is_field) define_symbol_if_new(step.field);
     }
   }
-  out_->put(static_cast<char>(kTagRecord));
+  put_byte(static_cast<char>(kTagRecord));
   const std::uint8_t packed = static_cast<std::uint8_t>(
       (static_cast<unsigned>(rec.kind) & 0x7) |
       ((static_cast<unsigned>(rec.scope) & 0x7) << 3));
-  out_->put(static_cast<char>(packed));
+  put_byte(static_cast<char>(packed));
   put_varint(rec.address);
   put_varint(rec.size);
   put_varint(rec.function.id());
   put_varint(rec.frame);
   put_varint(rec.thread);
+  ++record_count_;
   if (rec.scope == VarScope::Unknown) return;
   put_varint(rec.var.base.id());
   put_varint(rec.var.steps.size());
   for (const VarStep& step : rec.var.steps) {
-    out_->put(static_cast<char>(step.is_field ? 1 : 0));
+    put_byte(static_cast<char>(step.is_field ? 1 : 0));
     put_varint(step.is_field ? step.field.id() : step.index);
   }
 }
 
 void BinaryTraceWriter::finish() {
   internal_check(!finished_, "double finish");
-  out_->put(static_cast<char>(kTagEnd));
+  put_byte(static_cast<char>(kTagEnd));
+  if (version_ >= 2) {
+    // Footer is not part of its own checksum: the CRC covers everything
+    // from the magic through the end tag.
+    char footer[kFooterSize];
+    put_le(footer, record_count_, 8);
+    put_le(footer + 8, crc_.value(), 4);
+    out_->write(footer, kFooterSize);
+  }
   finished_ = true;
 }
 
-BinaryTraceReader::BinaryTraceReader(TraceContext& ctx, std::istream& in)
-    : ctx_(&ctx), in_(&in) {
+/// Private unwind token: the diagnostic is already reported; next() turns
+/// this into a clean end-of-trace. Derives from Error so it stays a
+/// classified tdt error if it ever escapes (e.g. corruption inside the
+/// header, where there is nothing to salvage).
+struct BinaryTraceReader::RecoverEnd : Error {
+  explicit RecoverEnd(std::string message)
+      : Error(ErrorKind::Parse, std::move(message)) {}
+};
+
+BinaryTraceReader::BinaryTraceReader(TraceContext& ctx, std::istream& in,
+                                     DiagEngine* diags)
+    : ctx_(&ctx), in_(&in), diags_(diags) {
   char magic[4];
   in_->read(magic, 4);
   if (!*in_ || std::string_view(magic, 4) != std::string_view(kMagic, 4)) {
+    if (diags_ != nullptr) {
+      diags_->report(DiagSeverity::Fatal, DiagCode::BinBadMagic,
+                     "not a TDTB binary trace (bad magic)");
+    }
     throw_parse_error("not a TDTB binary trace (bad magic)");
   }
-  const int version = in_->get();
-  if (version != kVersion) {
+  crc_.update(magic, 4);
+  const int version = next_byte();
+  if (version != 1 && version != 2) {
+    if (diags_ != nullptr) {
+      diags_->report(DiagSeverity::Fatal, DiagCode::BinBadVersion,
+                     "unsupported TDTB version " + std::to_string(version));
+    }
     throw_parse_error("unsupported TDTB version " + std::to_string(version));
   }
+  version_ = static_cast<std::uint8_t>(version);
   pid_ = get_varint();
+}
+
+void BinaryTraceReader::fail(DiagCode code, std::string message) {
+  if (diags_ == nullptr || diags_->strict()) {
+    throw_parse_error(std::move(message));
+  }
+  diags_->report(DiagSeverity::Error, code, message);
+  throw RecoverEnd(std::move(message));
+}
+
+int BinaryTraceReader::next_byte() {
+  const int byte = in_->get();
+  if (byte != std::istream::traits_type::eof()) {
+    crc_.update_byte(static_cast<std::uint8_t>(byte));
+  }
+  return byte;
 }
 
 std::uint64_t BinaryTraceReader::get_varint() {
   std::uint64_t v = 0;
   int shift = 0;
-  for (;;) {
-    const int byte = in_->get();
+  for (int n = 0; n < kMaxVarintBytes; ++n) {
+    const int byte = next_byte();
     if (byte == std::istream::traits_type::eof()) {
-      throw_parse_error("truncated binary trace (eof inside varint)");
+      fail(DiagCode::BinTruncated, "truncated binary trace (eof inside varint)");
+    }
+    if (n == kMaxVarintBytes - 1 && (byte & 0x7F) > 1) {
+      // The 10th byte may only contribute bit 63.
+      fail(DiagCode::BinBadVarint, "varint overflows 64 bits in binary trace");
     }
     v |= static_cast<std::uint64_t>(byte & 0x7F) << shift;
     if ((byte & 0x80) == 0) return v;
     shift += 7;
-    if (shift >= 64) {
-      throw_parse_error("overlong varint in binary trace");
-    }
   }
+  fail(DiagCode::BinBadVarint, "overlong varint in binary trace (>10 bytes)");
 }
 
-Symbol BinaryTraceReader::map_symbol(std::uint64_t file_id) const {
-  if (file_id >= symbol_map_.size()) {
-    throw_parse_error("binary trace references undefined string id " +
-                      std::to_string(file_id));
+std::uint64_t BinaryTraceReader::get_varint_max(std::uint64_t max_value,
+                                                DiagCode code,
+                                                const char* what) {
+  const std::uint64_t v = get_varint();
+  if (v > max_value) {
+    fail(code, std::string(what) + " value " + std::to_string(v) +
+                   " exceeds limit " + std::to_string(max_value) +
+                   " in binary trace");
+  }
+  return v;
+}
+
+Symbol BinaryTraceReader::map_symbol(std::uint64_t file_id) {
+  if (file_id >= symbol_map_.size() || symbol_map_[file_id].empty()) {
+    fail(DiagCode::BinBadSymbol,
+         "binary trace references undefined string id " +
+             std::to_string(file_id));
   }
   return symbol_map_[file_id];
 }
 
+void BinaryTraceReader::check_footer() {
+  if (version_ < 2) return;
+  // The CRC covers everything through the end tag, which next_byte() has
+  // already folded in; the footer itself is read outside the checksum.
+  const std::uint32_t computed = crc_.value();
+  char footer[kFooterSize];
+  in_->read(footer, kFooterSize);
+  if (in_->gcount() != static_cast<std::streamsize>(kFooterSize)) {
+    fail(DiagCode::BinBadFooter,
+         "truncated binary trace (v2 footer missing or short)");
+  }
+  const std::uint64_t count = get_le(footer, 8);
+  const std::uint32_t stored = static_cast<std::uint32_t>(get_le(footer + 8, 4));
+  if (count != record_count_) {
+    fail(DiagCode::BinCountMismatch,
+         "binary trace record count mismatch: footer says " +
+             std::to_string(count) + ", decoded " +
+             std::to_string(record_count_));
+  }
+  if (stored != computed) {
+    fail(DiagCode::BinCrcMismatch,
+         "binary trace checksum mismatch (bit corruption): footer crc32 " +
+             std::to_string(stored) + ", computed " + std::to_string(computed));
+  }
+}
+
 bool BinaryTraceReader::next(TraceRecord& out) {
-  for (;;) {
-    const int tag = in_->get();
-    if (tag == std::istream::traits_type::eof()) {
-      throw_parse_error("truncated binary trace (missing end marker)");
-    }
-    if (tag == kTagEnd) return false;
-    if (tag == kTagString) {
-      const std::uint64_t id = get_varint();
-      const std::uint64_t len = get_varint();
-      std::string text(len, '\0');
-      in_->read(text.data(), static_cast<std::streamsize>(len));
-      if (!*in_) {
-        throw_parse_error("truncated string in binary trace");
+  if (done_) return false;
+  try {
+    for (;;) {
+      const int tag = next_byte();
+      if (tag == std::istream::traits_type::eof()) {
+        fail(DiagCode::BinTruncated,
+             "truncated binary trace (missing end marker)");
       }
-      if (id >= symbol_map_.size()) symbol_map_.resize(id + 1);
-      symbol_map_[id] = ctx_->intern(text);
-      continue;
-    }
-    if (tag != kTagRecord) {
-      throw_parse_error("unknown entry tag " + std::to_string(tag) +
-                        " in binary trace");
-    }
-    const int packed = in_->get();
-    if (packed == std::istream::traits_type::eof()) {
-      throw_parse_error("truncated record in binary trace");
-    }
-    out = TraceRecord{};
-    out.kind = static_cast<AccessKind>(packed & 0x7);
-    out.scope = static_cast<VarScope>((packed >> 3) & 0x7);
-    out.address = get_varint();
-    out.size = static_cast<std::uint32_t>(get_varint());
-    out.function = map_symbol(get_varint());
-    out.frame = static_cast<std::uint16_t>(get_varint());
-    out.thread = static_cast<std::uint16_t>(get_varint());
-    if (out.scope != VarScope::Unknown) {
-      out.var.base = map_symbol(get_varint());
-      const std::uint64_t nsteps = get_varint();
-      for (std::uint64_t i = 0; i < nsteps; ++i) {
-        const int is_field = in_->get();
-        if (is_field == std::istream::traits_type::eof()) {
-          throw_parse_error("truncated var steps in binary trace");
+      if (tag == kTagEnd) {
+        done_ = true;
+        check_footer();
+        return false;
+      }
+      if (tag == kTagString) {
+        const std::uint64_t id =
+            get_varint_max(kMaxSymbolId, DiagCode::BinFieldOverflow,
+                           "string id");
+        const std::uint64_t len = get_varint_max(
+            kMaxStringLen, DiagCode::BinStringTooLong, "string length");
+        std::string text(len, '\0');
+        in_->read(text.data(), static_cast<std::streamsize>(len));
+        if (in_->gcount() != static_cast<std::streamsize>(len)) {
+          fail(DiagCode::BinTruncated, "truncated string in binary trace");
         }
-        const std::uint64_t v = get_varint();
-        out.var.steps.push_back(is_field != 0
-                                    ? VarStep::make_field(map_symbol(v))
-                                    : VarStep::make_index(v));
+        crc_.update(text.data(), len);
+        if (id >= symbol_map_.size()) symbol_map_.resize(id + 1);
+        symbol_map_[id] = ctx_->intern(text);
+        continue;
       }
+      if (tag != kTagRecord) {
+        fail(DiagCode::BinBadTag, "unknown entry tag " + std::to_string(tag) +
+                                      " in binary trace");
+      }
+      const int packed = next_byte();
+      if (packed == std::istream::traits_type::eof()) {
+        fail(DiagCode::BinTruncated, "truncated record in binary trace");
+      }
+      out = TraceRecord{};
+      out.kind = static_cast<AccessKind>(packed & 0x7);
+      out.scope = static_cast<VarScope>((packed >> 3) & 0x7);
+      out.address = get_varint();
+      out.size = static_cast<std::uint32_t>(get_varint_max(
+          0xFFFFFFFFull, DiagCode::BinFieldOverflow, "access size"));
+      out.function = map_symbol(get_varint_max(
+          kMaxSymbolId, DiagCode::BinFieldOverflow, "function id"));
+      out.frame = static_cast<std::uint16_t>(get_varint_max(
+          0xFFFFull, DiagCode::BinFieldOverflow, "frame"));
+      out.thread = static_cast<std::uint16_t>(get_varint_max(
+          0xFFFFull, DiagCode::BinFieldOverflow, "thread"));
+      if (out.scope != VarScope::Unknown) {
+        out.var.base = map_symbol(get_varint_max(
+            kMaxSymbolId, DiagCode::BinFieldOverflow, "variable id"));
+        const std::uint64_t nsteps = get_varint_max(
+            kMaxVarSteps, DiagCode::BinFieldOverflow, "step count");
+        for (std::uint64_t i = 0; i < nsteps; ++i) {
+          const int is_field = next_byte();
+          if (is_field == std::istream::traits_type::eof()) {
+            fail(DiagCode::BinTruncated, "truncated var steps in binary trace");
+          }
+          const std::uint64_t v =
+              is_field != 0 ? get_varint_max(kMaxSymbolId,
+                                             DiagCode::BinFieldOverflow,
+                                             "field id")
+                            : get_varint();
+          out.var.steps.push_back(is_field != 0 ? VarStep::make_field(
+                                                      map_symbol(v))
+                                                : VarStep::make_index(v));
+        }
+      }
+      ++record_count_;
+      return true;
     }
-    return true;
+  } catch (const RecoverEnd&) {
+    // Diagnostic already reported; salvage the records decoded so far.
+    done_ = true;
+    return false;
   }
 }
 
 std::vector<char> write_binary_trace(const TraceContext& ctx,
                                      std::span<const TraceRecord> records,
-                                     std::uint64_t pid) {
+                                     std::uint64_t pid, std::uint8_t version) {
   std::ostringstream out(std::ios::binary);
-  BinaryTraceWriter w(ctx, out, pid);
+  BinaryTraceWriter w(ctx, out, pid, version);
   for (const TraceRecord& rec : records) w.write(rec);
   w.finish();
   const std::string s = out.str();
@@ -183,10 +329,11 @@ std::vector<char> write_binary_trace(const TraceContext& ctx,
 
 std::vector<TraceRecord> read_binary_trace(TraceContext& ctx,
                                            std::span<const char> blob,
-                                           std::uint64_t* pid) {
+                                           std::uint64_t* pid,
+                                           DiagEngine* diags) {
   std::istringstream in(std::string(blob.data(), blob.size()),
                         std::ios::binary);
-  BinaryTraceReader r(ctx, in);
+  BinaryTraceReader r(ctx, in, diags);
   if (pid != nullptr) *pid = r.pid();
   std::vector<TraceRecord> records;
   TraceRecord rec;

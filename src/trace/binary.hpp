@@ -2,6 +2,12 @@
 // human-readable but ~40 bytes/record; long workloads (millions of
 // records) read an order of magnitude faster from this varint-packed
 // encoding. Strings are emitted once, on first use, as inline definitions.
+//
+// Version 2 appends a 12-byte footer after the end tag — the record
+// count (8-byte little-endian) and a CRC-32 of every byte from the magic
+// through the end tag (4-byte little-endian) — so truncation and bit
+// corruption are detected instead of silently producing a wrong trace.
+// Version 1 blobs (no footer) remain readable.
 #pragma once
 
 #include <cstdint>
@@ -11,59 +17,108 @@
 #include <vector>
 
 #include "trace/record.hpp"
+#include "util/crc32.hpp"
+#include "util/diag.hpp"
 
 namespace tdt::trace {
+
+/// Current TDTB format version written by BinaryTraceWriter.
+inline constexpr std::uint8_t kTdtbVersion = 2;
 
 /// Streaming binary writer.
 class BinaryTraceWriter {
  public:
+  /// `version` selects the on-disk format (1 = legacy footer-less, 2 =
+  /// count+CRC footer); anything else throws Error{Config}.
   BinaryTraceWriter(const TraceContext& ctx, std::ostream& out,
-                    std::uint64_t pid = 0);
+                    std::uint64_t pid = 0, std::uint8_t version = kTdtbVersion);
 
   /// Appends one record.
   void write(const TraceRecord& rec);
 
-  /// Writes the end marker; further writes are invalid.
+  /// Writes the end marker (and, for v2, the count+CRC footer); further
+  /// writes are invalid.
   void finish();
+
+  /// Records written so far.
+  [[nodiscard]] std::uint64_t records_written() const noexcept {
+    return record_count_;
+  }
 
  private:
   void define_symbol_if_new(Symbol s);
+  void put_bytes(const char* data, std::size_t len);
+  void put_byte(char c) { put_bytes(&c, 1); }
   void put_varint(std::uint64_t v);
 
   const TraceContext* ctx_;
   std::ostream* out_;
+  std::uint8_t version_;
   std::vector<bool> defined_;
+  std::uint64_t record_count_ = 0;
+  Crc32 crc_;
   bool finished_ = false;
 };
 
-/// Streaming binary reader.
+/// Streaming binary reader for v1 and v2 blobs.
+///
+/// Without a DiagEngine (or with a Strict one) any corruption throws
+/// Error{Parse}. With Skip/Repair, mid-stream corruption (truncation,
+/// bad varint, undefined symbol, unknown tag) is reported and the trace
+/// ends early with every record decoded so far salvaged; footer
+/// mismatches (CRC, record count) are reported but do not discard the
+/// decoded records. A bad magic or unsupported version is always fatal.
 class BinaryTraceReader {
  public:
-  BinaryTraceReader(TraceContext& ctx, std::istream& in);
+  BinaryTraceReader(TraceContext& ctx, std::istream& in,
+                    DiagEngine* diags = nullptr);
 
-  /// Reads the next record; returns false at the end marker.
+  /// Reads the next record; returns false at the end of the trace.
   bool next(TraceRecord& out);
 
   [[nodiscard]] std::uint64_t pid() const noexcept { return pid_; }
 
+  /// Format version of the open blob (1 or 2).
+  [[nodiscard]] std::uint8_t version() const noexcept { return version_; }
+
+  /// Records decoded so far.
+  [[nodiscard]] std::uint64_t records_read() const noexcept {
+    return record_count_;
+  }
+
  private:
+  struct RecoverEnd;  // unwinds next() when a recoverable error was reported
+
+  [[noreturn]] void fail(DiagCode code, std::string message);
+  int next_byte();  // -1 at eof; feeds the CRC
   std::uint64_t get_varint();
-  Symbol map_symbol(std::uint64_t file_id) const;
+  std::uint64_t get_varint_max(std::uint64_t max_value, DiagCode code,
+                               const char* what);
+  void check_footer();
+  Symbol map_symbol(std::uint64_t file_id);
 
   TraceContext* ctx_;
   std::istream* in_;
+  DiagEngine* diags_;
   std::uint64_t pid_ = 0;
+  std::uint8_t version_ = 1;
+  std::uint64_t record_count_ = 0;
+  Crc32 crc_;
+  bool done_ = false;
   std::vector<Symbol> symbol_map_;  // file id -> ctx symbol
 };
 
 /// Serializes a whole trace to a binary blob.
 std::vector<char> write_binary_trace(const TraceContext& ctx,
                                      std::span<const TraceRecord> records,
-                                     std::uint64_t pid = 0);
+                                     std::uint64_t pid = 0,
+                                     std::uint8_t version = kTdtbVersion);
 
-/// Parses a whole binary blob.
+/// Parses a whole binary blob. `diags` selects the recovery policy
+/// (nullptr = strict).
 std::vector<TraceRecord> read_binary_trace(TraceContext& ctx,
                                            std::span<const char> blob,
-                                           std::uint64_t* pid = nullptr);
+                                           std::uint64_t* pid = nullptr,
+                                           DiagEngine* diags = nullptr);
 
 }  // namespace tdt::trace

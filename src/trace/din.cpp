@@ -7,71 +7,103 @@
 #include "util/string_util.hpp"
 
 namespace tdt::trace {
-namespace {
 
-std::vector<TraceRecord> read_din_stream(TraceContext& ctx, std::istream& in,
-                                         std::uint32_t default_size) {
-  std::vector<TraceRecord> records;
+DinReader::DinReader(TraceContext& ctx, std::istream& in,
+                     std::uint32_t default_size, DiagEngine* diags)
+    : ctx_(&ctx),
+      in_(&in),
+      default_size_(default_size),
+      diags_(diags),
+      unknown_fn_(ctx.intern("?")) {}
+
+bool DinReader::next(TraceRecord& out) {
   std::string line;
-  std::uint32_t line_no = 0;
-  const Symbol unknown_fn = ctx.intern("?");
-  while (std::getline(in, line)) {
-    ++line_no;
+  while (std::getline(*in_, line)) {
+    ++line_;
     const std::string_view body = trim(line);
     if (body.empty() || body[0] == '#') continue;
+    const SourceLoc loc{line_, 1};
     const auto fields = split_ws(body);
-    if (fields.size() < 2 || fields.size() > 3) {
-      throw_parse_error("din line needs 2 or 3 fields", {line_no, 1});
-    }
+    const bool recoverable = diags_ != nullptr && !diags_->strict();
+
+    std::string problem;
     TraceRecord rec;
-    if (fields[0] == "0") {
+    if (fields.size() < 2 || fields.size() > 3) {
+      problem = "din line needs 2 or 3 fields";
+    } else if (fields[0] == "0") {
       rec.kind = AccessKind::Load;
     } else if (fields[0] == "1") {
       rec.kind = AccessKind::Store;
     } else if (fields[0] == "2") {
       rec.kind = AccessKind::Instr;
     } else {
-      throw_parse_error("bad din label '" + std::string(fields[0]) + "'",
-                        {line_no, 1});
+      problem = "bad din label '" + std::string(fields[0]) + "'";
     }
-    const auto addr = parse_hex(fields[1]);
-    if (!addr) {
-      throw_parse_error("bad din address '" + std::string(fields[1]) + "'",
-                        {line_no, 1});
-    }
-    rec.address = *addr;
-    rec.size = default_size;
-    if (fields.size() == 3) {
-      const auto size = parse_hex(fields[2]);
-      if (!size || *size == 0) {
-        throw_parse_error("bad din size '" + std::string(fields[2]) + "'",
-                          {line_no, 1});
+    if (problem.empty()) {
+      const auto addr = parse_hex(fields[1]);
+      if (!addr) {
+        problem = "bad din address '" + std::string(fields[1]) + "'";
+      } else {
+        rec.address = *addr;
       }
-      rec.size = static_cast<std::uint32_t>(*size);
     }
-    rec.function = unknown_fn;
-    records.push_back(rec);
+    if (problem.empty()) {
+      rec.size = default_size_;
+      if (fields.size() == 3) {
+        const auto size = parse_hex(fields[2]);
+        if (!size || *size == 0) {
+          if (recoverable && diags_->repair()) {
+            // Label and address parsed: salvage with the default size.
+            diags_->report(DiagSeverity::Error, DiagCode::DinRepairedLine,
+                           "repaired din line (bad size '" +
+                               std::string(fields[2]) +
+                               "' replaced with default)",
+                           loc);
+          } else {
+            problem = "bad din size '" + std::string(fields[2]) + "'";
+          }
+        } else {
+          rec.size = static_cast<std::uint32_t>(*size);
+        }
+      }
+    }
+    if (!problem.empty()) {
+      if (!recoverable) throw_parse_error(std::move(problem), loc);
+      diags_->report(DiagSeverity::Error, DiagCode::DinBadLine, problem, loc);
+      continue;  // resync at the next line
+    }
+    rec.function = unknown_fn_;
+    out = rec;
+    return true;
   }
-  return records;
+  return false;
 }
-
-}  // namespace
 
 std::vector<TraceRecord> read_din_string(TraceContext& ctx,
                                          std::string_view text,
-                                         std::uint32_t default_size) {
+                                         std::uint32_t default_size,
+                                         DiagEngine* diags) {
   std::istringstream in{std::string(text)};
-  return read_din_stream(ctx, in, default_size);
+  DinReader reader(ctx, in, default_size, diags);
+  std::vector<TraceRecord> records;
+  TraceRecord rec;
+  while (reader.next(rec)) records.push_back(rec);
+  return records;
 }
 
 std::vector<TraceRecord> read_din_file(TraceContext& ctx,
                                        const std::string& path,
-                                       std::uint32_t default_size) {
+                                       std::uint32_t default_size,
+                                       DiagEngine* diags) {
   std::ifstream in(path);
   if (!in) {
     throw_io_error("cannot open din trace '" + path + "'");
   }
-  return read_din_stream(ctx, in, default_size);
+  DinReader reader(ctx, in, default_size, diags);
+  std::vector<TraceRecord> records;
+  TraceRecord rec;
+  while (reader.next(rec)) records.push_back(rec);
+  return records;
 }
 
 std::string write_din_string(std::span<const TraceRecord> records) {

@@ -17,19 +17,46 @@
 #include <vector>
 
 #include "trace/record.hpp"
+#include "util/diag.hpp"
 
 namespace tdt::trace {
+
+/// Streaming din parser. Without a DiagEngine (or with a Strict one) it
+/// throws Error{Parse} on a malformed line. With Skip it drops the line
+/// and resyncs; Repair additionally salvages a line whose size field is
+/// the only malformed part by substituting the default size (D002).
+class DinReader {
+ public:
+  DinReader(TraceContext& ctx, std::istream& in,
+            std::uint32_t default_size = 4, DiagEngine* diags = nullptr);
+
+  /// Reads the next record; returns false at end of input.
+  bool next(TraceRecord& out);
+
+  /// 1-based number of the line most recently consumed.
+  [[nodiscard]] std::uint32_t line_number() const noexcept { return line_; }
+
+ private:
+  TraceContext* ctx_;
+  std::istream* in_;
+  std::uint32_t default_size_;
+  DiagEngine* diags_;
+  Symbol unknown_fn_;
+  std::uint32_t line_ = 0;
+};
 
 /// Parses a din-format text into records. Missing sizes default to
 /// `default_size` bytes. Modify records cannot be represented in din.
 std::vector<TraceRecord> read_din_string(TraceContext& ctx,
                                          std::string_view text,
-                                         std::uint32_t default_size = 4);
+                                         std::uint32_t default_size = 4,
+                                         DiagEngine* diags = nullptr);
 
 /// Reads a din file from disk. Throws Error{Io} when unreadable.
 std::vector<TraceRecord> read_din_file(TraceContext& ctx,
                                        const std::string& path,
-                                       std::uint32_t default_size = 4);
+                                       std::uint32_t default_size = 4,
+                                       DiagEngine* diags = nullptr);
 
 /// Renders records as din text: Load -> 0, Store and Modify -> 1 (din has
 /// no read-modify-write label), Instr -> 2, Misc -> dropped.

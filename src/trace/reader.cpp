@@ -7,9 +7,33 @@
 #include "util/string_util.hpp"
 
 namespace tdt::trace {
+namespace {
 
-GleipnirReader::GleipnirReader(TraceContext& ctx, std::istream& in)
-    : ctx_(&ctx), in_(&in) {}
+/// Drains a reader into a vector, recording the first START pid.
+std::vector<TraceRecord> drain(GleipnirReader& reader, std::uint64_t* pid) {
+  std::vector<TraceRecord> records;
+  bool saw_start = false;
+  while (auto ev = reader.next()) {
+    switch (ev->kind) {
+      case TraceEvent::Kind::Start:
+        if (!saw_start && pid != nullptr) *pid = ev->pid;
+        saw_start = true;
+        break;
+      case TraceEvent::Kind::End:
+        break;
+      case TraceEvent::Kind::Record:
+        records.push_back(std::move(ev->record));
+        break;
+    }
+  }
+  return records;
+}
+
+}  // namespace
+
+GleipnirReader::GleipnirReader(TraceContext& ctx, std::istream& in,
+                               DiagEngine* diags)
+    : ctx_(&ctx), in_(&in), diags_(diags) {}
 
 TraceRecord GleipnirReader::parse_record_line(TraceContext& ctx,
                                               std::string_view line,
@@ -68,6 +92,27 @@ TraceRecord GleipnirReader::parse_record_line(TraceContext& ctx,
   return rec;
 }
 
+std::optional<TraceRecord> GleipnirReader::salvage_record_line(
+    TraceContext& ctx, std::string_view line) {
+  const std::vector<std::string_view> f = split_ws(line);
+  if (f.size() < 4) return std::nullopt;
+  TraceRecord rec;
+  if (f[0].size() != 1 || !parse_access_kind(f[0][0], rec.kind)) {
+    return std::nullopt;
+  }
+  const auto addr = parse_hex(f[1]);
+  if (!addr) return std::nullopt;
+  rec.address = *addr;
+  const auto size = parse_uint(f[2]);
+  if (!size || *size == 0 || *size > 0xFFFFFFFFull) return std::nullopt;
+  rec.size = static_cast<std::uint32_t>(*size);
+  if (!is_identifier(f[3])) return std::nullopt;
+  rec.function = ctx.intern(f[3]);
+  // Everything after the function is the (malformed) symbol annotation;
+  // drop it and keep the raw access.
+  return rec;
+}
+
 std::optional<TraceEvent> GleipnirReader::next() {
   std::string line;
   while (std::getline(*in_, line)) {
@@ -77,13 +122,20 @@ std::optional<TraceEvent> GleipnirReader::next() {
     if (starts_with(body, "START") || starts_with(body, "END")) {
       const bool is_start = starts_with(body, "START");
       const std::vector<std::string_view> f = split_ws(body);
-      if (f.size() != 3 || f[1] != "PID") {
-        throw_parse_error("malformed marker line '" + std::string(body) + "'",
-                          {line_, 1});
-      }
-      auto pid = parse_uint(f[2]);
+      const auto pid = f.size() == 3 && f[1] == "PID"
+                           ? parse_uint(f[2])
+                           : std::optional<std::uint64_t>{};
       if (!pid) {
-        throw_parse_error("bad pid '" + std::string(f[2]) + "'", {line_, 1});
+        if (diags_ == nullptr || diags_->strict()) {
+          throw_parse_error("malformed marker line '" + std::string(body) +
+                                "'",
+                            {line_, 1});
+        }
+        // No useful repair for a marker: drop it and resync.
+        diags_->report(DiagSeverity::Error, DiagCode::TraceBadMarker,
+                       "malformed marker line '" + std::string(body) + "'",
+                       {line_, 1});
+        continue;
       }
       TraceEvent ev;
       ev.kind = is_start ? TraceEvent::Kind::Start : TraceEvent::Kind::End;
@@ -92,59 +144,51 @@ std::optional<TraceEvent> GleipnirReader::next() {
     }
     TraceEvent ev;
     ev.kind = TraceEvent::Kind::Record;
-    ev.record = parse_record_line(*ctx_, body, line_);
-    return ev;
+    if (diags_ == nullptr || diags_->strict()) {
+      ev.record = parse_record_line(*ctx_, body, line_);
+      return ev;
+    }
+    try {
+      ev.record = parse_record_line(*ctx_, body, line_);
+      return ev;
+    } catch (const Error& e) {
+      if (diags_->repair()) {
+        if (auto salvaged = salvage_record_line(*ctx_, body)) {
+          diags_->report(DiagSeverity::Error, DiagCode::TraceRepairedLine,
+                         "repaired trace line (symbol annotation dropped): " +
+                             e.message(),
+                         {line_, 1});
+          ev.record = std::move(*salvaged);
+          return ev;
+        }
+      }
+      diags_->report(DiagSeverity::Error, DiagCode::TraceBadLine, e.message(),
+                     {line_, 1});
+      continue;  // resync at the next line
+    }
   }
   return std::nullopt;
 }
 
 std::vector<TraceRecord> read_trace_string(TraceContext& ctx,
                                            std::string_view text,
-                                           std::uint64_t* pid) {
+                                           std::uint64_t* pid,
+                                           DiagEngine* diags) {
   std::istringstream in{std::string(text)};
-  GleipnirReader reader(ctx, in);
-  std::vector<TraceRecord> records;
-  bool saw_start = false;
-  while (auto ev = reader.next()) {
-    switch (ev->kind) {
-      case TraceEvent::Kind::Start:
-        if (!saw_start && pid != nullptr) *pid = ev->pid;
-        saw_start = true;
-        break;
-      case TraceEvent::Kind::End:
-        break;
-      case TraceEvent::Kind::Record:
-        records.push_back(std::move(ev->record));
-        break;
-    }
-  }
-  return records;
+  GleipnirReader reader(ctx, in, diags);
+  return drain(reader, pid);
 }
 
 std::vector<TraceRecord> read_trace_file(TraceContext& ctx,
                                          const std::string& path,
-                                         std::uint64_t* pid) {
+                                         std::uint64_t* pid,
+                                         DiagEngine* diags) {
   std::ifstream in(path);
   if (!in) {
     throw_io_error("cannot open trace file '" + path + "'");
   }
-  GleipnirReader reader(ctx, in);
-  std::vector<TraceRecord> records;
-  bool saw_start = false;
-  while (auto ev = reader.next()) {
-    switch (ev->kind) {
-      case TraceEvent::Kind::Start:
-        if (!saw_start && pid != nullptr) *pid = ev->pid;
-        saw_start = true;
-        break;
-      case TraceEvent::Kind::End:
-        break;
-      case TraceEvent::Kind::Record:
-        records.push_back(std::move(ev->record));
-        break;
-    }
-  }
-  return records;
+  GleipnirReader reader(ctx, in, diags);
+  return drain(reader, pid);
 }
 
 }  // namespace tdt::trace

@@ -15,6 +15,7 @@
 #include <vector>
 
 #include "trace/record.hpp"
+#include "util/diag.hpp"
 
 namespace tdt::trace {
 
@@ -27,11 +28,18 @@ struct TraceEvent {
   std::uint64_t pid = 0; // when kind == Start / End
 };
 
-/// Streaming line-by-line parser. Throws Error{Parse} with the offending
-/// line number on malformed input; blank lines are skipped.
+/// Streaming line-by-line parser; blank lines are skipped.
+///
+/// Without a DiagEngine (or with a Strict one) it throws Error{Parse}
+/// with the offending line number on malformed input. With a Skip/Repair
+/// engine it reports the diagnostic and resyncs to the next line; Repair
+/// additionally salvages a record's address/size/function when only the
+/// trailing symbol annotation is malformed (the record comes back with
+/// Unknown scope, diagnostic T003).
 class GleipnirReader {
  public:
-  GleipnirReader(TraceContext& ctx, std::istream& in);
+  GleipnirReader(TraceContext& ctx, std::istream& in,
+                 DiagEngine* diags = nullptr);
 
   /// Returns the next event, or nullopt at end of input.
   std::optional<TraceEvent> next();
@@ -40,28 +48,36 @@ class GleipnirReader {
   [[nodiscard]] std::uint32_t line_number() const noexcept { return line_; }
 
   /// Parses a single record line (no START/END handling). Exposed for
-  /// tests and the diff tool.
+  /// tests and the diff tool. Always throws on malformed input.
   static TraceRecord parse_record_line(TraceContext& ctx,
                                        std::string_view line,
                                        std::uint32_t line_number = 0);
 
  private:
+  /// Best-effort salvage of the first four fields (kind, address, size,
+  /// function); nullopt when even those are malformed.
+  static std::optional<TraceRecord> salvage_record_line(TraceContext& ctx,
+                                                        std::string_view line);
+
   TraceContext* ctx_;
   std::istream* in_;
+  DiagEngine* diags_;
   std::uint32_t line_ = 0;
 };
 
 /// Reads every record of an in-memory trace text. START/END markers are
 /// validated and dropped; the first START's pid is stored in *pid when
-/// non-null.
+/// non-null. `diags` selects the recovery policy (nullptr = strict).
 std::vector<TraceRecord> read_trace_string(TraceContext& ctx,
                                            std::string_view text,
-                                           std::uint64_t* pid = nullptr);
+                                           std::uint64_t* pid = nullptr,
+                                           DiagEngine* diags = nullptr);
 
 /// Reads a trace file from disk. Throws Error{Io} when the file cannot be
 /// opened.
 std::vector<TraceRecord> read_trace_file(TraceContext& ctx,
                                          const std::string& path,
-                                         std::uint64_t* pid = nullptr);
+                                         std::uint64_t* pid = nullptr,
+                                         DiagEngine* diags = nullptr);
 
 }  // namespace tdt::trace

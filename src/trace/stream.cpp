@@ -1,0 +1,79 @@
+#include "trace/stream.hpp"
+
+#include <fstream>
+
+#include "trace/binary.hpp"
+#include "trace/din.hpp"
+#include "trace/reader.hpp"
+#include "util/error.hpp"
+#include "util/string_util.hpp"
+
+namespace tdt::trace {
+
+TraceFormat guess_trace_format(const std::string& path) noexcept {
+  if (ends_with(path, ".tdtb")) return TraceFormat::Tdtb;
+  if (ends_with(path, ".din")) return TraceFormat::Din;
+  return TraceFormat::Gleipnir;
+}
+
+StreamResult stream_trace(TraceContext& ctx, std::istream& in,
+                          TraceFormat format, TraceSink& sink,
+                          DiagEngine* diags) {
+  StreamResult result;
+  switch (format) {
+    case TraceFormat::Gleipnir: {
+      GleipnirReader reader(ctx, in, diags);
+      bool saw_start = false;
+      while (auto ev = reader.next()) {
+        switch (ev->kind) {
+          case TraceEvent::Kind::Start:
+            if (!saw_start) result.pid = ev->pid;
+            saw_start = true;
+            break;
+          case TraceEvent::Kind::End:
+            break;
+          case TraceEvent::Kind::Record:
+            ++result.records;
+            sink.on_record(ev->record);
+            break;
+        }
+      }
+      break;
+    }
+    case TraceFormat::Din: {
+      DinReader reader(ctx, in, /*default_size=*/4, diags);
+      TraceRecord rec;
+      while (reader.next(rec)) {
+        ++result.records;
+        sink.on_record(rec);
+      }
+      break;
+    }
+    case TraceFormat::Tdtb: {
+      BinaryTraceReader reader(ctx, in, diags);
+      result.pid = reader.pid();
+      TraceRecord rec;
+      while (reader.next(rec)) {
+        ++result.records;
+        sink.on_record(rec);
+      }
+      break;
+    }
+  }
+  sink.on_end();
+  return result;
+}
+
+StreamResult stream_trace_file(TraceContext& ctx, const std::string& path,
+                               TraceSink& sink, DiagEngine* diags) {
+  const TraceFormat format = guess_trace_format(path);
+  std::ifstream in(path, format == TraceFormat::Tdtb
+                             ? std::ios::binary | std::ios::in
+                             : std::ios::in);
+  if (!in) {
+    throw_io_error("cannot open trace file '" + path + "'");
+  }
+  return stream_trace(ctx, in, format, sink, diags);
+}
+
+}  // namespace tdt::trace

@@ -1,0 +1,40 @@
+// Format-dispatching streaming trace input. One call wires any trace
+// file — Gleipnir text, classic din, or TDTB binary — into a TraceSink
+// pipeline record-by-record, so recovery and simulation work on traces
+// larger than memory (no whole-file slurp, no whole-trace vector).
+#pragma once
+
+#include <istream>
+#include <string>
+
+#include "trace/sink.hpp"
+#include "util/diag.hpp"
+
+namespace tdt::trace {
+
+/// On-disk trace encodings understood by the pipeline.
+enum class TraceFormat : std::uint8_t { Gleipnir, Din, Tdtb };
+
+/// Picks the format from the file name: ".tdtb" -> Tdtb, ".din" -> Din,
+/// anything else -> Gleipnir text.
+[[nodiscard]] TraceFormat guess_trace_format(const std::string& path) noexcept;
+
+/// What a streaming pass delivered.
+struct StreamResult {
+  std::uint64_t records = 0;  ///< records pushed into the sink
+  std::uint64_t pid = 0;      ///< PID from START marker / binary header
+};
+
+/// Streams every record of `in` into `sink` (on_record per record, then
+/// one on_end). `diags` selects the error-recovery policy (nullptr =
+/// strict fail-fast).
+StreamResult stream_trace(TraceContext& ctx, std::istream& in,
+                          TraceFormat format, TraceSink& sink,
+                          DiagEngine* diags = nullptr);
+
+/// Opens `path`, guesses the format from its extension, and streams it
+/// into `sink`. Throws Error{Io} when the file cannot be opened.
+StreamResult stream_trace_file(TraceContext& ctx, const std::string& path,
+                               TraceSink& sink, DiagEngine* diags = nullptr);
+
+}  // namespace tdt::trace

@@ -7,6 +7,7 @@
 #include <string>
 
 #include "trace/record.hpp"
+#include "trace/sink.hpp"
 
 namespace tdt::trace {
 
@@ -33,6 +34,29 @@ class GleipnirWriter {
   const TraceContext* ctx_;
   std::ostream* out_;
   std::uint64_t count_ = 0;
+};
+
+/// TraceSink adapter around GleipnirWriter so a streaming pipeline
+/// (reader -> transformer -> ...) can emit a trace file without ever
+/// materializing the whole record vector. START is written up front,
+/// END on on_end().
+class WriterSink final : public TraceSink {
+ public:
+  WriterSink(const TraceContext& ctx, std::ostream& out, std::uint64_t pid = 0)
+      : writer_(ctx, out), pid_(pid) {
+    writer_.start(pid_);
+  }
+
+  void on_record(const TraceRecord& rec) override { writer_.write(rec); }
+  void on_end() override { writer_.end(pid_); }
+
+  [[nodiscard]] std::uint64_t records_written() const noexcept {
+    return writer_.records_written();
+  }
+
+ private:
+  GleipnirWriter writer_;
+  std::uint64_t pid_;
 };
 
 /// Renders a whole trace (with START/END markers) to a string.

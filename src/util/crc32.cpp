@@ -1,0 +1,43 @@
+#include "util/crc32.hpp"
+
+#include <array>
+
+namespace tdt {
+namespace {
+
+constexpr std::array<std::uint32_t, 256> make_table() {
+  std::array<std::uint32_t, 256> table{};
+  for (std::uint32_t i = 0; i < 256; ++i) {
+    std::uint32_t c = i;
+    for (int k = 0; k < 8; ++k) {
+      c = (c & 1u) != 0 ? 0xEDB88320u ^ (c >> 1) : c >> 1;
+    }
+    table[i] = c;
+  }
+  return table;
+}
+
+constexpr std::array<std::uint32_t, 256> kTable = make_table();
+
+}  // namespace
+
+void Crc32::update(const void* data, std::size_t len) noexcept {
+  const auto* p = static_cast<const unsigned char*>(data);
+  std::uint32_t c = state_;
+  for (std::size_t i = 0; i < len; ++i) {
+    c = kTable[(c ^ p[i]) & 0xFFu] ^ (c >> 8);
+  }
+  state_ = c;
+}
+
+std::uint32_t crc32(const void* data, std::size_t len) noexcept {
+  Crc32 crc;
+  crc.update(data, len);
+  return crc.value();
+}
+
+std::uint32_t crc32(std::string_view s) noexcept {
+  return crc32(s.data(), s.size());
+}
+
+}  // namespace tdt

@@ -1,0 +1,39 @@
+// CRC-32 (IEEE 802.3, polynomial 0xEDB88320) used by the TDTB v2 trace
+// footer to detect bit corruption. Incremental: feed chunks as they are
+// written/read and take value() at the end.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <string_view>
+
+namespace tdt {
+
+/// Incremental CRC-32 accumulator.
+class Crc32 {
+ public:
+  /// Feeds `len` bytes into the checksum.
+  void update(const void* data, std::size_t len) noexcept;
+
+  /// Feeds a single byte.
+  void update_byte(std::uint8_t byte) noexcept {
+    update(&byte, 1);
+  }
+
+  /// Final checksum over everything fed so far.
+  [[nodiscard]] std::uint32_t value() const noexcept { return state_ ^ 0xFFFFFFFFu; }
+
+  /// Resets to the empty-input state.
+  void reset() noexcept { state_ = 0xFFFFFFFFu; }
+
+ private:
+  std::uint32_t state_ = 0xFFFFFFFFu;
+};
+
+/// One-shot CRC-32 of a byte buffer.
+[[nodiscard]] std::uint32_t crc32(const void* data, std::size_t len) noexcept;
+
+/// One-shot CRC-32 of a string.
+[[nodiscard]] std::uint32_t crc32(std::string_view s) noexcept;
+
+}  // namespace tdt

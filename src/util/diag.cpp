@@ -1,0 +1,160 @@
+#include "util/diag.hpp"
+
+#include <utility>
+
+namespace tdt {
+
+std::string_view to_string(DiagSeverity severity) noexcept {
+  switch (severity) {
+    case DiagSeverity::Note: return "note";
+    case DiagSeverity::Warning: return "warning";
+    case DiagSeverity::Error: return "error";
+    case DiagSeverity::Fatal: return "fatal";
+  }
+  return "unknown";
+}
+
+std::string_view diag_code_id(DiagCode code) noexcept {
+  switch (code) {
+    case DiagCode::TraceBadLine: return "T001";
+    case DiagCode::TraceBadMarker: return "T002";
+    case DiagCode::TraceRepairedLine: return "T003";
+    case DiagCode::DinBadLine: return "D001";
+    case DiagCode::DinRepairedLine: return "D002";
+    case DiagCode::BinBadMagic: return "B001";
+    case DiagCode::BinBadVersion: return "B002";
+    case DiagCode::BinTruncated: return "B003";
+    case DiagCode::BinBadVarint: return "B004";
+    case DiagCode::BinFieldOverflow: return "B005";
+    case DiagCode::BinBadSymbol: return "B006";
+    case DiagCode::BinBadTag: return "B007";
+    case DiagCode::BinStringTooLong: return "B008";
+    case DiagCode::BinBadFooter: return "B009";
+    case DiagCode::BinCrcMismatch: return "B010";
+    case DiagCode::BinCountMismatch: return "B011";
+    case DiagCode::XformUnmatchedVar: return "X001";
+    case DiagCode::XformFailedRecord: return "X002";
+  }
+  return "????";
+}
+
+std::string_view diag_code_name(DiagCode code) noexcept {
+  switch (code) {
+    case DiagCode::TraceBadLine: return "trace-bad-line";
+    case DiagCode::TraceBadMarker: return "trace-bad-marker";
+    case DiagCode::TraceRepairedLine: return "trace-repaired-line";
+    case DiagCode::DinBadLine: return "din-bad-line";
+    case DiagCode::DinRepairedLine: return "din-repaired-line";
+    case DiagCode::BinBadMagic: return "bin-bad-magic";
+    case DiagCode::BinBadVersion: return "bin-bad-version";
+    case DiagCode::BinTruncated: return "bin-truncated";
+    case DiagCode::BinBadVarint: return "bin-bad-varint";
+    case DiagCode::BinFieldOverflow: return "bin-field-overflow";
+    case DiagCode::BinBadSymbol: return "bin-bad-symbol";
+    case DiagCode::BinBadTag: return "bin-bad-tag";
+    case DiagCode::BinStringTooLong: return "bin-string-too-long";
+    case DiagCode::BinBadFooter: return "bin-bad-footer";
+    case DiagCode::BinCrcMismatch: return "bin-crc-mismatch";
+    case DiagCode::BinCountMismatch: return "bin-count-mismatch";
+    case DiagCode::XformUnmatchedVar: return "xform-unmatched-var";
+    case DiagCode::XformFailedRecord: return "xform-failed-record";
+  }
+  return "unknown";
+}
+
+ErrorPolicy parse_error_policy(std::string_view text) {
+  if (text == "strict") return ErrorPolicy::Strict;
+  if (text == "skip") return ErrorPolicy::Skip;
+  if (text == "repair") return ErrorPolicy::Repair;
+  throw_config_error("unknown error policy '" + std::string(text) +
+                     "' (strict|skip|repair)");
+}
+
+std::string_view to_string(ErrorPolicy policy) noexcept {
+  switch (policy) {
+    case ErrorPolicy::Strict: return "strict";
+    case ErrorPolicy::Skip: return "skip";
+    case ErrorPolicy::Repair: return "repair";
+  }
+  return "unknown";
+}
+
+std::string Diagnostic::format() const {
+  std::string out;
+  out += to_string(severity);
+  out += ' ';
+  out += diag_code_id(code);
+  out += " (";
+  out += diag_code_name(code);
+  out += ')';
+  if (loc.known()) {
+    out += " at ";
+    out += std::to_string(loc.line);
+    out += ':';
+    out += std::to_string(loc.column);
+  }
+  out += ": ";
+  out += message;
+  return out;
+}
+
+DiagEngine::DiagEngine(ErrorPolicy policy, std::uint64_t max_errors)
+    : policy_(policy), max_errors_(max_errors) {}
+
+void DiagEngine::report(DiagSeverity severity, DiagCode code,
+                        std::string message, SourceLoc loc) {
+  Diagnostic diag{severity, code, loc, std::move(message)};
+  ++counts_[code];
+  switch (severity) {
+    case DiagSeverity::Note: ++notes_; break;
+    case DiagSeverity::Warning: ++warnings_; break;
+    case DiagSeverity::Error:
+    case DiagSeverity::Fatal: ++errors_; break;
+  }
+  if (retained_.size() < kRetainCap) retained_.push_back(diag);
+  if (echo_ != nullptr) *echo_ << diag.format() << '\n';
+
+  if (severity == DiagSeverity::Fatal ||
+      (severity == DiagSeverity::Error && policy_ == ErrorPolicy::Strict)) {
+    throw Error(ErrorKind::Parse, diag.format(), loc);
+  }
+  if (max_errors_ != 0 && errors_ > max_errors_) {
+    throw Error(ErrorKind::Parse,
+                "too many errors (--max-errors=" +
+                    std::to_string(max_errors_) + " exceeded), giving up",
+                loc);
+  }
+}
+
+std::uint64_t DiagEngine::count(DiagCode code) const noexcept {
+  const auto it = counts_.find(code);
+  return it == counts_.end() ? 0 : it->second;
+}
+
+std::string DiagEngine::summary() const {
+  if (errors_ == 0 && warnings_ == 0 && notes_ == 0) return {};
+  std::string out = "diagnostics: ";
+  out += std::to_string(errors_);
+  out += errors_ == 1 ? " error" : " errors";
+  out += ", ";
+  out += std::to_string(warnings_);
+  out += warnings_ == 1 ? " warning" : " warnings";
+  if (notes_ != 0) {
+    out += ", ";
+    out += std::to_string(notes_);
+    out += notes_ == 1 ? " note" : " notes";
+  }
+  out += '\n';
+  for (const auto& [code, n] : counts_) {
+    out += "  ";
+    out += diag_code_id(code);
+    out += ' ';
+    out += diag_code_name(code);
+    out += ": ";
+    out += std::to_string(n);
+    out += '\n';
+  }
+  return out;
+}
+
+}  // namespace tdt

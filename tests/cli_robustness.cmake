@@ -1,0 +1,141 @@
+# CLI robustness test: the shared exit-code contract (docs/robustness.md)
+# end-to-end — 0 = clean, 1 = completed with recovered errors, 2 = fatal.
+file(MAKE_DIRECTORY ${WORKDIR})
+
+function(check_rc what expected actual)
+  if(NOT actual EQUAL expected)
+    message(FATAL_ERROR "${what}: expected exit ${expected}, got ${actual}")
+  endif()
+endfunction()
+
+# -- Baseline: a clean trace exits 0 under every policy. ----------------------
+execute_process(
+  COMMAND ${GTRACER} --kernel t1_soa --len 64 --out ${WORKDIR}/good.out
+  RESULT_VARIABLE rc)
+check_rc("gtracer" 0 "${rc}")
+
+foreach(policy strict skip repair)
+  execute_process(
+    COMMAND ${DINEROSIM} --trace ${WORKDIR}/good.out --size 4096
+            --on-error=${policy}
+    RESULT_VARIABLE rc OUTPUT_VARIABLE out)
+  check_rc("dinerosim clean --on-error=${policy}" 0 "${rc}")
+  if(NOT out MATCHES "miss ratio")
+    message(FATAL_ERROR "dinerosim clean output missing stats: ${out}")
+  endif()
+endforeach()
+
+# -- Corrupt text trace: garbage record lines injected. -----------------------
+file(READ ${WORKDIR}/good.out trace_text)
+string(APPEND trace_text
+  "Z 7ff0001b0 8 main\n"
+  "S nothex 8 main\n"
+  "S 7ff0001b0 8 main XX 0 1 broken\n")
+file(WRITE ${WORKDIR}/bad.out "${trace_text}")
+
+execute_process(
+  COMMAND ${DINEROSIM} --trace ${WORKDIR}/bad.out --size 4096
+  RESULT_VARIABLE rc ERROR_VARIABLE err)
+check_rc("dinerosim corrupt (strict default)" 2 "${rc}")
+
+execute_process(
+  COMMAND ${DINEROSIM} --trace ${WORKDIR}/bad.out --size 4096 --on-error=skip
+  RESULT_VARIABLE rc OUTPUT_VARIABLE out ERROR_VARIABLE err)
+check_rc("dinerosim corrupt --on-error=skip" 1 "${rc}")
+if(NOT out MATCHES "miss ratio")
+  message(FATAL_ERROR "skip run must still produce stats: ${out}")
+endif()
+if(NOT err MATCHES "diagnostics:" OR NOT err MATCHES "trace-bad-line")
+  message(FATAL_ERROR "skip run missing per-code summary on stderr: ${err}")
+endif()
+
+execute_process(
+  COMMAND ${DINEROSIM} --trace ${WORKDIR}/bad.out --size 4096 --on-error=repair
+  RESULT_VARIABLE rc ERROR_VARIABLE err)
+check_rc("dinerosim corrupt --on-error=repair" 1 "${rc}")
+if(NOT err MATCHES "trace-repaired-line")
+  message(FATAL_ERROR "repair run did not report salvaged lines: ${err}")
+endif()
+
+# --max-errors caps runaway streams: with a cap below the error count the
+# run must abort fatally (exit 2) instead of grinding through the garbage.
+execute_process(
+  COMMAND ${DINEROSIM} --trace ${WORKDIR}/bad.out --size 4096
+          --on-error=skip --max-errors 1
+  RESULT_VARIABLE rc ERROR_VARIABLE err)
+check_rc("dinerosim --max-errors cap" 2 "${rc}")
+
+execute_process(
+  COMMAND ${TRACEINFO} ${WORKDIR}/bad.out
+  RESULT_VARIABLE rc)
+check_rc("traceinfo corrupt (strict default)" 2 "${rc}")
+execute_process(
+  COMMAND ${TRACEINFO} ${WORKDIR}/bad.out --on-error=skip
+  RESULT_VARIABLE rc)
+check_rc("traceinfo corrupt --on-error=skip" 1 "${rc}")
+
+# tracediff: identical files but recovered errors -> exit 1, not 0.
+execute_process(
+  COMMAND ${TRACEDIFF} ${WORKDIR}/bad.out ${WORKDIR}/bad.out --summary
+          --on-error=skip
+  RESULT_VARIABLE rc)
+check_rc("tracediff recovered-errors" 1 "${rc}")
+execute_process(
+  COMMAND ${TRACEDIFF} ${WORKDIR}/good.out ${WORKDIR}/good.out --summary
+  RESULT_VARIABLE rc)
+check_rc("tracediff identical clean" 0 "${rc}")
+
+# -- Unknown policy is a usage error. -----------------------------------------
+execute_process(
+  COMMAND ${DINEROSIM} --trace ${WORKDIR}/good.out --on-error=lenient
+  RESULT_VARIABLE rc)
+check_rc("dinerosim bad --on-error value" 2 "${rc}")
+
+# -- Bad rules file is fatal regardless of policy. ----------------------------
+file(WRITE ${WORKDIR}/bad.rules "in:\nthis is not a rule file\nout:\nnope\n")
+execute_process(
+  COMMAND ${DINEROSIM} --trace ${WORKDIR}/good.out --rules ${WORKDIR}/bad.rules
+          --on-error=skip
+  RESULT_VARIABLE rc)
+check_rc("dinerosim bad rules" 2 "${rc}")
+
+# -- Truncated binary trace: strict -> 2, skip salvages a prefix -> 1. --------
+execute_process(
+  COMMAND ${GTRACER} --kernel t1_soa --len 64 --binary
+          --out ${WORKDIR}/good.tdtb
+  RESULT_VARIABLE rc)
+check_rc("gtracer --binary" 0 "${rc}")
+
+execute_process(
+  COMMAND ${DINEROSIM} --trace ${WORKDIR}/good.tdtb --size 4096
+  RESULT_VARIABLE rc)
+check_rc("dinerosim clean tdtb" 0 "${rc}")
+
+# CMake cannot write arbitrary binary, so truncate with head(1) when
+# available (the sanitizer/CI images are all Linux); otherwise skip.
+find_program(HEAD_TOOL head)
+if(HEAD_TOOL)
+  file(SIZE ${WORKDIR}/good.tdtb blob_size)
+  math(EXPR cut "${blob_size} - 21")
+  execute_process(
+    COMMAND ${HEAD_TOOL} -c ${cut} ${WORKDIR}/good.tdtb
+    OUTPUT_FILE ${WORKDIR}/trunc.tdtb
+    RESULT_VARIABLE rc)
+  check_rc("head -c" 0 "${rc}")
+
+  execute_process(
+    COMMAND ${DINEROSIM} --trace ${WORKDIR}/trunc.tdtb --size 4096
+    RESULT_VARIABLE rc)
+  check_rc("dinerosim truncated tdtb (strict default)" 2 "${rc}")
+
+  execute_process(
+    COMMAND ${DINEROSIM} --trace ${WORKDIR}/trunc.tdtb --size 4096
+            --on-error=skip
+    RESULT_VARIABLE rc OUTPUT_VARIABLE out ERROR_VARIABLE err)
+  check_rc("dinerosim truncated tdtb --on-error=skip" 1 "${rc}")
+  if(NOT out MATCHES "miss ratio")
+    message(FATAL_ERROR "truncated-tdtb skip run must still simulate: ${out}")
+  endif()
+else()
+  message(STATUS "head(1) not found; skipping binary truncation checks")
+endif()

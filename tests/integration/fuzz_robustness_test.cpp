@@ -4,12 +4,15 @@
 // (truncations, byte flips, random garbage).
 #include <gtest/gtest.h>
 
+#include <iterator>
+
 #include "core/rule_parser.hpp"
 #include "layout/decl_parser.hpp"
 #include "trace/binary.hpp"
 #include "trace/din.hpp"
 #include "trace/reader.hpp"
 #include "tracer/parser.hpp"
+#include "util/diag.hpp"
 #include "util/error.hpp"
 #include "util/rng.hpp"
 
@@ -162,6 +165,211 @@ TEST_P(FuzzRobustness, BinaryReaderNeverCrashes) {
 }
 
 INSTANTIATE_TEST_SUITE_P(Seeds, FuzzRobustness, ::testing::Range(0, 12));
+
+// Mutated inputs must also never crash when read under a recovering
+// policy: the reader either completes (salvaging what it can) or throws a
+// classified Error (bad magic / error cap), never anything else.
+TEST_P(FuzzRobustness, RecoveringReadersNeverCrash) {
+  Xoshiro256 rng(static_cast<std::uint64_t>(GetParam()) * 271 + 17);
+  trace::TraceContext seed_ctx;
+  const auto blob =
+      trace::write_binary_trace(seed_ctx,
+                                trace::read_trace_string(seed_ctx, kValidTrace));
+  std::string text = kValidTrace;
+  std::string binary(blob.begin(), blob.end());
+  for (int round = 0; round < 8; ++round) {
+    text = mutate(std::move(text), rng);
+    binary = mutate(std::move(binary), rng);
+    for (const ErrorPolicy policy : {ErrorPolicy::Skip, ErrorPolicy::Repair}) {
+      expect_no_crash("recovering trace reader", text,
+                      [policy](const std::string& input) {
+                        trace::TraceContext ctx;
+                        DiagEngine diags(policy);
+                        (void)trace::read_trace_string(ctx, input, nullptr,
+                                                       &diags);
+                      });
+      expect_no_crash("recovering din reader", text,
+                      [policy](const std::string& input) {
+                        trace::TraceContext ctx;
+                        DiagEngine diags(policy);
+                        (void)trace::read_din_string(ctx, input, 4, &diags);
+                      });
+      expect_no_crash("recovering binary reader", binary,
+                      [policy](const std::string& input) {
+                        trace::TraceContext ctx;
+                        DiagEngine diags(policy);
+                        const std::vector<char> bytes(input.begin(),
+                                                      input.end());
+                        (void)trace::read_binary_trace(ctx, bytes, nullptr,
+                                                       &diags);
+                      });
+    }
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Deterministic corpus: exact recovery counts per policy.
+
+/// Malformed Gleipnir record lines. `salvageable` = the first four fields
+/// (kind, address, size, function) parse, so Repair keeps the raw access.
+struct BadLine {
+  const char* text;
+  bool salvageable;
+};
+
+constexpr BadLine kBadLines[] = {
+    {"Z 7ff0001b0 8 main", false},                      // bad access kind
+    {"S nothex 8 main", false},                         // bad address
+    {"S 7ff0001b0 0 main", false},                      // zero size
+    {"S 7ff0001b0 8", false},                           // too few fields
+    {"S 7ff0001b0 8 main XX 0 1 v", true},              // bad scope
+    {"S 7ff0001b0 8 main LV 0 1", true},                // missing variable
+    {"S 7ff0001b0 8 main LV zero 1 v", true},           // bad frame
+    {"S 7ff0001b0 8 main LV 0 1 v extra", true},        // trailing fields
+    {"S 7ff0001b0 8 main GV glScalar[", true},          // unterminated index
+    {"L 000601040 4 main GV 9bad", true},               // bad variable start
+};
+
+std::string trace_with_bad_lines() {
+  std::string text = "START PID 1\n";
+  for (const BadLine& bad : kBadLines) {
+    text += "L 000601040 4 main GV glScalar\n";
+    text += bad.text;
+    text += '\n';
+  }
+  text += "END PID 1\n";
+  return text;
+}
+
+TEST(RobustnessCorpus, StrictFailsFastOnFirstBadLine) {
+  trace::TraceContext ctx;
+  EXPECT_THROW((void)trace::read_trace_string(ctx, trace_with_bad_lines()),
+               Error);
+  DiagEngine diags(ErrorPolicy::Strict);
+  EXPECT_THROW((void)trace::read_trace_string(ctx, trace_with_bad_lines(),
+                                              nullptr, &diags),
+               Error);
+}
+
+TEST(RobustnessCorpus, SkipDropsEveryBadLineAndCountsThem) {
+  trace::TraceContext ctx;
+  DiagEngine diags(ErrorPolicy::Skip);
+  const auto records = trace::read_trace_string(ctx, trace_with_bad_lines(),
+                                                nullptr, &diags);
+  EXPECT_EQ(records.size(), std::size(kBadLines));  // only the good lines
+  EXPECT_EQ(diags.errors(), std::size(kBadLines));
+  EXPECT_EQ(diags.count(DiagCode::TraceBadLine), std::size(kBadLines));
+  EXPECT_EQ(diags.count(DiagCode::TraceRepairedLine), 0u);
+  EXPECT_EQ(diags.exit_code(), 1);
+}
+
+TEST(RobustnessCorpus, RepairSalvagesAddressSizeFunctionPrefix) {
+  std::size_t salvageable = 0;
+  for (const BadLine& bad : kBadLines) salvageable += bad.salvageable ? 1 : 0;
+
+  trace::TraceContext ctx;
+  DiagEngine diags(ErrorPolicy::Repair);
+  const auto records = trace::read_trace_string(ctx, trace_with_bad_lines(),
+                                                nullptr, &diags);
+  EXPECT_EQ(records.size(), std::size(kBadLines) + salvageable);
+  EXPECT_EQ(diags.count(DiagCode::TraceRepairedLine), salvageable);
+  EXPECT_EQ(diags.count(DiagCode::TraceBadLine),
+            std::size(kBadLines) - salvageable);
+  EXPECT_EQ(diags.exit_code(), 1);
+  // Every salvaged record lost its symbol annotation but kept the access.
+  for (const trace::TraceRecord& rec : records) {
+    if (rec.scope == trace::VarScope::Unknown) {
+      EXPECT_NE(rec.address, 0u);
+      EXPECT_NE(rec.size, 0u);
+    }
+  }
+}
+
+TEST(RobustnessCorpus, BadMarkersAreSkippedNotFatal) {
+  const char* text =
+      "START PID notanumber\n"
+      "L 000601040 4 main GV glScalar\n"
+      "END\n";
+  trace::TraceContext ctx;
+  EXPECT_THROW((void)trace::read_trace_string(ctx, text), Error);
+  DiagEngine diags(ErrorPolicy::Skip);
+  const auto records =
+      trace::read_trace_string(ctx, text, nullptr, &diags);
+  EXPECT_EQ(records.size(), 1u);
+  EXPECT_EQ(diags.count(DiagCode::TraceBadMarker), 2u);
+}
+
+TEST(RobustnessCorpus, DinPoliciesRecoverPerContract) {
+  const char* text =
+      "0 7ff000100 4\n"
+      "9 7ff000104 8\n"       // bad label -> dropped under skip/repair
+      "1 nothex 8\n"          // bad address -> dropped
+      "1 7ff000108 zz\n"      // bad size -> repairable with default
+      "2 400000\n";
+  trace::TraceContext ctx;
+  EXPECT_THROW((void)trace::read_din_string(ctx, text), Error);
+
+  DiagEngine skip(ErrorPolicy::Skip);
+  EXPECT_EQ(trace::read_din_string(ctx, text, 4, &skip).size(), 2u);
+  EXPECT_EQ(skip.count(DiagCode::DinBadLine), 3u);
+  EXPECT_EQ(skip.exit_code(), 1);
+
+  DiagEngine repair(ErrorPolicy::Repair);
+  const auto records = trace::read_din_string(ctx, text, 4, &repair);
+  ASSERT_EQ(records.size(), 3u);
+  EXPECT_EQ(records[1].size, 4u);  // default size substituted
+  EXPECT_EQ(repair.count(DiagCode::DinRepairedLine), 1u);
+  EXPECT_EQ(repair.count(DiagCode::DinBadLine), 2u);
+  EXPECT_EQ(repair.exit_code(), 1);
+}
+
+TEST(RobustnessCorpus, TruncatedBinaryBlobSalvagesPrefixPerPolicy) {
+  trace::TraceContext ctx;
+  const auto records = trace::read_trace_string(ctx, kValidTrace);
+  const auto blob = trace::write_binary_trace(ctx, records);
+  // Chop at every byte boundary: strict always throws, skip/repair always
+  // salvage a prefix and report the truncation.
+  for (std::size_t cut = 6; cut + 1 < blob.size(); cut += 3) {
+    std::vector<char> truncated(blob.begin(),
+                                blob.begin() + static_cast<long>(cut));
+    trace::TraceContext strict_ctx;
+    EXPECT_THROW((void)trace::read_binary_trace(strict_ctx, truncated), Error);
+
+    for (const ErrorPolicy policy : {ErrorPolicy::Skip, ErrorPolicy::Repair}) {
+      trace::TraceContext ctx2;
+      DiagEngine diags(policy);
+      const auto salvaged =
+          trace::read_binary_trace(ctx2, truncated, nullptr, &diags);
+      EXPECT_LE(salvaged.size(), records.size()) << "cut at " << cut;
+      EXPECT_FALSE(diags.clean()) << "cut at " << cut;
+      EXPECT_EQ(diags.exit_code(), 1) << "cut at " << cut;
+    }
+  }
+}
+
+TEST(RobustnessCorpus, BadRuleFilesAlwaysThrowClassifiedErrors) {
+  const char* corpus[] = {
+      "in:\nstruct lSoA { int mX[16]; };\n",       // missing out section
+      "out:\nstruct lAoS { int mX; }[16];\n",      // missing in section
+      "in:\nstruct A { int x; };\nout:\nstruct\n", // truncated out decl
+      "in:\nnot a struct at all\nout:\nnope\n",
+      "in:\nstruct A { int x[4]; };\nout:\nstruct B { double y; }[4];[\n",
+      "map: a -> b\n",
+  };
+  for (const char* text : corpus) {
+    try {
+      const core::RuleSet rules = core::parse_rules(text);
+      // If an entry happens to parse, it must not yield a silently usable
+      // rule set: either no rules at all or validation flags it.
+      EXPECT_TRUE(rules.rules().empty() || !rules.validate().empty())
+          << "accepted: " << text;
+    } catch (const Error&) {
+      // Expected: classified parse error.
+    } catch (const std::exception& e) {
+      FAIL() << "rule parser threw a non-tdt exception: " << e.what();
+    }
+  }
+}
 
 }  // namespace
 }  // namespace tdt

@@ -1,9 +1,11 @@
 #include "trace/binary.hpp"
 
+#include <algorithm>
 #include <gtest/gtest.h>
 
 #include "trace/reader.hpp"
 #include "trace/writer.hpp"
+#include "util/diag.hpp"
 #include "util/error.hpp"
 
 namespace tdt::trace {
@@ -110,6 +112,180 @@ TEST(Binary, StreamingWriterMatchesOneShot) {
   const auto oneshot = write_binary_trace(ctx, records, 4242);
   ASSERT_EQ(s.size(), oneshot.size());
   EXPECT_TRUE(std::equal(s.begin(), s.end(), oneshot.begin()));
+}
+
+TEST(Binary, V1BlobStillDecodes) {
+  TraceContext ctx;
+  const auto records = sample_records(ctx);
+  const auto blob = write_binary_trace(ctx, records, 99, /*version=*/1);
+
+  TraceContext ctx2;
+  std::uint64_t pid = 0;
+  const auto parsed = read_binary_trace(ctx2, blob, &pid);
+  EXPECT_EQ(pid, 99u);
+  ASSERT_EQ(parsed.size(), records.size());
+  for (std::size_t i = 0; i < records.size(); ++i) {
+    EXPECT_EQ(ctx2.format_record(parsed[i]), ctx.format_record(records[i]));
+  }
+}
+
+TEST(Binary, V2FooterAddsTwelveBytes) {
+  TraceContext ctx;
+  const auto records = sample_records(ctx);
+  const auto v1 = write_binary_trace(ctx, records, 0, /*version=*/1);
+  const auto v2 = write_binary_trace(ctx, records, 0, /*version=*/2);
+  EXPECT_EQ(v2.size(), v1.size() + 12);
+}
+
+TEST(Binary, FooterDetectsBitFlip) {
+  TraceContext ctx;
+  auto blob = write_binary_trace(ctx, sample_records(ctx));
+  // Flip a byte inside the "main" string payload: the blob stays
+  // structurally valid (same length), only the CRC can notice.
+  const char needle[] = {'m', 'a', 'i', 'n'};
+  const auto it = std::search(blob.begin(), blob.end(), std::begin(needle),
+                              std::end(needle));
+  ASSERT_NE(it, blob.end());
+  *it = 'w';
+
+  // Strict: throws.
+  {
+    TraceContext ctx2;
+    EXPECT_THROW((void)read_binary_trace(ctx2, blob), Error);
+  }
+  // Skip: records are salvaged, the corruption is reported and counted.
+  {
+    TraceContext ctx2;
+    DiagEngine diags(ErrorPolicy::Skip);
+    const auto parsed = read_binary_trace(ctx2, blob, nullptr, &diags);
+    EXPECT_EQ(parsed.size(), sample_records(ctx).size());
+    EXPECT_EQ(diags.count(DiagCode::BinCrcMismatch), 1u);
+    EXPECT_EQ(diags.exit_code(), 1);
+  }
+}
+
+TEST(Binary, FooterCountMismatchDetected) {
+  TraceContext ctx;
+  auto blob = write_binary_trace(ctx, sample_records(ctx));
+  // Footer layout: ... end-tag | count (8 LE) | crc (4 LE). Corrupt the
+  // count's low byte.
+  blob[blob.size() - 12] = static_cast<char>(blob[blob.size() - 12] + 1);
+  TraceContext ctx2;
+  DiagEngine diags(ErrorPolicy::Skip);
+  const auto parsed = read_binary_trace(ctx2, blob, nullptr, &diags);
+  EXPECT_EQ(parsed.size(), sample_records(ctx).size());
+  EXPECT_EQ(diags.count(DiagCode::BinCountMismatch), 1u);
+}
+
+TEST(Binary, TruncationSalvagesPrefixUnderSkip) {
+  TraceContext ctx;
+  const auto records = sample_records(ctx);
+  auto blob = write_binary_trace(ctx, records);
+  blob.resize(blob.size() / 2);
+  TraceContext ctx2;
+  DiagEngine diags(ErrorPolicy::Skip);
+  const auto parsed = read_binary_trace(ctx2, blob, nullptr, &diags);
+  EXPECT_LT(parsed.size(), records.size());
+  EXPECT_EQ(diags.count(DiagCode::BinTruncated), 1u);
+  EXPECT_EQ(diags.exit_code(), 1);
+  // Whatever was salvaged matches the original prefix.
+  for (std::size_t i = 0; i < parsed.size(); ++i) {
+    EXPECT_EQ(ctx2.format_record(parsed[i]), ctx.format_record(records[i]));
+  }
+}
+
+TEST(Binary, MissingFooterReportedUnderSkip) {
+  TraceContext ctx;
+  auto blob = write_binary_trace(ctx, sample_records(ctx));
+  blob.resize(blob.size() - 12);  // keep the end tag, drop the footer
+  TraceContext ctx2;
+  DiagEngine diags(ErrorPolicy::Skip);
+  const auto parsed = read_binary_trace(ctx2, blob, nullptr, &diags);
+  EXPECT_EQ(parsed.size(), sample_records(ctx).size());
+  EXPECT_EQ(diags.count(DiagCode::BinBadFooter), 1u);
+}
+
+TEST(Binary, OverlongVarintRejected) {
+  // Header: magic + version 1, then a pid varint of 11 continuation
+  // bytes — more than a 64-bit value can need.
+  std::vector<char> blob{'T', 'D', 'T', 'B', 1};
+  for (int i = 0; i < 11; ++i) blob.push_back(static_cast<char>(0x80));
+  blob.push_back(0);
+  TraceContext ctx;
+  EXPECT_THROW((void)read_binary_trace(ctx, blob), Error);
+}
+
+TEST(Binary, VarintOverflowingSixtyFourBitsRejected) {
+  // 10 bytes where the last contributes more than bit 63.
+  std::vector<char> blob{'T', 'D', 'T', 'B', 1};
+  for (int i = 0; i < 9; ++i) blob.push_back(static_cast<char>(0xFF));
+  blob.push_back(0x7F);
+  TraceContext ctx;
+  EXPECT_THROW((void)read_binary_trace(ctx, blob), Error);
+}
+
+TEST(Binary, SizeFieldOverflowRejected) {
+  // Hand-built v1 blob: string "f" as id 0, then a record whose size
+  // varint (0x1'FFFF'FFFF) overflows the 32-bit size field.
+  std::vector<char> blob{'T', 'D', 'T', 'B', 1, 0};
+  blob.push_back(1);  // kTagString
+  blob.push_back(0);  // id 0
+  blob.push_back(1);  // len 1
+  blob.push_back('f');
+  blob.push_back(0);  // kTagRecord
+  blob.push_back(0);  // packed kind/scope
+  blob.push_back(0);  // address
+  for (int i = 0; i < 4; ++i) blob.push_back(static_cast<char>(0xFF));
+  blob.push_back(0x1F);  // size = 0x1FFFFFFFF
+  blob.push_back(0);     // function id
+  blob.push_back(0);     // frame
+  blob.push_back(0);     // thread
+  blob.push_back(2);     // kTagEnd
+
+  TraceContext ctx;
+  EXPECT_THROW((void)read_binary_trace(ctx, blob), Error);
+
+  TraceContext ctx2;
+  DiagEngine diags(ErrorPolicy::Skip);
+  const auto parsed = read_binary_trace(ctx2, blob, nullptr, &diags);
+  EXPECT_TRUE(parsed.empty());
+  EXPECT_EQ(diags.count(DiagCode::BinFieldOverflow), 1u);
+}
+
+TEST(Binary, UndefinedSymbolReferenceRejected) {
+  std::vector<char> blob{'T', 'D', 'T', 'B', 1, 0};
+  blob.push_back(0);   // kTagRecord
+  blob.push_back(0);   // packed
+  blob.push_back(0);   // address
+  blob.push_back(4);   // size
+  blob.push_back(9);   // function id — never defined
+  blob.push_back(0);   // frame
+  blob.push_back(0);   // thread
+  blob.push_back(2);   // kTagEnd
+  TraceContext ctx;
+  EXPECT_THROW((void)read_binary_trace(ctx, blob), Error);
+
+  TraceContext ctx2;
+  DiagEngine diags(ErrorPolicy::Skip);
+  const auto parsed = read_binary_trace(ctx2, blob, nullptr, &diags);
+  EXPECT_TRUE(parsed.empty());
+  EXPECT_EQ(diags.count(DiagCode::BinBadSymbol), 1u);
+}
+
+TEST(Binary, StreamingReaderReportsVersionAndCount) {
+  TraceContext ctx;
+  const auto records = sample_records(ctx);
+  const auto blob = write_binary_trace(ctx, records, 4242);
+  std::istringstream in(std::string(blob.begin(), blob.end()),
+                        std::ios::binary);
+  TraceContext ctx2;
+  BinaryTraceReader r(ctx2, in);
+  EXPECT_EQ(r.version(), 2);
+  TraceRecord rec;
+  std::size_t n = 0;
+  while (r.next(rec)) ++n;
+  EXPECT_EQ(n, records.size());
+  EXPECT_EQ(r.records_read(), records.size());
 }
 
 TEST(Binary, LargeAddressesSurvive) {

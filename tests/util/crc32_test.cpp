@@ -1,0 +1,48 @@
+#include "util/crc32.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cstring>
+#include <string>
+
+namespace tdt {
+namespace {
+
+TEST(Crc32, KnownVectors) {
+  // IEEE 802.3 check value for the standard test string.
+  EXPECT_EQ(crc32("123456789", 9), 0xCBF43926u);
+  EXPECT_EQ(crc32("", 0), 0u);
+  EXPECT_EQ(crc32("a", 1), 0xE8B7BE43u);
+}
+
+TEST(Crc32, IncrementalMatchesOneShot) {
+  std::string data = "TDTB binary trace payload \xff\x7f check";
+  data += '\0';  // embedded NUL must be hashed like any other byte
+  data += "tail";
+  Crc32 crc;
+  for (const char c : data) crc.update_byte(static_cast<std::uint8_t>(c));
+  EXPECT_EQ(crc.value(), crc32(data.data(), data.size()));
+
+  Crc32 split;
+  split.update(data.data(), 10);
+  split.update(data.data() + 10, data.size() - 10);
+  EXPECT_EQ(split.value(), crc.value());
+}
+
+TEST(Crc32, ResetStartsOver) {
+  Crc32 crc;
+  crc.update("garbage", 7);
+  crc.reset();
+  crc.update("123456789", 9);
+  EXPECT_EQ(crc.value(), 0xCBF43926u);
+}
+
+TEST(Crc32, DetectsSingleBitFlip) {
+  std::string data(64, '\x5a');
+  const std::uint32_t clean = crc32(data.data(), data.size());
+  data[17] = static_cast<char>(data[17] ^ 0x04);
+  EXPECT_NE(crc32(data.data(), data.size()), clean);
+}
+
+}  // namespace
+}  // namespace tdt

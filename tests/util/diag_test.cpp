@@ -1,0 +1,122 @@
+#include "util/diag.hpp"
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+namespace tdt {
+namespace {
+
+TEST(Diag, StrictPolicyThrowsOnError) {
+  DiagEngine diags(ErrorPolicy::Strict);
+  EXPECT_THROW(
+      diags.report(DiagSeverity::Error, DiagCode::TraceBadLine, "boom"),
+      Error);
+  // The diagnostic is still counted so the summary reflects the failure.
+  EXPECT_EQ(diags.errors(), 1u);
+  EXPECT_EQ(diags.count(DiagCode::TraceBadLine), 1u);
+}
+
+TEST(Diag, SkipPolicyRecordsAndContinues) {
+  DiagEngine diags(ErrorPolicy::Skip);
+  diags.report(DiagSeverity::Error, DiagCode::TraceBadLine, "a", {3, 1});
+  diags.report(DiagSeverity::Error, DiagCode::TraceBadLine, "b", {5, 1});
+  diags.report(DiagSeverity::Warning, DiagCode::XformUnmatchedVar, "c");
+  EXPECT_EQ(diags.errors(), 2u);
+  EXPECT_EQ(diags.warnings(), 1u);
+  EXPECT_EQ(diags.count(DiagCode::TraceBadLine), 2u);
+  EXPECT_EQ(diags.count(DiagCode::XformUnmatchedVar), 1u);
+  EXPECT_FALSE(diags.clean());
+  EXPECT_EQ(diags.exit_code(), 1);
+}
+
+TEST(Diag, WarningsDoNotAffectExitCode) {
+  DiagEngine diags(ErrorPolicy::Skip);
+  diags.report(DiagSeverity::Warning, DiagCode::XformUnmatchedVar, "w");
+  EXPECT_TRUE(diags.clean());
+  EXPECT_EQ(diags.exit_code(), 0);
+}
+
+TEST(Diag, FatalAlwaysThrows) {
+  DiagEngine diags(ErrorPolicy::Skip);
+  EXPECT_THROW(
+      diags.report(DiagSeverity::Fatal, DiagCode::BinBadMagic, "bad magic"),
+      Error);
+}
+
+TEST(Diag, MaxErrorsCapTerminatesGarbageStreams) {
+  DiagEngine diags(ErrorPolicy::Skip, /*max_errors=*/3);
+  for (int i = 0; i < 3; ++i) {
+    diags.report(DiagSeverity::Error, DiagCode::DinBadLine, "junk");
+  }
+  EXPECT_THROW(
+      diags.report(DiagSeverity::Error, DiagCode::DinBadLine, "junk"), Error);
+  EXPECT_EQ(diags.errors(), 4u);
+}
+
+TEST(Diag, ZeroMaxErrorsMeansUnlimited) {
+  DiagEngine diags(ErrorPolicy::Skip, /*max_errors=*/0);
+  for (int i = 0; i < 500; ++i) {
+    diags.report(DiagSeverity::Error, DiagCode::TraceBadLine, "junk");
+  }
+  EXPECT_EQ(diags.errors(), 500u);
+}
+
+TEST(Diag, SummaryListsPerCodeCounts) {
+  DiagEngine diags(ErrorPolicy::Repair);
+  diags.report(DiagSeverity::Error, DiagCode::TraceRepairedLine, "r");
+  diags.report(DiagSeverity::Error, DiagCode::TraceBadLine, "x");
+  diags.report(DiagSeverity::Error, DiagCode::TraceBadLine, "y");
+  const std::string summary = diags.summary();
+  EXPECT_NE(summary.find("3 errors"), std::string::npos);
+  EXPECT_NE(summary.find("T001 trace-bad-line: 2"), std::string::npos);
+  EXPECT_NE(summary.find("T003 trace-repaired-line: 1"), std::string::npos);
+}
+
+TEST(Diag, SummaryEmptyWhenClean) {
+  DiagEngine diags(ErrorPolicy::Skip);
+  EXPECT_TRUE(diags.summary().empty());
+  EXPECT_EQ(diags.exit_code(), 0);
+}
+
+TEST(Diag, EchoWritesFormattedDiagnostics) {
+  DiagEngine diags(ErrorPolicy::Skip);
+  std::ostringstream echo;
+  diags.set_echo(&echo);
+  diags.report(DiagSeverity::Error, DiagCode::TraceBadLine, "bad kind",
+               {7, 1});
+  EXPECT_NE(echo.str().find("error T001 (trace-bad-line) at 7:1: bad kind"),
+            std::string::npos);
+}
+
+TEST(Diag, PolicyParsing) {
+  EXPECT_EQ(parse_error_policy("strict"), ErrorPolicy::Strict);
+  EXPECT_EQ(parse_error_policy("skip"), ErrorPolicy::Skip);
+  EXPECT_EQ(parse_error_policy("repair"), ErrorPolicy::Repair);
+  EXPECT_THROW((void)parse_error_policy("lenient"), Error);
+}
+
+TEST(Diag, CodeIdsAreUnique) {
+  const DiagCode all[] = {
+      DiagCode::TraceBadLine,      DiagCode::TraceBadMarker,
+      DiagCode::TraceRepairedLine, DiagCode::DinBadLine,
+      DiagCode::DinRepairedLine,   DiagCode::BinBadMagic,
+      DiagCode::BinBadVersion,     DiagCode::BinTruncated,
+      DiagCode::BinBadVarint,      DiagCode::BinFieldOverflow,
+      DiagCode::BinBadSymbol,      DiagCode::BinBadTag,
+      DiagCode::BinStringTooLong,  DiagCode::BinBadFooter,
+      DiagCode::BinCrcMismatch,    DiagCode::BinCountMismatch,
+      DiagCode::XformUnmatchedVar, DiagCode::XformFailedRecord,
+  };
+  for (const DiagCode a : all) {
+    for (const DiagCode b : all) {
+      if (a != b) {
+        EXPECT_NE(diag_code_id(a), diag_code_id(b));
+        EXPECT_NE(diag_code_name(a), diag_code_name(b));
+      }
+    }
+  }
+}
+
+}  // namespace
+}  // namespace tdt
