@@ -1,15 +1,21 @@
-// Parallel parameter sweep: simulates one immutable trace against many
-// cache configurations concurrently (one simulator per thread — the
-// simulators mutate only their own state, the trace is shared read-only).
-// Prints the sweep table and the threading speedup.
+// Parallel parameter sweep over one trace of the paper's matmul kernel.
+// Compares three ways of covering the same 40-point configuration grid:
+//
+//   multi-pass : one full pass over the trace per configuration
+//   one-pass   : all configurations fed from a single pass, inline
+//   pipelined  : the same single pass fanned out over worker threads
+//                (trace::ParallelFanOut + cache::ParallelSweep)
+//
+// All three must produce identical per-point miss counts; the harness
+// exits nonzero if they diverge. Prints the sweep table, the speedups,
+// and the pipeline's backpressure/starvation counters.
 #include <chrono>
 #include <cstdio>
 #include <thread>
 #include <vector>
 
-#include "analysis/experiment.hpp"
-#include "cache/hierarchy.hpp"
-#include "cache/sim.hpp"
+#include "cache/sweep.hpp"
+#include "trace/parallel.hpp"
 #include "tracer/interp.hpp"
 #include "tracer/kernels.hpp"
 #include "util/string_util.hpp"
@@ -20,40 +26,41 @@ namespace {
 using namespace tdt;
 using Clock = std::chrono::steady_clock;
 
-struct SweepPoint {
-  cache::CacheConfig config;
-  std::uint64_t misses = 0;
-  double miss_ratio = 0;
-};
-
-void simulate_point(const std::vector<trace::TraceRecord>& records,
-                    SweepPoint& point) {
-  cache::CacheHierarchy hierarchy(point.config);
-  cache::TraceCacheSim sim(hierarchy);
-  sim.simulate(records);
-  point.misses = hierarchy.l1().stats().misses();
-  point.miss_ratio = hierarchy.l1().stats().miss_ratio();
+std::vector<cache::SweepPoint> make_grid() {
+  std::vector<cache::SweepPoint> points;
+  for (std::uint64_t size : {4096ull, 8192ull, 16384ull, 32768ull, 65536ull}) {
+    for (std::uint32_t assoc : {1u, 2u, 4u, 8u}) {
+      for (std::uint64_t block : {32ull, 64ull}) {
+        cache::CacheConfig cfg;
+        cfg.size = size;
+        cfg.assoc = assoc;
+        cfg.block_size = block;
+        points.push_back(cache::SweepPoint{{cfg}});
+      }
+    }
+  }
+  return points;
 }
 
-double run_sweep(const std::vector<trace::TraceRecord>& records,
-                 std::vector<SweepPoint>& points, unsigned threads) {
-  const auto start = Clock::now();
-  if (threads <= 1) {
-    for (SweepPoint& p : points) simulate_point(records, p);
-  } else {
-    std::vector<std::thread> pool;
-    std::atomic<std::size_t> next{0};
-    for (unsigned t = 0; t < threads; ++t) {
-      pool.emplace_back([&] {
-        for (;;) {
-          const std::size_t i = next.fetch_add(1);
-          if (i >= points.size()) return;
-          simulate_point(records, points[i]);
-        }
-      });
-    }
-    for (std::thread& t : pool) t.join();
+std::vector<std::uint64_t> misses_of(cache::ParallelSweep& sweep) {
+  std::vector<std::uint64_t> misses;
+  misses.reserve(sweep.size());
+  for (std::size_t i = 0; i < sweep.size(); ++i) {
+    misses.push_back(sweep.hierarchy(i).l1().stats().misses());
   }
+  return misses;
+}
+
+double one_pass_run(cache::ParallelSweep& sweep,
+                    const std::vector<trace::TraceRecord>& records,
+                    std::size_t jobs, trace::PipelineCounters* counters) {
+  const auto start = Clock::now();
+  trace::ParallelOptions options;
+  options.jobs = jobs;
+  trace::ParallelFanOut fanout(sweep.sinks(), options);
+  fanout.push_batch(records);
+  fanout.on_end();
+  if (counters != nullptr) *counters = fanout.counters();
   return std::chrono::duration<double>(Clock::now() - start).count();
 }
 
@@ -66,42 +73,47 @@ int main() {
       types, ctx, tracer::make_matmul(types, 48, false));
   std::printf("trace: %zu records (matmul ijk, N=48)\n\n", records.size());
 
-  std::vector<SweepPoint> points;
-  for (std::uint64_t size : {4096ull, 8192ull, 16384ull, 32768ull, 65536ull}) {
-    for (std::uint32_t assoc : {1u, 2u, 4u, 8u}) {
-      for (std::uint64_t block : {32ull, 64ull}) {
-        cache::CacheConfig cfg;
-        cfg.size = size;
-        cfg.assoc = assoc;
-        cfg.block_size = block;
-        points.push_back(SweepPoint{cfg, 0, 0});
-      }
-    }
+  // Multi-pass reference: one full trace pass per configuration.
+  cache::ParallelSweep multi_pass(make_grid());
+  const auto t0 = Clock::now();
+  for (std::size_t i = 0; i < multi_pass.size(); ++i) {
+    multi_pass.sim(i).simulate(records);
   }
+  const double multi_s =
+      std::chrono::duration<double>(Clock::now() - t0).count();
 
+  // One pass, inline (the sequential reference mode of the pipeline).
+  cache::ParallelSweep one_pass(make_grid());
+  const double inline_s = one_pass_run(one_pass, records, 0, nullptr);
+
+  // One pass, pipelined over all hardware threads.
   const unsigned hw = std::max(2u, std::thread::hardware_concurrency());
-  std::vector<SweepPoint> serial_points = points;
-  const double serial_s = run_sweep(records, serial_points, 1);
-  const double parallel_s = run_sweep(records, points, hw);
+  cache::ParallelSweep pipelined(make_grid());
+  trace::PipelineCounters counters;
+  const double parallel_s = one_pass_run(pipelined, records, hw, &counters);
 
-  std::puts("=== sweep results (L1 miss ratio) ===");
+  std::puts("=== sweep results (L1 misses) ===");
   TextTable table({"size", "assoc", "block", "misses", "miss ratio"});
-  for (const SweepPoint& p : points) {
-    table.add(tdt::format_bytes(p.config.size), p.config.assoc,
-              p.config.block_size, p.misses, p.miss_ratio);
+  for (std::size_t i = 0; i < pipelined.size(); ++i) {
+    const cache::CacheConfig& cfg = pipelined.point(i).levels.front();
+    const cache::LevelStats& s = pipelined.hierarchy(i).l1().stats();
+    table.add(format_bytes(cfg.size), cfg.assoc, cfg.block_size, s.misses(),
+              s.miss_ratio());
   }
   std::fputs(table.render().c_str(), stdout);
 
-  // Parallel and serial runs must agree exactly (determinism check).
-  for (std::size_t i = 0; i < points.size(); ++i) {
-    if (points[i].misses != serial_points[i].misses) {
-      std::puts("ERROR: parallel sweep diverged from serial run!");
-      return 1;
-    }
+  const auto reference = misses_of(multi_pass);
+  if (misses_of(one_pass) != reference ||
+      misses_of(pipelined) != reference) {
+    std::puts("ERROR: one-pass sweep diverged from the multi-pass run!");
+    return 1;
   }
-  std::printf("\n%zu configurations; serial %.3fs, %u threads %.3fs "
-              "(speedup %.2fx, results identical)\n",
-              points.size(), serial_s, hw, parallel_s,
-              serial_s / parallel_s);
+
+  std::printf("\n%zu configurations; multi-pass %.3fs, one-pass inline "
+              "%.3fs, one-pass %u-thread %.3fs (speedup %.2fx vs "
+              "multi-pass, results identical)\n",
+              pipelined.size(), multi_s, inline_s, hw, parallel_s,
+              multi_s / parallel_s);
+  std::fputs(counters.summary().c_str(), stdout);
   return 0;
 }

@@ -62,12 +62,16 @@ struct LevelStats {
     const std::uint64_t n = accesses();
     return n == 0 ? 0.0 : static_cast<double>(misses()) / static_cast<double>(n);
   }
+
+  [[nodiscard]] bool operator==(const LevelStats&) const = default;
 };
 
 /// Per-set hit/miss counters (the series plotted in the paper's figures).
 struct SetStats {
   std::uint64_t hits = 0;
   std::uint64_t misses = 0;
+
+  [[nodiscard]] bool operator==(const SetStats&) const = default;
 };
 
 /// A single cache level. On misses and dirty evictions the access is

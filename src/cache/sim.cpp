@@ -11,7 +11,14 @@ void TraceCacheSim::add_observer(AccessObserver* observer) {
   observers_.push_back(observer);
 }
 
-void TraceCacheSim::on_record(const trace::TraceRecord& rec) {
+void TraceCacheSim::on_record(const trace::TraceRecord& rec) { step(rec); }
+
+void TraceCacheSim::push_batch(std::span<const trace::TraceRecord> batch) {
+  // One virtual call per batch; the per-record work stays non-virtual.
+  for (const trace::TraceRecord& rec : batch) step(rec);
+}
+
+void TraceCacheSim::step(const trace::TraceRecord& rec) {
   if (rec.kind == AccessKind::Instr && options_.ignore_instr) return;
   CacheLevel& l1 = hierarchy_->l1();
 
@@ -34,7 +41,7 @@ void TraceCacheSim::on_end() {
 }
 
 void TraceCacheSim::simulate(std::span<const trace::TraceRecord> records) {
-  for (const trace::TraceRecord& rec : records) on_record(rec);
+  push_batch(records);
   on_end();
 }
 

@@ -50,6 +50,7 @@ class TraceCacheSim final : public trace::TraceSink {
 
   // TraceSink
   void on_record(const trace::TraceRecord& rec) override;
+  void push_batch(std::span<const trace::TraceRecord> batch) override;
   void on_end() override;
 
   /// Convenience: simulate a whole in-memory trace.
@@ -61,6 +62,8 @@ class TraceCacheSim final : public trace::TraceSink {
   }
 
  private:
+  void step(const trace::TraceRecord& rec);
+
   CacheHierarchy* hierarchy_;
   SimOptions options_;
   std::vector<AccessObserver*> observers_;

@@ -230,7 +230,13 @@ bool TraceTransformer::apply_stride(StrideState& st, const TraceRecord& rec) {
   return true;
 }
 
-void TraceTransformer::on_record(const TraceRecord& rec) {
+void TraceTransformer::on_record(const TraceRecord& rec) { process(rec); }
+
+void TraceTransformer::push_batch(std::span<const TraceRecord> batch) {
+  for (const TraceRecord& rec : batch) process(rec);
+}
+
+void TraceTransformer::process(const TraceRecord& rec) {
   ++stats_.records_in;
   if (rec.var.empty()) {
     ++stats_.passthrough;

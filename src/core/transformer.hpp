@@ -73,6 +73,7 @@ class TraceTransformer final : public trace::TraceSink {
 
   // TraceSink
   void on_record(const trace::TraceRecord& rec) override;
+  void push_batch(std::span<const trace::TraceRecord> batch) override;
   void on_end() override;
 
   [[nodiscard]] const TransformStats& stats() const noexcept { return stats_; }
@@ -99,6 +100,7 @@ class TraceTransformer final : public trace::TraceSink {
     std::unordered_map<std::string, std::uint64_t> inject_addrs;
   };
 
+  void process(const trace::TraceRecord& rec);
   void diag(std::string message);
   void forward(const trace::TraceRecord& rec, bool inserted_record = false);
   std::uint64_t arena_alloc(std::uint64_t size, std::uint64_t align,

@@ -23,8 +23,10 @@
 #include "cache/hierarchy.hpp"
 #include "cache/multicore.hpp"
 #include "cache/sim.hpp"
+#include "cache/sweep.hpp"
 #include "core/rule_parser.hpp"
 #include "core/transformer.hpp"
+#include "trace/parallel.hpp"
 #include "trace/stream.hpp"
 #include "trace/writer.hpp"
 #include "util/diag.hpp"
@@ -36,23 +38,12 @@ namespace {
 using namespace tdt;
 
 cache::ReplacementPolicy parse_replacement(const std::string& s) {
-  if (s == "lru") return cache::ReplacementPolicy::Lru;
-  if (s == "fifo") return cache::ReplacementPolicy::Fifo;
-  if (s == "random") return cache::ReplacementPolicy::Random;
-  if (s == "rr" || s == "round-robin") {
-    return cache::ReplacementPolicy::RoundRobin;
-  }
-  throw_config_error("unknown replacement policy '" + s +
-                     "' (lru|fifo|random|rr)");
+  if (s == "round-robin") return cache::ReplacementPolicy::RoundRobin;
+  return cache::parse_replacement_policy(s);
 }
 
 cache::PrefetchPolicy parse_prefetch(const std::string& s) {
-  if (s == "none") return cache::PrefetchPolicy::None;
-  if (s == "always") return cache::PrefetchPolicy::Always;
-  if (s == "miss") return cache::PrefetchPolicy::Miss;
-  if (s == "tagged") return cache::PrefetchPolicy::Tagged;
-  throw_config_error("unknown prefetch policy '" + s +
-                     "' (none|always|miss|tagged)");
+  return cache::parse_prefetch_policy(s);
 }
 
 cache::PagePolicy parse_page_policy(const std::string& s) {
@@ -118,6 +109,14 @@ int main(int argc, char** argv) {
         "cores", 0, "run a MESI multicore simulation with this many "
                     "private caches instead of the hierarchy (records "
                     "route by thread id)");
+    const auto* jobs = flags.add_uint(
+        "jobs", 1, "worker threads for the one-pass pipeline (1 = inline; "
+                   "results are identical at any job count)");
+    const auto* sweep = flags.add_string(
+        "sweep", "", "simulate several configurations in one trace pass: "
+                     "';'-separated points of ','-separated key=value "
+                     "overrides (size|block|assoc|repl|prefetch), e.g. "
+                     "\"assoc=1;assoc=2;size=8k,assoc=4\"");
     if (!flags.parse(argc, argv)) return 0;
     if (trace_path->empty()) {
       throw_config_error("--trace is required");
@@ -161,8 +160,47 @@ int main(int argc, char** argv) {
     analysis::ConflictCollector conf(ctx);
     analysis::AdjacencyCollector adj(ctx, config.block_size);
 
+    trace::ParallelOptions pipeline_options;
+    pipeline_options.jobs = *jobs <= 1 ? 0 : *jobs;
+
+    std::optional<cache::ParallelSweep> sweep_engine;
+    std::optional<trace::ParallelFanOut> fanout;
     trace::TraceSink* terminal = nullptr;
-    if (*cores != 0) {
+    if (!sweep->empty()) {
+      if (*cores != 0 || *per_set || *per_var || *conflicts || *advise ||
+          !gnuplot->empty()) {
+        throw_config_error(
+            "--sweep cannot be combined with --cores, --per-set, --per-var, "
+            "--conflicts, --advise, or --gnuplot");
+      }
+      config.replacement = parse_replacement(*repl);
+      config.prefetch = parse_prefetch(*prefetch);
+      std::vector<cache::CacheConfig> extra_levels;
+      if (*l2_size != 0) {
+        cache::CacheConfig l2;
+        l2.name = "L2";
+        l2.size = *l2_size;
+        l2.assoc = static_cast<std::uint32_t>(*l2_assoc);
+        l2.block_size = *l2_block;
+        extra_levels.push_back(l2);
+      }
+      cache::SimOptions sim_options;
+      sim_options.modify_is_read_write = *modify_rw;
+      cache::PageMapSpec page_spec;
+      page_spec.policy = parse_page_policy(*page_policy);
+      page_spec.page_size = *page_size;
+      page_spec.frames = *page_frames;
+      page_spec.seed = *page_seed;
+      sweep_engine.emplace(cache::parse_sweep_spec(*sweep, config,
+                                                   extra_levels),
+                           sim_options, page_spec);
+      fanout.emplace(sweep_engine->sinks(), pipeline_options);
+      terminal = &*fanout;
+    } else if (*cores != 0) {
+      if (*jobs > 1) {
+        throw_config_error("--cores routes records by thread id and cannot "
+                           "run with --jobs > 1");
+      }
       mesi.emplace(config, static_cast<std::uint32_t>(*cores));
       msim.emplace(*mesi, ctx);
       terminal = &*msim;
@@ -190,6 +228,13 @@ int main(int argc, char** argv) {
       if (*conflicts || *advise) sim->add_observer(&conf);
       if (*advise) sim->add_observer(&adj);
       terminal = &*sim;
+      if (*jobs > 1) {
+        // Single-config pipeline: one worker simulates while the reader
+        // parses the next batch. Output is identical to the inline run.
+        fanout.emplace(std::vector<trace::TraceSink*>{&*sim},
+                       pipeline_options);
+        terminal = &*fanout;
+      }
     }
 
     // Optional transformation stage in front of the terminal sink, with
@@ -228,7 +273,9 @@ int main(int argc, char** argv) {
                    static_cast<unsigned long long>(tstats.skipped));
     }
 
-    if (msim.has_value()) {
+    if (sweep_engine.has_value()) {
+      std::fputs(sweep_engine->report().c_str(), stdout);
+    } else if (msim.has_value()) {
       std::fputs(msim->report().c_str(), stdout);
     } else {
       std::fputs(hierarchy->report().c_str(), stdout);
@@ -251,6 +298,9 @@ int main(int argc, char** argv) {
       }
     }
 
+    if (fanout.has_value()) {
+      std::fputs(fanout->counters().summary().c_str(), stderr);
+    }
     const std::string summary = diags.summary();
     if (!summary.empty()) {
       std::fprintf(stderr, "dinerosim: %s", summary.c_str());

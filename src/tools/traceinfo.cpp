@@ -16,11 +16,16 @@
 
 namespace {
 
-/// Terminal sink feeding the stats collector record-by-record.
+/// Terminal sink feeding the stats collector.
 class StatsSink final : public tdt::trace::TraceSink {
  public:
+  explicit StatsSink(std::uint64_t block_size) : stats_(block_size) {}
+
   void on_record(const tdt::trace::TraceRecord& rec) override {
     stats_.add(rec);
+  }
+  void push_batch(std::span<const tdt::trace::TraceRecord> batch) override {
+    stats_.add_all(batch);
   }
   [[nodiscard]] tdt::trace::TraceStats& stats() noexcept { return stats_; }
 
@@ -35,7 +40,7 @@ int main(int argc, char** argv) {
   try {
     FlagParser flags("traceinfo", "trace statistics");
     const auto* block =
-        flags.add_uint("block", 32, "block size for footprint in blocks");
+        flags.add_uint("block", 32, "footprint tracking granularity in bytes");
     const auto* top = flags.add_uint("top", 16, "rows per ranking table");
     const auto* on_error = flags.add_string(
         "on-error", "strict", "malformed-input policy: strict|skip|repair");
@@ -52,13 +57,9 @@ int main(int argc, char** argv) {
     diags.set_echo(&std::cerr);
 
     trace::TraceContext ctx;
-    StatsSink sink;
+    StatsSink sink(*block);
     trace::stream_trace_file(ctx, flags.positional()[0], sink, &diags);
     std::fputs(sink.stats().report(ctx, *top).c_str(), stdout);
-    std::printf("footprint at %llu-byte blocks: %llu blocks\n",
-                static_cast<unsigned long long>(*block),
-                static_cast<unsigned long long>(
-                    sink.stats().footprint_blocks(*block)));
 
     const std::string summary = diags.summary();
     if (!summary.empty()) {

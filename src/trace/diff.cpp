@@ -65,18 +65,48 @@ std::vector<DiffEntry> diff_traces(std::span<const TraceRecord> original,
       }
     }
     if (resynced) continue;
+    // Insertion runs longer than kWindow (a rule injecting many records
+    // per access) used to degrade into spurious Modified pairs once the
+    // short window was exhausted. Look further ahead for an exact copy of
+    // original[i], but only accept a distant match when the records after
+    // it line up too — a lone equal record inside a long run (e.g. a loop
+    // repeating the same access) must not cause a false resync.
+    constexpr std::uint32_t kMaxRun = 4096;
+    constexpr std::uint32_t kConfirm = 2;
+    for (std::uint32_t k = kWindow + 1; k <= kMaxRun && j + k < m; ++k) {
+      if (original[i] != transformed[j + k]) continue;
+      bool confirmed = true;
+      for (std::uint32_t c = 1; c <= kConfirm; ++c) {
+        if (i + c >= n || j + k + c >= m) break;  // end of trace confirms
+        if (original[i + c] != transformed[j + k + c] &&
+            !corresponds(original[i + c], transformed[j + k + c])) {
+          confirmed = false;
+          break;
+        }
+      }
+      if (!confirmed) continue;
+      for (std::uint32_t t = 0; t < k; ++t) {
+        out.push_back({DiffKind::Inserted, DiffEntry::kUnpaired, j++});
+      }
+      resynced = true;
+      break;
+    }
+    if (resynced) continue;
     if (corresponds(original[i], transformed[j])) {
       out.push_back({DiffKind::Modified, i++, j++});
       continue;
     }
-    // No correspondence: prefer treating the transformed record as an
-    // insertion when it re-synchronises on a *corresponding* (not
-    // necessarily equal) record within the window; otherwise fall back to
-    // a modification so the diff always terminates.
+    // No correspondence: prefer treating the transformed records as an
+    // insertion run when the stream re-synchronises on a *corresponding*
+    // (not necessarily equal) record within the window — consuming the
+    // whole run at once; otherwise fall back to a modification so the
+    // diff always terminates.
     bool inserted = false;
     for (std::uint32_t k = 1; k <= kWindow && j + k < m; ++k) {
       if (corresponds(original[i], transformed[j + k])) {
-        out.push_back({DiffKind::Inserted, DiffEntry::kUnpaired, j++});
+        for (std::uint32_t t = 0; t < k; ++t) {
+          out.push_back({DiffKind::Inserted, DiffEntry::kUnpaired, j++});
+        }
         inserted = true;
         break;
       }

@@ -1,0 +1,168 @@
+#include "trace/parallel.hpp"
+
+#include <algorithm>
+#include <cstdio>
+
+namespace tdt::trace {
+
+double PipelineCounters::records_per_second() const noexcept {
+  return seconds > 0 ? static_cast<double>(records) / seconds : 0.0;
+}
+
+std::string PipelineCounters::summary() const {
+  char line[256];
+  std::snprintf(line, sizeof(line),
+                "pipeline: %llu records in %llu batches, %.3f s (%.2f Mrec/s),"
+                " %zu worker%s (batch %zu, queue depth %zu)\n",
+                static_cast<unsigned long long>(records),
+                static_cast<unsigned long long>(batches), seconds,
+                records_per_second() / 1e6, jobs, jobs == 1 ? "" : "s",
+                batch_records, queue_batches);
+  std::string out = line;
+  for (std::size_t i = 0; i < workers.size(); ++i) {
+    const WorkerCounters& w = workers[i];
+    const double avg_occupancy =
+        w.batches > 0 ? static_cast<double>(w.occupancy_sum) /
+                            static_cast<double>(w.batches)
+                      : 0.0;
+    std::snprintf(line, sizeof(line),
+                  "  worker %zu (%zu sink%s): %llu records, "
+                  "%llu backpressure stalls, %llu idle waits, "
+                  "queue avg %.1f peak %llu\n",
+                  i, w.sinks, w.sinks == 1 ? "" : "s",
+                  static_cast<unsigned long long>(w.records),
+                  static_cast<unsigned long long>(w.push_stalls),
+                  static_cast<unsigned long long>(w.pop_stalls), avg_occupancy,
+                  static_cast<unsigned long long>(w.peak_occupancy));
+    out += line;
+  }
+  return out;
+}
+
+ParallelFanOut::ParallelFanOut(std::vector<TraceSink*> sinks,
+                               ParallelOptions options)
+    : sinks_(std::move(sinks)),
+      options_(options),
+      start_(std::chrono::steady_clock::now()) {
+  if (options_.batch_records == 0) options_.batch_records = 1;
+  if (options_.queue_batches == 0) options_.queue_batches = 1;
+  pending_.reserve(options_.batch_records);
+
+  const std::size_t jobs = std::min(options_.jobs, sinks_.size());
+  counters_.jobs = jobs;
+  counters_.batch_records = options_.batch_records;
+  counters_.queue_batches = options_.queue_batches;
+  if (jobs == 0) return;
+  workers_.reserve(jobs);
+  for (std::size_t w = 0; w < jobs; ++w) {
+    workers_.push_back(std::make_unique<Worker>(options_.queue_batches));
+  }
+  for (std::size_t i = 0; i < sinks_.size(); ++i) {
+    workers_[i % jobs]->sinks.push_back(sinks_[i]);
+  }
+  for (auto& worker : workers_) {
+    worker->thread = std::thread([this, &w = *worker] { worker_main(w); });
+  }
+}
+
+ParallelFanOut::~ParallelFanOut() {
+  if (finished_) return;
+  for (auto& worker : workers_) worker->queue.abort();
+  for (auto& worker : workers_) {
+    if (worker->thread.joinable()) worker->thread.join();
+  }
+}
+
+void ParallelFanOut::worker_main(Worker& worker) {
+  try {
+    while (auto batch = worker.queue.pop()) {
+      const RecordBatch& records = **batch;
+      for (TraceSink* sink : worker.sinks) sink->push_batch(records);
+      worker.records += records.size();
+      ++worker.batches;
+    }
+    if (worker.error == nullptr) {
+      for (TraceSink* sink : worker.sinks) sink->on_end();
+    }
+  } catch (...) {
+    worker.error = std::current_exception();
+    // Unblock the reader: its pushes to this queue now return false.
+    worker.queue.abort();
+  }
+}
+
+void ParallelFanOut::publish(BatchPtr batch) {
+  for (auto& worker : workers_) worker->queue.push(batch);
+}
+
+void ParallelFanOut::flush_pending() {
+  if (pending_.empty()) return;
+  counters_.records += pending_.size();
+  ++counters_.batches;
+  if (workers_.empty()) {
+    for (TraceSink* sink : sinks_) sink->push_batch(pending_);
+    pending_.clear();
+    return;
+  }
+  RecordBatch next;
+  next.reserve(options_.batch_records);
+  next.swap(pending_);
+  publish(std::make_shared<const RecordBatch>(std::move(next)));
+}
+
+void ParallelFanOut::on_record(const TraceRecord& rec) {
+  pending_.push_back(rec);
+  if (pending_.size() >= options_.batch_records) flush_pending();
+}
+
+void ParallelFanOut::push_batch(std::span<const TraceRecord> batch) {
+  // Fast path: an already-full batch with nothing pending is forwarded
+  // (inline) or published (parallel) without restaging record-by-record.
+  if (pending_.empty() && batch.size() >= options_.batch_records) {
+    counters_.records += batch.size();
+    ++counters_.batches;
+    if (workers_.empty()) {
+      for (TraceSink* sink : sinks_) sink->push_batch(batch);
+    } else {
+      publish(std::make_shared<const RecordBatch>(batch.begin(), batch.end()));
+    }
+    return;
+  }
+  for (const TraceRecord& rec : batch) on_record(rec);
+}
+
+void ParallelFanOut::on_end() {
+  if (finished_) return;
+  finished_ = true;
+  flush_pending();
+  if (workers_.empty()) {
+    for (TraceSink* sink : sinks_) sink->on_end();
+  } else {
+    for (auto& worker : workers_) worker->queue.close();
+    for (auto& worker : workers_) {
+      if (worker->thread.joinable()) worker->thread.join();
+    }
+  }
+  counters_.seconds =
+      std::chrono::duration<double>(std::chrono::steady_clock::now() - start_)
+          .count();
+  counters_.workers.clear();
+  counters_.workers.reserve(workers_.size());
+  for (const auto& worker : workers_) {
+    const auto q = worker->queue.counters();
+    WorkerCounters wc;
+    wc.sinks = worker->sinks.size();
+    wc.records = worker->records;
+    wc.batches = worker->batches;
+    wc.push_stalls = q.push_stalls;
+    wc.pop_stalls = q.pop_stalls;
+    wc.occupancy_sum = q.occupancy_sum;
+    wc.peak_occupancy = q.peak_occupancy;
+    counters_.workers.push_back(wc);
+  }
+  for (const auto& worker : workers_) {
+    if (worker->error) std::rethrow_exception(worker->error);
+  }
+}
+
+}  // namespace tdt::trace

@@ -6,6 +6,7 @@
 // pipelines.
 #pragma once
 
+#include <span>
 #include <vector>
 
 #include "trace/record.hpp"
@@ -20,6 +21,14 @@ class TraceSink {
   /// Receives one record.
   virtual void on_record(const TraceRecord& rec) = 0;
 
+  /// Receives a whole batch. Semantically identical to calling on_record
+  /// once per record; hot terminal sinks (cache simulator, transformer)
+  /// override it to amortize the per-record virtual dispatch, and the
+  /// streaming layer delivers batches by default.
+  virtual void push_batch(std::span<const TraceRecord> batch) {
+    for (const TraceRecord& rec : batch) on_record(rec);
+  }
+
   /// Signals end of trace (flush opportunity). Default: no-op.
   virtual void on_end() {}
 };
@@ -28,6 +37,9 @@ class TraceSink {
 class VectorSink final : public TraceSink {
  public:
   void on_record(const TraceRecord& rec) override { records_.push_back(rec); }
+  void push_batch(std::span<const TraceRecord> batch) override {
+    records_.insert(records_.end(), batch.begin(), batch.end());
+  }
 
   [[nodiscard]] std::vector<TraceRecord>& records() noexcept {
     return records_;
@@ -54,6 +66,9 @@ class TeeSink final : public TraceSink {
   void on_record(const TraceRecord& rec) override {
     for (TraceSink* s : sinks_) s->on_record(rec);
   }
+  void push_batch(std::span<const TraceRecord> batch) override {
+    for (TraceSink* s : sinks_) s->push_batch(batch);
+  }
   void on_end() override {
     for (TraceSink* s : sinks_) s->on_end();
   }
@@ -66,6 +81,9 @@ class TeeSink final : public TraceSink {
 class NullSink final : public TraceSink {
  public:
   void on_record(const TraceRecord&) override { ++count_; }
+  void push_batch(std::span<const TraceRecord> batch) override {
+    count_ += batch.size();
+  }
   [[nodiscard]] std::uint64_t count() const noexcept { return count_; }
 
  private:

@@ -2,9 +2,13 @@
 
 #include <algorithm>
 
+#include "util/string_util.hpp"
 #include "util/table.hpp"
 
 namespace tdt::trace {
+
+TraceStats::TraceStats(std::uint64_t block_size)
+    : block_size_(block_size == 0 ? 1 : block_size) {}
 
 void TraceStats::add(const TraceRecord& rec) {
   totals_.add(rec.kind);
@@ -12,23 +16,18 @@ void TraceStats::add(const TraceRecord& rec) {
   if (!rec.var.empty()) {
     by_variable_[rec.var.base].add(rec.kind);
   }
-  for (std::uint32_t b = 0; b < rec.size; ++b) {
-    addresses_.insert(rec.address + b);
+  if (rec.size == 0) return;
+  const std::uint64_t last = rec.address + rec.size - 1;
+  for (std::uint64_t b = rec.address / block_size_; b <= last / block_size_;
+       ++b) {
+    blocks_.insert(b);
   }
   min_addr_ = std::min(min_addr_, rec.address);
-  max_addr_ = std::max(max_addr_, rec.address + rec.size - 1);
+  max_addr_ = std::max(max_addr_, last);
 }
 
 void TraceStats::add_all(std::span<const TraceRecord> records) {
   for (const TraceRecord& rec : records) add(rec);
-}
-
-std::uint64_t TraceStats::footprint_blocks(std::uint64_t block_size) const {
-  std::unordered_set<std::uint64_t> blocks;
-  for (std::uint64_t a : addresses_) {
-    blocks.insert(a / block_size);
-  }
-  return blocks.size();
 }
 
 std::string TraceStats::report(const TraceContext& ctx,
@@ -39,11 +38,12 @@ std::string TraceStats::report(const TraceContext& ctx,
          "  stores: " + std::to_string(totals_.stores) +
          "  modifies: " + std::to_string(totals_.modifies) +
          "  other: " + std::to_string(totals_.other) + "\n";
-  out += "distinct bytes touched: " + std::to_string(distinct_addresses()) +
-         "\n";
-  if (!addresses_.empty()) {
-    out += "address range: 0x" + std::to_string(min_addr_) + " .. 0x" +
-           std::to_string(max_addr_) + "\n";
+  out += "footprint at " + std::to_string(block_size_) +
+         "-byte blocks: " + std::to_string(footprint_blocks()) + " blocks (" +
+         format_bytes(footprint_blocks() * block_size_) + ")\n";
+  if (!blocks_.empty()) {
+    out += "address range: 0x" + to_hex(min_addr_) + " .. 0x" +
+           to_hex(max_addr_) + "\n";
   }
 
   auto emit_top = [&](const char* title,

@@ -39,8 +39,19 @@ struct AccessCounts {
 };
 
 /// Whole-trace statistics.
+///
+/// The address footprint is tracked at block granularity: one set entry
+/// per touched `block_size`-aligned block, not one per touched byte, so
+/// memory stays proportional to the trace's working set in cache lines
+/// even for multi-gigabyte traces.
 class TraceStats {
  public:
+  static constexpr std::uint64_t kDefaultBlockSize = 64;
+
+  /// `block_size` selects the footprint granularity (0 is treated as 1,
+  /// i.e. per-byte tracking).
+  explicit TraceStats(std::uint64_t block_size = kDefaultBlockSize);
+
   /// Accumulates one record.
   void add(const TraceRecord& rec);
 
@@ -62,15 +73,16 @@ class TraceStats {
     return by_variable_;
   }
 
-  /// Number of distinct byte addresses touched.
-  [[nodiscard]] std::uint64_t distinct_addresses() const noexcept {
-    return addresses_.size();
+  /// Footprint granularity chosen at construction.
+  [[nodiscard]] std::uint64_t block_size() const noexcept {
+    return block_size_;
   }
 
-  /// Number of distinct aligned blocks of `block_size` bytes touched
+  /// Number of distinct aligned blocks of block_size() bytes touched
   /// (the trace's cache footprint at that block size).
-  [[nodiscard]] std::uint64_t footprint_blocks(
-      std::uint64_t block_size) const;
+  [[nodiscard]] std::uint64_t footprint_blocks() const noexcept {
+    return blocks_.size();
+  }
 
   [[nodiscard]] std::uint64_t min_address() const noexcept { return min_addr_; }
   [[nodiscard]] std::uint64_t max_address() const noexcept { return max_addr_; }
@@ -86,7 +98,8 @@ class TraceStats {
   AccessCounts totals_;
   std::unordered_map<Symbol, AccessCounts> by_function_;
   std::unordered_map<Symbol, AccessCounts> by_variable_;
-  std::unordered_set<std::uint64_t> addresses_;
+  std::uint64_t block_size_;
+  std::unordered_set<std::uint64_t> blocks_;  // address / block_size_
   std::uint64_t min_addr_ = ~0ULL;
   std::uint64_t max_addr_ = 0;
 };

@@ -20,6 +20,21 @@ StreamResult stream_trace(TraceContext& ctx, std::istream& in,
                           TraceFormat format, TraceSink& sink,
                           DiagEngine* diags) {
   StreamResult result;
+  // Records are delivered through push_batch in fixed-size batches: one
+  // virtual call per kStreamBatch records instead of one per record, and
+  // batch-aware sinks (simulator, parallel fan-out) skip the per-record
+  // dispatch entirely.
+  constexpr std::size_t kStreamBatch = 4096;
+  std::vector<TraceRecord> batch;
+  batch.reserve(kStreamBatch);
+  const auto emit = [&](const TraceRecord& rec) {
+    ++result.records;
+    batch.push_back(rec);
+    if (batch.size() >= kStreamBatch) {
+      sink.push_batch(batch);
+      batch.clear();
+    }
+  };
   switch (format) {
     case TraceFormat::Gleipnir: {
       GleipnirReader reader(ctx, in, diags);
@@ -33,8 +48,7 @@ StreamResult stream_trace(TraceContext& ctx, std::istream& in,
           case TraceEvent::Kind::End:
             break;
           case TraceEvent::Kind::Record:
-            ++result.records;
-            sink.on_record(ev->record);
+            emit(ev->record);
             break;
         }
       }
@@ -43,23 +57,18 @@ StreamResult stream_trace(TraceContext& ctx, std::istream& in,
     case TraceFormat::Din: {
       DinReader reader(ctx, in, /*default_size=*/4, diags);
       TraceRecord rec;
-      while (reader.next(rec)) {
-        ++result.records;
-        sink.on_record(rec);
-      }
+      while (reader.next(rec)) emit(rec);
       break;
     }
     case TraceFormat::Tdtb: {
       BinaryTraceReader reader(ctx, in, diags);
       result.pid = reader.pid();
       TraceRecord rec;
-      while (reader.next(rec)) {
-        ++result.records;
-        sink.on_record(rec);
-      }
+      while (reader.next(rec)) emit(rec);
       break;
     }
   }
+  if (!batch.empty()) sink.push_batch(batch);
   sink.on_end();
   return result;
 }

@@ -25,9 +25,9 @@ struct StreamResult {
   std::uint64_t pid = 0;      ///< PID from START marker / binary header
 };
 
-/// Streams every record of `in` into `sink` (on_record per record, then
-/// one on_end). `diags` selects the error-recovery policy (nullptr =
-/// strict fail-fast).
+/// Streams every record of `in` into `sink` (batched push_batch calls in
+/// trace order, then one on_end). `diags` selects the error-recovery
+/// policy (nullptr = strict fail-fast).
 StreamResult stream_trace(TraceContext& ctx, std::istream& in,
                           TraceFormat format, TraceSink& sink,
                           DiagEngine* diags = nullptr);

@@ -8,13 +8,42 @@ StringPool::StringPool() {
   intern("");  // Symbol{0} == ""
 }
 
+StringPool::StringPool(StringPool&& other) noexcept
+    : chunks_(std::move(other.chunks_)),
+      size_(other.size_.load(std::memory_order_relaxed)),
+      index_(std::move(other.index_)) {
+  other.size_.store(0, std::memory_order_relaxed);
+  other.index_.clear();
+}
+
+StringPool& StringPool::operator=(StringPool&& other) noexcept {
+  if (this != &other) {
+    chunks_ = std::move(other.chunks_);
+    size_.store(other.size_.load(std::memory_order_relaxed),
+                std::memory_order_relaxed);
+    index_ = std::move(other.index_);
+    other.size_.store(0, std::memory_order_relaxed);
+    other.index_.clear();
+  }
+  return *this;
+}
+
 Symbol StringPool::intern(std::string_view s) {
   if (auto it = index_.find(s); it != index_.end()) {
     return Symbol{it->second};
   }
-  const auto id = static_cast<std::uint32_t>(strings_.size());
-  strings_.emplace_back(s);
-  index_.emplace(strings_.back(), id);
+  const std::uint32_t id = size_.load(std::memory_order_relaxed);
+  const std::size_t k = chunk_of(id);
+  if (!chunks_[k]) {
+    chunks_[k] = std::make_unique<std::string[]>(
+        static_cast<std::size_t>(chunk_capacity(k)));
+  }
+  std::string& slot = chunks_[k][id - chunk_first(k)];
+  slot.assign(s);
+  index_.emplace(std::string_view(slot), id);
+  // Publish after the slot is fully constructed; concurrent readers only
+  // look up ids they received through a synchronizing channel anyway.
+  size_.store(id + 1, std::memory_order_release);
   return Symbol{id};
 }
 
@@ -26,8 +55,10 @@ Symbol StringPool::find(std::string_view s) const noexcept {
 }
 
 std::string_view StringPool::view(Symbol sym) const {
-  internal_check(sym.id() < strings_.size(), "Symbol from foreign pool");
-  return strings_[sym.id()];
+  internal_check(sym.id() < size_.load(std::memory_order_acquire),
+                 "Symbol from foreign pool");
+  const std::size_t k = chunk_of(sym.id());
+  return chunks_[k][sym.id() - chunk_first(k)];
 }
 
 }  // namespace tdt

@@ -2,10 +2,21 @@
 // names millions of times; interning them lets TraceRecord store a 4-byte
 // Symbol instead of a std::string, and makes per-variable statistics a
 // dense-array lookup instead of a hash of strings.
+//
+// Storage is chunked and append-only: a string, once interned, never
+// moves, and appending never relocates storage that holds earlier
+// strings. view() is therefore safe to call from other threads for any
+// symbol whose interning happens-before the call — e.g. a symbol carried
+// by a record that crossed one of the parallel pipeline's queues — while
+// the owning thread keeps interning. intern() and find() themselves
+// remain single-threaded (one writer per pool).
 #pragma once
 
+#include <array>
+#include <atomic>
+#include <bit>
 #include <cstdint>
-#include <deque>
+#include <memory>
 #include <string>
 #include <string_view>
 #include <unordered_map>
@@ -29,16 +40,16 @@ class Symbol {
   std::uint32_t id_ = 0;
 };
 
-/// Append-only intern table. Not thread-safe; each pipeline owns one pool
-/// (typically via TraceContext).
+/// Append-only intern table. Single writer; concurrent view() of already
+/// published symbols is safe (see file comment).
 class StringPool {
  public:
   StringPool();
 
   StringPool(const StringPool&) = delete;
   StringPool& operator=(const StringPool&) = delete;
-  StringPool(StringPool&&) noexcept = default;
-  StringPool& operator=(StringPool&&) noexcept = default;
+  StringPool(StringPool&& other) noexcept;
+  StringPool& operator=(StringPool&& other) noexcept;
 
   /// Interns `s`, returning its stable Symbol.
   Symbol intern(std::string_view s);
@@ -50,11 +61,29 @@ class StringPool {
   [[nodiscard]] std::string_view view(Symbol sym) const;
 
   /// Number of interned strings (including the empty string).
-  [[nodiscard]] std::size_t size() const noexcept { return strings_.size(); }
+  [[nodiscard]] std::size_t size() const noexcept {
+    return size_.load(std::memory_order_relaxed);
+  }
 
  private:
-  // deque gives stable storage for string_view keys into the map.
-  std::deque<std::string> strings_;
+  // Chunk k holds ids [kBase*(2^k - 1), kBase*(2^(k+1) - 1)): capacities
+  // double, so 32 fixed top-level slots cover the whole 32-bit id space
+  // and growth never reallocates the table a concurrent view() indexes.
+  static constexpr std::uint32_t kBase = 64;
+  static constexpr std::size_t kMaxChunks = 32;
+
+  static constexpr std::size_t chunk_of(std::uint32_t id) noexcept {
+    return static_cast<std::size_t>(std::bit_width(id / kBase + 1)) - 1;
+  }
+  static constexpr std::uint64_t chunk_first(std::size_t k) noexcept {
+    return kBase * ((std::uint64_t{1} << k) - 1);
+  }
+  static constexpr std::uint64_t chunk_capacity(std::size_t k) noexcept {
+    return std::uint64_t{kBase} << k;
+  }
+
+  std::array<std::unique_ptr<std::string[]>, kMaxChunks> chunks_;
+  std::atomic<std::uint32_t> size_{0};
   std::unordered_map<std::string_view, std::uint32_t> index_;
 };
 

@@ -90,3 +90,28 @@ execute_process(
 if(NOT rc EQUAL 0 OR NOT out MATCHES "MESI system")
   message(FATAL_ERROR "dinerosim --cores failed: ${rc}")
 endif()
+
+# one-pass sweep: the parallel pipeline must produce byte-identical
+# stdout at any job count.
+execute_process(
+  COMMAND ${DINEROSIM} --trace ${WORKDIR}/orig.out
+          --sweep "assoc=1;assoc=2;size=8k,assoc=4;block=64" --jobs 1
+  RESULT_VARIABLE rc OUTPUT_VARIABLE sweep_seq)
+if(NOT rc EQUAL 0 OR NOT sweep_seq MATCHES "sweep summary")
+  message(FATAL_ERROR "dinerosim --sweep --jobs 1 failed: ${rc}")
+endif()
+execute_process(
+  COMMAND ${DINEROSIM} --trace ${WORKDIR}/orig.out
+          --sweep "assoc=1;assoc=2;size=8k,assoc=4;block=64" --jobs 4
+  RESULT_VARIABLE rc OUTPUT_VARIABLE sweep_par ERROR_VARIABLE sweep_err)
+if(NOT rc EQUAL 0)
+  message(FATAL_ERROR "dinerosim --sweep --jobs 4 failed: ${rc}")
+endif()
+if(NOT sweep_seq STREQUAL sweep_par)
+  message(FATAL_ERROR "sweep output differs between --jobs 1 and --jobs 4:\n"
+                      "=== jobs 1 ===\n${sweep_seq}\n"
+                      "=== jobs 4 ===\n${sweep_par}")
+endif()
+if(NOT sweep_err MATCHES "pipeline:")
+  message(FATAL_ERROR "pipeline counters missing from stderr: ${sweep_err}")
+endif()

@@ -110,6 +110,50 @@ TEST(Diff, MixedTransformationPattern) {
   EXPECT_EQ(s.deleted, 0u);
 }
 
+TEST(Diff, LongInsertionRunResyncsInsteadOfModifying) {
+  // A rule that injects many records per access produces insertion runs
+  // longer than the short resync window. Those used to degrade into
+  // spurious Modified pairs; the diff must report them all as Inserted.
+  TraceContext ctx;
+  std::string b_text = "L 7ff000100 4 main\n";
+  for (int k = 0; k < 12; ++k) {
+    b_text += "L 7fe80" + std::string(1, static_cast<char>('0' + k / 10)) +
+              std::string(1, static_cast<char>('0' + k % 10)) +
+              "0 8 main LV 0 1 lAux\n";
+  }
+  b_text += "L 7ff000104 4 main\nS 7ff000200 4 main\n";
+  const auto a = parse(ctx,
+                       "L 7ff000100 4 main\n"
+                       "L 7ff000104 4 main\n"
+                       "S 7ff000200 4 main\n");
+  const auto b = read_trace_string(ctx, b_text);
+  ASSERT_EQ(b.size(), 15u);
+  const DiffSummary s = summarize(diff_traces(a, b));
+  EXPECT_EQ(s.same, 3u);
+  EXPECT_EQ(s.inserted, 12u);
+  EXPECT_EQ(s.modified, 0u);
+  EXPECT_EQ(s.deleted, 0u);
+}
+
+TEST(Diff, RepeatedRecordInsideRunDoesNotFalseResync) {
+  // The long-run scan must not latch onto a lone equal record that is
+  // followed by divergent history (e.g. a loop repeating one access).
+  TraceContext ctx;
+  std::string b_text;
+  for (int k = 0; k < 10; ++k) b_text += "L 7fe800000 8 other\n";
+  b_text += "L 7ff000100 4 main\n";  // equal to a[0] but wrong context
+  for (int k = 0; k < 10; ++k) b_text += "L 7fe800000 8 other\n";
+  const auto a = parse(ctx,
+                       "L 7ff000100 4 main\n"
+                       "S 7ff000200 4 main\n");
+  const auto b = read_trace_string(ctx, b_text);
+  const DiffSummary s = summarize(diff_traces(a, b));
+  // However classified, every record of each trace is consumed exactly
+  // once: 2 original rows, 21 transformed rows.
+  EXPECT_EQ(s.same + s.modified + s.deleted, 2u);
+  EXPECT_EQ(s.same + s.modified + s.inserted, 21u);
+}
+
 TEST(Diff, EntriesIndexCorrectly) {
   TraceContext ctx;
   const auto a = parse(ctx, "L 7ff000100 4 main\nS 7ff000200 4 main\n");

@@ -1,0 +1,226 @@
+#include "trace/parallel.hpp"
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+#include <stdexcept>
+#include <string>
+#include <vector>
+
+#include "trace/reader.hpp"
+#include "trace/stream.hpp"
+
+namespace tdt::trace {
+namespace {
+
+std::vector<TraceRecord> make_records(TraceContext& ctx, std::size_t n) {
+  std::vector<TraceRecord> records;
+  records.reserve(n);
+  const Symbol fn = ctx.intern("main");
+  for (std::size_t i = 0; i < n; ++i) {
+    TraceRecord rec;
+    rec.kind = i % 3 == 0 ? AccessKind::Store : AccessKind::Load;
+    rec.address = 0x7ff000000ULL + i * 4;
+    rec.size = 4;
+    rec.function = fn;
+    records.push_back(rec);
+  }
+  return records;
+}
+
+void feed(TraceSink& sink, std::span<const TraceRecord> records) {
+  for (const TraceRecord& rec : records) sink.on_record(rec);
+  sink.on_end();
+}
+
+TEST(ParallelFanOut, InlineModeBroadcastsToAllSinks) {
+  TraceContext ctx;
+  const auto input = make_records(ctx, 100);
+  VectorSink a, b, c;
+  ParallelOptions options;
+  options.jobs = 0;
+  options.batch_records = 16;
+  ParallelFanOut fanout({&a, &b, &c}, options);
+  feed(fanout, input);
+  EXPECT_EQ(a.records(), input);
+  EXPECT_EQ(b.records(), input);
+  EXPECT_EQ(c.records(), input);
+  EXPECT_EQ(fanout.counters().jobs, 0u);
+  EXPECT_EQ(fanout.counters().records, 100u);
+}
+
+TEST(ParallelFanOut, WorkersReceiveIdenticalStreams) {
+  TraceContext ctx;
+  const auto input = make_records(ctx, 1000);
+  std::vector<VectorSink> sinks(5);
+  std::vector<TraceSink*> ptrs;
+  for (VectorSink& s : sinks) ptrs.push_back(&s);
+  ParallelOptions options;
+  options.jobs = 3;
+  options.batch_records = 32;
+  options.queue_batches = 2;
+  ParallelFanOut fanout(ptrs, options);
+  feed(fanout, input);
+  for (const VectorSink& s : sinks) EXPECT_EQ(s.records(), input);
+  EXPECT_EQ(fanout.counters().jobs, 3u);
+  EXPECT_EQ(fanout.counters().workers.size(), 3u);
+  for (const WorkerCounters& w : fanout.counters().workers) {
+    EXPECT_EQ(w.records, 1000u);
+  }
+  // 5 sinks round-robined over 3 workers: 2 + 2 + 1.
+  EXPECT_EQ(fanout.counters().workers[0].sinks, 2u);
+  EXPECT_EQ(fanout.counters().workers[1].sinks, 2u);
+  EXPECT_EQ(fanout.counters().workers[2].sinks, 1u);
+}
+
+TEST(ParallelFanOut, JobCountIsCappedAtSinkCount) {
+  TraceContext ctx;
+  const auto input = make_records(ctx, 10);
+  VectorSink a, b;
+  ParallelOptions options;
+  options.jobs = 8;
+  ParallelFanOut fanout({&a, &b}, options);
+  feed(fanout, input);
+  EXPECT_EQ(fanout.counters().jobs, 2u);
+  EXPECT_EQ(a.records(), input);
+  EXPECT_EQ(b.records(), input);
+}
+
+TEST(ParallelFanOut, PushBatchFastPathMatchesPerRecord) {
+  TraceContext ctx;
+  const auto input = make_records(ctx, 256);
+  VectorSink via_batch, via_record;
+  ParallelOptions options;
+  options.jobs = 1;
+  options.batch_records = 64;
+  {
+    ParallelFanOut fanout({&via_batch}, options);
+    fanout.push_batch(input);  // 256 >= 64: taken as whole batches
+    fanout.on_end();
+  }
+  {
+    ParallelFanOut fanout({&via_record}, options);
+    feed(fanout, input);
+  }
+  EXPECT_EQ(via_batch.records(), input);
+  EXPECT_EQ(via_record.records(), input);
+}
+
+TEST(ParallelFanOut, OnEndIsIdempotent) {
+  TraceContext ctx;
+  const auto input = make_records(ctx, 20);
+  VectorSink a;
+  ParallelOptions options;
+  options.jobs = 1;
+  ParallelFanOut fanout({&a}, options);
+  feed(fanout, input);
+  fanout.on_end();  // second call must be a no-op
+  EXPECT_EQ(a.records(), input);
+}
+
+TEST(ParallelFanOut, DestructorWithoutOnEndDoesNotHang) {
+  TraceContext ctx;
+  const auto input = make_records(ctx, 10);
+  VectorSink a;
+  ParallelOptions options;
+  options.jobs = 1;
+  options.batch_records = 2;
+  ParallelFanOut fanout({&a}, options);
+  for (const TraceRecord& rec : input) fanout.on_record(rec);
+  // No on_end: the destructor must abort the queue and join the worker.
+}
+
+class ThrowingSink final : public TraceSink {
+ public:
+  explicit ThrowingSink(std::uint64_t fail_at) : fail_at_(fail_at) {}
+  void on_record(const TraceRecord&) override {
+    if (++seen_ >= fail_at_) throw std::runtime_error("sink failure");
+  }
+
+ private:
+  std::uint64_t seen_ = 0;
+  std::uint64_t fail_at_;
+};
+
+TEST(ParallelFanOut, WorkerExceptionPropagatesFromOnEnd) {
+  TraceContext ctx;
+  const auto input = make_records(ctx, 100);
+  ThrowingSink bad(10);
+  VectorSink good;
+  ParallelOptions options;
+  options.jobs = 2;
+  options.batch_records = 4;
+  ParallelFanOut fanout({&bad, &good}, options);
+  for (const TraceRecord& rec : input) fanout.on_record(rec);
+  EXPECT_THROW(fanout.on_end(), std::runtime_error);
+}
+
+TEST(ParallelFanOut, SummaryReportsPipelineShape) {
+  TraceContext ctx;
+  const auto input = make_records(ctx, 50);
+  VectorSink a, b;
+  ParallelOptions options;
+  options.jobs = 2;
+  options.batch_records = 8;
+  ParallelFanOut fanout({&a, &b}, options);
+  feed(fanout, input);
+  const std::string summary = fanout.counters().summary();
+  EXPECT_NE(summary.find("pipeline:"), std::string::npos);
+  EXPECT_NE(summary.find("50 records"), std::string::npos);
+  EXPECT_NE(summary.find("worker 0"), std::string::npos);
+  EXPECT_NE(summary.find("worker 1"), std::string::npos);
+  EXPECT_NE(summary.find("backpressure"), std::string::npos);
+}
+
+/// Resolves every record's function name through the shared TraceContext
+/// from inside a worker thread — exercises the StringPool contract that
+/// symbols published through the queues are safe to view concurrently
+/// with the reader interning new ones.
+class NameLengthSink final : public TraceSink {
+ public:
+  explicit NameLengthSink(const TraceContext& ctx) : ctx_(&ctx) {}
+  void on_record(const TraceRecord& rec) override {
+    total_ += ctx_->name(rec.function).size();
+    if (!rec.var.empty()) total_ += ctx_->name(rec.var.base).size();
+  }
+  [[nodiscard]] std::uint64_t total() const noexcept { return total_; }
+
+ private:
+  const TraceContext* ctx_;
+  std::uint64_t total_ = 0;
+};
+
+TEST(ParallelFanOut, WorkersResolveSymbolsWhileReaderInterns) {
+  // ~2000 distinct function and variable names force continuous interning
+  // on the reader while the workers resolve names of earlier records.
+  std::string text = "START PID 1\n";
+  for (int i = 0; i < 2000; ++i) {
+    text += "L 7ff000100 4 fn_" + std::to_string(i) + " LV 0 1 var_" +
+            std::to_string(i) + "\n";
+  }
+
+  std::uint64_t expected = 0;
+  {
+    TraceContext ctx;
+    NameLengthSink seq(ctx);
+    std::istringstream in(text);
+    stream_trace(ctx, in, TraceFormat::Gleipnir, seq);
+    expected = seq.total();
+    ASSERT_GT(expected, 0u);
+  }
+
+  TraceContext ctx;
+  NameLengthSink a(ctx), b(ctx);
+  ParallelOptions options;
+  options.jobs = 2;
+  options.batch_records = 16;
+  options.queue_batches = 2;
+  ParallelFanOut fanout({&a, &b}, options);
+  std::istringstream in(text);
+  stream_trace(ctx, in, TraceFormat::Gleipnir, fanout);
+  EXPECT_EQ(a.total(), expected);
+  EXPECT_EQ(b.total(), expected);
+}
+
+}  // namespace
+}  // namespace tdt::trace

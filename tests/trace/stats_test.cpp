@@ -49,34 +49,66 @@ TEST(TraceStats, PerVariableAggregatesUnderBaseName) {
   EXPECT_EQ(by_var.at(ctx.pool().find("i")).total(), 3u);
 }
 
-TEST(TraceStats, DistinctAddressesCountBytes) {
+TEST(TraceStats, ByteGranularityCountsDistinctBytes) {
   TraceContext ctx;
-  TraceStats stats;
+  TraceStats stats(1);
   // Two 4-byte accesses to the same address + one to a different one.
   stats.add_all(read_trace_string(
       ctx,
       "L 7ff000100 4 main\nS 7ff000100 4 main\nL 7ff000104 4 main\n"));
-  EXPECT_EQ(stats.distinct_addresses(), 8u);
+  EXPECT_EQ(stats.footprint_blocks(), 8u);
   EXPECT_EQ(stats.min_address(), 0x7ff000100u);
   EXPECT_EQ(stats.max_address(), 0x7ff000107u);
 }
 
 TEST(TraceStats, FootprintBlocks) {
   TraceContext ctx;
-  TraceStats stats;
-  stats.add_all(read_trace_string(
-      ctx, "L 7ff000100 4 main\nL 7ff000104 4 main\nL 7ff000120 4 main\n"));
-  EXPECT_EQ(stats.footprint_blocks(32), 2u);
-  EXPECT_EQ(stats.footprint_blocks(64), 1u);
-  EXPECT_EQ(stats.footprint_blocks(4), 3u);
+  const char* trace =
+      "L 7ff000100 4 main\nL 7ff000104 4 main\nL 7ff000120 4 main\n";
+  TraceStats at32(32);
+  at32.add_all(read_trace_string(ctx, trace));
+  EXPECT_EQ(at32.block_size(), 32u);
+  EXPECT_EQ(at32.footprint_blocks(), 2u);
+  TraceStats at64(64);
+  at64.add_all(read_trace_string(ctx, trace));
+  EXPECT_EQ(at64.footprint_blocks(), 1u);
+  TraceStats at4(4);
+  at4.add_all(read_trace_string(ctx, trace));
+  EXPECT_EQ(at4.footprint_blocks(), 3u);
 }
 
 TEST(TraceStats, AccessSpanningBlocksCountsBoth) {
   TraceContext ctx;
-  TraceStats stats;
+  TraceStats stats(32);
   // 8-byte access starting 4 bytes before a 32-byte boundary.
   stats.add_all(read_trace_string(ctx, "L 7ff00011c 8 main\n"));
-  EXPECT_EQ(stats.footprint_blocks(32), 2u);
+  EXPECT_EQ(stats.footprint_blocks(), 2u);
+}
+
+TEST(TraceStats, ZeroSizedRecordDoesNotTouchFootprint) {
+  // The text reader rejects size 0, but repaired/din traces can carry it;
+  // build the record directly.
+  TraceContext ctx;
+  TraceStats stats;
+  TraceRecord rec;
+  rec.kind = AccessKind::Load;
+  rec.address = 0x7ff000100;
+  rec.size = 0;
+  rec.function = ctx.intern("main");
+  stats.add(rec);
+  EXPECT_EQ(stats.records(), 1u);
+  EXPECT_EQ(stats.footprint_blocks(), 0u);
+}
+
+TEST(TraceStats, ReportPrintsAddressRangeInHex) {
+  TraceContext ctx;
+  TraceStats stats;
+  stats.add_all(read_trace_string(ctx, "L 7ff000100 4 main\n"));
+  const std::string report = stats.report(ctx);
+  // Regression: the range used to print decimal digits behind the "0x".
+  EXPECT_NE(report.find("address range: 0x7ff000100 .. 0x7ff000103"),
+            std::string::npos)
+      << report;
 }
 
 TEST(TraceStats, ReportMentionsTopEntries) {
@@ -92,8 +124,8 @@ TEST(TraceStats, ReportMentionsTopEntries) {
 TEST(TraceStats, EmptyStatsAreZero) {
   TraceStats stats;
   EXPECT_EQ(stats.records(), 0u);
-  EXPECT_EQ(stats.distinct_addresses(), 0u);
-  EXPECT_EQ(stats.footprint_blocks(32), 0u);
+  EXPECT_EQ(stats.footprint_blocks(), 0u);
+  EXPECT_EQ(stats.block_size(), TraceStats::kDefaultBlockSize);
 }
 
 TEST(AccessCounts, AddDispatch) {

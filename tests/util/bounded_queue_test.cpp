@@ -1,0 +1,106 @@
+#include "util/bounded_queue.hpp"
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <numeric>
+#include <thread>
+#include <vector>
+
+namespace tdt {
+namespace {
+
+TEST(BoundedQueue, FifoOrder) {
+  BoundedQueue<int> q(4);
+  EXPECT_TRUE(q.push(1));
+  EXPECT_TRUE(q.push(2));
+  EXPECT_TRUE(q.push(3));
+  EXPECT_EQ(q.pop(), 1);
+  EXPECT_EQ(q.pop(), 2);
+  EXPECT_EQ(q.pop(), 3);
+}
+
+TEST(BoundedQueue, CloseDrainsRemainingItems) {
+  BoundedQueue<int> q(4);
+  ASSERT_TRUE(q.push(7));
+  ASSERT_TRUE(q.push(8));
+  q.close();
+  EXPECT_TRUE(q.closed());
+  EXPECT_EQ(q.pop(), 7);
+  EXPECT_EQ(q.pop(), 8);
+  EXPECT_EQ(q.pop(), std::nullopt);
+}
+
+TEST(BoundedQueue, PushAfterCloseIsRejected) {
+  BoundedQueue<int> q(4);
+  q.close();
+  EXPECT_FALSE(q.push(1));
+  EXPECT_EQ(q.pop(), std::nullopt);
+}
+
+TEST(BoundedQueue, AbortDiscardsItemsAndUnblocks) {
+  BoundedQueue<int> q(4);
+  ASSERT_TRUE(q.push(1));
+  q.abort();
+  EXPECT_EQ(q.size(), 0u);
+  EXPECT_EQ(q.pop(), std::nullopt);
+  EXPECT_FALSE(q.push(2));
+}
+
+TEST(BoundedQueue, ZeroCapacityIsClampedToOne) {
+  BoundedQueue<int> q(0);
+  EXPECT_EQ(q.capacity(), 1u);
+  EXPECT_TRUE(q.push(5));
+  EXPECT_EQ(q.pop(), 5);
+}
+
+TEST(BoundedQueue, BlockingProducerConsumerCountsStalls) {
+  BoundedQueue<int> q(2);  // tiny: the producer must stall
+  constexpr int kItems = 1000;
+  std::uint64_t sum = 0;
+  std::thread consumer([&] {
+    while (auto v = q.pop()) sum += static_cast<std::uint64_t>(*v);
+  });
+  for (int i = 1; i <= kItems; ++i) ASSERT_TRUE(q.push(i));
+  q.close();
+  consumer.join();
+  EXPECT_EQ(sum, std::uint64_t{kItems} * (kItems + 1) / 2);
+  const auto counters = q.counters();
+  EXPECT_EQ(counters.pushes, static_cast<std::uint64_t>(kItems));
+  EXPECT_EQ(counters.pops, static_cast<std::uint64_t>(kItems));
+  EXPECT_GE(counters.peak_occupancy, 1u);
+  EXPECT_LE(counters.peak_occupancy, 2u);
+}
+
+TEST(BoundedQueue, ManyProducersManyConsumers) {
+  BoundedQueue<int> q(8);
+  constexpr int kProducers = 4;
+  constexpr int kConsumers = 4;
+  constexpr int kPerProducer = 500;
+  std::atomic<std::uint64_t> sum{0};
+  std::vector<std::thread> threads;
+  threads.reserve(kProducers + kConsumers);
+  for (int c = 0; c < kConsumers; ++c) {
+    threads.emplace_back([&] {
+      while (auto v = q.pop()) {
+        sum.fetch_add(static_cast<std::uint64_t>(*v),
+                      std::memory_order_relaxed);
+      }
+    });
+  }
+  for (int p = 0; p < kProducers; ++p) {
+    threads.emplace_back([&] {
+      for (int i = 1; i <= kPerProducer; ++i) ASSERT_TRUE(q.push(i));
+    });
+  }
+  for (int t = kConsumers; t < kConsumers + kProducers; ++t) {
+    threads[t].join();
+  }
+  q.close();
+  for (int t = 0; t < kConsumers; ++t) threads[t].join();
+  EXPECT_EQ(sum.load(),
+            std::uint64_t{kProducers} * kPerProducer * (kPerProducer + 1) / 2);
+}
+
+}  // namespace
+}  // namespace tdt
