@@ -10,6 +10,20 @@ using layout::TypeKind;
 using layout::align_up;
 using trace::TraceRecord;
 
+namespace {
+
+/// Shape key words for a record's selector chain (see PlanKey).
+template <typename Vec>
+void encode_shape(const trace::VarRef& var, Vec& words) {
+  for (const trace::VarStep& step : var.steps) {
+    words.push_back(step.is_field
+                        ? (std::uint64_t{step.field.id()} << 1) | 1
+                        : 0);
+  }
+}
+
+}  // namespace
+
 TraceTransformer::TraceTransformer(const RuleSet& rules,
                                    trace::TraceContext& ctx,
                                    trace::TraceSink& downstream,
@@ -22,12 +36,26 @@ TraceTransformer::TraceTransformer(const RuleSet& rules,
       global_arena_cursor_(options.global_arena_base) {
   for (const TransformRule& rule : rules.rules()) {
     if (const auto* sr = std::get_if<StructRule>(&rule)) {
-      struct_by_name_.emplace(sr->in_name, struct_states_.size());
+      const auto index = struct_states_.size();
+      struct_by_name_.emplace(sr->in_name, index);
+      by_symbol_.emplace(ctx.intern(sr->in_name).id(),
+                         static_cast<std::uint32_t>(index));
       struct_states_.emplace_back(rules.types(), *sr);
     } else {
       const auto& stride = std::get<StrideRule>(rule);
-      stride_by_name_.emplace(stride.in_name, stride_states_.size());
-      stride_states_.push_back(StrideState{&stride, std::nullopt, {}});
+      const auto index = stride_states_.size();
+      stride_by_name_.emplace(stride.in_name, index);
+      by_symbol_.emplace(ctx.intern(stride.in_name).id(),
+                         static_cast<std::uint32_t>(index) | kStrideTag);
+      StrideState st;
+      st.rule = &stride;
+      st.elem_size = rules.types().size_of(stride.elem_type);
+      st.out_sym = ctx.intern(stride.out_name);
+      for (const InjectSpec& inj : stride.injects) {
+        st.inject_syms.push_back(ctx.intern(inj.name));
+        st.inject_addrs.push_back(std::nullopt);
+      }
+      stride_states_.push_back(std::move(st));
     }
   }
 }
@@ -64,12 +92,12 @@ std::uint64_t TraceTransformer::arena_alloc(std::uint64_t size,
 }
 
 std::uint64_t TraceTransformer::ensure_out_base(StructState& st,
-                                                const OutVar& out,
-                                                bool primary,
+                                                std::size_t out_index,
                                                 std::uint64_t in_address) {
-  if (auto it = st.out_bases.find(out.name); it != st.out_bases.end()) {
-    return it->second;
-  }
+  std::optional<std::uint64_t>& slot = st.out_bases[out_index];
+  if (slot.has_value()) return *slot;
+  const OutVar& out = st.rule->outs[out_index];
+  const bool primary = out_index == 0;
   const auto& types = rules_->types();
   const std::uint64_t out_size = types.size_of(out.type);
   const std::uint64_t out_align = types.align_of(out.type);
@@ -85,7 +113,7 @@ std::uint64_t TraceTransformer::ensure_out_base(StructState& st,
   } else {
     base = arena_alloc(out_size, out_align, stack_side);
   }
-  st.out_bases.emplace(out.name, base);
+  slot = base;
   return base;
 }
 
@@ -99,6 +127,173 @@ trace::VarRef TraceTransformer::make_var(
                             : trace::VarStep::make_index(step.index));
   }
   return var;
+}
+
+TraceTransformer::AffineOffset TraceTransformer::affine_of(
+    layout::TypeId root, std::span<const TemplateStep> steps) const {
+  const auto& types = rules_->types();
+  AffineOffset off;
+  layout::TypeId type = root;
+  for (const TemplateStep& step : steps) {
+    if (step.is_field) {
+      const layout::FieldInfo* f = types.find_field(type, step.field);
+      internal_check(f != nullptr, "template field vanished from its type");
+      off.constant += f->offset;
+      type = f->type;
+    } else {
+      const layout::TypeId elem = types.element(type);
+      off.strides.push_back(types.size_of(elem));
+      off.extents.push_back(step.extent);
+      type = elem;
+    }
+  }
+  return off;
+}
+
+TraceTransformer::VarTemplate TraceTransformer::make_var_template(
+    std::string_view base, std::span<const TemplateStep> steps) {
+  VarTemplate t;
+  t.var.base = ctx_->intern(base);
+  for (const TemplateStep& step : steps) {
+    if (step.is_field) {
+      t.var.steps.push_back(trace::VarStep::make_field(ctx_->intern(step.field)));
+    } else {
+      t.slots.push_back(static_cast<std::uint32_t>(t.var.steps.size()));
+      t.var.steps.push_back(trace::VarStep::make_index(0));
+    }
+  }
+  return t;
+}
+
+trace::VarRef TraceTransformer::instantiate_var(
+    const VarTemplate& t, std::span<const std::uint64_t> indices) {
+  trace::VarRef var = t.var;
+  for (std::size_t k = 0; k < t.slots.size(); ++k) {
+    var.steps[t.slots[k]].index = indices[k];
+  }
+  return var;
+}
+
+void TraceTransformer::memoize_struct_plan(StructState& st,
+                                           const TraceRecord& rec) {
+  // Re-resolve the route the slow path just took and freeze it. Runs once
+  // per shape; on any surprise the shape stays uncached (correctness
+  // never depends on a plan existing).
+  try {
+    layout::Path in_path;
+    for (const trace::VarStep& step : rec.var.steps) {
+      in_path.push_back(step.is_field
+                            ? PathStep::make_field(
+                                  std::string(ctx_->name(step.field)))
+                            : PathStep::make_index(step.index));
+    }
+    const ChainKey key = chain_key_of({in_path.data(), in_path.size()});
+    const ChainRoute route = st.matcher.route(key.chain);
+    if (route.out == nullptr) return;
+    const LeafTemplate* in_leaf = st.matcher.in_index().find(key.chain);
+    if (in_leaf == nullptr || in_leaf->wildcards != key.indices.size()) return;
+
+    StructPlan plan;
+    for (const TemplateStep& step : in_leaf->steps) {
+      if (!step.is_field) plan.in_extents.push_back(step.extent);
+    }
+    plan.out_index =
+        static_cast<std::uint32_t>(route.out - st.rule->outs.data());
+    plan.leaf_size = static_cast<std::uint32_t>(route.leaf->leaf_size);
+    plan.out_off = affine_of(route.out->type,
+                             {route.leaf->steps.data(),
+                              route.leaf->steps.size()});
+    if (plan.out_off.strides.size() != key.indices.size()) return;
+    plan.out_var = make_var_template(route.out->name,
+                                     {route.leaf->steps.data(),
+                                      route.leaf->steps.size()});
+    if (route.link != nullptr) {
+      if (route.pointer_leaf == nullptr || route.link_owner == nullptr) return;
+      if (route.pointer_leaf->wildcards > key.indices.size()) return;
+      plan.has_pointer = true;
+      plan.owner_index =
+          static_cast<std::uint32_t>(route.link_owner - st.rule->outs.data());
+      plan.ptr_off = affine_of(route.link_owner->type,
+                               {route.pointer_leaf->steps.data(),
+                                route.pointer_leaf->steps.size()});
+      plan.ptr_var = make_var_template(route.link_owner->name,
+                                       {route.pointer_leaf->steps.data(),
+                                        route.pointer_leaf->steps.size()});
+    }
+    PlanKey shape;
+    encode_shape(rec.var, shape.words);
+    st.plans.emplace(std::move(shape), std::move(plan));
+  } catch (const Error&) {
+    // Leave the shape uncached; the slow path keeps handling it.
+  }
+}
+
+bool TraceTransformer::apply_struct_fast(StructState& st,
+                                         const TraceRecord& rec) {
+  SmallVector<std::uint64_t, 6> shape;
+  SmallVector<std::uint64_t, 4> indices;
+  for (const trace::VarStep& step : rec.var.steps) {
+    if (step.is_field) {
+      shape.push_back((std::uint64_t{step.field.id()} << 1) | 1);
+    } else {
+      shape.push_back(0);
+      indices.push_back(step.index);
+    }
+  }
+  const auto it = st.plans.find(
+      std::span<const std::uint64_t>(shape.data(), shape.size()));
+  if (it == st.plans.end()) return false;
+  const StructPlan& plan = it->second;
+
+  // Prove the record in-bounds on both sides before emitting anything; a
+  // violation falls back to the slow path, which owns the diagnostic.
+  for (std::size_t k = 0; k < indices.size(); ++k) {
+    if (indices[k] >= plan.in_extents[k] ||
+        indices[k] >= plan.out_off.extents[k]) {
+      return false;
+    }
+  }
+  // The slow path created every out base this plan references when it
+  // succeeded for the shape's first record; absent bases mean the state
+  // is unexpected, so defer to the slow path.
+  if (!st.out_bases[plan.out_index].has_value()) return false;
+  if (plan.has_pointer) {
+    if (!st.out_bases[plan.owner_index].has_value()) return false;
+    for (std::size_t k = 0; k < plan.ptr_off.strides.size(); ++k) {
+      if (indices[k] >= plan.ptr_off.extents[k]) return false;
+    }
+  }
+
+  if (plan.has_pointer) {
+    // The pointer-indirection load precedes each outlined access
+    // (paper Fig 8).
+    std::uint64_t addr = *st.out_bases[plan.owner_index] +
+                         plan.ptr_off.constant;
+    for (std::size_t k = 0; k < plan.ptr_off.strides.size(); ++k) {
+      addr += indices[k] * plan.ptr_off.strides[k];
+    }
+    TraceRecord ptr_rec = rec;
+    ptr_rec.kind = trace::AccessKind::Load;
+    ptr_rec.address = addr;
+    ptr_rec.size = 8;
+    ptr_rec.var = instantiate_var(plan.ptr_var, {indices.data(),
+                                                 indices.size()});
+    forward(ptr_rec, /*inserted_record=*/true);
+  }
+
+  std::uint64_t addr = *st.out_bases[plan.out_index] + plan.out_off.constant;
+  for (std::size_t k = 0; k < indices.size(); ++k) {
+    addr += indices[k] * plan.out_off.strides[k];
+  }
+  TraceRecord out_rec = rec;
+  out_rec.address = addr;
+  out_rec.size = plan.leaf_size;
+  out_rec.var = instantiate_var(plan.out_var, {indices.data(),
+                                               indices.size()});
+  ++stats_.rewritten;
+  ++stats_.plan_hits;
+  forward(out_rec);
+  return true;
 }
 
 bool TraceTransformer::apply_struct(StructState& st, const TraceRecord& rec) {
@@ -155,7 +350,8 @@ bool TraceTransformer::apply_struct(StructState& st, const TraceRecord& rec) {
       return false;
     }
     const std::uint64_t owner_base = ensure_out_base(
-        st, *route.link_owner, /*primary=*/route.link_owner == &st.rule->outs.front(),
+        st,
+        static_cast<std::size_t>(route.link_owner - st.rule->outs.data()),
         rec.address);
     const layout::Path ptr_path = route.pointer_leaf->instantiate(
         {key.indices.data(), static_cast<std::size_t>(w)});
@@ -170,15 +366,53 @@ bool TraceTransformer::apply_struct(StructState& st, const TraceRecord& rec) {
     forward(ptr_rec, /*inserted_record=*/true);
   }
 
-  const bool primary = route.out == &st.rule->outs.front();
-  const std::uint64_t out_base =
-      ensure_out_base(st, *route.out, primary, rec.address);
+  const std::uint64_t out_base = ensure_out_base(
+      st, static_cast<std::size_t>(route.out - st.rule->outs.data()),
+      rec.address);
 
   TraceRecord out_rec = rec;
   out_rec.address = out_base + out_resolved.offset;
   out_rec.size = static_cast<std::uint32_t>(route.leaf->leaf_size);
   out_rec.var = make_var(route.out->name, {out_path.data(), out_path.size()});
   ++stats_.rewritten;
+  forward(out_rec);
+  return true;
+}
+
+bool TraceTransformer::apply_stride_fast(StrideState& st,
+                                         const TraceRecord& rec) {
+  const StrideRule& rule = *st.rule;
+  // Anything irregular — wrong access shape, out-of-range remap, bases or
+  // inject scalars not yet allocated — defers to the slow path before a
+  // single record is emitted, so no partial output can double up.
+  if (rec.var.steps.size() != 1 || rec.var.steps[0].is_field) return false;
+  const std::uint64_t i = rec.var.steps[0].index;
+  const std::int64_t j = rule.formula.eval(static_cast<std::int64_t>(i));
+  if (j < 0 || static_cast<std::uint64_t>(j) >= rule.out_count) return false;
+  if (!st.out_base.has_value()) return false;
+  for (const std::optional<std::uint64_t>& addr : st.inject_addrs) {
+    if (!addr.has_value()) return false;
+  }
+
+  for (std::size_t k = 0; k < rule.injects.size(); ++k) {
+    const InjectSpec& inj = rule.injects[k];
+    TraceRecord aux = rec;
+    aux.kind = inj.kind;
+    aux.address = *st.inject_addrs[k];
+    aux.size = inj.size;
+    aux.scope = trace::VarScope::LocalVariable;
+    aux.var = trace::VarRef{st.inject_syms[k], {}};
+    forward(aux, /*inserted_record=*/true);
+  }
+  TraceRecord out_rec = rec;
+  out_rec.address = *st.out_base + static_cast<std::uint64_t>(j) * st.elem_size;
+  out_rec.size = static_cast<std::uint32_t>(st.elem_size);
+  out_rec.var.base = st.out_sym;
+  out_rec.var.steps.clear();
+  out_rec.var.steps.push_back(
+      trace::VarStep::make_index(static_cast<std::uint64_t>(j)));
+  ++stats_.rewritten;
+  ++stats_.plan_hits;
   forward(out_rec);
   return true;
 }
@@ -191,8 +425,6 @@ bool TraceTransformer::apply_stride(StrideState& st, const TraceRecord& rec) {
          "'");
     return false;
   }
-  const auto& types = rules_->types();
-  const std::uint64_t elem_size = types.size_of(rule.elem_type);
   const std::uint64_t i = rec.var.steps[0].index;
   const std::int64_t j = rule.formula.eval(static_cast<std::int64_t>(i));
   if (j < 0 || static_cast<std::uint64_t>(j) >= rule.out_count) {
@@ -202,29 +434,32 @@ bool TraceTransformer::apply_stride(StrideState& st, const TraceRecord& rec) {
   }
   const bool stack_side = rec.address >= options_.stack_segment_min;
   if (!st.out_base.has_value()) {
-    st.out_base = arena_alloc(rule.out_count * elem_size,
-                              types.align_of(rule.elem_type), stack_side);
+    st.out_base = arena_alloc(rule.out_count * st.elem_size,
+                              rules_->types().align_of(rule.elem_type),
+                              stack_side);
   }
   // Injected index-arithmetic accesses (the paper's "additional
   // instructions ... accounted for in the trace").
-  for (const InjectSpec& inj : rule.injects) {
-    auto [it, fresh] = st.inject_addrs.try_emplace(inj.name, 0);
-    if (fresh) {
-      it->second = arena_alloc(8, 8, stack_side);
+  for (std::size_t k = 0; k < rule.injects.size(); ++k) {
+    const InjectSpec& inj = rule.injects[k];
+    if (!st.inject_addrs[k].has_value()) {
+      st.inject_addrs[k] = arena_alloc(8, 8, stack_side);
     }
     TraceRecord aux = rec;
     aux.kind = inj.kind;
-    aux.address = it->second;
+    aux.address = *st.inject_addrs[k];
     aux.size = inj.size;
     aux.scope = trace::VarScope::LocalVariable;
-    aux.var = trace::VarRef{ctx_->intern(inj.name), {}};
+    aux.var = trace::VarRef{st.inject_syms[k], {}};
     forward(aux, /*inserted_record=*/true);
   }
   TraceRecord out_rec = rec;
-  out_rec.address = *st.out_base + static_cast<std::uint64_t>(j) * elem_size;
-  out_rec.size = static_cast<std::uint32_t>(elem_size);
-  const PathStep step = PathStep::make_index(static_cast<std::uint64_t>(j));
-  out_rec.var = make_var(rule.out_name, {&step, 1});
+  out_rec.address = *st.out_base + static_cast<std::uint64_t>(j) * st.elem_size;
+  out_rec.size = static_cast<std::uint32_t>(st.elem_size);
+  out_rec.var.base = st.out_sym;
+  out_rec.var.steps.clear();
+  out_rec.var.steps.push_back(
+      trace::VarStep::make_index(static_cast<std::uint64_t>(j)));
   ++stats_.rewritten;
   forward(out_rec);
   return true;
@@ -239,6 +474,12 @@ void TraceTransformer::push_batch(std::span<const TraceRecord> batch) {
 void TraceTransformer::process(const TraceRecord& rec) {
   ++stats_.records_in;
   if (rec.var.empty()) {
+    ++stats_.passthrough;
+    forward(rec);
+    return;
+  }
+  const auto dispatch = by_symbol_.find(rec.var.base.id());
+  if (dispatch == by_symbol_.end()) {
     ++stats_.passthrough;
     forward(rec);
     return;
@@ -259,44 +500,43 @@ void TraceTransformer::process(const TraceRecord& rec) {
       return false;
     }
   };
-  const std::string base_name(ctx_->name(rec.var.base));
-  if (auto it = struct_by_name_.find(base_name); it != struct_by_name_.end()) {
-    if (apply_guarded(struct_states_[it->second],
-                      &TraceTransformer::apply_struct)) {
+  if ((dispatch->second & kStrideTag) == 0) {
+    StructState& st = struct_states_[dispatch->second];
+    if (options_.plan_cache && apply_struct_fast(st, rec)) return;
+    if (apply_guarded(st, &TraceTransformer::apply_struct)) {
+      if (options_.plan_cache) {
+        ++stats_.plan_misses;
+        memoize_struct_plan(st, rec);
+      }
       return;
     }
     ++stats_.skipped;
     forward(rec);
     return;
   }
-  if (auto it = stride_by_name_.find(base_name); it != stride_by_name_.end()) {
-    if (apply_guarded(stride_states_[it->second],
-                      &TraceTransformer::apply_stride)) {
-      return;
-    }
-    ++stats_.skipped;
-    forward(rec);
+  StrideState& st = stride_states_[dispatch->second & ~kStrideTag];
+  if (options_.plan_cache && apply_stride_fast(st, rec)) return;
+  if (apply_guarded(st, &TraceTransformer::apply_stride)) {
+    if (options_.plan_cache) ++stats_.plan_misses;
     return;
   }
-  ++stats_.passthrough;
+  ++stats_.skipped;
   forward(rec);
+  return;
 }
 
 void TraceTransformer::on_end() { downstream_->on_end(); }
 
 std::optional<std::uint64_t> TraceTransformer::out_base(
     std::string_view in_name, std::string_view out_name) const {
-  if (auto it = struct_by_name_.find(std::string(in_name));
-      it != struct_by_name_.end()) {
+  if (auto it = struct_by_name_.find(in_name); it != struct_by_name_.end()) {
     const StructState& st = struct_states_[it->second];
-    if (auto b = st.out_bases.find(std::string(out_name));
-        b != st.out_bases.end()) {
-      return b->second;
+    for (std::size_t i = 0; i < st.rule->outs.size(); ++i) {
+      if (st.rule->outs[i].name == out_name) return st.out_bases[i];
     }
     return std::nullopt;
   }
-  if (auto it = stride_by_name_.find(std::string(in_name));
-      it != stride_by_name_.end()) {
+  if (auto it = stride_by_name_.find(in_name); it != stride_by_name_.end()) {
     return stride_states_[it->second].out_base;
   }
   return std::nullopt;
@@ -307,8 +547,9 @@ std::vector<TraceRecord> transform_trace(
     std::span<const TraceRecord> records, TransformOptions options,
     TransformStats* stats) {
   trace::VectorSink sink;
+  sink.records().reserve(records.size());  // output is ~input-sized
   TraceTransformer transformer(rules, ctx, sink, options);
-  for (const TraceRecord& rec : records) transformer.on_record(rec);
+  transformer.push_batch(records);
   transformer.on_end();
   if (stats != nullptr) *stats = transformer.stats();
   return sink.take();

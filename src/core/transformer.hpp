@@ -13,6 +13,20 @@
 // 3) apply the mapping, inserting indirection accesses as needed;
 // 4) emit the transformed trace; 5) compare with the original
 // (trace/diff.hpp).
+//
+// Hot-path design: traces repeat a tiny set of distinct variable-reference
+// *shapes* (base symbol + field chain, with array indices abstracted to
+// wildcards) millions of times. The transformer therefore dispatches on
+// the record's interned base-symbol id (no per-record std::string) and
+// memoizes, per shape, the fully resolved route: byte offsets decomposed
+// into constant + per-index strides, the leaf size, a prebuilt out VarRef
+// template, and — for outlined (T2) chains — the pointer-indirection
+// record template. A cache hit rewrites a record with pure integer
+// arithmetic: no resolve_path() type walk, no layout::Path of copied
+// field strings, no re-interning. The first record of each shape (and
+// every record a plan cannot prove in-bounds) runs the original slow path,
+// which is also the authoritative source of diagnostics, so cached and
+// uncached runs are bit-identical (options.plan_cache toggles the cache).
 #pragma once
 
 #include <cstdint>
@@ -26,6 +40,8 @@
 #include "trace/record.hpp"
 #include "trace/sink.hpp"
 #include "util/diag.hpp"
+#include "util/small_vector.hpp"
+#include "util/string_util.hpp"
 
 namespace tdt::core {
 
@@ -42,6 +58,10 @@ struct TransformOptions {
   /// Fig 5 where lAoS lands near lSoA). Pools and oversized structures
   /// always go to an arena.
   bool reuse_in_footprint = true;
+  /// Memoize resolved routes per variable shape (see file comment).
+  /// Disabling forces every record through the reference slow path;
+  /// output is bit-identical either way.
+  bool plan_cache = true;
   /// Cap on retained diagnostic messages.
   std::size_t max_diagnostics = 64;
   /// Optional diagnostics engine. When set and its policy is Skip or
@@ -60,6 +80,8 @@ struct TransformStats {
   std::uint64_t inserted = 0;     ///< extra indirection/inject records
   std::uint64_t passthrough = 0;  ///< untouched records
   std::uint64_t skipped = 0;      ///< matched a rule but could not be mapped
+  std::uint64_t plan_hits = 0;    ///< records served from the plan cache
+  std::uint64_t plan_misses = 0;  ///< matched records resolved the slow way
   std::vector<std::string> diagnostics;
 };
 
@@ -84,20 +106,97 @@ class TraceTransformer final : public trace::TraceSink {
       std::string_view in_name, std::string_view out_name) const;
 
  private:
+  /// Affine decomposition of a leaf's byte offset inside its out
+  /// variable: offset = constant + Σ index[k] * stride[k]. Exact because
+  /// layouts are static (resolve_path adds a field offset per field step
+  /// and index * element-size per index step). extent[k] bounds index[k].
+  struct AffineOffset {
+    std::uint64_t constant = 0;
+    SmallVector<std::uint64_t, 4> strides;
+    SmallVector<std::uint64_t, 4> extents;
+  };
+
+  /// A prebuilt VarRef whose index steps are holes, filled per record.
+  struct VarTemplate {
+    trace::VarRef var;                    // index steps hold 0
+    SmallVector<std::uint32_t, 4> slots;  // positions of the index steps
+  };
+
+  /// Memoized resolution of one in-access shape against a StructRule.
+  struct StructPlan {
+    SmallVector<std::uint64_t, 4> in_extents;  // in-side wildcard bounds
+    std::uint32_t out_index = 0;               // index into rule->outs
+    std::uint32_t leaf_size = 0;
+    AffineOffset out_off;
+    VarTemplate out_var;
+    // T2 pointer-indirection record, emitted before the rewritten access.
+    bool has_pointer = false;
+    std::uint32_t owner_index = 0;
+    AffineOffset ptr_off;  // affine over the leading ptr wildcards only
+    VarTemplate ptr_var;
+  };
+
+  /// Shape key: the record's selector chain with interned field-symbol
+  /// ids, indices abstracted to wildcards. Field steps encode as
+  /// (id << 1) | 1, index steps as 0 — distinct because field symbols are
+  /// never Symbol{0} (the empty string).
+  struct PlanKey {
+    SmallVector<std::uint64_t, 6> words;
+  };
+  struct PlanKeyHash {
+    using is_transparent = void;
+    std::size_t operator()(std::span<const std::uint64_t> words) const noexcept {
+      std::uint64_t h = 0xcbf29ce484222325ULL;  // FNV-1a over the words
+      for (const std::uint64_t w : words) {
+        h ^= w;
+        h *= 0x100000001b3ULL;
+      }
+      return static_cast<std::size_t>(h);
+    }
+    std::size_t operator()(const PlanKey& k) const noexcept {
+      return (*this)(std::span<const std::uint64_t>(k.words.data(),
+                                                    k.words.size()));
+    }
+  };
+  struct PlanKeyEq {
+    using is_transparent = void;
+    static bool eq(std::span<const std::uint64_t> a,
+                   std::span<const std::uint64_t> b) noexcept {
+      return a.size() == b.size() &&
+             std::equal(a.begin(), a.end(), b.begin());
+    }
+    bool operator()(const PlanKey& a, const PlanKey& b) const noexcept {
+      return eq({a.words.data(), a.words.size()},
+                {b.words.data(), b.words.size()});
+    }
+    bool operator()(const PlanKey& a,
+                    std::span<const std::uint64_t> b) const noexcept {
+      return eq({a.words.data(), a.words.size()}, b);
+    }
+    bool operator()(std::span<const std::uint64_t> a,
+                    const PlanKey& b) const noexcept {
+      return eq(a, {b.words.data(), b.words.size()});
+    }
+  };
+
   struct StructState {
     const StructRule* rule = nullptr;
     StructRuleMatcher matcher;
     std::optional<std::uint64_t> in_base;
-    std::unordered_map<std::string, std::uint64_t> out_bases;
+    std::vector<std::optional<std::uint64_t>> out_bases;  // by out index
+    std::unordered_map<PlanKey, StructPlan, PlanKeyHash, PlanKeyEq> plans;
 
     StructState(const layout::TypeTable& types, const StructRule& r)
-        : rule(&r), matcher(types, r) {}
+        : rule(&r), matcher(types, r), out_bases(r.outs.size()) {}
   };
 
   struct StrideState {
     const StrideRule* rule = nullptr;
     std::optional<std::uint64_t> out_base;
-    std::unordered_map<std::string, std::uint64_t> inject_addrs;
+    std::uint64_t elem_size = 0;  // cached size_of(rule->elem_type)
+    Symbol out_sym;               // pre-interned rule->out_name
+    SmallVector<Symbol, 2> inject_syms;  // pre-interned inject names
+    SmallVector<std::optional<std::uint64_t>, 2> inject_addrs;  // by index
   };
 
   void process(const trace::TraceRecord& rec);
@@ -105,13 +204,31 @@ class TraceTransformer final : public trace::TraceSink {
   void forward(const trace::TraceRecord& rec, bool inserted_record = false);
   std::uint64_t arena_alloc(std::uint64_t size, std::uint64_t align,
                             bool stack_side);
-  std::uint64_t ensure_out_base(StructState& st, const OutVar& out,
-                                bool primary, std::uint64_t in_address);
+  std::uint64_t ensure_out_base(StructState& st, std::size_t out_index,
+                                std::uint64_t in_address);
   trace::VarRef make_var(std::string_view base,
                          std::span<const layout::PathStep> path);
 
   bool apply_struct(StructState& st, const trace::TraceRecord& rec);
   bool apply_stride(StrideState& st, const trace::TraceRecord& rec);
+
+  /// Serves `rec` from a memoized plan. Returns false (emitting nothing)
+  /// on a cache miss or when the plan cannot prove the record in-bounds;
+  /// the caller then runs the slow path, which owns all diagnostics.
+  bool apply_struct_fast(StructState& st, const trace::TraceRecord& rec);
+  bool apply_stride_fast(StrideState& st, const trace::TraceRecord& rec);
+
+  /// Builds and stores the plan for `rec`'s shape after a slow-path
+  /// success. Never throws; on any surprise the shape simply stays
+  /// uncached.
+  void memoize_struct_plan(StructState& st, const trace::TraceRecord& rec);
+
+  AffineOffset affine_of(layout::TypeId root,
+                         std::span<const TemplateStep> steps) const;
+  VarTemplate make_var_template(std::string_view base,
+                                std::span<const TemplateStep> steps);
+  static trace::VarRef instantiate_var(const VarTemplate& t,
+                                       std::span<const std::uint64_t> indices);
 
   const RuleSet* rules_;
   trace::TraceContext* ctx_;
@@ -119,8 +236,22 @@ class TraceTransformer final : public trace::TraceSink {
   TransformOptions options_;
   TransformStats stats_;
 
-  std::unordered_map<std::string, std::size_t> struct_by_name_;
-  std::unordered_map<std::string, std::size_t> stride_by_name_;
+  // Name-keyed lookups (transparent hash: string_view queries allocate
+  // nothing) serve the public out_base() API; the per-record dispatch
+  // goes through by_symbol_ below.
+  std::unordered_map<std::string, std::size_t, StringViewHash,
+                     std::equal_to<>>
+      struct_by_name_;
+  std::unordered_map<std::string, std::size_t, StringViewHash,
+                     std::equal_to<>>
+      stride_by_name_;
+
+  /// Interned base-symbol id -> rule state. Stride states are tagged with
+  /// the high bit. Rule names are interned at construction so any record
+  /// whose base matches a rule carries one of these ids.
+  static constexpr std::uint32_t kStrideTag = 0x80000000u;
+  std::unordered_map<std::uint32_t, std::uint32_t> by_symbol_;
+
   std::vector<StructState> struct_states_;
   std::vector<StrideState> stride_states_;
 

@@ -1,17 +1,34 @@
 #include "trace/reader.hpp"
 
+#include <algorithm>
+#include <cstring>
 #include <fstream>
-#include <sstream>
 
 #include "util/error.hpp"
+#include "util/small_vector.hpp"
 #include "util/string_util.hpp"
 
 namespace tdt::trace {
 namespace {
 
+/// Block size for bulk istream reads. Large enough that refills are rare,
+/// small enough to stay cache-friendly.
+constexpr std::size_t kReadBlock = 256 * 1024;
+
+/// A record line has at most 8 fields (kind, address, size, function,
+/// scope, frame, thread, variable); anything longer is malformed and goes
+/// through the slow path for its diagnostic.
+constexpr std::size_t kMaxRecordFields = 8;
+
+/// Lines longer than this are not worth memoizing (the compare would cost
+/// as much as the parse, and real record lines are far shorter).
+constexpr std::size_t kMaxMemoLine = 128;
+
 /// Drains a reader into a vector, recording the first START pid.
-std::vector<TraceRecord> drain(GleipnirReader& reader, std::uint64_t* pid) {
+std::vector<TraceRecord> drain(GleipnirReader& reader, std::uint64_t* pid,
+                               std::size_t reserve_hint = 0) {
   std::vector<TraceRecord> records;
+  records.reserve(reserve_hint);
   bool saw_start = false;
   while (auto ev = reader.next()) {
     switch (ev->kind) {
@@ -33,7 +50,63 @@ std::vector<TraceRecord> drain(GleipnirReader& reader, std::uint64_t* pid) {
 
 GleipnirReader::GleipnirReader(TraceContext& ctx, std::istream& in,
                                DiagEngine* diags)
-    : ctx_(&ctx), in_(&in), diags_(diags) {}
+    : ctx_(&ctx), in_(&in), diags_(diags) {
+  buf_.resize(kReadBlock);
+}
+
+GleipnirReader::GleipnirReader(TraceContext& ctx, std::string_view text,
+                               DiagEngine* diags)
+    : ctx_(&ctx), diags_(diags), mem_(text) {}
+
+bool GleipnirReader::next_line(std::string_view& out) {
+  if (in_ == nullptr) {
+    if (mem_pos_ >= mem_.size()) return false;
+    const std::size_t nl = mem_.find('\n', mem_pos_);
+    if (nl == std::string_view::npos) {
+      out = mem_.substr(mem_pos_);
+      mem_pos_ = mem_.size();
+    } else {
+      out = mem_.substr(mem_pos_, nl - mem_pos_);
+      mem_pos_ = nl + 1;
+    }
+    return true;
+  }
+  for (;;) {
+    const char* base = buf_.data();
+    if (pos_ < len_) {
+      const void* nl = std::memchr(base + pos_, '\n', len_ - pos_);
+      if (nl != nullptr) {
+        const std::size_t end =
+            static_cast<std::size_t>(static_cast<const char*>(nl) - base);
+        out = std::string_view(base + pos_, end - pos_);
+        pos_ = end + 1;
+        return true;
+      }
+    }
+    if (eof_) {
+      if (pos_ < len_) {  // final line without trailing newline
+        out = std::string_view(base + pos_, len_ - pos_);
+        pos_ = len_;
+        return true;
+      }
+      return false;
+    }
+    // No newline buffered: slide the partial line to the front and refill.
+    if (pos_ > 0) {
+      std::memmove(buf_.data(), buf_.data() + pos_, len_ - pos_);
+      len_ -= pos_;
+      pos_ = 0;
+    }
+    if (len_ == buf_.size()) {
+      buf_.resize(buf_.size() * 2);  // pathological line longer than a block
+    }
+    in_->read(buf_.data() + len_,
+              static_cast<std::streamsize>(buf_.size() - len_));
+    const std::size_t got = static_cast<std::size_t>(in_->gcount());
+    len_ += got;
+    if (got == 0) eof_ = true;
+  }
+}
 
 TraceRecord GleipnirReader::parse_record_line(TraceContext& ctx,
                                               std::string_view line,
@@ -92,6 +165,95 @@ TraceRecord GleipnirReader::parse_record_line(TraceContext& ctx,
   return rec;
 }
 
+bool GleipnirReader::parse_record_fast(TraceContext& ctx,
+                                       std::string_view line,
+                                       TraceRecord& out) {
+  return parse_record_fast_impl(ctx, line, out, nullptr);
+}
+
+bool GleipnirReader::parse_record_fast_impl(TraceContext& ctx,
+                                            std::string_view line,
+                                            TraceRecord& out,
+                                            ParseMemo* memo) {
+  // Mirrors parse_record_line check for check (and in the same order, so
+  // string-pool interning is identical whichever path runs): a line is
+  // accepted here exactly when the slow path accepts it, and produces the
+  // same record. Anything unusual returns false and is re-parsed slowly.
+  if (memo != nullptr) {
+    for (const ParseMemo::LineEntry& entry : memo->lines) {
+      if (line == entry.text && !entry.text.empty()) {
+        out = entry.record;
+        return true;
+      }
+    }
+  }
+  const auto remember = [&](const TraceRecord& done) {
+    if (memo == nullptr || line.size() > kMaxMemoLine) return;
+    ParseMemo::LineEntry& slot = memo->lines[memo->next_line];
+    slot.text.assign(line);
+    slot.record = done;
+    memo->next_line = (memo->next_line + 1) % 4;
+  };
+  SmallVector<std::string_view, kMaxRecordFields> f;
+  if (!split_ws_into(line, f, kMaxRecordFields)) return false;
+  if (f.size() < 4) return false;
+  TraceRecord rec;
+  if (f[0].size() != 1 || !parse_access_kind(f[0][0], rec.kind)) return false;
+  const auto addr = parse_hex(f[1]);
+  if (!addr) return false;
+  rec.address = *addr;
+  const auto size = parse_uint(f[2]);
+  if (!size || *size == 0 || *size > 0xFFFFFFFFull) return false;
+  rec.size = static_cast<std::uint32_t>(*size);
+  if (memo != nullptr && f[3] == memo->function) {
+    rec.function = memo->function_sym;
+  } else {
+    rec.function = ctx.intern(f[3]);
+    if (memo != nullptr) {
+      memo->function.assign(f[3]);
+      memo->function_sym = rec.function;
+    }
+  }
+
+  if (f.size() == 4) {
+    remember(rec);
+    out = std::move(rec);
+    return true;
+  }
+  if (!parse_var_scope(f[4], rec.scope)) return false;
+  std::size_t i = 5;
+  if (!is_global_scope(rec.scope)) {
+    if (f.size() < 8) return false;
+    const auto frame = parse_uint(f[5]);
+    const auto thread = parse_uint(f[6]);
+    if (!frame || !thread || *frame > 0xFFFF || *thread > 0xFFFF) return false;
+    rec.frame = static_cast<std::uint16_t>(*frame);
+    rec.thread = static_cast<std::uint16_t>(*thread);
+    i = 7;
+  }
+  if (i + 1 != f.size()) return false;
+  if (memo != nullptr) {
+    for (const ParseMemo::VarEntry& entry : memo->vars) {
+      if (f[i] == entry.text && !entry.text.empty()) {
+        rec.var = entry.var;
+        remember(rec);
+        out = std::move(rec);
+        return true;
+      }
+    }
+  }
+  if (!ctx.try_parse_var(f[i], rec.var)) return false;
+  if (memo != nullptr) {
+    ParseMemo::VarEntry& slot = memo->vars[memo->next_var];
+    slot.text.assign(f[i]);
+    slot.var = rec.var;
+    memo->next_var ^= 1;
+  }
+  remember(rec);
+  out = std::move(rec);
+  return true;
+}
+
 std::optional<TraceRecord> GleipnirReader::salvage_record_line(
     TraceContext& ctx, std::string_view line) {
   const std::vector<std::string_view> f = split_ws(line);
@@ -114,10 +276,10 @@ std::optional<TraceRecord> GleipnirReader::salvage_record_line(
 }
 
 std::optional<TraceEvent> GleipnirReader::next() {
-  std::string line;
-  while (std::getline(*in_, line)) {
+  std::string_view raw;
+  while (next_line(raw)) {
     ++line_;
-    std::string_view body = trim(line);
+    std::string_view body = trim(raw);
     if (body.empty()) continue;
     if (starts_with(body, "START") || starts_with(body, "END")) {
       const bool is_start = starts_with(body, "START");
@@ -144,6 +306,9 @@ std::optional<TraceEvent> GleipnirReader::next() {
     }
     TraceEvent ev;
     ev.kind = TraceEvent::Kind::Record;
+    if (!force_slow_ && parse_record_fast_impl(*ctx_, body, ev.record, &memo_)) {
+      return ev;
+    }
     if (diags_ == nullptr || diags_->strict()) {
       ev.record = parse_record_line(*ctx_, body, line_);
       return ev;
@@ -174,9 +339,13 @@ std::vector<TraceRecord> read_trace_string(TraceContext& ctx,
                                            std::string_view text,
                                            std::uint64_t* pid,
                                            DiagEngine* diags) {
-  std::istringstream in{std::string(text)};
-  GleipnirReader reader(ctx, in, diags);
-  return drain(reader, pid);
+  GleipnirReader reader(ctx, text, diags);
+  // Line count bounds the record count; reserving up front keeps the
+  // drain from re-moving the vector log(n) times.
+  return drain(reader, pid,
+               static_cast<std::size_t>(
+                   std::count(text.begin(), text.end(), '\n')) +
+                   1);
 }
 
 std::vector<TraceRecord> read_trace_file(TraceContext& ctx,

@@ -30,6 +30,16 @@ struct TraceEvent {
 
 /// Streaming line-by-line parser; blank lines are skipped.
 ///
+/// Ingestion is zero-copy on the steady state: input is consumed either
+/// straight from a caller-provided string_view or through a block buffer
+/// refilled with bulk istream::read (no per-line getline into a
+/// std::string), lines are tokenized in place into a fixed-capacity
+/// SmallVector of string_views, and well-formed records are decoded by a
+/// non-throwing fast parser. Any line the fast parser rejects is re-parsed
+/// by the original diagnostic-rich path, so error messages, recovery
+/// behaviour (--on-error) and exit codes are byte-for-byte identical to
+/// the slow path.
+///
 /// Without a DiagEngine (or with a Strict one) it throws Error{Parse}
 /// with the offending line number on malformed input. With a Skip/Repair
 /// engine it reports the diagnostic and resyncs to the next line; Repair
@@ -41,11 +51,21 @@ class GleipnirReader {
   GleipnirReader(TraceContext& ctx, std::istream& in,
                  DiagEngine* diags = nullptr);
 
+  /// Zero-copy variant: parses `text` in place. `text` must outlive the
+  /// reader; nothing is copied or buffered.
+  GleipnirReader(TraceContext& ctx, std::string_view text,
+                 DiagEngine* diags = nullptr);
+
   /// Returns the next event, or nullopt at end of input.
   std::optional<TraceEvent> next();
 
   /// 1-based number of the line most recently consumed.
   [[nodiscard]] std::uint32_t line_number() const noexcept { return line_; }
+
+  /// Disables the fast record parser so every line goes through the
+  /// original allocating path. Benchmark / equivalence-test hook; the two
+  /// paths must produce identical events, diagnostics and errors.
+  void force_slow_parse(bool v) noexcept { force_slow_ = v; }
 
   /// Parses a single record line (no START/END handling). Exposed for
   /// tests and the diff tool. Always throws on malformed input.
@@ -53,21 +73,78 @@ class GleipnirReader {
                                        std::string_view line,
                                        std::uint32_t line_number = 0);
 
+  /// Non-throwing fast twin of parse_record_line: returns false on any
+  /// line it cannot decode (caller falls back to parse_record_line for
+  /// the authoritative error). Accepts exactly the lines
+  /// parse_record_line accepts and produces the identical record.
+  static bool parse_record_fast(TraceContext& ctx, std::string_view line,
+                                TraceRecord& out);
+
  private:
+  /// Single-reader parse memo exploiting trace locality: consecutive
+  /// lines almost always share their function name, and a scalar's
+  /// variable text ("lI") repeats verbatim between the interesting
+  /// accesses. A hit skips the hash lookup (function) or the whole
+  /// selector-chain parse (variable). Parsing is a pure function of the
+  /// line text once its strings are interned, and a memo entry is only
+  /// written after a successful parse, so memoized and unmemoized runs
+  /// produce identical records and identical pool states.
+  struct ParseMemo {
+    /// Whole-line memo: a loop scalar's access lines repeat byte for byte
+    /// (same address, frame, thread, text), so the full record can be
+    /// replayed from one string compare. Four ways cover the typical
+    /// steady state: load + modify of the loop counter plus the two array
+    /// accesses of the current iteration.
+    struct LineEntry {
+      std::string text;
+      TraceRecord record;
+    };
+    LineEntry lines[4];
+    std::uint32_t next_line = 0;
+
+    std::string function;
+    Symbol function_sym;
+    struct VarEntry {
+      std::string text;
+      VarRef var;
+    };
+    VarEntry vars[2];  // two-way: a scalar alternating with an array walk
+    std::uint32_t next_var = 0;
+  };
+
+  static bool parse_record_fast_impl(TraceContext& ctx, std::string_view line,
+                                     TraceRecord& out, ParseMemo* memo);
   /// Best-effort salvage of the first four fields (kind, address, size,
   /// function); nullopt when even those are malformed.
   static std::optional<TraceRecord> salvage_record_line(TraceContext& ctx,
                                                         std::string_view line);
 
+  /// Produces the next raw line (no trailing '\n') from the active
+  /// source. The view is valid until the next call.
+  bool next_line(std::string_view& out);
+
   TraceContext* ctx_;
-  std::istream* in_;
+  std::istream* in_ = nullptr;  // nullptr in string_view mode
   DiagEngine* diags_;
   std::uint32_t line_ = 0;
+  bool force_slow_ = false;
+  ParseMemo memo_;
+
+  // string_view mode: unconsumed remainder of the caller's text.
+  std::string_view mem_;
+  std::size_t mem_pos_ = 0;
+
+  // istream mode: block buffer holding [pos_, len_) of undelivered bytes.
+  std::string buf_;
+  std::size_t pos_ = 0;
+  std::size_t len_ = 0;
+  bool eof_ = false;
 };
 
-/// Reads every record of an in-memory trace text. START/END markers are
-/// validated and dropped; the first START's pid is stored in *pid when
-/// non-null. `diags` selects the recovery policy (nullptr = strict).
+/// Reads every record of an in-memory trace text without copying it into
+/// a stream. START/END markers are validated and dropped; the first
+/// START's pid is stored in *pid when non-null. `diags` selects the
+/// recovery policy (nullptr = strict).
 std::vector<TraceRecord> read_trace_string(TraceContext& ctx,
                                            std::string_view text,
                                            std::uint64_t* pid = nullptr,

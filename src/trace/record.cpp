@@ -103,6 +103,38 @@ VarRef TraceContext::parse_var(std::string_view text) {
   return ref;
 }
 
+bool TraceContext::try_parse_var(std::string_view text, VarRef& out) {
+  VarRef ref;
+  std::size_t i = 0;
+  if (i >= text.size() || !is_ident_start(text[i])) return false;
+  std::size_t start = i;
+  while (i < text.size() && is_ident_char(text[i])) ++i;
+  ref.base = pool_.intern(text.substr(start, i - start));
+  while (i < text.size()) {
+    if (text[i] == '.') {
+      ++i;
+      start = i;
+      if (i >= text.size() || !is_ident_start(text[i])) return false;
+      while (i < text.size() && is_ident_char(text[i])) ++i;
+      ref.steps.push_back(
+          VarStep::make_field(pool_.intern(text.substr(start, i - start))));
+    } else if (text[i] == '[') {
+      ++i;
+      start = i;
+      while (i < text.size() && text[i] != ']') ++i;
+      if (i >= text.size()) return false;
+      const auto idx = parse_uint(text.substr(start, i - start));
+      if (!idx) return false;
+      ref.steps.push_back(VarStep::make_index(*idx));
+      ++i;
+    } else {
+      return false;
+    }
+  }
+  out = std::move(ref);
+  return true;
+}
+
 std::string TraceContext::format_record(const TraceRecord& rec) const {
   // Layout (paper Listing 2):
   //   K ADDRESS SIZE FUNCTION [SCOPE [FRAME THREAD] VAR]

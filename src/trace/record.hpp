@@ -124,6 +124,13 @@ class TraceContext {
   /// Parses a variable reference text into interned form.
   [[nodiscard]] VarRef parse_var(std::string_view text);
 
+  /// Non-throwing twin of parse_var for the reader's fast path: returns
+  /// false instead of throwing on malformed input. Accepts exactly the
+  /// same texts as parse_var and interns base/field names in the same
+  /// order, so a failed attempt followed by parse_var on the same text
+  /// leaves the pool in the identical state (interning is idempotent).
+  [[nodiscard]] bool try_parse_var(std::string_view text, VarRef& out);
+
   /// Renders a full trace line exactly as Gleipnir prints it
   /// (no trailing newline).
   [[nodiscard]] std::string format_record(const TraceRecord& rec) const;

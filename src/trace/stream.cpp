@@ -16,61 +16,103 @@ TraceFormat guess_trace_format(const std::string& path) noexcept {
   return TraceFormat::Gleipnir;
 }
 
+namespace {
+
+/// Batching shim shared by every streaming entry point: records are
+/// delivered through push_batch in fixed-size batches — one virtual call
+/// per kStreamBatch records instead of one per record — and batch-aware
+/// sinks (simulator, parallel fan-out) skip the per-record dispatch
+/// entirely.
+class BatchEmitter {
+ public:
+  explicit BatchEmitter(TraceSink& sink) : sink_(&sink) {
+    batch_.reserve(kStreamBatch);
+  }
+
+  void emit(TraceRecord&& rec) {
+    ++records_;
+    batch_.push_back(std::move(rec));
+    if (batch_.size() >= kStreamBatch) {
+      sink_->push_batch(batch_);
+      batch_.clear();
+    }
+  }
+
+  std::uint64_t finish() {
+    if (!batch_.empty()) sink_->push_batch(batch_);
+    sink_->on_end();
+    return records_;
+  }
+
+ private:
+  static constexpr std::size_t kStreamBatch = 4096;
+  TraceSink* sink_;
+  std::vector<TraceRecord> batch_;
+  std::uint64_t records_ = 0;
+};
+
+/// Drains a Gleipnir reader (either backing mode) into a sink.
+StreamResult drain_gleipnir(GleipnirReader& reader, TraceSink& sink) {
+  StreamResult result;
+  BatchEmitter emitter(sink);
+  bool saw_start = false;
+  while (auto ev = reader.next()) {
+    switch (ev->kind) {
+      case TraceEvent::Kind::Start:
+        if (!saw_start) result.pid = ev->pid;
+        saw_start = true;
+        break;
+      case TraceEvent::Kind::End:
+        break;
+      case TraceEvent::Kind::Record:
+        emitter.emit(std::move(ev->record));
+        break;
+    }
+  }
+  result.records = emitter.finish();
+  return result;
+}
+
+}  // namespace
+
 StreamResult stream_trace(TraceContext& ctx, std::istream& in,
                           TraceFormat format, TraceSink& sink,
                           DiagEngine* diags) {
-  StreamResult result;
-  // Records are delivered through push_batch in fixed-size batches: one
-  // virtual call per kStreamBatch records instead of one per record, and
-  // batch-aware sinks (simulator, parallel fan-out) skip the per-record
-  // dispatch entirely.
-  constexpr std::size_t kStreamBatch = 4096;
-  std::vector<TraceRecord> batch;
-  batch.reserve(kStreamBatch);
-  const auto emit = [&](const TraceRecord& rec) {
-    ++result.records;
-    batch.push_back(rec);
-    if (batch.size() >= kStreamBatch) {
-      sink.push_batch(batch);
-      batch.clear();
-    }
-  };
   switch (format) {
     case TraceFormat::Gleipnir: {
       GleipnirReader reader(ctx, in, diags);
-      bool saw_start = false;
-      while (auto ev = reader.next()) {
-        switch (ev->kind) {
-          case TraceEvent::Kind::Start:
-            if (!saw_start) result.pid = ev->pid;
-            saw_start = true;
-            break;
-          case TraceEvent::Kind::End:
-            break;
-          case TraceEvent::Kind::Record:
-            emit(ev->record);
-            break;
-        }
-      }
-      break;
+      return drain_gleipnir(reader, sink);
     }
     case TraceFormat::Din: {
+      StreamResult result;
+      BatchEmitter emitter(sink);
       DinReader reader(ctx, in, /*default_size=*/4, diags);
       TraceRecord rec;
-      while (reader.next(rec)) emit(rec);
-      break;
+      // Copy, not move: `rec` is the reader's reusable output slot.
+      while (reader.next(rec)) emitter.emit(TraceRecord(rec));
+      result.records = emitter.finish();
+      return result;
     }
     case TraceFormat::Tdtb: {
+      StreamResult result;
+      BatchEmitter emitter(sink);
       BinaryTraceReader reader(ctx, in, diags);
       result.pid = reader.pid();
       TraceRecord rec;
-      while (reader.next(rec)) emit(rec);
-      break;
+      while (reader.next(rec)) emitter.emit(TraceRecord(rec));
+      result.records = emitter.finish();
+      return result;
     }
   }
-  if (!batch.empty()) sink.push_batch(batch);
+  StreamResult result;
   sink.on_end();
   return result;
+}
+
+StreamResult stream_trace_text(TraceContext& ctx, std::string_view text,
+                               TraceSink& sink, DiagEngine* diags) {
+  GleipnirReader reader(ctx, text, diags);
+  return drain_gleipnir(reader, sink);
 }
 
 StreamResult stream_trace_file(TraceContext& ctx, const std::string& path,

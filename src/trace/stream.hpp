@@ -32,6 +32,12 @@ StreamResult stream_trace(TraceContext& ctx, std::istream& in,
                           TraceFormat format, TraceSink& sink,
                           DiagEngine* diags = nullptr);
 
+/// Streams an in-memory Gleipnir text trace into `sink` without copying
+/// it into a stream: lines are tokenized in place (the reader's zero-copy
+/// fast path). `text` must stay alive for the duration of the call.
+StreamResult stream_trace_text(TraceContext& ctx, std::string_view text,
+                               TraceSink& sink, DiagEngine* diags = nullptr);
+
 /// Opens `path`, guesses the format from its extension, and streams it
 /// into `sink`. Throws Error{Io} when the file cannot be opened.
 StreamResult stream_trace_file(TraceContext& ctx, const std::string& path,

@@ -6,10 +6,7 @@
 namespace tdt {
 namespace {
 
-bool is_space(char c) noexcept {
-  return c == ' ' || c == '\t' || c == '\n' || c == '\r' || c == '\f' ||
-         c == '\v';
-}
+bool is_space(char c) noexcept { return is_ascii_space(c); }
 
 }  // namespace
 

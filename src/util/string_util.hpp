@@ -11,6 +11,25 @@
 
 namespace tdt {
 
+/// True for the six ASCII whitespace characters (the set split_ws and
+/// trim use; locale-independent, unlike std::isspace).
+[[nodiscard]] constexpr bool is_ascii_space(char c) noexcept {
+  return c == ' ' || c == '\t' || c == '\n' || c == '\r' || c == '\f' ||
+         c == '\v';
+}
+
+/// Hash functor for string-keyed maps that enables heterogeneous
+/// (string_view) lookup: declare the map as
+///   std::unordered_map<std::string, T, StringViewHash, std::equal_to<>>
+/// and find() accepts a string_view without building a temporary
+/// std::string.
+struct StringViewHash {
+  using is_transparent = void;
+  [[nodiscard]] std::size_t operator()(std::string_view s) const noexcept {
+    return std::hash<std::string_view>{}(s);
+  }
+};
+
 /// Removes leading and trailing ASCII whitespace.
 [[nodiscard]] std::string_view trim(std::string_view s) noexcept;
 
@@ -26,6 +45,28 @@ namespace tdt {
 
 /// Splits `s` on runs of ASCII whitespace, dropping empty fields.
 [[nodiscard]] std::vector<std::string_view> split_ws(std::string_view s);
+
+/// Allocation-free split_ws: clears `out` and appends up to `max_fields`
+/// whitespace-separated fields. Returns false (with `out` truncated at
+/// `max_fields`) when `s` has more fields — callers treat that as "line
+/// too exotic for the fast path" and fall back to split_ws. `Vec` is any
+/// push_back-able container of string_view (typically a SmallVector whose
+/// inline capacity is >= max_fields, so the hot path never allocates).
+template <typename Vec>
+bool split_ws_into(std::string_view s, Vec& out, std::size_t max_fields) {
+  out.clear();
+  std::size_t i = 0;
+  while (i < s.size()) {
+    while (i < s.size() && is_ascii_space(s[i])) ++i;
+    const std::size_t start = i;
+    while (i < s.size() && !is_ascii_space(s[i])) ++i;
+    if (i > start) {
+      if (out.size() == max_fields) return false;
+      out.push_back(s.substr(start, i - start));
+    }
+  }
+  return true;
+}
 
 /// True when `s` starts with `prefix`.
 [[nodiscard]] bool starts_with(std::string_view s,

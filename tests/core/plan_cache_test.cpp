@@ -1,0 +1,233 @@
+// Property tests for the transformer's plan cache: a cached run must be
+// bit-identical to the reference slow path on every rule family (T1
+// struct remap, T2 outlining with pointer indirection, T3 stride remap
+// with injects), including the awkward shapes — wrong arity, out-of-range
+// indices, unmapped elements — that the cache must refuse to serve.
+#include <gtest/gtest.h>
+
+#include <string>
+#include <vector>
+
+#include "core/rule_parser.hpp"
+#include "core/transformer.hpp"
+#include "trace/reader.hpp"
+#include "trace/sink.hpp"
+#include "trace/writer.hpp"
+#include "util/string_util.hpp"
+
+namespace tdt::core {
+namespace {
+
+using trace::TraceContext;
+using trace::TraceRecord;
+
+constexpr const char* kT1Rules = R"(
+in:
+struct lSoA {
+  int mX[16];
+  double mY[16];
+};
+out:
+struct lAoS {
+  int mX;
+  double mY;
+}[16];
+)";
+
+constexpr const char* kT2Rules = R"(
+in:
+struct mRarelyUsed {
+  double mY;
+  int mZ;
+};
+struct lS1 {
+  int mFrequentlyUsed;
+  struct mRarelyUsed;
+}[16];
+out:
+struct lStorageForRarelyUsed {
+  double mY;
+  int mZ;
+}[16];
+struct lS2 {
+  int mFrequentlyUsed;
+  + mRarelyUsed:lStorageForRarelyUsed;
+}[16];
+)";
+
+constexpr const char* kT3Rules = R"(
+in:
+int lContiguousArray[64]:lSetHashingArray;
+out:
+int lSetHashingArray[1024((lI/8)*(16*8)+(lI%8))];
+inject:
+L lITEMSPERLINE 4;
+)";
+
+/// T1 corpus: every mX/mY element twice (the second pass hits the cache),
+/// plus shapes the cache must bounce — whole-array access, wrong arity,
+/// out-of-range index, and an unrelated variable.
+std::string t1_corpus() {
+  std::string text;
+  for (int pass = 0; pass < 2; ++pass) {
+    for (int i = 0; i < 16; ++i) {
+      const auto idx = std::to_string(i);
+      text += "S " + to_hex(0x7ff000400 + 4u * static_cast<unsigned>(i), 9) +
+              " 4 main LS 0 1 lSoA.mX[" + idx + "]\n";
+      text += "L " + to_hex(0x7ff000440 + 8u * static_cast<unsigned>(i), 9) +
+              " 8 main LS 0 1 lSoA.mY[" + idx + "]\n";
+    }
+    text += "L 7ff000400 4 main LS 0 1 lSoA.mX\n";       // missing index
+    text += "L 7ff000400 4 main LS 0 1 lSoA.mX[3][1]\n"; // extra index
+    text += "L 7ff000400 4 main LS 0 1 lSoA.mX[99]\n";   // out of range
+    text += "L 7ff000300 4 main LV 0 1 lOther[2]\n";     // no rule
+  }
+  return text;
+}
+
+/// T2 corpus: hot and cold accesses over the outlined struct, repeated.
+std::string t2_corpus() {
+  std::string text;
+  for (int pass = 0; pass < 2; ++pass) {
+    for (int i = 0; i < 16; ++i) {
+      const auto idx = std::to_string(i);
+      const auto base = 0x7ff000800 + 24u * static_cast<unsigned>(i);
+      text += "S " + to_hex(base, 9) + " 4 main LS 0 1 lS1[" + idx +
+              "].mFrequentlyUsed\n";
+      text += "L " + to_hex(base + 8, 9) + " 8 main LS 0 1 lS1[" + idx +
+              "].mRarelyUsed.mY\n";
+      text += "S " + to_hex(base + 16, 9) + " 4 main LS 0 1 lS1[" + idx +
+              "].mRarelyUsed.mZ\n";
+    }
+    text += "L 7ff000800 4 main LS 0 1 lS1[20].mFrequentlyUsed\n";  // range
+    text += "L 7ff000800 4 main LS 0 1 lS1[0].mMissing\n";  // unmapped
+  }
+  return text;
+}
+
+/// T3 corpus: flat array walk, repeated, plus shapes the stride rule
+/// rejects (field access, remap landing out of range never happens for
+/// this formula, but wrong arity does).
+std::string t3_corpus() {
+  std::string text;
+  for (int pass = 0; pass < 2; ++pass) {
+    for (int i = 0; i < 64; ++i) {
+      text += "S " + to_hex(0x7ff000c00 + 4u * static_cast<unsigned>(i), 9) +
+              " 4 main LV 0 1 lContiguousArray[" + std::to_string(i) + "]\n";
+    }
+    text += "L 7ff000c00 4 main LV 0 1 lContiguousArray.mX\n";  // not flat
+    text += "L 7ff000c00 4 main LV 0 1 lContiguousArray\n";     // no index
+  }
+  return text;
+}
+
+struct RunResult {
+  std::string rendered;
+  TransformStats stats;
+};
+
+RunResult run(const std::string& rule_text, const std::string& corpus,
+              bool plan_cache) {
+  TraceContext ctx;
+  const RuleSet rules = parse_rules(rule_text);
+  const auto records = trace::read_trace_string(ctx, corpus);
+  TransformOptions options;
+  options.plan_cache = plan_cache;
+  RunResult result;
+  const auto out =
+      transform_trace(rules, ctx, records, options, &result.stats);
+  result.rendered = trace::write_trace_string(ctx, out);
+  return result;
+}
+
+void expect_equivalent(const std::string& rule_text,
+                       const std::string& corpus) {
+  const RunResult cached = run(rule_text, corpus, /*plan_cache=*/true);
+  const RunResult reference = run(rule_text, corpus, /*plan_cache=*/false);
+  EXPECT_EQ(cached.rendered, reference.rendered);
+  EXPECT_EQ(cached.stats.records_in, reference.stats.records_in);
+  EXPECT_EQ(cached.stats.records_out, reference.stats.records_out);
+  EXPECT_EQ(cached.stats.rewritten, reference.stats.rewritten);
+  EXPECT_EQ(cached.stats.inserted, reference.stats.inserted);
+  EXPECT_EQ(cached.stats.passthrough, reference.stats.passthrough);
+  EXPECT_EQ(cached.stats.skipped, reference.stats.skipped);
+  EXPECT_EQ(cached.stats.diagnostics, reference.stats.diagnostics);
+  EXPECT_EQ(reference.stats.plan_hits, 0u);
+  EXPECT_EQ(reference.stats.plan_misses, 0u);
+  EXPECT_GT(cached.stats.plan_hits, 0u);
+}
+
+TEST(PlanCache, T1BitIdenticalToSlowPath) {
+  expect_equivalent(kT1Rules, t1_corpus());
+}
+
+TEST(PlanCache, T2BitIdenticalToSlowPath) {
+  expect_equivalent(kT2Rules, t2_corpus());
+}
+
+TEST(PlanCache, StrideBitIdenticalToSlowPath) {
+  expect_equivalent(kT3Rules, t3_corpus());
+}
+
+TEST(PlanCache, CountsHitsAndMisses) {
+  const RunResult cached = run(kT1Rules, t1_corpus(), /*plan_cache=*/true);
+  // Two distinct cacheable shapes (lSoA.mX[*], lSoA.mY[*]) miss once each;
+  // every further in-bounds record of those shapes is a hit.
+  EXPECT_EQ(cached.stats.plan_misses, 2u);
+  EXPECT_EQ(cached.stats.plan_hits, cached.stats.rewritten - 2u);
+}
+
+// Shapes that share the base symbol but differ in index arity must hash to
+// different plans: lSoA.mX[3] (cached) never serves lSoA.mX or
+// lSoA.mX[3][1], which stay slow-path rejects on every occurrence.
+TEST(PlanCache, CollidingShapesWithDifferentArityStayDistinct) {
+  const std::string corpus =
+      "S 7ff00040c 4 main LS 0 1 lSoA.mX[3]\n"
+      "L 7ff000400 4 main LS 0 1 lSoA.mX\n"
+      "S 7ff00040c 4 main LS 0 1 lSoA.mX[3]\n"
+      "L 7ff000400 4 main LS 0 1 lSoA.mX[3][1]\n"
+      "S 7ff000410 4 main LS 0 1 lSoA.mX[4]\n";
+  const RunResult cached = run(kT1Rules, corpus, /*plan_cache=*/true);
+  const RunResult reference = run(kT1Rules, corpus, /*plan_cache=*/false);
+  EXPECT_EQ(cached.rendered, reference.rendered);
+  EXPECT_EQ(cached.stats.rewritten, 3u);
+  EXPECT_EQ(cached.stats.skipped, 2u);  // the arity mismatches, every time
+  EXPECT_EQ(cached.stats.plan_misses, 1u);  // mX[*] resolved slowly once
+  EXPECT_EQ(cached.stats.plan_hits, 2u);    // mX[3] again, mX[4]
+  EXPECT_EQ(cached.stats.diagnostics, reference.stats.diagnostics);
+}
+
+TEST(PlanCache, OutBaseParity) {
+  TraceContext cached_ctx;
+  TraceContext ref_ctx;
+  const RuleSet cached_rules = parse_rules(kT1Rules);
+  const RuleSet ref_rules = parse_rules(kT1Rules);
+  const auto cached_records =
+      trace::read_trace_string(cached_ctx, t1_corpus());
+  const auto ref_records = trace::read_trace_string(ref_ctx, t1_corpus());
+
+  trace::VectorSink cached_sink;
+  TransformOptions cached_options;
+  cached_options.plan_cache = true;
+  TraceTransformer cached_tf(cached_rules, cached_ctx, cached_sink,
+                             cached_options);
+  for (const TraceRecord& rec : cached_records) cached_tf.on_record(rec);
+  cached_tf.on_end();
+
+  trace::VectorSink ref_sink;
+  TransformOptions ref_options;
+  ref_options.plan_cache = false;
+  TraceTransformer ref_tf(ref_rules, ref_ctx, ref_sink, ref_options);
+  for (const TraceRecord& rec : ref_records) ref_tf.on_record(rec);
+  ref_tf.on_end();
+
+  const auto cached_base = cached_tf.out_base("lSoA", "lAoS");
+  const auto ref_base = ref_tf.out_base("lSoA", "lAoS");
+  ASSERT_TRUE(cached_base.has_value());
+  EXPECT_EQ(cached_base, ref_base);
+  EXPECT_FALSE(cached_tf.out_base("lSoA", "nope").has_value());
+  EXPECT_FALSE(cached_tf.out_base("nope", "lAoS").has_value());
+}
+
+}  // namespace
+}  // namespace tdt::core

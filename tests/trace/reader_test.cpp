@@ -140,6 +140,128 @@ TEST(Reader, MissingFileThrowsIo) {
   }
 }
 
+// --- zero-copy fast path vs reference slow path ----------------------------
+
+/// Exercises every record shape: global/local scalar and structure
+/// scopes, records without symbol info, selector chains, hex indices,
+/// markers and blank lines.
+constexpr const char* kMixedCorpus = R"(START PID 77
+
+L 7ff0001b0 8 main
+S 000601040 4 main GV glScalar
+S 0006010e0 8 foo GS glStructArray[0].dl
+S 7ff0001bc 4 main LV 0 1 lcScalar
+M 7ff000060 8 foo LS 1 2 lcStrcArray[0xa].dl
+
+L 7ff000180 4 main LS 0 1 lcArray[0]
+END PID 77
+)";
+
+std::vector<TraceRecord> read_slow(TraceContext& ctx, const std::string& text,
+                                   DiagEngine* diags = nullptr) {
+  std::istringstream in(text);
+  GleipnirReader reader(ctx, in, diags);
+  reader.force_slow_parse(true);
+  std::vector<TraceRecord> records;
+  while (auto ev = reader.next()) {
+    if (ev->kind == TraceEvent::Kind::Record) {
+      records.push_back(std::move(ev->record));
+    }
+  }
+  return records;
+}
+
+TEST(Reader, FastAndSlowPathsProduceIdenticalRecords) {
+  TraceContext fast_ctx;
+  TraceContext slow_ctx;
+  const auto fast = read_trace_string(fast_ctx, kMixedCorpus);
+  const auto slow = read_slow(slow_ctx, kMixedCorpus);
+  ASSERT_EQ(fast.size(), slow.size());
+  for (std::size_t i = 0; i < fast.size(); ++i) {
+    EXPECT_EQ(fast_ctx.format_record(fast[i]), slow_ctx.format_record(slow[i]));
+    EXPECT_EQ(fast[i].frame, slow[i].frame);
+    EXPECT_EQ(fast[i].thread, slow[i].thread);
+    EXPECT_EQ(fast[i].scope, slow[i].scope);
+  }
+}
+
+TEST(Reader, FastAndSlowPathsReportIdenticalDiagnostics) {
+  const std::string corpus =
+      "L 7ff000000 4 main\n"
+      "BAD LINE HERE EXTRA JUNK FIELDS\n"
+      "L zzz 4 main\n"
+      "L 7ff000004 4 main GV glScalar trailing junk\n"
+      "L 7ff000008 4 main\n";
+  TraceContext fast_ctx;
+  DiagEngine fast_diags(ErrorPolicy::Skip);
+  const auto fast = read_trace_string(fast_ctx, corpus, nullptr, &fast_diags);
+  TraceContext slow_ctx;
+  DiagEngine slow_diags(ErrorPolicy::Skip);
+  const auto slow = read_slow(slow_ctx, corpus, &slow_diags);
+  ASSERT_EQ(fast.size(), slow.size());
+  EXPECT_EQ(fast.size(), 2u);
+  EXPECT_EQ(fast_diags.count(DiagCode::TraceBadLine),
+            slow_diags.count(DiagCode::TraceBadLine));
+  EXPECT_EQ(fast_diags.count(DiagCode::TraceBadLine), 3u);
+  EXPECT_EQ(fast_diags.exit_code(), slow_diags.exit_code());
+}
+
+TEST(Reader, FastAndSlowPathsRepairIdentically) {
+  const std::string corpus =
+      "L 7ff000000 4 main LV 0 1 lGood\n"
+      "L 7ff000004 4 main LV zz 1 lBroken\n";
+  TraceContext fast_ctx;
+  DiagEngine fast_diags(ErrorPolicy::Repair);
+  const auto fast = read_trace_string(fast_ctx, corpus, nullptr, &fast_diags);
+  TraceContext slow_ctx;
+  DiagEngine slow_diags(ErrorPolicy::Repair);
+  const auto slow = read_slow(slow_ctx, corpus, &slow_diags);
+  ASSERT_EQ(fast.size(), 2u);
+  ASSERT_EQ(slow.size(), 2u);
+  for (std::size_t i = 0; i < fast.size(); ++i) {
+    EXPECT_EQ(fast_ctx.format_record(fast[i]), slow_ctx.format_record(slow[i]));
+  }
+  EXPECT_EQ(fast_diags.count(DiagCode::TraceRepairedLine),
+            slow_diags.count(DiagCode::TraceRepairedLine));
+  EXPECT_EQ(fast_diags.count(DiagCode::TraceRepairedLine), 1u);
+}
+
+TEST(Reader, StringViewModeStreamsEventsInOrder) {
+  TraceContext ctx;
+  // No trailing newline on the final line.
+  GleipnirReader reader(ctx, "START PID 9\nL 7ff000000 4 main\nEND PID 9");
+  auto e1 = reader.next();
+  ASSERT_TRUE(e1.has_value());
+  EXPECT_EQ(e1->kind, TraceEvent::Kind::Start);
+  EXPECT_EQ(e1->pid, 9u);
+  auto e2 = reader.next();
+  ASSERT_TRUE(e2.has_value());
+  EXPECT_EQ(e2->kind, TraceEvent::Kind::Record);
+  EXPECT_EQ(e2->record.address, 0x7ff000000u);
+  auto e3 = reader.next();
+  ASSERT_TRUE(e3.has_value());
+  EXPECT_EQ(e3->kind, TraceEvent::Kind::End);
+  EXPECT_FALSE(reader.next().has_value());
+}
+
+TEST(Reader, LongLinesGrowTheBlockBuffer) {
+  // A function name far longer than the 256 KiB read block forces the
+  // line assembler to double its buffer; the surrounding records must
+  // still parse, and line numbers stay right.
+  const std::string huge(600 * 1024, 'f');
+  const std::string corpus = "L 7ff000000 4 before\nL 7ff000004 4 " + huge +
+                             "\nL 7ff000008 4 after\n";
+  TraceContext ctx;
+  std::istringstream in(corpus);
+  GleipnirReader reader(ctx, in);
+  std::vector<TraceRecord> records;
+  while (auto ev = reader.next()) records.push_back(std::move(ev->record));
+  ASSERT_EQ(records.size(), 3u);
+  EXPECT_EQ(ctx.name(records[0].function), "before");
+  EXPECT_EQ(ctx.name(records[1].function), huge);
+  EXPECT_EQ(ctx.name(records[2].function), "after");
+}
+
 TEST(Reader, ParseRecordLineDirect) {
   TraceContext ctx;
   const TraceRecord rec = GleipnirReader::parse_record_line(
