@@ -38,7 +38,9 @@
 #include "trace/writer.hpp"
 #include "tracer/interp.hpp"
 #include "tracer/kernels.hpp"
+#include "util/error.hpp"
 #include "util/flags.hpp"
+#include "util/obs.hpp"
 
 namespace {
 
@@ -346,6 +348,8 @@ int perf_report(int argc, char** argv) {
   const auto* len = flags.add_uint("len", 16384, "T1 kernel length");
   if (!flags.parse(argc, argv)) return 0;
 
+  obs::Registry registry("bench_throughput");
+
   layout::TypeTable types;
   trace::TraceContext ctx;
   const auto records = tracer::run_program(
@@ -360,6 +364,7 @@ int perf_report(int argc, char** argv) {
 
   // ASCII read: zero-copy in-place tokenizer vs the previous pipeline
   // (istringstream + per-line std::vector field split + throwing parser).
+  obs::PhaseTimer read_phase(&registry, "bench-read");
   const double read_fast = best_rate(n, *repeat, [&] {
     trace::TraceContext c;
     benchmark::DoNotOptimize(trace::read_trace_string(c, text).data());
@@ -383,7 +388,9 @@ int perf_report(int argc, char** argv) {
                                   trace::read_trace_string(fast_ctx, text)) ==
         trace::write_trace_string(slow_ctx, drain_reader(slow_reader));
   }
+  read_phase.stop();
 
+  obs::PhaseTimer xform_phase(&registry, "bench-transform");
   // Transform: plan cache vs the reference slow path, same rule set as
   // BM_Transform. Rates are measured on the rule-matched records (the
   // loop scalars around them cost the same passthrough either way and
@@ -418,8 +425,10 @@ int perf_report(int argc, char** argv) {
                                      &cached_stats)) ==
       trace::write_trace_string(
           ctx, core::transform_trace(rules, ctx, records, uncached));
+  xform_phase.stop();
 
   // Raw simulation throughput (paper's direct-mapped L1).
+  obs::PhaseTimer sim_phase(&registry, "bench-simulate");
   const cache::CacheConfig cfg = cache::paper_direct_mapped();
   const double sim_rate = best_rate(n, *repeat, [&] {
     cache::CacheHierarchy hierarchy(cfg);
@@ -427,6 +436,7 @@ int perf_report(int argc, char** argv) {
     sim.simulate(records);
     benchmark::DoNotOptimize(hierarchy.l1().stats().misses());
   });
+  sim_phase.stop();
 
   const double read_speedup = read_slow > 0 ? read_fast / read_slow : 0;
   const double xform_speedup = xform_slow > 0 ? xform_fast / xform_slow : 0;
@@ -440,47 +450,30 @@ int perf_report(int argc, char** argv) {
               static_cast<unsigned long long>(nm));
   std::printf("simulate:  %12.0f rec/s\n", sim_rate);
 
-  std::FILE* out = std::fopen(out_path->c_str(), "w");
-  if (out == nullptr) {
-    std::fprintf(stderr, "cannot write '%s'\n", out_path->c_str());
+  // Emit through the metrics registry: the report file is a standard
+  // tdt-metrics/1 snapshot (docs/OBSERVABILITY.md), same schema the CLI
+  // tools write with --metrics-json.
+  registry.counter("bench.records").add(n);
+  registry.counter("bench.matched_records").add(nm);
+  registry.gauge("bench.len").set(static_cast<double>(*len));
+  registry.gauge("bench.repeat").set(static_cast<double>(*repeat));
+  registry.gauge("read.fast_records_per_s").set(read_fast);
+  registry.gauge("read.slow_records_per_s").set(read_slow);
+  registry.gauge("read.speedup").set(read_speedup);
+  registry.gauge("read.identical_output").set(read_identical ? 1 : 0);
+  registry.gauge("transform.cached_records_per_s").set(xform_fast);
+  registry.gauge("transform.uncached_records_per_s").set(xform_slow);
+  registry.gauge("transform.speedup").set(xform_speedup);
+  registry.gauge("transform.identical_output").set(xform_identical ? 1 : 0);
+  registry.counter("transform.plan_hits").add(cached_stats.plan_hits);
+  registry.counter("transform.plan_misses").add(cached_stats.plan_misses);
+  registry.gauge("simulate.records_per_s").set(sim_rate);
+  try {
+    registry.write_metrics_file(*out_path);
+  } catch (const Error& e) {
+    std::fprintf(stderr, "%s\n", e.what());
     return 1;
   }
-  std::fprintf(
-      out,
-      "{\n"
-      "  \"schema\": \"tdt-bench-pr3/1\",\n"
-      "  \"kernel\": \"t1_soa\",\n"
-      "  \"len\": %llu,\n"
-      "  \"records\": %llu,\n"
-      "  \"repeat\": %llu,\n"
-      "  \"read\": {\n"
-      "    \"fast_records_per_s\": %.0f,\n"
-      "    \"slow_records_per_s\": %.0f,\n"
-      "    \"speedup\": %.3f,\n"
-      "    \"identical_output\": %s\n"
-      "  },\n"
-      "  \"transform\": {\n"
-      "    \"matched_records\": %llu,\n"
-      "    \"cached_records_per_s\": %.0f,\n"
-      "    \"uncached_records_per_s\": %.0f,\n"
-      "    \"speedup\": %.3f,\n"
-      "    \"identical_output\": %s,\n"
-      "    \"plan_hits\": %llu,\n"
-      "    \"plan_misses\": %llu\n"
-      "  },\n"
-      "  \"simulate\": {\n"
-      "    \"records_per_s\": %.0f\n"
-      "  }\n"
-      "}\n",
-      static_cast<unsigned long long>(*len),
-      static_cast<unsigned long long>(n),
-      static_cast<unsigned long long>(*repeat), read_fast, read_slow,
-      read_speedup, read_identical ? "true" : "false",
-      static_cast<unsigned long long>(nm), xform_fast, xform_slow,
-      xform_speedup, xform_identical ? "true" : "false",
-      static_cast<unsigned long long>(cached_stats.plan_hits),
-      static_cast<unsigned long long>(cached_stats.plan_misses), sim_rate);
-  std::fclose(out);
   std::printf("wrote %s\n", out_path->c_str());
   return read_identical && xform_identical ? 0 : 1;
 }

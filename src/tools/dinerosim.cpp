@@ -26,12 +26,14 @@
 #include "cache/sweep.hpp"
 #include "core/rule_parser.hpp"
 #include "core/transformer.hpp"
+#include "tools/obs_support.hpp"
 #include "trace/parallel.hpp"
 #include "trace/stream.hpp"
 #include "trace/writer.hpp"
 #include "util/diag.hpp"
 #include "util/error.hpp"
 #include "util/flags.hpp"
+#include "util/obs.hpp"
 
 namespace {
 
@@ -117,10 +119,15 @@ int main(int argc, char** argv) {
                      "';'-separated points of ','-separated key=value "
                      "overrides (size|block|assoc|repl|prefetch), e.g. "
                      "\"assoc=1;assoc=2;size=8k,assoc=4\"");
+    const tools::ObsFlags obs_flags = tools::ObsFlags::add(flags);
     if (!flags.parse(argc, argv)) return 0;
     if (trace_path->empty()) {
       throw_config_error("--trace is required");
     }
+
+    std::optional<obs::Registry> registry_store;
+    if (obs_flags.wants_registry()) registry_store.emplace("dinerosim");
+    obs::Registry* registry = registry_store ? &*registry_store : nullptr;
 
     DiagEngine diags(parse_error_policy(*on_error), *max_errors);
     diags.set_echo(&std::cerr);
@@ -132,6 +139,7 @@ int main(int argc, char** argv) {
     // transformer in front, then the streaming reader drives the chain.
     std::optional<core::RuleSet> rules;
     if (!rules_path->empty()) {
+      obs::PhaseTimer phase(registry, "parse-rules");
       rules = core::parse_rules_file(*rules_path);
       for (const core::RuleDiagnostic& d : rules->validate()) {
         std::fprintf(stderr, "dinerosim: rule %s: %s\n",
@@ -162,6 +170,7 @@ int main(int argc, char** argv) {
 
     trace::ParallelOptions pipeline_options;
     pipeline_options.jobs = *jobs <= 1 ? 0 : *jobs;
+    pipeline_options.registry = registry;
 
     std::optional<cache::ParallelSweep> sweep_engine;
     std::optional<trace::ParallelFanOut> fanout;
@@ -259,7 +268,19 @@ int main(int argc, char** argv) {
       head = &*transformer;
     }
 
-    trace::stream_trace_file(ctx, *trace_path, *head, &diags);
+    // Outermost stage: --progress heartbeat on raw input records.
+    std::optional<obs::Heartbeat> heartbeat;
+    std::optional<trace::ProgressSink> progress_sink;
+    if (*obs_flags.progress) {
+      heartbeat.emplace("dinerosim", std::cerr);
+      progress_sink.emplace(*head, *heartbeat);
+      head = &*progress_sink;
+    }
+
+    {
+      obs::PhaseTimer phase(registry, "stream");
+      trace::stream_trace_file(ctx, *trace_path, *head, &diags, registry);
+    }
 
     if (transformer.has_value()) {
       const core::TransformStats& tstats = transformer->stats();
@@ -273,6 +294,7 @@ int main(int argc, char** argv) {
                    static_cast<unsigned long long>(tstats.skipped));
     }
 
+    obs::PhaseTimer report_phase(registry, "report");
     if (sweep_engine.has_value()) {
       std::fputs(sweep_engine->report().c_str(), stdout);
     } else if (msim.has_value()) {
@@ -298,12 +320,31 @@ int main(int argc, char** argv) {
       }
     }
 
+    report_phase.stop();
+
     if (fanout.has_value()) {
       std::fputs(fanout->counters().summary().c_str(), stderr);
     }
     const std::string summary = diags.summary();
     if (!summary.empty()) {
       std::fprintf(stderr, "dinerosim: %s", summary.c_str());
+    }
+
+    if (registry != nullptr) {
+      tools::fold_diags(registry, diags);
+      if (transformer.has_value()) {
+        tools::fold_transform(registry, transformer->stats());
+      }
+      if (sweep_engine.has_value()) {
+        tools::fold_sweep(registry, *sweep_engine);
+        registry->counter("sim.records_simulated")
+            .add(sweep_engine->sim(0).records_simulated());
+      } else if (sim.has_value()) {
+        tools::fold_hierarchy(registry, *hierarchy);
+        registry->counter("sim.records_simulated")
+            .add(sim->records_simulated());
+      }
+      obs_flags.write(*registry);
     }
     return diags.exit_code();
   } catch (const Error& e) {

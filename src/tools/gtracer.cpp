@@ -5,7 +5,10 @@
 //   gtracer --kernel linked_list --len 4096 --shuffle --out list.tdtb --binary
 #include <cstdio>
 #include <fstream>
+#include <iostream>
+#include <optional>
 
+#include "tools/obs_support.hpp"
 #include "trace/binary.hpp"
 #include "trace/din.hpp"
 #include "trace/writer.hpp"
@@ -14,6 +17,7 @@
 #include "tracer/parser.hpp"
 #include "util/error.hpp"
 #include "util/flags.hpp"
+#include "util/obs.hpp"
 
 namespace {
 
@@ -68,17 +72,32 @@ int main(int argc, char** argv) {
     const auto* din = flags.add_bool(
         "din", false, "write classic DineroIV din format (drops metadata)");
     const auto* pid = flags.add_uint("pid", 4242, "PID for the START marker");
+    const tools::ObsFlags obs_flags = tools::ObsFlags::add(flags);
     if (!flags.parse(argc, argv)) return 0;
+
+    std::optional<obs::Registry> registry_store;
+    if (obs_flags.wants_registry()) registry_store.emplace("gtracer");
+    obs::Registry* registry = registry_store ? &*registry_store : nullptr;
+
+    std::optional<obs::Heartbeat> heartbeat;
+    if (*obs_flags.progress) heartbeat.emplace("gtracer", std::cerr);
 
     layout::TypeTable types;
     trace::TraceContext ctx;
+    obs::PhaseTimer generate_phase(registry, "generate");
     const tracer::Program prog =
         source->empty() ? make_kernel(types, *kernel, *len, *sets, *line,
                                       *shuffle, *seed)
                         : tracer::parse_kernel_file(*source, types);
     const std::vector<trace::TraceRecord> records =
         tracer::run_program(types, ctx, prog);
+    generate_phase.stop();
+    if (heartbeat.has_value()) {
+      heartbeat->tick(records.size());
+      heartbeat->finish();
+    }
 
+    obs::PhaseTimer write_phase(registry, "write");
     if (*din) {
       if (out->empty() || *out == "-") {
         std::fputs(trace::write_din_string(records).c_str(), stdout);
@@ -100,9 +119,14 @@ int main(int argc, char** argv) {
     } else {
       trace::write_trace_file(ctx, records, *out, *pid);
     }
+    write_phase.stop();
     std::fprintf(stderr, "gtracer: %zu records from %s'%s'\n",
                  records.size(), source->empty() ? "kernel " : "source ",
                  source->empty() ? kernel->c_str() : source->c_str());
+    if (registry != nullptr) {
+      registry->counter("trace.records").add(records.size());
+      obs_flags.write(*registry);
+    }
     return 0;
   } catch (const Error& e) {
     // Shared CLI exit-code contract (docs/robustness.md): 2 = fatal.

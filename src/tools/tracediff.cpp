@@ -9,11 +9,15 @@
 #include <cstdio>
 #include <iostream>
 
+#include <optional>
+
+#include "tools/obs_support.hpp"
 #include "trace/diff.hpp"
 #include "trace/stream.hpp"
 #include "util/diag.hpp"
 #include "util/error.hpp"
 #include "util/flags.hpp"
+#include "util/obs.hpp"
 
 int main(int argc, char** argv) {
   using namespace tdt;
@@ -28,6 +32,7 @@ int main(int argc, char** argv) {
     const auto* max_errors = flags.add_uint(
         "max-errors", DiagEngine::kDefaultMaxErrors,
         "give up after this many recovered errors (0 = unlimited)");
+    const tools::ObsFlags obs_flags = tools::ObsFlags::add(flags);
     if (!flags.parse(argc, argv)) return 0;
     if (flags.positional().size() != 2) {
       std::fprintf(stderr,
@@ -35,20 +40,40 @@ int main(int argc, char** argv) {
       return 2;
     }
 
+    std::optional<obs::Registry> registry_store;
+    if (obs_flags.wants_registry()) registry_store.emplace("tracediff");
+    obs::Registry* registry = registry_store ? &*registry_store : nullptr;
+
     DiagEngine diags(parse_error_policy(*on_error), *max_errors);
     diags.set_echo(&std::cerr);
 
+    std::optional<obs::Heartbeat> heartbeat;
+    if (*obs_flags.progress) heartbeat.emplace("tracediff", std::cerr);
+
     trace::TraceContext ctx;
     trace::VectorSink original_sink;
-    trace::stream_trace_file(ctx, flags.positional()[0], original_sink,
-                             &diags);
     trace::VectorSink transformed_sink;
-    trace::stream_trace_file(ctx, flags.positional()[1], transformed_sink,
-                             &diags);
+    for (int side = 0; side < 2; ++side) {
+      trace::VectorSink& sink = side == 0 ? original_sink : transformed_sink;
+      trace::TraceSink* head = &sink;
+      std::optional<trace::ProgressSink> progress_sink;
+      if (heartbeat.has_value() && side == 0) {
+        // Heartbeat covers the first (usually larger) streaming read;
+        // finish() on the second would double-print the total.
+        progress_sink.emplace(sink, *heartbeat);
+        head = &*progress_sink;
+      }
+      obs::PhaseTimer phase(registry,
+                            side == 0 ? "stream-original" : "stream-transformed");
+      trace::stream_trace_file(ctx, flags.positional()[side], *head, &diags,
+                               registry);
+    }
     const auto& original = original_sink.records();
     const auto& transformed = transformed_sink.records();
+    obs::PhaseTimer diff_phase(registry, "diff");
     const auto entries = trace::diff_traces(original, transformed);
     const trace::DiffSummary s = trace::summarize(entries);
+    diff_phase.stop();
 
     if (!*summary_only) {
       const std::size_t rows =
@@ -67,6 +92,14 @@ int main(int argc, char** argv) {
     const std::string summary = diags.summary();
     if (!summary.empty()) {
       std::fprintf(stderr, "tracediff: %s", summary.c_str());
+    }
+    if (registry != nullptr) {
+      tools::fold_diags(registry, diags);
+      registry->counter("diff.same").add(s.same);
+      registry->counter("diff.modified").add(s.modified);
+      registry->counter("diff.inserted").add(s.inserted);
+      registry->counter("diff.deleted").add(s.deleted);
+      obs_flags.write(*registry);
     }
     const bool differs = s.modified + s.inserted + s.deleted != 0;
     return differs || !diags.clean() ? 1 : 0;

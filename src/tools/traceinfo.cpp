@@ -8,11 +8,15 @@
 #include <cstdio>
 #include <iostream>
 
+#include <optional>
+
+#include "tools/obs_support.hpp"
 #include "trace/stats.hpp"
 #include "trace/stream.hpp"
 #include "util/diag.hpp"
 #include "util/error.hpp"
 #include "util/flags.hpp"
+#include "util/obs.hpp"
 
 namespace {
 
@@ -47,23 +51,47 @@ int main(int argc, char** argv) {
     const auto* max_errors = flags.add_uint(
         "max-errors", DiagEngine::kDefaultMaxErrors,
         "give up after this many recovered errors (0 = unlimited)");
+    const tools::ObsFlags obs_flags = tools::ObsFlags::add(flags);
     if (!flags.parse(argc, argv)) return 0;
     if (flags.positional().size() != 1) {
       std::fprintf(stderr, "usage: traceinfo <trace-file> [flags]\n");
       return 2;
     }
 
+    std::optional<obs::Registry> registry_store;
+    if (obs_flags.wants_registry()) registry_store.emplace("traceinfo");
+    obs::Registry* registry = registry_store ? &*registry_store : nullptr;
+
     DiagEngine diags(parse_error_policy(*on_error), *max_errors);
     diags.set_echo(&std::cerr);
 
     trace::TraceContext ctx;
     StatsSink sink(*block);
-    trace::stream_trace_file(ctx, flags.positional()[0], sink, &diags);
-    std::fputs(sink.stats().report(ctx, *top).c_str(), stdout);
+    trace::TraceSink* head = &sink;
+    std::optional<obs::Heartbeat> heartbeat;
+    std::optional<trace::ProgressSink> progress_sink;
+    if (*obs_flags.progress) {
+      heartbeat.emplace("traceinfo", std::cerr);
+      progress_sink.emplace(sink, *heartbeat);
+      head = &*progress_sink;
+    }
+    {
+      obs::PhaseTimer phase(registry, "stream");
+      trace::stream_trace_file(ctx, flags.positional()[0], *head, &diags,
+                               registry);
+    }
+    {
+      obs::PhaseTimer phase(registry, "report");
+      std::fputs(sink.stats().report(ctx, *top).c_str(), stdout);
+    }
 
     const std::string summary = diags.summary();
     if (!summary.empty()) {
       std::fprintf(stderr, "traceinfo: %s", summary.c_str());
+    }
+    if (registry != nullptr) {
+      tools::fold_diags(registry, diags);
+      obs_flags.write(*registry);
     }
     return diags.exit_code();
   } catch (const Error& e) {

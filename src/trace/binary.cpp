@@ -165,6 +165,7 @@ void BinaryTraceReader::fail(DiagCode code, std::string message) {
 int BinaryTraceReader::next_byte() {
   const int byte = in_->get();
   if (byte != std::istream::traits_type::eof()) {
+    ++bytes_read_;
     crc_.update_byte(static_cast<std::uint8_t>(byte));
   }
   return byte;

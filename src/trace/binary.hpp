@@ -86,6 +86,11 @@ class BinaryTraceReader {
     return record_count_;
   }
 
+  /// Input bytes consumed so far (obs integration).
+  [[nodiscard]] std::uint64_t bytes_read() const noexcept {
+    return bytes_read_;
+  }
+
  private:
   struct RecoverEnd;  // unwinds next() when a recoverable error was reported
 
@@ -103,6 +108,7 @@ class BinaryTraceReader {
   std::uint64_t pid_ = 0;
   std::uint8_t version_ = 1;
   std::uint64_t record_count_ = 0;
+  std::uint64_t bytes_read_ = 0;
   Crc32 crc_;
   bool done_ = false;
   std::vector<Symbol> symbol_map_;  // file id -> ctx symbol

@@ -73,11 +73,31 @@ ParallelFanOut::~ParallelFanOut() {
   }
 }
 
+namespace {
+
+std::uint64_t elapsed_us(std::chrono::steady_clock::time_point begin,
+                         std::chrono::steady_clock::time_point end) {
+  return static_cast<std::uint64_t>(
+      std::chrono::duration_cast<std::chrono::microseconds>(end - begin)
+          .count());
+}
+
+}  // namespace
+
 void ParallelFanOut::worker_main(Worker& worker) {
+  const bool timed = options_.registry != nullptr;
   try {
     while (auto batch = worker.queue.pop()) {
       const RecordBatch& records = **batch;
-      for (TraceSink* sink : worker.sinks) sink->push_batch(records);
+      if (timed) {
+        const auto begin = std::chrono::steady_clock::now();
+        if (worker.batches == 0) worker.first_batch = begin;
+        for (TraceSink* sink : worker.sinks) sink->push_batch(records);
+        worker.last_batch = std::chrono::steady_clock::now();
+        worker.batch_latency_us.record(elapsed_us(begin, worker.last_batch));
+      } else {
+        for (TraceSink* sink : worker.sinks) sink->push_batch(records);
+      }
       worker.records += records.size();
       ++worker.batches;
     }
@@ -100,7 +120,14 @@ void ParallelFanOut::flush_pending() {
   counters_.records += pending_.size();
   ++counters_.batches;
   if (workers_.empty()) {
-    for (TraceSink* sink : sinks_) sink->push_batch(pending_);
+    if (options_.registry != nullptr) {
+      const auto begin = std::chrono::steady_clock::now();
+      for (TraceSink* sink : sinks_) sink->push_batch(pending_);
+      inline_latency_.record(
+          elapsed_us(begin, std::chrono::steady_clock::now()));
+    } else {
+      for (TraceSink* sink : sinks_) sink->push_batch(pending_);
+    }
     pending_.clear();
     return;
   }
@@ -122,7 +149,14 @@ void ParallelFanOut::push_batch(std::span<const TraceRecord> batch) {
     counters_.records += batch.size();
     ++counters_.batches;
     if (workers_.empty()) {
-      for (TraceSink* sink : sinks_) sink->push_batch(batch);
+      if (options_.registry != nullptr) {
+        const auto begin = std::chrono::steady_clock::now();
+        for (TraceSink* sink : sinks_) sink->push_batch(batch);
+        inline_latency_.record(
+            elapsed_us(begin, std::chrono::steady_clock::now()));
+      } else {
+        for (TraceSink* sink : sinks_) sink->push_batch(batch);
+      }
     } else {
       publish(std::make_shared<const RecordBatch>(batch.begin(), batch.end()));
     }
@@ -158,7 +192,43 @@ void ParallelFanOut::on_end() {
     wc.pop_stalls = q.pop_stalls;
     wc.occupancy_sum = q.occupancy_sum;
     wc.peak_occupancy = q.peak_occupancy;
+    wc.batch_latency_us = worker->batch_latency_us;
     counters_.workers.push_back(wc);
+  }
+  if (obs::Registry* reg = options_.registry) {
+    reg->counter("pipeline.records").add(counters_.records);
+    reg->counter("pipeline.batches").add(counters_.batches);
+    reg->gauge("pipeline.jobs").set(static_cast<double>(counters_.jobs));
+    reg->gauge("pipeline.records_per_second")
+        .set(counters_.records_per_second());
+    obs::Histogram& latency = reg->histogram("pipeline.batch_latency_us");
+    if (!inline_latency_.empty()) latency.merge(inline_latency_);
+    std::uint64_t push_stalls = 0;
+    std::uint64_t pop_stalls = 0;
+    std::uint64_t occupancy_sum = 0;
+    std::uint64_t occupancy_peak = 0;
+    for (std::size_t i = 0; i < counters_.workers.size(); ++i) {
+      const WorkerCounters& wc = counters_.workers[i];
+      if (!wc.batch_latency_us.empty()) latency.merge(wc.batch_latency_us);
+      push_stalls += wc.push_stalls;
+      pop_stalls += wc.pop_stalls;
+      occupancy_sum += wc.occupancy_sum;
+      occupancy_peak = std::max(occupancy_peak, wc.peak_occupancy);
+      const Worker& worker = *workers_[i];
+      if (worker.batches > 0) {
+        reg->add_span("worker " + std::to_string(i), worker.first_batch,
+                      worker.last_batch, static_cast<std::uint32_t>(i + 1));
+      }
+    }
+    reg->counter("pipeline.backpressure_stalls").add(push_stalls);
+    reg->counter("pipeline.idle_waits").add(pop_stalls);
+    const std::uint64_t pushes = counters_.batches * counters_.workers.size();
+    reg->gauge("pipeline.queue_avg_occupancy")
+        .set(pushes > 0 ? static_cast<double>(occupancy_sum) /
+                              static_cast<double>(pushes)
+                        : 0.0);
+    reg->gauge("pipeline.queue_peak_occupancy")
+        .set(static_cast<double>(occupancy_peak));
   }
   for (const auto& worker : workers_) {
     if (worker->error) std::rethrow_exception(worker->error);

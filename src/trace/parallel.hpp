@@ -29,6 +29,7 @@
 
 #include "trace/sink.hpp"
 #include "util/bounded_queue.hpp"
+#include "util/obs.hpp"
 
 namespace tdt::trace {
 
@@ -46,6 +47,11 @@ struct ParallelOptions {
   /// Per-worker queue capacity, in batches (bounds memory and applies
   /// backpressure to the reader).
   std::size_t queue_batches = 8;
+  /// When non-null, on_end() folds the pipeline counters, queue gauges,
+  /// per-worker spans, and the merged pipeline.batch_latency_us histogram
+  /// into this registry. Null changes nothing (no hot-path cost either
+  /// way: workers accumulate into private HistogramData shards).
+  obs::Registry* registry = nullptr;
 };
 
 /// Counters of one worker stage, snapshotted at on_end().
@@ -57,6 +63,7 @@ struct WorkerCounters {
   std::uint64_t pop_stalls = 0;   ///< worker starved waiting for the reader
   std::uint64_t occupancy_sum = 0;   ///< queue depth summed per push
   std::uint64_t peak_occupancy = 0;  ///< deepest the queue ever got
+  obs::HistogramData batch_latency_us;  ///< per-batch sink-drive wall time
 };
 
 /// Whole-pipeline observability, rendered next to the diag summary.
@@ -118,6 +125,9 @@ class ParallelFanOut final : public TraceSink {
     std::exception_ptr error;
     std::uint64_t records = 0;
     std::uint64_t batches = 0;
+    obs::HistogramData batch_latency_us;  // thread-private, folded at join
+    std::chrono::steady_clock::time_point first_batch{};
+    std::chrono::steady_clock::time_point last_batch{};
 
     explicit Worker(std::size_t queue_capacity) : queue(queue_capacity) {}
   };
@@ -130,6 +140,7 @@ class ParallelFanOut final : public TraceSink {
   ParallelOptions options_;
   std::vector<std::unique_ptr<Worker>> workers_;
   RecordBatch pending_;
+  obs::HistogramData inline_latency_;  // jobs == 0 batch timings
   PipelineCounters counters_;
   bool finished_ = false;
   std::chrono::steady_clock::time_point start_;

@@ -279,6 +279,7 @@ std::optional<TraceEvent> GleipnirReader::next() {
   std::string_view raw;
   while (next_line(raw)) {
     ++line_;
+    counters_.bytes += raw.size() + 1;  // +1 for the line terminator
     std::string_view body = trim(raw);
     if (body.empty()) continue;
     if (starts_with(body, "START") || starts_with(body, "END")) {
@@ -307,14 +308,17 @@ std::optional<TraceEvent> GleipnirReader::next() {
     TraceEvent ev;
     ev.kind = TraceEvent::Kind::Record;
     if (!force_slow_ && parse_record_fast_impl(*ctx_, body, ev.record, &memo_)) {
+      ++counters_.fast_records;
       return ev;
     }
     if (diags_ == nullptr || diags_->strict()) {
       ev.record = parse_record_line(*ctx_, body, line_);
+      ++counters_.slow_records;
       return ev;
     }
     try {
       ev.record = parse_record_line(*ctx_, body, line_);
+      ++counters_.slow_records;
       return ev;
     } catch (const Error& e) {
       if (diags_->repair()) {
@@ -324,6 +328,7 @@ std::optional<TraceEvent> GleipnirReader::next() {
                              e.message(),
                          {line_, 1});
           ev.record = std::move(*salvaged);
+          ++counters_.slow_records;
           return ev;
         }
       }

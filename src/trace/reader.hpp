@@ -48,6 +48,15 @@ struct TraceEvent {
 /// Unknown scope, diagnostic T003).
 class GleipnirReader {
  public:
+  /// Ingestion observability: bytes consumed and which parse path decoded
+  /// each record (obs integration; folded into the metrics registry by
+  /// trace/stream.cpp).
+  struct Counters {
+    std::uint64_t bytes = 0;         ///< input bytes consumed (incl. newlines)
+    std::uint64_t fast_records = 0;  ///< records decoded by the fast parser
+    std::uint64_t slow_records = 0;  ///< records decoded by the slow path
+  };
+
   GleipnirReader(TraceContext& ctx, std::istream& in,
                  DiagEngine* diags = nullptr);
 
@@ -61,6 +70,9 @@ class GleipnirReader {
 
   /// 1-based number of the line most recently consumed.
   [[nodiscard]] std::uint32_t line_number() const noexcept { return line_; }
+
+  /// Running ingestion counters (valid at any point during the read).
+  [[nodiscard]] const Counters& counters() const noexcept { return counters_; }
 
   /// Disables the fast record parser so every line goes through the
   /// original allocating path. Benchmark / equivalence-test hook; the two
@@ -128,6 +140,7 @@ class GleipnirReader {
   DiagEngine* diags_;
   std::uint32_t line_ = 0;
   bool force_slow_ = false;
+  Counters counters_;
   ParseMemo memo_;
 
   // string_view mode: unconsumed remainder of the caller's text.

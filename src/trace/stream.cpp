@@ -51,8 +51,22 @@ class BatchEmitter {
   std::uint64_t records_ = 0;
 };
 
+/// Folds the reader-side ingestion counters into the metrics registry
+/// (the documented read.* counter family). A null registry is a no-op so
+/// uninstrumented runs stay byte-identical.
+void fold_read_counters(obs::Registry* registry, std::uint64_t records,
+                        std::uint64_t bytes, std::uint64_t fast_parses,
+                        std::uint64_t slow_parses) {
+  if (registry == nullptr) return;
+  registry->counter("read.records").add(records);
+  registry->counter("read.bytes").add(bytes);
+  registry->counter("read.fast_parses").add(fast_parses);
+  registry->counter("read.slow_parses").add(slow_parses);
+}
+
 /// Drains a Gleipnir reader (either backing mode) into a sink.
-StreamResult drain_gleipnir(GleipnirReader& reader, TraceSink& sink) {
+StreamResult drain_gleipnir(GleipnirReader& reader, TraceSink& sink,
+                            obs::Registry* registry) {
   StreamResult result;
   BatchEmitter emitter(sink);
   bool saw_start = false;
@@ -70,6 +84,9 @@ StreamResult drain_gleipnir(GleipnirReader& reader, TraceSink& sink) {
     }
   }
   result.records = emitter.finish();
+  fold_read_counters(registry, result.records, reader.counters().bytes,
+                     reader.counters().fast_records,
+                     reader.counters().slow_records);
   return result;
 }
 
@@ -77,11 +94,11 @@ StreamResult drain_gleipnir(GleipnirReader& reader, TraceSink& sink) {
 
 StreamResult stream_trace(TraceContext& ctx, std::istream& in,
                           TraceFormat format, TraceSink& sink,
-                          DiagEngine* diags) {
+                          DiagEngine* diags, obs::Registry* registry) {
   switch (format) {
     case TraceFormat::Gleipnir: {
       GleipnirReader reader(ctx, in, diags);
-      return drain_gleipnir(reader, sink);
+      return drain_gleipnir(reader, sink, registry);
     }
     case TraceFormat::Din: {
       StreamResult result;
@@ -91,6 +108,9 @@ StreamResult stream_trace(TraceContext& ctx, std::istream& in,
       // Copy, not move: `rec` is the reader's reusable output slot.
       while (reader.next(rec)) emitter.emit(TraceRecord(rec));
       result.records = emitter.finish();
+      if (registry != nullptr) {
+        registry->counter("read.records").add(result.records);
+      }
       return result;
     }
     case TraceFormat::Tdtb: {
@@ -101,6 +121,7 @@ StreamResult stream_trace(TraceContext& ctx, std::istream& in,
       TraceRecord rec;
       while (reader.next(rec)) emitter.emit(TraceRecord(rec));
       result.records = emitter.finish();
+      fold_read_counters(registry, result.records, reader.bytes_read(), 0, 0);
       return result;
     }
   }
@@ -110,13 +131,15 @@ StreamResult stream_trace(TraceContext& ctx, std::istream& in,
 }
 
 StreamResult stream_trace_text(TraceContext& ctx, std::string_view text,
-                               TraceSink& sink, DiagEngine* diags) {
+                               TraceSink& sink, DiagEngine* diags,
+                               obs::Registry* registry) {
   GleipnirReader reader(ctx, text, diags);
-  return drain_gleipnir(reader, sink);
+  return drain_gleipnir(reader, sink, registry);
 }
 
 StreamResult stream_trace_file(TraceContext& ctx, const std::string& path,
-                               TraceSink& sink, DiagEngine* diags) {
+                               TraceSink& sink, DiagEngine* diags,
+                               obs::Registry* registry) {
   const TraceFormat format = guess_trace_format(path);
   std::ifstream in(path, format == TraceFormat::Tdtb
                              ? std::ios::binary | std::ios::in
@@ -124,7 +147,7 @@ StreamResult stream_trace_file(TraceContext& ctx, const std::string& path,
   if (!in) {
     throw_io_error("cannot open trace file '" + path + "'");
   }
-  return stream_trace(ctx, in, format, sink, diags);
+  return stream_trace(ctx, in, format, sink, diags, registry);
 }
 
 }  // namespace tdt::trace

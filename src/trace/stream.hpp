@@ -9,6 +9,7 @@
 
 #include "trace/sink.hpp"
 #include "util/diag.hpp"
+#include "util/obs.hpp"
 
 namespace tdt::trace {
 
@@ -27,20 +28,52 @@ struct StreamResult {
 
 /// Streams every record of `in` into `sink` (batched push_batch calls in
 /// trace order, then one on_end). `diags` selects the error-recovery
-/// policy (nullptr = strict fail-fast).
+/// policy (nullptr = strict fail-fast). When `registry` is non-null the
+/// reader-side ingestion counters (read.records, read.bytes,
+/// read.fast_parses, read.slow_parses) are folded into it after the pass;
+/// a null registry changes nothing.
 StreamResult stream_trace(TraceContext& ctx, std::istream& in,
                           TraceFormat format, TraceSink& sink,
-                          DiagEngine* diags = nullptr);
+                          DiagEngine* diags = nullptr,
+                          obs::Registry* registry = nullptr);
 
 /// Streams an in-memory Gleipnir text trace into `sink` without copying
 /// it into a stream: lines are tokenized in place (the reader's zero-copy
 /// fast path). `text` must stay alive for the duration of the call.
 StreamResult stream_trace_text(TraceContext& ctx, std::string_view text,
-                               TraceSink& sink, DiagEngine* diags = nullptr);
+                               TraceSink& sink, DiagEngine* diags = nullptr,
+                               obs::Registry* registry = nullptr);
 
 /// Opens `path`, guesses the format from its extension, and streams it
 /// into `sink`. Throws Error{Io} when the file cannot be opened.
 StreamResult stream_trace_file(TraceContext& ctx, const std::string& path,
-                               TraceSink& sink, DiagEngine* diags = nullptr);
+                               TraceSink& sink, DiagEngine* diags = nullptr,
+                               obs::Registry* registry = nullptr);
+
+/// Pass-through sink feeding a --progress heartbeat: forwards every
+/// record/batch downstream unchanged and ticks the heartbeat per batch,
+/// calling finish() at on_end. Neither pointer is owned.
+class ProgressSink final : public TraceSink {
+ public:
+  ProgressSink(TraceSink& downstream, obs::Heartbeat& heartbeat)
+      : downstream_(&downstream), heartbeat_(&heartbeat) {}
+
+  void on_record(const TraceRecord& rec) override {
+    heartbeat_->tick(1);
+    downstream_->on_record(rec);
+  }
+  void push_batch(std::span<const TraceRecord> batch) override {
+    heartbeat_->tick(batch.size());
+    downstream_->push_batch(batch);
+  }
+  void on_end() override {
+    heartbeat_->finish();
+    downstream_->on_end();
+  }
+
+ private:
+  TraceSink* downstream_;
+  obs::Heartbeat* heartbeat_;
+};
 
 }  // namespace tdt::trace

@@ -1,0 +1,209 @@
+// Differential oracle for the cache simulator: an obviously-correct
+// list-based reference cache is replayed access-by-access against
+// CacheLevel (and a CacheHierarchy's L1) on a fixed-seed random stream,
+// comparing every AccessOutcome field and the final LevelStats.
+//
+// The reference trades all efficiency for transparency: each set is an
+// ordered vector (LRU recency order / FIFO fill order), the shadow cache
+// is a plain front-ordered list, and every policy decision is a direct
+// transcription of the documented semantics. Both models are exact, not
+// statistical: CacheLevel's clock_ strictly increases, so its
+// min-last_use / min-fill_time victim is unique and equals the list
+// front.
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <deque>
+#include <random>
+#include <set>
+#include <vector>
+
+#include "cache/cache.hpp"
+#include "cache/hierarchy.hpp"
+
+namespace tdt::cache {
+namespace {
+
+/// What the reference predicts for one access.
+struct RefOutcome {
+  bool hit = false;
+  MissClass miss_class = MissClass::None;
+  std::uint64_t set = 0;
+  bool evicted = false;
+  std::uint64_t evicted_block = 0;
+  bool writeback = false;
+};
+
+/// List-based single-level reference cache (write-back, write-allocate).
+class ReferenceCache {
+ public:
+  explicit ReferenceCache(const CacheConfig& config)
+      : config_(config), sets_(config.num_sets()) {}
+
+  RefOutcome access(std::uint64_t address, bool is_write) {
+    const std::uint64_t block = address / config_.block_size;
+    const std::uint64_t set_idx = block % config_.num_sets();
+    std::vector<Entry>& set = sets_[set_idx];
+
+    RefOutcome out;
+    out.set = set_idx;
+    auto it = set.begin();
+    while (it != set.end() && it->block != block) ++it;
+    if (it != set.end()) {
+      out.hit = true;
+      if (is_write) it->dirty = true;
+      if (config_.replacement == ReplacementPolicy::Lru) {
+        // Move to the most-recently-used end; FIFO keeps fill order.
+        Entry touched = *it;
+        set.erase(it);
+        set.push_back(touched);
+      }
+    } else {
+      if (!ever_seen_.contains(block)) {
+        out.miss_class = MissClass::Compulsory;
+        ++stats_.compulsory;
+      } else if (!in_shadow(block)) {
+        out.miss_class = MissClass::Capacity;
+        ++stats_.capacity;
+      } else {
+        out.miss_class = MissClass::Conflict;
+        ++stats_.conflict;
+      }
+      if (set.size() >= config_.effective_assoc()) {
+        // All ways valid: evict the front (least recent / first filled).
+        out.evicted = true;
+        out.evicted_block = set.front().block;
+        out.writeback = set.front().dirty;
+        ++stats_.evictions;
+        if (set.front().dirty) ++stats_.writebacks;
+        set.erase(set.begin());
+      }
+      set.push_back(Entry{block, is_write});
+    }
+    if (is_write) {
+      ++(out.hit ? stats_.write_hits : stats_.write_misses);
+    } else {
+      ++(out.hit ? stats_.read_hits : stats_.read_misses);
+    }
+    ever_seen_.insert(block);
+    touch_shadow(block);
+    return out;
+  }
+
+  [[nodiscard]] const LevelStats& stats() const { return stats_; }
+
+ private:
+  struct Entry {
+    std::uint64_t block;
+    bool dirty;
+  };
+
+  [[nodiscard]] bool in_shadow(std::uint64_t block) const {
+    for (std::uint64_t b : shadow_) {
+      if (b == block) return true;
+    }
+    return false;
+  }
+
+  /// Fully associative LRU of num_blocks capacity, most recent in front.
+  void touch_shadow(std::uint64_t block) {
+    for (auto it = shadow_.begin(); it != shadow_.end(); ++it) {
+      if (*it == block) {
+        shadow_.erase(it);
+        shadow_.push_front(block);
+        return;
+      }
+    }
+    if (shadow_.size() >= config_.num_blocks()) shadow_.pop_back();
+    shadow_.push_front(block);
+  }
+
+  CacheConfig config_;
+  std::vector<std::vector<Entry>> sets_;
+  std::deque<std::uint64_t> shadow_;
+  std::set<std::uint64_t> ever_seen_;
+  LevelStats stats_;
+};
+
+/// 10k accesses over a footprint a few times the cache size, so hits,
+/// all three miss classes, evictions, and writebacks all occur.
+struct Access {
+  std::uint64_t address;
+  bool is_write;
+};
+
+std::vector<Access> fixed_seed_accesses() {
+  std::mt19937_64 rng(0xB10CACE5u);
+  std::vector<Access> accesses;
+  accesses.reserve(10000);
+  for (int i = 0; i < 10000; ++i) {
+    // Mix a hot region (re-references -> hits and conflicts) with a wide
+    // region (streaming -> compulsory and capacity misses).
+    const bool hot = rng() % 4 != 0;
+    const std::uint64_t span = hot ? 8 * 1024 : 64 * 1024;
+    accesses.push_back({rng() % span, rng() % 3 == 0});
+  }
+  return accesses;
+}
+
+class ReferenceModelTest
+    : public ::testing::TestWithParam<std::pair<std::uint32_t,
+                                                ReplacementPolicy>> {};
+
+TEST_P(ReferenceModelTest, MatchesCacheLevelAndHierarchyL1) {
+  const auto [assoc, policy] = GetParam();
+  CacheConfig config;
+  config.size = 4096;
+  config.block_size = 32;
+  config.assoc = assoc;
+  config.replacement = policy;
+
+  ReferenceCache reference(config);
+  CacheLevel level(config);
+  CacheHierarchy hierarchy(config);
+
+  const std::vector<Access> accesses = fixed_seed_accesses();
+  for (std::size_t i = 0; i < accesses.size(); ++i) {
+    const auto [address, is_write] = accesses[i];
+    const RefOutcome expected = reference.access(address, is_write);
+    const AccessOutcome got = level.access(address, is_write);
+    const AccessOutcome via_l1 = hierarchy.l1().access(address, is_write);
+
+    ASSERT_EQ(expected.hit, got.hit) << "access " << i;
+    ASSERT_EQ(expected.miss_class, got.miss_class) << "access " << i;
+    ASSERT_EQ(expected.set, got.set) << "access " << i;
+    ASSERT_EQ(expected.evicted, got.evicted) << "access " << i;
+    if (expected.evicted) {
+      ASSERT_EQ(expected.evicted_block, got.evicted_block) << "access " << i;
+    }
+    ASSERT_EQ(expected.writeback, got.writeback) << "access " << i;
+    // The hierarchy's L1 must behave identically to a bare level.
+    ASSERT_EQ(got.hit, via_l1.hit) << "access " << i;
+    ASSERT_EQ(got.miss_class, via_l1.miss_class) << "access " << i;
+  }
+
+  EXPECT_EQ(reference.stats(), level.stats());
+  EXPECT_EQ(reference.stats(), hierarchy.l1().stats());
+  // Sanity: the stream exercised every interesting event at least once.
+  EXPECT_GT(level.stats().hits(), 0u);
+  EXPECT_GT(level.stats().compulsory, 0u);
+  EXPECT_GT(level.stats().capacity, 0u);
+  EXPECT_GT(level.stats().evictions, 0u);
+  EXPECT_GT(level.stats().writebacks, 0u);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Geometries, ReferenceModelTest,
+    ::testing::Values(std::pair{1u, ReplacementPolicy::Lru},
+                      std::pair{2u, ReplacementPolicy::Lru},
+                      std::pair{8u, ReplacementPolicy::Lru},
+                      std::pair{1u, ReplacementPolicy::Fifo},
+                      std::pair{2u, ReplacementPolicy::Fifo},
+                      std::pair{8u, ReplacementPolicy::Fifo}),
+    [](const auto& info) {
+      return "assoc" + std::to_string(info.param.first) +
+             (info.param.second == ReplacementPolicy::Lru ? "Lru" : "Fifo");
+    });
+
+}  // namespace
+}  // namespace tdt::cache

@@ -1,0 +1,145 @@
+# Observability contract test (docs/OBSERVABILITY.md):
+#
+#   1. --metrics-json / --trace-spans / --progress never change the
+#      tools' stdout or exit code — byte-identical to an uninstrumented
+#      run (the paper's measurement-first methodology demands the
+#      instrumentation is free of observable side effects).
+#   2. The metrics file is valid JSON in the tdt-metrics/1 schema.
+#   3. The span file is a Chrome trace_event document Perfetto can load.
+#   4. The counters cross-check against ground truth: the simulator's
+#      sim.records_simulated equals the record count gtracer reported.
+#
+# JSON validation uses CMake's string(JSON ...) (3.19+).
+file(MAKE_DIRECTORY ${WORKDIR})
+
+# Asserts ${file} parses as JSON; returns the whole document in ${out_var}.
+function(read_json file out_var)
+  if(NOT EXISTS ${file})
+    message(FATAL_ERROR "expected JSON file not written: ${file}")
+  endif()
+  file(READ ${file} doc)
+  string(JSON dummy ERROR_VARIABLE err TYPE "${doc}")
+  if(err)
+    message(FATAL_ERROR "${file} is not valid JSON: ${err}")
+  endif()
+  set(${out_var} "${doc}" PARENT_SCOPE)
+endfunction()
+
+# Asserts a tdt-metrics/1 document from ${tool}; returns it in ${out_var}.
+function(check_metrics file tool out_var)
+  read_json(${file} doc)
+  string(JSON schema GET "${doc}" schema)
+  if(NOT schema STREQUAL "tdt-metrics/1")
+    message(FATAL_ERROR "${file}: schema is '${schema}', want tdt-metrics/1")
+  endif()
+  string(JSON json_tool GET "${doc}" tool)
+  if(NOT json_tool STREQUAL ${tool})
+    message(FATAL_ERROR "${file}: tool is '${json_tool}', want ${tool}")
+  endif()
+  foreach(key phases counters gauges histograms)
+    string(JSON type ERROR_VARIABLE err TYPE "${doc}" ${key})
+    if(err)
+      message(FATAL_ERROR "${file}: missing top-level key '${key}'")
+    endif()
+  endforeach()
+  set(${out_var} "${doc}" PARENT_SCOPE)
+endfunction()
+
+# ---- trace to simulate -----------------------------------------------
+
+execute_process(
+  COMMAND ${GTRACER} --kernel t1_soa --len 256 --out ${WORKDIR}/t.out
+          --metrics-json ${WORKDIR}/gtracer.json
+  RESULT_VARIABLE rc ERROR_VARIABLE gtracer_err)
+if(NOT rc EQUAL 0)
+  message(FATAL_ERROR "gtracer failed: ${rc}")
+endif()
+check_metrics(${WORKDIR}/gtracer.json gtracer gtracer_doc)
+string(JSON trace_records GET "${gtracer_doc}" counters trace.records)
+if(NOT gtracer_err MATCHES "${trace_records} records from kernel")
+  message(FATAL_ERROR
+    "gtracer trace.records=${trace_records} disagrees with its own "
+    "report: ${gtracer_err}")
+endif()
+
+# ---- dinerosim sweep: byte-identity + schema + cross-check -----------
+
+# The sweep spec is quoted inline: storing it in a variable would split
+# it at the semicolons during list expansion.
+execute_process(
+  COMMAND ${DINEROSIM} --trace ${WORKDIR}/t.out --jobs 4
+          --sweep "assoc=1;assoc=2;assoc=8"
+  RESULT_VARIABLE base_rc OUTPUT_VARIABLE base_out)
+execute_process(
+  COMMAND ${DINEROSIM} --trace ${WORKDIR}/t.out --jobs 4
+          --sweep "assoc=1;assoc=2;assoc=8"
+          --metrics-json ${WORKDIR}/m.json --trace-spans ${WORKDIR}/s.json
+          --progress
+  RESULT_VARIABLE inst_rc OUTPUT_VARIABLE inst_out ERROR_VARIABLE inst_err)
+if(NOT base_rc EQUAL inst_rc)
+  message(FATAL_ERROR
+    "exit code changed under instrumentation: ${base_rc} vs ${inst_rc}")
+endif()
+if(NOT base_out STREQUAL inst_out)
+  message(FATAL_ERROR "stdout changed under instrumentation:\n"
+                      "=== plain ===\n${base_out}\n"
+                      "=== instrumented ===\n${inst_out}")
+endif()
+if(NOT inst_err MATCHES "dinerosim: [0-9]+ records .* done")
+  message(FATAL_ERROR "--progress heartbeat missing from stderr: ${inst_err}")
+endif()
+
+check_metrics(${WORKDIR}/m.json dinerosim metrics_doc)
+string(JSON simulated GET "${metrics_doc}" counters sim.records_simulated)
+string(JSON read_records GET "${metrics_doc}" counters read.records)
+# t1_soa emits no instruction-fetch records, so every record read is
+# simulated, and that count is exactly what gtracer wrote.
+if(NOT simulated EQUAL trace_records OR NOT read_records EQUAL trace_records)
+  message(FATAL_ERROR
+    "counter cross-check failed: gtracer wrote ${trace_records} records, "
+    "dinerosim read ${read_records} and simulated ${simulated}")
+endif()
+string(JSON points GET "${metrics_doc}" gauges sweep.points)
+if(NOT points EQUAL 3)
+  message(FATAL_ERROR "sweep.points=${points}, want 3")
+endif()
+string(JSON p0_hits GET "${metrics_doc}" counters cache.p0.L1.read_hits)
+# The fan-out caps workers at the point count: 3 points, --jobs 4 -> 3.
+string(JSON jobs GET "${metrics_doc}" gauges pipeline.jobs)
+if(NOT jobs EQUAL 3)
+  message(FATAL_ERROR "pipeline.jobs=${jobs}, want 3")
+endif()
+
+# Span file: a trace_event JSON with complete ("ph": "X") events for the
+# stream phase and the pipeline workers.
+read_json(${WORKDIR}/s.json spans_doc)
+string(JSON events_type TYPE "${spans_doc}" traceEvents)
+if(NOT events_type STREQUAL ARRAY)
+  message(FATAL_ERROR "traceEvents is ${events_type}, want ARRAY")
+endif()
+if(NOT spans_doc MATCHES "\"ph\": \"X\"")
+  message(FATAL_ERROR "no complete spans in ${WORKDIR}/s.json")
+endif()
+foreach(span stream report "worker 0")
+  if(NOT spans_doc MATCHES "\"name\": \"${span}\"")
+    message(FATAL_ERROR "span '${span}' missing from ${WORKDIR}/s.json")
+  endif()
+endforeach()
+
+# ---- traceinfo: same byte-identity contract --------------------------
+
+execute_process(
+  COMMAND ${TRACEINFO} ${WORKDIR}/t.out
+  RESULT_VARIABLE base_rc OUTPUT_VARIABLE base_out)
+execute_process(
+  COMMAND ${TRACEINFO} ${WORKDIR}/t.out --metrics-json ${WORKDIR}/ti.json
+  RESULT_VARIABLE inst_rc OUTPUT_VARIABLE inst_out)
+if(NOT base_rc EQUAL inst_rc OR NOT base_out STREQUAL inst_out)
+  message(FATAL_ERROR "traceinfo output changed under instrumentation")
+endif()
+check_metrics(${WORKDIR}/ti.json traceinfo ti_doc)
+string(JSON ti_records GET "${ti_doc}" counters read.records)
+if(NOT ti_records EQUAL trace_records)
+  message(FATAL_ERROR
+    "traceinfo read.records=${ti_records}, want ${trace_records}")
+endif()

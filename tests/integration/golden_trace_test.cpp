@@ -1,12 +1,37 @@
-// Golden trace: the T1 SoA kernel at LEN=2 must produce this exact byte
-// sequence. Protects the whole tracer stack (address assignment, access
-// ordering, formatting) against silent drift — the analogue of the
-// paper's Figure 5 left column.
+// Golden traces: byte-exact locks on the tracer and transformer output.
+//
+// Two layers of protection:
+//   1. The T1 SoA kernel at LEN=2 inline below — protects the tracer
+//      stack (address assignment, access ordering, formatting), the
+//      analogue of the paper's Figure 5 left column.
+//   2. The transformed output of every shipped rules/*.rules file at
+//      LEN=8 against the checked-in files in tests/integration/golden/
+//      — protects the transformation engine (rule matching, address
+//      remapping, T2 pointer-load insertion, T3 set pinning) end to end.
+//
+// Regenerating the goldens after an intentional change:
+//   TDT_REGEN_GOLDEN=1 ./tests/tests_integration --gtest_filter='GoldenTrace*'
+// rewrites the files in the source tree (the test then passes trivially);
+// re-run without the variable and inspect `git diff` before committing.
 #include <gtest/gtest.h>
 
+#include <cstdlib>
+#include <fstream>
+#include <sstream>
+#include <string>
+
+#include "core/rule_parser.hpp"
+#include "core/transformer.hpp"
 #include "trace/writer.hpp"
 #include "tracer/interp.hpp"
 #include "tracer/kernels.hpp"
+
+#ifndef TDT_RULES_DIR
+#error "TDT_RULES_DIR must be defined by the build"
+#endif
+#ifndef TDT_GOLDEN_DIR
+#error "TDT_GOLDEN_DIR must be defined by the build"
+#endif
 
 namespace tdt {
 namespace {
@@ -52,6 +77,78 @@ TEST(GoldenTrace, RepeatedRunsAreIdentical) {
     return trace::write_trace_string(ctx, records, 1);
   };
   EXPECT_EQ(run_once(), run_once());
+}
+
+// ---- transformed-output goldens -------------------------------------
+
+constexpr std::int64_t kLen = 8;
+
+tracer::Program make_kernel(layout::TypeTable& types, const std::string& name) {
+  if (name == "t1_soa") return tracer::make_t1_soa(types, kLen);
+  if (name == "t2_inline") return tracer::make_t2_inline(types, kLen);
+  return tracer::make_t3_contiguous(types, kLen);
+}
+
+/// Runs `kernel`, transforms its trace with `rules_file`, and renders the
+/// transformed trace as Gleipnir text. The rule files declare
+/// 1024-element arrays; LEN=8 indices stay inside those extents, so the
+/// small goldens exercise the same mappings as the paper-scale runs.
+std::string transformed_trace(const std::string& kernel,
+                              const std::string& rules_file,
+                              core::TransformStats* stats = nullptr) {
+  layout::TypeTable types;
+  trace::TraceContext ctx;
+  const auto records =
+      tracer::run_program(types, ctx, make_kernel(types, kernel));
+  const core::RuleSet rules = core::parse_rules_file(
+      std::string(TDT_RULES_DIR) + "/" + rules_file);
+  const auto transformed =
+      core::transform_trace(rules, ctx, records, {}, stats);
+  return trace::write_trace_string(ctx, transformed, 4242);
+}
+
+void check_golden(const std::string& kernel, const std::string& rules_file,
+                  const std::string& golden_name) {
+  core::TransformStats stats;
+  const std::string actual = transformed_trace(kernel, rules_file, &stats);
+  EXPECT_GT(stats.rewritten, 0u) << "rule never matched — wrong pairing?";
+  EXPECT_EQ(stats.skipped, 0u);
+
+  const std::string golden_path =
+      std::string(TDT_GOLDEN_DIR) + "/" + golden_name;
+  if (std::getenv("TDT_REGEN_GOLDEN") != nullptr) {
+    std::ofstream out(golden_path);
+    ASSERT_TRUE(out) << "cannot write " << golden_path;
+    out << actual;
+    GTEST_SKIP() << "regenerated " << golden_path;
+  }
+  std::ifstream in(golden_path);
+  ASSERT_TRUE(in) << "missing golden " << golden_path
+                  << " (regenerate with TDT_REGEN_GOLDEN=1)";
+  std::ostringstream expected;
+  expected << in.rdbuf();
+  EXPECT_EQ(actual, expected.str())
+      << "transformed trace drifted from " << golden_path
+      << "; if intentional, regenerate with TDT_REGEN_GOLDEN=1";
+}
+
+TEST(GoldenTrace, T1SoaToAosTransformed) {
+  check_golden("t1_soa", "t1_soa_to_aos.rules", "t1_transformed.golden");
+}
+
+TEST(GoldenTrace, T2OutlineTransformedWithPointerLoads) {
+  core::TransformStats stats;
+  transformed_trace("t2_inline", "t2_outline_rarely_used.rules", &stats);
+  // The outlining rule must insert a pointer-indirection load for every
+  // rewritten cold-field access (paper §IV-B).
+  EXPECT_GT(stats.inserted, 0u);
+  check_golden("t2_inline", "t2_outline_rarely_used.rules",
+               "t2_transformed.golden");
+}
+
+TEST(GoldenTrace, T3SetPinningTransformed) {
+  check_golden("t3_contiguous", "t3_set_pinning.rules",
+               "t3_transformed.golden");
 }
 
 }  // namespace

@@ -1,0 +1,336 @@
+// Observability registry: counters/gauges/histograms, the tdt-metrics/1
+// JSON schema round-trip, the Chrome trace_event export, and the fold
+// helpers' agreement with the component statistics they summarize.
+#include <gtest/gtest.h>
+
+#include <cctype>
+#include <map>
+#include <sstream>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "cache/hierarchy.hpp"
+#include "cache/sim.hpp"
+#include "tools/obs_support.hpp"
+#include "util/obs.hpp"
+
+namespace tdt::obs {
+namespace {
+
+// ---- minimal JSON parser (validation only) ---------------------------
+
+struct JsonValue {
+  enum class Kind { Null, Bool, Number, String, Array, Object } kind =
+      Kind::Null;
+  bool boolean = false;
+  double number = 0;
+  std::string str;
+  std::vector<JsonValue> array;
+  std::map<std::string, JsonValue> object;
+
+  [[nodiscard]] const JsonValue& at(const std::string& key) const {
+    auto it = object.find(key);
+    if (it == object.end()) {
+      ADD_FAILURE() << "missing key '" << key << "'";
+      static const JsonValue null_value;
+      return null_value;
+    }
+    return it->second;
+  }
+  [[nodiscard]] bool has(const std::string& key) const {
+    return object.contains(key);
+  }
+};
+
+class JsonParser {
+ public:
+  explicit JsonParser(const std::string& text) : text_(text) {}
+
+  JsonValue parse() {
+    const JsonValue v = value();
+    skip_ws();
+    EXPECT_EQ(pos_, text_.size()) << "trailing garbage after JSON value";
+    return v;
+  }
+
+ private:
+  void skip_ws() {
+    while (pos_ < text_.size() && std::isspace(text_[pos_]) != 0) ++pos_;
+  }
+  char peek() {
+    skip_ws();
+    return pos_ < text_.size() ? text_[pos_] : '\0';
+  }
+  void expect(char c) {
+    skip_ws();
+    ASSERT_LT(pos_, text_.size()) << "unexpected end of JSON";
+    ASSERT_EQ(text_[pos_], c) << "at offset " << pos_;
+    ++pos_;
+  }
+
+  JsonValue value() {
+    JsonValue v;
+    switch (peek()) {
+      case '{': {
+        v.kind = JsonValue::Kind::Object;
+        expect('{');
+        if (peek() != '}') {
+          while (true) {
+            JsonValue key = value();
+            EXPECT_EQ(key.kind, JsonValue::Kind::String);
+            expect(':');
+            v.object[key.str] = value();
+            if (peek() != ',') break;
+            expect(',');
+          }
+        }
+        expect('}');
+        return v;
+      }
+      case '[': {
+        v.kind = JsonValue::Kind::Array;
+        expect('[');
+        if (peek() != ']') {
+          while (true) {
+            v.array.push_back(value());
+            if (peek() != ',') break;
+            expect(',');
+          }
+        }
+        expect(']');
+        return v;
+      }
+      case '"': {
+        v.kind = JsonValue::Kind::String;
+        expect('"');
+        while (pos_ < text_.size() && text_[pos_] != '"') {
+          if (text_[pos_] == '\\' && pos_ + 1 < text_.size()) ++pos_;
+          v.str += text_[pos_++];
+        }
+        expect('"');
+        return v;
+      }
+      case 't': pos_ += 4; v.kind = JsonValue::Kind::Bool; v.boolean = true; return v;
+      case 'f': pos_ += 5; v.kind = JsonValue::Kind::Bool; return v;
+      case 'n': pos_ += 4; return v;
+      default: {
+        v.kind = JsonValue::Kind::Number;
+        skip_ws();
+        std::size_t end = pos_;
+        while (end < text_.size() &&
+               (std::isdigit(text_[end]) != 0 || text_[end] == '-' ||
+                text_[end] == '+' || text_[end] == '.' || text_[end] == 'e' ||
+                text_[end] == 'E')) {
+          ++end;
+        }
+        EXPECT_GT(end, pos_) << "bad number at offset " << pos_;
+        v.number = std::stod(text_.substr(pos_, end - pos_));
+        pos_ = end;
+        return v;
+      }
+    }
+  }
+
+  const std::string& text_;
+  std::size_t pos_ = 0;
+};
+
+JsonValue parse_json(const std::string& text) {
+  return JsonParser(text).parse();
+}
+
+// ---- metric primitives ----------------------------------------------
+
+TEST(ObsCounter, FoldsConcurrentStripes) {
+  Counter counter;
+  std::vector<std::thread> threads;
+  for (int t = 0; t < 8; ++t) {
+    threads.emplace_back([&counter] {
+      for (int i = 0; i < 10000; ++i) counter.add(1);
+    });
+  }
+  for (auto& th : threads) th.join();
+  EXPECT_EQ(counter.value(), 80000u);
+}
+
+TEST(ObsHistogram, Log2Buckets) {
+  EXPECT_EQ(histogram_bucket(0), 0u);
+  EXPECT_EQ(histogram_bucket(1), 1u);
+  EXPECT_EQ(histogram_bucket(2), 2u);
+  EXPECT_EQ(histogram_bucket(3), 2u);
+  EXPECT_EQ(histogram_bucket(4), 3u);
+  EXPECT_EQ(histogram_bucket(1023), 10u);
+  EXPECT_EQ(histogram_bucket(1024), 11u);
+  EXPECT_EQ(histogram_bucket_le(0), 1u);
+  EXPECT_EQ(histogram_bucket_le(1), 2u);
+  EXPECT_EQ(histogram_bucket_le(10), 1024u);
+
+  Histogram h;
+  h.record(0);
+  h.record(5);
+  h.record(5);
+  h.record(300);
+  const HistogramData snap = h.snapshot();
+  EXPECT_EQ(snap.count, 4u);
+  EXPECT_EQ(snap.sum, 310u);
+  EXPECT_EQ(snap.min, 0u);
+  EXPECT_EQ(snap.max, 300u);
+  EXPECT_EQ(snap.buckets[histogram_bucket(5)], 2u);
+}
+
+TEST(ObsHistogram, MergesPrivateShard) {
+  HistogramData shard;
+  shard.record(7);
+  shard.record(9000);
+  Histogram h;
+  h.record(1);
+  h.merge(shard);
+  const HistogramData snap = h.snapshot();
+  EXPECT_EQ(snap.count, 3u);
+  EXPECT_EQ(snap.sum, 9008u);
+  EXPECT_EQ(snap.max, 9000u);
+}
+
+// ---- JSON round-trip -------------------------------------------------
+
+TEST(ObsRegistry, MetricsJsonSchemaRoundTrip) {
+  Registry registry("testtool");
+  registry.counter("read.records").add(516);
+  registry.counter("sim.records_simulated").add(516);
+  registry.gauge("pipeline.jobs").set(4);
+  registry.histogram("latency").record(42);
+  registry.add_phase("stream", 0.25);
+  registry.add_phase("stream", 0.25);
+
+  const JsonValue root = parse_json(registry.metrics_json());
+  ASSERT_EQ(root.kind, JsonValue::Kind::Object);
+  EXPECT_EQ(root.at("schema").str, "tdt-metrics/1");
+  EXPECT_EQ(root.at("tool").str, "testtool");
+  ASSERT_TRUE(root.has("phases"));
+  ASSERT_TRUE(root.has("counters"));
+  ASSERT_TRUE(root.has("gauges"));
+  ASSERT_TRUE(root.has("histograms"));
+
+  // Counter values survive the round trip exactly.
+  EXPECT_EQ(root.at("counters").at("read.records").number, 516);
+  EXPECT_EQ(root.at("counters").at("sim.records_simulated").number, 516);
+  EXPECT_EQ(root.at("gauges").at("pipeline.jobs").number, 4);
+
+  const JsonValue& phases = root.at("phases");
+  ASSERT_EQ(phases.kind, JsonValue::Kind::Array);
+  ASSERT_EQ(phases.array.size(), 1u);
+  EXPECT_EQ(phases.array[0].at("name").str, "stream");
+  EXPECT_EQ(phases.array[0].at("count").number, 2);
+  EXPECT_DOUBLE_EQ(phases.array[0].at("seconds").number, 0.5);
+
+  const JsonValue& hist = root.at("histograms").at("latency");
+  EXPECT_EQ(hist.at("count").number, 1);
+  EXPECT_EQ(hist.at("sum").number, 42);
+  ASSERT_EQ(hist.at("buckets").kind, JsonValue::Kind::Array);
+  double bucket_total = 0;
+  for (const JsonValue& b : hist.at("buckets").array) {
+    ASSERT_TRUE(b.has("le"));
+    bucket_total += b.at("count").number;
+  }
+  EXPECT_EQ(bucket_total, 1);
+}
+
+TEST(ObsRegistry, SpansJsonIsChromeTraceEvent) {
+  Registry registry("testtool");
+  const auto t0 = Registry::Clock::now();
+  registry.add_span("stream", t0, t0 + std::chrono::milliseconds(3), 0);
+  registry.add_span("worker 0", t0, t0 + std::chrono::milliseconds(2), 1);
+
+  const JsonValue root = parse_json(registry.spans_json());
+  ASSERT_TRUE(root.has("traceEvents"));
+  const JsonValue& events = root.at("traceEvents");
+  ASSERT_EQ(events.kind, JsonValue::Kind::Array);
+  std::size_t complete_events = 0;
+  for (const JsonValue& e : events.array) {
+    if (e.at("ph").str != "X") continue;  // metadata events
+    ++complete_events;
+    EXPECT_TRUE(e.has("ts"));
+    EXPECT_TRUE(e.has("dur"));
+    EXPECT_TRUE(e.has("pid"));
+    EXPECT_TRUE(e.has("tid"));
+    EXPECT_GE(e.at("dur").number, 0);
+  }
+  EXPECT_EQ(complete_events, 2u);
+}
+
+TEST(ObsPhaseTimer, NullRegistryIsNoop) {
+  PhaseTimer timer(nullptr, "anything");
+  timer.stop();
+  timer.stop();  // idempotent
+}
+
+TEST(ObsPhaseTimer, AccumulatesIntoRegistry) {
+  Registry registry("t");
+  { PhaseTimer timer(&registry, "phase"); }
+  { PhaseTimer timer(&registry, "phase"); }
+  const JsonValue root = parse_json(registry.metrics_json());
+  ASSERT_EQ(root.at("phases").array.size(), 1u);
+  EXPECT_EQ(root.at("phases").array[0].at("count").number, 2);
+}
+
+TEST(ObsHeartbeat, FinalLineReportsTotal) {
+  std::ostringstream out;
+  Heartbeat heartbeat("tool", out, /*interval_seconds=*/1e9);
+  heartbeat.tick(100);
+  heartbeat.tick(416);
+  heartbeat.finish();
+  EXPECT_EQ(heartbeat.records(), 516u);
+  const std::string line = out.str();
+  EXPECT_NE(line.find("tool: 516 records"), std::string::npos) << line;
+  EXPECT_NE(line.find(" done"), std::string::npos) << line;
+}
+
+// ---- fold helpers agree with the component stats ---------------------
+
+TEST(ObsFold, HierarchyCountersMatchLevelStats) {
+  cache::CacheConfig config;
+  config.size = 1024;
+  config.block_size = 32;
+  config.assoc = 2;
+  cache::CacheHierarchy hierarchy(config);
+  cache::TraceCacheSim sim(hierarchy);
+  std::vector<trace::TraceRecord> records;
+  for (std::uint64_t i = 0; i < 500; ++i) {
+    trace::TraceRecord rec;
+    rec.address = (i * 40) % 4096;
+    rec.size = 4;
+    rec.kind = i % 3 == 0 ? trace::AccessKind::Store : trace::AccessKind::Load;
+    records.push_back(rec);
+  }
+  sim.simulate(records);
+
+  Registry registry("t");
+  tools::fold_hierarchy(&registry, hierarchy);
+  registry.counter("sim.records_simulated").add(sim.records_simulated());
+
+  const cache::LevelStats& s = hierarchy.l1().stats();
+  const JsonValue root = parse_json(registry.metrics_json());
+  const JsonValue& counters = root.at("counters");
+  EXPECT_EQ(counters.at("cache.L1.read_hits").number,
+            static_cast<double>(s.read_hits));
+  EXPECT_EQ(counters.at("cache.L1.read_misses").number,
+            static_cast<double>(s.read_misses));
+  EXPECT_EQ(counters.at("cache.L1.write_hits").number,
+            static_cast<double>(s.write_hits));
+  EXPECT_EQ(counters.at("cache.L1.write_misses").number,
+            static_cast<double>(s.write_misses));
+  EXPECT_EQ(counters.at("cache.L1.evictions").number,
+            static_cast<double>(s.evictions));
+  // The simulated-record counter equals the fetch total the text report
+  // prints (every non-instruction record is one simulated access).
+  EXPECT_EQ(counters.at("sim.records_simulated").number, 500);
+  // Per-set histogram: one sample per set, total == accesses.
+  const JsonValue& sets = root.at("histograms").at("cache.L1.set_accesses");
+  EXPECT_EQ(sets.at("count").number,
+            static_cast<double>(config.num_sets()));
+  EXPECT_EQ(sets.at("sum").number, static_cast<double>(s.accesses()));
+}
+
+}  // namespace
+}  // namespace tdt::obs
