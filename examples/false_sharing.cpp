@@ -10,10 +10,7 @@
 // Build & run:  ./build/examples/false_sharing
 #include <cstdio>
 
-#include "cache/multicore.hpp"
-#include "core/rule_parser.hpp"
-#include "core/transformer.hpp"
-#include "tracer/interp.hpp"
+#include "tdt/tdt.hpp"
 
 namespace {
 

@@ -11,9 +11,7 @@
 // Build & run:  ./build/examples/hot_cold_splitting
 #include <cstdio>
 
-#include "analysis/experiment.hpp"
-#include "core/rule_parser.hpp"
-#include "tracer/interp.hpp"
+#include "tdt/tdt.hpp"
 
 namespace {
 

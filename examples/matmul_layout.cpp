@@ -7,12 +7,7 @@
 // Build & run:  ./build/examples/matmul_layout
 #include <cstdio>
 
-#include "analysis/advisor.hpp"
-#include "analysis/var_stats.hpp"
-#include "cache/hierarchy.hpp"
-#include "cache/sim.hpp"
-#include "tracer/interp.hpp"
-#include "tracer/kernels.hpp"
+#include "tdt/tdt.hpp"
 
 namespace {
 

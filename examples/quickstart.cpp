@@ -10,12 +10,7 @@
 // Build & run:  ./build/examples/quickstart
 #include <cstdio>
 
-#include "analysis/var_stats.hpp"
-#include "cache/hierarchy.hpp"
-#include "cache/sim.hpp"
-#include "trace/writer.hpp"
-#include "tracer/interp.hpp"
-#include "tracer/kernels.hpp"
+#include "tdt/tdt.hpp"
 
 int main() {
   using namespace tdt;

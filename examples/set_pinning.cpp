@@ -8,15 +8,7 @@
 // Build & run:  ./build/examples/set_pinning
 #include <cstdio>
 
-#include "analysis/experiment.hpp"
-#include "analysis/report.hpp"
-#include "analysis/set_activity.hpp"
-#include "cache/hierarchy.hpp"
-#include "cache/sim.hpp"
-#include "core/rule_parser.hpp"
-#include "core/transformer.hpp"
-#include "tracer/interp.hpp"
-#include "tracer/kernels.hpp"
+#include "tdt/tdt.hpp"
 
 namespace {
 

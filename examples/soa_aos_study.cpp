@@ -9,11 +9,7 @@
 // Build & run:  ./build/examples/soa_aos_study
 #include <cstdio>
 
-#include "analysis/experiment.hpp"
-#include "analysis/report.hpp"
-#include "core/rule_parser.hpp"
-#include "trace/diff.hpp"
-#include "tracer/kernels.hpp"
+#include "tdt/tdt.hpp"
 
 namespace {
 

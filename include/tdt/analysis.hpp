@@ -1,0 +1,25 @@
+// Public facade: trace analysis.
+//
+// Per-variable / per-set statistics collectors, the transformation
+// advisor, experiment harness, and the trace-driven layout autotuner
+// (affinity evidence -> candidate rules -> ranked sweep evaluation;
+// docs/AUTOTUNE.md).
+#pragma once
+
+#include "analysis/advisor.hpp"
+#include "analysis/affinity.hpp"
+#include "analysis/autotune.hpp"
+#include "analysis/experiment.hpp"
+#include "analysis/report.hpp"
+#include "analysis/set_activity.hpp"
+#include "analysis/var_stats.hpp"
+
+namespace tdt {
+
+// Supported surface, re-exported at the top level.
+using analysis::AffinityCollector;
+using analysis::AffinityOptions;
+using analysis::Autotuner;
+using analysis::AutotuneOptions;
+
+}  // namespace tdt

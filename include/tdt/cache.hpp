@@ -1,0 +1,26 @@
+// Public facade: cache simulation.
+//
+// Cache geometry (cache::CacheConfig and the paper presets), multi-level
+// hierarchies, the trace-driven simulator sink, one-pass configuration
+// sweeps, MESI multicore simulation, and virtual->physical page mapping.
+#pragma once
+
+#include "cache/cache.hpp"
+#include "cache/config.hpp"
+#include "cache/hierarchy.hpp"
+#include "cache/multicore.hpp"
+#include "cache/page_map.hpp"
+#include "cache/sim.hpp"
+#include "cache/sweep.hpp"
+
+namespace tdt {
+
+// Supported surface, re-exported at the top level.
+using cache::CacheConfig;
+using cache::CacheHierarchy;
+using cache::ParallelSweep;
+using cache::parse_sweep_spec;
+using cache::SweepPoint;
+using cache::TraceCacheSim;
+
+}  // namespace tdt

@@ -1,0 +1,36 @@
+// Public facade: transformation rules and the trace transformer.
+//
+// Load a rule file with load_rules(), build RuleSets programmatically via
+// core::RuleSet + layout::TypeTable, serialize them back to the rules DSL
+// with core::write_rules(), and rewrite traces with TraceTransformer
+// (paper §IV).
+#pragma once
+
+#include "core/formula.hpp"
+#include "core/rule_parser.hpp"
+#include "core/rules.hpp"
+#include "core/transformer.hpp"
+#include "layout/type.hpp"
+
+namespace tdt {
+
+// Supported surface, re-exported at the top level.
+using core::RuleSet;
+using core::TraceTransformer;
+using core::TransformOptions;
+using core::TransformStats;
+using core::transform_trace;
+using core::write_rules;
+
+/// Reads and parses a rule file from disk. Throws Error{Io} when the file
+/// cannot be read, Error{Parse}/Error{Semantic} when it is malformed.
+inline core::RuleSet load_rules(const std::string& path) {
+  return core::parse_rules_file(path);
+}
+
+/// Parses rule text (the rules/ DSL).
+inline core::RuleSet load_rules_text(std::string_view text) {
+  return core::parse_rules(text);
+}
+
+}  // namespace tdt

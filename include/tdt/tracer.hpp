@@ -1,0 +1,17 @@
+// Public facade: the synthetic tracer (the Gleipnir stand-in).
+//
+// Built-in paper kernels, the C-subset kernel parser, and the
+// interpreter that turns a kernel into a trace-record stream.
+#pragma once
+
+#include "layout/type.hpp"
+#include "tracer/interp.hpp"
+#include "tracer/kernels.hpp"
+#include "tracer/parser.hpp"
+
+namespace tdt {
+
+// Supported surface, re-exported at the top level.
+using layout::TypeTable;
+
+}  // namespace tdt

@@ -1,0 +1,16 @@
+// Public facade: shared utilities.
+//
+// Error model (tdt::Error), structured diagnostics with the error-
+// recovery policies (tdt::DiagEngine, docs/robustness.md), the CLI flag
+// parser, text tables, and the observability registry with its exporters
+// (docs/OBSERVABILITY.md).
+#pragma once
+
+#include "util/diag.hpp"
+#include "util/error.hpp"
+#include "util/flags.hpp"
+#include "util/obs.hpp"
+#include "util/table.hpp"
+
+// DiagEngine, Error, FlagParser, TextTable, and obs::Registry already
+// live in namespace tdt / tdt::obs; nothing to re-export.

@@ -1,0 +1,29 @@
+/* Paper Listing 6's structure with a genuinely cold nested member: the
+ * hot field is walked every element, every round, while mRarelyUsed is
+ * touched on only every 32nd element. This is the trace the tdtune
+ * autotuner's T2 hot/cold outlining is meant to discover (tests/analysis
+ * and the cli_tdtune smoke test drive it end to end). */
+#define LEN 4096
+#define ROUNDS 4
+#define COLD 128
+
+int main(int aArgc, char **aArgv) {
+  typedef struct {
+    int mFrequentlyUsed;
+    struct { double mY; int mZ; } mRarelyUsed;
+  } MyInlineStruct;
+
+  MyInlineStruct lS1[LEN];
+  GLEIPNIR_START_INSTRUMENTATION;
+  for (int lR = 0; lR < ROUNDS; lR++) {
+    for (int lI = 0; lI < LEN; lI++) {
+      lS1[lI].mFrequentlyUsed = lI;
+    }
+    for (int lJ = 0; lJ < COLD; lJ++) {
+      lS1[lJ * 32].mRarelyUsed.mY = lJ;
+      lS1[lJ * 32].mRarelyUsed.mZ = lJ;
+    }
+  }
+  GLEIPNIR_STOP_INSTRUMENTATION;
+  return (0);
+}

@@ -1,0 +1,351 @@
+#include "analysis/affinity.hpp"
+
+#include <algorithm>
+#include <cstdio>
+
+#include "util/table.hpp"
+
+namespace tdt::analysis {
+
+namespace {
+
+/// Primary (element) index of a field access: the leading index for
+/// AoS-style chains, the trailing index otherwise.
+bool primary_index(const trace::VarRef& var, bool leading,
+                   std::uint64_t& out) {
+  if (var.steps.empty()) return false;
+  if (leading && !var.steps[0].is_field) {
+    out = var.steps[0].index;
+    return true;
+  }
+  const trace::VarStep& last = var.steps[var.steps.size() - 1];
+  if (!last.is_field) {
+    out = last.index;
+    return true;
+  }
+  return false;
+}
+
+}  // namespace
+
+std::string_view to_string(StructShape s) noexcept {
+  switch (s) {
+    case StructShape::Unknown: return "unknown";
+    case StructShape::FlatArray: return "flat-array";
+    case StructShape::Soa: return "soa";
+    case StructShape::Aos: return "aos";
+  }
+  return "unknown";
+}
+
+std::int64_t FieldProfile::dominant_stride() const noexcept {
+  std::uint64_t total = 0;
+  std::int64_t best = 0;
+  std::uint64_t best_count = 0;
+  for (const auto& [delta, count] : stride_hist) {
+    total += count;
+    if (count > best_count) {
+      best_count = count;
+      best = delta;
+    }
+  }
+  if (total == 0 || best_count * 2 < total) return 0;
+  return best;
+}
+
+std::uint64_t StructProfile::affinity_at(std::size_t a,
+                                         std::size_t b) const noexcept {
+  const std::size_t n = fields.size();
+  if (a >= n || b >= n) return 0;
+  return affinity[a * n + b];
+}
+
+double StructProfile::affinity_norm(std::size_t a, std::size_t b) const {
+  const std::uint64_t co = affinity_at(a, b);
+  if (co == 0) return 0.0;
+  const std::uint64_t combined = fields[a].accesses + fields[b].accesses;
+  if (combined == 0) return 0.0;
+  return static_cast<double>(co) / static_cast<double>(combined);
+}
+
+AffinityCollector::AffinityCollector(const trace::TraceContext& ctx,
+                                     AffinityOptions options)
+    : ctx_(&ctx), options_(options) {
+  if (options_.window == 0) options_.window = 1;
+  window_.resize(options_.window);
+}
+
+void AffinityCollector::on_record(const trace::TraceRecord& rec) {
+  if (!trace::is_structure_scope(rec.scope) || rec.var.empty()) return;
+  ++seen_;
+
+  // Structure slot.
+  auto it = by_symbol_.find(rec.var.base.id());
+  std::uint32_t struct_slot;
+  if (it != by_symbol_.end()) {
+    struct_slot = it->second;
+  } else {
+    if (states_.size() >= options_.max_structs) return;
+    struct_slot = static_cast<std::uint32_t>(states_.size());
+    by_symbol_.emplace(rec.var.base.id(), struct_slot);
+    StructState st;
+    st.name = std::string(ctx_->name(rec.var.base));
+    st.scope = rec.scope;
+    states_.push_back(std::move(st));
+  }
+  StructState& st = states_[struct_slot];
+  ++st.accesses;
+  st.base_addr = std::min(st.base_addr, rec.address);
+
+  // Field slot by pattern.
+  scratch_key_.clear();
+  for (const trace::VarStep& step : rec.var.steps) {
+    scratch_key_.push_back(
+        step.is_field ? ((static_cast<std::uint64_t>(step.field.id()) << 1) | 1)
+                      : 0);
+  }
+  std::uint32_t field_slot = ~0u;
+  for (std::size_t i = 0; i < st.fields.size(); ++i) {
+    if (st.fields[i].key == scratch_key_) {
+      field_slot = static_cast<std::uint32_t>(i);
+      break;
+    }
+  }
+  if (field_slot == ~0u) {
+    if (st.fields.size() >= options_.max_fields) {
+      st.overflowed = true;
+      return;
+    }
+    field_slot = static_cast<std::uint32_t>(st.fields.size());
+    FieldState fs;
+    fs.key = scratch_key_;
+    fs.first_seen = seen_;
+    FieldProfile& p = fs.profile;
+    for (const trace::VarStep& step : rec.var.steps) {
+      if (step.is_field) {
+        if (!p.pattern.empty()) p.pattern += '.';
+        p.pattern += ctx_->name(step.field);
+        p.chain.emplace_back(ctx_->name(step.field));
+      } else {
+        p.pattern += "[*]";
+        ++p.wildcards;
+      }
+    }
+    p.leading_index = !rec.var.steps[0].is_field;
+    p.trailing_index = !rec.var.steps[rec.var.steps.size() - 1].is_field;
+    st.fields.push_back(std::move(fs));
+  }
+
+  FieldState& fs = st.fields[field_slot];
+  FieldProfile& p = fs.profile;
+  ++p.accesses;
+  switch (rec.kind) {
+    case trace::AccessKind::Load: ++p.reads; break;
+    case trace::AccessKind::Store: ++p.writes; break;
+    case trace::AccessKind::Modify: ++p.reads; ++p.writes; break;
+    default: break;
+  }
+  ++fs.sizes[rec.size];
+  p.min_addr = std::min(p.min_addr, rec.address);
+  p.max_addr = std::max(p.max_addr, rec.address);
+
+  std::uint64_t elem_index = 0;
+  if (primary_index(rec.var, p.leading_index, elem_index)) {
+    p.max_elem_index = std::max(p.max_elem_index, elem_index);
+    if (fs.have_prev_index) {
+      const std::int64_t delta = static_cast<std::int64_t>(elem_index) -
+                                 static_cast<std::int64_t>(fs.prev_index);
+      auto hist_it = p.stride_hist.find(delta);
+      if (hist_it != p.stride_hist.end()) {
+        ++hist_it->second;
+      } else if (p.stride_hist.size() < options_.max_stride_entries) {
+        p.stride_hist.emplace(delta, 1);
+      }
+    }
+    fs.have_prev_index = true;
+    fs.prev_index = elem_index;
+  }
+  // Secondary index of [*].field[*] chains (the within-element array).
+  if (p.leading_index && p.wildcards == 2 && p.trailing_index) {
+    p.max_minor_index = std::max(
+        p.max_minor_index, rec.var.steps[rec.var.steps.size() - 1].index);
+  }
+
+  // Window pass: count co-access with every other field of the same
+  // structure currently inside the reuse window — at most once per field
+  // per record, so affinity_norm stays a bounded fraction no matter how
+  // densely the window is populated.
+  pair_mask_.assign((options_.max_fields + 63) / 64, 0);
+  for (const WindowEntry& e : window_) {
+    if (!e.valid || e.struct_slot != struct_slot ||
+        e.field_slot == field_slot) {
+      continue;
+    }
+    std::uint64_t& word = pair_mask_[e.field_slot / 64];
+    const std::uint64_t bit = 1ULL << (e.field_slot % 64);
+    if ((word & bit) != 0) continue;
+    word |= bit;
+    const auto key = std::minmax(e.field_slot, field_slot);
+    ++st.pairs[{key.first, key.second}];
+  }
+  window_[window_cursor_] = {struct_slot, field_slot, true};
+  window_cursor_ = (window_cursor_ + 1) % window_.size();
+}
+
+void AffinityCollector::finalize_struct(StructState& st) {
+  StructProfile prof;
+  prof.name = st.name;
+  prof.scope = st.scope;
+  prof.accesses = st.accesses;
+  prof.base_addr = st.base_addr;
+
+  // Derive per-field values, then order fields by inferred layout offset.
+  std::vector<std::size_t> order(st.fields.size());
+  for (std::size_t i = 0; i < st.fields.size(); ++i) {
+    order[i] = i;
+    FieldState& fs = st.fields[i];
+    FieldProfile& p = fs.profile;
+    p.offset = p.min_addr >= st.base_addr ? p.min_addr - st.base_addr : 0;
+    p.heat = st.accesses == 0 ? 0.0
+                              : static_cast<double>(p.accesses) /
+                                    static_cast<double>(st.accesses);
+    std::uint64_t best = 0;
+    for (const auto& [size, count] : fs.sizes) {
+      if (count > best) {
+        best = count;
+        p.leaf_size = size;
+      }
+    }
+  }
+  std::sort(order.begin(), order.end(), [&](std::size_t a, std::size_t b) {
+    const FieldState& fa = st.fields[a];
+    const FieldState& fb = st.fields[b];
+    if (fa.profile.offset != fb.profile.offset) {
+      return fa.profile.offset < fb.profile.offset;
+    }
+    return fa.first_seen < fb.first_seen;
+  });
+  std::vector<std::uint32_t> slot_to_row(st.fields.size());
+  for (std::size_t row = 0; row < order.size(); ++row) {
+    slot_to_row[order[row]] = static_cast<std::uint32_t>(row);
+    prof.fields.push_back(st.fields[order[row]].profile);
+  }
+
+  const std::size_t n = prof.fields.size();
+  prof.affinity.assign(n * n, 0);
+  for (const auto& [pair, count] : st.pairs) {
+    const std::uint32_t a = slot_to_row[pair.first];
+    const std::uint32_t b = slot_to_row[pair.second];
+    prof.affinity[a * n + b] += count;
+    prof.affinity[b * n + a] += count;
+  }
+
+  // Shape classification. Field chains the rule engine cannot express
+  // (intermediate indices, depth > 2, whole-aggregate accesses) force
+  // Unknown, which the candidate generator skips.
+  bool all_flat = !prof.fields.empty();
+  bool all_aos = !prof.fields.empty();
+  bool all_soa = !prof.fields.empty();
+  for (const FieldProfile& p : prof.fields) {
+    const bool flat = p.chain.empty() && p.wildcards == 1 && p.leading_index;
+    const bool aos = p.leading_index && !p.chain.empty() &&
+                     p.chain.size() <= 2 &&
+                     (p.wildcards == 1 || (p.wildcards == 2 && p.trailing_index));
+    const bool soa = !p.leading_index && !p.chain.empty() &&
+                     p.chain.size() == 1 &&
+                     (p.wildcards == 0 || (p.wildcards == 1 && p.trailing_index));
+    all_flat = all_flat && flat;
+    all_aos = all_aos && aos;
+    all_soa = all_soa && soa;
+  }
+  if (st.overflowed) {
+    prof.shape = StructShape::Unknown;
+  } else if (all_flat) {
+    prof.shape = StructShape::FlatArray;
+  } else if (all_aos) {
+    prof.shape = StructShape::Aos;
+  } else if (all_soa) {
+    prof.shape = StructShape::Soa;
+  }
+
+  std::uint64_t extent = 0;
+  for (const FieldProfile& p : prof.fields) {
+    if (p.wildcards > 0) extent = std::max(extent, p.max_elem_index + 1);
+  }
+  prof.extent = extent;
+
+  profiles_.push_back(std::move(prof));
+}
+
+void AffinityCollector::on_end() {
+  if (finalized_) return;
+  finalized_ = true;
+  profiles_.clear();
+  for (StructState& st : states_) finalize_struct(st);
+  std::stable_sort(profiles_.begin(), profiles_.end(),
+                   [](const StructProfile& a, const StructProfile& b) {
+                     return a.accesses > b.accesses;
+                   });
+}
+
+const StructProfile* AffinityCollector::find(std::string_view name) const {
+  for (const StructProfile& p : profiles_) {
+    if (p.name == name) return &p;
+  }
+  return nullptr;
+}
+
+std::string AffinityCollector::report() const {
+  std::string out;
+  char buf[160];
+  for (const StructProfile& st : profiles_) {
+    std::snprintf(buf, sizeof buf,
+                  "%s (%s, %s): %llu accesses, %llu elements\n",
+                  st.name.c_str(),
+                  std::string(trace::var_scope_code(st.scope)).c_str(),
+                  std::string(to_string(st.shape)).c_str(),
+                  static_cast<unsigned long long>(st.accesses),
+                  static_cast<unsigned long long>(st.extent));
+    out += buf;
+
+    TextTable heat({"field", "accesses", "heat", "reads", "writes", "size",
+                    "stride"});
+    for (const FieldProfile& f : st.fields) {
+      std::snprintf(buf, sizeof buf, "%.3f", f.heat);
+      heat.add(f.pattern, f.accesses, std::string(buf), f.reads, f.writes,
+               f.leaf_size, f.dominant_stride());
+    }
+    out += heat.render();
+
+    // Affinity: one row per pair with a nonzero count, strongest first.
+    struct Pair {
+      std::size_t a, b;
+      std::uint64_t co;
+      double norm;
+    };
+    std::vector<Pair> pairs;
+    for (std::size_t a = 0; a < st.fields.size(); ++a) {
+      for (std::size_t b = a + 1; b < st.fields.size(); ++b) {
+        const std::uint64_t co = st.affinity_at(a, b);
+        if (co != 0) pairs.push_back({a, b, co, st.affinity_norm(a, b)});
+      }
+    }
+    if (!pairs.empty()) {
+      std::sort(pairs.begin(), pairs.end(), [](const Pair& x, const Pair& y) {
+        return x.co > y.co;
+      });
+      TextTable aff({"field a", "field b", "co-access", "affinity"});
+      for (const Pair& p : pairs) {
+        std::snprintf(buf, sizeof buf, "%.3f", p.norm);
+        aff.add(st.fields[p.a].pattern, st.fields[p.b].pattern, p.co,
+                std::string(buf));
+      }
+      out += aff.render();
+    }
+    out += '\n';
+  }
+  if (profiles_.empty()) out = "no aggregate accesses profiled\n";
+  return out;
+}
+
+}  // namespace tdt::analysis

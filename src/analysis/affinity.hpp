@@ -1,0 +1,165 @@
+// Field-affinity and heat profiling: the evidence-gathering pass of the
+// layout autotuner (docs/AUTOTUNE.md). One streaming pass over a trace
+// builds, per aggregate variable, a field-affinity matrix (how often two
+// fields are touched within a short reuse window — the signal that they
+// belong in the same cache line) plus per-field heat: access counts, the
+// read/write mix, element-index stride histograms, and observed extents.
+// The candidate generator (analysis/autotune.hpp) turns these profiles
+// into concrete transformation rules.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "trace/record.hpp"
+#include "trace/sink.hpp"
+
+namespace tdt::analysis {
+
+/// Profiling knobs.
+struct AffinityOptions {
+  /// Reuse window in records: two fields co-accessed within this many
+  /// structure-scope records count as affine. The paper's transformations
+  /// target same-line reuse, so a few cache lines' worth of accesses is
+  /// the right scale.
+  std::uint32_t window = 32;
+  /// Safety caps: structures / per-structure field patterns beyond these
+  /// are ignored (traces of generated code can have unbounded name sets).
+  std::size_t max_structs = 64;
+  std::size_t max_fields = 64;
+  /// Distinct element-index deltas tracked per field.
+  std::size_t max_stride_entries = 32;
+};
+
+/// Access shape of an aggregate, inferred from its selector chains.
+enum class StructShape : std::uint8_t {
+  Unknown,    ///< mixed or unsupported selector chains
+  FlatArray,  ///< every access is base[i] (paper T3 input)
+  Soa,        ///< struct of arrays: base.field[i] (paper T1 input)
+  Aos,        ///< array of structs: base[i].field... (paper T1/T2 input)
+};
+
+[[nodiscard]] std::string_view to_string(StructShape s) noexcept;
+
+/// Heat and shape of one field pattern (a selector chain with array
+/// indices abstracted to wildcards, e.g. "[*].mRarelyUsed.mY").
+struct FieldProfile {
+  std::string pattern;              ///< rendered chain, indices as '*'
+  std::vector<std::string> chain;   ///< field names only, outermost first
+  std::uint64_t wildcards = 0;      ///< number of index slots
+  bool leading_index = false;       ///< chain starts with an index (AoS)
+  bool trailing_index = false;      ///< chain ends with an index (SoA)
+  std::uint64_t accesses = 0;
+  std::uint64_t reads = 0;          ///< Load + Modify
+  std::uint64_t writes = 0;         ///< Store + Modify
+  std::uint32_t leaf_size = 0;      ///< dominant record size in bytes
+  std::uint64_t min_addr = ~0ULL;
+  std::uint64_t max_addr = 0;
+  std::uint64_t max_elem_index = 0;  ///< max primary (element) index
+  std::uint64_t max_minor_index = 0; ///< max secondary (within-elem) index
+  /// Element-index delta -> occurrences, between consecutive accesses to
+  /// this field. The dominant non-unit delta is the T3 stride signal.
+  std::map<std::int64_t, std::uint64_t> stride_hist;
+  // Derived at finalization:
+  double heat = 0.0;           ///< accesses / structure accesses
+  std::uint64_t offset = 0;    ///< min_addr - structure base (layout order)
+
+  /// The stride covering at least half of the observed index deltas;
+  /// 0 when accesses are too irregular to call.
+  [[nodiscard]] std::int64_t dominant_stride() const noexcept;
+};
+
+/// Profile of one aggregate variable (LS/GS scope).
+struct StructProfile {
+  std::string name;
+  trace::VarScope scope = trace::VarScope::Unknown;
+  StructShape shape = StructShape::Unknown;
+  std::uint64_t accesses = 0;
+  std::uint64_t base_addr = ~0ULL;   ///< min observed address
+  std::uint64_t extent = 0;          ///< elements (max element index + 1)
+  std::vector<FieldProfile> fields;  ///< layout order (by offset)
+  /// Symmetric co-access counts, row-major fields.size() x fields.size().
+  std::vector<std::uint64_t> affinity;
+
+  [[nodiscard]] std::uint64_t affinity_at(std::size_t a,
+                                          std::size_t b) const noexcept;
+  /// Affinity normalized to [0, 1]: co-access count over the two fields'
+  /// combined accesses. Each record counts a pair at most once, so 1.0
+  /// means virtually every access of either field had the other inside
+  /// the reuse window.
+  [[nodiscard]] double affinity_norm(std::size_t a, std::size_t b) const;
+};
+
+/// Streaming profiler: a terminal TraceSink (tee it next to whatever else
+/// consumes the trace for a genuinely one-pass analysis). Profiles are
+/// finalized by on_end().
+class AffinityCollector final : public trace::TraceSink {
+ public:
+  explicit AffinityCollector(const trace::TraceContext& ctx,
+                             AffinityOptions options = {});
+
+  void on_record(const trace::TraceRecord& rec) override;
+  void on_end() override;
+
+  /// Finalized profiles, hottest structure first. Valid after on_end().
+  [[nodiscard]] const std::vector<StructProfile>& structs() const noexcept {
+    return profiles_;
+  }
+
+  /// Finds a finalized profile by variable name; nullptr when absent.
+  [[nodiscard]] const StructProfile* find(std::string_view name) const;
+
+  [[nodiscard]] std::uint64_t records_seen() const noexcept { return seen_; }
+
+  /// Human-readable heat + affinity report.
+  [[nodiscard]] std::string report() const;
+
+ private:
+  // A field pattern key: field steps as (symbol id << 1) | 1, index steps
+  // as 0. Distinct because field symbols are never the empty string.
+  using PatternKey = std::vector<std::uint64_t>;
+
+  struct FieldState {
+    PatternKey key;
+    FieldProfile profile;
+    std::map<std::uint32_t, std::uint64_t> sizes;  // record size -> count
+    bool have_prev_index = false;
+    std::uint64_t prev_index = 0;
+    std::uint64_t first_seen = 0;  // arrival order, offset tie-break
+  };
+
+  struct StructState {
+    std::string name;
+    trace::VarScope scope = trace::VarScope::Unknown;
+    std::uint64_t accesses = 0;
+    std::uint64_t base_addr = ~0ULL;
+    bool overflowed = false;  // hit max_fields; profile is untrustworthy
+    std::vector<FieldState> fields;
+    std::map<std::pair<std::uint32_t, std::uint32_t>, std::uint64_t> pairs;
+  };
+
+  struct WindowEntry {
+    std::uint32_t struct_slot = 0;
+    std::uint32_t field_slot = 0;
+    bool valid = false;
+  };
+
+  void finalize_struct(StructState& st);
+
+  const trace::TraceContext* ctx_;
+  AffinityOptions options_;
+  std::uint64_t seen_ = 0;
+  std::map<std::uint32_t, std::uint32_t> by_symbol_;  // base symbol id -> slot
+  std::vector<StructState> states_;
+  std::vector<WindowEntry> window_;
+  std::size_t window_cursor_ = 0;
+  PatternKey scratch_key_;
+  std::vector<std::uint64_t> pair_mask_;  // per-record pair dedupe scratch
+  std::vector<StructProfile> profiles_;
+  bool finalized_ = false;
+};
+
+}  // namespace tdt::analysis

@@ -1,0 +1,634 @@
+#include "analysis/autotune.hpp"
+
+#include <algorithm>
+#include <cstdio>
+#include <numeric>
+#include <optional>
+
+#include "core/rule_parser.hpp"
+#include "core/rules.hpp"
+#include "core/transformer.hpp"
+#include "trace/parallel.hpp"
+#include "util/error.hpp"
+#include "util/table.hpp"
+
+namespace tdt::analysis {
+
+namespace {
+
+using core::Formula;
+using core::RuleSet;
+using core::StructRule;
+
+/// Primitive for a leaf of `size` bytes; kInvalidType for sizes the rule
+/// DSL has no natural spelling for (candidates over such fields are
+/// skipped).
+layout::TypeId leaf_type(layout::TypeTable& types, std::uint32_t size) {
+  switch (size) {
+    case 1: return types.char_type();
+    case 2: return types.short_type();
+    case 4: return types.int_type();
+    case 8: return types.double_type();
+    default: return layout::kInvalidType;
+  }
+}
+
+/// Field type for one profiled field on the in side: the leaf itself, or
+/// an array of it when the chain carries its own index.
+layout::TypeId field_type(layout::TypeTable& types, const FieldProfile& f,
+                          bool minor_index) {
+  const layout::TypeId leaf = leaf_type(types, f.leaf_size);
+  if (leaf == layout::kInvalidType) return layout::kInvalidType;
+  if (!minor_index) return leaf;
+  const std::uint64_t extent =
+      (f.leading_index ? f.max_minor_index : f.max_elem_index) + 1;
+  return types.array_of(leaf, extent);
+}
+
+/// Seals a built rule set into a Candidate: validates it, serializes it,
+/// and proves the serialization reparses to a clean set. Returns nullopt
+/// (no candidate) when validation finds an error.
+std::optional<Candidate> seal(RuleSet&& set, std::string name,
+                              std::string kind, std::string target,
+                              std::string rationale) {
+  for (const core::RuleDiagnostic& d : set.validate()) {
+    if (d.severity == core::RuleDiagnostic::Severity::Error) return {};
+  }
+  Candidate c;
+  c.name = std::move(name);
+  c.kind = std::move(kind);
+  c.target = std::move(target);
+  c.rationale = std::move(rationale);
+  c.rules_text = core::write_rules_string(set);
+  // The serialized form is what evaluation (and the user) will parse;
+  // prove the round trip now rather than at ranking time.
+  const RuleSet reparsed = core::parse_rules(c.rules_text);
+  for (const core::RuleDiagnostic& d : reparsed.validate()) {
+    if (d.severity == core::RuleDiagnostic::Severity::Error) return {};
+  }
+  return c;
+}
+
+/// Union-find clustering of a structure's fields by normalized affinity.
+/// Returns cluster ids in field order (dense, first-appearance order).
+std::vector<std::size_t> affinity_clusters(const StructProfile& st,
+                                           double threshold) {
+  const std::size_t n = st.fields.size();
+  std::vector<std::size_t> parent(n);
+  std::iota(parent.begin(), parent.end(), std::size_t{0});
+  auto find = [&](std::size_t x) {
+    while (parent[x] != x) x = parent[x] = parent[parent[x]];
+    return x;
+  };
+  for (std::size_t a = 0; a < n; ++a) {
+    for (std::size_t b = a + 1; b < n; ++b) {
+      if (st.affinity_norm(a, b) >= threshold) {
+        parent[find(a)] = find(b);
+      }
+    }
+  }
+  std::vector<std::size_t> cluster(n);
+  std::vector<std::size_t> seen;  // root -> dense id by first appearance
+  for (std::size_t i = 0; i < n; ++i) {
+    const std::size_t root = find(i);
+    auto it = std::find(seen.begin(), seen.end(), root);
+    if (it == seen.end()) {
+      seen.push_back(root);
+      it = seen.end() - 1;
+    }
+    cluster[i] = static_cast<std::size_t>(it - seen.begin());
+  }
+  return cluster;
+}
+
+/// Builds the in-side struct for a SoA-shaped profile:
+///   struct <name> { T f[Nf]; ... };
+layout::TypeId build_soa_in(layout::TypeTable& types, const StructProfile& st) {
+  std::vector<layout::PendingField> fields;
+  for (const FieldProfile& f : st.fields) {
+    const layout::TypeId ft = field_type(types, f, f.wildcards == 1);
+    if (ft == layout::kInvalidType) return layout::kInvalidType;
+    fields.push_back({f.chain[0], ft});
+  }
+  return types.define_struct(st.name, std::move(fields));
+}
+
+/// Builds the in-side type for an AoS-shaped profile without nested
+/// chains: struct <name> { T f; ... }[extent].
+layout::TypeId build_aos_in(layout::TypeTable& types, const StructProfile& st) {
+  std::vector<layout::PendingField> fields;
+  for (const FieldProfile& f : st.fields) {
+    if (f.chain.size() != 1) return layout::kInvalidType;
+    const layout::TypeId ft = field_type(types, f, f.wildcards == 2);
+    if (ft == layout::kInvalidType) return layout::kInvalidType;
+    fields.push_back({f.chain[0], ft});
+  }
+  const layout::TypeId elem = types.define_struct(st.name, std::move(fields));
+  return types.array_of(elem, st.extent);
+}
+
+/// T1, full interleave: SoA -> one AoS structure holding every field.
+std::optional<Candidate> t1_soa_to_aos(const StructProfile& st) {
+  for (const FieldProfile& f : st.fields) {
+    if (f.wildcards != 1) return {};  // scalar members cannot interleave
+  }
+  RuleSet set;
+  layout::TypeTable& types = set.types();
+  const layout::TypeId in_type = build_soa_in(types, st);
+  if (in_type == layout::kInvalidType) return {};
+  std::vector<layout::PendingField> out_fields;
+  for (const FieldProfile& f : st.fields) {
+    out_fields.push_back({f.chain[0], leaf_type(types, f.leaf_size)});
+  }
+  const layout::TypeId out_st =
+      types.define_struct(st.name + "_aos", std::move(out_fields));
+  StructRule rule;
+  rule.in_name = st.name;
+  rule.in_type = in_type;
+  rule.outs.push_back({st.name + "_aos", types.array_of(out_st, st.extent)});
+  set.add(std::move(rule));
+  return seal(std::move(set), "t1:" + st.name + ":aos", "T1", st.name,
+              "structure of arrays; interleaving all " +
+                  std::to_string(st.fields.size()) +
+                  " parallel arrays puts co-accessed elements on one line");
+}
+
+/// T1, full scatter: AoS -> one structure of arrays.
+std::optional<Candidate> t1_aos_to_soa(const StructProfile& st) {
+  for (const FieldProfile& f : st.fields) {
+    if (f.chain.size() != 1 || f.wildcards != 1) return {};
+  }
+  RuleSet set;
+  layout::TypeTable& types = set.types();
+  const layout::TypeId in_type = build_aos_in(types, st);
+  if (in_type == layout::kInvalidType) return {};
+  std::vector<layout::PendingField> out_fields;
+  for (const FieldProfile& f : st.fields) {
+    out_fields.push_back({f.chain[0], types.array_of(
+                                          leaf_type(types, f.leaf_size),
+                                          st.extent)});
+  }
+  types.define_struct(st.name + "_soa", std::move(out_fields));
+  StructRule rule;
+  rule.in_name = st.name;
+  rule.in_type = in_type;
+  rule.outs.push_back(
+      {st.name + "_soa", types.find_struct(st.name + "_soa")});
+  set.add(std::move(rule));
+  return seal(std::move(set), "t1:" + st.name + ":soa", "T1", st.name,
+              "array of structs walked field-wise; splitting into parallel "
+              "arrays removes unused bytes from every fetched line");
+}
+
+/// T1, affinity-guided regrouping: fields clustered by windowed
+/// co-access; each multi-field cluster becomes an interleaved AoS out
+/// structure, singleton clusters become plain arrays.
+std::optional<Candidate> t1_affinity_groups(const StructProfile& st,
+                                            const AutotuneOptions& options) {
+  const std::size_t n = st.fields.size();
+  if (n < 3) return {};  // groupings below 3 fields degenerate to all/none
+  for (const FieldProfile& f : st.fields) {
+    if (f.chain.size() != 1 || f.wildcards != 1) return {};
+  }
+  const std::vector<std::size_t> cluster =
+      affinity_clusters(st, options.affinity_threshold);
+  const std::size_t groups =
+      *std::max_element(cluster.begin(), cluster.end()) + 1;
+  if (groups <= 1 || groups >= n) return {};  // same as :aos / :soa
+
+  RuleSet set;
+  layout::TypeTable& types = set.types();
+  const layout::TypeId in_type = st.shape == StructShape::Soa
+                                     ? build_soa_in(types, st)
+                                     : build_aos_in(types, st);
+  if (in_type == layout::kInvalidType) return {};
+
+  StructRule rule;
+  rule.in_name = st.name;
+  rule.in_type = in_type;
+  std::string grouping;
+  for (std::size_t g = 0; g < groups; ++g) {
+    std::vector<layout::PendingField> fields;
+    std::size_t members = 0;
+    for (std::size_t i = 0; i < n; ++i) {
+      if (cluster[i] != g) continue;
+      ++members;
+      fields.push_back({st.fields[i].chain[0],
+                        leaf_type(types, st.fields[i].leaf_size)});
+      if (!grouping.empty()) grouping += members == 1 ? " | " : " ";
+      grouping += st.fields[i].chain[0];
+    }
+    const std::string out_name = st.name + "_g" + std::to_string(g);
+    if (members >= 2) {
+      const layout::TypeId out_st =
+          types.define_struct(out_name, std::move(fields));
+      rule.outs.push_back({out_name, types.array_of(out_st, st.extent)});
+    } else {
+      // Singleton: keep it a plain array so it stops polluting the
+      // interleaved lines.
+      std::vector<layout::PendingField> arr;
+      arr.push_back({fields[0].name,
+                     types.array_of(fields[0].type, st.extent)});
+      rule.outs.push_back(
+          {out_name, types.define_struct(out_name, std::move(arr))});
+    }
+  }
+  set.add(std::move(rule));
+  return seal(std::move(set), "t1:" + st.name + ":affinity", "T1", st.name,
+              "co-access clusters " + grouping +
+                  " regrouped so each cluster shares cache lines");
+}
+
+/// T2, hot/cold outlining: cold nested structures move behind a pointer
+/// into a pool (paper Listing 8); cold leaf fields split into a side
+/// array-of-structs. Requires at least one cold and one hot member.
+std::optional<Candidate> t2_outline(const StructProfile& st,
+                                    const AutotuneOptions& options) {
+  // Group field chains by their leading field name.
+  struct Group {
+    std::string name;
+    std::vector<const FieldProfile*> members;
+    std::uint64_t accesses = 0;
+    bool nested = false;
+  };
+  std::vector<Group> top;
+  for (const FieldProfile& f : st.fields) {
+    if (f.chain.empty()) return {};
+    Group* g = nullptr;
+    for (Group& existing : top) {
+      if (existing.name == f.chain[0]) {
+        g = &existing;
+        break;
+      }
+    }
+    if (g == nullptr) {
+      top.push_back({f.chain[0], {}, 0, false});
+      g = &top.back();
+    }
+    g->members.push_back(&f);
+    g->accesses += f.accesses;
+    g->nested = g->nested || f.chain.size() == 2;
+  }
+  for (const Group& g : top) {
+    for (const FieldProfile* f : g.members) {
+      // Mixed depth under one name (both `f` and `f.x`), deep nesting,
+      // or indexed nested leaves are beyond the rule DSL subset we emit.
+      if (g.nested && (f->chain.size() != 2 || f->wildcards != 1)) return {};
+      if (!g.nested && f->chain.size() != 1) return {};
+    }
+  }
+
+  std::vector<const Group*> hot, cold;
+  for (const Group& g : top) {
+    const double heat = st.accesses == 0
+                            ? 0.0
+                            : static_cast<double>(g.accesses) /
+                                  static_cast<double>(st.accesses);
+    (heat < options.cold_fraction ? cold : hot).push_back(&g);
+  }
+  if (cold.empty() || hot.empty()) return {};
+  for (const Group* g : hot) {
+    if (g->nested) return {};  // hot nested members stay unsupported
+  }
+
+  RuleSet set;
+  layout::TypeTable& types = set.types();
+
+  // In side: nested defs first, then the element struct, in field order.
+  std::vector<layout::PendingField> elem_fields;
+  for (const Group& g : top) {
+    if (g.nested) {
+      std::vector<layout::PendingField> sub;
+      for (const FieldProfile* f : g.members) {
+        const layout::TypeId leaf = leaf_type(types, f->leaf_size);
+        if (leaf == layout::kInvalidType) return {};
+        sub.push_back({f->chain[1], leaf});
+      }
+      elem_fields.push_back({g.name, types.define_struct(g.name,
+                                                         std::move(sub))});
+    } else {
+      const layout::TypeId ft =
+          field_type(types, *g.members[0], g.members[0]->wildcards == 2);
+      if (ft == layout::kInvalidType) return {};
+      elem_fields.push_back({g.name, ft});
+    }
+  }
+  const layout::TypeId in_elem =
+      types.define_struct(st.name, std::move(elem_fields));
+
+  StructRule rule;
+  rule.in_name = st.name;
+  rule.in_type = types.array_of(in_elem, st.extent);
+
+  // Out side: pools first (the parser requires a pool to be declared
+  // before its owner), then the cold-leaf split, then the hot owner.
+  std::string cold_names;
+  std::vector<std::pair<std::string, layout::TypeId>> pools;  // field, struct
+  for (const Group* g : cold) {
+    if (!g->nested) continue;
+    std::vector<layout::PendingField> sub;
+    for (const FieldProfile* f : g->members) {
+      sub.push_back({f->chain[1], leaf_type(types, f->leaf_size)});
+    }
+    const std::string pool_name = st.name + "_" + g->name;
+    const layout::TypeId pool_st =
+        types.define_struct(pool_name, std::move(sub));
+    rule.outs.push_back({pool_name, types.array_of(pool_st, st.extent)});
+    pools.emplace_back(g->name, pool_st);
+    if (!cold_names.empty()) cold_names += ", ";
+    cold_names += g->name;
+  }
+  std::vector<layout::PendingField> cold_leaves;
+  for (const Group* g : cold) {
+    if (g->nested) continue;
+    cold_leaves.push_back(
+        {g->name, field_type(types, *g->members[0],
+                             g->members[0]->wildcards == 2)});
+    if (!cold_names.empty()) cold_names += ", ";
+    cold_names += g->name;
+  }
+  if (!cold_leaves.empty()) {
+    const std::string split_name = st.name + "_cold";
+    const layout::TypeId split_st =
+        types.define_struct(split_name, std::move(cold_leaves));
+    rule.outs.push_back({split_name, types.array_of(split_st, st.extent)});
+  }
+  std::vector<layout::PendingField> owner_fields;
+  for (const Group* g : hot) {
+    owner_fields.push_back(
+        {g->name, field_type(types, *g->members[0],
+                             g->members[0]->wildcards == 2)});
+  }
+  for (const auto& [field, pool_st] : pools) {
+    owner_fields.push_back({field, types.pointer_to(pool_st)});
+  }
+  const std::string owner_name = st.name + "_hot";
+  const layout::TypeId owner_st =
+      types.define_struct(owner_name, std::move(owner_fields));
+  rule.outs.push_back({owner_name, types.array_of(owner_st, st.extent)});
+  for (const auto& [field, pool_st] : pools) {
+    rule.links.push_back(
+        {owner_name, field, st.name + "_" + field});
+  }
+  const bool outlined = !pools.empty();
+  set.add(std::move(rule));
+
+  char pct[32];
+  std::snprintf(pct, sizeof pct, "%.1f", options.cold_fraction * 100.0);
+  return seal(std::move(set),
+              "t2:" + st.name + (outlined ? ":outline" : ":split"), "T2",
+              st.name,
+              "cold member(s) " + cold_names + " (< " + pct +
+                  "% of accesses) " +
+                  (outlined ? "outlined behind a pointer"
+                            : "split into a side structure") +
+                  " so hot lines stay dense");
+}
+
+/// T3-style stride remap: a flat array walked with a dominant non-unit
+/// stride k is regrouped so every k-th element becomes contiguous.
+std::optional<Candidate> t3_stride(const StructProfile& st,
+                                   const AutotuneOptions& options) {
+  if (st.fields.size() != 1) return {};
+  const FieldProfile& f = st.fields[0];
+  const std::int64_t stride = f.dominant_stride();
+  if (stride < 2) return {};
+  const std::uint64_t k = static_cast<std::uint64_t>(stride);
+  const std::uint64_t n = st.extent;
+  if (n < 2 * k) return {};
+
+  RuleSet set;
+  layout::TypeTable& types = set.types();
+  const layout::TypeId elem = leaf_type(types, f.leaf_size);
+  if (elem == layout::kInvalidType) return {};
+
+  // new_index = lI/k + (lI%k) * ceil(n/k): a stride-k walk becomes a
+  // unit-stride walk over the gathered copy.
+  const std::uint64_t columns = (n + k - 1) / k;
+  core::StrideRule rule;
+  rule.in_name = st.name;
+  rule.elem_type = elem;
+  rule.in_count = n;
+  rule.out_name = st.name + "_remap";
+  rule.out_count = k * columns;
+  rule.formula = Formula::binary(
+      Formula::Op::Add,
+      Formula::binary(Formula::Op::Div, Formula::variable("lI"),
+                      Formula::constant(static_cast<std::int64_t>(k))),
+      Formula::binary(
+          Formula::Op::Mul,
+          Formula::binary(Formula::Op::Mod, Formula::variable("lI"),
+                          Formula::constant(static_cast<std::int64_t>(k))),
+          Formula::constant(static_cast<std::int64_t>(columns))));
+  if (options.stride_injects) {
+    // One index-arithmetic load per remapped access, the honest cost of
+    // computing the gathered index (paper Figure 9).
+    rule.injects.push_back({trace::AccessKind::Load, "lSTRIDE", 4});
+  }
+  set.add(std::move(rule));
+  return seal(std::move(set),
+              "t3:" + st.name + ":stride" + std::to_string(k), "T3", st.name,
+              "dominant access stride " + std::to_string(k) +
+                  " over " + std::to_string(n) +
+                  " elements; gathering strided walks into unit stride");
+}
+
+void append(std::vector<Candidate>& out, std::optional<Candidate> c,
+            std::size_t cap) {
+  if (c.has_value() && out.size() < cap) out.push_back(std::move(*c));
+}
+
+/// Simulates `records` through a fresh sweep of `points` and merges L1.
+EvalStats run_sweep(const std::vector<cache::SweepPoint>& points,
+                    const cache::SimOptions& sim,
+                    const cache::PageMapSpec& page, std::size_t jobs,
+                    std::span<const trace::TraceRecord> records) {
+  cache::ParallelSweep sweep(points, sim, page);
+  trace::ParallelOptions po;
+  po.jobs = jobs <= 1 ? 0 : jobs;
+  trace::ParallelFanOut fanout(sweep.sinks(), po);
+  fanout.push_batch(records);
+  fanout.on_end();
+  const cache::LevelStats merged = sweep.merged_l1();
+  EvalStats e;
+  e.accesses = merged.accesses();
+  e.misses = merged.misses();
+  e.miss_ratio = merged.miss_ratio();
+  return e;
+}
+
+std::string json_escape(const std::string& s) {
+  std::string out;
+  out.reserve(s.size() + 2);
+  for (const char c : s) {
+    switch (c) {
+      case '"': out += "\\\""; break;
+      case '\\': out += "\\\\"; break;
+      case '\n': out += "\\n"; break;
+      case '\t': out += "\\t"; break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof buf, "\\u%04x", c);
+          out += buf;
+        } else {
+          out += c;
+        }
+    }
+  }
+  return out;
+}
+
+}  // namespace
+
+const RankedCandidate* AutotuneResult::best() const noexcept {
+  if (ranked.empty() || ranked.front().miss_delta >= 0) return nullptr;
+  return &ranked.front();
+}
+
+std::string AutotuneResult::table() const {
+  TextTable t({"rank", "candidate", "kind", "accesses", "misses",
+               "miss-ratio", "miss-delta", "reduction", "inserted"});
+  char buf[32];
+  auto ratio = [&](double r) {
+    std::snprintf(buf, sizeof buf, "%.4f", r);
+    return std::string(buf);
+  };
+  auto reduction = [&](std::int64_t delta) {
+    if (baseline.misses == 0) return std::string("-");
+    std::snprintf(buf, sizeof buf, "%.1f%%",
+                  -100.0 * static_cast<double>(delta) /
+                      static_cast<double>(baseline.misses));
+    return std::string(buf);
+  };
+  t.add("-", "(baseline)", "-", baseline.accesses, baseline.misses,
+        ratio(baseline.miss_ratio), 0, "0.0%", 0);
+  std::size_t rank = 1;
+  for (const RankedCandidate& rc : ranked) {
+    t.add(rank++, rc.candidate.name, rc.candidate.kind, rc.eval.accesses,
+          rc.eval.misses, ratio(rc.eval.miss_ratio), rc.miss_delta,
+          reduction(rc.miss_delta), rc.eval.inserted);
+  }
+  return t.render();
+}
+
+std::string AutotuneResult::json() const {
+  std::string out = "{\"schema\":\"tdt-autotune/1\",";
+  auto stats = [](const EvalStats& e) {
+    char buf[160];
+    std::snprintf(buf, sizeof buf,
+                  "\"accesses\":%llu,\"misses\":%llu,\"miss_ratio\":%.6f",
+                  static_cast<unsigned long long>(e.accesses),
+                  static_cast<unsigned long long>(e.misses), e.miss_ratio);
+    return std::string(buf);
+  };
+  out += "\"baseline\":{" + stats(baseline) + "},\"candidates\":[";
+  for (std::size_t i = 0; i < ranked.size(); ++i) {
+    const RankedCandidate& rc = ranked[i];
+    if (i != 0) out += ',';
+    out += "{\"name\":\"" + json_escape(rc.candidate.name) + "\",";
+    out += "\"kind\":\"" + json_escape(rc.candidate.kind) + "\",";
+    out += "\"target\":\"" + json_escape(rc.candidate.target) + "\",";
+    out += "\"rationale\":\"" + json_escape(rc.candidate.rationale) + "\",";
+    out += stats(rc.eval) + ",";
+    char buf[120];
+    std::snprintf(buf, sizeof buf,
+                  "\"miss_delta\":%lld,\"rewritten\":%llu,\"inserted\":%llu}",
+                  static_cast<long long>(rc.miss_delta),
+                  static_cast<unsigned long long>(rc.eval.rewritten),
+                  static_cast<unsigned long long>(rc.eval.inserted));
+    out += buf;
+  }
+  out += "]}\n";
+  return out;
+}
+
+std::vector<Candidate> generate_candidates(
+    std::span<const StructProfile> structs, const AutotuneOptions& options) {
+  std::vector<Candidate> out;
+  for (const StructProfile& st : structs) {
+    if (st.accesses < options.min_accesses || st.extent == 0) continue;
+    try {
+      switch (st.shape) {
+        case StructShape::Soa:
+          append(out, t1_soa_to_aos(st), options.max_candidates);
+          append(out, t1_affinity_groups(st, options), options.max_candidates);
+          break;
+        case StructShape::Aos:
+          append(out, t2_outline(st, options), options.max_candidates);
+          append(out, t1_aos_to_soa(st), options.max_candidates);
+          append(out, t1_affinity_groups(st, options), options.max_candidates);
+          break;
+        case StructShape::FlatArray:
+          append(out, t3_stride(st, options), options.max_candidates);
+          break;
+        case StructShape::Unknown:
+          break;
+      }
+    } catch (const Error&) {
+      // A builder tripping over an inexpressible layout (name collisions,
+      // formula overflow, ...) costs that structure its candidates, not
+      // the run.
+    }
+    if (out.size() >= options.max_candidates) break;
+  }
+  return out;
+}
+
+Autotuner::Autotuner(trace::TraceContext& ctx, AutotuneOptions options)
+    : ctx_(&ctx), options_(options) {}
+
+AutotuneResult Autotuner::evaluate(
+    std::span<const trace::TraceRecord> records,
+    std::vector<Candidate> candidates,
+    const std::vector<cache::SweepPoint>& points, cache::SimOptions sim,
+    cache::PageMapSpec page, std::size_t jobs,
+    obs::Registry* registry) const {
+  AutotuneResult result;
+  {
+    obs::PhaseTimer phase(registry, "autotune-baseline");
+    result.baseline = run_sweep(points, sim, page, jobs, records);
+  }
+  for (Candidate& candidate : candidates) {
+    obs::PhaseTimer phase(registry, "autotune:" + candidate.name);
+    // Reparse the serialized form: the scored rule set is exactly the one
+    // a user gets from the emitted file.
+    const RuleSet rules = core::parse_rules(candidate.rules_text);
+    core::TransformStats tstats;
+    const std::vector<trace::TraceRecord> transformed =
+        core::transform_trace(rules, *ctx_, records, {}, &tstats);
+    EvalStats eval = run_sweep(points, sim, page, jobs, transformed);
+    eval.rewritten = tstats.rewritten;
+    eval.inserted = tstats.inserted;
+    RankedCandidate rc;
+    rc.candidate = std::move(candidate);
+    rc.eval = eval;
+    rc.miss_delta = static_cast<std::int64_t>(eval.misses) -
+                    static_cast<std::int64_t>(result.baseline.misses);
+    result.ranked.push_back(std::move(rc));
+  }
+  std::sort(result.ranked.begin(), result.ranked.end(),
+            [](const RankedCandidate& a, const RankedCandidate& b) {
+              if (a.eval.misses != b.eval.misses) {
+                return a.eval.misses < b.eval.misses;
+              }
+              if (a.eval.inserted != b.eval.inserted) {
+                return a.eval.inserted < b.eval.inserted;
+              }
+              return a.candidate.name < b.candidate.name;
+            });
+  if (registry != nullptr) {
+    registry->counter("autotune.candidates").add(result.ranked.size());
+    registry->gauge("autotune.baseline_misses")
+        .set(static_cast<double>(result.baseline.misses));
+    if (const RankedCandidate* best = result.best()) {
+      registry->gauge("autotune.best_misses")
+          .set(static_cast<double>(best->eval.misses));
+      registry->gauge("autotune.best_delta")
+          .set(static_cast<double>(best->miss_delta));
+    }
+  }
+  return result;
+}
+
+}  // namespace tdt::analysis

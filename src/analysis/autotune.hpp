@@ -1,0 +1,113 @@
+// The layout autotuner (docs/AUTOTUNE.md): turns affinity/heat profiles
+// (analysis/affinity.hpp) into concrete candidate RuleSets — T1 SoA<->AoS
+// regrouping driven by affinity clusters, T2 hot/cold outlining of fields
+// below a heat threshold, T3-style stride remaps for non-unit dominant
+// strides — then evaluates every candidate by replaying the trace through
+// the TraceTransformer into a cache sweep and ranking by simulated miss
+// reduction against the untransformed baseline.
+//
+// Candidates are built programmatically, serialized to the rules DSL
+// (core::write_rules), and REPARSED before evaluation: the RuleSet that
+// is scored is bit-for-bit the one a user gets by feeding the emitted
+// file to `dinerosim --rules`.
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <string>
+#include <vector>
+
+#include "analysis/affinity.hpp"
+#include "cache/sweep.hpp"
+#include "trace/record.hpp"
+#include "util/obs.hpp"
+
+namespace tdt::analysis {
+
+/// Candidate-generation and evaluation knobs.
+struct AutotuneOptions {
+  /// Structures with fewer accesses than this are not worth transforming.
+  std::uint64_t min_accesses = 64;
+  /// A field whose share of its structure's accesses is below this is
+  /// cold (T2 outlining candidate).
+  double cold_fraction = 0.10;
+  /// Normalized co-access (StructProfile::affinity_norm) at or above
+  /// which two fields are clustered into the same out structure (T1).
+  double affinity_threshold = 0.5;
+  /// Cap on generated candidates (hottest structures win).
+  std::size_t max_candidates = 16;
+  /// Model the index-arithmetic load a stride remap adds per access
+  /// (paper Figure 9) as an injected scalar load.
+  bool stride_injects = true;
+};
+
+/// One generated transformation, carried as serialized rule text.
+struct Candidate {
+  std::string name;       ///< e.g. "t2:lS1:outline"
+  std::string kind;       ///< "T1" | "T2" | "T3"
+  std::string target;     ///< structure the rule matches
+  std::string rationale;  ///< why the generator proposed it
+  std::string rules_text; ///< rules-DSL serialization (parse_rules input)
+};
+
+/// Simulated cost of one trace variant.
+struct EvalStats {
+  std::uint64_t accesses = 0;
+  std::uint64_t misses = 0;
+  double miss_ratio = 0.0;
+  std::uint64_t rewritten = 0;  ///< records remapped by the rule set
+  std::uint64_t inserted = 0;   ///< indirection/inject records added
+};
+
+/// A candidate with its evaluation, ranked against the baseline.
+struct RankedCandidate {
+  Candidate candidate;
+  EvalStats eval;
+  /// eval.misses - baseline.misses; negative = fewer misses than baseline.
+  std::int64_t miss_delta = 0;
+};
+
+/// Outcome of one autotuning run.
+struct AutotuneResult {
+  EvalStats baseline;
+  std::vector<RankedCandidate> ranked;  ///< fewest misses first
+
+  /// Best candidate that strictly beats the baseline; nullptr when none.
+  [[nodiscard]] const RankedCandidate* best() const noexcept;
+
+  /// Ranked table for terminal output.
+  [[nodiscard]] std::string table() const;
+
+  /// JSON report (schema tdt-autotune/1).
+  [[nodiscard]] std::string json() const;
+};
+
+/// Generates candidate rule sets from finalized profiles, hottest
+/// structure first, capped at options.max_candidates.
+[[nodiscard]] std::vector<Candidate> generate_candidates(
+    std::span<const StructProfile> structs, const AutotuneOptions& options = {});
+
+/// Evaluates candidates over an in-memory trace. Each candidate's rule
+/// text is reparsed, applied with default TransformOptions (matching
+/// `dinerosim --rules`), and simulated through a fresh ParallelSweep of
+/// `points`; results merge across points (cache::ParallelSweep::merged_l1).
+/// `jobs` threads drive each sweep (0 = inline; results are identical at
+/// any job count). When `registry` is non-null, autotune.* metrics and
+/// per-candidate spans are recorded.
+class Autotuner {
+ public:
+  explicit Autotuner(trace::TraceContext& ctx, AutotuneOptions options = {});
+
+  [[nodiscard]] AutotuneResult evaluate(
+      std::span<const trace::TraceRecord> records,
+      std::vector<Candidate> candidates,
+      const std::vector<cache::SweepPoint>& points,
+      cache::SimOptions sim = {}, cache::PageMapSpec page = {},
+      std::size_t jobs = 0, obs::Registry* registry = nullptr) const;
+
+ private:
+  trace::TraceContext* ctx_;
+  AutotuneOptions options_;
+};
+
+}  // namespace tdt::analysis

@@ -78,6 +78,8 @@ struct CacheConfig {
 
   /// One-line description, e.g. "L1 32 KiB, 32 B blocks, 1-way, lru".
   [[nodiscard]] std::string describe() const;
+
+  friend bool operator==(const CacheConfig&, const CacheConfig&) = default;
 };
 
 /// The direct-mapped cache of Figures 3-7: 32 KiB, 32 B blocks, 1-way.

@@ -91,11 +91,13 @@ std::string SweepPoint::label() const {
 
 std::vector<SweepPoint> parse_sweep_spec(
     std::string_view spec, const CacheConfig& base,
-    const std::vector<CacheConfig>& extra_levels) {
+    const std::vector<CacheConfig>& extra_levels,
+    std::vector<std::string>* warnings) {
   if (trim(spec).empty()) {
     throw_config_error("sweep spec is empty");
   }
   std::vector<SweepPoint> points;
+  std::size_t point_index = 0;
   for (std::string_view point_spec : split(spec, ';')) {
     CacheConfig config = base;
     point_spec = trim(point_spec);
@@ -117,7 +119,25 @@ std::vector<SweepPoint> parse_sweep_spec(
     point.levels.push_back(std::move(config));
     point.levels.insert(point.levels.end(), extra_levels.begin(),
                         extra_levels.end());
-    points.push_back(std::move(point));
+    // Two spellings can resolve to the same configuration ("assoc=1" vs
+    // "size=32k,assoc=1" under the default base); keep the first.
+    bool duplicate = false;
+    for (const SweepPoint& existing : points) {
+      if (existing.levels == point.levels) {
+        duplicate = true;
+        break;
+      }
+    }
+    if (duplicate) {
+      if (warnings != nullptr) {
+        warnings->push_back("duplicate sweep point " +
+                            std::to_string(point_index) + " ('" +
+                            point.label() + "') dropped");
+      }
+    } else {
+      points.push_back(std::move(point));
+    }
+    ++point_index;
   }
   if (points.empty()) {
     throw_config_error("sweep spec is empty");

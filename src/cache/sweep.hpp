@@ -58,11 +58,15 @@ struct SweepPoint {
 /// Keys: size (accepts k/K/m/M suffixes), block, assoc, repl|replacement
 /// (lru|fifo|random|rr), prefetch (none|always|miss|tagged). An empty
 /// point means "base unchanged". `extra_levels` (e.g. a shared L2) is
-/// appended to every point. Throws Error{Config} on unknown keys or
-/// invalid geometry.
+/// appended to every point. Points that resolve to a configuration
+/// already present in the list are dropped (simulating the same hierarchy
+/// twice wastes a worker and skews merged totals); each drop appends a
+/// message to `warnings` when non-null. Throws Error{Config} on unknown
+/// keys or invalid geometry.
 [[nodiscard]] std::vector<SweepPoint> parse_sweep_spec(
     std::string_view spec, const CacheConfig& base,
-    const std::vector<CacheConfig>& extra_levels = {});
+    const std::vector<CacheConfig>& extra_levels = {},
+    std::vector<std::string>* warnings = nullptr);
 
 /// Owns the per-point simulation state for a one-pass sweep.
 class ParallelSweep {

@@ -356,4 +356,25 @@ std::string render_rule(const layout::TypeTable& types,
   return out;
 }
 
+std::string write_rules_string(const RuleSet& set) {
+  std::string out;
+  for (const TransformRule& rule : set.rules()) {
+    out += render_rule(set.types(), rule);
+  }
+  return out;
+}
+
+void write_rules(const RuleSet& set, std::ostream& out) {
+  const std::string text = write_rules_string(set);
+  out.write(text.data(), static_cast<std::streamsize>(text.size()));
+}
+
+void write_rules_file(const RuleSet& set, const std::string& path) {
+  std::ofstream out(path);
+  if (!out) {
+    throw_io_error("cannot open rule file '" + path + "' for writing");
+  }
+  write_rules(set, out);
+}
+
 }  // namespace tdt::core

@@ -18,6 +18,7 @@
 //     int lSetHashingArray[16384((lI/8)*(16*8)+(lI%8))];
 #pragma once
 
+#include <iosfwd>
 #include <string>
 #include <string_view>
 
@@ -36,5 +37,18 @@ namespace tdt::core {
 /// Renders a rule back to canonical DSL text (round-trip/debugging aid).
 [[nodiscard]] std::string render_rule(const layout::TypeTable& types,
                                       const TransformRule& rule);
+
+/// Serializes every rule of `set` in canonical DSL text, in rule order.
+/// The output reparses with parse_rules() to an equivalent RuleSet
+/// (same rules, same layouts) and re-serializes to identical text — the
+/// round-trip contract the autotuner's candidate generator relies on.
+void write_rules(const RuleSet& set, std::ostream& out);
+
+/// String form of write_rules.
+[[nodiscard]] std::string write_rules_string(const RuleSet& set);
+
+/// Writes a rule file to disk. Throws Error{Io} when the file cannot be
+/// opened.
+void write_rules_file(const RuleSet& set, const std::string& path);
 
 }  // namespace tdt::core

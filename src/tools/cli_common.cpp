@@ -1,0 +1,145 @@
+#include "tools/cli_common.hpp"
+
+#include <cstdio>
+#include <iostream>
+
+#include "util/error.hpp"
+
+namespace tdt::tools {
+
+CommonFlags CommonFlags::add(FlagParser& flags, CommonFlagChoices choices) {
+  CommonFlags f;
+  if (choices.error_policy) {
+    f.on_error = flags.add_string(
+        "on-error", "strict", "malformed-input policy: strict|skip|repair");
+    f.max_errors = flags.add_uint(
+        "max-errors", DiagEngine::kDefaultMaxErrors,
+        "give up after this many recovered errors (0 = unlimited)");
+  }
+  if (choices.jobs) {
+    f.jobs = flags.add_uint(
+        "jobs", 1, "worker threads for the one-pass pipeline (1 = inline; "
+                   "results are identical at any job count)");
+  }
+  f.metrics_json = flags.add_string(
+      "metrics-json", "",
+      "write a tdt-metrics/1 JSON metrics snapshot to this file");
+  f.trace_spans = flags.add_string(
+      "trace-spans", "",
+      "write a Chrome trace_event span file (Perfetto-loadable) here");
+  f.progress = flags.add_bool(
+      "progress", false, "periodic one-line records/s heartbeat on stderr");
+  return f;
+}
+
+DiagEngine CommonFlags::make_diags() const {
+  internal_check(on_error != nullptr, "tool did not register --on-error");
+  DiagEngine diags(parse_error_policy(*on_error), *max_errors);
+  diags.set_echo(&std::cerr);
+  return diags;
+}
+
+CacheFlags CacheFlags::add(FlagParser& flags) {
+  CacheFlags f;
+  f.size = flags.add_uint("size", 32768, "cache bytes");
+  f.block = flags.add_uint("block", 32, "block bytes");
+  f.assoc =
+      flags.add_uint("assoc", 1, "ways per set (0 = fully associative)");
+  f.repl = flags.add_string("repl", "lru", "lru|fifo|random|rr");
+  flags.add_deprecated_alias("replacement", "repl");
+  f.prefetch = flags.add_string(
+      "prefetch", "none", "L1 prefetch: none|always|miss|tagged");
+  f.l2_size = flags.add_uint(
+      "l2-size", 0, "add an L2 level of this many bytes (0 = none)");
+  f.l2_assoc = flags.add_uint("l2-assoc", 8, "L2 ways per set");
+  f.l2_block = flags.add_uint("l2-block", 64, "L2 block bytes");
+  f.page_policy = flags.add_string(
+      "page-policy", "identity",
+      "virtual->physical mapping: identity|first-touch|random");
+  f.page_size = flags.add_uint("page-size", 4096, "page bytes");
+  f.page_frames = flags.add_uint(
+      "page-frames", 0, "physical frame count (0 = unbounded)");
+  f.page_seed = flags.add_uint("page-seed", 1, "random page policy seed");
+  f.modify_rw = flags.add_bool(
+      "modify-read-write", false,
+      "count Modify as a read followed by a write (DineroIV style)");
+  return f;
+}
+
+cache::CacheConfig CacheFlags::l1_geometry() const {
+  cache::CacheConfig config;
+  config.size = *size;
+  config.block_size = *block;
+  config.assoc = static_cast<std::uint32_t>(*assoc);
+  return config;
+}
+
+cache::CacheConfig CacheFlags::l1() const {
+  cache::CacheConfig config = l1_geometry();
+  config.replacement = parse_replacement(*repl);
+  config.prefetch = cache::parse_prefetch_policy(*prefetch);
+  return config;
+}
+
+std::vector<cache::CacheConfig> CacheFlags::extra_levels() const {
+  std::vector<cache::CacheConfig> levels;
+  if (*l2_size != 0) {
+    cache::CacheConfig l2;
+    l2.name = "L2";
+    l2.size = *l2_size;
+    l2.assoc = static_cast<std::uint32_t>(*l2_assoc);
+    l2.block_size = *l2_block;
+    levels.push_back(l2);
+  }
+  return levels;
+}
+
+cache::PagePolicy CacheFlags::parsed_page_policy() const {
+  return parse_page_policy(*page_policy);
+}
+
+cache::PageMapSpec CacheFlags::page_spec() const {
+  cache::PageMapSpec spec;
+  spec.policy = parsed_page_policy();
+  spec.page_size = *page_size;
+  spec.frames = *page_frames;
+  spec.seed = *page_seed;
+  return spec;
+}
+
+cache::SimOptions CacheFlags::sim_options() const {
+  cache::SimOptions options;
+  options.modify_is_read_write = *modify_rw;
+  return options;
+}
+
+cache::ReplacementPolicy parse_replacement(const std::string& text) {
+  if (text == "round-robin") return cache::ReplacementPolicy::RoundRobin;
+  return cache::parse_replacement_policy(text);
+}
+
+cache::PagePolicy parse_page_policy(const std::string& text) {
+  if (text == "identity") return cache::PagePolicy::Identity;
+  if (text == "first-touch") return cache::PagePolicy::FirstTouch;
+  if (text == "random") return cache::PagePolicy::Random;
+  throw_config_error("unknown page policy '" + text +
+                     "' (identity|first-touch|random)");
+}
+
+int run_tool(const char* tool, const std::function<int()>& body) {
+  try {
+    return body();
+  } catch (const Error& e) {
+    std::fprintf(stderr, "%s: %s\n", tool, e.what());
+    return 2;
+  }
+}
+
+void print_warnings(const char* tool,
+                    const std::vector<std::string>& warnings) {
+  for (const std::string& w : warnings) {
+    std::fprintf(stderr, "%s: warning: %s\n", tool, w.c_str());
+  }
+}
+
+}  // namespace tdt::tools

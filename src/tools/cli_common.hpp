@@ -1,0 +1,114 @@
+// Shared CLI option handling for the five tools (gtracer, dinerosim,
+// tracediff, traceinfo, tdtune). One place registers the common flag
+// block — --on-error/--max-errors, --metrics-json/--trace-spans/
+// --progress, --jobs — so spellings, help text, and defaults cannot
+// drift between tools, and one place implements the exit-code contract
+// (docs/robustness.md): 0 = clean, 1 = completed with recovered errors,
+// 2 = fatal/usage. Deprecated spellings live here too, as hidden aliases
+// that warn once on stderr (see the table in docs/RULES.md).
+#pragma once
+
+#include <functional>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "cache/config.hpp"
+#include "cache/page_map.hpp"
+#include "cache/sim.hpp"
+#include "cache/sweep.hpp"
+#include "util/diag.hpp"
+#include "util/flags.hpp"
+#include "util/obs.hpp"
+
+namespace tdt::tools {
+
+/// Which optional members of the common flag block a tool registers.
+struct CommonFlagChoices {
+  bool error_policy = true;  ///< --on-error / --max-errors
+  bool jobs = false;         ///< --jobs (streaming pipeline tools only)
+};
+
+/// The shared flag block. Register with add() before FlagParser::parse;
+/// the common flags are registered last so every tool's --help ends with
+/// the same block in the same order.
+struct CommonFlags {
+  const std::string* on_error = nullptr;
+  const std::uint64_t* max_errors = nullptr;
+  const std::uint64_t* jobs = nullptr;
+  const std::string* metrics_json = nullptr;
+  const std::string* trace_spans = nullptr;
+  const bool* progress = nullptr;
+
+  static CommonFlags add(FlagParser& flags, CommonFlagChoices choices = {});
+
+  /// Builds the DiagEngine from --on-error/--max-errors with its echo on
+  /// stderr. Only valid when error_policy flags were registered.
+  [[nodiscard]] DiagEngine make_diags() const;
+
+  /// True when any metrics export was requested (the tool should build an
+  /// obs::Registry).
+  [[nodiscard]] bool wants_registry() const {
+    return !metrics_json->empty() || !trace_spans->empty();
+  }
+
+  /// Writes the requested export files; empty paths are skipped.
+  void write(const obs::Registry& registry) const {
+    if (!metrics_json->empty()) registry.write_metrics_file(*metrics_json);
+    if (!trace_spans->empty()) registry.write_spans_file(*trace_spans);
+  }
+};
+
+/// The cache-geometry flag block shared by dinerosim and tdtune: L1
+/// geometry and policies, optional L2, virtual->physical page mapping,
+/// and the Modify-handling switch. Canonical spelling for the
+/// replacement policy is --repl (matching the sweep-spec key); the old
+/// --replacement spelling stays as a deprecated alias.
+struct CacheFlags {
+  const std::uint64_t* size = nullptr;
+  const std::uint64_t* block = nullptr;
+  const std::uint64_t* assoc = nullptr;
+  const std::string* repl = nullptr;
+  const std::string* prefetch = nullptr;
+  const std::uint64_t* l2_size = nullptr;
+  const std::uint64_t* l2_assoc = nullptr;
+  const std::uint64_t* l2_block = nullptr;
+  const std::string* page_policy = nullptr;
+  const std::uint64_t* page_size = nullptr;
+  const std::uint64_t* page_frames = nullptr;
+  const std::uint64_t* page_seed = nullptr;
+  const bool* modify_rw = nullptr;
+
+  static CacheFlags add(FlagParser& flags);
+
+  /// L1 geometry without policies (matches the old dinerosim behaviour of
+  /// applying --repl/--prefetch only where they are meaningful).
+  [[nodiscard]] cache::CacheConfig l1_geometry() const;
+
+  /// L1 geometry plus replacement/prefetch policies.
+  [[nodiscard]] cache::CacheConfig l1() const;
+
+  /// The optional L2 level; empty when --l2-size is 0.
+  [[nodiscard]] std::vector<cache::CacheConfig> extra_levels() const;
+
+  [[nodiscard]] cache::PagePolicy parsed_page_policy() const;
+  [[nodiscard]] cache::PageMapSpec page_spec() const;
+  [[nodiscard]] cache::SimOptions sim_options() const;
+};
+
+/// Parses "lru" | "fifo" | "random" | "rr" | "round-robin".
+[[nodiscard]] cache::ReplacementPolicy parse_replacement(
+    const std::string& text);
+
+/// Parses "identity" | "first-touch" | "random".
+[[nodiscard]] cache::PagePolicy parse_page_policy(const std::string& text);
+
+/// Runs `body` under the shared fatal-error contract: a tdt::Error
+/// escaping it prints "<tool>: <message>" on stderr and yields exit code
+/// 2. Every tool's main() is one line of this.
+int run_tool(const char* tool, const std::function<int()>& body);
+
+/// Prints each warning as "<tool>: warning: <text>" on stderr.
+void print_warnings(const char* tool, const std::vector<std::string>& warnings);
+
+}  // namespace tdt::tools

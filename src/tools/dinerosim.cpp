@@ -16,50 +16,13 @@
 #include <iostream>
 #include <optional>
 
-#include "analysis/advisor.hpp"
-#include "analysis/report.hpp"
-#include "analysis/set_activity.hpp"
-#include "analysis/var_stats.hpp"
-#include "cache/hierarchy.hpp"
-#include "cache/multicore.hpp"
-#include "cache/sim.hpp"
-#include "cache/sweep.hpp"
-#include "core/rule_parser.hpp"
-#include "core/transformer.hpp"
+#include "tdt/tdt.hpp"
+#include "tools/cli_common.hpp"
 #include "tools/obs_support.hpp"
-#include "trace/parallel.hpp"
-#include "trace/stream.hpp"
-#include "trace/writer.hpp"
-#include "util/diag.hpp"
-#include "util/error.hpp"
-#include "util/flags.hpp"
-#include "util/obs.hpp"
-
-namespace {
-
-using namespace tdt;
-
-cache::ReplacementPolicy parse_replacement(const std::string& s) {
-  if (s == "round-robin") return cache::ReplacementPolicy::RoundRobin;
-  return cache::parse_replacement_policy(s);
-}
-
-cache::PrefetchPolicy parse_prefetch(const std::string& s) {
-  return cache::parse_prefetch_policy(s);
-}
-
-cache::PagePolicy parse_page_policy(const std::string& s) {
-  if (s == "identity") return cache::PagePolicy::Identity;
-  if (s == "first-touch") return cache::PagePolicy::FirstTouch;
-  if (s == "random") return cache::PagePolicy::Random;
-  throw_config_error("unknown page policy '" + s +
-                     "' (identity|first-touch|random)");
-}
-
-}  // namespace
 
 int main(int argc, char** argv) {
-  try {
+  using namespace tdt;
+  return tools::run_tool("dinerosim", [&]() -> int {
     FlagParser flags("dinerosim",
                      "trace-driven cache simulator with transformations");
     const auto* trace_path = flags.add_string("trace", "", "input trace file");
@@ -68,18 +31,6 @@ int main(int argc, char** argv) {
     const auto* xform_out = flags.add_string(
         "xform-out", "", "write the transformed trace here (default "
                          "transformed_trace.out when --rules is given)");
-    const auto* on_error = flags.add_string(
-        "on-error", "strict",
-        "malformed-input policy: strict|skip|repair");
-    const auto* max_errors = flags.add_uint(
-        "max-errors", DiagEngine::kDefaultMaxErrors,
-        "give up after this many recovered errors (0 = unlimited)");
-    const auto* size = flags.add_uint("size", 32768, "cache bytes");
-    const auto* block = flags.add_uint("block", 32, "block bytes");
-    const auto* assoc =
-        flags.add_uint("assoc", 1, "ways per set (0 = fully associative)");
-    const auto* repl =
-        flags.add_string("replacement", "lru", "lru|fifo|random|rr");
     const auto* per_set =
         flags.add_bool("per-set", false, "print per-set activity table");
     const auto* per_var =
@@ -88,49 +39,30 @@ int main(int argc, char** argv) {
         flags.add_bool("conflicts", false, "print eviction conflict pairs");
     const auto* gnuplot = flags.add_string(
         "gnuplot", "", "write <prefix>.dat/.gp for plotting");
-    const auto* l2_size = flags.add_uint(
-        "l2-size", 0, "add an L2 level of this many bytes (0 = none)");
-    const auto* l2_assoc = flags.add_uint("l2-assoc", 8, "L2 ways per set");
-    const auto* l2_block = flags.add_uint("l2-block", 64, "L2 block bytes");
-    const auto* page_policy = flags.add_string(
-        "page-policy", "identity",
-        "virtual->physical mapping: identity|first-touch|random");
-    const auto* page_size = flags.add_uint("page-size", 4096, "page bytes");
-    const auto* page_frames = flags.add_uint(
-        "page-frames", 0, "physical frame count (0 = unbounded)");
-    const auto* page_seed =
-        flags.add_uint("page-seed", 1, "random page policy seed");
-    const auto* modify_rw = flags.add_bool(
-        "modify-read-write", false,
-        "count Modify as a read followed by a write (DineroIV style)");
-    const auto* prefetch = flags.add_string(
-        "prefetch", "none", "L1 prefetch: none|always|miss|tagged");
     const auto* advise =
         flags.add_bool("advise", false, "print transformation suggestions");
     const auto* cores = flags.add_uint(
         "cores", 0, "run a MESI multicore simulation with this many "
                     "private caches instead of the hierarchy (records "
                     "route by thread id)");
-    const auto* jobs = flags.add_uint(
-        "jobs", 1, "worker threads for the one-pass pipeline (1 = inline; "
-                   "results are identical at any job count)");
     const auto* sweep = flags.add_string(
         "sweep", "", "simulate several configurations in one trace pass: "
                      "';'-separated points of ','-separated key=value "
                      "overrides (size|block|assoc|repl|prefetch), e.g. "
                      "\"assoc=1;assoc=2;size=8k,assoc=4\"");
-    const tools::ObsFlags obs_flags = tools::ObsFlags::add(flags);
+    const tools::CacheFlags cache_flags = tools::CacheFlags::add(flags);
+    const tools::CommonFlags common =
+        tools::CommonFlags::add(flags, {.error_policy = true, .jobs = true});
     if (!flags.parse(argc, argv)) return 0;
     if (trace_path->empty()) {
       throw_config_error("--trace is required");
     }
 
     std::optional<obs::Registry> registry_store;
-    if (obs_flags.wants_registry()) registry_store.emplace("dinerosim");
+    if (common.wants_registry()) registry_store.emplace("dinerosim");
     obs::Registry* registry = registry_store ? &*registry_store : nullptr;
 
-    DiagEngine diags(parse_error_policy(*on_error), *max_errors);
-    diags.set_echo(&std::cerr);
+    DiagEngine diags = common.make_diags();
 
     trace::TraceContext ctx;
 
@@ -155,13 +87,11 @@ int main(int argc, char** argv) {
     std::optional<cache::MultiCoreSim> msim;
     std::optional<cache::CacheHierarchy> hierarchy;
     std::optional<cache::TraceCacheSim> sim;
-    cache::PageMapper mapper(parse_page_policy(*page_policy), *page_size,
-                             *page_frames, *page_seed);
+    cache::PageMapper mapper(cache_flags.parsed_page_policy(),
+                             *cache_flags.page_size, *cache_flags.page_frames,
+                             *cache_flags.page_seed);
 
-    cache::CacheConfig config;
-    config.size = *size;
-    config.block_size = *block;
-    config.assoc = static_cast<std::uint32_t>(*assoc);
+    cache::CacheConfig config = cache_flags.l1_geometry();
 
     analysis::SetActivityCollector sets(ctx, config.num_sets());
     analysis::VarStatsCollector vars(ctx);
@@ -169,7 +99,7 @@ int main(int argc, char** argv) {
     analysis::AdjacencyCollector adj(ctx, config.block_size);
 
     trace::ParallelOptions pipeline_options;
-    pipeline_options.jobs = *jobs <= 1 ? 0 : *jobs;
+    pipeline_options.jobs = *common.jobs <= 1 ? 0 : *common.jobs;
     pipeline_options.registry = registry;
 
     std::optional<cache::ParallelSweep> sweep_engine;
@@ -182,31 +112,16 @@ int main(int argc, char** argv) {
             "--sweep cannot be combined with --cores, --per-set, --per-var, "
             "--conflicts, --advise, or --gnuplot");
       }
-      config.replacement = parse_replacement(*repl);
-      config.prefetch = parse_prefetch(*prefetch);
-      std::vector<cache::CacheConfig> extra_levels;
-      if (*l2_size != 0) {
-        cache::CacheConfig l2;
-        l2.name = "L2";
-        l2.size = *l2_size;
-        l2.assoc = static_cast<std::uint32_t>(*l2_assoc);
-        l2.block_size = *l2_block;
-        extra_levels.push_back(l2);
-      }
-      cache::SimOptions sim_options;
-      sim_options.modify_is_read_write = *modify_rw;
-      cache::PageMapSpec page_spec;
-      page_spec.policy = parse_page_policy(*page_policy);
-      page_spec.page_size = *page_size;
-      page_spec.frames = *page_frames;
-      page_spec.seed = *page_seed;
-      sweep_engine.emplace(cache::parse_sweep_spec(*sweep, config,
-                                                   extra_levels),
-                           sim_options, page_spec);
+      std::vector<std::string> warnings;
+      sweep_engine.emplace(
+          cache::parse_sweep_spec(*sweep, cache_flags.l1(),
+                                  cache_flags.extra_levels(), &warnings),
+          cache_flags.sim_options(), cache_flags.page_spec());
+      tools::print_warnings("dinerosim", warnings);
       fanout.emplace(sweep_engine->sinks(), pipeline_options);
       terminal = &*fanout;
     } else if (*cores != 0) {
-      if (*jobs > 1) {
+      if (*common.jobs > 1) {
         throw_config_error("--cores routes records by thread id and cannot "
                            "run with --jobs > 1");
       }
@@ -214,20 +129,13 @@ int main(int argc, char** argv) {
       msim.emplace(*mesi, ctx);
       terminal = &*msim;
     } else {
-      config.replacement = parse_replacement(*repl);
-      config.prefetch = parse_prefetch(*prefetch);
+      config = cache_flags.l1();  // --gnuplot labels carry the policies
       std::vector<cache::CacheConfig> levels{config};
-      if (*l2_size != 0) {
-        cache::CacheConfig l2;
-        l2.name = "L2";
-        l2.size = *l2_size;
-        l2.assoc = static_cast<std::uint32_t>(*l2_assoc);
-        l2.block_size = *l2_block;
-        levels.push_back(l2);
+      for (cache::CacheConfig& level : cache_flags.extra_levels()) {
+        levels.push_back(std::move(level));
       }
       hierarchy.emplace(std::move(levels));
-      cache::SimOptions sim_options;
-      sim_options.modify_is_read_write = *modify_rw;
+      cache::SimOptions sim_options = cache_flags.sim_options();
       if (mapper.policy() != cache::PagePolicy::Identity) {
         sim_options.page_mapper = &mapper;
       }
@@ -237,7 +145,7 @@ int main(int argc, char** argv) {
       if (*conflicts || *advise) sim->add_observer(&conf);
       if (*advise) sim->add_observer(&adj);
       terminal = &*sim;
-      if (*jobs > 1) {
+      if (*common.jobs > 1) {
         // Single-config pipeline: one worker simulates while the reader
         // parses the next batch. Output is identical to the inline run.
         fanout.emplace(std::vector<trace::TraceSink*>{&*sim},
@@ -271,7 +179,7 @@ int main(int argc, char** argv) {
     // Outermost stage: --progress heartbeat on raw input records.
     std::optional<obs::Heartbeat> heartbeat;
     std::optional<trace::ProgressSink> progress_sink;
-    if (*obs_flags.progress) {
+    if (*common.progress) {
       heartbeat.emplace("dinerosim", std::cerr);
       progress_sink.emplace(*head, *heartbeat);
       head = &*progress_sink;
@@ -344,11 +252,8 @@ int main(int argc, char** argv) {
         registry->counter("sim.records_simulated")
             .add(sim->records_simulated());
       }
-      obs_flags.write(*registry);
+      common.write(*registry);
     }
     return diags.exit_code();
-  } catch (const Error& e) {
-    std::fprintf(stderr, "dinerosim: %s\n", e.what());
-    return 2;
-  }
+  });
 }

@@ -8,16 +8,9 @@
 #include <iostream>
 #include <optional>
 
+#include "tdt/tdt.hpp"
+#include "tools/cli_common.hpp"
 #include "tools/obs_support.hpp"
-#include "trace/binary.hpp"
-#include "trace/din.hpp"
-#include "trace/writer.hpp"
-#include "tracer/interp.hpp"
-#include "tracer/kernels.hpp"
-#include "tracer/parser.hpp"
-#include "util/error.hpp"
-#include "util/flags.hpp"
-#include "util/obs.hpp"
 
 namespace {
 
@@ -53,7 +46,7 @@ tracer::Program make_kernel(layout::TypeTable& types, const std::string& name,
 }  // namespace
 
 int main(int argc, char** argv) {
-  try {
+  return tools::run_tool("gtracer", [&]() -> int {
     FlagParser flags("gtracer", "synthetic Gleipnir trace generator");
     const auto* kernel = flags.add_string("kernel", "t1_soa", "kernel name");
     const auto* source = flags.add_string(
@@ -62,7 +55,8 @@ int main(int argc, char** argv) {
     const auto* len = flags.add_int("len", 16, "kernel size parameter LEN/N");
     const auto* sets = flags.add_int("sets", 16, "t3_strided: target set count");
     const auto* line =
-        flags.add_int("cacheline", 32, "t3_strided: cache line bytes");
+        flags.add_int("cache-line", 32, "t3_strided: cache line bytes");
+    flags.add_deprecated_alias("cacheline", "cache-line");
     const auto* shuffle =
         flags.add_bool("shuffle", false, "linked_list: randomize node order");
     const auto* seed = flags.add_uint("seed", 42, "linked_list shuffle seed");
@@ -72,15 +66,16 @@ int main(int argc, char** argv) {
     const auto* din = flags.add_bool(
         "din", false, "write classic DineroIV din format (drops metadata)");
     const auto* pid = flags.add_uint("pid", 4242, "PID for the START marker");
-    const tools::ObsFlags obs_flags = tools::ObsFlags::add(flags);
+    const tools::CommonFlags common =
+        tools::CommonFlags::add(flags, {.error_policy = false});
     if (!flags.parse(argc, argv)) return 0;
 
     std::optional<obs::Registry> registry_store;
-    if (obs_flags.wants_registry()) registry_store.emplace("gtracer");
+    if (common.wants_registry()) registry_store.emplace("gtracer");
     obs::Registry* registry = registry_store ? &*registry_store : nullptr;
 
     std::optional<obs::Heartbeat> heartbeat;
-    if (*obs_flags.progress) heartbeat.emplace("gtracer", std::cerr);
+    if (*common.progress) heartbeat.emplace("gtracer", std::cerr);
 
     layout::TypeTable types;
     trace::TraceContext ctx;
@@ -125,12 +120,8 @@ int main(int argc, char** argv) {
                  source->empty() ? kernel->c_str() : source->c_str());
     if (registry != nullptr) {
       registry->counter("trace.records").add(records.size());
-      obs_flags.write(*registry);
+      common.write(*registry);
     }
     return 0;
-  } catch (const Error& e) {
-    // Shared CLI exit-code contract (docs/robustness.md): 2 = fatal.
-    std::fprintf(stderr, "gtracer: %s\n", e.what());
-    return 2;
-  }
+  });
 }

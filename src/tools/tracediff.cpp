@@ -8,31 +8,21 @@
 // 2 = fatal/usage.
 #include <cstdio>
 #include <iostream>
-
 #include <optional>
 
+#include "tdt/tdt.hpp"
+#include "tools/cli_common.hpp"
 #include "tools/obs_support.hpp"
-#include "trace/diff.hpp"
-#include "trace/stream.hpp"
-#include "util/diag.hpp"
-#include "util/error.hpp"
-#include "util/flags.hpp"
-#include "util/obs.hpp"
 
 int main(int argc, char** argv) {
   using namespace tdt;
-  try {
+  return tools::run_tool("tracediff", [&]() -> int {
     FlagParser flags("tracediff", "side-by-side trace comparison");
     const auto* max_rows =
         flags.add_uint("max-rows", 0, "limit printed rows (0 = all)");
     const auto* summary_only =
         flags.add_bool("summary", false, "print only the summary counts");
-    const auto* on_error = flags.add_string(
-        "on-error", "strict", "malformed-input policy: strict|skip|repair");
-    const auto* max_errors = flags.add_uint(
-        "max-errors", DiagEngine::kDefaultMaxErrors,
-        "give up after this many recovered errors (0 = unlimited)");
-    const tools::ObsFlags obs_flags = tools::ObsFlags::add(flags);
+    const tools::CommonFlags common = tools::CommonFlags::add(flags);
     if (!flags.parse(argc, argv)) return 0;
     if (flags.positional().size() != 2) {
       std::fprintf(stderr,
@@ -41,14 +31,13 @@ int main(int argc, char** argv) {
     }
 
     std::optional<obs::Registry> registry_store;
-    if (obs_flags.wants_registry()) registry_store.emplace("tracediff");
+    if (common.wants_registry()) registry_store.emplace("tracediff");
     obs::Registry* registry = registry_store ? &*registry_store : nullptr;
 
-    DiagEngine diags(parse_error_policy(*on_error), *max_errors);
-    diags.set_echo(&std::cerr);
+    DiagEngine diags = common.make_diags();
 
     std::optional<obs::Heartbeat> heartbeat;
-    if (*obs_flags.progress) heartbeat.emplace("tracediff", std::cerr);
+    if (*common.progress) heartbeat.emplace("tracediff", std::cerr);
 
     trace::TraceContext ctx;
     trace::VectorSink original_sink;
@@ -99,12 +88,9 @@ int main(int argc, char** argv) {
       registry->counter("diff.modified").add(s.modified);
       registry->counter("diff.inserted").add(s.inserted);
       registry->counter("diff.deleted").add(s.deleted);
-      obs_flags.write(*registry);
+      common.write(*registry);
     }
     const bool differs = s.modified + s.inserted + s.deleted != 0;
     return differs || !diags.clean() ? 1 : 0;
-  } catch (const Error& e) {
-    std::fprintf(stderr, "tracediff: %s\n", e.what());
-    return 2;
-  }
+  });
 }

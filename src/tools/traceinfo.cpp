@@ -7,16 +7,11 @@
 // Exit code: 0 = clean, 1 = completed with recovered errors, 2 = fatal.
 #include <cstdio>
 #include <iostream>
-
 #include <optional>
 
+#include "tdt/tdt.hpp"
+#include "tools/cli_common.hpp"
 #include "tools/obs_support.hpp"
-#include "trace/stats.hpp"
-#include "trace/stream.hpp"
-#include "util/diag.hpp"
-#include "util/error.hpp"
-#include "util/flags.hpp"
-#include "util/obs.hpp"
 
 namespace {
 
@@ -41,17 +36,12 @@ class StatsSink final : public tdt::trace::TraceSink {
 
 int main(int argc, char** argv) {
   using namespace tdt;
-  try {
+  return tools::run_tool("traceinfo", [&]() -> int {
     FlagParser flags("traceinfo", "trace statistics");
     const auto* block =
         flags.add_uint("block", 32, "footprint tracking granularity in bytes");
     const auto* top = flags.add_uint("top", 16, "rows per ranking table");
-    const auto* on_error = flags.add_string(
-        "on-error", "strict", "malformed-input policy: strict|skip|repair");
-    const auto* max_errors = flags.add_uint(
-        "max-errors", DiagEngine::kDefaultMaxErrors,
-        "give up after this many recovered errors (0 = unlimited)");
-    const tools::ObsFlags obs_flags = tools::ObsFlags::add(flags);
+    const tools::CommonFlags common = tools::CommonFlags::add(flags);
     if (!flags.parse(argc, argv)) return 0;
     if (flags.positional().size() != 1) {
       std::fprintf(stderr, "usage: traceinfo <trace-file> [flags]\n");
@@ -59,18 +49,17 @@ int main(int argc, char** argv) {
     }
 
     std::optional<obs::Registry> registry_store;
-    if (obs_flags.wants_registry()) registry_store.emplace("traceinfo");
+    if (common.wants_registry()) registry_store.emplace("traceinfo");
     obs::Registry* registry = registry_store ? &*registry_store : nullptr;
 
-    DiagEngine diags(parse_error_policy(*on_error), *max_errors);
-    diags.set_echo(&std::cerr);
+    DiagEngine diags = common.make_diags();
 
     trace::TraceContext ctx;
     StatsSink sink(*block);
     trace::TraceSink* head = &sink;
     std::optional<obs::Heartbeat> heartbeat;
     std::optional<trace::ProgressSink> progress_sink;
-    if (*obs_flags.progress) {
+    if (*common.progress) {
       heartbeat.emplace("traceinfo", std::cerr);
       progress_sink.emplace(sink, *heartbeat);
       head = &*progress_sink;
@@ -91,11 +80,8 @@ int main(int argc, char** argv) {
     }
     if (registry != nullptr) {
       tools::fold_diags(registry, diags);
-      obs_flags.write(*registry);
+      common.write(*registry);
     }
     return diags.exit_code();
-  } catch (const Error& e) {
-    std::fprintf(stderr, "traceinfo: %s\n", e.what());
-    return 2;
-  }
+  });
 }

@@ -42,9 +42,24 @@ class FlagParser {
   /// Registers a boolean switch (`--name` sets true, `--name=false` clears).
   const bool* add_bool(std::string name, bool default_value, std::string help);
 
+  /// Registers `alias` as a hidden deprecated spelling of the existing
+  /// flag `canonical`: it parses exactly like the canonical flag, is kept
+  /// out of --help, and the first use prints a one-line deprecation
+  /// warning to stderr ("<program>: warning: --alias is deprecated; use
+  /// --canonical"). Aliases keep old command lines working byte-identically
+  /// on stdout while the tools converge on one spelling.
+  void add_deprecated_alias(std::string alias, std::string canonical);
+
   /// Parses argv. Throws Error{Config} on unknown flags or bad values.
   /// Returns false (after printing usage to stdout) when --help was given.
   bool parse(int argc, const char* const* argv);
+
+  /// Deprecated aliases used by the last parse() call, in first-use order
+  /// (each listed once).
+  [[nodiscard]] const std::vector<std::string>& deprecated_used()
+      const noexcept {
+    return deprecated_used_;
+  }
 
   /// Positional (non-flag) arguments in order of appearance.
   [[nodiscard]] const std::vector<std::string>& positional() const noexcept {
@@ -68,6 +83,12 @@ class FlagParser {
     bool bool_value = false;
   };
 
+  struct Alias {
+    std::string name;
+    std::string canonical;
+    bool warned = false;
+  };
+
   Flag* find(std::string_view name);
   static void assign(Flag& flag, std::string_view value);
 
@@ -77,7 +98,9 @@ class FlagParser {
   // the vector must never reallocate after the first add; reserve a fixed
   // generous capacity instead.
   std::vector<Flag> flags_;
+  std::vector<Alias> aliases_;
   std::vector<std::string> positional_;
+  std::vector<std::string> deprecated_used_;
 };
 
 }  // namespace tdt

@@ -1,0 +1,172 @@
+#include "analysis/affinity.hpp"
+
+#include <gtest/gtest.h>
+
+#include "trace/reader.hpp"
+
+namespace tdt::analysis {
+namespace {
+
+using trace::TraceContext;
+
+/// Streams pre-parsed records through a collector and finalizes it.
+void run(AffinityCollector& collector,
+         const std::vector<trace::TraceRecord>& records) {
+  for (const trace::TraceRecord& r : records) collector.on_record(r);
+  collector.on_end();
+}
+
+TEST(Affinity, HeatAndReadWriteMix) {
+  TraceContext ctx;
+  const auto records = trace::read_trace_string(
+      ctx,
+      "L 000000000 4 main GS s[0].x\n"
+      "S 000000004 4 main GS s[0].y\n"
+      "M 000000000 4 main GS s[0].x\n"
+      "L 000000010 4 main GS s[1].x\n");
+  AffinityCollector collector(ctx);
+  run(collector, records);
+
+  ASSERT_EQ(collector.structs().size(), 1u);
+  const StructProfile* s = collector.find("s");
+  ASSERT_NE(s, nullptr);
+  EXPECT_EQ(s->accesses, 4u);
+  ASSERT_EQ(s->fields.size(), 2u);
+  // Layout order: x at offset 0, y after it.
+  const FieldProfile& x = s->fields[0];
+  const FieldProfile& y = s->fields[1];
+  EXPECT_EQ(x.pattern, "[*].x");
+  EXPECT_EQ(x.accesses, 3u);
+  EXPECT_EQ(x.reads, 3u);   // two Loads + the Modify's read half
+  EXPECT_EQ(x.writes, 1u);  // the Modify's write half
+  EXPECT_DOUBLE_EQ(x.heat, 0.75);
+  EXPECT_EQ(y.accesses, 1u);
+  EXPECT_EQ(y.writes, 1u);
+  EXPECT_EQ(x.leaf_size, 4u);
+  EXPECT_EQ(s->extent, 2u);  // max element index 1
+}
+
+TEST(Affinity, WindowCoAccessIsBoundedAndDiscriminates) {
+  TraceContext ctx;
+  // x and y interleaved tightly; z only long after both left the window.
+  std::string text;
+  for (int i = 0; i < 32; ++i) {
+    text += "L 000000000 4 main GS s[0].x\n";
+    text += "L 000000008 4 main GS s[0].y\n";
+  }
+  for (int i = 0; i < 64; ++i) {
+    text += "L 000000010 4 main GS s[0].z\n";
+  }
+  const auto records = trace::read_trace_string(ctx, text);
+  AffinityOptions options;
+  options.window = 4;
+  AffinityCollector collector(ctx, options);
+  run(collector, records);
+
+  const StructProfile* s = collector.find("s");
+  ASSERT_NE(s, nullptr);
+  ASSERT_EQ(s->fields.size(), 3u);
+  // Field rows are in layout (offset) order: x, y, z.
+  const double xy = s->affinity_norm(0, 1);
+  const double xz = s->affinity_norm(0, 2);
+  const double yz = s->affinity_norm(1, 2);
+  EXPECT_GT(xy, 0.9);
+  EXPECT_LE(xy, 1.0);  // per-record dedupe keeps the fraction bounded
+  EXPECT_LT(xz, 0.1);
+  // y is the last record before the z run: only the window boundary pairs.
+  EXPECT_LT(yz, 0.1);
+}
+
+TEST(Affinity, StrideHistogramAndDominantStride) {
+  TraceContext ctx;
+  std::string text;
+  for (int i = 0; i < 16; ++i) {
+    char line[64];
+    std::snprintf(line, sizeof line, "L %09x 4 main GS a[%d]\n", i * 16,
+                  i * 4);
+    text += line;
+  }
+  const auto records = trace::read_trace_string(ctx, text);
+  AffinityCollector collector(ctx);
+  run(collector, records);
+
+  const StructProfile* a = collector.find("a");
+  ASSERT_NE(a, nullptr);
+  EXPECT_EQ(a->shape, StructShape::FlatArray);
+  ASSERT_EQ(a->fields.size(), 1u);
+  EXPECT_EQ(a->fields[0].dominant_stride(), 4);
+  EXPECT_EQ(a->extent, 61u);  // max index 15*4, observed extent
+}
+
+TEST(Affinity, ShapeInference) {
+  TraceContext ctx;
+  const auto records = trace::read_trace_string(
+      ctx,
+      "L 000000000 4 main GS soa.x[0]\n"
+      "L 000000100 4 main GS soa.y[0]\n"
+      "L 000001000 4 main GS aos[0].x\n"
+      "L 000001004 4 main GS aos[0].y\n"
+      "L 000002000 4 main GS mixed[0].x\n"
+      "L 000002100 4 main GS mixed.y[0]\n");
+  AffinityCollector collector(ctx);
+  run(collector, records);
+
+  ASSERT_NE(collector.find("soa"), nullptr);
+  EXPECT_EQ(collector.find("soa")->shape, StructShape::Soa);
+  ASSERT_NE(collector.find("aos"), nullptr);
+  EXPECT_EQ(collector.find("aos")->shape, StructShape::Aos);
+  ASSERT_NE(collector.find("mixed"), nullptr);
+  EXPECT_EQ(collector.find("mixed")->shape, StructShape::Unknown);
+}
+
+TEST(Affinity, NestedChainsAndMinorIndices) {
+  TraceContext ctx;
+  const auto records = trace::read_trace_string(
+      ctx,
+      "L 000000000 4 main GS s[0].sub.y\n"
+      "L 000000010 4 main GS s[1].sub.y\n"
+      "L 000000020 4 main GS s[0].arr[3]\n");
+  AffinityCollector collector(ctx);
+  run(collector, records);
+
+  const StructProfile* s = collector.find("s");
+  ASSERT_NE(s, nullptr);
+  const FieldProfile& nested = s->fields[0];
+  EXPECT_EQ(nested.pattern, "[*].sub.y");
+  ASSERT_EQ(nested.chain.size(), 2u);
+  EXPECT_EQ(nested.chain[0], "sub");
+  EXPECT_EQ(nested.chain[1], "y");
+  EXPECT_EQ(nested.wildcards, 1u);
+  const FieldProfile& minor = s->fields[1];
+  EXPECT_EQ(minor.pattern, "[*].arr[*]");
+  EXPECT_EQ(minor.wildcards, 2u);
+  EXPECT_EQ(minor.max_minor_index, 3u);
+}
+
+TEST(Affinity, NonStructureScopesIgnored) {
+  TraceContext ctx;
+  const auto records = trace::read_trace_string(
+      ctx,
+      "L 000000000 4 main GV glScalar\n"
+      "L 000000000 4 main GS s[0].x\n");
+  AffinityCollector collector(ctx);
+  run(collector, records);
+  EXPECT_EQ(collector.records_seen(), 1u);
+}
+
+TEST(Affinity, ReportListsFieldsAndAffinity) {
+  TraceContext ctx;
+  const auto records = trace::read_trace_string(
+      ctx,
+      "L 000000000 4 main GS s[0].x\n"
+      "L 000000004 4 main GS s[0].y\n");
+  AffinityCollector collector(ctx);
+  run(collector, records);
+  const std::string report = collector.report();
+  EXPECT_NE(report.find("[*].x"), std::string::npos);
+  EXPECT_NE(report.find("co-access"), std::string::npos);
+  EXPECT_NE(report.find("aos"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace tdt::analysis

@@ -1,0 +1,172 @@
+#include "analysis/autotune.hpp"
+
+#include <gtest/gtest.h>
+
+#include "analysis/affinity.hpp"
+#include "core/rule_parser.hpp"
+#include "tracer/interp.hpp"
+#include "tracer/kernels.hpp"
+#include "tracer/parser.hpp"
+
+namespace tdt::analysis {
+namespace {
+
+using trace::TraceContext;
+using trace::TraceRecord;
+
+std::string kernel_path(const std::string& name) {
+  return std::string(TDT_KERNELS_DIR) + "/" + name;
+}
+
+/// Profiles a record stream and returns the finalized collector.
+AffinityCollector profile(const TraceContext& ctx,
+                          const std::vector<TraceRecord>& records) {
+  AffinityCollector collector(ctx);
+  for (const TraceRecord& r : records) collector.on_record(r);
+  collector.on_end();
+  return collector;
+}
+
+/// The paper's direct-mapped evaluation cache as a single sweep point.
+std::vector<cache::SweepPoint> paper_point() {
+  cache::CacheConfig l1;
+  l1.size = 32768;
+  l1.block_size = 32;
+  l1.assoc = 1;
+  return {cache::SweepPoint{{l1}}};
+}
+
+TEST(Autotune, OutlinesColdNestedMemberOfListing6Structure) {
+  layout::TypeTable types;
+  TraceContext ctx;
+  const tracer::Program prog =
+      tracer::parse_kernel_file(kernel_path("t2_cold.c"), types);
+  const std::vector<TraceRecord> records =
+      tracer::run_program(types, ctx, prog);
+  const AffinityCollector collector = profile(ctx, records);
+
+  const StructProfile* s1 = collector.find("lS1");
+  ASSERT_NE(s1, nullptr);
+  EXPECT_EQ(s1->shape, StructShape::Aos);
+
+  const std::vector<Candidate> candidates =
+      generate_candidates(collector.structs());
+  ASSERT_EQ(candidates.size(), 1u);
+  const Candidate& c = candidates[0];
+  EXPECT_EQ(c.name, "t2:lS1:outline");
+  EXPECT_EQ(c.kind, "T2");
+  EXPECT_EQ(c.target, "lS1");
+  // The cold nested member is outlined behind a pointer into a pool.
+  EXPECT_NE(c.rules_text.find("+ mRarelyUsed:lS1_mRarelyUsed;"),
+            std::string::npos);
+  EXPECT_NE(c.rules_text.find("struct lS1_hot"), std::string::npos);
+
+  // And the outlined layout must actually beat the baseline.
+  Autotuner tuner(ctx);
+  const AutotuneResult result =
+      tuner.evaluate(records, candidates, paper_point());
+  ASSERT_EQ(result.ranked.size(), 1u);
+  const RankedCandidate* best = result.best();
+  ASSERT_NE(best, nullptr);
+  EXPECT_EQ(best->candidate.name, "t2:lS1:outline");
+  EXPECT_LT(best->miss_delta, 0);
+  EXPECT_LT(best->eval.misses, result.baseline.misses);
+  EXPECT_GT(best->eval.inserted, 0u);  // pointer indirection is charged
+}
+
+TEST(Autotune, InterleavesCoAccessedStructureOfArrays) {
+  layout::TypeTable types;
+  TraceContext ctx;
+  const tracer::Program prog = tracer::make_t1_soa(types, 4096);
+  const std::vector<TraceRecord> records =
+      tracer::run_program(types, ctx, prog);
+  const AffinityCollector collector = profile(ctx, records);
+
+  const StructProfile* soa = collector.find("lSoA");
+  ASSERT_NE(soa, nullptr);
+  EXPECT_EQ(soa->shape, StructShape::Soa);
+
+  const std::vector<Candidate> candidates =
+      generate_candidates(collector.structs());
+  ASSERT_FALSE(candidates.empty());
+  EXPECT_EQ(candidates[0].name, "t1:lSoA:aos");
+  EXPECT_EQ(candidates[0].kind, "T1");
+}
+
+TEST(Autotune, SerializedCandidateRoundTripsThroughTheParser) {
+  layout::TypeTable types;
+  TraceContext ctx;
+  const tracer::Program prog =
+      tracer::parse_kernel_file(kernel_path("t2_cold.c"), types);
+  const std::vector<TraceRecord> records =
+      tracer::run_program(types, ctx, prog);
+  const AffinityCollector collector = profile(ctx, records);
+  const std::vector<Candidate> candidates =
+      generate_candidates(collector.structs());
+  ASSERT_FALSE(candidates.empty());
+
+  // parse -> write must be a fixed point: evaluation scores exactly the
+  // file a user would feed back through `dinerosim --rules`.
+  const core::RuleSet reparsed = core::parse_rules(candidates[0].rules_text);
+  EXPECT_EQ(core::write_rules_string(reparsed), candidates[0].rules_text);
+}
+
+TEST(Autotune, EvaluationIsDeterministic) {
+  layout::TypeTable types;
+  TraceContext ctx;
+  const tracer::Program prog =
+      tracer::parse_kernel_file(kernel_path("t2_cold.c"), types);
+  const std::vector<TraceRecord> records =
+      tracer::run_program(types, ctx, prog);
+  const AffinityCollector collector = profile(ctx, records);
+  const std::vector<Candidate> candidates =
+      generate_candidates(collector.structs());
+
+  Autotuner tuner(ctx);
+  const AutotuneResult a = tuner.evaluate(records, candidates, paper_point());
+  const AutotuneResult b =
+      tuner.evaluate(records, candidates, paper_point(), {}, {}, /*jobs=*/4);
+  ASSERT_EQ(a.ranked.size(), b.ranked.size());
+  EXPECT_EQ(a.baseline.misses, b.baseline.misses);
+  for (std::size_t i = 0; i < a.ranked.size(); ++i) {
+    EXPECT_EQ(a.ranked[i].candidate.name, b.ranked[i].candidate.name);
+    EXPECT_EQ(a.ranked[i].eval.misses, b.ranked[i].eval.misses);
+  }
+}
+
+TEST(Autotune, ColdFractionGateControlsT2) {
+  layout::TypeTable types;
+  TraceContext ctx;
+  // The stock t2_inline kernel touches every field equally: nothing is
+  // cold, so no outline candidate may be proposed.
+  const tracer::Program prog = tracer::make_t2_inline(types, 256);
+  const std::vector<TraceRecord> records =
+      tracer::run_program(types, ctx, prog);
+  const AffinityCollector collector = profile(ctx, records);
+  for (const Candidate& c : generate_candidates(collector.structs())) {
+    EXPECT_NE(c.kind, "T2") << c.name;
+  }
+}
+
+TEST(Autotune, ReportsCarryBaselineAndRanking) {
+  layout::TypeTable types;
+  TraceContext ctx;
+  const tracer::Program prog =
+      tracer::parse_kernel_file(kernel_path("t2_cold.c"), types);
+  const std::vector<TraceRecord> records =
+      tracer::run_program(types, ctx, prog);
+  const AffinityCollector collector = profile(ctx, records);
+  Autotuner tuner(ctx);
+  const AutotuneResult result = tuner.evaluate(
+      records, generate_candidates(collector.structs()), paper_point());
+
+  const std::string table = result.table();
+  EXPECT_NE(table.find("(baseline)"), std::string::npos);
+  EXPECT_NE(table.find("t2:lS1:outline"), std::string::npos);
+  const std::string json = result.json();
+  EXPECT_NE(json.find("\"schema\":\"tdt-autotune/1\""), std::string::npos);
+  EXPECT_NE(json.find("\"miss_delta\":"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace tdt::analysis

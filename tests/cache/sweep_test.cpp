@@ -60,6 +60,35 @@ TEST(SweepSpec, ExtraLevelsAppendToEveryPoint) {
   }
 }
 
+TEST(SweepSpec, DedupesDuplicatePointsWithWarning) {
+  CacheConfig base;
+  std::vector<std::string> warnings;
+  // "assoc=1" twice, plus a different spelling of the base configuration
+  // (the default is already 1-way 32 KiB / 32 B blocks).
+  const auto points = parse_sweep_spec("assoc=1;assoc=2;assoc=1;size=32k",
+                                       base, {}, &warnings);
+  ASSERT_EQ(points.size(), 2u);
+  EXPECT_EQ(points[0].levels[0].assoc, 1u);
+  EXPECT_EQ(points[1].levels[0].assoc, 2u);
+  ASSERT_EQ(warnings.size(), 2u);
+  EXPECT_NE(warnings[0].find("duplicate sweep point 2"), std::string::npos);
+  EXPECT_NE(warnings[1].find("duplicate sweep point 3"), std::string::npos);
+}
+
+TEST(SweepSpec, DedupeConsidersExtraLevelsAndNeverEmptiesTheList) {
+  CacheConfig base;
+  CacheConfig l2;
+  l2.name = "L2";
+  l2.size = 256 * 1024;
+  l2.block_size = 64;
+  l2.assoc = 8;
+  // All duplicates collapse to one point; without a warnings sink the
+  // dedupe is silent.
+  const auto points = parse_sweep_spec(";;", base, {l2});
+  ASSERT_EQ(points.size(), 1u);
+  ASSERT_EQ(points[0].levels.size(), 2u);
+}
+
 TEST(SweepSpec, RejectsMalformedSpecs) {
   CacheConfig base;
   EXPECT_THROW(parse_sweep_spec("bogus=1", base), Error);

@@ -1,0 +1,58 @@
+# API hygiene for in-tree facade clients (docs/RULES.md):
+#  * tools include only the public facade ("tdt/...") and their own
+#    shared plumbing ("tools/..."); examples include only "tdt/...".
+#  * no in-tree tool or example spells a deprecated flag
+#    (--replacement, --cacheline) — those exist solely for users'
+#    existing scripts.
+set(failures "")
+
+file(GLOB tool_sources ${SOURCE_DIR}/src/tools/*.cpp)
+file(GLOB example_sources ${SOURCE_DIR}/examples/*.cpp)
+
+foreach(src ${tool_sources} ${example_sources})
+  # cli_common.cpp IS the "tools/" plumbing implementation; the facade
+  # rule binds its clients (the tool entry points), not the plumbing.
+  if(src MATCHES "cli_common\\.cpp$")
+    continue()
+  endif()
+  file(READ ${src} text)
+  string(REGEX MATCHALL "#include \"[^\"]+\"" includes "${text}")
+  foreach(inc ${includes})
+    string(REGEX REPLACE "#include \"([^\"]+)\"" "\\1" path "${inc}")
+    if(src MATCHES "/src/tools/")
+      if(NOT path MATCHES "^(tdt|tools)/")
+        list(APPEND failures "${src}: internal include \"${path}\"")
+      endif()
+    else()
+      if(NOT path MATCHES "^tdt/")
+        list(APPEND failures "${src}: internal include \"${path}\"")
+      endif()
+    endif()
+  endforeach()
+endforeach()
+
+# The shared CLI plumbing itself may reach into src/ — it IS the
+# implementation layer — but nothing may resurrect a deprecated spelling
+# outside the one add_deprecated_alias registration per flag.
+file(GLOB cli_sources ${SOURCE_DIR}/src/tools/*.cpp ${SOURCE_DIR}/src/tools/*.hpp
+     ${SOURCE_DIR}/examples/*.cpp ${SOURCE_DIR}/tests/cli_smoke.cmake
+     ${SOURCE_DIR}/tests/cli_robustness.cmake ${SOURCE_DIR}/tests/cli_metrics.cmake)
+foreach(src ${cli_sources})
+  file(STRINGS ${src} lines)
+  foreach(line ${lines})
+    if(line MATCHES "^[ \t]*(//|#)")  # prose may name the old spelling
+      continue()
+    endif()
+    if(line MATCHES "--replacement|--cacheline")
+      list(APPEND failures "${src}: deprecated flag spelling: ${line}")
+    endif()
+    if(line MATCHES "add_string\\(\"(replacement|cacheline)\"")
+      list(APPEND failures "${src}: deprecated spelling re-registered: ${line}")
+    endif()
+  endforeach()
+endforeach()
+
+if(NOT failures STREQUAL "")
+  string(REPLACE ";" "\n  " pretty "${failures}")
+  message(FATAL_ERROR "API hygiene violations:\n  ${pretty}")
+endif()

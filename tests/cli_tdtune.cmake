@@ -1,0 +1,99 @@
+# Autotuner loop closure (docs/AUTOTUNE.md): tdtune profiles a trace with
+# a genuinely cold nested member, proposes a T2 outline, and emits the
+# winning rules file. Feeding that file back through `dinerosim --rules`
+# must reproduce tdtune's reported miss counts bit-identically.
+file(MAKE_DIRECTORY ${WORKDIR})
+
+execute_process(
+  COMMAND ${GTRACER} --source ${KERNEL} --out ${WORKDIR}/t2cold.out
+  RESULT_VARIABLE rc)
+if(NOT rc EQUAL 0)
+  message(FATAL_ERROR "gtracer --source failed: ${rc}")
+endif()
+
+execute_process(
+  COMMAND ${TDTUNE} ${WORKDIR}/t2cold.out --sweep "assoc=1"
+          --emit-best ${WORKDIR}/best.rules --json ${WORKDIR}/report.json
+  RESULT_VARIABLE rc OUTPUT_VARIABLE out)
+if(NOT rc EQUAL 0)
+  message(FATAL_ERROR "tdtune failed: ${rc}\n${out}")
+endif()
+if(NOT out MATCHES "t2:lS1:outline")
+  message(FATAL_ERROR "tdtune did not propose the T2 outline:\n${out}")
+endif()
+if(NOT EXISTS ${WORKDIR}/best.rules)
+  message(FATAL_ERROR "tdtune did not write --emit-best")
+endif()
+if(NOT EXISTS ${WORKDIR}/report.json)
+  message(FATAL_ERROR "tdtune did not write --json")
+endif()
+file(READ ${WORKDIR}/report.json json)
+if(NOT json MATCHES "\"schema\":\"tdt-autotune/1\"")
+  message(FATAL_ERROR "JSON report missing schema tag: ${json}")
+endif()
+
+# The reported lines: "baseline: merged L1 totals: ..." and
+# "best (<name>): merged L1 totals: ...".
+string(REGEX MATCH "baseline: (merged L1 totals: [0-9]+ accesses, [0-9]+ misses)"
+       _ "${out}")
+set(baseline_line "${CMAKE_MATCH_1}")
+string(REGEX MATCH "best \\([^)]+\\): (merged L1 totals: [0-9]+ accesses, [0-9]+ misses)"
+       _ "${out}")
+set(best_line "${CMAKE_MATCH_1}")
+if(baseline_line STREQUAL "" OR best_line STREQUAL "")
+  message(FATAL_ERROR "tdtune totals lines missing:\n${out}")
+endif()
+if(baseline_line STREQUAL best_line)
+  message(FATAL_ERROR "best candidate did not change the totals:\n${out}")
+endif()
+
+# Loop closure 1: dinerosim on the raw trace reproduces the baseline.
+execute_process(
+  COMMAND ${DINEROSIM} --trace ${WORKDIR}/t2cold.out --sweep "assoc=1"
+  RESULT_VARIABLE rc OUTPUT_VARIABLE dsim_base)
+if(NOT rc EQUAL 0)
+  message(FATAL_ERROR "dinerosim (baseline) failed: ${rc}")
+endif()
+if(NOT dsim_base MATCHES "${baseline_line}")
+  message(FATAL_ERROR "baseline totals differ:\n"
+                      "tdtune:    ${baseline_line}\n"
+                      "dinerosim: ${dsim_base}")
+endif()
+
+# Loop closure 2: dinerosim with the emitted rules reproduces the
+# winner's totals bit-identically.
+execute_process(
+  COMMAND ${DINEROSIM} --trace ${WORKDIR}/t2cold.out --sweep "assoc=1"
+          --rules ${WORKDIR}/best.rules --xform-out ${WORKDIR}/xform.out
+  RESULT_VARIABLE rc OUTPUT_VARIABLE dsim_best)
+if(NOT rc EQUAL 0)
+  message(FATAL_ERROR "dinerosim (rules) failed: ${rc}")
+endif()
+if(NOT dsim_best MATCHES "${best_line}")
+  message(FATAL_ERROR "best-candidate totals differ:\n"
+                      "tdtune:    ${best_line}\n"
+                      "dinerosim: ${dsim_best}")
+endif()
+
+# Determinism: a threaded evaluation reports the same table.
+execute_process(
+  COMMAND ${TDTUNE} ${WORKDIR}/t2cold.out --sweep "assoc=1" --jobs 4
+  RESULT_VARIABLE rc OUTPUT_VARIABLE out_par)
+if(NOT rc EQUAL 0)
+  message(FATAL_ERROR "tdtune --jobs 4 failed: ${rc}")
+endif()
+if(NOT out STREQUAL out_par)
+  message(FATAL_ERROR "tdtune output differs between --jobs 1 and --jobs 4:\n"
+                      "=== jobs 1 ===\n${out}\n=== jobs 4 ===\n${out_par}")
+endif()
+
+# Deprecated spellings still work, warning once on stderr.
+execute_process(
+  COMMAND ${TDTUNE} ${WORKDIR}/t2cold.out --replacement lru
+  RESULT_VARIABLE rc ERROR_VARIABLE err OUTPUT_QUIET)
+if(NOT rc EQUAL 0)
+  message(FATAL_ERROR "tdtune --replacement (deprecated) failed: ${rc}")
+endif()
+if(NOT err MATCHES "--replacement is deprecated")
+  message(FATAL_ERROR "deprecation warning missing: ${err}")
+endif()

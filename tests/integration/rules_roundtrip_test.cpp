@@ -1,0 +1,103 @@
+// RuleSet serialization round-trip: every shipped rule file must survive
+// parse -> write_rules -> parse with equivalent structure, and the second
+// serialization must be byte-identical to the first (fixed point). This
+// is the contract the autotuner's candidate generator builds on: any
+// RuleSet it constructs programmatically can be written to a rules file a
+// user can keep, edit, and feed back through dinerosim --rules.
+#include <gtest/gtest.h>
+
+#include <fstream>
+#include <sstream>
+
+#include "core/rule_parser.hpp"
+#include "core/rules.hpp"
+
+namespace tdt::core {
+namespace {
+
+const char* const kRuleFiles[] = {
+    TDT_RULES_DIR "/t1_soa_to_aos.rules",
+    TDT_RULES_DIR "/t2_outline_rarely_used.rules",
+    TDT_RULES_DIR "/t3_set_pinning.rules",
+};
+
+std::string read_file(const std::string& path) {
+  std::ifstream in(path);
+  EXPECT_TRUE(in.good()) << "cannot open " << path;
+  std::ostringstream buf;
+  buf << in.rdbuf();
+  return buf.str();
+}
+
+TEST(RulesRoundTrip, ParseWriteParseIsAFixedPoint) {
+  for (const char* path : kRuleFiles) {
+    SCOPED_TRACE(path);
+    const RuleSet first = parse_rules(read_file(path));
+    const std::string text1 = write_rules_string(first);
+    ASSERT_FALSE(text1.empty());
+
+    const RuleSet second = parse_rules(text1);
+    const std::string text2 = write_rules_string(second);
+    EXPECT_EQ(text1, text2);
+  }
+}
+
+TEST(RulesRoundTrip, ReparsedRulesKeepStructure) {
+  for (const char* path : kRuleFiles) {
+    SCOPED_TRACE(path);
+    const RuleSet first = parse_rules(read_file(path));
+    const RuleSet second = parse_rules(write_rules_string(first));
+
+    ASSERT_EQ(first.rules().size(), second.rules().size());
+    for (std::size_t i = 0; i < first.rules().size(); ++i) {
+      const TransformRule& a = first.rules()[i];
+      const TransformRule& b = second.rules()[i];
+      ASSERT_EQ(a.index(), b.index());
+      EXPECT_EQ(rule_in_name(a), rule_in_name(b));
+      if (const auto* sa = std::get_if<StructRule>(&a)) {
+        const auto& sb = std::get<StructRule>(b);
+        EXPECT_EQ(first.types().size_of(sa->in_type),
+                  second.types().size_of(sb.in_type));
+        ASSERT_EQ(sa->outs.size(), sb.outs.size());
+        for (std::size_t o = 0; o < sa->outs.size(); ++o) {
+          EXPECT_EQ(sa->outs[o].name, sb.outs[o].name);
+          EXPECT_EQ(first.types().size_of(sa->outs[o].type),
+                    second.types().size_of(sb.outs[o].type));
+        }
+        ASSERT_EQ(sa->links.size(), sb.links.size());
+        for (std::size_t l = 0; l < sa->links.size(); ++l) {
+          EXPECT_EQ(sa->links[l].owner, sb.links[l].owner);
+          EXPECT_EQ(sa->links[l].field, sb.links[l].field);
+          EXPECT_EQ(sa->links[l].pool, sb.links[l].pool);
+        }
+      } else {
+        const auto& ta = std::get<StrideRule>(a);
+        const auto& tb = std::get<StrideRule>(b);
+        EXPECT_EQ(ta.in_count, tb.in_count);
+        EXPECT_EQ(ta.out_name, tb.out_name);
+        EXPECT_EQ(ta.out_count, tb.out_count);
+        EXPECT_EQ(ta.formula.render(), tb.formula.render());
+        ASSERT_EQ(ta.injects.size(), tb.injects.size());
+        for (std::size_t k = 0; k < ta.injects.size(); ++k) {
+          EXPECT_EQ(ta.injects[k].name, tb.injects[k].name);
+          EXPECT_EQ(ta.injects[k].size, tb.injects[k].size);
+          EXPECT_EQ(ta.injects[k].kind, tb.injects[k].kind);
+        }
+      }
+    }
+    // Validation must stay clean either way.
+    for (const RuleDiagnostic& d : second.validate()) {
+      EXPECT_NE(d.severity, RuleDiagnostic::Severity::Error) << d.message;
+    }
+  }
+}
+
+TEST(RulesRoundTrip, WriteRulesStreamMatchesString) {
+  const RuleSet set = parse_rules(read_file(kRuleFiles[0]));
+  std::ostringstream out;
+  write_rules(set, out);
+  EXPECT_EQ(out.str(), write_rules_string(set));
+}
+
+}  // namespace
+}  // namespace tdt::core
