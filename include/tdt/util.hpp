@@ -2,15 +2,20 @@
 //
 // Error model (tdt::Error), structured diagnostics with the error-
 // recovery policies (tdt::DiagEngine, docs/robustness.md), the CLI flag
-// parser, text tables, and the observability registry with its exporters
-// (docs/OBSERVABILITY.md).
+// parser, text tables, the observability registry with its exporters
+// (docs/OBSERVABILITY.md), deterministic fault injection
+// (tdt::fault::FaultInjector), and resource governance (tdt::Budget /
+// tdt::Governor).
 #pragma once
 
 #include "util/diag.hpp"
 #include "util/error.hpp"
+#include "util/fault.hpp"
 #include "util/flags.hpp"
+#include "util/governor.hpp"
 #include "util/obs.hpp"
 #include "util/table.hpp"
 
-// DiagEngine, Error, FlagParser, TextTable, and obs::Registry already
-// live in namespace tdt / tdt::obs; nothing to re-export.
+// DiagEngine, Error, FlagParser, TextTable, obs::Registry,
+// fault::FaultInjector, Budget, and Governor already live in namespace
+// tdt / tdt::obs / tdt::fault; nothing to re-export.

@@ -1,9 +1,14 @@
 #include "tools/cli_common.hpp"
 
+#include <cctype>
+#include <cerrno>
+#include <csignal>
 #include <cstdio>
+#include <cstdlib>
 #include <iostream>
 
 #include "util/error.hpp"
+#include "util/fault.hpp"
 
 namespace tdt::tools {
 
@@ -20,7 +25,26 @@ CommonFlags CommonFlags::add(FlagParser& flags, CommonFlagChoices choices) {
     f.jobs = flags.add_uint(
         "jobs", 1, "worker threads for the one-pass pipeline (1 = inline; "
                    "results are identical at any job count)");
+    f.worker_timeout = flags.add_string(
+        "worker-timeout", "0",
+        "seconds without worker progress before the watchdog declares it "
+        "stalled and re-simulates its share sequentially (0 = off; "
+        "recovery exits 1)");
   }
+  if (choices.governor) {
+    f.max_memory = flags.add_string(
+        "max-memory", "0",
+        "budget for accounted in-memory state, bytes with optional k/m/g "
+        "suffix (0 = unlimited; exhaustion of a hard requirement exits 2)");
+    f.deadline = flags.add_string(
+        "deadline", "0",
+        "wall-clock seconds before the run stops reading and reports "
+        "partial results with exit code 1 (0 = none)");
+  }
+  f.fault_spec = flags.add_string(
+      "fault-spec", "",
+      "deterministic fault injection spec, e.g. \"seed=7;worker.stall:1:2\" "
+      "(see docs/robustness.md; overrides TDT_FAULT_SPEC)");
   f.metrics_json = flags.add_string(
       "metrics-json", "",
       "write a tdt-metrics/1 JSON metrics snapshot to this file");
@@ -37,6 +61,25 @@ DiagEngine CommonFlags::make_diags() const {
   DiagEngine diags(parse_error_policy(*on_error), *max_errors);
   diags.set_echo(&std::cerr);
   return diags;
+}
+
+void CommonFlags::arm_faults() const {
+  fault::FaultInjector::install_from_env();
+  if (fault_spec != nullptr && !fault_spec->empty()) {
+    fault::FaultInjector::install(*fault_spec);
+  }
+}
+
+double CommonFlags::worker_timeout_seconds() const {
+  if (worker_timeout == nullptr) return 0;
+  return parse_seconds(*worker_timeout, "--worker-timeout");
+}
+
+void CommonFlags::configure(Governor& governor) const {
+  internal_check(max_memory != nullptr,
+                 "tool did not register the governor flags");
+  governor.memory.set_limit(parse_byte_size(*max_memory, "--max-memory"));
+  governor.set_deadline(parse_seconds(*deadline, "--deadline"));
 }
 
 CacheFlags CacheFlags::add(FlagParser& flags) {
@@ -126,13 +169,66 @@ cache::PagePolicy parse_page_policy(const std::string& text) {
                      "' (identity|first-touch|random)");
 }
 
+std::uint64_t parse_byte_size(const std::string& text, const char* flag) {
+  errno = 0;
+  char* end = nullptr;
+  const unsigned long long value = std::strtoull(text.c_str(), &end, 10);
+  if (end == text.c_str() || errno == ERANGE) {
+    throw_config_error(std::string(flag) + ": bad byte count '" + text + "'");
+  }
+  std::uint64_t scale = 1;
+  if (*end != '\0') {
+    switch (std::tolower(static_cast<unsigned char>(*end))) {
+      case 'k': scale = 1ull << 10; break;
+      case 'm': scale = 1ull << 20; break;
+      case 'g': scale = 1ull << 30; break;
+      default:
+        throw_config_error(std::string(flag) + ": bad size suffix in '" +
+                           text + "' (use k, m, or g)");
+    }
+    if (end[1] != '\0') {
+      throw_config_error(std::string(flag) + ": trailing junk in '" + text +
+                         "'");
+    }
+  }
+  if (value > UINT64_MAX / scale) {
+    throw_config_error(std::string(flag) + ": '" + text + "' overflows");
+  }
+  return value * scale;
+}
+
+double parse_seconds(const std::string& text, const char* flag) {
+  errno = 0;
+  char* end = nullptr;
+  const double value = std::strtod(text.c_str(), &end);
+  if (end == text.c_str() || *end != '\0' || errno == ERANGE ||
+      !(value >= 0)) {
+    throw_config_error(std::string(flag) + ": bad duration '" + text +
+                       "' (non-negative seconds)");
+  }
+  return value;
+}
+
 int run_tool(const char* tool, const std::function<int()>& body) {
+  // A downstream reader that goes away (dinerosim | head) must surface
+  // as a write error we can report, not a silent SIGPIPE death.
+  std::signal(SIGPIPE, SIG_IGN);
+  int code;
   try {
-    return body();
+    code = body();
   } catch (const Error& e) {
     std::fprintf(stderr, "%s: %s\n", tool, e.what());
     return 2;
   }
+  // The report goes to stdout through buffered stdio; an EPIPE/ENOSPC on
+  // the final flush is the last chance to notice the output never
+  // arrived (docs/robustness.md: exit 2, diagnostic on stderr).
+  if (std::fflush(stdout) != 0 || std::ferror(stdout) != 0) {
+    std::fprintf(stderr, "%s: error: writing to stdout failed (broken pipe "
+                         "or disk full?); output is incomplete\n", tool);
+    return 2;
+  }
+  return code;
 }
 
 void print_warnings(const char* tool,

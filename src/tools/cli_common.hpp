@@ -19,6 +19,7 @@
 #include "cache/sweep.hpp"
 #include "util/diag.hpp"
 #include "util/flags.hpp"
+#include "util/governor.hpp"
 #include "util/obs.hpp"
 
 namespace tdt::tools {
@@ -26,7 +27,8 @@ namespace tdt::tools {
 /// Which optional members of the common flag block a tool registers.
 struct CommonFlagChoices {
   bool error_policy = true;  ///< --on-error / --max-errors
-  bool jobs = false;         ///< --jobs (streaming pipeline tools only)
+  bool jobs = false;         ///< --jobs / --worker-timeout (pipeline tools)
+  bool governor = false;     ///< --max-memory / --deadline (streaming tools)
 };
 
 /// The shared flag block. Register with add() before FlagParser::parse;
@@ -36,6 +38,10 @@ struct CommonFlags {
   const std::string* on_error = nullptr;
   const std::uint64_t* max_errors = nullptr;
   const std::uint64_t* jobs = nullptr;
+  const std::string* worker_timeout = nullptr;
+  const std::string* max_memory = nullptr;
+  const std::string* deadline = nullptr;
+  const std::string* fault_spec = nullptr;
   const std::string* metrics_json = nullptr;
   const std::string* trace_spans = nullptr;
   const bool* progress = nullptr;
@@ -45,6 +51,20 @@ struct CommonFlags {
   /// Builds the DiagEngine from --on-error/--max-errors with its echo on
   /// stderr. Only valid when error_policy flags were registered.
   [[nodiscard]] DiagEngine make_diags() const;
+
+  /// Arms the process-global fault injector: TDT_FAULT_SPEC first, then
+  /// --fault-spec on top when given (the flag wins). Call once, before
+  /// any trace I/O or pipeline threads. Throws Error{Config} on a bad
+  /// spec.
+  void arm_faults() const;
+
+  /// --worker-timeout in seconds (0 = supervision off). Throws
+  /// Error{Config} on a malformed value.
+  [[nodiscard]] double worker_timeout_seconds() const;
+
+  /// Applies --max-memory/--deadline to `governor`. Only valid when the
+  /// governor flags were registered.
+  void configure(Governor& governor) const;
 
   /// True when any metrics export was requested (the tool should build an
   /// obs::Registry).
@@ -103,9 +123,30 @@ struct CacheFlags {
 /// Parses "identity" | "first-touch" | "random".
 [[nodiscard]] cache::PagePolicy parse_page_policy(const std::string& text);
 
+/// Parses a byte count with an optional k/m/g suffix (binary units,
+/// case-insensitive): "64m" -> 67108864, "4096" -> 4096. Throws
+/// Error{Config} on anything else; 0 means "unlimited".
+[[nodiscard]] std::uint64_t parse_byte_size(const std::string& text,
+                                            const char* flag);
+
+/// Parses a non-negative duration in seconds ("2.5", "0"). Throws
+/// Error{Config} on anything else.
+[[nodiscard]] double parse_seconds(const std::string& text, const char* flag);
+
+/// The exit-code contract's degraded rung: a run that completed but lost
+/// something on the way — a recovered worker, a deadline-truncated
+/// stream — must exit at least 1 even when the diag engine is clean.
+[[nodiscard]] inline int finalize_exit(int diag_exit, bool degraded) noexcept {
+  return degraded && diag_exit < 1 ? 1 : diag_exit;
+}
+
 /// Runs `body` under the shared fatal-error contract: a tdt::Error
 /// escaping it prints "<tool>: <message>" on stderr and yields exit code
-/// 2. Every tool's main() is one line of this.
+/// 2. SIGPIPE is ignored for the duration so a downstream `head -1`
+/// surfaces as a stream error instead of killing the process; after the
+/// body, stdout is flushed and checked — a failed write (EPIPE, ENOSPC)
+/// prints a diagnostic on stderr and yields exit code 2. Every tool's
+/// main() is one line of this.
 int run_tool(const char* tool, const std::function<int()>& body);
 
 /// Prints each warning as "<tool>: warning: <text>" on stderr.

@@ -51,12 +51,15 @@ int main(int argc, char** argv) {
                      "overrides (size|block|assoc|repl|prefetch), e.g. "
                      "\"assoc=1;assoc=2;size=8k,assoc=4\"");
     const tools::CacheFlags cache_flags = tools::CacheFlags::add(flags);
-    const tools::CommonFlags common =
-        tools::CommonFlags::add(flags, {.error_policy = true, .jobs = true});
+    const tools::CommonFlags common = tools::CommonFlags::add(
+        flags, {.error_policy = true, .jobs = true, .governor = true});
     if (!flags.parse(argc, argv)) return 0;
     if (trace_path->empty()) {
       throw_config_error("--trace is required");
     }
+    common.arm_faults();
+    Governor governor;
+    common.configure(governor);
 
     std::optional<obs::Registry> registry_store;
     if (common.wants_registry()) registry_store.emplace("dinerosim");
@@ -101,6 +104,8 @@ int main(int argc, char** argv) {
     trace::ParallelOptions pipeline_options;
     pipeline_options.jobs = *common.jobs <= 1 ? 0 : *common.jobs;
     pipeline_options.registry = registry;
+    pipeline_options.worker_timeout = common.worker_timeout_seconds();
+    pipeline_options.memory = &governor.memory;
 
     std::optional<cache::ParallelSweep> sweep_engine;
     std::optional<trace::ParallelFanOut> fanout;
@@ -185,9 +190,17 @@ int main(int argc, char** argv) {
       head = &*progress_sink;
     }
 
+    trace::StreamResult stream_result;
     {
       obs::PhaseTimer phase(registry, "stream");
-      trace::stream_trace_file(ctx, *trace_path, *head, &diags, registry);
+      stream_result = trace::stream_trace_file(ctx, *trace_path, *head,
+                                               &diags, registry, &governor);
+    }
+    if (stream_result.deadline_hit) {
+      std::fprintf(stderr,
+                   "dinerosim: deadline expired after %llu records; "
+                   "results below cover that prefix only\n",
+                   static_cast<unsigned long long>(stream_result.records));
     }
 
     if (transformer.has_value()) {
@@ -230,8 +243,31 @@ int main(int argc, char** argv) {
 
     report_phase.stop();
 
+    bool degraded = stream_result.deadline_hit;
     if (fanout.has_value()) {
-      std::fputs(fanout->counters().summary().c_str(), stderr);
+      const trace::PipelineCounters& fc = fanout->counters();
+      std::fputs(fc.summary().c_str(), stderr);
+      if (fc.recovered_workers > 0) {
+        // Stalls are the watchdog's catch (P001); throws and premature
+        // exits surface at join (P002). Either way the replay restored
+        // full results, so these are warnings — but the run was
+        // degraded, and finalize_exit floors the code at 1.
+        const std::string tail =
+            " worker(s) by sequential re-simulation; results are complete";
+        if (fc.stalled_workers > 0) {
+          diags.report(DiagSeverity::Warning, DiagCode::PipeWorkerStalled,
+                       "recovered " + std::to_string(fc.stalled_workers) +
+                           " stalled" + tail);
+        }
+        if (fc.recovered_workers > fc.stalled_workers) {
+          diags.report(
+              DiagSeverity::Warning, DiagCode::PipeWorkerFailed,
+              "recovered " +
+                  std::to_string(fc.recovered_workers - fc.stalled_workers) +
+                  " failed" + tail);
+        }
+        degraded = true;
+      }
     }
     const std::string summary = diags.summary();
     if (!summary.empty()) {
@@ -252,8 +288,9 @@ int main(int argc, char** argv) {
         registry->counter("sim.records_simulated")
             .add(sim->records_simulated());
       }
+      governor.fold(registry);
       common.write(*registry);
     }
-    return diags.exit_code();
+    return tools::finalize_exit(diags.exit_code(), degraded);
   });
 }

@@ -69,6 +69,7 @@ int main(int argc, char** argv) {
     const tools::CommonFlags common =
         tools::CommonFlags::add(flags, {.error_policy = false});
     if (!flags.parse(argc, argv)) return 0;
+    common.arm_faults();
 
     std::optional<obs::Registry> registry_store;
     if (common.wants_registry()) registry_store.emplace("gtracer");

@@ -63,8 +63,8 @@ int main(int argc, char** argv) {
                      "spec syntax as dinerosim --sweep (empty = the "
                      "single configuration from the cache flags)");
     const tools::CacheFlags cache = tools::CacheFlags::add(flags);
-    const tools::CommonFlags common =
-        tools::CommonFlags::add(flags, {.error_policy = true, .jobs = true});
+    const tools::CommonFlags common = tools::CommonFlags::add(
+        flags, {.error_policy = true, .jobs = true, .governor = true});
     if (!flags.parse(argc, argv)) return 0;
 
     std::string trace_path = *trace_flag;
@@ -78,6 +78,9 @@ int main(int argc, char** argv) {
     if (trace_path.empty()) {
       throw_config_error("a trace file is required (positional or --trace)");
     }
+    common.arm_faults();
+    Governor governor;
+    common.configure(governor);
 
     std::optional<obs::Registry> registry_store;
     if (common.wants_registry()) registry_store.emplace("tdtune");
@@ -91,7 +94,9 @@ int main(int argc, char** argv) {
     analysis::AffinityOptions profile_options;
     profile_options.window = static_cast<std::uint32_t>(*window);
     analysis::AffinityCollector affinity(ctx, profile_options);
-    trace::VectorSink recorder;
+    // The recorded trace is replayed once per candidate: a hard
+    // requirement under --max-memory (exhaustion exits 2).
+    trace::VectorSink recorder(&governor.memory);
     trace::TeeSink tee(std::vector<trace::TraceSink*>{&recorder, &affinity});
     trace::TraceSink* head = &tee;
     std::optional<obs::Heartbeat> heartbeat;
@@ -101,9 +106,17 @@ int main(int argc, char** argv) {
       progress_sink.emplace(*head, *heartbeat);
       head = &*progress_sink;
     }
+    trace::StreamResult stream_result;
     {
       obs::PhaseTimer phase(registry, "stream");
-      trace::stream_trace_file(ctx, trace_path, *head, &diags, registry);
+      stream_result = trace::stream_trace_file(ctx, trace_path, *head, &diags,
+                                               registry, &governor);
+    }
+    if (stream_result.deadline_hit) {
+      std::fprintf(stderr,
+                   "tdtune: deadline expired after %llu records; tuning on "
+                   "that prefix only\n",
+                   static_cast<unsigned long long>(stream_result.records));
     }
     const std::vector<trace::TraceRecord> records = recorder.take();
 
@@ -199,8 +212,10 @@ int main(int argc, char** argv) {
     if (!summary.empty()) std::fprintf(stderr, "tdtune: %s", summary.c_str());
     if (registry != nullptr) {
       tools::fold_diags(registry, diags);
+      governor.fold(registry);
       common.write(*registry);
     }
-    return diags.exit_code();
+    return tools::finalize_exit(diags.exit_code(),
+                                stream_result.deadline_hit);
   });
 }

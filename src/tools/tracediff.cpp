@@ -22,13 +22,17 @@ int main(int argc, char** argv) {
         flags.add_uint("max-rows", 0, "limit printed rows (0 = all)");
     const auto* summary_only =
         flags.add_bool("summary", false, "print only the summary counts");
-    const tools::CommonFlags common = tools::CommonFlags::add(flags);
+    const tools::CommonFlags common =
+        tools::CommonFlags::add(flags, {.governor = true});
     if (!flags.parse(argc, argv)) return 0;
     if (flags.positional().size() != 2) {
       std::fprintf(stderr,
                    "usage: tracediff <original> <transformed> [flags]\n");
       return 2;
     }
+    common.arm_faults();
+    Governor governor;
+    common.configure(governor);
 
     std::optional<obs::Registry> registry_store;
     if (common.wants_registry()) registry_store.emplace("tracediff");
@@ -40,8 +44,12 @@ int main(int argc, char** argv) {
     if (*common.progress) heartbeat.emplace("tracediff", std::cerr);
 
     trace::TraceContext ctx;
-    trace::VectorSink original_sink;
-    trace::VectorSink transformed_sink;
+    // Both traces must be memory-resident for the diff: a hard
+    // requirement under --max-memory (exhaustion exits 2, never a
+    // silently truncated diff).
+    trace::VectorSink original_sink(&governor.memory);
+    trace::VectorSink transformed_sink(&governor.memory);
+    bool deadline_hit = false;
     for (int side = 0; side < 2; ++side) {
       trace::VectorSink& sink = side == 0 ? original_sink : transformed_sink;
       trace::TraceSink* head = &sink;
@@ -54,8 +62,13 @@ int main(int argc, char** argv) {
       }
       obs::PhaseTimer phase(registry,
                             side == 0 ? "stream-original" : "stream-transformed");
-      trace::stream_trace_file(ctx, flags.positional()[side], *head, &diags,
-                               registry);
+      const trace::StreamResult r = trace::stream_trace_file(
+          ctx, flags.positional()[side], *head, &diags, registry, &governor);
+      deadline_hit = deadline_hit || r.deadline_hit;
+    }
+    if (deadline_hit) {
+      std::fprintf(stderr, "tracediff: deadline expired mid-read; the diff "
+                           "below compares truncated traces\n");
     }
     const auto& original = original_sink.records();
     const auto& transformed = transformed_sink.records();
@@ -88,9 +101,10 @@ int main(int argc, char** argv) {
       registry->counter("diff.modified").add(s.modified);
       registry->counter("diff.inserted").add(s.inserted);
       registry->counter("diff.deleted").add(s.deleted);
+      governor.fold(registry);
       common.write(*registry);
     }
     const bool differs = s.modified + s.inserted + s.deleted != 0;
-    return differs || !diags.clean() ? 1 : 0;
+    return differs || !diags.clean() || deadline_hit ? 1 : 0;
   });
 }

@@ -41,12 +41,16 @@ int main(int argc, char** argv) {
     const auto* block =
         flags.add_uint("block", 32, "footprint tracking granularity in bytes");
     const auto* top = flags.add_uint("top", 16, "rows per ranking table");
-    const tools::CommonFlags common = tools::CommonFlags::add(flags);
+    const tools::CommonFlags common =
+        tools::CommonFlags::add(flags, {.governor = true});
     if (!flags.parse(argc, argv)) return 0;
     if (flags.positional().size() != 1) {
       std::fprintf(stderr, "usage: traceinfo <trace-file> [flags]\n");
       return 2;
     }
+    common.arm_faults();
+    Governor governor;
+    common.configure(governor);
 
     std::optional<obs::Registry> registry_store;
     if (common.wants_registry()) registry_store.emplace("traceinfo");
@@ -64,10 +68,18 @@ int main(int argc, char** argv) {
       progress_sink.emplace(sink, *heartbeat);
       head = &*progress_sink;
     }
+    trace::StreamResult stream_result;
     {
       obs::PhaseTimer phase(registry, "stream");
-      trace::stream_trace_file(ctx, flags.positional()[0], *head, &diags,
-                               registry);
+      stream_result = trace::stream_trace_file(ctx, flags.positional()[0],
+                                               *head, &diags, registry,
+                                               &governor);
+    }
+    if (stream_result.deadline_hit) {
+      std::fprintf(stderr,
+                   "traceinfo: deadline expired after %llu records; "
+                   "statistics below cover that prefix only\n",
+                   static_cast<unsigned long long>(stream_result.records));
     }
     {
       obs::PhaseTimer phase(registry, "report");
@@ -80,8 +92,10 @@ int main(int argc, char** argv) {
     }
     if (registry != nullptr) {
       tools::fold_diags(registry, diags);
+      governor.fold(registry);
       common.write(*registry);
     }
-    return diags.exit_code();
+    return tools::finalize_exit(diags.exit_code(),
+                                stream_result.deadline_hit);
   });
 }

@@ -3,6 +3,7 @@
 #include <sstream>
 
 #include "util/error.hpp"
+#include "util/fault.hpp"
 
 namespace tdt::trace {
 namespace {
@@ -213,6 +214,11 @@ Symbol BinaryTraceReader::map_symbol(std::uint64_t file_id) {
 
 void BinaryTraceReader::check_footer() {
   if (version_ < 2) return;
+  if (fault::FaultInjector::enabled() &&
+      fault::should_fire(fault::Site::BinaryBadFooter)) [[unlikely]] {
+    fail(DiagCode::BinBadFooter,
+         "truncated binary trace (v2 footer missing or short)");
+  }
   // The CRC covers everything through the end tag, which next_byte() has
   // already folded in; the footer itself is read outside the checksum.
   const std::uint32_t computed = crc_.value();
@@ -241,6 +247,19 @@ bool BinaryTraceReader::next(TraceRecord& out) {
   if (done_) return false;
   try {
     for (;;) {
+      if (fault::FaultInjector::enabled()) [[unlikely]] {
+        // Entry-boundary faults: a short read ends the stream mid-trace
+        // (B003, prefix salvageable); a CRC flip folds a phantom byte
+        // into the running checksum so the v2 footer check (B010) trips
+        // exactly as it would after real bit corruption.
+        if (fault::should_fire(fault::Site::BinaryShortRead)) {
+          fail(DiagCode::BinTruncated,
+               "truncated binary trace (missing end marker)");
+        }
+        if (fault::should_fire(fault::Site::BinaryCrcFlip)) {
+          crc_.update_byte(0xA5);
+        }
+      }
       const int tag = next_byte();
       if (tag == std::istream::traits_type::eof()) {
         fail(DiagCode::BinTruncated,

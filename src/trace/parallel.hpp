@@ -18,17 +18,34 @@
 // into the TraceContext; workers may resolve symbols they received
 // through the queues (StringPool storage is append-only and stable; the
 // queue mutex provides the happens-before edge).
+//
+// Supervision (--worker-timeout > 0): every worker publishes a
+// heartbeat; a watchdog thread flags any worker that holds work but has
+// not beaten for the timeout, aborts its queue (so the reader never
+// deadlocks against a dead stage), and on_end() re-simulates the batches
+// the worker missed sequentially into its sinks — every published batch
+// is retained for exactly this replay, so recovered results are
+// bit-identical to a clean run. Recovery is reported through
+// PipelineCounters (recovered_workers > 0 → the tool exits 1); a worker
+// that cannot be recovered (its thread is wedged beyond the grace
+// period, or the replay buffer was spilled under --max-memory) stays an
+// error and the run exits 2. With worker_timeout == 0 nothing is
+// retained and behaviour is exactly the unsupervised original.
 #pragma once
 
+#include <atomic>
 #include <chrono>
+#include <condition_variable>
 #include <cstdint>
 #include <memory>
+#include <mutex>
 #include <string>
 #include <thread>
 #include <vector>
 
 #include "trace/sink.hpp"
 #include "util/bounded_queue.hpp"
+#include "util/governor.hpp"
 #include "util/obs.hpp"
 
 namespace tdt::trace {
@@ -52,6 +69,14 @@ struct ParallelOptions {
   /// into this registry. Null changes nothing (no hot-path cost either
   /// way: workers accumulate into private HistogramData shards).
   obs::Registry* registry = nullptr;
+  /// Watchdog timeout in seconds; 0 disables supervision entirely (no
+  /// watchdog thread, no batch retention — the original behaviour).
+  double worker_timeout = 0;
+  /// Optional budget charged for the supervision replay buffer. Replay
+  /// retention is a degradable capability: on exhaustion it spills (stops
+  /// retaining, releases its charge) instead of failing, at the price
+  /// that a later worker failure can no longer be recovered.
+  Budget* memory = nullptr;
 };
 
 /// Counters of one worker stage, snapshotted at on_end().
@@ -75,6 +100,13 @@ struct PipelineCounters {
   std::uint64_t batches = 0;
   double seconds = 0;             ///< construction to on_end
   std::vector<WorkerCounters> workers;
+  // Supervision outcome (all zero when worker_timeout == 0 or clean).
+  double worker_timeout = 0;            ///< configured watchdog timeout (s)
+  std::size_t stalled_workers = 0;      ///< workers the watchdog gave up on
+  std::size_t recovered_workers = 0;    ///< failed workers replayed to parity
+  std::size_t lost_workers = 0;         ///< failed workers beyond recovery
+  std::uint64_t replayed_batches = 0;   ///< batches re-simulated sequentially
+  bool replay_spilled = false;          ///< retention shed under --max-memory
 
   /// Reader-side throughput (records / seconds; 0 when unmeasurable).
   [[nodiscard]] double records_per_second() const noexcept;
@@ -128,13 +160,34 @@ class ParallelFanOut final : public TraceSink {
     obs::HistogramData batch_latency_us;  // thread-private, folded at join
     std::chrono::steady_clock::time_point first_batch{};
     std::chrono::steady_clock::time_point last_batch{};
+    // Supervision state. The worker thread writes the atomics; the
+    // watchdog and on_end() read them (and the watchdog writes failed /
+    // failed_at). The plain flags below are only touched under sup_mu_
+    // or after the thread is joined.
+    std::atomic<std::uint64_t> heartbeat_us{0};  ///< last activity vs start_
+    std::atomic<std::uint64_t> completed{0};     ///< batches fully delivered
+    std::atomic<bool> done{false};               ///< thread body finished
+    std::atomic<bool> failed{false};             ///< watchdog declared dead
+    std::chrono::steady_clock::time_point failed_at{};
+    bool abandoned = false;   ///< thread never exited; detached, not joined
+    bool recovered = false;   ///< sinks were replayed to parity by on_end
 
     explicit Worker(std::size_t queue_capacity) : queue(queue_capacity) {}
   };
 
+  [[nodiscard]] bool supervised() const noexcept {
+    return options_.worker_timeout > 0 && !workers_.empty();
+  }
+
   void flush_pending();
   void publish(BatchPtr batch);
   void worker_main(Worker& worker);
+  void watchdog_main();
+  /// Supervised shutdown: waits for workers to settle (abandoning wedged
+  /// ones after a grace period), stops the watchdog, joins, and replays
+  /// failed workers' missed batches into their sinks.
+  void supervised_join();
+  void drop_replay() noexcept;
 
   std::vector<TraceSink*> sinks_;
   ParallelOptions options_;
@@ -144,6 +197,15 @@ class ParallelFanOut final : public TraceSink {
   PipelineCounters counters_;
   bool finished_ = false;
   std::chrono::steady_clock::time_point start_;
+
+  // Supervision plumbing (idle unless worker_timeout > 0).
+  std::thread watchdog_;
+  std::mutex sup_mu_;
+  std::condition_variable sup_cv_;
+  bool watchdog_stop_ = false;           // under sup_mu_
+  std::vector<BatchPtr> replay_;         // reader/on_end thread only
+  bool replay_spilled_ = false;
+  std::uint64_t replay_charged_ = 0;
 };
 
 }  // namespace tdt::trace

@@ -5,6 +5,7 @@
 #include <fstream>
 
 #include "util/error.hpp"
+#include "util/fault.hpp"
 #include "util/small_vector.hpp"
 #include "util/string_util.hpp"
 
@@ -100,11 +101,23 @@ bool GleipnirReader::next_line(std::string_view& out) {
     if (len_ == buf_.size()) {
       buf_.resize(buf_.size() * 2);  // pathological line longer than a block
     }
+    if (fault::FaultInjector::enabled() &&
+        fault::should_fire(fault::Site::ReaderRead)) [[unlikely]] {
+      eof_ = true;
+      io_failed_ = true;
+      continue;  // deliver buffered complete lines, then fail
+    }
     in_->read(buf_.data() + len_,
               static_cast<std::streamsize>(buf_.size() - len_));
     const std::size_t got = static_cast<std::size_t>(in_->gcount());
     len_ += got;
-    if (got == 0) eof_ = true;
+    if (got == 0) {
+      eof_ = true;
+      // badbit = the underlying read actually failed (I/O error), as
+      // opposed to a clean end of stream; surface it instead of treating
+      // a torn read as EOF.
+      if (in_->bad()) io_failed_ = true;
+    }
   }
 }
 
@@ -336,6 +349,17 @@ std::optional<TraceEvent> GleipnirReader::next() {
                      {line_, 1});
       continue;  // resync at the next line
     }
+  }
+  if (io_failed_ && !io_reported_) {
+    io_reported_ = true;
+    const SourceLoc loc{line_ + 1, 1};
+    std::string msg = "trace read failed (stream error); " +
+                      std::to_string(line_) + " lines salvaged";
+    if (diags_ == nullptr || diags_->strict()) {
+      throw Error(ErrorKind::Io, std::move(msg), loc);
+    }
+    diags_->report(DiagSeverity::Error, DiagCode::TraceIoError, std::move(msg),
+                   loc);
   }
   return std::nullopt;
 }

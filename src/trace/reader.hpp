@@ -152,6 +152,11 @@ class GleipnirReader {
   std::size_t pos_ = 0;
   std::size_t len_ = 0;
   bool eof_ = false;
+  // A refill died (istream badbit, or fault site reader.read). Buffered
+  // complete lines still drain — the prefix is salvaged — then next()
+  // raises T004 once instead of passing the truncation off as EOF.
+  bool io_failed_ = false;
+  bool io_reported_ = false;
 };
 
 /// Reads every record of an in-memory trace text without copying it into

@@ -10,6 +10,7 @@
 #include <vector>
 
 #include "trace/record.hpp"
+#include "util/governor.hpp"
 
 namespace tdt::trace {
 
@@ -34,10 +35,28 @@ class TraceSink {
 };
 
 /// Sink that accumulates records into a vector.
+///
+/// With a Budget attached (--max-memory), every accepted record charges
+/// sizeof(TraceRecord) against it; the sink *must* hold the whole trace,
+/// so exhaustion fails hard (Error{Resource} → exit 2) rather than
+/// degrading. Charges are held for the sink's lifetime and released in
+/// the destructor. Record-side heap payloads (variable selector chains)
+/// are not accounted — the accounting is a deterministic per-record
+/// approximation, which keeps a given trace + limit reproducible.
 class VectorSink final : public TraceSink {
  public:
-  void on_record(const TraceRecord& rec) override { records_.push_back(rec); }
+  VectorSink() = default;
+  explicit VectorSink(Budget* budget) : budget_(budget) {}
+  ~VectorSink() override {
+    if (budget_ != nullptr) budget_->release(charged_);
+  }
+
+  void on_record(const TraceRecord& rec) override {
+    charge(1);
+    records_.push_back(rec);
+  }
   void push_batch(std::span<const TraceRecord> batch) override {
+    charge(batch.size());
     records_.insert(records_.end(), batch.begin(), batch.end());
   }
 
@@ -54,7 +73,17 @@ class VectorSink final : public TraceSink {
   }
 
  private:
+  void charge(std::size_t n) {
+    if (budget_ == nullptr) return;
+    const std::uint64_t bytes =
+        static_cast<std::uint64_t>(n) * sizeof(TraceRecord);
+    budget_->charge(bytes, "in-memory trace buffer");
+    charged_ += bytes;
+  }
+
   std::vector<TraceRecord> records_;
+  Budget* budget_ = nullptr;
+  std::uint64_t charged_ = 0;
 };
 
 /// Sink that forwards every record to several downstream sinks (e.g. a

@@ -25,17 +25,23 @@ namespace {
 /// entirely.
 class BatchEmitter {
  public:
-  explicit BatchEmitter(TraceSink& sink) : sink_(&sink) {
+  explicit BatchEmitter(TraceSink& sink, Governor* governor = nullptr)
+      : sink_(&sink), governor_(governor) {
     batch_.reserve(kStreamBatch);
   }
 
-  void emit(TraceRecord&& rec) {
+  /// Stages one record; returns false when the governor's deadline
+  /// expired at the batch boundary just flushed — the caller must stop
+  /// reading and call finish() (partial-result contract).
+  [[nodiscard]] bool emit(TraceRecord&& rec) {
     ++records_;
     batch_.push_back(std::move(rec));
     if (batch_.size() >= kStreamBatch) {
       sink_->push_batch(batch_);
       batch_.clear();
+      if (governor_ != nullptr && governor_->expired()) return false;
     }
+    return true;
   }
 
   std::uint64_t finish() {
@@ -47,6 +53,7 @@ class BatchEmitter {
  private:
   static constexpr std::size_t kStreamBatch = 4096;
   TraceSink* sink_;
+  Governor* governor_;
   std::vector<TraceRecord> batch_;
   std::uint64_t records_ = 0;
 };
@@ -66,11 +73,14 @@ void fold_read_counters(obs::Registry* registry, std::uint64_t records,
 
 /// Drains a Gleipnir reader (either backing mode) into a sink.
 StreamResult drain_gleipnir(GleipnirReader& reader, TraceSink& sink,
-                            obs::Registry* registry) {
+                            obs::Registry* registry, Governor* governor) {
   StreamResult result;
-  BatchEmitter emitter(sink);
+  BatchEmitter emitter(sink, governor);
   bool saw_start = false;
-  while (auto ev = reader.next()) {
+  bool keep_going = true;
+  while (keep_going) {
+    auto ev = reader.next();
+    if (!ev) break;
     switch (ev->kind) {
       case TraceEvent::Kind::Start:
         if (!saw_start) result.pid = ev->pid;
@@ -79,11 +89,12 @@ StreamResult drain_gleipnir(GleipnirReader& reader, TraceSink& sink,
       case TraceEvent::Kind::End:
         break;
       case TraceEvent::Kind::Record:
-        emitter.emit(std::move(ev->record));
+        keep_going = emitter.emit(std::move(ev->record));
         break;
     }
   }
   result.records = emitter.finish();
+  result.deadline_hit = governor != nullptr && governor->deadline_hit();
   fold_read_counters(registry, result.records, reader.counters().bytes,
                      reader.counters().fast_records,
                      reader.counters().slow_records);
@@ -94,20 +105,24 @@ StreamResult drain_gleipnir(GleipnirReader& reader, TraceSink& sink,
 
 StreamResult stream_trace(TraceContext& ctx, std::istream& in,
                           TraceFormat format, TraceSink& sink,
-                          DiagEngine* diags, obs::Registry* registry) {
+                          DiagEngine* diags, obs::Registry* registry,
+                          Governor* governor) {
   switch (format) {
     case TraceFormat::Gleipnir: {
       GleipnirReader reader(ctx, in, diags);
-      return drain_gleipnir(reader, sink, registry);
+      return drain_gleipnir(reader, sink, registry, governor);
     }
     case TraceFormat::Din: {
       StreamResult result;
-      BatchEmitter emitter(sink);
+      BatchEmitter emitter(sink, governor);
       DinReader reader(ctx, in, /*default_size=*/4, diags);
       TraceRecord rec;
       // Copy, not move: `rec` is the reader's reusable output slot.
-      while (reader.next(rec)) emitter.emit(TraceRecord(rec));
+      while (reader.next(rec)) {
+        if (!emitter.emit(TraceRecord(rec))) break;
+      }
       result.records = emitter.finish();
+      result.deadline_hit = governor != nullptr && governor->deadline_hit();
       if (registry != nullptr) {
         registry->counter("read.records").add(result.records);
       }
@@ -115,12 +130,15 @@ StreamResult stream_trace(TraceContext& ctx, std::istream& in,
     }
     case TraceFormat::Tdtb: {
       StreamResult result;
-      BatchEmitter emitter(sink);
+      BatchEmitter emitter(sink, governor);
       BinaryTraceReader reader(ctx, in, diags);
       result.pid = reader.pid();
       TraceRecord rec;
-      while (reader.next(rec)) emitter.emit(TraceRecord(rec));
+      while (reader.next(rec)) {
+        if (!emitter.emit(TraceRecord(rec))) break;
+      }
       result.records = emitter.finish();
+      result.deadline_hit = governor != nullptr && governor->deadline_hit();
       fold_read_counters(registry, result.records, reader.bytes_read(), 0, 0);
       return result;
     }
@@ -132,14 +150,14 @@ StreamResult stream_trace(TraceContext& ctx, std::istream& in,
 
 StreamResult stream_trace_text(TraceContext& ctx, std::string_view text,
                                TraceSink& sink, DiagEngine* diags,
-                               obs::Registry* registry) {
+                               obs::Registry* registry, Governor* governor) {
   GleipnirReader reader(ctx, text, diags);
-  return drain_gleipnir(reader, sink, registry);
+  return drain_gleipnir(reader, sink, registry, governor);
 }
 
 StreamResult stream_trace_file(TraceContext& ctx, const std::string& path,
                                TraceSink& sink, DiagEngine* diags,
-                               obs::Registry* registry) {
+                               obs::Registry* registry, Governor* governor) {
   const TraceFormat format = guess_trace_format(path);
   std::ifstream in(path, format == TraceFormat::Tdtb
                              ? std::ios::binary | std::ios::in
@@ -147,7 +165,7 @@ StreamResult stream_trace_file(TraceContext& ctx, const std::string& path,
   if (!in) {
     throw_io_error("cannot open trace file '" + path + "'");
   }
-  return stream_trace(ctx, in, format, sink, diags, registry);
+  return stream_trace(ctx, in, format, sink, diags, registry, governor);
 }
 
 }  // namespace tdt::trace

@@ -9,6 +9,7 @@
 
 #include "trace/sink.hpp"
 #include "util/diag.hpp"
+#include "util/governor.hpp"
 #include "util/obs.hpp"
 
 namespace tdt::trace {
@@ -24,6 +25,11 @@ enum class TraceFormat : std::uint8_t { Gleipnir, Din, Tdtb };
 struct StreamResult {
   std::uint64_t records = 0;  ///< records pushed into the sink
   std::uint64_t pid = 0;      ///< PID from START marker / binary header
+  /// The --deadline expired mid-stream: reading stopped at a batch
+  /// boundary, sinks were finished normally, `records` counts the prefix
+  /// actually delivered. The tool must report partial results and exit
+  /// with at least 1 (docs/robustness.md exit-code contract).
+  bool deadline_hit = false;
 };
 
 /// Streams every record of `in` into `sink` (batched push_batch calls in
@@ -31,24 +37,29 @@ struct StreamResult {
 /// policy (nullptr = strict fail-fast). When `registry` is non-null the
 /// reader-side ingestion counters (read.records, read.bytes,
 /// read.fast_parses, read.slow_parses) are folded into it after the pass;
-/// a null registry changes nothing.
+/// a null registry changes nothing. When `governor` is non-null its
+/// deadline is checked at batch granularity; expiry ends the stream
+/// early with deadline_hit set (sinks still get a clean on_end).
 StreamResult stream_trace(TraceContext& ctx, std::istream& in,
                           TraceFormat format, TraceSink& sink,
                           DiagEngine* diags = nullptr,
-                          obs::Registry* registry = nullptr);
+                          obs::Registry* registry = nullptr,
+                          Governor* governor = nullptr);
 
 /// Streams an in-memory Gleipnir text trace into `sink` without copying
 /// it into a stream: lines are tokenized in place (the reader's zero-copy
 /// fast path). `text` must stay alive for the duration of the call.
 StreamResult stream_trace_text(TraceContext& ctx, std::string_view text,
                                TraceSink& sink, DiagEngine* diags = nullptr,
-                               obs::Registry* registry = nullptr);
+                               obs::Registry* registry = nullptr,
+                               Governor* governor = nullptr);
 
 /// Opens `path`, guesses the format from its extension, and streams it
 /// into `sink`. Throws Error{Io} when the file cannot be opened.
 StreamResult stream_trace_file(TraceContext& ctx, const std::string& path,
                                TraceSink& sink, DiagEngine* diags = nullptr,
-                               obs::Registry* registry = nullptr);
+                               obs::Registry* registry = nullptr,
+                               Governor* governor = nullptr);
 
 /// Pass-through sink feeding a --progress heartbeat: forwards every
 /// record/batch downstream unchanged and ticks the heartbeat per batch,

@@ -4,6 +4,7 @@
 #include <sstream>
 
 #include "util/error.hpp"
+#include "util/fault.hpp"
 
 namespace tdt::trace {
 
@@ -21,6 +22,18 @@ void GleipnirWriter::write(const TraceRecord& rec) {
 
 void GleipnirWriter::end(std::uint64_t pid) {
   *out_ << "END PID " << pid << '\n';
+}
+
+void GleipnirWriter::check_health() {
+  if (fault::FaultInjector::enabled() &&
+      fault::should_fire(fault::Site::WriterFlush)) [[unlikely]] {
+    out_->setstate(std::ios::badbit);  // exactly what a failed flush leaves
+  }
+  out_->flush();
+  if (!*out_) {
+    throw_io_error("trace write failed after " + std::to_string(count_) +
+                   " records (stream error; disk full or pipe closed?)");
+  }
 }
 
 std::string write_trace_string(const TraceContext& ctx,

@@ -25,6 +25,12 @@ class GleipnirWriter {
   /// Emits `END PID <pid>`.
   void end(std::uint64_t pid);
 
+  /// Flushes and throws Error{Io} when the underlying stream has failed
+  /// (ENOSPC, closed pipe, ...) or when fault site writer.flush fires.
+  /// ostream writes fail silently by default; call this at flush points
+  /// so a full disk surfaces as a diagnostic, not a truncated trace.
+  void check_health();
+
   /// Number of record lines written so far.
   [[nodiscard]] std::uint64_t records_written() const noexcept {
     return count_;
@@ -48,7 +54,14 @@ class WriterSink final : public TraceSink {
   }
 
   void on_record(const TraceRecord& rec) override { writer_.write(rec); }
-  void on_end() override { writer_.end(pid_); }
+  void push_batch(std::span<const TraceRecord> batch) override {
+    for (const TraceRecord& rec : batch) writer_.write(rec);
+    writer_.check_health();  // batch-granular ENOSPC / fault detection
+  }
+  void on_end() override {
+    writer_.end(pid_);
+    writer_.check_health();
+  }
 
   [[nodiscard]] std::uint64_t records_written() const noexcept {
     return writer_.records_written();

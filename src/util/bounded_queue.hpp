@@ -8,7 +8,13 @@
 //
 // Multi-producer / multi-consumer safe; all state lives under one mutex,
 // which is plenty for batch-granular traffic (thousands of operations
-// per second, not millions).
+// per second, not millions). close() and abort() are idempotent and safe
+// to race with each other and with concurrent push/pop from any thread —
+// the supervision watchdog aborts queues out from under live workers.
+//
+// Fault sites queue.push-delay / queue.pop-delay inject scheduling
+// jitter here (timing perturbation only — results must stay
+// bit-identical, which is exactly what the chaos tests assert).
 #pragma once
 
 #include <algorithm>
@@ -17,6 +23,8 @@
 #include <mutex>
 #include <optional>
 #include <vector>
+
+#include "util/fault.hpp"
 
 namespace tdt {
 
@@ -42,6 +50,9 @@ class BoundedQueue {
   /// Blocks while full. Returns false (item dropped) when the queue is
   /// closed or aborted.
   bool push(T item) {
+    if (fault::FaultInjector::enabled()) [[unlikely]] {
+      fault::maybe_delay(fault::Site::QueuePushDelay);
+    }
     std::unique_lock lock(mu_);
     if (count_ == ring_.size() && !closed_) {
       ++counters_.push_stalls;
@@ -62,6 +73,9 @@ class BoundedQueue {
   /// Blocks while empty. Returns nullopt once the queue is closed and
   /// drained, or aborted.
   std::optional<T> pop() {
+    if (fault::FaultInjector::enabled()) [[unlikely]] {
+      fault::maybe_delay(fault::Site::QueuePopDelay);
+    }
     std::unique_lock lock(mu_);
     if (count_ == 0 && !closed_) {
       ++counters_.pop_stalls;
@@ -78,19 +92,23 @@ class BoundedQueue {
   }
 
   /// Rejects further pushes; queued items still drain through pop().
+  /// Idempotent, and safe to race with push/pop/abort from any thread.
   void close() {
     {
       std::lock_guard lock(mu_);
+      if (closed_) return;
       closed_ = true;
     }
     not_full_.notify_all();
     not_empty_.notify_all();
   }
 
-  /// close() plus: drops everything still queued.
+  /// close() plus: drops everything still queued. Idempotent; also
+  /// demotes an earlier plain close() by discarding the backlog.
   void abort() {
     {
       std::lock_guard lock(mu_);
+      if (closed_ && count_ == 0) return;
       closed_ = true;
       head_ = 0;
       count_ = 0;

@@ -19,6 +19,7 @@ std::string_view diag_code_id(DiagCode code) noexcept {
     case DiagCode::TraceBadLine: return "T001";
     case DiagCode::TraceBadMarker: return "T002";
     case DiagCode::TraceRepairedLine: return "T003";
+    case DiagCode::TraceIoError: return "T004";
     case DiagCode::DinBadLine: return "D001";
     case DiagCode::DinRepairedLine: return "D002";
     case DiagCode::BinBadMagic: return "B001";
@@ -34,6 +35,8 @@ std::string_view diag_code_id(DiagCode code) noexcept {
     case DiagCode::BinCountMismatch: return "B011";
     case DiagCode::XformUnmatchedVar: return "X001";
     case DiagCode::XformFailedRecord: return "X002";
+    case DiagCode::PipeWorkerStalled: return "P001";
+    case DiagCode::PipeWorkerFailed: return "P002";
   }
   return "????";
 }
@@ -43,6 +46,7 @@ std::string_view diag_code_name(DiagCode code) noexcept {
     case DiagCode::TraceBadLine: return "trace-bad-line";
     case DiagCode::TraceBadMarker: return "trace-bad-marker";
     case DiagCode::TraceRepairedLine: return "trace-repaired-line";
+    case DiagCode::TraceIoError: return "trace-io-error";
     case DiagCode::DinBadLine: return "din-bad-line";
     case DiagCode::DinRepairedLine: return "din-repaired-line";
     case DiagCode::BinBadMagic: return "bin-bad-magic";
@@ -58,6 +62,8 @@ std::string_view diag_code_name(DiagCode code) noexcept {
     case DiagCode::BinCountMismatch: return "bin-count-mismatch";
     case DiagCode::XformUnmatchedVar: return "xform-unmatched-var";
     case DiagCode::XformFailedRecord: return "xform-failed-record";
+    case DiagCode::PipeWorkerStalled: return "pipe-worker-stalled";
+    case DiagCode::PipeWorkerFailed: return "pipe-worker-failed";
   }
   return "unknown";
 }

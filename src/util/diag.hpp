@@ -47,6 +47,7 @@ enum class DiagCode : std::uint8_t {
   TraceBadLine,       ///< record line unparseable, dropped
   TraceBadMarker,     ///< START/END marker malformed, dropped
   TraceRepairedLine,  ///< record salvaged without its symbol annotation
+  TraceIoError,       ///< read failed mid-trace; prefix salvaged
   // din reader.
   DinBadLine,       ///< din line unparseable, dropped
   DinRepairedLine,  ///< din line salvaged with the default access size
@@ -65,6 +66,9 @@ enum class DiagCode : std::uint8_t {
   // Transformer.
   XformUnmatchedVar,  ///< matched rule but no out mapping; passed through
   XformFailedRecord,  ///< mapping raised an error; passed through
+  // Pipeline supervision.
+  PipeWorkerStalled,  ///< watchdog detected a stalled worker; recovered
+  PipeWorkerFailed,   ///< worker thread threw or exited early; recovered
 };
 
 /// Stable short id ("T001", "B003", ...), unique per code.

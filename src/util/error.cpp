@@ -29,6 +29,7 @@ std::string_view to_string(ErrorKind kind) noexcept {
     case ErrorKind::Config: return "config";
     case ErrorKind::Semantic: return "semantic";
     case ErrorKind::Io: return "io";
+    case ErrorKind::Resource: return "resource";
     case ErrorKind::Internal: return "internal";
   }
   return "unknown";
@@ -54,6 +55,10 @@ void throw_semantic_error(std::string message, SourceLoc loc) {
 
 void throw_io_error(std::string message) {
   throw Error(ErrorKind::Io, std::move(message));
+}
+
+void throw_resource_error(std::string message) {
+  throw Error(ErrorKind::Resource, std::move(message));
 }
 
 void internal_check(bool condition, std::string_view what) {

@@ -17,6 +17,7 @@ enum class ErrorKind : std::uint8_t {
   Config,     ///< invalid configuration value (cache geometry, CLI flag)
   Semantic,   ///< structurally valid input with inconsistent meaning
   Io,         ///< file could not be opened / read / written
+  Resource,   ///< resource limit exhausted (--max-memory budget)
   Internal,   ///< invariant violation that should never happen
 };
 
@@ -61,6 +62,9 @@ class Error : public std::runtime_error {
 
 /// Throws Error{ErrorKind::Io, ...}.
 [[noreturn]] void throw_io_error(std::string message);
+
+/// Throws Error{ErrorKind::Resource, ...}.
+[[noreturn]] void throw_resource_error(std::string message);
 
 /// Checks an internal invariant; throws Error{ErrorKind::Internal} when
 /// `condition` is false. Used where a failed check indicates a tdt bug

@@ -1,0 +1,224 @@
+#include "util/fault.hpp"
+
+#include <chrono>
+#include <cstdlib>
+#include <thread>
+
+#include "util/error.hpp"
+
+namespace tdt::fault {
+namespace {
+
+// splitmix64: tiny, stateless, and well-mixed — perfect for turning
+// (seed, site, opportunity) into an independent uniform draw without any
+// shared RNG state that threads would have to serialize on.
+std::uint64_t mix64(std::uint64_t x) noexcept {
+  x += 0x9e3779b97f4a7c15ULL;
+  x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9ULL;
+  x = (x ^ (x >> 27)) * 0x94d049bb133111ebULL;
+  return x ^ (x >> 31);
+}
+
+// The injector armed by install() must outlive every pipeline thread
+// that might still be observing it, so replaced injectors are parked in
+// a retirement chain rather than destroyed. Specs are installed a
+// handful of times per process (usually once); the leak is bounded and
+// deliberate.
+struct Retired {
+  FaultInjector* injector;
+  Retired* next;
+};
+std::atomic<Retired*> g_retired{nullptr};
+
+void retire(FaultInjector* injector) noexcept {
+  if (injector == nullptr) return;
+  auto* node = new Retired{injector, g_retired.load(std::memory_order_relaxed)};
+  while (!g_retired.compare_exchange_weak(node->next, node,
+                                          std::memory_order_release,
+                                          std::memory_order_relaxed)) {
+  }
+}
+
+std::uint64_t parse_u64(std::string_view text, std::string_view what) {
+  if (text.empty()) throw_config_error("fault spec: empty " + std::string(what));
+  std::uint64_t value = 0;
+  for (char c : text) {
+    if (c < '0' || c > '9') {
+      throw_config_error("fault spec: bad " + std::string(what) + " '" +
+                         std::string(text) + "'");
+    }
+    value = value * 10 + static_cast<std::uint64_t>(c - '0');
+  }
+  return value;
+}
+
+double parse_probability(std::string_view text) {
+  if (text.empty()) throw_config_error("fault spec: empty probability");
+  std::size_t consumed = 0;
+  double value = 0.0;
+  try {
+    value = std::stod(std::string(text), &consumed);
+  } catch (const std::exception&) {
+    throw_config_error("fault spec: bad probability '" + std::string(text) +
+                       "'");
+  }
+  if (consumed != text.size() || value < 0.0 || value > 1.0) {
+    throw_config_error("fault spec: probability '" + std::string(text) +
+                       "' outside [0, 1]");
+  }
+  return value;
+}
+
+}  // namespace
+
+std::atomic<FaultInjector*> FaultInjector::active_{nullptr};
+std::atomic<bool> FaultInjector::stall_release_{false};
+
+std::string_view site_name(Site site) noexcept {
+  switch (site) {
+    case Site::ReaderRead: return "reader.read";
+    case Site::BinaryShortRead: return "binary.short-read";
+    case Site::BinaryCrcFlip: return "binary.crc-flip";
+    case Site::BinaryBadFooter: return "binary.bad-footer";
+    case Site::WriterFlush: return "writer.flush";
+    case Site::QueuePushDelay: return "queue.push-delay";
+    case Site::QueuePopDelay: return "queue.pop-delay";
+    case Site::WorkerThrow: return "worker.throw";
+    case Site::WorkerStall: return "worker.stall";
+    case Site::WorkerExit: return "worker.exit";
+    case Site::SinkPushBatch: return "sink.push-batch";
+  }
+  return "unknown";
+}
+
+std::optional<Site> parse_site(std::string_view text) noexcept {
+  for (std::size_t i = 0; i < kSiteCount; ++i) {
+    const Site site = static_cast<Site>(i);
+    if (site_name(site) == text) return site;
+  }
+  return std::nullopt;
+}
+
+void FaultInjector::install(std::string_view spec) {
+  if (spec.empty()) {
+    reset();
+    return;
+  }
+  auto injector = std::make_unique<FaultInjector>();
+  bool any_site = false;
+  std::string_view rest = spec;
+  while (!rest.empty()) {
+    const std::size_t semi = rest.find(';');
+    std::string_view element = rest.substr(0, semi);
+    rest = semi == std::string_view::npos ? std::string_view{}
+                                         : rest.substr(semi + 1);
+    if (element.empty()) continue;
+    if (element.substr(0, 5) == "seed=") {
+      injector->seed_ = parse_u64(element.substr(5), "seed");
+      continue;
+    }
+    const std::size_t colon = element.find(':');
+    if (colon == std::string_view::npos) {
+      throw_config_error("fault spec: element '" + std::string(element) +
+                         "' is not 'seed=N' or 'site:probability[:after_n]'");
+    }
+    const std::string_view name = element.substr(0, colon);
+    const std::optional<Site> site = parse_site(name);
+    if (!site) {
+      throw_config_error("fault spec: unknown site '" + std::string(name) +
+                         "'");
+    }
+    std::string_view tail = element.substr(colon + 1);
+    const std::size_t colon2 = tail.find(':');
+    Rule rule;
+    rule.armed = true;
+    rule.probability =
+        parse_probability(colon2 == std::string_view::npos
+                              ? tail
+                              : tail.substr(0, colon2));
+    if (colon2 != std::string_view::npos) {
+      rule.after_n = parse_u64(tail.substr(colon2 + 1), "after_n");
+    }
+    injector->sites_[static_cast<std::size_t>(*site)].rule = rule;
+    any_site = true;
+  }
+  if (!any_site) {
+    throw_config_error("fault spec: no sites armed in '" + std::string(spec) +
+                       "'");
+  }
+  stall_release_.store(false, std::memory_order_release);
+  retire(active_.exchange(injector.release(), std::memory_order_acq_rel));
+}
+
+void FaultInjector::install_from_env() {
+  const char* spec = std::getenv("TDT_FAULT_SPEC");
+  if (spec != nullptr && spec[0] != '\0') install(spec);
+}
+
+void FaultInjector::reset() noexcept {
+  retire(active_.exchange(nullptr, std::memory_order_acq_rel));
+  stall_release_.store(false, std::memory_order_release);
+}
+
+bool FaultInjector::fire(Site site) noexcept {
+  SiteState& state = sites_[static_cast<std::size_t>(site)];
+  if (!state.rule.armed) return false;
+  const std::uint64_t n =
+      state.opportunities.fetch_add(1, std::memory_order_relaxed);
+  if (n < state.rule.after_n) return false;
+  bool fires;
+  if (state.rule.probability >= 1.0) {
+    fires = true;
+  } else if (state.rule.probability <= 0.0) {
+    fires = false;
+  } else {
+    const std::uint64_t draw =
+        mix64(seed_ ^ (static_cast<std::uint64_t>(site) << 56) ^ n);
+    fires = static_cast<double>(draw) <
+            state.rule.probability * 18446744073709551616.0;  // 2^64
+  }
+  if (fires) state.fired.fetch_add(1, std::memory_order_relaxed);
+  return fires;
+}
+
+std::uint64_t FaultInjector::opportunities(Site site) const noexcept {
+  return sites_[static_cast<std::size_t>(site)].opportunities.load(
+      std::memory_order_relaxed);
+}
+
+std::uint64_t FaultInjector::fired(Site site) const noexcept {
+  return sites_[static_cast<std::size_t>(site)].fired.load(
+      std::memory_order_relaxed);
+}
+
+const FaultInjector::Rule& FaultInjector::rule(Site site) const noexcept {
+  return sites_[static_cast<std::size_t>(site)].rule;
+}
+
+void FaultInjector::release_stalls() noexcept {
+  stall_release_.store(true, std::memory_order_release);
+}
+
+bool FaultInjector::stalls_released() noexcept {
+  return stall_release_.load(std::memory_order_acquire);
+}
+
+void maybe_delay(Site site) noexcept {
+  if (should_fire(site)) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(2));
+  }
+}
+
+bool maybe_stall() noexcept {
+  if (!should_fire(Site::WorkerStall)) return false;
+  // Park in small slices so release_stalls() frees the thread promptly;
+  // the 60 s cap keeps an unsupervised run from hanging forever.
+  using clock = std::chrono::steady_clock;
+  const auto deadline = clock::now() + std::chrono::seconds(60);
+  while (!FaultInjector::stalls_released() && clock::now() < deadline) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(1));
+  }
+  return true;
+}
+
+}  // namespace tdt::fault

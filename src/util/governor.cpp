@@ -1,0 +1,78 @@
+#include "util/governor.hpp"
+
+#include <string>
+
+#include "util/error.hpp"
+#include "util/obs.hpp"
+
+namespace tdt {
+
+bool Budget::try_charge(std::uint64_t bytes) noexcept {
+  std::uint64_t used = used_.load(std::memory_order_relaxed);
+  for (;;) {
+    const std::uint64_t next = used + bytes;
+    if (limit_ != 0 && (next < used || next > limit_)) {
+      denials_.fetch_add(1, std::memory_order_relaxed);
+      return false;
+    }
+    if (used_.compare_exchange_weak(used, next, std::memory_order_relaxed)) {
+      std::uint64_t peak = peak_.load(std::memory_order_relaxed);
+      while (next > peak && !peak_.compare_exchange_weak(
+                                peak, next, std::memory_order_relaxed)) {
+      }
+      return true;
+    }
+  }
+}
+
+void Budget::charge(std::uint64_t bytes, const char* what) {
+  if (!try_charge(bytes)) {
+    throw Error(ErrorKind::Resource,
+                std::string(what) + ": memory budget exhausted (" +
+                    std::to_string(used()) + " of " + std::to_string(limit_) +
+                    " bytes in use, " + std::to_string(bytes) +
+                    " more requested); raise --max-memory");
+  }
+}
+
+void Budget::release(std::uint64_t bytes) noexcept {
+  used_.fetch_sub(bytes, std::memory_order_relaxed);
+}
+
+void Governor::set_deadline(double seconds) noexcept {
+  if (seconds <= 0) {
+    armed_ = false;
+    return;
+  }
+  armed_ = true;
+  deadline_ = std::chrono::steady_clock::now() +
+              std::chrono::duration_cast<std::chrono::steady_clock::duration>(
+                  std::chrono::duration<double>(seconds));
+}
+
+bool Governor::expired() noexcept {
+  if (!armed_) return false;
+  if (hit_.load(std::memory_order_relaxed)) return true;
+  if (std::chrono::steady_clock::now() < deadline_) return false;
+  hit_.store(true, std::memory_order_relaxed);
+  return true;
+}
+
+void Governor::fold(obs::Registry* registry) const {
+  if (registry == nullptr) return;
+  if (memory.limit() != 0 || memory.peak() != 0) {
+    registry->gauge("governor.memory_limit_bytes")
+        .set(static_cast<double>(memory.limit()));
+    registry->gauge("governor.memory_peak_bytes")
+        .set(static_cast<double>(memory.peak()));
+    registry->gauge("governor.memory_used_bytes")
+        .set(static_cast<double>(memory.used()));
+    registry->gauge("governor.memory_denials")
+        .set(static_cast<double>(memory.denials()));
+  }
+  if (armed_) {
+    registry->gauge("governor.deadline_hit").set(deadline_hit() ? 1.0 : 0.0);
+  }
+}
+
+}  // namespace tdt

@@ -1,0 +1,269 @@
+# CLI fault-injection matrix (docs/robustness.md): deterministic faults
+# across {reader, writer, queue, worker} x {strict, skip, repair} must
+# produce stable diagnostics and exit codes for a fixed seed, and the
+# disarmed binary must stay byte-identical to an un-instrumented run.
+file(MAKE_DIRECTORY ${WORKDIR})
+
+function(check_rc what expected actual)
+  if(NOT actual EQUAL expected)
+    message(FATAL_ERROR "${what}: expected exit ${expected}, got ${actual}")
+  endif()
+endfunction()
+
+function(check_same what file_a file_b)
+  execute_process(COMMAND ${CMAKE_COMMAND} -E compare_files ${file_a} ${file_b}
+    RESULT_VARIABLE rc)
+  if(NOT rc EQUAL 0)
+    message(FATAL_ERROR "${what}: stdout differs (${file_a} vs ${file_b})")
+  endif()
+endfunction()
+
+# -- Fixtures -----------------------------------------------------------------
+execute_process(
+  COMMAND ${GTRACER} --kernel t1_soa --len 512 --out ${WORKDIR}/good.out
+  RESULT_VARIABLE rc)
+check_rc("gtracer" 0 "${rc}")
+execute_process(
+  COMMAND ${GTRACER} --kernel t1_soa --len 512 --binary
+          --out ${WORKDIR}/good.tdtb
+  RESULT_VARIABLE rc)
+check_rc("gtracer --binary" 0 "${rc}")
+
+execute_process(
+  COMMAND ${DINEROSIM} --trace ${WORKDIR}/good.out --size 4096
+  OUTPUT_FILE ${WORKDIR}/baseline.stdout RESULT_VARIABLE rc)
+check_rc("dinerosim baseline" 0 "${rc}")
+
+# -- Control: an armed-but-silent spec changes nothing. -----------------------
+# probability 0 exercises every injection hook (enabled() is true at each
+# site) without firing once: stdout and exit code must match the baseline.
+execute_process(
+  COMMAND ${DINEROSIM} --trace ${WORKDIR}/good.out --size 4096
+          --fault-spec "queue.push-delay:0;reader.read:0;writer.flush:0"
+  OUTPUT_FILE ${WORKDIR}/control.stdout RESULT_VARIABLE rc)
+check_rc("dinerosim silent fault spec" 0 "${rc}")
+check_same("silent fault spec" ${WORKDIR}/baseline.stdout
+           ${WORKDIR}/control.stdout)
+
+# A malformed spec is a usage error.
+execute_process(
+  COMMAND ${DINEROSIM} --trace ${WORKDIR}/good.out
+          --fault-spec "no.such-site:1"
+  RESULT_VARIABLE rc ERROR_VARIABLE err)
+check_rc("bad fault spec" 2 "${rc}")
+if(NOT err MATCHES "unknown site")
+  message(FATAL_ERROR "bad fault spec missing diagnostic: ${err}")
+endif()
+
+# -- Reader row: the istream dies after the first refill. ---------------------
+# The 512-record trace fits one 256 KiB read block, so every line is
+# salvaged before the second refill fails: skip/repair still produce the
+# full baseline report plus a trace-io-error diagnostic.
+execute_process(
+  COMMAND ${DINEROSIM} --trace ${WORKDIR}/good.out --size 4096
+          --on-error=strict --fault-spec "seed=7;reader.read:1:1"
+  RESULT_VARIABLE rc ERROR_VARIABLE err)
+check_rc("reader fault strict" 2 "${rc}")
+if(NOT err MATCHES "trace read failed")
+  message(FATAL_ERROR "reader fault strict missing diagnostic: ${err}")
+endif()
+
+foreach(policy skip repair)
+  execute_process(
+    COMMAND ${DINEROSIM} --trace ${WORKDIR}/good.out --size 4096
+            --on-error=${policy} --fault-spec "seed=7;reader.read:1:1"
+    OUTPUT_FILE ${WORKDIR}/reader_${policy}.stdout
+    RESULT_VARIABLE rc ERROR_VARIABLE err)
+  check_rc("reader fault ${policy}" 1 "${rc}")
+  if(NOT err MATCHES "trace-io-error")
+    message(FATAL_ERROR "reader fault ${policy} missing T004: ${err}")
+  endif()
+  check_same("reader fault ${policy} salvages everything"
+             ${WORKDIR}/baseline.stdout ${WORKDIR}/reader_${policy}.stdout)
+endforeach()
+
+# Fixed seed -> identical run: same stdout, same exit code, same diag.
+execute_process(
+  COMMAND ${DINEROSIM} --trace ${WORKDIR}/good.out --size 4096
+          --on-error=skip --fault-spec "seed=7;reader.read:1:1"
+  OUTPUT_FILE ${WORKDIR}/reader_rerun.stdout
+  RESULT_VARIABLE rc ERROR_VARIABLE err)
+check_rc("reader fault rerun" 1 "${rc}")
+if(NOT err MATCHES "trace-io-error")
+  message(FATAL_ERROR "reader fault rerun missing T004: ${err}")
+endif()
+check_same("reader fault determinism" ${WORKDIR}/reader_skip.stdout
+           ${WORKDIR}/reader_rerun.stdout)
+
+# -- Writer row: the transformed-trace flush fails (ENOSPC). ------------------
+# A write failure is fatal under every policy: skipping output corruption
+# is never an option.
+foreach(policy strict skip repair)
+  execute_process(
+    COMMAND ${DINEROSIM} --trace ${WORKDIR}/good.out --size 4096
+            --rules ${RULES} --xform-out ${WORKDIR}/xform_${policy}.out
+            --on-error=${policy} --fault-spec "writer.flush:1"
+    RESULT_VARIABLE rc ERROR_VARIABLE err)
+  check_rc("writer fault ${policy}" 2 "${rc}")
+  if(NOT err MATCHES "trace write failed")
+    message(FATAL_ERROR "writer fault ${policy} missing diagnostic: ${err}")
+  endif()
+endforeach()
+
+# -- Queue row: push/pop jitter must never change results. --------------------
+foreach(policy strict skip repair)
+  execute_process(
+    COMMAND ${DINEROSIM} --trace ${WORKDIR}/good.out --size 4096 --jobs 2
+            --on-error=${policy}
+            --fault-spec "seed=3;queue.push-delay:0.5;queue.pop-delay:0.5"
+    OUTPUT_FILE ${WORKDIR}/queue_${policy}.stdout RESULT_VARIABLE rc)
+  check_rc("queue jitter ${policy}" 0 "${rc}")
+  check_same("queue jitter ${policy}" ${WORKDIR}/baseline.stdout
+             ${WORKDIR}/queue_${policy}.stdout)
+endforeach()
+
+# -- Worker row: throw / stall / exit under supervision. ----------------------
+# A four-point sweep gives the fan-out four sinks, so --jobs 4 really
+# spawns four workers. The sequential reference is the same sweep at
+# --jobs 1 (inline mode).
+set(SWEEP "assoc=1;assoc=2;assoc=4;assoc=8")
+execute_process(
+  COMMAND ${DINEROSIM} --trace ${WORKDIR}/good.out --size 4096
+          --sweep "${SWEEP}"
+  OUTPUT_FILE ${WORKDIR}/sweep_baseline.stdout RESULT_VARIABLE rc)
+check_rc("sweep baseline" 0 "${rc}")
+
+# Recovery re-simulates the failed worker's batches sequentially: exit 1
+# (recovered), report bit-identical to the sequential baseline. The
+# --on-error policy governs input errors and is orthogonal.
+foreach(policy strict skip repair)
+  execute_process(
+    COMMAND ${DINEROSIM} --trace ${WORKDIR}/good.out --size 4096
+            --sweep "${SWEEP}" --jobs 4
+            --worker-timeout 5 --on-error=${policy}
+            --fault-spec "seed=5;worker.throw:1:1"
+    OUTPUT_FILE ${WORKDIR}/worker_${policy}.stdout
+    RESULT_VARIABLE rc ERROR_VARIABLE err)
+  check_rc("worker throw ${policy}" 1 "${rc}")
+  # A thrown worker surfaces as P002 (caught at join) or P001 (flagged by
+  # the watchdog when the reader blocked on its queue) depending on
+  # timing; either way the recovery diagnostic must be present.
+  if(NOT err MATCHES "pipe-worker")
+    message(FATAL_ERROR "worker throw ${policy} missing P001/P002: ${err}")
+  endif()
+  check_same("worker throw ${policy} bit-identity"
+             ${WORKDIR}/sweep_baseline.stdout
+             ${WORKDIR}/worker_${policy}.stdout)
+endforeach()
+
+# The acceptance case: a deliberately stalled worker under --jobs 4 is
+# detected within --worker-timeout, the run exits 1, and the recovered
+# totals equal the sequential baseline bit-for-bit.
+execute_process(
+  COMMAND ${DINEROSIM} --trace ${WORKDIR}/good.out --size 4096
+          --sweep "${SWEEP}" --jobs 4
+          --worker-timeout 1 --fault-spec "seed=11;worker.stall:1:2"
+  OUTPUT_FILE ${WORKDIR}/worker_stall.stdout
+  RESULT_VARIABLE rc ERROR_VARIABLE err)
+check_rc("worker stall recovery" 1 "${rc}")
+if(NOT err MATCHES "pipe-worker-stalled")
+  message(FATAL_ERROR "worker stall missing P001: ${err}")
+endif()
+check_same("worker stall bit-identity" ${WORKDIR}/sweep_baseline.stdout
+           ${WORKDIR}/worker_stall.stdout)
+
+# Premature worker exit is recovered the same way.
+execute_process(
+  COMMAND ${DINEROSIM} --trace ${WORKDIR}/good.out --size 4096
+          --sweep "${SWEEP}" --jobs 2
+          --worker-timeout 5 --fault-spec "seed=13;worker.exit:1:1"
+  OUTPUT_FILE ${WORKDIR}/worker_exit.stdout RESULT_VARIABLE rc)
+check_rc("worker exit recovery" 1 "${rc}")
+check_same("worker exit bit-identity" ${WORKDIR}/sweep_baseline.stdout
+           ${WORKDIR}/worker_exit.stdout)
+
+# Without supervision the same worker fault is fatal (the original
+# contract: exit 2, error on stderr).
+execute_process(
+  COMMAND ${DINEROSIM} --trace ${WORKDIR}/good.out --size 4096 --jobs 2
+          --fault-spec "seed=5;worker.throw:1:1"
+  RESULT_VARIABLE rc ERROR_VARIABLE err)
+check_rc("worker throw unsupervised" 2 "${rc}")
+if(NOT err MATCHES "worker thread failure")
+  message(FATAL_ERROR "unsupervised worker fault missing diagnostic: ${err}")
+endif()
+
+# -- TDT_FAULT_SPEC environment wiring (flag-free arming). --------------------
+execute_process(
+  COMMAND ${CMAKE_COMMAND} -E env "TDT_FAULT_SPEC=seed=5;worker.throw:1:1"
+          ${DINEROSIM} --trace ${WORKDIR}/good.out --size 4096 --jobs 2
+          --worker-timeout 5
+  OUTPUT_FILE ${WORKDIR}/env_worker.stdout RESULT_VARIABLE rc)
+check_rc("TDT_FAULT_SPEC worker throw" 1 "${rc}")
+check_same("TDT_FAULT_SPEC bit-identity" ${WORKDIR}/baseline.stdout
+           ${WORKDIR}/env_worker.stdout)
+
+# -- Binary-trace corruption sites (TDTB v2 integrity). -----------------------
+execute_process(
+  COMMAND ${DINEROSIM} --trace ${WORKDIR}/good.tdtb --size 4096
+          --fault-spec "binary.crc-flip:1:0"
+  RESULT_VARIABLE rc ERROR_VARIABLE err)
+check_rc("crc flip strict" 2 "${rc}")
+execute_process(
+  COMMAND ${DINEROSIM} --trace ${WORKDIR}/good.tdtb --size 4096
+          --on-error=skip --fault-spec "binary.crc-flip:1:0"
+  RESULT_VARIABLE rc ERROR_VARIABLE err)
+check_rc("crc flip skip" 1 "${rc}")
+if(NOT err MATCHES "bin-crc-mismatch")
+  message(FATAL_ERROR "crc flip skip missing B010: ${err}")
+endif()
+
+execute_process(
+  COMMAND ${DINEROSIM} --trace ${WORKDIR}/good.tdtb --size 4096
+          --fault-spec "binary.bad-footer:1"
+  RESULT_VARIABLE rc)
+check_rc("bad footer strict" 2 "${rc}")
+execute_process(
+  COMMAND ${DINEROSIM} --trace ${WORKDIR}/good.tdtb --size 4096
+          --on-error=repair --fault-spec "binary.bad-footer:1"
+  RESULT_VARIABLE rc ERROR_VARIABLE err)
+check_rc("bad footer repair" 1 "${rc}")
+if(NOT err MATCHES "bin-bad-footer")
+  message(FATAL_ERROR "bad footer repair missing B009: ${err}")
+endif()
+
+# -- Resource governance rides the same contract. -----------------------------
+# tracediff must hold both traces: an absurdly small budget is a hard
+# failure (exit 2, resource diagnostic), never a truncated diff.
+execute_process(
+  COMMAND ${TRACEDIFF} ${WORKDIR}/good.out ${WORKDIR}/good.out --summary
+          --max-memory 4k
+  RESULT_VARIABLE rc ERROR_VARIABLE err)
+check_rc("tracediff --max-memory exhaustion" 2 "${rc}")
+if(NOT err MATCHES "memory budget exhausted")
+  message(FATAL_ERROR "tracediff budget failure missing diagnostic: ${err}")
+endif()
+execute_process(
+  COMMAND ${TRACEDIFF} ${WORKDIR}/good.out ${WORKDIR}/good.out --summary
+          --max-memory 64m
+  RESULT_VARIABLE rc)
+check_rc("tracediff --max-memory ample" 0 "${rc}")
+
+# An already-expired deadline still produces a partial report and exit 1.
+# Expiry is checked at 4096-record batch boundaries, so the trace must be
+# longer than one batch for the check to run at all.
+execute_process(
+  COMMAND ${GTRACER} --kernel t1_soa --len 4096 --out ${WORKDIR}/big.out
+  RESULT_VARIABLE rc)
+check_rc("gtracer big" 0 "${rc}")
+execute_process(
+  COMMAND ${TRACEINFO} ${WORKDIR}/big.out --deadline 0.000001
+  RESULT_VARIABLE rc ERROR_VARIABLE err OUTPUT_VARIABLE out)
+check_rc("traceinfo --deadline expired" 1 "${rc}")
+if(NOT err MATCHES "deadline expired")
+  message(FATAL_ERROR "traceinfo deadline missing diagnostic: ${err}")
+endif()
+execute_process(
+  COMMAND ${TRACEINFO} ${WORKDIR}/big.out --deadline 3600
+  RESULT_VARIABLE rc)
+check_rc("traceinfo --deadline ample" 0 "${rc}")

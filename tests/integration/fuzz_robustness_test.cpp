@@ -347,6 +347,78 @@ TEST(RobustnessCorpus, TruncatedBinaryBlobSalvagesPrefixPerPolicy) {
   }
 }
 
+TEST(RobustnessCorpus, TruncatedFooterSalvagesAllRecordsPerPolicy) {
+  trace::TraceContext ctx;
+  const auto records = trace::read_trace_string(ctx, kValidTrace);
+  const auto blob = trace::write_binary_trace(ctx, records);  // v2: footer
+  // Chop 1..12 bytes off the end: the record stream and end marker stay
+  // intact, only the 12-byte footer (u64 count + u32 crc) goes short.
+  for (const std::size_t missing : {std::size_t{1}, std::size_t{6},
+                                    std::size_t{12}}) {
+    std::vector<char> truncated(blob.begin(), blob.end() - missing);
+    trace::TraceContext strict_ctx;
+    EXPECT_THROW((void)trace::read_binary_trace(strict_ctx, truncated), Error)
+        << missing << " footer bytes missing";
+
+    for (const ErrorPolicy policy : {ErrorPolicy::Skip, ErrorPolicy::Repair}) {
+      trace::TraceContext ctx2;
+      DiagEngine diags(policy);
+      const auto salvaged =
+          trace::read_binary_trace(ctx2, truncated, nullptr, &diags);
+      // Every record precedes the footer: recovery keeps them all and
+      // reports exactly one stable B008 footer diagnostic.
+      EXPECT_EQ(salvaged.size(), records.size())
+          << missing << " footer bytes missing";
+      EXPECT_EQ(diags.count(DiagCode::BinBadFooter), 1u);
+      EXPECT_EQ(diags.exit_code(), 1);
+    }
+  }
+}
+
+TEST(RobustnessCorpus, MidVarintTruncationSalvagesPrefix) {
+  // An all-ones address encodes as the maximal 10-byte varint
+  // (0xFF x 9 then 0x01): the one byte pattern we can locate in the blob
+  // to place a cut deterministically *inside* a varint.
+  const char* text =
+      "START PID 1\n"
+      "L 000601040 4 main GV glScalar\n"
+      "S ffffffffffffffff 8 main GV glScalar\n"
+      "END PID 1\n";
+  trace::TraceContext ctx;
+  const auto records = trace::read_trace_string(ctx, text);
+  ASSERT_EQ(records.size(), 2u);
+  const auto blob = trace::write_binary_trace(ctx, records);
+
+  std::size_t run = 0;
+  std::size_t varint_at = blob.size();
+  for (std::size_t i = 0; i < blob.size(); ++i) {
+    run = blob[i] == '\xFF' ? run + 1 : 0;
+    if (run == 9) {
+      varint_at = i - 8;
+      break;
+    }
+  }
+  ASSERT_NE(varint_at, blob.size()) << "maximal varint not found in blob";
+
+  // Cut four bytes into the ten-byte varint.
+  std::vector<char> truncated(blob.begin(),
+                              blob.begin() + static_cast<long>(varint_at + 4));
+  trace::TraceContext strict_ctx;
+  EXPECT_THROW((void)trace::read_binary_trace(strict_ctx, truncated), Error);
+
+  for (const ErrorPolicy policy : {ErrorPolicy::Skip, ErrorPolicy::Repair}) {
+    trace::TraceContext ctx2;
+    DiagEngine diags(policy);
+    const auto salvaged =
+        trace::read_binary_trace(ctx2, truncated, nullptr, &diags);
+    // The record before the mangled one survives; the cut one does not.
+    EXPECT_EQ(salvaged.size(), 1u);
+    EXPECT_EQ(salvaged[0].address, 0x000601040u);
+    EXPECT_EQ(diags.count(DiagCode::BinTruncated), 1u);  // stable B003
+    EXPECT_EQ(diags.exit_code(), 1);
+  }
+}
+
 TEST(RobustnessCorpus, BadRuleFilesAlwaysThrowClassifiedErrors) {
   const char* corpus[] = {
       "in:\nstruct lSoA { int mX[16]; };\n",       // missing out section

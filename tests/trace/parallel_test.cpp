@@ -9,9 +9,19 @@
 
 #include "trace/reader.hpp"
 #include "trace/stream.hpp"
+#include "util/error.hpp"
+#include "util/fault.hpp"
+#include "util/governor.hpp"
 
 namespace tdt::trace {
 namespace {
+
+/// Disarms the process-global fault injector on scope exit so a failing
+/// test cannot leak an armed spec into the rest of the suite.
+struct FaultGuard {
+  explicit FaultGuard(const char* spec) { fault::FaultInjector::install(spec); }
+  ~FaultGuard() { fault::FaultInjector::reset(); }
+};
 
 std::vector<TraceRecord> make_records(TraceContext& ctx, std::size_t n) {
   std::vector<TraceRecord> records;
@@ -220,6 +230,129 @@ TEST(ParallelFanOut, WorkersResolveSymbolsWhileReaderInterns) {
   stream_trace(ctx, in, TraceFormat::Gleipnir, fanout);
   EXPECT_EQ(a.total(), expected);
   EXPECT_EQ(b.total(), expected);
+}
+
+TEST(ParallelFanOutSupervision, StalledWorkersRecoverBitIdentically) {
+  TraceContext ctx;
+  const auto input = make_records(ctx, 500);
+
+  // Sequential reference run: what every sink must end up holding.
+  VectorSink reference;
+  {
+    ParallelOptions options;
+    options.jobs = 0;
+    options.batch_records = 16;
+    ParallelFanOut fanout({&reference}, options);
+    feed(fanout, input);
+  }
+
+  // Every batch pop past the second stalls; the watchdog must flag the
+  // workers, release the injected stalls, and replay their missed
+  // batches sequentially to the exact same contents.
+  FaultGuard guard("worker.stall:1:2");
+  VectorSink a, b;
+  ParallelOptions options;
+  options.jobs = 2;
+  options.batch_records = 16;
+  options.queue_batches = 2;
+  options.worker_timeout = 0.2;
+  ParallelFanOut fanout({&a, &b}, options);
+  feed(fanout, input);
+
+  const PipelineCounters& counters = fanout.counters();
+  EXPECT_GE(counters.stalled_workers, 1u);
+  EXPECT_EQ(counters.recovered_workers, counters.stalled_workers);
+  EXPECT_EQ(counters.lost_workers, 0u);
+  EXPECT_GE(counters.replayed_batches, 1u);
+  EXPECT_EQ(a.records(), reference.records());
+  EXPECT_EQ(b.records(), reference.records());
+  const std::string summary = counters.summary();
+  EXPECT_NE(summary.find("supervision:"), std::string::npos);
+}
+
+TEST(ParallelFanOutSupervision, ThrowingWorkerIsRecovered) {
+  TraceContext ctx;
+  const auto input = make_records(ctx, 300);
+  FaultGuard guard("worker.throw:1:1");
+  VectorSink a;
+  ParallelOptions options;
+  options.jobs = 1;
+  options.batch_records = 16;
+  options.worker_timeout = 0.2;
+  ParallelFanOut fanout({&a}, options);
+  feed(fanout, input);  // must not throw: the failure is recovered
+  EXPECT_EQ(fanout.counters().recovered_workers, 1u);
+  EXPECT_EQ(fanout.counters().lost_workers, 0u);
+  EXPECT_EQ(a.records(), input);
+}
+
+TEST(ParallelFanOutSupervision, UnsupervisedWorkerFaultStaysFatal) {
+  TraceContext ctx;
+  const auto input = make_records(ctx, 300);
+  FaultGuard guard("worker.throw:1:1");
+  VectorSink a;
+  ParallelOptions options;
+  options.jobs = 1;
+  options.batch_records = 16;  // worker_timeout stays 0: no supervision
+  ParallelFanOut fanout({&a}, options);
+  for (const TraceRecord& rec : input) fanout.on_record(rec);
+  EXPECT_THROW(fanout.on_end(), Error);
+}
+
+TEST(ParallelFanOutSupervision, PrematureExitIsRecovered) {
+  TraceContext ctx;
+  const auto input = make_records(ctx, 300);
+  FaultGuard guard("worker.exit:1:1");
+  VectorSink a;
+  ParallelOptions options;
+  options.jobs = 1;
+  options.batch_records = 16;
+  options.worker_timeout = 0.2;
+  ParallelFanOut fanout({&a}, options);
+  feed(fanout, input);
+  EXPECT_EQ(fanout.counters().recovered_workers, 1u);
+  EXPECT_EQ(a.records(), input);
+}
+
+TEST(ParallelFanOutSupervision, SpilledReplayBufferLosesFailedWorker) {
+  TraceContext ctx;
+  const auto input = make_records(ctx, 300);
+  FaultGuard guard("worker.throw:1:1");
+  Budget tiny(64);  // far below one batch: retention spills immediately
+  VectorSink a;
+  ParallelOptions options;
+  options.jobs = 1;
+  options.batch_records = 16;
+  options.worker_timeout = 0.2;
+  options.memory = &tiny;
+  ParallelFanOut fanout({&a}, options);
+  for (const TraceRecord& rec : input) fanout.on_record(rec);
+  EXPECT_THROW(fanout.on_end(), Error);
+  EXPECT_TRUE(fanout.counters().replay_spilled);
+  EXPECT_EQ(fanout.counters().lost_workers, 1u);
+  EXPECT_EQ(fanout.counters().recovered_workers, 0u);
+  EXPECT_EQ(tiny.used(), 0u);  // the spill released every charge
+}
+
+TEST(ParallelFanOutSupervision, CleanSupervisedRunRetainsNothingVisible) {
+  TraceContext ctx;
+  const auto input = make_records(ctx, 200);
+  VectorSink a, b;
+  ParallelOptions options;
+  options.jobs = 2;
+  options.batch_records = 16;
+  options.worker_timeout = 5;  // armed but never tripped
+  ParallelFanOut fanout({&a, &b}, options);
+  feed(fanout, input);
+  EXPECT_EQ(fanout.counters().stalled_workers, 0u);
+  EXPECT_EQ(fanout.counters().recovered_workers, 0u);
+  EXPECT_EQ(fanout.counters().lost_workers, 0u);
+  EXPECT_EQ(a.records(), input);
+  EXPECT_EQ(b.records(), input);
+  // The summary must not mention supervision on a clean run — tools
+  // print it verbatim and clean output stays byte-identical.
+  EXPECT_EQ(fanout.counters().summary().find("supervision:"),
+            std::string::npos);
 }
 
 }  // namespace

@@ -72,6 +72,54 @@ TEST(BoundedQueue, BlockingProducerConsumerCountsStalls) {
   EXPECT_LE(counters.peak_occupancy, 2u);
 }
 
+// Close/abort are idempotent and safe to race from any number of
+// threads against live producers and consumers: under TSan this is the
+// close-hammering regression test for the shutdown path.
+TEST(BoundedQueue, ConcurrentCloseHammering) {
+  constexpr int kRounds = 50;
+  for (int round = 0; round < kRounds; ++round) {
+    BoundedQueue<int> q(4);
+    std::atomic<std::uint64_t> popped{0};
+    std::vector<std::thread> threads;
+    threads.reserve(8);
+    for (int p = 0; p < 2; ++p) {
+      threads.emplace_back([&] {
+        for (int i = 0; i < 100; ++i) {
+          if (!q.push(i)) break;  // closed under us: expected
+        }
+      });
+    }
+    for (int c = 0; c < 2; ++c) {
+      threads.emplace_back([&] {
+        while (q.pop()) popped.fetch_add(1, std::memory_order_relaxed);
+      });
+    }
+    for (int k = 0; k < 3; ++k) {
+      threads.emplace_back([&] { q.close(); });
+    }
+    threads.emplace_back([&] { q.abort(); });
+    for (std::thread& t : threads) t.join();
+    EXPECT_TRUE(q.closed());
+    EXPECT_EQ(q.pop(), std::nullopt);
+    EXPECT_FALSE(q.push(-1));
+    // Another close/abort after everything settled must be harmless.
+    q.close();
+    q.abort();
+    q.close();
+    EXPECT_LE(popped.load(), q.counters().pushes);
+  }
+}
+
+TEST(BoundedQueue, CloseThenAbortDiscardsBacklog) {
+  BoundedQueue<int> q(4);
+  ASSERT_TRUE(q.push(1));
+  ASSERT_TRUE(q.push(2));
+  q.close();   // backlog stays poppable...
+  q.abort();   // ...until an abort demotes the close and discards it
+  EXPECT_EQ(q.size(), 0u);
+  EXPECT_EQ(q.pop(), std::nullopt);
+}
+
 TEST(BoundedQueue, ManyProducersManyConsumers) {
   BoundedQueue<int> q(8);
   constexpr int kProducers = 4;

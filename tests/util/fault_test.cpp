@@ -1,0 +1,146 @@
+#include "util/fault.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <vector>
+
+#include "util/error.hpp"
+
+namespace tdt::fault {
+namespace {
+
+// The injector is process-global; every test disarms on entry and exit
+// so the suite order cannot matter.
+class FaultInjectorTest : public ::testing::Test {
+ protected:
+  void SetUp() override { FaultInjector::reset(); }
+  void TearDown() override { FaultInjector::reset(); }
+};
+
+TEST_F(FaultInjectorTest, DisarmedByDefault) {
+  EXPECT_FALSE(FaultInjector::enabled());
+  EXPECT_EQ(FaultInjector::active(), nullptr);
+  EXPECT_FALSE(should_fire(Site::ReaderRead));
+  EXPECT_FALSE(maybe_stall());
+}
+
+TEST_F(FaultInjectorTest, SiteNamesRoundTrip) {
+  for (std::size_t i = 0; i < kSiteCount; ++i) {
+    const Site site = static_cast<Site>(i);
+    const auto parsed = parse_site(site_name(site));
+    ASSERT_TRUE(parsed.has_value()) << site_name(site);
+    EXPECT_EQ(*parsed, site);
+  }
+  EXPECT_FALSE(parse_site("no.such-site").has_value());
+  EXPECT_FALSE(parse_site("").has_value());
+}
+
+TEST_F(FaultInjectorTest, InstallParsesSeedSitesAndAfterN) {
+  FaultInjector::install("seed=99;worker.stall:0.5:3;writer.flush:1");
+  ASSERT_TRUE(FaultInjector::enabled());
+  const FaultInjector* f = FaultInjector::active();
+  EXPECT_EQ(f->seed(), 99u);
+  EXPECT_TRUE(f->rule(Site::WorkerStall).armed);
+  EXPECT_DOUBLE_EQ(f->rule(Site::WorkerStall).probability, 0.5);
+  EXPECT_EQ(f->rule(Site::WorkerStall).after_n, 3u);
+  EXPECT_TRUE(f->rule(Site::WriterFlush).armed);
+  EXPECT_EQ(f->rule(Site::WriterFlush).after_n, 0u);
+  EXPECT_FALSE(f->rule(Site::ReaderRead).armed);
+}
+
+TEST_F(FaultInjectorTest, EmptySpecDisarms) {
+  FaultInjector::install("reader.read:1");
+  ASSERT_TRUE(FaultInjector::enabled());
+  FaultInjector::install("");
+  EXPECT_FALSE(FaultInjector::enabled());
+}
+
+TEST_F(FaultInjectorTest, BadSpecsThrowConfigErrors) {
+  EXPECT_THROW(FaultInjector::install("bogus.site:1"), Error);
+  EXPECT_THROW(FaultInjector::install("reader.read"), Error);
+  EXPECT_THROW(FaultInjector::install("reader.read:1.5"), Error);
+  EXPECT_THROW(FaultInjector::install("reader.read:-0.5"), Error);
+  EXPECT_THROW(FaultInjector::install("reader.read:x"), Error);
+  EXPECT_THROW(FaultInjector::install("reader.read:1:abc"), Error);
+  EXPECT_THROW(FaultInjector::install("seed=7"), Error);  // no sites armed
+  // A failed install must not disturb the armed state.
+  FaultInjector::install("reader.read:1");
+  EXPECT_THROW(FaultInjector::install("bogus.site:1"), Error);
+  EXPECT_TRUE(FaultInjector::enabled());
+}
+
+TEST_F(FaultInjectorTest, AfterNSkipsExactlyNOpportunities) {
+  FaultInjector::install("worker.throw:1:4");
+  FaultInjector* f = FaultInjector::active();
+  for (int i = 0; i < 4; ++i) EXPECT_FALSE(f->fire(Site::WorkerThrow));
+  EXPECT_TRUE(f->fire(Site::WorkerThrow));
+  EXPECT_EQ(f->opportunities(Site::WorkerThrow), 5u);
+  EXPECT_EQ(f->fired(Site::WorkerThrow), 1u);
+}
+
+TEST_F(FaultInjectorTest, ProbabilityZeroNeverFires) {
+  FaultInjector::install("queue.push-delay:0");
+  FaultInjector* f = FaultInjector::active();
+  for (int i = 0; i < 1000; ++i) EXPECT_FALSE(f->fire(Site::QueuePushDelay));
+  EXPECT_EQ(f->fired(Site::QueuePushDelay), 0u);
+}
+
+TEST_F(FaultInjectorTest, SameSeedSameSchedule) {
+  const auto schedule = [](std::uint64_t seed) {
+    FaultInjector::install("seed=" + std::to_string(seed) +
+                           ";binary.crc-flip:0.25");
+    FaultInjector* f = FaultInjector::active();
+    std::vector<bool> fires;
+    fires.reserve(256);
+    for (int i = 0; i < 256; ++i) fires.push_back(f->fire(Site::BinaryCrcFlip));
+    return fires;
+  };
+  const std::vector<bool> a = schedule(7);
+  const std::vector<bool> b = schedule(7);
+  const std::vector<bool> c = schedule(8);
+  EXPECT_EQ(a, b);
+  EXPECT_NE(a, c);  // astronomically unlikely to collide over 256 draws
+}
+
+TEST_F(FaultInjectorTest, ProbabilityRoughlyRespected) {
+  FaultInjector::install("seed=3;sink.push-batch:0.25");
+  FaultInjector* f = FaultInjector::active();
+  int fired = 0;
+  constexpr int kDraws = 4000;
+  for (int i = 0; i < kDraws; ++i) {
+    if (f->fire(Site::SinkPushBatch)) ++fired;
+  }
+  EXPECT_EQ(f->fired(Site::SinkPushBatch), static_cast<std::uint64_t>(fired));
+  // 0.25 +/- a generous slack: this guards against inverted or constant
+  // draws, not statistical purity.
+  EXPECT_GT(fired, kDraws / 8);
+  EXPECT_LT(fired, kDraws / 2);
+}
+
+TEST_F(FaultInjectorTest, SitesDrawIndependently) {
+  FaultInjector::install("seed=5;worker.throw:0.5;worker.exit:0.5");
+  FaultInjector* f = FaultInjector::active();
+  std::vector<bool> a, b;
+  for (int i = 0; i < 128; ++i) {
+    a.push_back(f->fire(Site::WorkerThrow));
+    b.push_back(f->fire(Site::WorkerExit));
+  }
+  EXPECT_NE(a, b);  // the site index perturbs the hash
+}
+
+TEST_F(FaultInjectorTest, StallReleaseFreesInjectedStalls) {
+  FaultInjector::install("worker.stall:1");
+  EXPECT_FALSE(FaultInjector::stalls_released());
+  FaultInjector::release_stalls();
+  EXPECT_TRUE(FaultInjector::stalls_released());
+  // With the release already latched, maybe_stall() returns immediately
+  // but still reports that a stall fired.
+  EXPECT_TRUE(maybe_stall());
+  // A fresh install rearms the stall gate.
+  FaultInjector::install("worker.stall:1");
+  EXPECT_FALSE(FaultInjector::stalls_released());
+}
+
+}  // namespace
+}  // namespace tdt::fault

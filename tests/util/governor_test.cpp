@@ -1,0 +1,122 @@
+#include "util/governor.hpp"
+
+#include <gtest/gtest.h>
+
+#include <thread>
+#include <vector>
+
+#include "util/error.hpp"
+#include "util/obs.hpp"
+
+namespace tdt {
+namespace {
+
+TEST(Budget, UnlimitedByDefault) {
+  Budget b;
+  EXPECT_TRUE(b.unlimited());
+  EXPECT_TRUE(b.try_charge(1ull << 60));
+  EXPECT_EQ(b.used(), 1ull << 60);
+  EXPECT_EQ(b.denials(), 0u);
+}
+
+TEST(Budget, ChargesUpToTheLimitThenDenies) {
+  Budget b(100);
+  EXPECT_TRUE(b.try_charge(60));
+  EXPECT_TRUE(b.try_charge(40));
+  EXPECT_FALSE(b.try_charge(1));
+  EXPECT_EQ(b.used(), 100u);
+  EXPECT_EQ(b.peak(), 100u);
+  EXPECT_EQ(b.denials(), 1u);
+  b.release(40);
+  EXPECT_TRUE(b.try_charge(30));
+  EXPECT_EQ(b.used(), 90u);
+  EXPECT_EQ(b.peak(), 100u);  // high-water mark survives releases
+}
+
+TEST(Budget, ChargeThrowsResourceErrorNamingTheConsumer) {
+  Budget b(10);
+  b.charge(10, "result buffer");
+  try {
+    b.charge(1, "result buffer");
+    FAIL() << "expected Error{Resource}";
+  } catch (const Error& e) {
+    EXPECT_EQ(e.kind(), ErrorKind::Resource);
+    EXPECT_NE(std::string(e.what()).find("result buffer"), std::string::npos);
+    EXPECT_NE(std::string(e.what()).find("--max-memory"), std::string::npos);
+  }
+  EXPECT_EQ(b.used(), 10u);  // the failed charge left no residue
+  EXPECT_EQ(b.denials(), 1u);
+}
+
+TEST(Budget, ConcurrentChargesNeverOvershoot) {
+  Budget b(1000);
+  std::vector<std::thread> threads;
+  std::atomic<std::uint64_t> granted{0};
+  threads.reserve(8);
+  for (int t = 0; t < 8; ++t) {
+    threads.emplace_back([&] {
+      for (int i = 0; i < 1000; ++i) {
+        if (b.try_charge(7)) granted.fetch_add(7, std::memory_order_relaxed);
+      }
+    });
+  }
+  for (std::thread& th : threads) th.join();
+  EXPECT_EQ(b.used(), granted.load());
+  EXPECT_LE(b.used(), 1000u);
+  EXPECT_LE(b.peak(), 1000u);
+}
+
+TEST(Governor, DefaultGovernsNothing) {
+  Governor g;
+  EXPECT_FALSE(g.has_deadline());
+  EXPECT_FALSE(g.expired());
+  EXPECT_FALSE(g.deadline_hit());
+  EXPECT_TRUE(g.memory.unlimited());
+}
+
+TEST(Governor, NonPositiveDeadlineDisarms) {
+  Governor g;
+  g.set_deadline(0);
+  EXPECT_FALSE(g.has_deadline());
+  g.set_deadline(-1);
+  EXPECT_FALSE(g.has_deadline());
+  EXPECT_FALSE(g.expired());
+}
+
+TEST(Governor, ExpiredLatchesOnceThePastDeadlinePasses) {
+  Governor g;
+  g.set_deadline(1e-9);  // effectively already expired
+  ASSERT_TRUE(g.has_deadline());
+  while (!g.expired()) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(1));
+  }
+  EXPECT_TRUE(g.deadline_hit());
+  EXPECT_TRUE(g.expired());  // latched
+  // Re-arming far in the future does not unlatch history: hit stays.
+  g.set_deadline(3600);
+  EXPECT_TRUE(g.deadline_hit());
+}
+
+TEST(Governor, FarDeadlineDoesNotExpire) {
+  Governor g;
+  g.set_deadline(3600);
+  EXPECT_FALSE(g.expired());
+  EXPECT_FALSE(g.deadline_hit());
+}
+
+TEST(Governor, FoldPublishesGauges) {
+  Governor g;
+  g.memory.set_limit(100);
+  ASSERT_TRUE(g.memory.try_charge(60));
+  ASSERT_FALSE(g.memory.try_charge(60));
+  obs::Registry registry("test");
+  g.fold(&registry);
+  const std::string json = registry.metrics_json();
+  EXPECT_NE(json.find("governor.memory_limit_bytes"), std::string::npos);
+  EXPECT_NE(json.find("governor.memory_peak_bytes"), std::string::npos);
+  EXPECT_NE(json.find("governor.memory_denials"), std::string::npos);
+  g.fold(nullptr);  // no-op, must not crash
+}
+
+}  // namespace
+}  // namespace tdt
