@@ -24,6 +24,8 @@
 
 #include <chrono>
 #include <cstring>
+#include <filesystem>
+#include <fstream>
 #include <sstream>
 
 #include "cache/hierarchy.hpp"
@@ -38,9 +40,11 @@
 #include "trace/writer.hpp"
 #include "tracer/interp.hpp"
 #include "tracer/kernels.hpp"
+#include "trace/source.hpp"
 #include "util/error.hpp"
 #include "util/flags.hpp"
 #include "util/obs.hpp"
+#include "util/simd_scan.hpp"
 
 namespace {
 
@@ -338,6 +342,19 @@ std::vector<trace::TraceRecord> drain_reader(trace::GleipnirReader& reader) {
   return records;
 }
 
+std::vector<trace::TraceRecord> read_via_source(trace::TraceContext& ctx,
+                                                const std::string& path,
+                                                trace::IngestMode mode,
+                                                std::size_t reserve = 0) {
+  trace::GleipnirReader reader(ctx,
+                               trace::open_trace_byte_source(path, mode));
+  std::vector<trace::TraceRecord> records;
+  records.reserve(reserve + 4096);
+  while (reader.next_batch(records, 4096) != 0) {
+  }
+  return records;
+}
+
 int perf_report(int argc, char** argv) {
   FlagParser flags("bench_throughput",
                    "fast-path vs reference perf report (JSON)");
@@ -388,6 +405,64 @@ int perf_report(int argc, char** argv) {
                                   trace::read_trace_string(fast_ctx, text)) ==
         trace::write_trace_string(slow_ctx, drain_reader(slow_reader));
   }
+
+  // SIMD vs scalar tier: rate with the scanner forced to the portable
+  // loop, plus the byte-identity check (the tier must never change what
+  // is parsed, only how fast).
+  const simd::Tier bench_tier = simd::active_tier();
+  simd::set_active_tier(simd::Tier::Scalar);
+  const double read_scalar = best_rate(n, *repeat, [&] {
+    trace::TraceContext c;
+    benchmark::DoNotOptimize(trace::read_trace_string(c, text).data());
+  });
+  bool simd_identical;
+  {
+    trace::TraceContext scalar_ctx;
+    const std::string scalar_out = trace::write_trace_string(
+        scalar_ctx, trace::read_trace_string(scalar_ctx, text));
+    simd::set_active_tier(bench_tier);
+    trace::TraceContext simd_ctx;
+    simd_identical = trace::write_trace_string(
+                         simd_ctx, trace::read_trace_string(simd_ctx, text)) ==
+                     scalar_out;
+  }
+
+  // File-backed ingest backends (mmap slices / overlapped prefetch),
+  // timed end to end through the batched reader.
+  const std::string trace_path =
+      (std::filesystem::temp_directory_path() / "tdt_bench_ingest.trace")
+          .string();
+  {
+    std::ofstream out(trace_path, std::ios::binary);
+    out.write(text.data(), static_cast<std::streamsize>(text.size()));
+  }
+  const double read_mmap = best_rate(n, *repeat, [&] {
+    trace::TraceContext c;
+    benchmark::DoNotOptimize(
+        read_via_source(c, trace_path, trace::IngestMode::Mmap, n).data());
+  });
+  const double read_overlapped = best_rate(n, *repeat, [&] {
+    trace::TraceContext c;
+    benchmark::DoNotOptimize(
+        read_via_source(c, trace_path, trace::IngestMode::Overlapped, n).data());
+  });
+  bool source_identical;
+  {
+    trace::TraceContext mem_ctx;
+    const std::string mem_out = trace::write_trace_string(
+        mem_ctx, trace::read_trace_string(mem_ctx, text));
+    trace::TraceContext mmap_ctx;
+    trace::TraceContext ov_ctx;
+    source_identical =
+        trace::write_trace_string(
+            mmap_ctx,
+            read_via_source(mmap_ctx, trace_path, trace::IngestMode::Mmap)) ==
+            mem_out &&
+        trace::write_trace_string(
+            ov_ctx, read_via_source(ov_ctx, trace_path,
+                                    trace::IngestMode::Overlapped)) == mem_out;
+  }
+  std::filesystem::remove(trace_path);
   read_phase.stop();
 
   obs::PhaseTimer xform_phase(&registry, "bench-transform");
@@ -443,6 +518,12 @@ int perf_report(int argc, char** argv) {
   std::printf("read:      %12.0f rec/s fast, %12.0f rec/s slow  (%.2fx)%s\n",
               read_fast, read_slow, read_speedup,
               read_identical ? "" : "  OUTPUT MISMATCH");
+  std::printf("read tier: %s; scalar tier %12.0f rec/s%s\n",
+              std::string(simd::tier_name(bench_tier)).c_str(), read_scalar,
+              simd_identical ? "" : "  SIMD/SCALAR MISMATCH");
+  std::printf("ingest:    %12.0f rec/s mmap, %12.0f rec/s overlapped%s\n",
+              read_mmap, read_overlapped,
+              source_identical ? "" : "  SOURCE MISMATCH");
   std::printf("transform: %12.0f rec/s fast, %12.0f rec/s slow  (%.2fx)%s"
               "  [%llu matched records]\n",
               xform_fast, xform_slow, xform_speedup,
@@ -461,6 +542,12 @@ int perf_report(int argc, char** argv) {
   registry.gauge("read.slow_records_per_s").set(read_slow);
   registry.gauge("read.speedup").set(read_speedup);
   registry.gauge("read.identical_output").set(read_identical ? 1 : 0);
+  registry.gauge("read.simd_tier").set(static_cast<double>(bench_tier));
+  registry.gauge("read.scalar_records_per_s").set(read_scalar);
+  registry.gauge("read.simd_scalar_identical").set(simd_identical ? 1 : 0);
+  registry.gauge("read.mmap_records_per_s").set(read_mmap);
+  registry.gauge("read.overlapped_records_per_s").set(read_overlapped);
+  registry.gauge("read.source_identical").set(source_identical ? 1 : 0);
   registry.gauge("transform.cached_records_per_s").set(xform_fast);
   registry.gauge("transform.uncached_records_per_s").set(xform_slow);
   registry.gauge("transform.speedup").set(xform_speedup);
@@ -475,7 +562,10 @@ int perf_report(int argc, char** argv) {
     return 1;
   }
   std::printf("wrote %s\n", out_path->c_str());
-  return read_identical && xform_identical ? 0 : 1;
+  return read_identical && xform_identical && simd_identical &&
+                 source_identical
+             ? 0
+             : 1;
 }
 
 }  // namespace

@@ -14,6 +14,7 @@
 #include "trace/reader.hpp"
 #include "trace/record.hpp"
 #include "trace/sink.hpp"
+#include "trace/source.hpp"
 #include "trace/stats.hpp"
 #include "trace/stream.hpp"
 #include "trace/writer.hpp"

@@ -17,6 +17,7 @@
 #include "cache/page_map.hpp"
 #include "cache/sim.hpp"
 #include "cache/sweep.hpp"
+#include "trace/source.hpp"
 #include "util/diag.hpp"
 #include "util/flags.hpp"
 #include "util/governor.hpp"
@@ -29,6 +30,7 @@ struct CommonFlagChoices {
   bool error_policy = true;  ///< --on-error / --max-errors
   bool jobs = false;         ///< --jobs / --worker-timeout (pipeline tools)
   bool governor = false;     ///< --max-memory / --deadline (streaming tools)
+  bool ingest = false;       ///< --ingest (trace-reading tools)
 };
 
 /// The shared flag block. Register with add() before FlagParser::parse;
@@ -41,6 +43,7 @@ struct CommonFlags {
   const std::string* worker_timeout = nullptr;
   const std::string* max_memory = nullptr;
   const std::string* deadline = nullptr;
+  const std::string* ingest = nullptr;
   const std::string* fault_spec = nullptr;
   const std::string* metrics_json = nullptr;
   const std::string* trace_spans = nullptr;
@@ -61,6 +64,10 @@ struct CommonFlags {
   /// --worker-timeout in seconds (0 = supervision off). Throws
   /// Error{Config} on a malformed value.
   [[nodiscard]] double worker_timeout_seconds() const;
+
+  /// Parsed --ingest backend selection (Auto when the flag was not
+  /// registered). Throws Error{Config} on an unknown backend name.
+  [[nodiscard]] trace::IngestMode ingest_mode() const;
 
   /// Applies --max-memory/--deadline to `governor`. Only valid when the
   /// governor flags were registered.

@@ -52,7 +52,8 @@ int main(int argc, char** argv) {
                      "\"assoc=1;assoc=2;size=8k,assoc=4\"");
     const tools::CacheFlags cache_flags = tools::CacheFlags::add(flags);
     const tools::CommonFlags common = tools::CommonFlags::add(
-        flags, {.error_policy = true, .jobs = true, .governor = true});
+        flags, {.error_policy = true, .jobs = true, .governor = true,
+                .ingest = true});
     if (!flags.parse(argc, argv)) return 0;
     if (trace_path->empty()) {
       throw_config_error("--trace is required");
@@ -194,7 +195,8 @@ int main(int argc, char** argv) {
     {
       obs::PhaseTimer phase(registry, "stream");
       stream_result = trace::stream_trace_file(ctx, *trace_path, *head,
-                                               &diags, registry, &governor);
+                                               &diags, registry, &governor,
+                                               common.ingest_mode());
     }
     if (stream_result.deadline_hit) {
       std::fprintf(stderr,

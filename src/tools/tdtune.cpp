@@ -64,7 +64,8 @@ int main(int argc, char** argv) {
                      "single configuration from the cache flags)");
     const tools::CacheFlags cache = tools::CacheFlags::add(flags);
     const tools::CommonFlags common = tools::CommonFlags::add(
-        flags, {.error_policy = true, .jobs = true, .governor = true});
+        flags, {.error_policy = true, .jobs = true, .governor = true,
+                .ingest = true});
     if (!flags.parse(argc, argv)) return 0;
 
     std::string trace_path = *trace_flag;
@@ -110,7 +111,8 @@ int main(int argc, char** argv) {
     {
       obs::PhaseTimer phase(registry, "stream");
       stream_result = trace::stream_trace_file(ctx, trace_path, *head, &diags,
-                                               registry, &governor);
+                                               registry, &governor,
+                                               common.ingest_mode());
     }
     if (stream_result.deadline_hit) {
       std::fprintf(stderr,

@@ -23,7 +23,7 @@ int main(int argc, char** argv) {
     const auto* summary_only =
         flags.add_bool("summary", false, "print only the summary counts");
     const tools::CommonFlags common =
-        tools::CommonFlags::add(flags, {.governor = true});
+        tools::CommonFlags::add(flags, {.governor = true, .ingest = true});
     if (!flags.parse(argc, argv)) return 0;
     if (flags.positional().size() != 2) {
       std::fprintf(stderr,
@@ -63,7 +63,8 @@ int main(int argc, char** argv) {
       obs::PhaseTimer phase(registry,
                             side == 0 ? "stream-original" : "stream-transformed");
       const trace::StreamResult r = trace::stream_trace_file(
-          ctx, flags.positional()[side], *head, &diags, registry, &governor);
+          ctx, flags.positional()[side], *head, &diags, registry, &governor,
+          common.ingest_mode());
       deadline_hit = deadline_hit || r.deadline_hit;
     }
     if (deadline_hit) {

@@ -42,7 +42,7 @@ int main(int argc, char** argv) {
         flags.add_uint("block", 32, "footprint tracking granularity in bytes");
     const auto* top = flags.add_uint("top", 16, "rows per ranking table");
     const tools::CommonFlags common =
-        tools::CommonFlags::add(flags, {.governor = true});
+        tools::CommonFlags::add(flags, {.governor = true, .ingest = true});
     if (!flags.parse(argc, argv)) return 0;
     if (flags.positional().size() != 1) {
       std::fprintf(stderr, "usage: traceinfo <trace-file> [flags]\n");
@@ -73,7 +73,8 @@ int main(int argc, char** argv) {
       obs::PhaseTimer phase(registry, "stream");
       stream_result = trace::stream_trace_file(ctx, flags.positional()[0],
                                                *head, &diags, registry,
-                                               &governor);
+                                               &governor,
+                                               common.ingest_mode());
     }
     if (stream_result.deadline_hit) {
       std::fprintf(stderr,

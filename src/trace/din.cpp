@@ -95,7 +95,7 @@ std::vector<TraceRecord> read_din_file(TraceContext& ctx,
                                        const std::string& path,
                                        std::uint32_t default_size,
                                        DiagEngine* diags) {
-  std::ifstream in(path);
+  std::ifstream in(path, std::ios::in | std::ios::binary);
   if (!in) {
     throw_io_error("cannot open din trace '" + path + "'");
   }
@@ -129,7 +129,7 @@ std::string write_din_string(std::span<const TraceRecord> records) {
 
 void write_din_file(std::span<const TraceRecord> records,
                     const std::string& path) {
-  std::ofstream out(path);
+  std::ofstream out(path, std::ios::out | std::ios::binary);
   if (!out) {
     throw_io_error("cannot open '" + path + "' for writing");
   }

@@ -400,6 +400,19 @@ void ParallelFanOut::push_batch(std::span<const TraceRecord> batch) {
   for (const TraceRecord& rec : batch) on_record(rec);
 }
 
+void ParallelFanOut::push_batch_owned(std::vector<TraceRecord>&& batch) {
+  // Same staging policy as push_batch, but a full owned batch becomes
+  // the published RecordBatch directly — no copy into a fresh vector.
+  if (pending_.empty() && batch.size() >= options_.batch_records &&
+      !workers_.empty()) {
+    counters_.records += batch.size();
+    ++counters_.batches;
+    publish(std::make_shared<const RecordBatch>(std::move(batch)));
+    return;
+  }
+  push_batch(batch);
+}
+
 void ParallelFanOut::on_end() {
   if (finished_) return;
   finished_ = true;

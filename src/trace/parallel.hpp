@@ -137,6 +137,10 @@ class ParallelFanOut final : public TraceSink {
   // TraceSink
   void on_record(const TraceRecord& rec) override;
   void push_batch(std::span<const TraceRecord> batch) override;
+  /// Owned batches are published to the workers without the staging copy
+  /// push_batch needs (the batch storage itself becomes the shared
+  /// RecordBatch). This is the reader's bulk-ingest handoff.
+  void push_batch_owned(std::vector<TraceRecord>&& batch) override;
   /// Flushes the pending batch, closes the queues, joins the workers,
   /// forwards on_end to every sink (in the worker that owns it), then
   /// rethrows the first worker exception, if any. Idempotent.

@@ -1,20 +1,15 @@
 #include "trace/reader.hpp"
 
 #include <algorithm>
+#include <array>
 #include <cstring>
-#include <fstream>
 
 #include "util/error.hpp"
-#include "util/fault.hpp"
-#include "util/small_vector.hpp"
+#include "util/simd_scan.hpp"
 #include "util/string_util.hpp"
 
 namespace tdt::trace {
 namespace {
-
-/// Block size for bulk istream reads. Large enough that refills are rare,
-/// small enough to stay cache-friendly.
-constexpr std::size_t kReadBlock = 256 * 1024;
 
 /// A record line has at most 8 fields (kind, address, size, function,
 /// scope, frame, thread, variable); anything longer is malformed and goes
@@ -25,25 +20,74 @@ constexpr std::size_t kMaxRecordFields = 8;
 /// as much as the parse, and real record lines are far shorter).
 constexpr std::size_t kMaxMemoLine = 128;
 
+/// Records decoded per next_batch call when draining whole traces.
+constexpr std::size_t kDrainBatch = 4096;
+
+/// Fast twins of parse_hex/parse_uint for the hot path: short inputs
+/// (which cannot overflow) decode in a tight inline loop, anything
+/// longer defers to the reference parsers — so the set of accepted
+/// strings and the produced values are identical by construction.
+constexpr std::array<std::uint8_t, 256> kHexVal = [] {
+  std::array<std::uint8_t, 256> t{};
+  for (auto& v : t) v = 0xFF;
+  for (int i = 0; i < 10; ++i) t[static_cast<std::size_t>('0') + i] = i;
+  for (int i = 0; i < 6; ++i) {
+    t[static_cast<std::size_t>('a') + i] = 10 + i;
+    t[static_cast<std::size_t>('A') + i] = 10 + i;
+  }
+  return t;
+}();
+
+bool parse_hex_fast(std::string_view s, std::uint64_t& out) noexcept {
+  if (s.empty()) return false;
+  if (s.size() > 16) {  // only >16 digits can overflow; let from_chars rule
+    const auto v = parse_hex(s);
+    if (!v) return false;
+    out = *v;
+    return true;
+  }
+  std::uint64_t v = 0;
+  for (const char c : s) {
+    const std::uint8_t d = kHexVal[static_cast<unsigned char>(c)];
+    if (d == 0xFF) return false;
+    v = v << 4 | d;
+  }
+  out = v;
+  return true;
+}
+
+bool parse_uint_fast(std::string_view s, std::uint64_t& out) noexcept {
+  if (s.empty()) return false;
+  if (s.size() >= 2 && s[0] == '0' && (s[1] == 'x' || s[1] == 'X')) {
+    return parse_hex_fast(s.substr(2), out);
+  }
+  if (s.size() > 19) {  // 19 decimal digits always fit in a uint64
+    const auto v = parse_uint(s);
+    if (!v) return false;
+    out = *v;
+    return true;
+  }
+  std::uint64_t v = 0;
+  for (const char c : s) {
+    const unsigned d = static_cast<unsigned char>(c) - '0';
+    if (d > 9) return false;
+    v = v * 10 + d;
+  }
+  out = v;
+  return true;
+}
+
 /// Drains a reader into a vector, recording the first START pid.
 std::vector<TraceRecord> drain(GleipnirReader& reader, std::uint64_t* pid,
                                std::size_t reserve_hint = 0) {
   std::vector<TraceRecord> records;
-  records.reserve(reserve_hint);
-  bool saw_start = false;
-  while (auto ev = reader.next()) {
-    switch (ev->kind) {
-      case TraceEvent::Kind::Start:
-        if (!saw_start && pid != nullptr) *pid = ev->pid;
-        saw_start = true;
-        break;
-      case TraceEvent::Kind::End:
-        break;
-      case TraceEvent::Kind::Record:
-        records.push_back(std::move(ev->record));
-        break;
-    }
+  // next_batch resizes to size() + kDrainBatch before decoding, so the
+  // hint must cover that headroom or the final batch reallocates (and
+  // copies) the nearly complete vector.
+  records.reserve(reserve_hint == 0 ? 0 : reserve_hint + kDrainBatch);
+  while (reader.next_batch(records, kDrainBatch) != 0) {
   }
+  if (pid != nullptr && reader.saw_start()) *pid = reader.start_pid();
   return records;
 }
 
@@ -51,72 +95,81 @@ std::vector<TraceRecord> drain(GleipnirReader& reader, std::uint64_t* pid,
 
 GleipnirReader::GleipnirReader(TraceContext& ctx, std::istream& in,
                                DiagEngine* diags)
-    : ctx_(&ctx), in_(&in), diags_(diags) {
-  buf_.resize(kReadBlock);
-}
+    : GleipnirReader(ctx, std::make_unique<StreamSource>(in), diags) {}
 
 GleipnirReader::GleipnirReader(TraceContext& ctx, std::string_view text,
                                DiagEngine* diags)
-    : ctx_(&ctx), diags_(diags), mem_(text) {}
+    : GleipnirReader(ctx, std::make_unique<MemorySource>(text), diags) {}
+
+GleipnirReader::GleipnirReader(TraceContext& ctx,
+                               std::unique_ptr<ByteSource> source,
+                               DiagEngine* diags)
+    : ctx_(&ctx),
+      diags_(diags),
+      find_nl_(simd::find_newline_fn()),
+      tokenize_(simd::tokenize_fields_fn()),
+      source_(std::move(source)) {}
 
 bool GleipnirReader::next_line(std::string_view& out) {
-  if (in_ == nullptr) {
-    if (mem_pos_ >= mem_.size()) return false;
-    const std::size_t nl = mem_.find('\n', mem_pos_);
-    if (nl == std::string_view::npos) {
-      out = mem_.substr(mem_pos_);
-      mem_pos_ = mem_.size();
-    } else {
-      out = mem_.substr(mem_pos_, nl - mem_pos_);
-      mem_pos_ = nl + 1;
-    }
-    return true;
+  if (carry_active_) {
+    // The view handed out by the previous call aliased carry_; the
+    // caller is done with it now.
+    carry_.clear();
+    carry_active_ = false;
   }
   for (;;) {
-    const char* base = buf_.data();
-    if (pos_ < len_) {
-      const void* nl = std::memchr(base + pos_, '\n', len_ - pos_);
-      if (nl != nullptr) {
-        const std::size_t end =
-            static_cast<std::size_t>(static_cast<const char*>(nl) - base);
-        out = std::string_view(base + pos_, end - pos_);
-        pos_ = end + 1;
+    if (chunk_pos_ < chunk_.size()) {
+      const std::size_t nl =
+          chunk_pos_ + find_nl_(chunk_.data() + chunk_pos_,
+                                chunk_.size() - chunk_pos_);
+      if (nl < chunk_.size()) {
+        std::string_view line;
+        if (carry_.empty()) {
+          line = chunk_.substr(chunk_pos_, nl - chunk_pos_);
+        } else {
+          carry_.append(chunk_.data() + chunk_pos_, nl - chunk_pos_);
+          line = carry_;
+          carry_active_ = true;
+        }
+        chunk_pos_ = nl + 1;
+        std::size_t term = 1;
+        if (!line.empty() && line.back() == '\r') {
+          // CRLF: the '\r' belongs to the terminator, not the last field.
+          line.remove_suffix(1);
+          term = 2;
+        }
+        counters_.bytes += line.size() + term;
+        out = line;
         return true;
       }
+      // No newline in the remainder: stash it and refill.
+      carry_.append(chunk_.data() + chunk_pos_, chunk_.size() - chunk_pos_);
+      chunk_pos_ = chunk_.size();
     }
     if (eof_) {
-      if (pos_ < len_) {  // final line without trailing newline
-        out = std::string_view(base + pos_, len_ - pos_);
-        pos_ = len_;
+      if (!carry_.empty()) {
+        if (io_failed_) {
+          // A torn read: the buffered bytes are a fragment of a line of
+          // unknown length, not a final line. Never let it parse.
+          tail_discarded_ = true;
+          carry_.clear();
+          return false;
+        }
+        // Final line without a trailing newline. A lone trailing '\r'
+        // is data here: no '\n' was consumed, so there is no terminator
+        // to strip (and none is counted).
+        counters_.bytes += carry_.size();
+        out = std::string_view(carry_);
+        carry_active_ = true;
         return true;
       }
       return false;
     }
-    // No newline buffered: slide the partial line to the front and refill.
-    if (pos_ > 0) {
-      std::memmove(buf_.data(), buf_.data() + pos_, len_ - pos_);
-      len_ -= pos_;
-      pos_ = 0;
-    }
-    if (len_ == buf_.size()) {
-      buf_.resize(buf_.size() * 2);  // pathological line longer than a block
-    }
-    if (fault::FaultInjector::enabled() &&
-        fault::should_fire(fault::Site::ReaderRead)) [[unlikely]] {
+    chunk_ = source_->next_chunk();
+    chunk_pos_ = 0;
+    if (chunk_.empty()) {
       eof_ = true;
-      io_failed_ = true;
-      continue;  // deliver buffered complete lines, then fail
-    }
-    in_->read(buf_.data() + len_,
-              static_cast<std::streamsize>(buf_.size() - len_));
-    const std::size_t got = static_cast<std::size_t>(in_->gcount());
-    len_ += got;
-    if (got == 0) {
-      eof_ = true;
-      // badbit = the underlying read actually failed (I/O error), as
-      // opposed to a clean end of stream; surface it instead of treating
-      // a torn read as EOF.
-      if (in_->bad()) io_failed_ = true;
+      io_failed_ = source_->failed();
     }
   }
 }
@@ -178,89 +231,146 @@ TraceRecord GleipnirReader::parse_record_line(TraceContext& ctx,
   return rec;
 }
 
+bool GleipnirReader::probe_line_memo(std::string_view line, TraceRecord& out) {
+  // Probe the most recently hit slot first: a loop's scalar lines
+  // alternate between one or two entries, so the hit is almost always
+  // the first or second compare.
+  for (std::uint32_t k = 0; k < 4; ++k) {
+    const std::uint32_t slot = (memo_.mru_line + k) & 3;
+    const ParseMemo::LineEntry& entry = memo_.lines[slot];
+    if (line == entry.text && !entry.text.empty()) {
+      memo_.mru_line = slot;
+      out = entry.record;
+      return true;
+    }
+  }
+  return false;
+}
+
 bool GleipnirReader::parse_record_fast(TraceContext& ctx,
                                        std::string_view line,
                                        TraceRecord& out) {
-  return parse_record_fast_impl(ctx, line, out, nullptr);
+  return parse_record_fast_impl(ctx, line, out, nullptr,
+                                simd::tokenize_fields_fn());
 }
 
 bool GleipnirReader::parse_record_fast_impl(TraceContext& ctx,
                                             std::string_view line,
                                             TraceRecord& out,
-                                            ParseMemo* memo) {
+                                            ParseMemo* memo,
+                                            simd::TokenizeFieldsFn tokenize) {
   // Mirrors parse_record_line check for check (and in the same order, so
   // string-pool interning is identical whichever path runs): a line is
   // accepted here exactly when the slow path accepts it, and produces the
   // same record. Anything unusual returns false and is re-parsed slowly.
-  if (memo != nullptr) {
-    for (const ParseMemo::LineEntry& entry : memo->lines) {
-      if (line == entry.text && !entry.text.empty()) {
-        out = entry.record;
-        return true;
-      }
-    }
-  }
   const auto remember = [&](const TraceRecord& done) {
     if (memo == nullptr || line.size() > kMaxMemoLine) return;
     ParseMemo::LineEntry& slot = memo->lines[memo->next_line];
     slot.text.assign(line);
     slot.record = done;
+    memo->mru_line = memo->next_line;
     memo->next_line = (memo->next_line + 1) % 4;
   };
-  SmallVector<std::string_view, kMaxRecordFields> f;
-  if (!split_ws_into(line, f, kMaxRecordFields)) return false;
-  if (f.size() < 4) return false;
+  simd::FieldSpan spans[kMaxRecordFields];
+  const int nfields = tokenize(line.data(), line.size(), spans,
+                               kMaxRecordFields);
+  if (nfields < 4) return false;  // -1 = too many fields; both go slow
+  const std::size_t nf = static_cast<std::size_t>(nfields);
+  const auto f = [&](std::size_t i) noexcept {
+    return line.substr(spans[i].begin, spans[i].end - spans[i].begin);
+  };
   TraceRecord rec;
-  if (f[0].size() != 1 || !parse_access_kind(f[0][0], rec.kind)) return false;
-  const auto addr = parse_hex(f[1]);
-  if (!addr) return false;
-  rec.address = *addr;
-  const auto size = parse_uint(f[2]);
-  if (!size || *size == 0 || *size > 0xFFFFFFFFull) return false;
-  rec.size = static_cast<std::uint32_t>(*size);
-  if (memo != nullptr && f[3] == memo->function) {
+  if (spans[0].end - spans[0].begin != 1 ||
+      !parse_access_kind(line[spans[0].begin], rec.kind)) {
+    return false;
+  }
+  if (!parse_hex_fast(f(1), rec.address)) return false;
+  std::uint64_t size = 0;
+  if (!parse_uint_fast(f(2), size) || size == 0 || size > 0xFFFFFFFFull) {
+    return false;
+  }
+  rec.size = static_cast<std::uint32_t>(size);
+  if (memo != nullptr && f(3) == memo->function) {
     rec.function = memo->function_sym;
   } else {
-    rec.function = ctx.intern(f[3]);
+    rec.function = ctx.intern(f(3));
     if (memo != nullptr) {
-      memo->function.assign(f[3]);
+      memo->function.assign(f(3));
       memo->function_sym = rec.function;
     }
   }
 
-  if (f.size() == 4) {
+  if (nf == 4) {
     remember(rec);
     out = std::move(rec);
     return true;
   }
-  if (!parse_var_scope(f[4], rec.scope)) return false;
+  if (!parse_var_scope(f(4), rec.scope)) return false;
   std::size_t i = 5;
   if (!is_global_scope(rec.scope)) {
-    if (f.size() < 8) return false;
-    const auto frame = parse_uint(f[5]);
-    const auto thread = parse_uint(f[6]);
-    if (!frame || !thread || *frame > 0xFFFF || *thread > 0xFFFF) return false;
-    rec.frame = static_cast<std::uint16_t>(*frame);
-    rec.thread = static_cast<std::uint16_t>(*thread);
+    if (nf < 8) return false;
+    std::uint64_t frame = 0;
+    std::uint64_t thread = 0;
+    if (!parse_uint_fast(f(5), frame) || !parse_uint_fast(f(6), thread) ||
+        frame > 0xFFFF || thread > 0xFFFF) {
+      return false;
+    }
+    rec.frame = static_cast<std::uint16_t>(frame);
+    rec.thread = static_cast<std::uint16_t>(thread);
     i = 7;
   }
-  if (i + 1 != f.size()) return false;
+  if (i + 1 != nf) return false;
+  const std::string_view vt = f(i);
   if (memo != nullptr) {
     for (const ParseMemo::VarEntry& entry : memo->vars) {
-      if (f[i] == entry.text && !entry.text.empty()) {
+      if (vt == entry.text && !entry.text.empty()) {
         rec.var = entry.var;
         remember(rec);
         out = std::move(rec);
         return true;
       }
     }
+    // Array-walk hit: same text through the final '[', only the index
+    // digits differ. parse_uint is exactly the index parse
+    // try_parse_var would run, and the prefix parses independently of
+    // what follows its last '[', so the reused steps plus the fresh
+    // index are the record a full parse would produce. The line itself
+    // will not repeat (the index just changed), so it is not worth a
+    // line-memo slot — leaving the hot scalar lines in place.
+    if (!vt.empty() && vt.back() == ']') {
+      const std::size_t br = vt.rfind('[');
+      if (br != std::string_view::npos) {
+        const std::string_view prefix = vt.substr(0, br + 1);
+        for (const ParseMemo::WalkEntry& entry : memo->walks) {
+          if (prefix == entry.prefix && !entry.prefix.empty()) {
+            std::uint64_t idx = 0;
+            if (parse_uint_fast(vt.substr(br + 1, vt.size() - br - 2), idx)) {
+              rec.var = entry.var;
+              rec.var.steps.back() = VarStep::make_index(idx);
+              out = std::move(rec);
+              return true;
+            }
+            break;  // prefix matched but the digits are unusual: full parse
+          }
+        }
+      }
+    }
   }
-  if (!ctx.try_parse_var(f[i], rec.var)) return false;
+  if (!ctx.try_parse_var(vt, rec.var)) return false;
   if (memo != nullptr) {
     ParseMemo::VarEntry& slot = memo->vars[memo->next_var];
-    slot.text.assign(f[i]);
+    slot.text.assign(vt);
     slot.var = rec.var;
     memo->next_var ^= 1;
+    if (!vt.empty() && vt.back() == ']') {
+      const std::size_t br = vt.rfind('[');
+      if (br != std::string_view::npos) {
+        ParseMemo::WalkEntry& walk = memo->walks[memo->next_walk];
+        walk.prefix.assign(vt.substr(0, br + 1));
+        walk.var = rec.var;
+        memo->next_walk ^= 1;
+      }
+    }
   }
   remember(rec);
   out = std::move(rec);
@@ -288,80 +398,140 @@ std::optional<TraceRecord> GleipnirReader::salvage_record_line(
   return rec;
 }
 
+GleipnirReader::LineOutcome GleipnirReader::consume_cold(std::string_view body,
+                                                         TraceEvent& ev) {
+  if (starts_with(body, "START") || starts_with(body, "END")) {
+    const bool is_start = starts_with(body, "START");
+    const std::vector<std::string_view> f = split_ws(body);
+    const auto pid = f.size() == 3 && f[1] == "PID"
+                         ? parse_uint(f[2])
+                         : std::optional<std::uint64_t>{};
+    if (!pid) {
+      if (diags_ == nullptr || diags_->strict()) {
+        throw_parse_error("malformed marker line '" + std::string(body) + "'",
+                          {line_, 1});
+      }
+      // No useful repair for a marker: drop it and resync.
+      diags_->report(DiagSeverity::Error, DiagCode::TraceBadMarker,
+                     "malformed marker line '" + std::string(body) + "'",
+                     {line_, 1});
+      return LineOutcome::Skip;
+    }
+    ev.kind = is_start ? TraceEvent::Kind::Start : TraceEvent::Kind::End;
+    ev.pid = *pid;
+    if (is_start && !saw_start_) {
+      saw_start_ = true;
+      start_pid_ = *pid;
+    }
+    return LineOutcome::Marker;
+  }
+  ev.kind = TraceEvent::Kind::Record;
+  if (diags_ == nullptr || diags_->strict()) {
+    ev.record = parse_record_line(*ctx_, body, line_);
+    ++counters_.slow_records;
+    return LineOutcome::Record;
+  }
+  try {
+    ev.record = parse_record_line(*ctx_, body, line_);
+    ++counters_.slow_records;
+    return LineOutcome::Record;
+  } catch (const Error& e) {
+    if (diags_->repair()) {
+      if (auto salvaged = salvage_record_line(*ctx_, body)) {
+        diags_->report(DiagSeverity::Error, DiagCode::TraceRepairedLine,
+                       "repaired trace line (symbol annotation dropped): " +
+                           e.message(),
+                       {line_, 1});
+        ev.record = std::move(*salvaged);
+        ++counters_.slow_records;
+        return LineOutcome::Record;
+      }
+    }
+    diags_->report(DiagSeverity::Error, DiagCode::TraceBadLine, e.message(),
+                   {line_, 1});
+    return LineOutcome::Skip;  // resync at the next line
+  }
+}
+
+void GleipnirReader::report_io_failure() {
+  if (!io_failed_ || io_reported_) return;
+  io_reported_ = true;
+  const SourceLoc loc{line_ + 1, 1};
+  std::string msg = "trace read failed (stream error); " +
+                    std::to_string(line_) + " lines salvaged";
+  if (tail_discarded_) {
+    msg += "; partial final line discarded";
+  }
+  if (diags_ == nullptr || diags_->strict()) {
+    throw Error(ErrorKind::Io, std::move(msg), loc);
+  }
+  diags_->report(DiagSeverity::Error, DiagCode::TraceIoError, std::move(msg),
+                 loc);
+}
+
 std::optional<TraceEvent> GleipnirReader::next() {
   std::string_view raw;
   while (next_line(raw)) {
     ++line_;
-    counters_.bytes += raw.size() + 1;  // +1 for the line terminator
-    std::string_view body = trim(raw);
-    if (body.empty()) continue;
-    if (starts_with(body, "START") || starts_with(body, "END")) {
-      const bool is_start = starts_with(body, "START");
-      const std::vector<std::string_view> f = split_ws(body);
-      const auto pid = f.size() == 3 && f[1] == "PID"
-                           ? parse_uint(f[2])
-                           : std::optional<std::uint64_t>{};
-      if (!pid) {
-        if (diags_ == nullptr || diags_->strict()) {
-          throw_parse_error("malformed marker line '" + std::string(body) +
-                                "'",
-                            {line_, 1});
-        }
-        // No useful repair for a marker: drop it and resync.
-        diags_->report(DiagSeverity::Error, DiagCode::TraceBadMarker,
-                       "malformed marker line '" + std::string(body) + "'",
-                       {line_, 1});
-        continue;
-      }
-      TraceEvent ev;
-      ev.kind = is_start ? TraceEvent::Kind::Start : TraceEvent::Kind::End;
-      ev.pid = *pid;
-      return ev;
+    std::string_view body = raw;
+    if (!body.empty() && (is_ascii_space(body.front()) ||
+                          is_ascii_space(body.back()))) {
+      body = trim(body);
     }
+    if (body.empty()) continue;
     TraceEvent ev;
-    ev.kind = TraceEvent::Kind::Record;
-    if (!force_slow_ && parse_record_fast_impl(*ctx_, body, ev.record, &memo_)) {
+    // Markers never parse as records (their first field is not a single
+    // access-kind character), so trying the fast path first is safe.
+    if (!force_slow_ &&
+        (probe_line_memo(body, ev.record) ||
+         parse_record_fast_impl(*ctx_, body, ev.record, &memo_, tokenize_))) {
       ++counters_.fast_records;
       return ev;
     }
-    if (diags_ == nullptr || diags_->strict()) {
-      ev.record = parse_record_line(*ctx_, body, line_);
-      ++counters_.slow_records;
-      return ev;
-    }
-    try {
-      ev.record = parse_record_line(*ctx_, body, line_);
-      ++counters_.slow_records;
-      return ev;
-    } catch (const Error& e) {
-      if (diags_->repair()) {
-        if (auto salvaged = salvage_record_line(*ctx_, body)) {
-          diags_->report(DiagSeverity::Error, DiagCode::TraceRepairedLine,
-                         "repaired trace line (symbol annotation dropped): " +
-                             e.message(),
-                         {line_, 1});
-          ev.record = std::move(*salvaged);
-          ++counters_.slow_records;
-          return ev;
-        }
-      }
-      diags_->report(DiagSeverity::Error, DiagCode::TraceBadLine, e.message(),
-                     {line_, 1});
-      continue;  // resync at the next line
+    switch (consume_cold(body, ev)) {
+      case LineOutcome::Skip:
+        continue;
+      case LineOutcome::Marker:
+      case LineOutcome::Record:
+        return ev;
     }
   }
-  if (io_failed_ && !io_reported_) {
-    io_reported_ = true;
-    const SourceLoc loc{line_ + 1, 1};
-    std::string msg = "trace read failed (stream error); " +
-                      std::to_string(line_) + " lines salvaged";
-    if (diags_ == nullptr || diags_->strict()) {
-      throw Error(ErrorKind::Io, std::move(msg), loc);
-    }
-    diags_->report(DiagSeverity::Error, DiagCode::TraceIoError, std::move(msg),
-                   loc);
-  }
+  report_io_failure();
   return std::nullopt;
+}
+
+std::size_t GleipnirReader::next_batch(std::vector<TraceRecord>& out,
+                                       std::size_t max) {
+  const std::size_t base = out.size();
+  out.resize(base + max);
+  std::size_t produced = 0;
+  std::string_view raw;
+  while (produced < max && next_line(raw)) {
+    ++line_;
+    std::string_view body = raw;
+    if (!body.empty() && (is_ascii_space(body.front()) ||
+                          is_ascii_space(body.back()))) {
+      body = trim(body);
+    }
+    if (body.empty()) continue;
+    TraceRecord& slot = out[base + produced];
+    if (!force_slow_ &&
+        (probe_line_memo(body, slot) ||
+         parse_record_fast_impl(*ctx_, body, slot, &memo_, tokenize_)))
+        [[likely]] {
+      ++counters_.fast_records;
+      ++produced;
+      continue;
+    }
+    TraceEvent ev;
+    if (consume_cold(body, ev) == LineOutcome::Record) {
+      slot = std::move(ev.record);
+      ++produced;
+    }
+  }
+  out.resize(base + produced);
+  if (produced == 0) report_io_failure();
+  return produced;
 }
 
 std::vector<TraceRecord> read_trace_string(TraceContext& ctx,
@@ -381,11 +551,7 @@ std::vector<TraceRecord> read_trace_file(TraceContext& ctx,
                                          const std::string& path,
                                          std::uint64_t* pid,
                                          DiagEngine* diags) {
-  std::ifstream in(path);
-  if (!in) {
-    throw_io_error("cannot open trace file '" + path + "'");
-  }
-  GleipnirReader reader(ctx, in, diags);
+  GleipnirReader reader(ctx, open_trace_byte_source(path), diags);
   return drain(reader, pid);
 }
 

@@ -9,13 +9,16 @@
 #pragma once
 
 #include <istream>
+#include <memory>
 #include <optional>
 #include <string>
 #include <string_view>
 #include <vector>
 
 #include "trace/record.hpp"
+#include "trace/source.hpp"
 #include "util/diag.hpp"
+#include "util/simd_scan.hpp"
 
 namespace tdt::trace {
 
@@ -30,15 +33,23 @@ struct TraceEvent {
 
 /// Streaming line-by-line parser; blank lines are skipped.
 ///
-/// Ingestion is zero-copy on the steady state: input is consumed either
-/// straight from a caller-provided string_view or through a block buffer
-/// refilled with bulk istream::read (no per-line getline into a
-/// std::string), lines are tokenized in place into a fixed-capacity
-/// SmallVector of string_views, and well-formed records are decoded by a
-/// non-throwing fast parser. Any line the fast parser rejects is re-parsed
-/// by the original diagnostic-rich path, so error messages, recovery
-/// behaviour (--on-error) and exit codes are byte-for-byte identical to
-/// the slow path.
+/// Ingestion is zero-copy on the steady state: input arrives in chunks
+/// from a pluggable ByteSource (in-memory text, an mmap'd file, bulk
+/// istream reads, or a double-buffered overlapped pipe reader — see
+/// trace/source.hpp), lines are located with SIMD newline scans and only
+/// copied when they straddle a chunk boundary, fields are tokenized in
+/// place by the SIMD whitespace classifier (util/simd_scan.hpp), and
+/// well-formed records are decoded by a non-throwing fast parser. Any
+/// line the fast parser rejects is re-parsed by the original
+/// diagnostic-rich path, so error messages, recovery behaviour
+/// (--on-error) and exit codes are byte-for-byte identical to the slow
+/// path.
+///
+/// Line terminators: '\n' ends a line; a '\r' immediately before the
+/// '\n' belongs to the terminator (CRLF) and is stripped before the line
+/// is parsed or counted as payload. counters().bytes counts terminator
+/// bytes only when they were actually consumed, so it matches the file
+/// size for terminated and unterminated corpora alike.
 ///
 /// Without a DiagEngine (or with a Strict one) it throws Error{Parse}
 /// with the offending line number on malformed input. With a Skip/Repair
@@ -52,7 +63,8 @@ class GleipnirReader {
   /// each record (obs integration; folded into the metrics registry by
   /// trace/stream.cpp).
   struct Counters {
-    std::uint64_t bytes = 0;         ///< input bytes consumed (incl. newlines)
+    std::uint64_t bytes = 0;         ///< input bytes consumed (terminators
+                                     ///< counted only when present)
     std::uint64_t fast_records = 0;  ///< records decoded by the fast parser
     std::uint64_t slow_records = 0;  ///< records decoded by the slow path
   };
@@ -65,8 +77,26 @@ class GleipnirReader {
   GleipnirReader(TraceContext& ctx, std::string_view text,
                  DiagEngine* diags = nullptr);
 
+  /// Reads from an explicit byte source (see open_trace_byte_source).
+  GleipnirReader(TraceContext& ctx, std::unique_ptr<ByteSource> source,
+                 DiagEngine* diags = nullptr);
+
   /// Returns the next event, or nullopt at end of input.
   std::optional<TraceEvent> next();
+
+  /// Appends up to `max` records to `out` and returns how many were
+  /// produced; 0 means end of input. START/END markers are consumed and
+  /// validated inline (the first START's pid lands in start_pid()), and
+  /// diagnostics/recovery behave exactly as with next(). This is the
+  /// bulk ingest entry point: records decode straight into the batch
+  /// storage, with no per-record TraceEvent staging.
+  std::size_t next_batch(std::vector<TraceRecord>& out, std::size_t max);
+
+  /// True once a START marker was consumed (by next() or next_batch()).
+  [[nodiscard]] bool saw_start() const noexcept { return saw_start_; }
+
+  /// Pid of the first START marker; valid when saw_start().
+  [[nodiscard]] std::uint64_t start_pid() const noexcept { return start_pid_; }
 
   /// 1-based number of the line most recently consumed.
   [[nodiscard]] std::uint32_t line_number() const noexcept { return line_; }
@@ -113,6 +143,7 @@ class GleipnirReader {
     };
     LineEntry lines[4];
     std::uint32_t next_line = 0;
+    std::uint32_t mru_line = 0;  ///< slot of the most recent hit, probed first
 
     std::string function;
     Symbol function_sym;
@@ -122,41 +153,85 @@ class GleipnirReader {
     };
     VarEntry vars[2];  // two-way: a scalar alternating with an array walk
     std::uint32_t next_var = 0;
+
+    /// Array-walk memo: consecutive accesses "mX[0] mX[1] mX[2] ..."
+    /// share everything up to the final index, so on a prefix hit only
+    /// the index digits are re-parsed and the interned base/field
+    /// symbols are reused. `var`'s last step is always an index step.
+    /// Two ways: parallel-array walks (SoA mX/mY) alternate prefixes.
+    struct WalkEntry {
+      std::string prefix;  ///< variable text through the final '['
+      VarRef var;
+    };
+    WalkEntry walks[2];
+    std::uint32_t next_walk = 0;
   };
 
+  /// What one non-blank line turned into.
+  enum class LineOutcome : std::uint8_t {
+    Record,  ///< ev.record holds a decoded record
+    Marker,  ///< ev holds a START/END event
+    Skip,    ///< line was dropped (diagnostic reported); resync
+  };
+
+  /// Whole-line memo probe, hoisted out of parse_record_fast_impl so a
+  /// hit (the steady state: a loop's scalar accesses repeat byte for
+  /// byte) never pays the full parser's call overhead.
+  [[nodiscard]] bool probe_line_memo(std::string_view line, TraceRecord& out);
+
+  /// Full fast parse. Does NOT probe the line memo (callers do that
+  /// first); uses `memo` for the function/variable/walk memos and to
+  /// remember the parsed line.
   static bool parse_record_fast_impl(TraceContext& ctx, std::string_view line,
-                                     TraceRecord& out, ParseMemo* memo);
+                                     TraceRecord& out, ParseMemo* memo,
+                                     simd::TokenizeFieldsFn tokenize);
   /// Best-effort salvage of the first four fields (kind, address, size,
   /// function); nullopt when even those are malformed.
   static std::optional<TraceRecord> salvage_record_line(TraceContext& ctx,
                                                         std::string_view line);
 
-  /// Produces the next raw line (no trailing '\n') from the active
-  /// source. The view is valid until the next call.
+  /// Produces the next raw line (terminator stripped) from the source.
+  /// The view is valid until the next call. Counts consumed bytes.
   bool next_line(std::string_view& out);
 
+  /// Everything off the fast path: markers, slow re-parse, diagnostics.
+  LineOutcome consume_cold(std::string_view body, TraceEvent& ev);
+
+  /// Raises T004 once when the source died mid-stream (throws when
+  /// strict). No-op on clean EOF or when already reported.
+  void report_io_failure();
+
   TraceContext* ctx_;
-  std::istream* in_ = nullptr;  // nullptr in string_view mode
   DiagEngine* diags_;
+  // Active-tier scanners, resolved once at construction so the per-line
+  // calls skip the dispatch lookup.
+  simd::FindNewlineFn find_nl_;
+  simd::TokenizeFieldsFn tokenize_;
   std::uint32_t line_ = 0;
   bool force_slow_ = false;
   Counters counters_;
   ParseMemo memo_;
 
-  // string_view mode: unconsumed remainder of the caller's text.
-  std::string_view mem_;
-  std::size_t mem_pos_ = 0;
-
-  // istream mode: block buffer holding [pos_, len_) of undelivered bytes.
-  std::string buf_;
-  std::size_t pos_ = 0;
-  std::size_t len_ = 0;
+  std::unique_ptr<ByteSource> source_;
+  // Unconsumed remainder of the current source chunk.
+  std::string_view chunk_;
+  std::size_t chunk_pos_ = 0;
+  // Assembly buffer for lines straddling chunk boundaries. When the view
+  // handed out by next_line aliases carry_, carry_active_ is set and the
+  // buffer is reclaimed on the following call.
+  std::string carry_;
+  bool carry_active_ = false;
   bool eof_ = false;
-  // A refill died (istream badbit, or fault site reader.read). Buffered
-  // complete lines still drain — the prefix is salvaged — then next()
-  // raises T004 once instead of passing the truncation off as EOF.
+  // The source died (istream badbit, or fault site reader.read).
+  // Buffered complete lines still drain — the prefix is salvaged — then
+  // next() raises T004 once instead of passing the truncation off as EOF.
   bool io_failed_ = false;
   bool io_reported_ = false;
+  // A torn partial tail was suppressed (it is a fragment, not a final
+  // line); mentioned in the T004 diagnostic.
+  bool tail_discarded_ = false;
+  bool saw_start_ = false;
+  std::uint64_t start_pid_ = 0;
 };
 
 /// Reads every record of an in-memory trace text without copying it into
@@ -168,7 +243,8 @@ std::vector<TraceRecord> read_trace_string(TraceContext& ctx,
                                            std::uint64_t* pid = nullptr,
                                            DiagEngine* diags = nullptr);
 
-/// Reads a trace file from disk. Throws Error{Io} when the file cannot be
+/// Reads a trace file from disk (binary mode; mmap'd when possible, see
+/// open_trace_byte_source). Throws Error{Io} when the file cannot be
 /// opened.
 std::vector<TraceRecord> read_trace_file(TraceContext& ctx,
                                          const std::string& path,

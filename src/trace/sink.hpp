@@ -30,6 +30,14 @@ class TraceSink {
     for (const TraceRecord& rec : batch) on_record(rec);
   }
 
+  /// Receives a whole batch by value. Semantically identical to
+  /// push_batch over the same records; sinks that re-publish batches
+  /// (the parallel fan-out) override it to steal the storage instead of
+  /// copying. The vector is left in a valid but unspecified state.
+  virtual void push_batch_owned(std::vector<TraceRecord>&& batch) {
+    push_batch(batch);
+  }
+
   /// Signals end of trace (flush opportunity). Default: no-op.
   virtual void on_end() {}
 };

@@ -1,0 +1,272 @@
+#include "trace/source.hpp"
+
+#include <cstdlib>
+#include <cstring>
+#include <fstream>
+#include <iostream>
+
+#include "util/error.hpp"
+#include "util/fault.hpp"
+#include "util/simd_scan.hpp"
+
+#if defined(__unix__) || defined(__APPLE__)
+#define TDT_HAVE_MMAP 1
+#include <fcntl.h>
+#include <sys/mman.h>
+#include <sys/stat.h>
+#include <unistd.h>
+#endif
+
+namespace tdt::trace {
+namespace {
+
+/// One ReaderRead fault opportunity per chunk request, shared by every
+/// I/O-backed source (docs/robustness.md, site `reader.read`).
+[[nodiscard]] bool read_fault_fires() noexcept {
+  return fault::FaultInjector::enabled() &&
+         fault::should_fire(fault::Site::ReaderRead);
+}
+
+[[nodiscard]] std::unique_ptr<std::istream> open_binary(
+    const std::string& path) {
+  auto in = std::make_unique<std::ifstream>(path,
+                                            std::ios::in | std::ios::binary);
+  if (!*in) {
+    throw_io_error("cannot open trace file '" + path + "'");
+  }
+  return in;
+}
+
+}  // namespace
+
+// --- StreamSource ----------------------------------------------------------
+
+StreamSource::StreamSource(std::istream& in, std::size_t block) : in_(&in) {
+  buf_.resize(block == 0 ? kIngestBlock : block);
+}
+
+std::unique_ptr<StreamSource> StreamSource::open(const std::string& path) {
+  auto owned = open_binary(path);
+  auto source = std::make_unique<StreamSource>(*owned);
+  source->owned_ = std::move(owned);
+  return source;
+}
+
+std::string_view StreamSource::next_chunk() {
+  if (done_) return {};
+  if (read_fault_fires()) [[unlikely]] {
+    done_ = true;
+    failed_ = true;
+    return {};
+  }
+  in_->read(buf_.data(), static_cast<std::streamsize>(buf_.size()));
+  const std::size_t got = static_cast<std::size_t>(in_->gcount());
+  if (got == 0) {
+    done_ = true;
+    // badbit = the underlying read actually failed (I/O error), as
+    // opposed to a clean end of stream; surface it instead of treating
+    // a torn read as EOF.
+    failed_ = in_->bad();
+    return {};
+  }
+  return {buf_.data(), got};
+}
+
+// --- MmapSource ------------------------------------------------------------
+
+std::unique_ptr<MmapSource> MmapSource::open(const std::string& path,
+                                             std::size_t chunk) {
+#if TDT_HAVE_MMAP
+  const int fd = ::open(path.c_str(), O_RDONLY);
+  if (fd < 0) return nullptr;
+  struct stat st{};
+  if (::fstat(fd, &st) != 0 || !S_ISREG(st.st_mode) || st.st_size <= 0) {
+    ::close(fd);
+    return nullptr;
+  }
+  const auto size = static_cast<std::size_t>(st.st_size);
+  void* base = ::mmap(nullptr, size, PROT_READ, MAP_PRIVATE, fd, 0);
+  ::close(fd);  // the mapping keeps its own reference
+  if (base == MAP_FAILED) return nullptr;
+#if defined(POSIX_MADV_SEQUENTIAL)
+  ::posix_madvise(base, size, POSIX_MADV_SEQUENTIAL);
+#endif
+  return std::unique_ptr<MmapSource>(new MmapSource(
+      static_cast<const char*>(base), size, chunk == 0 ? kDefaultChunk : chunk));
+#else
+  (void)path;
+  (void)chunk;
+  return nullptr;
+#endif
+}
+
+MmapSource::~MmapSource() {
+#if TDT_HAVE_MMAP
+  if (base_ != nullptr) {
+    ::munmap(const_cast<char*>(base_), size_);
+  }
+#endif
+}
+
+std::string_view MmapSource::next_chunk() {
+  if (done_) return {};
+  // One ReaderRead opportunity per call, including the final EOF-
+  // signaling one — the same schedule as a stream source, whose EOF
+  // probe read is also an opportunity. Fault specs hit both backends at
+  // the same opportunity indices.
+  if (read_fault_fires()) [[unlikely]] {
+    done_ = true;
+    failed_ = true;
+    return {};
+  }
+  if (pos_ >= size_) {
+    done_ = true;
+    return {};
+  }
+  const std::size_t remaining = size_ - pos_;
+  std::size_t take = remaining < chunk_ ? remaining : chunk_;
+  if (take < remaining) {
+    // Cut at the last newline inside the slice so lines never straddle
+    // chunks (the memory stays contiguous, but the reader treats chunk
+    // ends as potential line breaks and would copy the straddler).
+    const std::size_t nl = std::string_view(base_ + pos_, take).rfind('\n');
+    if (nl != std::string_view::npos) {
+      take = nl + 1;
+    }
+  }
+  const std::string_view chunk(base_ + pos_, take);
+  pos_ += take;
+  return chunk;
+}
+
+// --- OverlappedSource ------------------------------------------------------
+
+OverlappedSource::OverlappedSource(std::istream& in, std::size_t block)
+    : in_(&in) {
+  const std::size_t cap = block == 0 ? kIngestBlock : block;
+  for (Slot& slot : slots_) slot.data.resize(cap);
+  prefetcher_ = std::thread([this] { prefetch_main(); });
+}
+
+std::unique_ptr<OverlappedSource> OverlappedSource::open(
+    const std::string& path) {
+  auto owned = open_binary(path);
+  // The prefetch thread starts inside the constructor, so the stream
+  // must be owned before construction, not adopted after.
+  auto source = std::make_unique<OverlappedSource>(*owned);
+  source->owned_ = std::move(owned);
+  return source;
+}
+
+OverlappedSource::~OverlappedSource() {
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    stop_ = true;
+  }
+  cv_.notify_all();
+  if (prefetcher_.joinable()) prefetcher_.join();
+}
+
+void OverlappedSource::prefetch_main() {
+  for (;;) {
+    std::unique_lock<std::mutex> lock(mu_);
+    Slot& slot = slots_[produce_];
+    cv_.wait(lock, [&] { return stop_ || !slot.ready; });
+    if (stop_) return;
+    lock.unlock();
+
+    // Fill outside the lock: the slot is invisible to the consumer
+    // until ready flips, and the prefetcher is the only producer.
+    bool fire = read_fault_fires();
+    std::size_t got = 0;
+    if (!fire) {
+      in_->read(slot.data.data(),
+                static_cast<std::streamsize>(slot.data.size()));
+      got = static_cast<std::size_t>(in_->gcount());
+    }
+
+    lock.lock();
+    if (fire || got == 0) {
+      eof_ = true;
+      failed_ = fire || in_->bad();
+      lock.unlock();
+      cv_.notify_all();
+      return;
+    }
+    slot.len = got;
+    slot.ready = true;
+    produce_ = (produce_ + 1) % 2;
+    lock.unlock();
+    cv_.notify_all();
+  }
+}
+
+std::string_view OverlappedSource::next_chunk() {
+  std::unique_lock<std::mutex> lock(mu_);
+  if (delivered_ > 0) {
+    // Release the slot delivered by the previous call.
+    Slot& prev = slots_[(consume_ + 1) % 2];
+    prev.ready = false;
+    cv_.notify_all();
+  }
+  Slot& slot = slots_[consume_];
+  cv_.wait(lock, [&] { return slot.ready || eof_; });
+  if (!slot.ready) return {};  // eof (possibly failed) and nothing buffered
+  consume_ = (consume_ + 1) % 2;
+  ++delivered_;
+  return {slot.data.data(), slot.len};
+}
+
+bool OverlappedSource::failed() const noexcept {
+  std::lock_guard<std::mutex> lock(
+      const_cast<OverlappedSource*>(this)->mu_);
+  return failed_;
+}
+
+// --- Backend selection -----------------------------------------------------
+
+std::unique_ptr<ByteSource> open_trace_byte_source(const std::string& path,
+                                                   IngestMode mode) {
+  if (path == "-") {
+    if (mode == IngestMode::Mmap) {
+      throw_io_error("cannot mmap standard input");
+    }
+    if (mode == IngestMode::Stream) {
+      return std::make_unique<StreamSource>(std::cin);
+    }
+    return std::make_unique<OverlappedSource>(std::cin);
+  }
+  switch (mode) {
+    case IngestMode::Stream:
+      return StreamSource::open(path);
+    case IngestMode::Overlapped:
+      return OverlappedSource::open(path);
+    case IngestMode::Mmap: {
+      auto mapped = MmapSource::open(path);
+      if (mapped == nullptr) {
+        throw_io_error("cannot mmap trace file '" + path + "'");
+      }
+      return mapped;
+    }
+    case IngestMode::Auto:
+      break;
+  }
+  const char* no_mmap = std::getenv("TDT_NO_MMAP");
+  const bool allow_mmap =
+      no_mmap == nullptr || no_mmap[0] == '\0' ||
+      (no_mmap[0] == '0' && no_mmap[1] == '\0');
+  if (allow_mmap) {
+    if (auto mapped = MmapSource::open(path)) return mapped;
+  }
+#if TDT_HAVE_MMAP
+  // A named pipe blocks and benefits from overlap; MmapSource::open
+  // already rejected it, so only the stat matters here.
+  struct stat st{};
+  if (::stat(path.c_str(), &st) == 0 && S_ISFIFO(st.st_mode)) {
+    return OverlappedSource::open(path);
+  }
+#endif
+  return StreamSource::open(path);
+}
+
+}  // namespace tdt::trace

@@ -18,6 +18,9 @@ TraceFormat guess_trace_format(const std::string& path) noexcept {
 
 namespace {
 
+/// Records per batch handed to the sink by the streaming layer.
+constexpr std::size_t kStreamBatch = 4096;
+
 /// Batching shim shared by every streaming entry point: records are
 /// delivered through push_batch in fixed-size batches — one virtual call
 /// per kStreamBatch records instead of one per record — and batch-aware
@@ -51,7 +54,6 @@ class BatchEmitter {
   }
 
  private:
-  static constexpr std::size_t kStreamBatch = 4096;
   TraceSink* sink_;
   Governor* governor_;
   std::vector<TraceRecord> batch_;
@@ -71,29 +73,28 @@ void fold_read_counters(obs::Registry* registry, std::uint64_t records,
   registry->counter("read.slow_parses").add(slow_parses);
 }
 
-/// Drains a Gleipnir reader (either backing mode) into a sink.
+/// Drains a Gleipnir reader (any byte-source backend) into a sink using
+/// the bulk next_batch entry point: records decode straight into the
+/// batch vector and ownership of the full batch passes to the sink
+/// (push_batch_owned), so batch-republishing sinks never copy. The
+/// governor deadline is checked at batch boundaries, exactly as the
+/// per-record emitter did.
 StreamResult drain_gleipnir(GleipnirReader& reader, TraceSink& sink,
                             obs::Registry* registry, Governor* governor) {
   StreamResult result;
-  BatchEmitter emitter(sink, governor);
-  bool saw_start = false;
-  bool keep_going = true;
-  while (keep_going) {
-    auto ev = reader.next();
-    if (!ev) break;
-    switch (ev->kind) {
-      case TraceEvent::Kind::Start:
-        if (!saw_start) result.pid = ev->pid;
-        saw_start = true;
-        break;
-      case TraceEvent::Kind::End:
-        break;
-      case TraceEvent::Kind::Record:
-        keep_going = emitter.emit(std::move(ev->record));
-        break;
-    }
+  std::vector<TraceRecord> batch;
+  batch.reserve(kStreamBatch);
+  for (;;) {
+    const std::size_t got = reader.next_batch(batch, kStreamBatch);
+    if (got == 0) break;
+    result.records += got;
+    sink.push_batch_owned(std::move(batch));
+    batch.clear();  // moved-from: reset to a known-empty state
+    batch.reserve(kStreamBatch);
+    if (governor != nullptr && governor->expired()) break;
   }
-  result.records = emitter.finish();
+  sink.on_end();
+  if (reader.saw_start()) result.pid = reader.start_pid();
   result.deadline_hit = governor != nullptr && governor->deadline_hit();
   fold_read_counters(registry, result.records, reader.counters().bytes,
                      reader.counters().fast_records,
@@ -157,11 +158,16 @@ StreamResult stream_trace_text(TraceContext& ctx, std::string_view text,
 
 StreamResult stream_trace_file(TraceContext& ctx, const std::string& path,
                                TraceSink& sink, DiagEngine* diags,
-                               obs::Registry* registry, Governor* governor) {
+                               obs::Registry* registry, Governor* governor,
+                               IngestMode ingest) {
   const TraceFormat format = guess_trace_format(path);
-  std::ifstream in(path, format == TraceFormat::Tdtb
-                             ? std::ios::binary | std::ios::in
-                             : std::ios::in);
+  if (format == TraceFormat::Gleipnir) {
+    GleipnirReader reader(ctx, open_trace_byte_source(path, ingest), diags);
+    return drain_gleipnir(reader, sink, registry, governor);
+  }
+  // Binary everywhere: din is a text format, but opening it in text mode
+  // would let a CRLF-translating runtime silently rewrite byte offsets.
+  std::ifstream in(path, std::ios::binary | std::ios::in);
   if (!in) {
     throw_io_error("cannot open trace file '" + path + "'");
   }

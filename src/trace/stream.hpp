@@ -8,6 +8,7 @@
 #include <string>
 
 #include "trace/sink.hpp"
+#include "trace/source.hpp"
 #include "util/diag.hpp"
 #include "util/governor.hpp"
 #include "util/obs.hpp"
@@ -55,11 +56,15 @@ StreamResult stream_trace_text(TraceContext& ctx, std::string_view text,
                                Governor* governor = nullptr);
 
 /// Opens `path`, guesses the format from its extension, and streams it
-/// into `sink`. Throws Error{Io} when the file cannot be opened.
+/// into `sink`. Files open in binary mode for every format. Gleipnir
+/// text reads through the byte-source layer (trace/source.hpp): `ingest`
+/// picks the backend, and "-" streams stdin through the overlapped
+/// reader. Throws Error{Io} when the file cannot be opened.
 StreamResult stream_trace_file(TraceContext& ctx, const std::string& path,
                                TraceSink& sink, DiagEngine* diags = nullptr,
                                obs::Registry* registry = nullptr,
-                               Governor* governor = nullptr);
+                               Governor* governor = nullptr,
+                               IngestMode ingest = IngestMode::Auto);
 
 /// Pass-through sink feeding a --progress heartbeat: forwards every
 /// record/batch downstream unchanged and ticks the heartbeat per batch,
@@ -76,6 +81,10 @@ class ProgressSink final : public TraceSink {
   void push_batch(std::span<const TraceRecord> batch) override {
     heartbeat_->tick(batch.size());
     downstream_->push_batch(batch);
+  }
+  void push_batch_owned(std::vector<TraceRecord>&& batch) override {
+    heartbeat_->tick(batch.size());
+    downstream_->push_batch_owned(std::move(batch));
   }
   void on_end() override {
     heartbeat_->finish();

@@ -50,7 +50,7 @@ std::string write_trace_string(const TraceContext& ctx,
 void write_trace_file(const TraceContext& ctx,
                       std::span<const TraceRecord> records,
                       const std::string& path, std::uint64_t pid) {
-  std::ofstream out(path);
+  std::ofstream out(path, std::ios::out | std::ios::binary);
   if (!out) {
     throw_io_error("cannot open '" + path + "' for writing");
   }

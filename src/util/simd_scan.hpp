@@ -1,0 +1,78 @@
+// SIMD line scanning and field tokenization for the trace ingest path.
+//
+// Two primitives sit under the Gleipnir reader's hot loop: find_newline
+// (locate the end of the current line inside a source chunk) and
+// tokenize_fields (split a record line on runs of ASCII whitespace).
+// Both come in three implementation tiers — AVX2, SSE2, and a portable
+// scalar loop — selected once at startup by runtime CPU detection.
+// Every tier is bit-for-bit equivalent: same positions, same field
+// spans, same overflow behaviour; the differential tests in
+// tests/util/simd_scan_test.cpp and the fuzz harness in
+// tests/trace/tokenizer_fuzz_test.cpp hold them to that.
+//
+// Setting TDT_NO_SIMD=1 in the environment forces the scalar tier (CI
+// runs the byte-identity suites both ways); set_active_tier() lets a
+// test walk every supported tier inside one process.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <string_view>
+
+namespace tdt::simd {
+
+/// Implementation tiers, ordered weakest to strongest. Dispatch picks
+/// the strongest tier the CPU supports unless overridden.
+enum class Tier : std::uint8_t { Scalar = 0, Sse2 = 1, Avx2 = 2 };
+
+/// Canonical tier name ("scalar", "sse2", "avx2").
+[[nodiscard]] std::string_view tier_name(Tier t) noexcept;
+
+/// Strongest tier this CPU can run (ignores TDT_NO_SIMD).
+[[nodiscard]] Tier best_supported_tier() noexcept;
+
+/// Tier the dispatched entry points currently use. Resolved on first
+/// use: TDT_NO_SIMD=1 (or any non-empty value other than "0") forces
+/// Scalar, otherwise best_supported_tier().
+[[nodiscard]] Tier active_tier() noexcept;
+
+/// Test hook: redirects dispatch to `t`, clamped to the best supported
+/// tier. Returns the tier actually in effect. Not thread-safe; call
+/// only from single-threaded test setup.
+Tier set_active_tier(Tier t) noexcept;
+
+/// Index of the first '\n' in `s` at or after `from`; s.size() when
+/// there is none. Identical to memchr semantics on the suffix.
+[[nodiscard]] std::size_t find_newline(std::string_view s,
+                                       std::size_t from = 0) noexcept;
+
+/// Raw handle to the active tier's newline scanner: returns the offset
+/// of the first '\n' in [p, p+n), or n. For callers hot enough that the
+/// per-call dispatch lookup matters (the trace reader calls this once
+/// per line). Snapshot of the active tier — re-fetch after
+/// set_active_tier.
+using FindNewlineFn = std::size_t (*)(const char* p, std::size_t n) noexcept;
+[[nodiscard]] FindNewlineFn find_newline_fn() noexcept;
+
+/// One whitespace-separated field, as offsets into the scanned line.
+struct FieldSpan {
+  std::uint32_t begin = 0;
+  std::uint32_t end = 0;  ///< one past the last byte
+};
+
+/// Splits `line` on runs of the six ASCII whitespace characters
+/// (is_ascii_space) into at most `max_fields` spans written to `out`.
+/// Returns the field count, or -1 the moment a (max_fields+1)-th field
+/// starts — mirroring split_ws_into's "line too exotic for the fast
+/// path" contract, with out[0..max_fields) holding the first
+/// max_fields spans. Empty fields never occur (runs are collapsed).
+[[nodiscard]] int tokenize_fields(std::string_view line, FieldSpan* out,
+                                  std::size_t max_fields) noexcept;
+
+/// Raw handle to the active tier's tokenizer (same contract as
+/// tokenize_fields). Snapshot — re-fetch after set_active_tier.
+using TokenizeFieldsFn = int (*)(const char* p, std::size_t n, FieldSpan* out,
+                                 std::size_t max_fields) noexcept;
+[[nodiscard]] TokenizeFieldsFn tokenize_fields_fn() noexcept;
+
+}  // namespace tdt::simd

@@ -95,6 +95,46 @@ endif()
 check_same("reader fault determinism" ${WORKDIR}/reader_skip.stdout
            ${WORKDIR}/reader_rerun.stdout)
 
+# -- Reader row x ingest backends. --------------------------------------------
+# The ReaderRead site must fire identically whichever ByteSource feeds the
+# parser: mmap slices and overlapped prefetch reads pass the same
+# injection point as synchronous stream refills, so the salvage+T004
+# contract is backend-independent.
+foreach(ingest mmap overlapped)
+  execute_process(
+    COMMAND ${DINEROSIM} --trace ${WORKDIR}/good.out --size 4096
+            --ingest ${ingest}
+            --on-error=strict --fault-spec "seed=7;reader.read:1:1"
+    RESULT_VARIABLE rc ERROR_VARIABLE err)
+  check_rc("reader fault strict (${ingest})" 2 "${rc}")
+  if(NOT err MATCHES "trace read failed")
+    message(FATAL_ERROR "reader fault strict (${ingest}) missing diagnostic: ${err}")
+  endif()
+
+  execute_process(
+    COMMAND ${DINEROSIM} --trace ${WORKDIR}/good.out --size 4096
+            --ingest ${ingest}
+            --on-error=skip --fault-spec "seed=7;reader.read:1:1"
+    OUTPUT_FILE ${WORKDIR}/reader_${ingest}.stdout
+    RESULT_VARIABLE rc ERROR_VARIABLE err)
+  check_rc("reader fault skip (${ingest})" 1 "${rc}")
+  if(NOT err MATCHES "trace-io-error")
+    message(FATAL_ERROR "reader fault skip (${ingest}) missing T004: ${err}")
+  endif()
+  check_same("reader fault (${ingest}) salvages everything"
+             ${WORKDIR}/baseline.stdout ${WORKDIR}/reader_${ingest}.stdout)
+endforeach()
+
+# Stdin ingest ("-" reads through the overlapped source) keeps the same
+# report and exit code as the file-backed baseline.
+execute_process(
+  COMMAND ${DINEROSIM} --trace - --size 4096
+  INPUT_FILE ${WORKDIR}/good.out
+  OUTPUT_FILE ${WORKDIR}/stdin.stdout RESULT_VARIABLE rc)
+check_rc("stdin ingest clean" 0 "${rc}")
+check_same("stdin ingest bit-identity" ${WORKDIR}/baseline.stdout
+           ${WORKDIR}/stdin.stdout)
+
 # -- Writer row: the transformed-trace flush fails (ENOSPC). ------------------
 # A write failure is fatal under every policy: skipping output corruption
 # is never an option.

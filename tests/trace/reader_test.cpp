@@ -2,9 +2,11 @@
 
 #include <gtest/gtest.h>
 
+#include <memory>
 #include <sstream>
 
 #include "util/error.hpp"
+#include "util/fault.hpp"
 
 namespace tdt::trace {
 namespace {
@@ -269,6 +271,191 @@ TEST(Reader, ParseRecordLineDirect) {
   EXPECT_EQ(rec.kind, AccessKind::Modify);
   EXPECT_EQ(ctx.name(rec.function), "foo");
   EXPECT_EQ(ctx.format_var(rec.var), "i");
+}
+
+// Regression (ISSUE satellite 1): read.bytes over-counted the final line
+// by one when the corpus had no trailing newline — the terminator was
+// charged whether or not it existed. bytes must equal the input size for
+// terminated and unterminated corpora alike, in both ingest modes.
+TEST(Reader, BytesMatchInputSizeWithAndWithoutFinalNewline) {
+  const std::string terminated =
+      "START PID 1\nL 7ff0001b0 8 main\nEND PID 1\n";
+  const std::string unterminated =
+      "START PID 1\nL 7ff0001b0 8 main\nEND PID 1";
+
+  for (const std::string& corpus : {terminated, unterminated}) {
+    // Zero-copy in-memory mode.
+    {
+      TraceContext ctx;
+      GleipnirReader reader(ctx, std::string_view(corpus));
+      while (reader.next()) {
+      }
+      EXPECT_EQ(reader.counters().bytes, corpus.size())
+          << "memory mode, corpus size " << corpus.size();
+    }
+    // Stream mode, with a block size that splits the final line.
+    {
+      std::istringstream in(corpus);
+      TraceContext ctx;
+      GleipnirReader reader(ctx, std::make_unique<StreamSource>(in, 16));
+      while (reader.next()) {
+      }
+      EXPECT_EQ(reader.counters().bytes, corpus.size())
+          << "stream mode, corpus size " << corpus.size();
+    }
+  }
+}
+
+// Regression (ISSUE satellite 3): CRLF terminators. The '\r' belongs to
+// the terminator, not the payload, and the records must come out
+// identical to the LF-terminated corpus; bytes still match the input.
+TEST(Reader, CrlfCorpusParsesIdenticallyToLf) {
+  const std::string lf =
+      "START PID 9\n"
+      "S 7ff0001b0 8 main LV 0 1 x\n"
+      "L 7ff0001b0 8 main\n"
+      "S 7ff000180 4 main LS 0 1 a[3]\n"
+      "END PID 9\n";
+  std::string crlf;
+  for (const char c : lf) {
+    if (c == '\n') crlf += '\r';
+    crlf += c;
+  }
+
+  TraceContext lf_ctx;
+  std::uint64_t lf_pid = 0;
+  const auto want = read_trace_string(lf_ctx, lf, &lf_pid);
+
+  TraceContext ctx;
+  std::uint64_t pid = 0;
+  GleipnirReader reader(ctx, std::string_view(crlf));
+  std::vector<TraceRecord> got;
+  while (auto ev = reader.next()) {
+    if (ev->kind == TraceEvent::Kind::Record) {
+      got.push_back(std::move(ev->record));
+    } else if (ev->kind == TraceEvent::Kind::Start) {
+      pid = ev->pid;
+    }
+  }
+  EXPECT_EQ(pid, lf_pid);
+  ASSERT_EQ(got.size(), want.size());
+  for (std::size_t i = 0; i < want.size(); ++i) {
+    EXPECT_EQ(ctx.format_record(got[i]), lf_ctx.format_record(want[i]));
+  }
+  EXPECT_EQ(reader.counters().bytes, crlf.size());
+
+  // A lone '\r' at end-of-input (no '\n' after it) is payload, not a
+  // terminator fragment — the line is malformed, not silently eaten.
+  TraceContext cr_ctx;
+  EXPECT_THROW((void)read_trace_string(cr_ctx, "L 7ff0001b0 8\r"), Error);
+}
+
+// Regression (ISSUE satellite 2): when the source dies mid-stream, the
+// buffered partial tail is a torn fragment, not a final line. It must
+// never surface as a record, and the T004 diagnostic says it was
+// discarded.
+TEST(Reader, TornTailAfterIoFailureIsSuppressed) {
+  fault::FaultInjector::reset();
+  // 48-byte blocks: the first read ends inside the second record line,
+  // leaving a syntactically valid prefix ("S 7ff0001c0 4 main GV g")
+  // buffered when the second read fails.
+  const std::string corpus =
+      "START PID 5\n"
+      "L 7ff0001b0 8 main\n"
+      "S 7ff0001c0 4 main GV glScalar\n"
+      "S 7ff0001d0 4 main GV glOther\n"
+      "END PID 5\n";
+  fault::FaultInjector::install("seed=1;reader.read:1:1");
+
+  std::istringstream in(corpus);
+  TraceContext ctx;
+  DiagEngine diags(ErrorPolicy::Skip);
+  GleipnirReader reader(ctx, std::make_unique<StreamSource>(in, 48), &diags);
+  std::vector<TraceRecord> records;
+  while (auto ev = reader.next()) {
+    if (ev->kind == TraceEvent::Kind::Record) {
+      records.push_back(std::move(ev->record));
+    }
+  }
+  fault::FaultInjector::reset();
+
+  // Only the complete line from the delivered block survives; the torn
+  // fragment of the second record never became a record.
+  ASSERT_EQ(records.size(), 1u);
+  EXPECT_EQ(ctx.format_record(records[0]), "L 7ff0001b0 8 main");
+
+  EXPECT_EQ(diags.count(DiagCode::TraceIoError), 1u);
+  ASSERT_FALSE(diags.retained().empty());
+  const Diagnostic& d = diags.retained().front();
+  EXPECT_EQ(d.code, DiagCode::TraceIoError);
+  EXPECT_NE(d.message.find("partial final line discarded"),
+            std::string::npos)
+      << d.message;
+}
+
+// Strict mode: the same torn read is fatal, and the error message still
+// names the discarded fragment.
+TEST(Reader, TornTailIsFatalWhenStrict) {
+  fault::FaultInjector::reset();
+  const std::string corpus =
+      "START PID 5\n"
+      "L 7ff0001b0 8 main\n"
+      "S 7ff0001c0 4 main GV glScalar\n";
+  fault::FaultInjector::install("seed=1;reader.read:1:1");
+
+  std::istringstream in(corpus);
+  TraceContext ctx;
+  GleipnirReader reader(ctx, std::make_unique<StreamSource>(in, 24));
+  bool threw = false;
+  try {
+    while (reader.next()) {
+    }
+  } catch (const Error& e) {
+    threw = true;
+    EXPECT_EQ(e.kind(), ErrorKind::Io);
+    EXPECT_NE(std::string(e.what()).find("partial final line discarded"),
+              std::string::npos)
+        << e.what();
+  }
+  fault::FaultInjector::reset();
+  EXPECT_TRUE(threw);
+}
+
+// next_batch() is the bulk twin of next(): same records, same order,
+// same counters, markers consumed inline.
+TEST(Reader, NextBatchMatchesNextEventByEvent) {
+  std::string corpus = "START PID 11\n";
+  for (int i = 0; i < 300; ++i) {
+    corpus += "S 7ff000180 4 main LS 0 1 a[" + std::to_string(i) + "]\n";
+    corpus += "L 7ff0001b8 4 main LV 0 1 i\n";
+  }
+  corpus += "END PID 11\n";
+
+  TraceContext one_ctx;
+  std::vector<TraceRecord> one;
+  GleipnirReader one_reader(one_ctx, std::string_view(corpus));
+  while (auto ev = one_reader.next()) {
+    if (ev->kind == TraceEvent::Kind::Record) {
+      one.push_back(std::move(ev->record));
+    }
+  }
+
+  TraceContext batch_ctx;
+  std::vector<TraceRecord> batch;
+  GleipnirReader batch_reader(batch_ctx, std::string_view(corpus));
+  while (batch_reader.next_batch(batch, 97) != 0) {  // odd batch size
+  }
+
+  ASSERT_EQ(batch.size(), one.size());
+  for (std::size_t i = 0; i < one.size(); ++i) {
+    EXPECT_EQ(batch_ctx.format_record(batch[i]),
+              one_ctx.format_record(one[i]));
+  }
+  EXPECT_EQ(batch_reader.start_pid(), 11u);
+  EXPECT_TRUE(batch_reader.saw_start());
+  EXPECT_EQ(batch_reader.counters().bytes, one_reader.counters().bytes);
+  EXPECT_EQ(batch_reader.counters().fast_records,
+            one_reader.counters().fast_records);
 }
 
 }  // namespace

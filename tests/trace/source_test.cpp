@@ -1,0 +1,196 @@
+#include "trace/source.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cstdlib>
+#include <filesystem>
+#include <fstream>
+#include <sstream>
+#include <string>
+
+#include "trace/reader.hpp"
+#include "util/error.hpp"
+
+namespace tdt::trace {
+namespace {
+
+std::filesystem::path temp_path(const char* name) {
+  return std::filesystem::temp_directory_path() / name;
+}
+
+void write_file(const std::filesystem::path& path, std::string_view text) {
+  std::ofstream out(path, std::ios::binary);
+  ASSERT_TRUE(out.good());
+  out.write(text.data(), static_cast<std::streamsize>(text.size()));
+  ASSERT_TRUE(out.good());
+}
+
+std::string drain_source(ByteSource& src) {
+  std::string all;
+  for (std::string_view chunk = src.next_chunk(); !chunk.empty();
+       chunk = src.next_chunk()) {
+    all.append(chunk);
+  }
+  return all;
+}
+
+std::string sample_trace() {
+  std::string text = "START PID 42\n";
+  for (int i = 0; i < 500; ++i) {
+    text += "S 7ff0001b0 8 main LS 0 1 arr[" + std::to_string(i) + "]\n";
+    text += "L 7ff0001b8 4 main LV 0 1 i\n";
+  }
+  text += "END PID 42\n";
+  return text;
+}
+
+TEST(ByteSourceTest, AllBackendsDeliverIdenticalBytes) {
+  const std::string text = sample_trace();
+  const auto path = temp_path("tdt_source_equiv.trace");
+  write_file(path, text);
+
+  MemorySource mem(text);
+  EXPECT_EQ(drain_source(mem), text);
+  EXPECT_FALSE(mem.failed());
+  EXPECT_EQ(mem.name(), "memory");
+
+  std::istringstream stream_in(text);
+  StreamSource stream(stream_in);
+  EXPECT_EQ(drain_source(stream), text);
+  EXPECT_FALSE(stream.failed());
+  EXPECT_EQ(stream.name(), "stream");
+
+  // Tiny blocks force chunk boundaries inside lines.
+  std::istringstream small_in(text);
+  StreamSource small(small_in, 7);
+  EXPECT_EQ(drain_source(small), text);
+  EXPECT_FALSE(small.failed());
+
+  auto mmap = MmapSource::open(path.string());
+  ASSERT_NE(mmap, nullptr);
+  EXPECT_EQ(drain_source(*mmap), text);
+  EXPECT_FALSE(mmap->failed());
+  EXPECT_EQ(mmap->name(), "mmap");
+
+  // Small mmap chunks must cut at newline boundaries yet lose nothing.
+  auto mmap_small = MmapSource::open(path.string(), 64);
+  ASSERT_NE(mmap_small, nullptr);
+  EXPECT_EQ(drain_source(*mmap_small), text);
+
+  std::istringstream ov_in(text);
+  OverlappedSource overlapped(ov_in, 128);
+  EXPECT_EQ(drain_source(overlapped), text);
+  EXPECT_FALSE(overlapped.failed());
+  EXPECT_EQ(overlapped.name(), "overlapped");
+
+  std::filesystem::remove(path);
+}
+
+TEST(ByteSourceTest, MmapChunksEndAtNewlines) {
+  const std::string text = sample_trace();
+  const auto path = temp_path("tdt_source_align.trace");
+  write_file(path, text);
+
+  auto mmap = MmapSource::open(path.string(), 256);
+  ASSERT_NE(mmap, nullptr);
+  std::string all;
+  std::string_view chunk;
+  std::string_view last;
+  for (chunk = mmap->next_chunk(); !chunk.empty();
+       chunk = mmap->next_chunk()) {
+    last = chunk;
+    all.append(chunk);
+    if (all.size() < text.size()) {
+      EXPECT_EQ(chunk.back(), '\n') << "interior chunk split mid-line";
+    }
+  }
+  EXPECT_EQ(all, text);
+  std::filesystem::remove(path);
+}
+
+TEST(ByteSourceTest, MmapOpenRefusesMissingAndEmptyFiles) {
+  EXPECT_EQ(MmapSource::open("/nonexistent/tdt/no_such.trace"), nullptr);
+
+  const auto path = temp_path("tdt_source_empty.trace");
+  write_file(path, "");
+  EXPECT_EQ(MmapSource::open(path.string()), nullptr);
+  std::filesystem::remove(path);
+}
+
+TEST(ByteSourceTest, OpenPicksMmapForRegularFiles) {
+  const auto path = temp_path("tdt_source_open.trace");
+  write_file(path, sample_trace());
+
+  const auto auto_src = open_trace_byte_source(path.string());
+  ASSERT_NE(auto_src, nullptr);
+  EXPECT_EQ(auto_src->name(), "mmap");
+
+  const auto stream_src =
+      open_trace_byte_source(path.string(), IngestMode::Stream);
+  EXPECT_EQ(stream_src->name(), "stream");
+
+  const auto mmap_src = open_trace_byte_source(path.string(), IngestMode::Mmap);
+  EXPECT_EQ(mmap_src->name(), "mmap");
+
+  const auto ov_src =
+      open_trace_byte_source(path.string(), IngestMode::Overlapped);
+  EXPECT_EQ(ov_src->name(), "overlapped");
+
+  std::filesystem::remove(path);
+}
+
+TEST(ByteSourceTest, TdtNoMmapForcesStreamFallback) {
+  const auto path = temp_path("tdt_source_nommap.trace");
+  write_file(path, sample_trace());
+  ::setenv("TDT_NO_MMAP", "1", 1);
+  const auto src = open_trace_byte_source(path.string());
+  ::unsetenv("TDT_NO_MMAP");
+  ASSERT_NE(src, nullptr);
+  EXPECT_EQ(src->name(), "stream");
+  std::filesystem::remove(path);
+}
+
+TEST(ByteSourceTest, OpenErrors) {
+  // A missing path is fatal whatever the mode.
+  EXPECT_THROW((void)open_trace_byte_source("/nonexistent/tdt/no.trace"),
+               Error);
+  // Forced mmap on an unmappable (empty) file cannot fall back.
+  const auto path = temp_path("tdt_source_forced_empty.trace");
+  write_file(path, "");
+  EXPECT_THROW(
+      (void)open_trace_byte_source(path.string(), IngestMode::Mmap), Error);
+  std::filesystem::remove(path);
+}
+
+TEST(ByteSourceTest, ReaderRecordsIdenticalAcrossIngestModes) {
+  const std::string text = sample_trace();
+  const auto path = temp_path("tdt_source_reader.trace");
+  write_file(path, text);
+
+  TraceContext ref_ctx;
+  std::uint64_t ref_pid = 0;
+  const auto ref = read_trace_string(ref_ctx, text, &ref_pid);
+  EXPECT_EQ(ref_pid, 42u);
+
+  for (const IngestMode mode : {IngestMode::Stream, IngestMode::Mmap,
+                                IngestMode::Overlapped, IngestMode::Auto}) {
+    TraceContext ctx;
+    GleipnirReader reader(ctx, open_trace_byte_source(path.string(), mode));
+    std::vector<TraceRecord> records;
+    while (reader.next_batch(records, 256) != 0) {
+    }
+    ASSERT_EQ(records.size(), ref.size())
+        << "mode " << static_cast<int>(mode);
+    for (std::size_t i = 0; i < ref.size(); ++i) {
+      EXPECT_EQ(ctx.format_record(records[i]),
+                ref_ctx.format_record(ref[i]))
+          << "mode " << static_cast<int>(mode) << " record " << i;
+    }
+    EXPECT_EQ(reader.start_pid(), 42u);
+    EXPECT_EQ(reader.counters().bytes, text.size());
+  }
+  std::filesystem::remove(path);
+}
+
+}  // namespace
+}  // namespace tdt::trace

@@ -1,0 +1,186 @@
+#include "util/simd_scan.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cstring>
+#include <string>
+#include <vector>
+
+#include "util/string_util.hpp"
+
+namespace tdt::simd {
+namespace {
+
+/// Reference tokenizer written independently of the library code: split
+/// on is_ascii_space runs, same overflow contract as tokenize_fields.
+int reference_tokenize(std::string_view line, FieldSpan* out,
+                       std::size_t max_fields) {
+  std::size_t count = 0;
+  std::size_t i = 0;
+  while (i < line.size()) {
+    while (i < line.size() && is_ascii_space(line[i])) ++i;
+    if (i >= line.size()) break;
+    const std::size_t begin = i;
+    while (i < line.size() && !is_ascii_space(line[i])) ++i;
+    if (count == max_fields) return -1;
+    out[count++] = {static_cast<std::uint32_t>(begin),
+                    static_cast<std::uint32_t>(i)};
+  }
+  return static_cast<int>(count);
+}
+
+std::vector<Tier> supported_tiers() {
+  std::vector<Tier> tiers = {Tier::Scalar};
+  if (best_supported_tier() >= Tier::Sse2) tiers.push_back(Tier::Sse2);
+  if (best_supported_tier() >= Tier::Avx2) tiers.push_back(Tier::Avx2);
+  return tiers;
+}
+
+/// Every test walks the supported tiers; the fixture restores whatever
+/// tier the process was using (set_active_tier is process-global).
+class SimdScanTest : public ::testing::Test {
+ protected:
+  void SetUp() override { saved_ = active_tier(); }
+  void TearDown() override { set_active_tier(saved_); }
+
+ private:
+  Tier saved_ = Tier::Scalar;
+};
+
+TEST_F(SimdScanTest, TierNamesAndClamping) {
+  EXPECT_EQ(tier_name(Tier::Scalar), "scalar");
+  EXPECT_EQ(tier_name(Tier::Sse2), "sse2");
+  EXPECT_EQ(tier_name(Tier::Avx2), "avx2");
+  // Requesting more than the hardware supports clamps, never crashes.
+  const Tier t = set_active_tier(Tier::Avx2);
+  EXPECT_LE(static_cast<int>(t), static_cast<int>(best_supported_tier()));
+  EXPECT_EQ(t, active_tier());
+  EXPECT_EQ(set_active_tier(Tier::Scalar), Tier::Scalar);
+}
+
+TEST_F(SimdScanTest, FindNewlineMatchesMemchrOnEveryTier) {
+  std::vector<std::string> cases = {
+      "",
+      "\n",
+      "no newline at all",
+      "x\n",
+      "\nleading",
+      "trailing\n",
+      std::string(15, 'a') + "\n",
+      std::string(16, 'a') + "\n",
+      std::string(31, 'a') + "\n",
+      std::string(32, 'a') + "\n",
+      std::string(63, 'a') + "\n",
+      std::string(64, 'a') + "\n",
+      std::string(65, 'a') + "\n",
+      std::string(100, 'a'),
+      std::string(1000, 'a') + "\nmore\n",
+  };
+  // A '\r' is NOT a line terminator for the scanner.
+  cases.push_back("carriage\rreturn only");
+
+  for (const Tier t : supported_tiers()) {
+    ASSERT_EQ(set_active_tier(t), t);
+    const FindNewlineFn fn = find_newline_fn();
+    for (const std::string& s : cases) {
+      const char* hit =
+          static_cast<const char*>(std::memchr(s.data(), '\n', s.size()));
+      const std::size_t want =
+          hit != nullptr ? static_cast<std::size_t>(hit - s.data()) : s.size();
+      EXPECT_EQ(find_newline(s), want) << tier_name(t) << " on " << s.size()
+                                       << " bytes";
+      EXPECT_EQ(fn(s.data(), s.size()), want) << tier_name(t);
+    }
+    // from-offset overload skips earlier newlines.
+    const std::string multi = "a\nb\nc";
+    EXPECT_EQ(find_newline(multi, 0), 1u);
+    EXPECT_EQ(find_newline(multi, 2), 3u);
+    EXPECT_EQ(find_newline(multi, 4), 5u);
+  }
+}
+
+void expect_tokenize_matches(std::string_view line, Tier t) {
+  constexpr std::size_t kMax = 9;
+  FieldSpan got[kMax] = {};
+  FieldSpan want[kMax] = {};
+  const int rc_got = tokenize_fields(line, got, kMax);
+  const int rc_want = reference_tokenize(line, want, kMax);
+  ASSERT_EQ(rc_got, rc_want) << tier_name(t) << " on [" << line << "]";
+  const std::size_t n =
+      rc_want < 0 ? kMax : static_cast<std::size_t>(rc_want);
+  for (std::size_t k = 0; k < n; ++k) {
+    EXPECT_EQ(got[k].begin, want[k].begin) << tier_name(t) << " field " << k;
+    EXPECT_EQ(got[k].end, want[k].end) << tier_name(t) << " field " << k;
+  }
+}
+
+TEST_F(SimdScanTest, TokenizeCraftedCasesOnEveryTier) {
+  std::vector<std::string> cases = {
+      "",
+      " ",
+      "   \t  \r ",
+      "x",
+      " x ",
+      "L 7feff3ffc 4 main LV 0 1 lI",
+      "S 7feff4000 4 main LS 0 1 lSoA.mX[0]",
+      "\tS\t000601040\t4\tmain\tGV\tglScalar\t",
+      "a\rb\x0bc\x0c d",  // CR, VT, FF are all separators
+      "one",
+      "one two",
+      "one two three four five six seven eight nine",
+  };
+  // Field edges pinned to the 64-byte word boundary: last byte at 62,
+  // 63, 64; field starting exactly at 64.
+  for (const std::size_t pad : {61u, 62u, 63u, 64u, 65u}) {
+    cases.push_back(std::string(pad, 'a') + " b");
+    cases.push_back(std::string(pad, ' ') + "b c");
+  }
+  // Long lines exercise the bitmap (65..1024) and scalar (>1024) paths.
+  for (const std::size_t len : {100u, 1024u, 1025u, 4096u}) {
+    std::string long_line;
+    while (long_line.size() < len) long_line += "field ";
+    long_line.resize(len);
+    cases.push_back(long_line);
+    cases.push_back(std::string(len, 'a'));       // one giant field
+    cases.push_back(std::string(len, ' ') + "x");  // giant ws run
+  }
+
+  for (const Tier t : supported_tiers()) {
+    ASSERT_EQ(set_active_tier(t), t);
+    for (const std::string& s : cases) expect_tokenize_matches(s, t);
+  }
+}
+
+TEST_F(SimdScanTest, TokenizeOverflowStillWritesFirstSpans) {
+  // Ten fields into a nine-span buffer: -1, but out[0..9) must hold the
+  // first nine spans (the reader relies on this to salvage prefixes).
+  const std::string line = "f0 f1 f2 f3 f4 f5 f6 f7 f8 f9";
+  for (const Tier t : supported_tiers()) {
+    ASSERT_EQ(set_active_tier(t), t);
+    FieldSpan got[9] = {};
+    EXPECT_EQ(tokenize_fields(line, got, 9), -1) << tier_name(t);
+    for (std::uint32_t k = 0; k < 9; ++k) {
+      EXPECT_EQ(got[k].begin, k * 3) << tier_name(t) << " field " << k;
+      EXPECT_EQ(got[k].end, k * 3 + 2) << tier_name(t) << " field " << k;
+    }
+  }
+}
+
+TEST_F(SimdScanTest, RawFunctionPointersTrackTheActiveTier) {
+  for (const Tier t : supported_tiers()) {
+    ASSERT_EQ(set_active_tier(t), t);
+    const TokenizeFieldsFn tok = tokenize_fields_fn();
+    const FindNewlineFn nl = find_newline_fn();
+    ASSERT_NE(tok, nullptr);
+    ASSERT_NE(nl, nullptr);
+    const std::string line = "M 7feff3ffc 4 main LV 0 1 lI";
+    FieldSpan spans[9] = {};
+    EXPECT_EQ(tok(line.data(), line.size(), spans, 9), 8) << tier_name(t);
+    EXPECT_EQ(spans[0].begin, 0u);
+    EXPECT_EQ(spans[7].end, line.size());
+    EXPECT_EQ(nl(line.data(), line.size()), line.size());
+  }
+}
+
+}  // namespace
+}  // namespace tdt::simd
