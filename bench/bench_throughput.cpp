@@ -37,6 +37,8 @@
 #include "trace/binary.hpp"
 #include "trace/parallel.hpp"
 #include "trace/reader.hpp"
+#include "trace/sink.hpp"
+#include "trace/stream.hpp"
 #include "trace/writer.hpp"
 #include "tracer/interp.hpp"
 #include "tracer/kernels.hpp"
@@ -355,6 +357,133 @@ std::vector<trace::TraceRecord> read_via_source(trace::TraceContext& ctx,
   return records;
 }
 
+/// Record-counting sink: decode throughput without sink-side work.
+class CountingSink final : public trace::TraceSink {
+ public:
+  void on_record(const trace::TraceRecord&) override { ++n_; }
+  void push_batch(std::span<const trace::TraceRecord> batch) override {
+    n_ += batch.size();
+  }
+  void on_end() override {}
+  [[nodiscard]] std::uint64_t count() const noexcept { return n_; }
+
+ private:
+  std::uint64_t n_ = 0;
+};
+
+/// TDTB v3 container rows: per-codec compressed size and sequential vs
+/// parallel (--jobs 4) decode rate, with the jobs-4 ≡ jobs-1 ≡ source
+/// identity check re-encoded to a plain v2 blob (cheap byte compare).
+/// Returns false when any identity check fails.
+bool container_rows(obs::Registry& registry, std::uint64_t repeat) {
+  obs::PhaseTimer phase(&registry, "bench-container");
+  constexpr std::uint64_t kRecords = 2'000'000;
+  constexpr int kJobs = 4;
+  trace::TraceContext ctx;
+  const Symbol fn = ctx.intern("synth");
+  std::vector<trace::TraceRecord> records;
+  records.reserve(kRecords);
+  for (std::uint64_t i = 0; i < kRecords; ++i) {
+    records.push_back(synth_record(i, fn));
+  }
+  const auto plain = trace::write_binary_trace(ctx, records);
+  registry.counter("container.records").add(kRecords);
+  registry.gauge("container.jobs").set(kJobs);
+  registry.gauge("container.plain_bytes")
+      .set(static_cast<double>(plain.size()));
+
+  bool all_identical = true;
+  double best_par = 0;
+  for (const trace::Codec codec :
+       {trace::Codec::None, trace::Codec::Zstd, trace::Codec::Lz4}) {
+    const std::string name(trace::codec_name(codec));
+    const std::string key = "container." + name;
+    registry.gauge(key + ".codec_id")
+        .set(static_cast<double>(static_cast<std::uint8_t>(codec)));
+    if (!trace::codec_available(codec)) {
+      registry.gauge(key + ".available").set(0);
+      std::printf("container %-4s: codec unavailable; row skipped\n",
+                  name.c_str());
+      continue;
+    }
+    registry.gauge(key + ".available").set(1);
+    trace::BinaryWriterOptions options;
+    options.version = trace::kTdtbVersionFramed;
+    options.codec = codec;
+    std::vector<char> blob;
+    const double write_rate = best_rate(kRecords, repeat, [&] {
+      blob = trace::write_binary_trace(ctx, records, 0, options);
+      benchmark::DoNotOptimize(blob.data());
+    });
+    const std::string path =
+        (std::filesystem::temp_directory_path() /
+         ("tdt_bench_container_" + name + ".tdtb"))
+            .string();
+    {
+      std::ofstream out(path, std::ios::binary);
+      out.write(blob.data(), static_cast<std::streamsize>(blob.size()));
+    }
+    const auto info = trace::probe_tdtb({blob.data(), blob.size()});
+    const double frames =
+        info && info->has_index ? static_cast<double>(info->frames.size()) : 0;
+
+    const auto decode_rate = [&](int jobs) {
+      return best_rate(kRecords, repeat, [&] {
+        trace::TraceContext c;
+        CountingSink sink;
+        trace::StreamOptions so;
+        so.jobs = jobs;
+        benchmark::DoNotOptimize(
+            trace::stream_trace_file(c, path, sink, so).records);
+      });
+    };
+    const double seq_rate = decode_rate(1);
+    const double par_rate = decode_rate(kJobs);
+
+    bool identical;
+    {
+      trace::TraceContext c1;
+      trace::TraceContext c4;
+      trace::VectorSink s1;
+      trace::VectorSink s4;
+      trace::StreamOptions so1;
+      so1.jobs = 1;
+      trace::StreamOptions so4;
+      so4.jobs = kJobs;
+      (void)trace::stream_trace_file(c1, path, s1, so1);
+      (void)trace::stream_trace_file(c4, path, s4, so4);
+      const auto b1 = trace::write_binary_trace(c1, s1.records());
+      const auto b4 = trace::write_binary_trace(c4, s4.records());
+      identical = b1 == b4 && b1 == plain;
+    }
+    std::filesystem::remove(path);
+    all_identical = all_identical && identical;
+    best_par = std::max(best_par, par_rate);
+
+    const double ratio =
+        blob.empty() ? 0
+                     : static_cast<double>(plain.size()) /
+                           static_cast<double>(blob.size());
+    std::printf("container %-4s: %8.2f MB (%5.2fx), write %12.0f rec/s, "
+                "decode %12.0f rec/s seq, %12.0f rec/s --jobs %d (%.2fx)%s\n",
+                name.c_str(), static_cast<double>(blob.size()) / 1e6, ratio,
+                write_rate, seq_rate, par_rate, kJobs,
+                seq_rate > 0 ? par_rate / seq_rate : 0,
+                identical ? "" : "  OUTPUT MISMATCH");
+    registry.gauge(key + ".bytes").set(static_cast<double>(blob.size()));
+    registry.gauge(key + ".ratio").set(ratio);
+    registry.gauge(key + ".frames").set(frames);
+    registry.gauge(key + ".write_records_per_s").set(write_rate);
+    registry.gauge(key + ".seq_records_per_s").set(seq_rate);
+    registry.gauge(key + ".par_records_per_s").set(par_rate);
+    registry.gauge(key + ".par_speedup")
+        .set(seq_rate > 0 ? par_rate / seq_rate : 0);
+    registry.gauge(key + ".identical").set(identical ? 1 : 0);
+  }
+  registry.gauge("container.best_par_records_per_s").set(best_par);
+  return all_identical;
+}
+
 int perf_report(int argc, char** argv) {
   FlagParser flags("bench_throughput",
                    "fast-path vs reference perf report (JSON)");
@@ -462,6 +591,36 @@ int perf_report(int argc, char** argv) {
             ov_ctx, read_via_source(ov_ctx, trace_path,
                                     trace::IngestMode::Overlapped)) == mem_out;
   }
+  // Transparent .gz text ingest (gzip-magic sniff in the byte-source
+  // layer), timed through the same batched reader.
+  double read_gzip = 0;
+  bool gzip_identical = true;
+  const bool have_gzip = trace::gzip_available();
+  if (have_gzip) {
+    std::string gz;
+    (void)trace::gzip_compress(text, gz);
+    const std::string gz_path = trace_path + ".gz";
+    {
+      std::ofstream out(gz_path, std::ios::binary);
+      out.write(gz.data(), static_cast<std::streamsize>(gz.size()));
+    }
+    read_gzip = best_rate(n, *repeat, [&] {
+      trace::TraceContext c;
+      benchmark::DoNotOptimize(
+          read_via_source(c, gz_path, trace::IngestMode::Auto, n).data());
+    });
+    {
+      trace::TraceContext mem_ctx;
+      trace::TraceContext gz_ctx;
+      gzip_identical =
+          trace::write_trace_string(
+              gz_ctx,
+              read_via_source(gz_ctx, gz_path, trace::IngestMode::Auto)) ==
+          trace::write_trace_string(mem_ctx,
+                                    trace::read_trace_string(mem_ctx, text));
+    }
+    std::filesystem::remove(gz_path);
+  }
   std::filesystem::remove(trace_path);
   read_phase.stop();
 
@@ -524,12 +683,20 @@ int perf_report(int argc, char** argv) {
   std::printf("ingest:    %12.0f rec/s mmap, %12.0f rec/s overlapped%s\n",
               read_mmap, read_overlapped,
               source_identical ? "" : "  SOURCE MISMATCH");
+  if (have_gzip) {
+    std::printf("ingest:    %12.0f rec/s gzip text%s\n", read_gzip,
+                gzip_identical ? "" : "  GZIP MISMATCH");
+  } else {
+    std::puts("ingest:    gzip text row skipped (zlib not built in)");
+  }
   std::printf("transform: %12.0f rec/s fast, %12.0f rec/s slow  (%.2fx)%s"
               "  [%llu matched records]\n",
               xform_fast, xform_slow, xform_speedup,
               xform_identical ? "" : "  OUTPUT MISMATCH",
               static_cast<unsigned long long>(nm));
   std::printf("simulate:  %12.0f rec/s\n", sim_rate);
+
+  const bool container_identical = container_rows(registry, *repeat);
 
   // Emit through the metrics registry: the report file is a standard
   // tdt-metrics/1 snapshot (docs/OBSERVABILITY.md), same schema the CLI
@@ -546,8 +713,15 @@ int perf_report(int argc, char** argv) {
   registry.gauge("read.scalar_records_per_s").set(read_scalar);
   registry.gauge("read.simd_scalar_identical").set(simd_identical ? 1 : 0);
   registry.gauge("read.mmap_records_per_s").set(read_mmap);
+  registry.gauge("read.mmap_ingest_mode")
+      .set(static_cast<double>(trace::IngestMode::Mmap));
   registry.gauge("read.overlapped_records_per_s").set(read_overlapped);
+  registry.gauge("read.overlapped_ingest_mode")
+      .set(static_cast<double>(trace::IngestMode::Overlapped));
   registry.gauge("read.source_identical").set(source_identical ? 1 : 0);
+  registry.gauge("read.gzip_available").set(have_gzip ? 1 : 0);
+  registry.gauge("read.gzip_records_per_s").set(read_gzip);
+  registry.gauge("read.gzip_identical").set(gzip_identical ? 1 : 0);
   registry.gauge("transform.cached_records_per_s").set(xform_fast);
   registry.gauge("transform.uncached_records_per_s").set(xform_slow);
   registry.gauge("transform.speedup").set(xform_speedup);
@@ -563,7 +737,7 @@ int perf_report(int argc, char** argv) {
   }
   std::printf("wrote %s\n", out_path->c_str());
   return read_identical && xform_identical && simd_identical &&
-                 source_identical
+                 source_identical && gzip_identical && container_identical
              ? 0
              : 1;
 }

@@ -8,6 +8,7 @@
 #pragma once
 
 #include "trace/binary.hpp"
+#include "trace/codec.hpp"
 #include "trace/diff.hpp"
 #include "trace/din.hpp"
 #include "trace/parallel.hpp"

@@ -47,6 +47,13 @@ CommonFlags CommonFlags::add(FlagParser& flags, CommonFlagChoices choices) {
         "text-trace ingest backend: auto|mmap|stream|overlapped (auto = "
         "mmap regular files, overlapped reads for pipes/stdin)");
   }
+  if (choices.compress) {
+    f.compress = flags.add_string(
+        "compress", "",
+        "write TDTB output as the v3 framed container with this frame "
+        "codec: zstd|lz4|none[:level] (empty = plain v2; none stores "
+        "frames verbatim but keeps the seekable index for --jobs decode)");
+  }
   f.fault_spec = flags.add_string(
       "fault-spec", "",
       "deterministic fault injection spec, e.g. \"seed=7;worker.stall:1:2\" "
@@ -84,6 +91,16 @@ trace::IngestMode CommonFlags::ingest_mode() const {
   throw Error(ErrorKind::Config,
               "bad --ingest '" + *ingest +
                   "' (expected auto|mmap|stream|overlapped)");
+}
+
+trace::BinaryWriterOptions CommonFlags::writer_options() const {
+  trace::BinaryWriterOptions options;
+  if (!wants_compress()) return options;
+  const trace::CompressSpec spec = trace::parse_compress_spec(*compress);
+  options.version = trace::kTdtbVersionFramed;
+  options.codec = spec.codec;
+  options.level = spec.level;
+  return options;
 }
 
 double CommonFlags::worker_timeout_seconds() const {

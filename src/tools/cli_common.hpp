@@ -17,6 +17,7 @@
 #include "cache/page_map.hpp"
 #include "cache/sim.hpp"
 #include "cache/sweep.hpp"
+#include "trace/binary.hpp"
 #include "trace/source.hpp"
 #include "util/diag.hpp"
 #include "util/flags.hpp"
@@ -31,6 +32,7 @@ struct CommonFlagChoices {
   bool jobs = false;         ///< --jobs / --worker-timeout (pipeline tools)
   bool governor = false;     ///< --max-memory / --deadline (streaming tools)
   bool ingest = false;       ///< --ingest (trace-reading tools)
+  bool compress = false;     ///< --compress (TDTB-writing tools)
 };
 
 /// The shared flag block. Register with add() before FlagParser::parse;
@@ -44,6 +46,7 @@ struct CommonFlags {
   const std::string* max_memory = nullptr;
   const std::string* deadline = nullptr;
   const std::string* ingest = nullptr;
+  const std::string* compress = nullptr;
   const std::string* fault_spec = nullptr;
   const std::string* metrics_json = nullptr;
   const std::string* trace_spans = nullptr;
@@ -68,6 +71,19 @@ struct CommonFlags {
   /// Parsed --ingest backend selection (Auto when the flag was not
   /// registered). Throws Error{Config} on an unknown backend name.
   [[nodiscard]] trace::IngestMode ingest_mode() const;
+
+  /// True when --compress was registered and given a value (the tool
+  /// should write the TDTB v3 framed container).
+  [[nodiscard]] bool wants_compress() const {
+    return compress != nullptr && !compress->empty();
+  }
+
+  /// Binary-writer options from --compress: the flag absent or empty
+  /// yields the plain v2 default; `zstd|lz4|none[:level]` selects the v3
+  /// framed container with that frame codec. Throws Error{Config} on an
+  /// unknown codec or malformed level (availability is checked by the
+  /// writer so its error can name the remedy).
+  [[nodiscard]] trace::BinaryWriterOptions writer_options() const;
 
   /// Applies --max-memory/--deadline to `governor`. Only valid when the
   /// governor flags were registered.

@@ -53,10 +53,15 @@ int main(int argc, char** argv) {
     const tools::CacheFlags cache_flags = tools::CacheFlags::add(flags);
     const tools::CommonFlags common = tools::CommonFlags::add(
         flags, {.error_policy = true, .jobs = true, .governor = true,
-                .ingest = true});
+                .ingest = true, .compress = true});
     if (!flags.parse(argc, argv)) return 0;
     if (trace_path->empty()) {
       throw_config_error("--trace is required");
+    }
+    if (common.wants_compress() && rules_path->empty()) {
+      throw_config_error(
+          "--compress shapes the transformed trace; it needs --rules and "
+          "an --xform-out ending in .tdtb");
     }
     common.arm_faults();
     Governor governor;
@@ -164,18 +169,37 @@ int main(int argc, char** argv) {
     // the transformed trace teed out to a file as it streams through.
     std::ofstream xform_file;
     std::optional<trace::WriterSink> xform_writer;
+    std::optional<trace::BinaryTraceSink> xform_binary;
     std::optional<trace::TeeSink> tee;
     std::optional<core::TraceTransformer> transformer;
     trace::TraceSink* head = terminal;
     if (rules.has_value()) {
       const std::string out_path =
           xform_out->empty() ? "transformed_trace.out" : *xform_out;
-      xform_file.open(out_path);
+      const bool binary_out =
+          out_path.size() > 5 &&
+          out_path.compare(out_path.size() - 5, 5, ".tdtb") == 0;
+      if (common.wants_compress() && !binary_out) {
+        throw_config_error(
+            "--compress applies to TDTB output; name the transformed "
+            "trace *.tdtb (--xform-out x.tdtb)");
+      }
+      xform_file.open(out_path, binary_out
+                                    ? std::ios::binary | std::ios::out
+                                    : std::ios::out);
       if (!xform_file) {
         throw_io_error("cannot open '" + out_path + "' for writing");
       }
-      xform_writer.emplace(ctx, xform_file);
-      tee.emplace(std::vector<trace::TraceSink*>{&*xform_writer, terminal});
+      trace::TraceSink* writer_sink = nullptr;
+      if (binary_out) {
+        xform_binary.emplace(ctx, xform_file, /*pid=*/0,
+                             common.writer_options());
+        writer_sink = &*xform_binary;
+      } else {
+        xform_writer.emplace(ctx, xform_file);
+        writer_sink = &*xform_writer;
+      }
+      tee.emplace(std::vector<trace::TraceSink*>{writer_sink, terminal});
       core::TransformOptions xopt;
       xopt.diags = &diags;
       transformer.emplace(*rules, ctx, *tee, xopt);
@@ -194,9 +218,14 @@ int main(int argc, char** argv) {
     trace::StreamResult stream_result;
     {
       obs::PhaseTimer phase(registry, "stream");
-      stream_result = trace::stream_trace_file(ctx, *trace_path, *head,
-                                               &diags, registry, &governor,
-                                               common.ingest_mode());
+      trace::StreamOptions stream_options;
+      stream_options.diags = &diags;
+      stream_options.registry = registry;
+      stream_options.governor = &governor;
+      stream_options.ingest = common.ingest_mode();
+      stream_options.jobs = static_cast<int>(*common.jobs);
+      stream_result =
+          trace::stream_trace_file(ctx, *trace_path, *head, stream_options);
     }
     if (stream_result.deadline_hit) {
       std::fprintf(stderr,

@@ -66,9 +66,12 @@ int main(int argc, char** argv) {
     const auto* din = flags.add_bool(
         "din", false, "write classic DineroIV din format (drops metadata)");
     const auto* pid = flags.add_uint("pid", 4242, "PID for the START marker");
-    const tools::CommonFlags common =
-        tools::CommonFlags::add(flags, {.error_policy = false});
+    const tools::CommonFlags common = tools::CommonFlags::add(
+        flags, {.error_policy = false, .compress = true});
     if (!flags.parse(argc, argv)) return 0;
+    if (common.wants_compress() && !*binary) {
+      throw_config_error("--compress requires --binary (TDTB output)");
+    }
     common.arm_faults();
 
     std::optional<obs::Registry> registry_store;
@@ -104,14 +107,32 @@ int main(int argc, char** argv) {
       if (out->empty() || *out == "-") {
         throw_config_error("--binary requires --out <file>");
       }
-      const std::vector<char> blob =
-          trace::write_binary_trace(ctx, records, *pid);
+      const std::vector<char> blob = trace::write_binary_trace(
+          ctx, records, *pid, common.writer_options());
       std::ofstream f(*out, std::ios::binary);
       if (!f) throw_io_error("cannot open '" + *out + "'");
       f.write(blob.data(), static_cast<std::streamsize>(blob.size()));
+      if (!f) throw_io_error("writing '" + *out + "' failed");
     } else if (out->empty() || *out == "-") {
       std::fputs(trace::write_trace_string(ctx, records, *pid).c_str(),
                  stdout);
+    } else if (out->size() > 3 &&
+               out->compare(out->size() - 3, 3, ".gz") == 0) {
+      // A .gz output name gzips the text trace, matching the transparent
+      // .gz ingest on the reader side.
+      if (!trace::gzip_available()) {
+        throw_config_error("'" + *out + "': gzip output needs zlib, which "
+                           "this build does not carry");
+      }
+      std::string gz;
+      if (!trace::gzip_compress(trace::write_trace_string(ctx, records, *pid),
+                                gz)) {
+        throw_io_error("gzip compression failed for '" + *out + "'");
+      }
+      std::ofstream f(*out, std::ios::binary);
+      if (!f) throw_io_error("cannot open '" + *out + "'");
+      f.write(gz.data(), static_cast<std::streamsize>(gz.size()));
+      if (!f) throw_io_error("writing '" + *out + "' failed");
     } else {
       trace::write_trace_file(ctx, records, *out, *pid);
     }

@@ -110,9 +110,14 @@ int main(int argc, char** argv) {
     trace::StreamResult stream_result;
     {
       obs::PhaseTimer phase(registry, "stream");
-      stream_result = trace::stream_trace_file(ctx, trace_path, *head, &diags,
-                                               registry, &governor,
-                                               common.ingest_mode());
+      trace::StreamOptions stream_options;
+      stream_options.diags = &diags;
+      stream_options.registry = registry;
+      stream_options.governor = &governor;
+      stream_options.ingest = common.ingest_mode();
+      stream_options.jobs = static_cast<int>(*common.jobs);
+      stream_result =
+          trace::stream_trace_file(ctx, trace_path, *head, stream_options);
     }
     if (stream_result.deadline_hit) {
       std::fprintf(stderr,

@@ -22,8 +22,8 @@ int main(int argc, char** argv) {
         flags.add_uint("max-rows", 0, "limit printed rows (0 = all)");
     const auto* summary_only =
         flags.add_bool("summary", false, "print only the summary counts");
-    const tools::CommonFlags common =
-        tools::CommonFlags::add(flags, {.governor = true, .ingest = true});
+    const tools::CommonFlags common = tools::CommonFlags::add(
+        flags, {.jobs = true, .governor = true, .ingest = true});
     if (!flags.parse(argc, argv)) return 0;
     if (flags.positional().size() != 2) {
       std::fprintf(stderr,
@@ -62,9 +62,14 @@ int main(int argc, char** argv) {
       }
       obs::PhaseTimer phase(registry,
                             side == 0 ? "stream-original" : "stream-transformed");
+      trace::StreamOptions stream_options;
+      stream_options.diags = &diags;
+      stream_options.registry = registry;
+      stream_options.governor = &governor;
+      stream_options.ingest = common.ingest_mode();
+      stream_options.jobs = static_cast<int>(*common.jobs);
       const trace::StreamResult r = trace::stream_trace_file(
-          ctx, flags.positional()[side], *head, &diags, registry, &governor,
-          common.ingest_mode());
+          ctx, flags.positional()[side], *head, stream_options);
       deadline_hit = deadline_hit || r.deadline_hit;
     }
     if (deadline_hit) {

@@ -5,6 +5,7 @@
 //   traceinfo trace.out [--block 32] [--top 16] [--on-error=skip]
 //
 // Exit code: 0 = clean, 1 = completed with recovered errors, 2 = fatal.
+#include <algorithm>
 #include <cstdio>
 #include <iostream>
 #include <optional>
@@ -14,6 +15,73 @@
 #include "tools/obs_support.hpp"
 
 namespace {
+
+/// Renders the TDTB container section: version, codec, frame count,
+/// compression ratio, and the per-frame record table (capped by --top).
+/// Printed only for TDTB inputs, so text-trace output stays byte-
+/// identical to earlier releases.
+void print_container(const tdt::trace::TdtbContainerInfo& c,
+                     std::uint64_t top) {
+  using tdt::trace::Codec;
+  const auto ull = [](std::uint64_t v) {
+    return static_cast<unsigned long long>(v);
+  };
+  const auto codec_label = [](std::uint8_t id) -> std::string {
+    const std::optional<Codec> codec = tdt::trace::codec_from_id(id);
+    if (codec) return std::string(tdt::trace::codec_name(*codec));
+    return "unknown(" + std::to_string(id) + ")";
+  };
+  std::printf("== container ==\n");
+  std::printf("  %-16s TDTB v%u\n", "format", c.version);
+  std::printf("  %-16s %llu\n", "pid", ull(c.pid));
+  std::printf("  %-16s %llu\n", "file bytes", ull(c.file_bytes));
+  if (c.version < tdt::trace::kTdtbVersionFramed) {
+    if (c.total_records != 0) {
+      std::printf("  %-16s %llu\n", "records", ull(c.total_records));
+    }
+    std::printf("\n");
+    return;
+  }
+  std::printf("  %-16s %s\n", "codec", codec_label(c.default_codec).c_str());
+  if (!c.has_index) {
+    std::printf("  %-16s invalid (footer or frame index failed "
+                "validation)\n\n", "frame index");
+    return;
+  }
+  std::uint64_t payload = 0;
+  std::uint64_t stored = 0;
+  for (const tdt::trace::TdtbFrameInfo& f : c.frames) {
+    payload += f.usize;
+    stored += f.csize;
+  }
+  std::printf("  %-16s %zu\n", "frames", c.frames.size());
+  std::printf("  %-16s %llu\n", "records", ull(c.total_records));
+  std::printf("  %-16s %llu\n", "payload bytes", ull(payload));
+  std::printf("  %-16s %llu\n", "stored bytes", ull(stored));
+  if (stored > 0) {
+    std::printf("  %-16s %.2fx\n", "compression",
+                static_cast<double>(payload) / static_cast<double>(stored));
+  }
+  const std::size_t rows =
+      top == 0 ? c.frames.size()
+               : std::min<std::size_t>(c.frames.size(),
+                                       static_cast<std::size_t>(top));
+  if (rows > 0) {
+    std::printf("  %6s %8s %12s %12s %12s\n", "frame", "codec", "records",
+                "payload", "stored");
+    for (std::size_t i = 0; i < rows; ++i) {
+      const tdt::trace::TdtbFrameInfo& f = c.frames[i];
+      std::printf("  %6zu %8s %12llu %12llu %12llu\n", i,
+                  codec_label(f.codec).c_str(), ull(f.records), ull(f.usize),
+                  ull(f.csize));
+    }
+    if (rows < c.frames.size()) {
+      std::printf("  (%zu more frames; raise --top to list them)\n",
+                  c.frames.size() - rows);
+    }
+  }
+  std::printf("\n");
+}
 
 /// Terminal sink feeding the stats collector.
 class StatsSink final : public tdt::trace::TraceSink {
@@ -41,8 +109,8 @@ int main(int argc, char** argv) {
     const auto* block =
         flags.add_uint("block", 32, "footprint tracking granularity in bytes");
     const auto* top = flags.add_uint("top", 16, "rows per ranking table");
-    const tools::CommonFlags common =
-        tools::CommonFlags::add(flags, {.governor = true, .ingest = true});
+    const tools::CommonFlags common = tools::CommonFlags::add(
+        flags, {.jobs = true, .governor = true, .ingest = true});
     if (!flags.parse(argc, argv)) return 0;
     if (flags.positional().size() != 1) {
       std::fprintf(stderr, "usage: traceinfo <trace-file> [flags]\n");
@@ -58,6 +126,14 @@ int main(int argc, char** argv) {
 
     DiagEngine diags = common.make_diags();
 
+    const std::string& path = flags.positional()[0];
+    if (trace::guess_trace_format(path) == trace::TraceFormat::Tdtb) {
+      if (const std::optional<trace::TdtbContainerInfo> container =
+              trace::probe_tdtb_file(path)) {
+        print_container(*container, *top);
+      }
+    }
+
     trace::TraceContext ctx;
     StatsSink sink(*block);
     trace::TraceSink* head = &sink;
@@ -71,10 +147,14 @@ int main(int argc, char** argv) {
     trace::StreamResult stream_result;
     {
       obs::PhaseTimer phase(registry, "stream");
-      stream_result = trace::stream_trace_file(ctx, flags.positional()[0],
-                                               *head, &diags, registry,
-                                               &governor,
-                                               common.ingest_mode());
+      trace::StreamOptions stream_options;
+      stream_options.diags = &diags;
+      stream_options.registry = registry;
+      stream_options.governor = &governor;
+      stream_options.ingest = common.ingest_mode();
+      stream_options.jobs = static_cast<int>(*common.jobs);
+      stream_result = trace::stream_trace_file(ctx, path, *head,
+                                               stream_options);
     }
     if (stream_result.deadline_hit) {
       std::fprintf(stderr,

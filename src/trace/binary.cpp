@@ -1,7 +1,10 @@
 #include "trace/binary.hpp"
 
+#include <algorithm>
+#include <cstring>
 #include <sstream>
 
+#include "trace/source.hpp"
 #include "util/error.hpp"
 #include "util/fault.hpp"
 
@@ -9,11 +12,13 @@ namespace tdt::trace {
 namespace {
 
 constexpr char kMagic[4] = {'T', 'D', 'T', 'B'};
+constexpr char kIndexMagic[4] = {'T', 'D', 'T', 'X'};
 
 // Entry tags.
 constexpr std::uint8_t kTagRecord = 0;
 constexpr std::uint8_t kTagString = 1;
 constexpr std::uint8_t kTagEnd = 2;
+constexpr std::uint8_t kTagFrame = 3;  // v3 shard
 
 // Sanity caps: a corrupt varint must not drive a huge allocation or an
 // unbounded loop before the corruption is noticed.
@@ -21,8 +26,12 @@ constexpr std::uint64_t kMaxStringLen = 1u << 20;  // 1 MiB per name
 constexpr std::uint64_t kMaxSymbolId = 1u << 24;
 constexpr std::uint64_t kMaxVarSteps = 1u << 12;
 constexpr int kMaxVarintBytes = 10;  // ceil(64 / 7)
+constexpr std::uint64_t kMaxFrameRecords = 1u << 27;
+constexpr std::uint64_t kMaxFrameBytes = 1u << 30;
 
-constexpr std::size_t kFooterSize = 12;  // u64 count + u32 crc, both LE
+constexpr std::size_t kFooterSize = 12;  // v2: u64 count + u32 crc, both LE
+// v3: u64 records + u64 frames + u32 index len + u32 index crc + "TDTX".
+constexpr std::size_t kContainerFooterSize = 28;
 
 void put_le(char* out, std::uint64_t v, int bytes) {
   for (int i = 0; i < bytes; ++i) {
@@ -39,24 +48,118 @@ std::uint64_t get_le(const char* in, int bytes) {
   return v;
 }
 
+void append_varint(std::string& out, std::uint64_t v) {
+  while (v >= 0x80) {
+    out.push_back(static_cast<char>((v & 0x7F) | 0x80));
+    v >>= 7;
+  }
+  out.push_back(static_cast<char>(v));
+}
+
+// Zigzag maps the two's-complement address delta to an unsigned value
+// whose varint stays short for small steps in either direction. The
+// subtraction/addition wrap mod 2^64, so every (prev, next) pair round
+// trips regardless of magnitude.
+constexpr std::uint64_t zigzag(std::uint64_t delta) noexcept {
+  const auto s = static_cast<std::int64_t>(delta);
+  return (static_cast<std::uint64_t>(s) << 1) ^
+         static_cast<std::uint64_t>(s >> 63);
+}
+
+constexpr std::uint64_t unzigzag(std::uint64_t z) noexcept {
+  return (z >> 1) ^ (~(z & 1) + 1);
+}
+
+// Bounded varint from memory. False on truncation or 64-bit overflow.
+bool mem_varint(const char*& p, const char* end, std::uint64_t& v) noexcept {
+  if (p != end) {
+    // Single-byte values dominate delta-coded frames; settle them
+    // without entering the shift loop.
+    const std::uint8_t b0 = static_cast<std::uint8_t>(*p);
+    if ((b0 & 0x80) == 0) {
+      v = b0;
+      ++p;
+      return true;
+    }
+  }
+  v = 0;
+  int shift = 0;
+  for (int n = 0; n < kMaxVarintBytes; ++n) {
+    if (p == end) return false;
+    const std::uint8_t b = static_cast<std::uint8_t>(*p++);
+    if (n == kMaxVarintBytes - 1 && (b & 0x7F) > 1) return false;
+    v |= static_cast<std::uint64_t>(b & 0x7F) << shift;
+    if ((b & 0x80) == 0) return true;
+    shift += 7;
+  }
+  return false;
+}
+
 }  // namespace
+
+// --- writer -----------------------------------------------------------------
 
 BinaryTraceWriter::BinaryTraceWriter(const TraceContext& ctx,
                                      std::ostream& out, std::uint64_t pid,
                                      std::uint8_t version)
-    : ctx_(&ctx), out_(&out), version_(version) {
-  if (version != 1 && version != 2) {
+    : BinaryTraceWriter(ctx, out, pid, BinaryWriterOptions{.version = version}) {
+}
+
+BinaryTraceWriter::BinaryTraceWriter(const TraceContext& ctx,
+                                     std::ostream& out, std::uint64_t pid,
+                                     const BinaryWriterOptions& options)
+    : ctx_(&ctx),
+      out_(&out),
+      version_(options.version),
+      codec_(options.codec),
+      level_(options.level),
+      frame_target_(options.frame_records == 0 ? kDefaultFrameRecords
+                                               : options.frame_records) {
+  if (version_ != 1 && version_ != 2 && version_ != kTdtbVersionFramed) {
     throw_config_error("unsupported TDTB writer version " +
-                       std::to_string(version));
+                       std::to_string(version_));
   }
-  put_bytes(kMagic, 4);
-  put_byte(static_cast<char>(version_));
-  put_varint(pid);
+  if (codec_ != Codec::None && version_ != kTdtbVersionFramed) {
+    throw_config_error(
+        "compression requires the framed container (TDTB v3); "
+        "writer version " +
+        std::to_string(version_) + " cannot carry codec '" +
+        std::string(codec_name(codec_)) + "'");
+  }
+  if (codec_ != Codec::None && !codec_available(codec_)) {
+    throw_config_error("codec '" + std::string(codec_name(codec_)) +
+                       "' is unavailable in this process (shared library "
+                       "not found or TDT_NO_CODEC set); use --compress "
+                       "none or install the codec library");
+  }
+  if (version_ >= kTdtbVersionFramed) {
+    std::string head;
+    head.append(kMagic, 4);
+    head.push_back(static_cast<char>(version_));
+    append_varint(head, pid);
+    head.push_back(static_cast<char>(codec_));  // container default codec
+    raw_bytes(head.data(), head.size());
+  } else {
+    put_bytes(kMagic, 4);
+    put_byte(static_cast<char>(version_));
+    put_varint(pid);
+  }
 }
 
 void BinaryTraceWriter::put_bytes(const char* data, std::size_t len) {
+  if (version_ >= kTdtbVersionFramed) {
+    // v3 entries accumulate in the current frame's payload buffer; the
+    // frame reaches the stream only through flush_frame().
+    frame_buf_.append(data, len);
+    return;
+  }
   out_->write(data, static_cast<std::streamsize>(len));
   crc_.update(data, len);
+}
+
+void BinaryTraceWriter::raw_bytes(const char* data, std::size_t len) {
+  out_->write(data, static_cast<std::streamsize>(len));
+  offset_ += len;
 }
 
 void BinaryTraceWriter::put_varint(std::uint64_t v) {
@@ -71,6 +174,7 @@ void BinaryTraceWriter::define_symbol_if_new(Symbol s) {
   if (s.id() < defined_.size() && defined_[s.id()]) return;
   if (s.id() >= defined_.size()) defined_.resize(s.id() + 1, false);
   defined_[s.id()] = true;
+  if (version_ >= kTdtbVersionFramed) frame_defined_ids_.push_back(s.id());
   const std::string_view text = ctx_->name(s);
   put_byte(static_cast<char>(kTagString));
   put_varint(s.id());
@@ -92,23 +196,104 @@ void BinaryTraceWriter::write(const TraceRecord& rec) {
       (static_cast<unsigned>(rec.kind) & 0x7) |
       ((static_cast<unsigned>(rec.scope) & 0x7) << 3));
   put_byte(static_cast<char>(packed));
-  put_varint(rec.address);
+  if (version_ >= kTdtbVersionFramed) {
+    // v3 frames store addresses as zigzag deltas from the previous
+    // record in the same frame; strided access patterns collapse to
+    // one-byte varints.
+    put_varint(zigzag(rec.address - prev_addr_));
+    prev_addr_ = rec.address;
+  } else {
+    put_varint(rec.address);
+  }
   put_varint(rec.size);
   put_varint(rec.function.id());
   put_varint(rec.frame);
   put_varint(rec.thread);
-  ++record_count_;
-  if (rec.scope == VarScope::Unknown) return;
-  put_varint(rec.var.base.id());
-  put_varint(rec.var.steps.size());
-  for (const VarStep& step : rec.var.steps) {
-    put_byte(static_cast<char>(step.is_field ? 1 : 0));
-    put_varint(step.is_field ? step.field.id() : step.index);
+  if (rec.scope != VarScope::Unknown) {
+    put_varint(rec.var.base.id());
+    put_varint(rec.var.steps.size());
+    for (const VarStep& step : rec.var.steps) {
+      put_byte(static_cast<char>(step.is_field ? 1 : 0));
+      put_varint(step.is_field ? step.field.id() : step.index);
+    }
   }
+  ++record_count_;
+  if (version_ >= kTdtbVersionFramed) {
+    ++frame_record_count_;
+    if (frame_record_count_ >= frame_target_) flush_frame();
+  }
+}
+
+void BinaryTraceWriter::flush_frame() {
+  if (frame_record_count_ == 0 && frame_buf_.empty()) return;
+  const std::string_view payload(frame_buf_);
+  std::string_view stored = payload;
+  if (codec_ != Codec::None) {
+    if (!codec_compress(codec_, level_, payload, comp_buf_)) {
+      throw Error(ErrorKind::Io,
+                  "TDTB frame compression failed (codec " +
+                      std::string(codec_name(codec_)) + ")");
+    }
+    stored = comp_buf_;
+  }
+  TdtbFrameInfo info;
+  info.offset = offset_;
+  info.records = frame_record_count_;
+  info.usize = payload.size();
+  info.csize = stored.size();
+  info.crc = crc32(stored.data(), stored.size());
+  info.codec = static_cast<std::uint8_t>(codec_);
+
+  std::string head;
+  head.push_back(static_cast<char>(kTagFrame));
+  head.push_back(static_cast<char>(info.codec));
+  append_varint(head, info.records);
+  append_varint(head, info.usize);
+  append_varint(head, info.csize);
+  char crcb[4];
+  put_le(crcb, info.crc, 4);
+  head.append(crcb, 4);
+  raw_bytes(head.data(), head.size());
+  raw_bytes(stored.data(), stored.size());
+  index_.push_back(info);
+
+  frame_buf_.clear();
+  frame_record_count_ = 0;
+  // The next frame must decode on its own: forget this frame's symbol
+  // definitions so first use re-emits them.
+  for (std::uint32_t id : frame_defined_ids_) defined_[id] = false;
+  frame_defined_ids_.clear();
+  prev_addr_ = 0;
 }
 
 void BinaryTraceWriter::finish() {
   internal_check(!finished_, "double finish");
+  if (version_ >= kTdtbVersionFramed) {
+    flush_frame();
+    const char end_tag = static_cast<char>(kTagEnd);
+    raw_bytes(&end_tag, 1);
+    std::string index;
+    for (const TdtbFrameInfo& f : index_) {
+      append_varint(index, f.offset);
+      append_varint(index, f.records);
+      append_varint(index, f.usize);
+      append_varint(index, f.csize);
+      char crcb[4];
+      put_le(crcb, f.crc, 4);
+      index.append(crcb, 4);
+      index.push_back(static_cast<char>(f.codec));
+    }
+    char footer[kContainerFooterSize];
+    put_le(footer, record_count_, 8);
+    put_le(footer + 8, index_.size(), 8);
+    put_le(footer + 16, index.size(), 4);
+    put_le(footer + 20, crc32(index.data(), index.size()), 4);
+    std::memcpy(footer + 24, kIndexMagic, 4);
+    raw_bytes(index.data(), index.size());
+    raw_bytes(footer, kContainerFooterSize);
+    finished_ = true;
+    return;
+  }
   put_byte(static_cast<char>(kTagEnd));
   if (version_ >= 2) {
     // Footer is not part of its own checksum: the CRC covers everything
@@ -120,6 +305,217 @@ void BinaryTraceWriter::finish() {
   }
   finished_ = true;
 }
+
+// --- two-phase frame decode -------------------------------------------------
+
+namespace {
+
+struct PayloadCursor {
+  const char* p;
+  const char* end;
+
+  bool byte(std::uint8_t& b) noexcept {
+    if (p == end) return false;
+    b = static_cast<std::uint8_t>(*p++);
+    return true;
+  }
+};
+
+}  // namespace
+
+void decode_frame_payload(std::string_view payload, DecodedFrame& out) {
+  out.records.clear();
+  out.defs.clear();
+  out.ok = true;
+  out.error.clear();
+  for (std::uint64_t id : out.seen_ids) out.seen_defs[id] = 0;
+  out.seen_ids.clear();
+
+  PayloadCursor cur{payload.data(), payload.data() + payload.size()};
+  // Records are built in place at the back of out.records; when decoding
+  // fails mid-record the partial entry must not be surfaced.
+  bool mid_record = false;
+  const auto fail = [&out, &mid_record](DiagCode code, std::string msg) {
+    if (mid_record) out.records.pop_back();
+    out.ok = false;
+    out.error_code = code;
+    out.error = std::move(msg);
+  };
+  const auto read_varint = [&](std::uint64_t& v, const char* what) {
+    const char* before = cur.p;
+    if (mem_varint(cur.p, cur.end, v)) return true;
+    if (cur.p == cur.end && cur.p - before < kMaxVarintBytes) {
+      fail(DiagCode::BinTruncated,
+           std::string("truncated frame payload (eof inside ") + what + ")");
+    } else {
+      fail(DiagCode::BinBadVarint,
+           std::string("bad varint in frame payload (") + what + ")");
+    }
+    return false;
+  };
+  const auto read_capped = [&](std::uint64_t& v, std::uint64_t max,
+                               DiagCode code, const char* what) {
+    if (!read_varint(v, what)) return false;
+    if (v > max) {
+      fail(code, std::string(what) + " value " + std::to_string(v) +
+                     " exceeds limit " + std::to_string(max) +
+                     " in frame payload");
+      return false;
+    }
+    return true;
+  };
+  const auto defined = [&out](std::uint64_t id) {
+    return id < out.seen_defs.size() && out.seen_defs[id] != 0;
+  };
+
+  std::uint64_t prev_addr = 0;  // zigzag-delta base for record addresses
+  while (cur.p != cur.end) {
+    std::uint8_t tag = 0;
+    cur.byte(tag);
+    if (tag == kTagString) {
+      std::uint64_t id = 0;
+      std::uint64_t len = 0;
+      if (!read_capped(id, kMaxSymbolId, DiagCode::BinFieldOverflow,
+                       "string id")) {
+        return;
+      }
+      if (!read_capped(len, kMaxStringLen, DiagCode::BinStringTooLong,
+                       "string length")) {
+        return;
+      }
+      if (static_cast<std::uint64_t>(cur.end - cur.p) < len) {
+        fail(DiagCode::BinTruncated, "truncated string in frame payload");
+        return;
+      }
+      const std::string_view text(cur.p, static_cast<std::size_t>(len));
+      cur.p += len;
+      if (defined(id)) {
+        // A duplicate definition with identical text is harmless; with
+        // different text there is no single answer for the frame's
+        // records, so treat it as corruption.
+        if (out.defs[out.seen_defs[id] - 1].second != text) {
+          fail(DiagCode::BinBadSymbol,
+               "string id " + std::to_string(id) +
+                   " redefined within a frame");
+          return;
+        }
+        continue;
+      }
+      out.defs.emplace_back(id, text);
+      if (id >= out.seen_defs.size()) out.seen_defs.resize(id + 1, 0);
+      out.seen_defs[id] = static_cast<std::uint32_t>(out.defs.size());
+      out.seen_ids.push_back(id);
+      continue;
+    }
+    if (tag != kTagRecord) {
+      fail(DiagCode::BinBadTag,
+           "unknown entry tag " + std::to_string(tag) + " in frame payload");
+      return;
+    }
+    std::uint8_t packed = 0;
+    if (!cur.byte(packed)) {
+      fail(DiagCode::BinTruncated, "truncated record in frame payload");
+      return;
+    }
+    TraceRecord& rec = out.records.emplace_back();
+    mid_record = true;
+    rec.kind = static_cast<AccessKind>(packed & 0x7);
+    rec.scope = static_cast<VarScope>((packed >> 3) & 0x7);
+    std::uint64_t v = 0;
+    if (!read_varint(v, "address")) return;
+    prev_addr += unzigzag(v);
+    rec.address = prev_addr;
+    if (!read_capped(v, 0xFFFFFFFFull, DiagCode::BinFieldOverflow,
+                     "access size")) {
+      return;
+    }
+    rec.size = static_cast<std::uint32_t>(v);
+    if (!read_capped(v, kMaxSymbolId, DiagCode::BinFieldOverflow,
+                     "function id")) {
+      return;
+    }
+    if (!defined(v)) {
+      fail(DiagCode::BinBadSymbol,
+           "frame references undefined string id " + std::to_string(v));
+      return;
+    }
+    rec.function = Symbol(static_cast<std::uint32_t>(v));
+    if (!read_capped(v, 0xFFFFull, DiagCode::BinFieldOverflow, "frame")) {
+      return;
+    }
+    rec.frame = static_cast<std::uint16_t>(v);
+    if (!read_capped(v, 0xFFFFull, DiagCode::BinFieldOverflow, "thread")) {
+      return;
+    }
+    rec.thread = static_cast<std::uint16_t>(v);
+    if (rec.scope != VarScope::Unknown) {
+      if (!read_capped(v, kMaxSymbolId, DiagCode::BinFieldOverflow,
+                       "variable id")) {
+        return;
+      }
+      if (!defined(v)) {
+        fail(DiagCode::BinBadSymbol,
+             "frame references undefined string id " + std::to_string(v));
+        return;
+      }
+      rec.var.base = Symbol(static_cast<std::uint32_t>(v));
+      std::uint64_t nsteps = 0;
+      if (!read_capped(nsteps, kMaxVarSteps, DiagCode::BinFieldOverflow,
+                       "step count")) {
+        return;
+      }
+      for (std::uint64_t i = 0; i < nsteps; ++i) {
+        std::uint8_t is_field = 0;
+        if (!cur.byte(is_field)) {
+          fail(DiagCode::BinTruncated, "truncated var steps in frame payload");
+          return;
+        }
+        if (is_field != 0) {
+          if (!read_capped(v, kMaxSymbolId, DiagCode::BinFieldOverflow,
+                           "field id")) {
+            return;
+          }
+          if (!defined(v)) {
+            fail(DiagCode::BinBadSymbol,
+                 "frame references undefined string id " + std::to_string(v));
+            return;
+          }
+          rec.var.steps.push_back(
+              VarStep::make_field(Symbol(static_cast<std::uint32_t>(v))));
+        } else {
+          if (!read_varint(v, "step index")) return;
+          rec.var.steps.push_back(VarStep::make_index(v));
+        }
+      }
+    }
+    mid_record = false;
+  }
+}
+
+void bind_frame(TraceContext& ctx, DecodedFrame& frame,
+                std::vector<Symbol>& symbol_map) {
+  bool identity = true;
+  for (const auto& [id, text] : frame.defs) {
+    if (id >= symbol_map.size()) symbol_map.resize(id + 1);
+    symbol_map[id] = ctx.intern(text);
+    identity = identity && symbol_map[id].id() == id;
+  }
+  // Decode enforces that records only reference ids defined in this
+  // frame, so when every definition interned to its wire id (the common
+  // fresh-context decode) the rewrite pass would be a no-op — skip the
+  // walk over every record.
+  if (identity) return;
+  for (TraceRecord& rec : frame.records) {
+    rec.function = symbol_map[rec.function.id()];
+    if (rec.scope == VarScope::Unknown) continue;
+    rec.var.base = symbol_map[rec.var.base.id()];
+    for (VarStep& step : rec.var.steps) {
+      if (step.is_field) step.field = symbol_map[step.field.id()];
+    }
+  }
+}
+
+// --- reader -----------------------------------------------------------------
 
 /// Private unwind token: the diagnostic is already reported; next() turns
 /// this into a clean end-of-trace. Derives from Error so it stays a
@@ -143,8 +539,9 @@ BinaryTraceReader::BinaryTraceReader(TraceContext& ctx, std::istream& in,
     throw_parse_error("not a TDTB binary trace (bad magic)");
   }
   crc_.update(magic, 4);
+  bytes_read_ += 4;
   const int version = next_byte();
-  if (version != 1 && version != 2) {
+  if (version != 1 && version != 2 && version != kTdtbVersionFramed) {
     if (diags_ != nullptr) {
       diags_->report(DiagSeverity::Fatal, DiagCode::BinBadVersion,
                      "unsupported TDTB version " + std::to_string(version));
@@ -153,6 +550,21 @@ BinaryTraceReader::BinaryTraceReader(TraceContext& ctx, std::istream& in,
   }
   version_ = static_cast<std::uint8_t>(version);
   pid_ = get_varint();
+  if (version_ >= kTdtbVersionFramed) {
+    const int codec_byte = next_byte();
+    if (codec_byte == std::istream::traits_type::eof()) {
+      if (diags_ != nullptr) {
+        diags_->report(DiagSeverity::Fatal, DiagCode::BinTruncated,
+                       "truncated binary trace (missing codec byte)");
+      }
+      throw_parse_error("truncated binary trace (missing codec byte)");
+    }
+    // Frames carry their own codec id; the header byte is advisory, so an
+    // unknown value here is not an error.
+    default_codec_ =
+        codec_from_id(static_cast<std::uint8_t>(codec_byte)).value_or(
+            Codec::None);
+  }
 }
 
 void BinaryTraceReader::fail(DiagCode code, std::string message) {
@@ -163,6 +575,16 @@ void BinaryTraceReader::fail(DiagCode code, std::string message) {
   throw RecoverEnd(std::move(message));
 }
 
+void BinaryTraceReader::frame_error(DiagCode code, std::string message) {
+  if (diags_ == nullptr || diags_->strict()) {
+    throw_parse_error(std::move(message));
+  }
+  diags_->report(DiagSeverity::Error, code, message);
+  // Repair exploits frame isolation: the caller resumes at the next
+  // frame. Skip ends the trace with every earlier frame salvaged.
+  if (!diags_->repair()) throw RecoverEnd(std::move(message));
+}
+
 int BinaryTraceReader::next_byte() {
   const int byte = in_->get();
   if (byte != std::istream::traits_type::eof()) {
@@ -170,6 +592,13 @@ int BinaryTraceReader::next_byte() {
     crc_.update_byte(static_cast<std::uint8_t>(byte));
   }
   return byte;
+}
+
+bool BinaryTraceReader::read_exact(char* dst, std::size_t len) {
+  in_->read(dst, static_cast<std::streamsize>(len));
+  const std::streamsize got = in_->gcount();
+  if (got > 0) bytes_read_ += static_cast<std::uint64_t>(got);
+  return got == static_cast<std::streamsize>(len);
 }
 
 std::uint64_t BinaryTraceReader::get_varint() {
@@ -243,8 +672,68 @@ void BinaryTraceReader::check_footer() {
   }
 }
 
+void BinaryTraceReader::check_container_footer() {
+  if (fault::FaultInjector::enabled() &&
+      fault::should_fire(fault::Site::BinaryBadFooter)) [[unlikely]] {
+    fail(DiagCode::BinBadIndex,
+         "truncated binary trace (container footer missing or short)");
+  }
+  // Everything after the end tag is index + footer; stream it in.
+  std::string tail;
+  char buf[4096];
+  for (;;) {
+    in_->read(buf, sizeof buf);
+    const std::streamsize got = in_->gcount();
+    if (got <= 0) break;
+    bytes_read_ += static_cast<std::uint64_t>(got);
+    tail.append(buf, static_cast<std::size_t>(got));
+    if (!*in_) break;
+  }
+  if (tail.size() < kContainerFooterSize) {
+    fail(DiagCode::BinBadIndex,
+         "truncated binary trace (container footer missing or short)");
+  }
+  const char* f = tail.data() + tail.size() - kContainerFooterSize;
+  if (std::string_view(f + 24, 4) != std::string_view(kIndexMagic, 4)) {
+    fail(DiagCode::BinBadIndex,
+         "container footer magic mismatch (expected TDTX)");
+  }
+  const std::uint64_t total = get_le(f, 8);
+  const std::uint64_t frames = get_le(f + 8, 8);
+  const std::uint64_t index_len = get_le(f + 16, 4);
+  const std::uint32_t index_crc =
+      static_cast<std::uint32_t>(get_le(f + 20, 4));
+  if (index_len != tail.size() - kContainerFooterSize) {
+    fail(DiagCode::BinBadIndex,
+         "frame index length mismatch: footer says " +
+             std::to_string(index_len) + " bytes, found " +
+             std::to_string(tail.size() - kContainerFooterSize));
+  }
+  if (crc32(tail.data(), static_cast<std::size_t>(index_len)) != index_crc) {
+    fail(DiagCode::BinBadIndex,
+         "frame index checksum mismatch (bit corruption)");
+  }
+  if (frames != frames_read_) {
+    fail(DiagCode::BinCountMismatch,
+         "binary trace frame count mismatch: footer says " +
+             std::to_string(frames) + ", decoded " +
+             std::to_string(frames_read_));
+  }
+  if (total != record_count_) {
+    fail(DiagCode::BinCountMismatch,
+         "binary trace record count mismatch: footer says " +
+             std::to_string(total) + ", decoded " +
+             std::to_string(record_count_));
+  }
+}
+
 bool BinaryTraceReader::next(TraceRecord& out) {
+  if (version_ >= kTdtbVersionFramed) return next_v3(out);
   if (done_) return false;
+  return next_v12(out);
+}
+
+bool BinaryTraceReader::next_v12(TraceRecord& out) {
   try {
     for (;;) {
       if (fault::FaultInjector::enabled()) [[unlikely]] {
@@ -281,6 +770,7 @@ bool BinaryTraceReader::next(TraceRecord& out) {
         if (in_->gcount() != static_cast<std::streamsize>(len)) {
           fail(DiagCode::BinTruncated, "truncated string in binary trace");
         }
+        bytes_read_ += len;
         crc_.update(text.data(), len);
         if (id >= symbol_map_.size()) symbol_map_.resize(id + 1);
         symbol_map_[id] = ctx_->intern(text);
@@ -336,11 +826,312 @@ bool BinaryTraceReader::next(TraceRecord& out) {
   }
 }
 
+bool BinaryTraceReader::next_v3(TraceRecord& out) {
+  for (;;) {
+    if (pending_pos_ < pending_.size()) {
+      out = std::move(pending_[pending_pos_++]);
+      ++record_count_;
+      return true;
+    }
+    if (done_) return false;
+    try {
+      const int tag = next_byte();
+      if (tag == std::istream::traits_type::eof()) {
+        fail(DiagCode::BinTruncated,
+             "truncated binary trace (missing end marker)");
+      }
+      if (tag == kTagEnd) {
+        done_ = true;
+        check_container_footer();
+        return false;
+      }
+      if (tag != kTagFrame) {
+        fail(DiagCode::BinBadTag, "unknown entry tag " + std::to_string(tag) +
+                                      " in binary trace");
+      }
+      if (!load_frame()) continue;  // frame dropped under Repair
+    } catch (const RecoverEnd&) {
+      // Diagnostic already reported; the loop serves whatever load_frame
+      // salvaged into pending_, then ends the trace.
+      done_ = true;
+    }
+  }
+}
+
+bool BinaryTraceReader::load_frame() {
+  pending_.clear();
+  pending_pos_ = 0;
+  // Sample the frame-decode fault here, once per frame in frame order —
+  // the parallel decoder pre-samples the same sequence on its publisher
+  // thread, so injected schedules match at any job count.
+  const bool injected = fault::FaultInjector::enabled() &&
+                        fault::should_fire(fault::Site::FrameDecode);
+  const std::uint64_t frame_no = frames_read_;
+  const int codec_byte = next_byte();
+  if (codec_byte == std::istream::traits_type::eof()) {
+    fail(DiagCode::BinTruncated, "truncated frame header in binary trace");
+  }
+  const std::uint64_t records = get_varint_max(
+      kMaxFrameRecords, DiagCode::BinFieldOverflow, "frame record count");
+  const std::uint64_t usize = get_varint_max(
+      kMaxFrameBytes, DiagCode::BinFieldOverflow, "frame payload size");
+  const std::uint64_t csize = get_varint_max(
+      kMaxFrameBytes, DiagCode::BinFieldOverflow, "frame stored size");
+  char crcb[4];
+  if (!read_exact(crcb, 4)) {
+    fail(DiagCode::BinTruncated, "truncated frame header in binary trace");
+  }
+  const std::uint32_t want_crc = static_cast<std::uint32_t>(get_le(crcb, 4));
+  // Pull the stored bytes in steps so a corrupt length cannot drive a
+  // giant allocation before truncation is noticed.
+  stored_.clear();
+  std::uint64_t remaining = csize;
+  while (remaining > 0) {
+    const std::size_t step =
+        static_cast<std::size_t>(std::min<std::uint64_t>(remaining, 4u << 20));
+    const std::size_t base = stored_.size();
+    stored_.resize(base + step);
+    if (!read_exact(stored_.data() + base, step)) {
+      fail(DiagCode::BinTruncated, "truncated frame payload in binary trace");
+    }
+    remaining -= step;
+  }
+  ++frames_read_;
+  compressed_bytes_ += csize;
+  // Header parsed and payload in memory: everything below fails in
+  // isolation, so frame_error() lets Repair resume at the next frame.
+  if (injected) [[unlikely]] {
+    frame_error(DiagCode::BinFrameCorrupt,
+                "injected frame-decode fault: frame " +
+                    std::to_string(frame_no) + " dropped");
+    return false;
+  }
+  if (crc32(stored_.data(), stored_.size()) != want_crc) {
+    frame_error(DiagCode::BinFrameCorrupt,
+                "frame " + std::to_string(frame_no) +
+                    " checksum mismatch (bit corruption)");
+    return false;
+  }
+  const std::optional<Codec> codec =
+      codec_from_id(static_cast<std::uint8_t>(codec_byte));
+  if (!codec) {
+    frame_error(DiagCode::BinBadCodec,
+                "frame " + std::to_string(frame_no) + " names unknown codec id " +
+                    std::to_string(codec_byte));
+    return false;
+  }
+  std::string_view payload;
+  if (*codec == Codec::None) {
+    if (stored_.size() != usize) {
+      frame_error(DiagCode::BinFrameCorrupt,
+                  "frame " + std::to_string(frame_no) +
+                      " stored size disagrees with payload size");
+      return false;
+    }
+    payload = stored_;
+  } else {
+    if (!codec_available(*codec)) {
+      frame_error(DiagCode::BinBadCodec,
+                  "codec '" + std::string(codec_name(*codec)) +
+                      "' unavailable in this process (shared library not "
+                      "found or TDT_NO_CODEC set); cannot decode frame " +
+                      std::to_string(frame_no));
+      return false;
+    }
+    if (!codec_decompress(*codec, stored_, static_cast<std::size_t>(usize),
+                          payload_)) {
+      frame_error(DiagCode::BinFrameCorrupt,
+                  "frame " + std::to_string(frame_no) +
+                      " decompression failed (codec " +
+                      std::string(codec_name(*codec)) + ")");
+      return false;
+    }
+    payload = payload_;
+  }
+  decode_frame_payload(payload, frame_);
+  if (!frame_.ok) {
+    if (diags_ == nullptr || diags_->strict()) {
+      throw_parse_error(std::move(frame_.error));
+    }
+    diags_->report(DiagSeverity::Error, frame_.error_code, frame_.error);
+    if (diags_->repair()) return false;  // drop the frame, resume
+    // Skip: salvage the decoded prefix of the bad frame, then end.
+    bind_frame(*ctx_, frame_, symbol_map_);
+    pending_ = std::move(frame_.records);
+    pending_pos_ = 0;
+    done_ = true;
+    return true;
+  }
+  if (frame_.records.size() != records) {
+    frame_error(DiagCode::BinCountMismatch,
+                "frame " + std::to_string(frame_no) +
+                    " record count mismatch: header says " +
+                    std::to_string(records) + ", decoded " +
+                    std::to_string(frame_.records.size()));
+    return false;
+  }
+  bind_frame(*ctx_, frame_, symbol_map_);
+  pending_ = std::move(frame_.records);
+  pending_pos_ = 0;
+  return true;
+}
+
+// --- container probe --------------------------------------------------------
+
+std::optional<TdtbFrameInfo> parse_frame_header(
+    std::string_view blob, std::uint64_t offset,
+    std::uint64_t* payload_offset) noexcept {
+  if (offset >= blob.size()) return std::nullopt;
+  const char* p = blob.data() + offset;
+  const char* end = blob.data() + blob.size();
+  if (static_cast<std::uint8_t>(*p++) != kTagFrame) return std::nullopt;
+  if (p == end) return std::nullopt;
+  TdtbFrameInfo info;
+  info.offset = offset;
+  info.codec = static_cast<std::uint8_t>(*p++);
+  if (!mem_varint(p, end, info.records) || info.records > kMaxFrameRecords) {
+    return std::nullopt;
+  }
+  if (!mem_varint(p, end, info.usize) || info.usize > kMaxFrameBytes) {
+    return std::nullopt;
+  }
+  if (!mem_varint(p, end, info.csize) || info.csize > kMaxFrameBytes) {
+    return std::nullopt;
+  }
+  if (end - p < 4) return std::nullopt;
+  info.crc = static_cast<std::uint32_t>(get_le(p, 4));
+  p += 4;
+  if (static_cast<std::uint64_t>(end - p) < info.csize) return std::nullopt;
+  if (payload_offset != nullptr) {
+    *payload_offset = static_cast<std::uint64_t>(p - blob.data());
+  }
+  return info;
+}
+
+std::optional<TdtbContainerInfo> probe_tdtb(std::string_view blob) noexcept {
+  if (blob.size() < 5 ||
+      std::string_view(blob.data(), 4) != std::string_view(kMagic, 4)) {
+    return std::nullopt;
+  }
+  TdtbContainerInfo info;
+  info.version = static_cast<std::uint8_t>(blob[4]);
+  info.file_bytes = blob.size();
+  if (info.version < 1 || info.version > kTdtbVersionFramed) {
+    return std::nullopt;
+  }
+  const char* p = blob.data() + 5;
+  const char* end = blob.data() + blob.size();
+  if (!mem_varint(p, end, info.pid)) return std::nullopt;
+  if (info.version < kTdtbVersionFramed) {
+    // v2 carries its record count in the 12-byte footer.
+    const std::size_t header = static_cast<std::size_t>(p - blob.data());
+    if (info.version == 2 && blob.size() >= header + 1 + kFooterSize) {
+      info.total_records = get_le(blob.data() + blob.size() - kFooterSize, 8);
+    }
+    return info;
+  }
+  if (p == end) return std::nullopt;
+  info.default_codec = static_cast<std::uint8_t>(*p++);
+  // From here every validation failure returns `info` with has_index
+  // still false: callers fall back to the sequential reader, which
+  // produces the precise diagnostic under the chosen error policy.
+  const std::uint64_t body_start = static_cast<std::uint64_t>(p - blob.data());
+  if (blob.size() < body_start + 1 + kContainerFooterSize) return info;
+  const char* f = blob.data() + blob.size() - kContainerFooterSize;
+  if (std::string_view(f + 24, 4) != std::string_view(kIndexMagic, 4)) {
+    return info;
+  }
+  const std::uint64_t total = get_le(f, 8);
+  const std::uint64_t frames = get_le(f + 8, 8);
+  const std::uint64_t index_len = get_le(f + 16, 4);
+  const std::uint32_t index_crc =
+      static_cast<std::uint32_t>(get_le(f + 20, 4));
+  if (index_len > blob.size() - kContainerFooterSize) return info;
+  const std::uint64_t index_start =
+      blob.size() - kContainerFooterSize - index_len;
+  if (index_start < body_start + 1) return info;  // room for the end tag
+  if (crc32(blob.data() + index_start,
+            static_cast<std::size_t>(index_len)) != index_crc) {
+    return info;
+  }
+  const char* ip = blob.data() + index_start;
+  const char* iend = ip + index_len;
+  std::uint64_t prev_end = body_start;
+  std::uint64_t record_sum = 0;
+  while (ip != iend) {
+    TdtbFrameInfo fi;
+    if (!mem_varint(ip, iend, fi.offset) ||
+        !mem_varint(ip, iend, fi.records) ||
+        !mem_varint(ip, iend, fi.usize) || !mem_varint(ip, iend, fi.csize) ||
+        iend - ip < 5) {
+      info.frames.clear();
+      return info;
+    }
+    fi.crc = static_cast<std::uint32_t>(get_le(ip, 4));
+    ip += 4;
+    fi.codec = static_cast<std::uint8_t>(*ip++);
+    // Cross-check the index entry against the frame header it points at
+    // and require frames to tile the body left to right.
+    std::uint64_t payload_off = 0;
+    const std::optional<TdtbFrameInfo> parsed =
+        parse_frame_header(blob, fi.offset, &payload_off);
+    if (fi.offset < prev_end || !parsed || parsed->records != fi.records ||
+        parsed->usize != fi.usize || parsed->csize != fi.csize ||
+        parsed->crc != fi.crc || parsed->codec != fi.codec ||
+        payload_off + fi.csize >= index_start) {
+      info.frames.clear();
+      return info;
+    }
+    prev_end = payload_off + fi.csize;
+    record_sum += fi.records;
+    info.frames.push_back(fi);
+  }
+  if (info.frames.size() != frames || record_sum != total) {
+    info.frames.clear();
+    return info;
+  }
+  info.total_records = total;
+  info.has_index = true;
+  return info;
+}
+
+std::optional<TdtbContainerInfo> probe_tdtb_file(
+    const std::string& path) noexcept {
+  try {
+    const std::unique_ptr<FileView> view = FileView::open(path);
+    if (view == nullptr) return std::nullopt;
+    return probe_tdtb(view->bytes());
+  } catch (...) {
+    return std::nullopt;
+  }
+}
+
+// --- sink + whole-trace helpers ---------------------------------------------
+
+void BinaryTraceSink::check_health() {
+  if (fault::FaultInjector::enabled() &&
+      fault::should_fire(fault::Site::WriterFlush)) [[unlikely]] {
+    out_->setstate(std::ios::failbit);
+  }
+  if (!*out_) {
+    throw Error(ErrorKind::Io,
+                "binary trace write failed (disk full or closed stream?)");
+  }
+}
+
 std::vector<char> write_binary_trace(const TraceContext& ctx,
                                      std::span<const TraceRecord> records,
                                      std::uint64_t pid, std::uint8_t version) {
+  return write_binary_trace(ctx, records, pid,
+                            BinaryWriterOptions{.version = version});
+}
+
+std::vector<char> write_binary_trace(const TraceContext& ctx,
+                                     std::span<const TraceRecord> records,
+                                     std::uint64_t pid,
+                                     const BinaryWriterOptions& options) {
   std::ostringstream out(std::ios::binary);
-  BinaryTraceWriter w(ctx, out, pid, version);
+  BinaryTraceWriter w(ctx, out, pid, options);
   for (const TraceRecord& rec : records) w.write(rec);
   w.finish();
   const std::string s = out.str();

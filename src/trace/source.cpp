@@ -223,10 +223,182 @@ bool OverlappedSource::failed() const noexcept {
   return failed_;
 }
 
+// --- GzipSource ------------------------------------------------------------
+
+GzipSource::GzipSource(std::unique_ptr<ByteSource> inner, std::string head)
+    : inner_(std::move(inner)) {
+  inflater_ = std::make_unique<GzipInflater>();  // throws without zlib
+  head_ = std::move(head);
+  name_ = "gzip+" + std::string(inner_->name());
+  out_.resize(kIngestBlock);
+  if (!head_.empty()) inflater_->set_input(head_);
+}
+
+GzipSource::~GzipSource() = default;
+
+bool GzipSource::refill() {
+  const std::string_view chunk = inner_->next_chunk();
+  if (chunk.empty()) {
+    if (inner_->failed()) failed_ = true;
+    return false;
+  }
+  inflater_->set_input(chunk);
+  return true;
+}
+
+std::string_view GzipSource::next_chunk() {
+  if (done_) return {};
+  for (;;) {
+    std::size_t produced = 0;
+    switch (inflater_->inflate_chunk(out_.data(), out_.size(), &produced)) {
+      case GzipInflater::Status::Output:
+        if (produced > 0) return {out_.data(), produced};
+        continue;  // member boundary bookkeeping; inflate again
+      case GzipInflater::Status::Done:
+        // A member ended exactly at an input boundary. More compressed
+        // bytes may still follow (`cat a.gz b.gz` split across chunks);
+        // the inflater's concatenated-member reset handles them once fed.
+        if (!refill()) {
+          done_ = true;
+          return {};
+        }
+        continue;
+      case GzipInflater::Status::NeedInput:
+        if (!refill()) {
+          // EOF in the middle of a member: the stream is torn.
+          done_ = true;
+          failed_ = true;
+          return {};
+        }
+        continue;
+      case GzipInflater::Status::Error:
+        done_ = true;
+        failed_ = true;
+        return {};
+    }
+  }
+}
+
+bool GzipSource::failed() const noexcept {
+  return failed_ || inner_->failed();
+}
+
+// --- FileView --------------------------------------------------------------
+
+std::unique_ptr<FileView> FileView::open(const std::string& path) {
+  std::unique_ptr<FileView> view(new FileView());
+#if TDT_HAVE_MMAP
+  const int fd = ::open(path.c_str(), O_RDONLY);
+  if (fd >= 0) {
+    struct stat st{};
+    const bool regular = ::fstat(fd, &st) == 0 && S_ISREG(st.st_mode);
+    if (regular && st.st_size == 0) {
+      ::close(fd);
+      return view;  // empty view
+    }
+    if (regular) {
+      const auto size = static_cast<std::size_t>(st.st_size);
+      void* base = ::mmap(nullptr, size, PROT_READ, MAP_PRIVATE, fd, 0);
+      ::close(fd);
+      if (base != MAP_FAILED) {
+#if defined(POSIX_MADV_WILLNEED)
+        ::posix_madvise(base, size, POSIX_MADV_WILLNEED);
+#endif
+        view->base_ = static_cast<const char*>(base);
+        view->size_ = size;
+        view->mapped_ = true;
+        return view;
+      }
+    } else {
+      ::close(fd);
+    }
+  }
+#endif
+  std::ifstream in(path, std::ios::in | std::ios::binary);
+  if (!in) return nullptr;
+  std::string buf;
+  char block[64 * 1024];
+  for (;;) {
+    in.read(block, sizeof block);
+    const std::streamsize got = in.gcount();
+    if (got <= 0) break;
+    buf.append(block, static_cast<std::size_t>(got));
+    if (!in) break;
+  }
+  if (in.bad()) return nullptr;
+  view->buf_ = std::move(buf);
+  view->base_ = view->buf_.data();
+  view->size_ = view->buf_.size();
+  return view;
+}
+
+FileView::~FileView() {
+#if TDT_HAVE_MMAP
+  if (mapped_ && base_ != nullptr) {
+    ::munmap(const_cast<char*>(base_), size_);
+  }
+#endif
+}
+
 // --- Backend selection -----------------------------------------------------
+
+namespace {
+
+/// Hands the sniffed first chunk back, then delegates — non-gzip input
+/// reaches the reader byte-identical to the unsniffed stream, on the
+/// same backend (name() delegates so metrics report the real one).
+class ReplaySource final : public ByteSource {
+ public:
+  ReplaySource(std::unique_ptr<ByteSource> inner, std::string head)
+      : inner_(std::move(inner)), head_(std::move(head)) {}
+
+  [[nodiscard]] std::string_view next_chunk() override {
+    if (!replayed_) {
+      replayed_ = true;
+      return head_;
+    }
+    return inner_->next_chunk();
+  }
+  [[nodiscard]] bool failed() const noexcept override {
+    return inner_->failed();
+  }
+  [[nodiscard]] std::string_view name() const noexcept override {
+    return inner_->name();
+  }
+
+ private:
+  std::unique_ptr<ByteSource> inner_;
+  std::string head_;
+  bool replayed_ = false;
+};
+
+/// Sniffs the stream's first chunk for the gzip magic. The pull consumes
+/// fault opportunity 0 exactly as the reader's first chunk request
+/// would, and the bytes are replayed either way, so fault schedules and
+/// delivered bytes are unchanged for non-gzip input.
+std::unique_ptr<ByteSource> wrap_gzip_if_needed(
+    std::unique_ptr<ByteSource> inner) {
+  const std::string_view first = inner->next_chunk();
+  if (!looks_gzip(first)) {
+    return std::make_unique<ReplaySource>(std::move(inner),
+                                          std::string(first));
+  }
+  if (!gzip_available()) {
+    throw Error(ErrorKind::Config,
+                "input is gzip-compressed but zlib support is not built in");
+  }
+  return std::make_unique<GzipSource>(std::move(inner), std::string(first));
+}
+
+}  // namespace
 
 std::unique_ptr<ByteSource> open_trace_byte_source(const std::string& path,
                                                    IngestMode mode) {
+  return wrap_gzip_if_needed(open_raw_byte_source(path, mode));
+}
+
+std::unique_ptr<ByteSource> open_raw_byte_source(const std::string& path,
+                                                 IngestMode mode) {
   if (path == "-") {
     if (mode == IngestMode::Mmap) {
       throw_io_error("cannot mmap standard input");

@@ -30,6 +30,8 @@
 #include <condition_variable>
 #include <mutex>
 
+#include "trace/codec.hpp"
+
 namespace tdt::trace {
 
 /// Block size for streaming sources. Large enough that refills are
@@ -192,6 +194,67 @@ class OverlappedSource final : public ByteSource {
   std::thread prefetcher_;
 };
 
+/// Transparent gzip inflation over any inner source. Construction is
+/// driven by open_trace_byte_source(): it sniffs the first bytes of the
+/// stream for the gzip magic and wraps compressed text (a `trace.out.gz`,
+/// whether named so or not) so the text reader never knows. Handles
+/// concatenated members (`cat a.gz b.gz`). A truncated or corrupt stream
+/// surfaces through failed() — the same torn-read contract (T004) as
+/// every other source.
+class GzipSource final : public ByteSource {
+ public:
+  /// Takes ownership of `inner`. `head` holds bytes already pulled from
+  /// the inner source by the sniffer; they are inflated first. Throws
+  /// Error{Config} when zlib support is not built in.
+  GzipSource(std::unique_ptr<ByteSource> inner, std::string head);
+  ~GzipSource() override;
+  GzipSource(const GzipSource&) = delete;
+  GzipSource& operator=(const GzipSource&) = delete;
+
+  [[nodiscard]] std::string_view next_chunk() override;
+  [[nodiscard]] bool failed() const noexcept override;
+  [[nodiscard]] std::string_view name() const noexcept override {
+    return name_;  // "gzip+<inner>", e.g. "gzip+mmap"
+  }
+
+ private:
+  bool refill();  // feeds the next compressed chunk to the inflater
+
+  std::unique_ptr<ByteSource> inner_;
+  std::unique_ptr<GzipInflater> inflater_;
+  std::string head_;  // sniffed bytes, inflated before the inner source
+  std::string name_;
+  std::string out_;
+  bool done_ = false;
+  bool failed_ = false;
+};
+
+/// Read-only view of one whole file: mmap'd when possible, slurped into
+/// a buffer otherwise. The TDTB container probe and the parallel frame
+/// decoder need random access to frames; this is their backing.
+class FileView {
+ public:
+  /// nullptr when the file cannot be opened or read. An empty file
+  /// yields an empty view.
+  [[nodiscard]] static std::unique_ptr<FileView> open(const std::string& path);
+
+  ~FileView();
+  FileView(const FileView&) = delete;
+  FileView& operator=(const FileView&) = delete;
+
+  [[nodiscard]] std::string_view bytes() const noexcept {
+    return {base_, size_};
+  }
+
+ private:
+  FileView() = default;
+
+  const char* base_ = nullptr;
+  std::size_t size_ = 0;
+  bool mapped_ = false;
+  std::string buf_;  // fallback storage when mmap is impossible
+};
+
 /// How open_trace_byte_source picks a backend.
 enum class IngestMode : std::uint8_t {
   Auto,        ///< mmap for regular files, overlapped for pipes/stdin
@@ -203,8 +266,17 @@ enum class IngestMode : std::uint8_t {
 /// Opens the best byte source for `path`: "-" reads stdin through an
 /// OverlappedSource; regular files map via MmapSource (set TDT_NO_MMAP=1
 /// to disable); pipes/devices and mmap failures fall back to streams.
-/// Throws Error{Io} when the path cannot be opened at all.
+/// Input starting with the gzip magic (0x1f 0x8b) is wrapped in a
+/// GzipSource regardless of backend or file name, so `.gz` traces ingest
+/// transparently. Throws Error{Io} when the path cannot be opened at
+/// all, Error{Config} for gzip input without built-in zlib.
 [[nodiscard]] std::unique_ptr<ByteSource> open_trace_byte_source(
+    const std::string& path, IngestMode mode = IngestMode::Auto);
+
+/// Backend selection without the gzip sniff (open_trace_byte_source is
+/// this plus transparent decompression). Exposed for tests and callers
+/// that must see raw bytes.
+[[nodiscard]] std::unique_ptr<ByteSource> open_raw_byte_source(
     const std::string& path, IngestMode mode = IngestMode::Auto);
 
 }  // namespace tdt::trace

@@ -1,11 +1,18 @@
 #include "trace/stream.hpp"
 
+#include <algorithm>
+#include <atomic>
+#include <condition_variable>
 #include <fstream>
+#include <mutex>
+#include <thread>
 
 #include "trace/binary.hpp"
 #include "trace/din.hpp"
 #include "trace/reader.hpp"
+#include "util/crc32.hpp"
 #include "util/error.hpp"
+#include "util/fault.hpp"
 #include "util/string_util.hpp"
 
 namespace tdt::trace {
@@ -102,6 +109,331 @@ StreamResult drain_gleipnir(GleipnirReader& reader, TraceSink& sink,
   return result;
 }
 
+// --- TDTB v3 parallel (seekable) decode -------------------------------------
+
+/// Reusable decode scratch: the frame's records/defs plus the
+/// decompression buffer its defs view into. Buffers cycle worker ->
+/// publisher -> free list, so steady-state decoding performs no
+/// per-frame allocation — a large fresh vector per frame would serialize
+/// every worker on the allocator's mmap/page-zero path and erase the
+/// parallel speedup.
+struct FrameBuf {
+  DecodedFrame frame;
+  std::string payload;  // decompressed bytes frame.defs views into
+};
+
+/// One frame's decode state in the parallel pipeline. Workers fill a
+/// slot; the publisher consumes it. `done` is guarded by the pool mutex.
+struct FrameSlot {
+  FrameBuf* buf = nullptr;
+  bool bad = false;
+  DiagCode code = DiagCode::BinFrameCorrupt;
+  std::string error;
+  bool done = false;
+};
+
+/// Phase-one decode of one indexed frame (worker context; touches only
+/// the slot). Mirrors BinaryTraceReader::load_frame's frame-local error
+/// ladder — same codes, same messages — so diagnostics are identical to
+/// the sequential reader's at any job count.
+void decode_indexed_frame(std::string_view blob, const TdtbFrameInfo& fi,
+                          bool injected, std::uint64_t frame_no,
+                          FrameSlot& slot) {
+  DecodedFrame& frame = slot.buf->frame;
+  std::string& payload_buf = slot.buf->payload;
+  frame.records.clear();
+  frame.defs.clear();
+  auto bad = [&slot](DiagCode code, std::string msg) {
+    slot.bad = true;
+    slot.code = code;
+    slot.error = std::move(msg);
+  };
+  if (injected) [[unlikely]] {
+    bad(DiagCode::BinFrameCorrupt, "injected frame-decode fault: frame " +
+                                       std::to_string(frame_no) + " dropped");
+    return;
+  }
+  std::uint64_t payload_off = 0;
+  const std::optional<TdtbFrameInfo> parsed =
+      parse_frame_header(blob, fi.offset, &payload_off);
+  if (!parsed || parsed->csize != fi.csize || parsed->usize != fi.usize ||
+      parsed->codec != fi.codec) {
+    // probe_tdtb validated every entry; a disagreement now means the
+    // file changed underneath the mapping.
+    bad(DiagCode::BinFrameCorrupt,
+        "frame " + std::to_string(frame_no) +
+            " header disagrees with the container index");
+    return;
+  }
+  const std::string_view stored =
+      blob.substr(static_cast<std::size_t>(payload_off),
+                  static_cast<std::size_t>(fi.csize));
+  if (crc32(stored.data(), stored.size()) != fi.crc) {
+    bad(DiagCode::BinFrameCorrupt, "frame " + std::to_string(frame_no) +
+                                       " checksum mismatch (bit corruption)");
+    return;
+  }
+  const std::optional<Codec> codec = codec_from_id(fi.codec);
+  if (!codec) {
+    bad(DiagCode::BinBadCodec, "frame " + std::to_string(frame_no) +
+                                   " names unknown codec id " +
+                                   std::to_string(fi.codec));
+    return;
+  }
+  std::string_view payload;
+  if (*codec == Codec::None) {
+    if (stored.size() != fi.usize) {
+      bad(DiagCode::BinFrameCorrupt,
+          "frame " + std::to_string(frame_no) +
+              " stored size disagrees with payload size");
+      return;
+    }
+    payload = stored;
+  } else {
+    if (!codec_available(*codec)) {
+      bad(DiagCode::BinBadCodec,
+          "codec '" + std::string(codec_name(*codec)) +
+              "' unavailable in this process (shared library not found or "
+              "TDT_NO_CODEC set); cannot decode frame " +
+              std::to_string(frame_no));
+      return;
+    }
+    if (!codec_decompress(*codec, stored, static_cast<std::size_t>(fi.usize),
+                          payload_buf)) {
+      bad(DiagCode::BinFrameCorrupt,
+          "frame " + std::to_string(frame_no) + " decompression failed (codec " +
+              std::string(codec_name(*codec)) + ")");
+      return;
+    }
+    payload = payload_buf;
+  }
+  decode_frame_payload(payload, frame);
+  if (!frame.ok) {
+    // Keep the decoded prefix: Skip salvages it, Repair/Strict discard.
+    slot.bad = true;
+    slot.code = frame.error_code;
+    slot.error = frame.error;
+    return;
+  }
+  if (frame.records.size() != fi.records) {
+    const std::size_t decoded = frame.records.size();
+    frame.records.clear();
+    bad(DiagCode::BinCountMismatch,
+        "frame " + std::to_string(frame_no) +
+            " record count mismatch: header says " + std::to_string(fi.records) +
+            ", decoded " + std::to_string(decoded));
+  }
+}
+
+/// Parallel decode of a v3 container whose frame index validated.
+/// Workers claim frames in order and run the thread-safe phase-one
+/// decode; the calling thread binds (interns) and publishes frames
+/// strictly in frame order, so the string pool stays single-writer,
+/// symbol ids match a sequential decode, and the sink sees the exact
+/// byte-identical record stream at any job count. A claim window
+/// (2x workers) bounds decoded-but-unpublished memory. Error-policy
+/// semantics match the sequential reader: Strict throws, Repair drops
+/// the corrupt frame and resumes at the next one, Skip salvages the
+/// decoded prefix and ends the trace.
+StreamResult stream_tdtb_indexed(TraceContext& ctx, std::string_view blob,
+                                 const TdtbContainerInfo& info,
+                                 TraceSink& sink,
+                                 const StreamOptions& options) {
+  DiagEngine* diags = options.diags;
+  Governor* governor = options.governor;
+  const std::size_t nframes = info.frames.size();
+  StreamResult result;
+  result.pid = info.pid;
+
+  // Pre-sample the frame-decode fault site here, once per frame in
+  // frame order — the same draw sequence the sequential reader makes —
+  // so injected schedules are identical at any job count.
+  std::vector<char> injected(nframes, 0);
+  if (fault::FaultInjector::enabled()) {
+    for (std::size_t i = 0; i < nframes; ++i) {
+      injected[i] = fault::should_fire(fault::Site::FrameDecode) ? 1 : 0;
+    }
+  }
+
+  std::vector<Symbol> symbol_map;
+  std::uint64_t frames_done = 0;
+  std::uint64_t stored_bytes = 0;
+
+  // Delivers one decoded frame to the sink under the sequential
+  // reader's error-policy semantics. Returns true when the stream must
+  // end (Skip salvage). Shared by the inline and threaded paths so
+  // their diagnostics and output are identical by construction.
+  const auto publish_slot = [&](FrameSlot& slot) -> bool {
+    DecodedFrame& frame = slot.buf->frame;
+    if (slot.bad) {
+      if (diags == nullptr || diags->strict()) {
+        throw_parse_error(std::move(slot.error));
+      }
+      diags->report(DiagSeverity::Error, slot.code, slot.error);
+      if (!diags->repair()) {
+        // Skip: salvage the decoded prefix of the bad frame, then end.
+        bind_frame(ctx, frame, symbol_map);
+        result.records += frame.records.size();
+        if (!frame.records.empty()) sink.push_batch(frame.records);
+        return true;
+      }
+      // Repair: frame isolation — drop it, resume at the next frame.
+      return false;
+    }
+    bind_frame(ctx, frame, symbol_map);
+    result.records += frame.records.size();
+    if (!frame.records.empty()) sink.push_batch(frame.records);
+    return false;
+  };
+
+  const auto finish = [&]() {
+    sink.on_end();
+    result.deadline_hit = governor != nullptr && governor->deadline_hit();
+    // read.bytes: a complete pass consumed the whole container; an
+    // early stop counts through the end of the last frame processed
+    // (the start of the first untouched frame).
+    const std::uint64_t bytes =
+        frames_done == nframes
+            ? blob.size()
+            : info.frames[static_cast<std::size_t>(frames_done)].offset;
+    fold_read_counters(options.registry, result.records, bytes, 0, 0);
+    if (options.registry != nullptr) {
+      options.registry->counter("read.frames").add(frames_done);
+      options.registry->counter("read.compressed_bytes").add(stored_bytes);
+    }
+  };
+
+  const std::size_t requested =
+      std::min(static_cast<std::size_t>(std::clamp(options.jobs, 1, 256)),
+               std::max<std::size_t>(nframes, 1));
+  // More decode workers than cores is pure scheduling overhead; clamp
+  // unless a test explicitly wants the threaded machinery exercised.
+  const std::size_t hw =
+      std::max<std::size_t>(1, std::thread::hardware_concurrency());
+  const std::size_t nworkers =
+      options.clamp_jobs ? std::min(requested, hw) : requested;
+
+  if (nworkers <= 1) {
+    // One effective worker: decode inline on this thread. No slots, no
+    // condition variables — the frame loop is the pipeline.
+    FrameBuf solo;
+    for (std::size_t i = 0; i < nframes; ++i) {
+      FrameSlot slot;
+      slot.buf = &solo;
+      solo.frame.records.reserve(static_cast<std::size_t>(
+          std::min<std::uint64_t>(info.frames[i].records, 64 * 1024)));
+      decode_indexed_frame(blob, info.frames[i], injected[i] != 0,
+                           static_cast<std::uint64_t>(i), slot);
+      ++frames_done;
+      stored_bytes += info.frames[i].csize;
+      if (publish_slot(slot)) break;
+      if (governor != nullptr && governor->expired()) break;
+    }
+    finish();
+    return result;
+  }
+
+  std::vector<FrameSlot> slots(nframes);
+  std::mutex mu;
+  std::condition_variable cv;
+  std::size_t next_claim = 0;  // next frame a worker decodes (under mu)
+  std::size_t published = 0;   // frames delivered to the sink (under mu)
+  bool cancel = false;         // publisher tells workers to quit (under mu)
+  const std::size_t window = nworkers * 2;
+  // Decode-buffer pool (under mu). The claim window bounds frames in
+  // flight, so at most window + 1 buffers ever exist; after warm-up the
+  // pipeline recycles them and steady-state decode allocates nothing.
+  std::vector<std::unique_ptr<FrameBuf>> buf_storage;
+  std::vector<FrameBuf*> free_bufs;
+
+  auto worker_main = [&]() {
+    for (;;) {
+      std::size_t idx = 0;
+      FrameBuf* buf = nullptr;
+      {
+        std::unique_lock<std::mutex> lock(mu);
+        cv.wait(lock, [&] {
+          return cancel || next_claim >= nframes ||
+                 next_claim < published + window;
+        });
+        if (cancel || next_claim >= nframes) return;
+        idx = next_claim++;
+        if (!free_bufs.empty()) {
+          buf = free_bufs.back();
+          free_bufs.pop_back();
+        }
+      }
+      if (buf == nullptr) {
+        auto fresh = std::make_unique<FrameBuf>();
+        buf = fresh.get();
+        std::lock_guard<std::mutex> lock(mu);
+        buf_storage.push_back(std::move(fresh));
+      }
+      FrameSlot& slot = slots[idx];
+      slot.buf = buf;
+      // Warm the record vector once per buffer; a hostile index cannot
+      // drive a giant allocation (the cap), and recycled buffers keep
+      // whatever capacity real frames needed.
+      buf->frame.records.reserve(static_cast<std::size_t>(
+          std::min<std::uint64_t>(info.frames[idx].records, 64 * 1024)));
+      try {
+        decode_indexed_frame(blob, info.frames[idx], injected[idx] != 0,
+                             static_cast<std::uint64_t>(idx), slot);
+      } catch (const std::exception& e) {
+        slot.bad = true;
+        slot.code = DiagCode::BinFrameCorrupt;
+        slot.error = e.what();
+      }
+      {
+        std::lock_guard<std::mutex> lock(mu);
+        slot.done = true;
+      }
+      cv.notify_all();
+    }
+  };
+
+  std::vector<std::thread> pool;
+  pool.reserve(nworkers);
+  for (std::size_t i = 0; i < nworkers; ++i) pool.emplace_back(worker_main);
+  auto shutdown = [&]() {
+    {
+      std::lock_guard<std::mutex> lock(mu);
+      cancel = true;
+    }
+    cv.notify_all();
+    for (std::thread& t : pool) t.join();
+  };
+
+  try {
+    for (std::size_t i = 0; i < nframes; ++i) {
+      {
+        std::unique_lock<std::mutex> lock(mu);
+        cv.wait(lock, [&] { return slots[i].done; });
+      }
+      FrameSlot& slot = slots[i];
+      ++frames_done;
+      stored_bytes += info.frames[i].csize;
+      const bool stop = publish_slot(slot);
+      {
+        // Recycle the decode buffer and open the claim window.
+        std::lock_guard<std::mutex> lock(mu);
+        free_bufs.push_back(slot.buf);
+        published = i + 1;
+      }
+      slot.buf = nullptr;
+      cv.notify_all();
+      if (stop) break;
+      if (governor != nullptr && governor->expired()) break;
+    }
+  } catch (...) {
+    shutdown();
+    throw;
+  }
+  shutdown();
+  finish();
+  return result;
+}
+
 }  // namespace
 
 StreamResult stream_trace(TraceContext& ctx, std::istream& in,
@@ -141,6 +473,11 @@ StreamResult stream_trace(TraceContext& ctx, std::istream& in,
       result.records = emitter.finish();
       result.deadline_hit = governor != nullptr && governor->deadline_hit();
       fold_read_counters(registry, result.records, reader.bytes_read(), 0, 0);
+      if (registry != nullptr && reader.version() >= kTdtbVersionFramed) {
+        registry->counter("read.frames").add(reader.frames_read());
+        registry->counter("read.compressed_bytes")
+            .add(reader.compressed_bytes());
+      }
       return result;
     }
   }
@@ -157,13 +494,25 @@ StreamResult stream_trace_text(TraceContext& ctx, std::string_view text,
 }
 
 StreamResult stream_trace_file(TraceContext& ctx, const std::string& path,
-                               TraceSink& sink, DiagEngine* diags,
-                               obs::Registry* registry, Governor* governor,
-                               IngestMode ingest) {
+                               TraceSink& sink, const StreamOptions& options) {
   const TraceFormat format = guess_trace_format(path);
   if (format == TraceFormat::Gleipnir) {
-    GleipnirReader reader(ctx, open_trace_byte_source(path, ingest), diags);
-    return drain_gleipnir(reader, sink, registry, governor);
+    GleipnirReader reader(ctx, open_trace_byte_source(path, options.ingest),
+                          options.diags);
+    return drain_gleipnir(reader, sink, options.registry, options.governor);
+  }
+  if (format == TraceFormat::Tdtb && path != "-") {
+    // Probe and decode read the same mapped bytes (no reopen window). A
+    // v3 container with a validated index takes the seekable parallel
+    // path; everything else — v1/v2 blobs, a v3 whose index fails
+    // validation — falls through to the sequential reader, which
+    // produces the precise diagnostic under the chosen error policy.
+    if (const std::unique_ptr<FileView> view = FileView::open(path)) {
+      const std::optional<TdtbContainerInfo> info = probe_tdtb(view->bytes());
+      if (info && info->has_index) {
+        return stream_tdtb_indexed(ctx, view->bytes(), *info, sink, options);
+      }
+    }
   }
   // Binary everywhere: din is a text format, but opening it in text mode
   // would let a CRLF-translating runtime silently rewrite byte offsets.
@@ -171,7 +520,20 @@ StreamResult stream_trace_file(TraceContext& ctx, const std::string& path,
   if (!in) {
     throw_io_error("cannot open trace file '" + path + "'");
   }
-  return stream_trace(ctx, in, format, sink, diags, registry, governor);
+  return stream_trace(ctx, in, format, sink, options.diags, options.registry,
+                      options.governor);
+}
+
+StreamResult stream_trace_file(TraceContext& ctx, const std::string& path,
+                               TraceSink& sink, DiagEngine* diags,
+                               obs::Registry* registry, Governor* governor,
+                               IngestMode ingest) {
+  StreamOptions options;
+  options.diags = diags;
+  options.registry = registry;
+  options.governor = governor;
+  options.ingest = ingest;
+  return stream_trace_file(ctx, path, sink, options);
 }
 
 }  // namespace tdt::trace

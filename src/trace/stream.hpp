@@ -55,11 +55,42 @@ StreamResult stream_trace_text(TraceContext& ctx, std::string_view text,
                                obs::Registry* registry = nullptr,
                                Governor* governor = nullptr);
 
+/// Knobs for stream_trace_file beyond the positional basics.
+struct StreamOptions {
+  DiagEngine* diags = nullptr;
+  obs::Registry* registry = nullptr;
+  Governor* governor = nullptr;
+  IngestMode ingest = IngestMode::Auto;
+  /// Worker threads decoding TDTB v3 frames concurrently when the
+  /// container carries a valid frame index (--jobs N). Frames publish
+  /// to the sink in frame order through one thread, so any job count
+  /// produces output byte-identical to the sequential decode; <= 1 runs
+  /// the same seekable path with a single worker. Ignored for text, din,
+  /// v1/v2 blobs, and v3 files whose index fails validation (those fall
+  /// back to the sequential reader and its diagnostics). The effective
+  /// worker count is clamped to the hardware concurrency (see
+  /// clamp_jobs); one effective worker decodes inline with no threads
+  /// at all.
+  int jobs = 1;
+  /// Clamp the decode workers to std::thread::hardware_concurrency().
+  /// Oversubscribing a small machine only adds scheduling overhead;
+  /// tests disable the clamp to exercise the threaded machinery on any
+  /// host. Output is byte-identical either way.
+  bool clamp_jobs = true;
+};
+
 /// Opens `path`, guesses the format from its extension, and streams it
 /// into `sink`. Files open in binary mode for every format. Gleipnir
-/// text reads through the byte-source layer (trace/source.hpp): `ingest`
-/// picks the backend, and "-" streams stdin through the overlapped
-/// reader. Throws Error{Io} when the file cannot be opened.
+/// text reads through the byte-source layer (trace/source.hpp):
+/// `options.ingest` picks the backend, "-" streams stdin through the
+/// overlapped reader, and gzip'd text inflates transparently. A TDTB v3
+/// container with a valid frame index decodes via the seekable parallel
+/// path (`options.jobs`). Throws Error{Io} when the file cannot be
+/// opened.
+StreamResult stream_trace_file(TraceContext& ctx, const std::string& path,
+                               TraceSink& sink, const StreamOptions& options);
+
+/// Positional-argument convenience overload (jobs = 1).
 StreamResult stream_trace_file(TraceContext& ctx, const std::string& path,
                                TraceSink& sink, DiagEngine* diags = nullptr,
                                obs::Registry* registry = nullptr,

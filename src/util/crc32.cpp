@@ -1,31 +1,62 @@
 #include "util/crc32.hpp"
 
 #include <array>
+#include <bit>
+#include <cstring>
 
 namespace tdt {
 namespace {
 
-constexpr std::array<std::uint32_t, 256> make_table() {
-  std::array<std::uint32_t, 256> table{};
+// Slicing-by-8: eight derived tables let the hot loop fold 8 input bytes
+// per iteration instead of one, turning the byte-serial table walk into
+// eight independent lookups the CPU can overlap. Table 0 is the classic
+// byte-at-a-time table and still serves the unaligned head/tail.
+constexpr std::array<std::array<std::uint32_t, 256>, 8> make_tables() {
+  std::array<std::array<std::uint32_t, 256>, 8> t{};
   for (std::uint32_t i = 0; i < 256; ++i) {
     std::uint32_t c = i;
     for (int k = 0; k < 8; ++k) {
       c = (c & 1u) != 0 ? 0xEDB88320u ^ (c >> 1) : c >> 1;
     }
-    table[i] = c;
+    t[0][i] = c;
   }
-  return table;
+  for (std::uint32_t i = 0; i < 256; ++i) {
+    std::uint32_t c = t[0][i];
+    for (std::size_t slice = 1; slice < 8; ++slice) {
+      c = t[0][c & 0xFFu] ^ (c >> 8);
+      t[slice][i] = c;
+    }
+  }
+  return t;
 }
 
-constexpr std::array<std::uint32_t, 256> kTable = make_table();
+constexpr std::array<std::array<std::uint32_t, 256>, 8> kTables =
+    make_tables();
 
 }  // namespace
 
 void Crc32::update(const void* data, std::size_t len) noexcept {
   const auto* p = static_cast<const unsigned char*>(data);
   std::uint32_t c = state_;
+  // The word-folding path XORs the running state into a raw 32-bit load,
+  // which is only the right bytes on little-endian targets.
+  while (std::endian::native == std::endian::little && len >= 8) {
+    // Little-endian load of the first word; memcpy keeps it alignment-safe
+    // and compiles to a single load on the targets we build for.
+    std::uint32_t lo;
+    std::uint32_t hi;
+    std::memcpy(&lo, p, 4);
+    std::memcpy(&hi, p + 4, 4);
+    lo ^= c;
+    c = kTables[7][lo & 0xFFu] ^ kTables[6][(lo >> 8) & 0xFFu] ^
+        kTables[5][(lo >> 16) & 0xFFu] ^ kTables[4][lo >> 24] ^
+        kTables[3][hi & 0xFFu] ^ kTables[2][(hi >> 8) & 0xFFu] ^
+        kTables[1][(hi >> 16) & 0xFFu] ^ kTables[0][hi >> 24];
+    p += 8;
+    len -= 8;
+  }
   for (std::size_t i = 0; i < len; ++i) {
-    c = kTable[(c ^ p[i]) & 0xFFu] ^ (c >> 8);
+    c = kTables[0][(c ^ p[i]) & 0xFFu] ^ (c >> 8);
   }
   state_ = c;
 }

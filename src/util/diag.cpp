@@ -33,6 +33,9 @@ std::string_view diag_code_id(DiagCode code) noexcept {
     case DiagCode::BinBadFooter: return "B009";
     case DiagCode::BinCrcMismatch: return "B010";
     case DiagCode::BinCountMismatch: return "B011";
+    case DiagCode::BinBadCodec: return "B012";
+    case DiagCode::BinBadIndex: return "B013";
+    case DiagCode::BinFrameCorrupt: return "B014";
     case DiagCode::XformUnmatchedVar: return "X001";
     case DiagCode::XformFailedRecord: return "X002";
     case DiagCode::PipeWorkerStalled: return "P001";
@@ -60,6 +63,9 @@ std::string_view diag_code_name(DiagCode code) noexcept {
     case DiagCode::BinBadFooter: return "bin-bad-footer";
     case DiagCode::BinCrcMismatch: return "bin-crc-mismatch";
     case DiagCode::BinCountMismatch: return "bin-count-mismatch";
+    case DiagCode::BinBadCodec: return "bin-bad-codec";
+    case DiagCode::BinBadIndex: return "bin-bad-index";
+    case DiagCode::BinFrameCorrupt: return "bin-frame-corrupt";
     case DiagCode::XformUnmatchedVar: return "xform-unmatched-var";
     case DiagCode::XformFailedRecord: return "xform-failed-record";
     case DiagCode::PipeWorkerStalled: return "pipe-worker-stalled";

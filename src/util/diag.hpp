@@ -63,6 +63,9 @@ enum class DiagCode : std::uint8_t {
   BinBadFooter,      ///< v2 footer missing or short
   BinCrcMismatch,    ///< v2 footer CRC32 does not match the payload
   BinCountMismatch,  ///< v2 footer record count does not match
+  BinBadCodec,       ///< v3 frame names an unknown or unavailable codec
+  BinBadIndex,       ///< v3 frame index / container footer is corrupt
+  BinFrameCorrupt,   ///< v3 frame failed its CRC or decompression
   // Transformer.
   XformUnmatchedVar,  ///< matched rule but no out mapping; passed through
   XformFailedRecord,  ///< mapping raised an error; passed through

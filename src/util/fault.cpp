@@ -87,6 +87,7 @@ std::string_view site_name(Site site) noexcept {
     case Site::WorkerStall: return "worker.stall";
     case Site::WorkerExit: return "worker.exit";
     case Site::SinkPushBatch: return "sink.push-batch";
+    case Site::FrameDecode: return "binary.frame-decode";
   }
   return "unknown";
 }

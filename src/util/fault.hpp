@@ -14,9 +14,9 @@
 //   spec     := element (';' element)*
 //   element  := 'seed=' N | site ':' probability [':' after_n]
 //   site     := reader.read | binary.short-read | binary.crc-flip
-//             | binary.bad-footer | writer.flush | queue.push-delay
-//             | queue.pop-delay | worker.throw | worker.stall
-//             | worker.exit | sink.push-batch
+//             | binary.bad-footer | binary.frame-decode | writer.flush
+//             | queue.push-delay | queue.pop-delay | worker.throw
+//             | worker.stall | worker.exit | sink.push-batch
 //
 // Each *opportunity* (a pass over an armed site) is numbered; the first
 // `after_n` opportunities never fire, later ones fire with `probability`
@@ -51,9 +51,10 @@ enum class Site : std::uint8_t {
   WorkerStall,      ///< pipeline worker stalls (watchdog fodder)
   WorkerExit,       ///< pipeline worker exits without draining its queue
   SinkPushBatch,    ///< sink push_batch throws
+  FrameDecode,      ///< TDTB v3 frame fails to decode (corrupt shard)
 };
 
-inline constexpr std::size_t kSiteCount = 11;
+inline constexpr std::size_t kSiteCount = 12;
 
 /// Canonical spelling used in specs ("worker.stall", ...).
 [[nodiscard]] std::string_view site_name(Site site) noexcept;

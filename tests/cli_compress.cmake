@@ -1,0 +1,160 @@
+# CLI contract for the TDTB v3 framed container (docs/FORMATS.md):
+# --compress on the writers, auto-detected parallel decode on the
+# readers, the traceinfo container section, transparent .gz text
+# ingest, and graceful degradation when a codec library is absent.
+# Codec-none rows run unconditionally (framing needs no library);
+# zstd/lz4 rows are gated by a runtime probe of the writer.
+file(MAKE_DIRECTORY ${WORKDIR})
+
+function(check_rc what expected actual)
+  if(NOT actual EQUAL expected)
+    message(FATAL_ERROR "${what}: expected exit ${expected}, got ${actual}")
+  endif()
+endfunction()
+
+function(check_same what file_a file_b)
+  execute_process(COMMAND ${CMAKE_COMMAND} -E compare_files ${file_a} ${file_b}
+    RESULT_VARIABLE rc)
+  if(NOT rc EQUAL 0)
+    message(FATAL_ERROR "${what}: output differs (${file_a} vs ${file_b})")
+  endif()
+endfunction()
+
+# -- Fixtures: the same kernel as text, flat v2, and framed v3. ---------------
+execute_process(
+  COMMAND ${GTRACER} --kernel t1_soa --len 2048 --out ${WORKDIR}/plain.out
+  RESULT_VARIABLE rc)
+check_rc("gtracer text" 0 "${rc}")
+execute_process(
+  COMMAND ${GTRACER} --kernel t1_soa --len 2048 --binary
+          --out ${WORKDIR}/flat.tdtb
+  RESULT_VARIABLE rc)
+check_rc("gtracer v2" 0 "${rc}")
+execute_process(
+  COMMAND ${DINEROSIM} --trace ${WORKDIR}/plain.out --size 4096
+  OUTPUT_FILE ${WORKDIR}/baseline.stdout RESULT_VARIABLE rc)
+check_rc("dinerosim text baseline" 0 "${rc}")
+
+# -- Codec matrix: none unconditionally, zstd/lz4 when loadable. --------------
+# The probe *is* the writer: an unavailable codec is a classified config
+# error (exit 2, "unavailable" on stderr), never a silent fallback.
+set(codecs none)
+foreach(codec zstd lz4)
+  execute_process(
+    COMMAND ${GTRACER} --kernel t1_soa --len 2048 --binary
+            --compress ${codec} --out ${WORKDIR}/c_${codec}.tdtb
+    RESULT_VARIABLE rc ERROR_VARIABLE err)
+  if(rc EQUAL 0)
+    list(APPEND codecs ${codec})
+  elseif(rc EQUAL 2 AND err MATCHES "unavailable")
+    message(STATUS "codec ${codec} not loadable here; row skipped")
+  else()
+    message(FATAL_ERROR "gtracer --compress ${codec}: exit ${rc}: ${err}")
+  endif()
+endforeach()
+
+execute_process(
+  COMMAND ${GTRACER} --kernel t1_soa --len 2048 --binary
+          --compress none --out ${WORKDIR}/c_none.tdtb
+  RESULT_VARIABLE rc)
+check_rc("gtracer --compress none" 0 "${rc}")
+
+foreach(codec ${codecs})
+  set(tdtb ${WORKDIR}/c_${codec}.tdtb)
+
+  # Readers need no flag: the container names its codec per frame, and
+  # the simulation must match the text baseline bit-for-bit.
+  execute_process(
+    COMMAND ${DINEROSIM} --trace ${tdtb} --size 4096
+    OUTPUT_FILE ${WORKDIR}/read_${codec}_j1.stdout RESULT_VARIABLE rc)
+  check_rc("dinerosim ${codec} jobs=1" 0 "${rc}")
+  check_same("v3 ${codec} matches text baseline"
+             ${WORKDIR}/baseline.stdout ${WORKDIR}/read_${codec}_j1.stdout)
+
+  # Parallel shard decode publishes in frame order: jobs=4 output is
+  # byte-identical to the sequential read.
+  execute_process(
+    COMMAND ${DINEROSIM} --trace ${tdtb} --size 4096 --jobs 4
+    OUTPUT_FILE ${WORKDIR}/read_${codec}_j4.stdout RESULT_VARIABLE rc)
+  check_rc("dinerosim ${codec} jobs=4" 0 "${rc}")
+  check_same("v3 ${codec} jobs=4 == jobs=1"
+             ${WORKDIR}/read_${codec}_j1.stdout
+             ${WORKDIR}/read_${codec}_j4.stdout)
+
+  # tracediff closes the loop: the framed container decodes to exactly
+  # the records the text trace holds.
+  execute_process(
+    COMMAND ${TRACEDIFF} ${WORKDIR}/plain.out ${tdtb} --summary
+    RESULT_VARIABLE rc)
+  check_rc("tracediff text vs ${codec} container" 0 "${rc}")
+
+  # traceinfo renders the container section for every codec.
+  execute_process(
+    COMMAND ${TRACEINFO} ${tdtb}
+    OUTPUT_VARIABLE info RESULT_VARIABLE rc)
+  check_rc("traceinfo ${codec}" 0 "${rc}")
+  if(NOT info MATCHES "== container ==")
+    message(FATAL_ERROR "traceinfo ${codec} missing container section")
+  endif()
+  if(NOT info MATCHES "frames")
+    message(FATAL_ERROR "traceinfo ${codec} missing frame count")
+  endif()
+endforeach()
+
+# A compressed container really is smaller than the flat v2 blob.
+if(codecs MATCHES "zstd")
+  file(SIZE ${WORKDIR}/flat.tdtb flat_size)
+  file(SIZE ${WORKDIR}/c_zstd.tdtb zstd_size)
+  if(NOT zstd_size LESS flat_size)
+    message(FATAL_ERROR
+      "zstd container (${zstd_size}) not smaller than flat v2 (${flat_size})")
+  endif()
+endif()
+
+# -- Degradation without codec libraries (TDT_NO_CODEC=1). --------------------
+# Writing a compressed container must fail loudly...
+execute_process(
+  COMMAND ${CMAKE_COMMAND} -E env TDT_NO_CODEC=1
+          ${GTRACER} --kernel t1_soa --len 64 --binary
+          --compress zstd --out ${WORKDIR}/denied.tdtb
+  RESULT_VARIABLE rc ERROR_VARIABLE err)
+check_rc("gtracer --compress zstd under TDT_NO_CODEC" 2 "${rc}")
+if(NOT err MATCHES "unavailable")
+  message(FATAL_ERROR "TDT_NO_CODEC write missing diagnostic: ${err}")
+endif()
+# ...while codec-none containers stay fully usable: framing, the
+# seekable index, and parallel decode need no library at all.
+execute_process(
+  COMMAND ${CMAKE_COMMAND} -E env TDT_NO_CODEC=1
+          ${DINEROSIM} --trace ${WORKDIR}/c_none.tdtb --size 4096 --jobs 4
+  OUTPUT_FILE ${WORKDIR}/nocodec.stdout RESULT_VARIABLE rc)
+check_rc("dinerosim codec-none under TDT_NO_CODEC" 0 "${rc}")
+check_same("codec-none read is library-free"
+           ${WORKDIR}/baseline.stdout ${WORKDIR}/nocodec.stdout)
+
+# -- Transparent gzip text ingest. --------------------------------------------
+# gtracer writes gzip when the output path ends in .gz; readers sniff the
+# magic, so the compressed text simulates identically with no flag.
+execute_process(
+  COMMAND ${GTRACER} --kernel t1_soa --len 2048
+          --out ${WORKDIR}/plain.out.gz
+  RESULT_VARIABLE rc ERROR_VARIABLE err)
+if(rc EQUAL 0)
+  file(SIZE ${WORKDIR}/plain.out plain_size)
+  file(SIZE ${WORKDIR}/plain.out.gz gz_size)
+  if(NOT gz_size LESS plain_size)
+    message(FATAL_ERROR ".gz output (${gz_size}) not smaller than text (${plain_size})")
+  endif()
+  execute_process(
+    COMMAND ${DINEROSIM} --trace ${WORKDIR}/plain.out.gz --size 4096
+    OUTPUT_FILE ${WORKDIR}/gz.stdout RESULT_VARIABLE rc)
+  check_rc("dinerosim .gz ingest" 0 "${rc}")
+  check_same(".gz ingest matches plain text"
+             ${WORKDIR}/baseline.stdout ${WORKDIR}/gz.stdout)
+elseif(rc EQUAL 2 AND err MATCHES "gzip")
+  message(STATUS "zlib not built in; gzip rows skipped")
+else()
+  message(FATAL_ERROR "gtracer .gz: exit ${rc}: ${err}")
+endif()
+
+message(STATUS "cli_compress: codecs exercised: ${codecs}")

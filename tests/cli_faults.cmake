@@ -272,6 +272,57 @@ if(NOT err MATCHES "bin-bad-footer")
   message(FATAL_ERROR "bad footer repair missing B009: ${err}")
 endif()
 
+# -- Frame-decode site (TDTB v3 shard isolation). -----------------------------
+# The framed container degrades per frame: an injected frame-decode
+# failure is fatal under strict, drops exactly the hit frames under
+# repair, and the pre-sampled schedule makes --jobs 4 report the same
+# diagnostics and records as the sequential decode.
+execute_process(
+  COMMAND ${GTRACER} --kernel t1_soa --len 512 --binary --compress none
+          --out ${WORKDIR}/good_v3.tdtb
+  RESULT_VARIABLE rc)
+check_rc("gtracer v3 fixture" 0 "${rc}")
+execute_process(
+  COMMAND ${DINEROSIM} --trace ${WORKDIR}/good_v3.tdtb --size 4096
+  OUTPUT_FILE ${WORKDIR}/v3_baseline.stdout RESULT_VARIABLE rc)
+check_rc("v3 baseline" 0 "${rc}")
+check_same("v3 container matches text baseline" ${WORKDIR}/baseline.stdout
+           ${WORKDIR}/v3_baseline.stdout)
+
+# Armed-but-silent: the FrameDecode hook costs nothing when it never fires.
+execute_process(
+  COMMAND ${DINEROSIM} --trace ${WORKDIR}/good_v3.tdtb --size 4096
+          --fault-spec "binary.frame-decode:0"
+  OUTPUT_FILE ${WORKDIR}/frame_silent.stdout RESULT_VARIABLE rc)
+check_rc("frame-decode silent" 0 "${rc}")
+check_same("frame-decode silent spec" ${WORKDIR}/v3_baseline.stdout
+           ${WORKDIR}/frame_silent.stdout)
+
+execute_process(
+  COMMAND ${DINEROSIM} --trace ${WORKDIR}/good_v3.tdtb --size 4096
+          --fault-spec "seed=9;binary.frame-decode:1"
+  RESULT_VARIABLE rc ERROR_VARIABLE err)
+check_rc("frame-decode strict" 2 "${rc}")
+if(NOT err MATCHES "frame")
+  message(FATAL_ERROR "frame-decode strict missing diagnostic: ${err}")
+endif()
+
+foreach(jobs 1 4)
+  execute_process(
+    COMMAND ${DINEROSIM} --trace ${WORKDIR}/good_v3.tdtb --size 4096
+            --jobs ${jobs} --on-error=repair
+            --fault-spec "seed=9;binary.frame-decode:1"
+    OUTPUT_FILE ${WORKDIR}/frame_repair_j${jobs}.stdout
+    RESULT_VARIABLE rc ERROR_VARIABLE err)
+  check_rc("frame-decode repair jobs=${jobs}" 1 "${rc}")
+  if(NOT err MATCHES "bin-frame-corrupt")
+    message(FATAL_ERROR "frame-decode repair jobs=${jobs} missing B014: ${err}")
+  endif()
+endforeach()
+check_same("frame-decode repair schedule parity (jobs 1 vs 4)"
+           ${WORKDIR}/frame_repair_j1.stdout
+           ${WORKDIR}/frame_repair_j4.stdout)
+
 # -- Resource governance rides the same contract. -----------------------------
 # tracediff must hold both traces: an absurdly small budget is a hard
 # failure (exit 2, resource diagnostic), never a truncated diff.

@@ -303,5 +303,311 @@ TEST(Binary, LargeAddressesSurvive) {
   EXPECT_EQ(parsed[0].size, rec.size);
 }
 
+// --- TDTB v3 framed container ----------------------------------------------
+
+BinaryWriterOptions v3_options(Codec codec = Codec::None,
+                               std::uint32_t frame_records = 3) {
+  BinaryWriterOptions options;
+  options.version = kTdtbVersionFramed;
+  options.codec = codec;
+  options.frame_records = frame_records;  // tiny frames: multi-frame corpus
+  return options;
+}
+
+std::vector<std::string> formatted(TraceContext& ctx,
+                                   const std::vector<TraceRecord>& records) {
+  std::vector<std::string> out;
+  out.reserve(records.size());
+  for (const TraceRecord& r : records) out.push_back(ctx.format_record(r));
+  return out;
+}
+
+TEST(BinaryV3, RoundTripMatchesV2Decode) {
+  TraceContext ctx;
+  const auto records = sample_records(ctx);
+  const auto v2 = write_binary_trace(ctx, records, 4242);
+  const auto v3 = write_binary_trace(ctx, records, 4242, v3_options());
+
+  TraceContext c2;
+  TraceContext c3;
+  std::uint64_t pid2 = 0;
+  std::uint64_t pid3 = 0;
+  const auto from2 = read_binary_trace(c2, v2, &pid2);
+  const auto from3 = read_binary_trace(c3, v3, &pid3);
+  EXPECT_EQ(pid3, pid2);
+  EXPECT_EQ(formatted(c3, from3), formatted(c2, from2));
+}
+
+TEST(BinaryV3, CompressedCodecsRoundTrip) {
+  TraceContext ctx;
+  const auto records = sample_records(ctx);
+  const auto plain = write_binary_trace(ctx, records, 1);
+  for (const Codec codec : {Codec::Zstd, Codec::Lz4}) {
+    if (!codec_available(codec)) {
+      GTEST_LOG_(INFO) << codec_name(codec) << " unavailable; skipping";
+      continue;
+    }
+    const auto blob = write_binary_trace(ctx, records, 1, v3_options(codec));
+    TraceContext cp;
+    TraceContext cc;
+    EXPECT_EQ(formatted(cc, read_binary_trace(cc, blob)),
+              formatted(cp, read_binary_trace(cp, plain)))
+        << codec_name(codec);
+  }
+}
+
+TEST(BinaryV3, ProbeSeesFramesAndFooter) {
+  TraceContext ctx;
+  const auto records = sample_records(ctx);
+  const auto blob = write_binary_trace(ctx, records, 77, v3_options());
+  const auto info =
+      probe_tdtb(std::string_view(blob.data(), blob.size()));
+  ASSERT_TRUE(info.has_value());
+  EXPECT_EQ(info->version, kTdtbVersionFramed);
+  EXPECT_EQ(info->pid, 77u);
+  ASSERT_TRUE(info->has_index);
+  EXPECT_EQ(info->total_records, records.size());
+  ASSERT_EQ(info->frames.size(), (records.size() + 2) / 3);
+  std::uint64_t sum = 0;
+  for (const TdtbFrameInfo& f : info->frames) {
+    sum += f.records;
+    std::uint64_t payload_off = 0;
+    const auto parsed = parse_frame_header(
+        std::string_view(blob.data(), blob.size()), f.offset, &payload_off);
+    ASSERT_TRUE(parsed.has_value());
+    EXPECT_EQ(parsed->csize, f.csize);
+  }
+  EXPECT_EQ(sum, records.size());
+}
+
+TEST(BinaryV3, TruncatedMidFrameSalvagesEarlierFrames) {
+  TraceContext ctx;
+  const auto records = sample_records(ctx);
+  auto blob = write_binary_trace(ctx, records, 0, v3_options());
+  const auto info = probe_tdtb(std::string_view(blob.data(), blob.size()));
+  ASSERT_TRUE(info.has_value());
+  ASSERT_GE(info->frames.size(), 2u);
+  // Cut inside the second frame's payload.
+  blob.resize(static_cast<std::size_t>(info->frames[1].offset) + 4);
+
+  {
+    TraceContext c;
+    EXPECT_THROW((void)read_binary_trace(c, blob), Error);
+  }
+  TraceContext c;
+  DiagEngine diags(ErrorPolicy::Skip);
+  const auto parsed = read_binary_trace(c, blob, nullptr, &diags);
+  EXPECT_EQ(parsed.size(), info->frames[0].records);
+  EXPECT_GE(diags.count(DiagCode::BinTruncated), 1u);
+  EXPECT_EQ(diags.exit_code(), 1);
+}
+
+TEST(BinaryV3, CorruptFrameCrcUnderEveryPolicy) {
+  TraceContext ctx;
+  const auto records = sample_records(ctx);
+  auto blob = write_binary_trace(ctx, records, 0, v3_options());
+  const auto info = probe_tdtb(std::string_view(blob.data(), blob.size()));
+  ASSERT_TRUE(info.has_value());
+  ASSERT_GE(info->frames.size(), 3u);
+  // Flip one payload byte of the middle frame; header and index stay
+  // intact, so only the frame CRC can notice.
+  std::uint64_t payload_off = 0;
+  ASSERT_TRUE(parse_frame_header(std::string_view(blob.data(), blob.size()),
+                                 info->frames[1].offset, &payload_off)
+                  .has_value());
+  blob[static_cast<std::size_t>(payload_off)] ^= 0x40;
+
+  {  // Strict: throws.
+    TraceContext c;
+    EXPECT_THROW((void)read_binary_trace(c, blob), Error);
+  }
+  {  // Skip: frames before the corruption are salvaged, then the trace ends.
+    TraceContext c;
+    DiagEngine diags(ErrorPolicy::Skip);
+    const auto parsed = read_binary_trace(c, blob, nullptr, &diags);
+    EXPECT_EQ(parsed.size(), info->frames[0].records);
+    EXPECT_EQ(diags.count(DiagCode::BinFrameCorrupt), 1u);
+  }
+  {  // Repair: the bad frame is dropped and reading resumes at the next.
+    TraceContext c;
+    DiagEngine diags(ErrorPolicy::Repair);
+    const auto parsed = read_binary_trace(c, blob, nullptr, &diags);
+    EXPECT_EQ(parsed.size(), records.size() - info->frames[1].records);
+    EXPECT_EQ(diags.count(DiagCode::BinFrameCorrupt), 1u);
+    // The footer totals disagree with what was delivered; that is
+    // reported without discarding the salvage.
+    EXPECT_GE(diags.count(DiagCode::BinCountMismatch), 1u);
+    // Records after the dropped frame decode correctly.
+    const auto expect_tail = formatted(ctx, records);
+    const auto got = formatted(c, parsed);
+    EXPECT_EQ(got.back(), expect_tail.back());
+  }
+}
+
+TEST(BinaryV3, UnknownCodecIdIsolatesTheFrame) {
+  TraceContext ctx;
+  const auto records = sample_records(ctx);
+  auto blob = write_binary_trace(ctx, records, 0, v3_options());
+  const auto info = probe_tdtb(std::string_view(blob.data(), blob.size()));
+  ASSERT_TRUE(info.has_value());
+  ASSERT_GE(info->frames.size(), 2u);
+  // Frame header layout: tag byte, then the codec id.
+  blob[static_cast<std::size_t>(info->frames[0].offset) + 1] =
+      static_cast<char>(9);
+
+  {
+    TraceContext c;
+    EXPECT_THROW((void)read_binary_trace(c, blob), Error);
+  }
+  TraceContext c;
+  DiagEngine diags(ErrorPolicy::Repair);
+  const auto parsed = read_binary_trace(c, blob, nullptr, &diags);
+  EXPECT_EQ(parsed.size(), records.size() - info->frames[0].records);
+  EXPECT_EQ(diags.count(DiagCode::BinBadCodec), 1u);
+  // The patched header no longer matches the index entry, so the probe
+  // demotes the container to sequential-only.
+  const auto reprobed = probe_tdtb(std::string_view(blob.data(), blob.size()));
+  ASSERT_TRUE(reprobed.has_value());
+  EXPECT_FALSE(reprobed->has_index);
+}
+
+TEST(BinaryV3, CorruptIndexReportedWithoutDiscardingRecords) {
+  TraceContext ctx;
+  const auto records = sample_records(ctx);
+  auto blob = write_binary_trace(ctx, records, 0, v3_options());
+  // The 28-byte footer ends with "TDTX"; the 4 bytes before the 8-byte
+  // index_len+crc block... index crc sits at footer offset 20..23.
+  blob[blob.size() - 8] ^= 0x11;  // corrupt the stored index CRC
+
+  const auto info = probe_tdtb(std::string_view(blob.data(), blob.size()));
+  ASSERT_TRUE(info.has_value());
+  EXPECT_FALSE(info->has_index);  // parallel path must refuse this file
+
+  TraceContext c;
+  DiagEngine diags(ErrorPolicy::Skip);
+  const auto parsed = read_binary_trace(c, blob, nullptr, &diags);
+  EXPECT_EQ(parsed.size(), records.size());  // records all fine
+  EXPECT_EQ(diags.count(DiagCode::BinBadIndex), 1u);
+  EXPECT_EQ(diags.exit_code(), 1);
+}
+
+TEST(BinaryV3, HandBuiltEmptyFrameDecodes) {
+  // Header + one zero-record frame + end tag + index + footer, all by
+  // hand: writers never emit empty frames, but readers must accept them.
+  std::string blob{'T', 'D', 'T', 'B', 3, 0, 0};  // magic, v3, pid 0, codec 0
+  const std::uint64_t frame_off = blob.size();
+  const std::uint32_t empty_crc = crc32("", 0);
+  blob.push_back(3);  // kTagFrame
+  blob.push_back(0);  // codec none
+  blob.push_back(0);  // records 0
+  blob.push_back(0);  // usize 0
+  blob.push_back(0);  // csize 0
+  for (int i = 0; i < 4; ++i) {
+    blob.push_back(static_cast<char>((empty_crc >> (8 * i)) & 0xFF));
+  }
+  blob.push_back(2);  // kTagEnd
+  std::string index;
+  index.push_back(static_cast<char>(frame_off));  // offset varint
+  index.push_back(0);                             // records
+  index.push_back(0);                             // usize
+  index.push_back(0);                             // csize
+  for (int i = 0; i < 4; ++i) {
+    index.push_back(static_cast<char>((empty_crc >> (8 * i)) & 0xFF));
+  }
+  index.push_back(0);  // codec
+  blob += index;
+  const std::uint32_t index_crc = crc32(index.data(), index.size());
+  const std::uint64_t totals[2] = {0, 1};  // records, frames
+  for (const std::uint64_t v : totals) {
+    for (int i = 0; i < 8; ++i) {
+      blob.push_back(static_cast<char>((v >> (8 * i)) & 0xFF));
+    }
+  }
+  const std::uint32_t index_len = static_cast<std::uint32_t>(index.size());
+  for (int i = 0; i < 4; ++i) {
+    blob.push_back(static_cast<char>((index_len >> (8 * i)) & 0xFF));
+  }
+  for (int i = 0; i < 4; ++i) {
+    blob.push_back(static_cast<char>((index_crc >> (8 * i)) & 0xFF));
+  }
+  blob += "TDTX";
+
+  const std::vector<char> bytes(blob.begin(), blob.end());
+  TraceContext ctx;
+  std::uint64_t pid = 9;
+  const auto parsed = read_binary_trace(ctx, bytes, &pid);
+  EXPECT_TRUE(parsed.empty());
+  EXPECT_EQ(pid, 0u);
+  const auto info = probe_tdtb(blob);
+  ASSERT_TRUE(info.has_value());
+  ASSERT_TRUE(info->has_index);
+  ASSERT_EQ(info->frames.size(), 1u);
+  EXPECT_EQ(info->frames[0].records, 0u);
+}
+
+TEST(BinaryV3, EmptyTraceRoundTrips) {
+  TraceContext ctx;
+  std::ostringstream out(std::ios::binary);
+  BinaryTraceWriter w(ctx, out, 5, v3_options());
+  w.finish();
+  EXPECT_EQ(w.frames_written(), 0u);
+  const std::string s = out.str();
+  const std::vector<char> blob(s.begin(), s.end());
+  TraceContext c;
+  std::uint64_t pid = 0;
+  EXPECT_TRUE(read_binary_trace(c, blob, &pid).empty());
+  EXPECT_EQ(pid, 5u);
+}
+
+TEST(BinaryV3, WriterRejectsBadConfigurations) {
+  TraceContext ctx;
+  std::ostringstream out(std::ios::binary);
+  // Codec on a non-framed version is a config error.
+  BinaryWriterOptions bad;
+  bad.version = 2;
+  bad.codec = Codec::Zstd;
+  EXPECT_THROW((BinaryTraceWriter{ctx, out, 0, bad}), Error);
+  BinaryWriterOptions v9;
+  v9.version = 9;
+  EXPECT_THROW((BinaryTraceWriter{ctx, out, 0, v9}), Error);
+}
+
+TEST(BinaryV3, StreamingReaderCountsFramesAndBytes) {
+  TraceContext ctx;
+  const auto records = sample_records(ctx);
+  const auto blob = write_binary_trace(ctx, records, 1, v3_options());
+  std::istringstream in(std::string(blob.begin(), blob.end()),
+                        std::ios::binary);
+  TraceContext c;
+  BinaryTraceReader r(c, in);
+  EXPECT_EQ(r.version(), kTdtbVersionFramed);
+  TraceRecord rec;
+  std::size_t n = 0;
+  while (r.next(rec)) ++n;
+  EXPECT_EQ(n, records.size());
+  EXPECT_EQ(r.frames_read(), (records.size() + 2) / 3);
+  EXPECT_GT(r.compressed_bytes(), 0u);
+  EXPECT_EQ(r.bytes_read(), blob.size());
+}
+
+TEST(BinaryV3, V1AndV2StillDecodeUnderEveryPolicy) {
+  TraceContext ctx;
+  const auto records = sample_records(ctx);
+  const auto want = formatted(ctx, records);
+  for (const std::uint8_t version : {std::uint8_t{1}, std::uint8_t{2}}) {
+    const auto blob = write_binary_trace(ctx, records, 1, version);
+    for (const ErrorPolicy policy :
+         {ErrorPolicy::Strict, ErrorPolicy::Skip, ErrorPolicy::Repair}) {
+      TraceContext c;
+      DiagEngine diags(policy);
+      const auto parsed = read_binary_trace(c, blob, nullptr, &diags);
+      EXPECT_EQ(formatted(c, parsed), want)
+          << "v" << int(version) << " policy " << int(policy);
+      EXPECT_EQ(diags.exit_code(), 0);
+    }
+  }
+}
+
 }  // namespace
 }  // namespace tdt::trace
+

@@ -1,0 +1,218 @@
+#include "trace/stream.hpp"
+
+#include <gtest/gtest.h>
+
+#include <filesystem>
+#include <fstream>
+#include <string>
+#include <vector>
+
+#include "trace/binary.hpp"
+#include "trace/codec.hpp"
+#include "trace/reader.hpp"
+#include "trace/sink.hpp"
+#include "trace/writer.hpp"
+#include "util/diag.hpp"
+#include "util/error.hpp"
+#include "util/obs.hpp"
+
+namespace tdt::trace {
+namespace {
+
+std::filesystem::path temp_path(const char* name) {
+  return std::filesystem::temp_directory_path() / name;
+}
+
+void write_file(const std::filesystem::path& path, std::string_view bytes) {
+  std::ofstream out(path, std::ios::binary);
+  out.write(bytes.data(), static_cast<std::streamsize>(bytes.size()));
+  ASSERT_TRUE(out.good());
+}
+
+std::string slurp(const std::filesystem::path& path) {
+  std::ifstream in(path, std::ios::binary);
+  return std::string(std::istreambuf_iterator<char>(in),
+                     std::istreambuf_iterator<char>());
+}
+
+// Enough records for a healthy frame count at frame_records=16, with
+// per-frame symbol churn so v3 string redefinition is exercised.
+std::vector<TraceRecord> big_records(TraceContext& ctx, std::size_t n) {
+  std::vector<TraceRecord> out;
+  out.reserve(n);
+  TraceRecord rec;
+  rec.size = 8;
+  for (std::size_t i = 0; i < n; ++i) {
+    rec.kind = i % 3 == 0 ? AccessKind::Store : AccessKind::Load;
+    rec.address = 0x7ff0000000ull + i * 16;
+    rec.function = ctx.intern("fn_" + std::to_string(i % 17));
+    out.push_back(rec);
+  }
+  return out;
+}
+
+std::vector<std::string> formatted(TraceContext& ctx,
+                                   const std::vector<TraceRecord>& records) {
+  std::vector<std::string> out;
+  out.reserve(records.size());
+  for (const TraceRecord& r : records) out.push_back(ctx.format_record(r));
+  return out;
+}
+
+/// Streams `path` with the given job count and returns formatted
+/// records. `clamp` false forces the threaded decode pipeline even on
+/// single-core hosts, so the concurrent path is exercised everywhere.
+std::vector<std::string> stream_formatted(const std::filesystem::path& path,
+                                          int jobs, DiagEngine* diags,
+                                          obs::Registry* registry = nullptr,
+                                          bool clamp = true) {
+  TraceContext ctx;
+  VectorSink sink;
+  StreamOptions options;
+  options.diags = diags;
+  options.registry = registry;
+  options.jobs = jobs;
+  options.clamp_jobs = clamp;
+  (void)stream_trace_file(ctx, path.string(), sink, options);
+  return formatted(ctx, sink.records());
+}
+
+TEST(StreamV3, ParallelDecodeIsByteIdenticalToSequential) {
+  TraceContext ctx;
+  const auto records = big_records(ctx, 400);
+  BinaryWriterOptions options;
+  options.version = kTdtbVersionFramed;
+  options.frame_records = 16;  // 25 frames
+  for (const Codec codec : {Codec::None, Codec::Zstd, Codec::Lz4}) {
+    if (!codec_available(codec)) continue;
+    options.codec = codec;
+    const auto blob = write_binary_trace(ctx, records, 1, options);
+    const auto path = temp_path("tdt_stream_par.tdtb");
+    write_file(path, std::string_view(blob.data(), blob.size()));
+
+    obs::Registry seq_reg("test");
+    DiagEngine seq_diags(ErrorPolicy::Strict);
+    const auto seq = stream_formatted(path, 1, &seq_diags, &seq_reg);
+    ASSERT_EQ(seq.size(), records.size()) << codec_name(codec);
+    EXPECT_EQ(seq_reg.counter("read.frames").value(), 25u);
+    if (codec != Codec::None) {
+      EXPECT_GT(seq_reg.counter("read.compressed_bytes").value(), 0u);
+      EXPECT_LT(seq_reg.counter("read.compressed_bytes").value(), blob.size());
+    }
+
+    for (const int jobs : {2, 4, 8}) {
+      for (const bool clamp : {true, false}) {
+        obs::Registry par_reg("test");
+        DiagEngine par_diags(ErrorPolicy::Strict);
+        const auto par =
+            stream_formatted(path, jobs, &par_diags, &par_reg, clamp);
+        EXPECT_EQ(par, seq) << codec_name(codec) << " jobs=" << jobs
+                            << " clamp=" << clamp;
+        EXPECT_EQ(par_reg.counter("read.frames").value(), 25u);
+        EXPECT_EQ(par_reg.counter("read.records").value(), records.size());
+      }
+    }
+    std::filesystem::remove(path);
+  }
+}
+
+TEST(StreamV3, ParallelRepairMatchesSequentialRepair) {
+  TraceContext ctx;
+  const auto records = big_records(ctx, 400);
+  BinaryWriterOptions options;
+  options.version = kTdtbVersionFramed;
+  options.frame_records = 16;
+  const auto blob = write_binary_trace(ctx, records, 1, options);
+  std::string bytes(blob.begin(), blob.end());
+  const auto info = probe_tdtb(bytes);
+  ASSERT_TRUE(info.has_value());
+  ASSERT_GE(info->frames.size(), 10u);
+  std::uint64_t payload_off = 0;
+  ASSERT_TRUE(
+      parse_frame_header(bytes, info->frames[7].offset, &payload_off)
+          .has_value());
+  bytes[static_cast<std::size_t>(payload_off)] ^= 0x01;
+  const auto path = temp_path("tdt_stream_repair.tdtb");
+  write_file(path, bytes);
+
+  // Strict parallel decode throws just like the sequential reader.
+  {
+    TraceContext c;
+    VectorSink sink;
+    StreamOptions so;
+    so.jobs = 4;
+    so.clamp_jobs = false;
+    EXPECT_THROW((void)stream_trace_file(c, path.string(), sink, so), Error);
+  }
+
+  DiagEngine seq_diags(ErrorPolicy::Repair);
+  const auto seq = stream_formatted(path, 1, &seq_diags);
+  EXPECT_EQ(seq.size(), records.size() - 16);  // one frame dropped
+  EXPECT_EQ(seq_diags.count(DiagCode::BinFrameCorrupt), 1u);
+
+  DiagEngine par_diags(ErrorPolicy::Repair);
+  const auto par =
+      stream_formatted(path, 4, &par_diags, nullptr, /*clamp=*/false);
+  EXPECT_EQ(par, seq);
+  EXPECT_EQ(par_diags.count(DiagCode::BinFrameCorrupt), 1u);
+
+  // Skip: both decoders salvage the frames before the corruption.
+  DiagEngine seq_skip(ErrorPolicy::Skip);
+  const auto seq_skipped = stream_formatted(path, 1, &seq_skip);
+  DiagEngine par_skip(ErrorPolicy::Skip);
+  const auto par_skipped =
+      stream_formatted(path, 4, &par_skip, nullptr, /*clamp=*/false);
+  EXPECT_EQ(seq_skipped.size(), 7u * 16u);
+  EXPECT_EQ(par_skipped, seq_skipped);
+  std::filesystem::remove(path);
+}
+
+TEST(StreamV3, InvalidIndexFallsBackToSequential) {
+  TraceContext ctx;
+  const auto records = big_records(ctx, 100);
+  BinaryWriterOptions options;
+  options.version = kTdtbVersionFramed;
+  options.frame_records = 16;
+  const auto blob = write_binary_trace(ctx, records, 1, options);
+  std::string bytes(blob.begin(), blob.end());
+  bytes[bytes.size() - 8] ^= 0x11;  // corrupt the stored index CRC
+  const auto path = temp_path("tdt_stream_badindex.tdtb");
+  write_file(path, bytes);
+
+  // jobs=4 has no valid index to parallelize over; the sequential
+  // fallback still decodes every record and reports the bad index.
+  DiagEngine diags(ErrorPolicy::Skip);
+  const auto got = stream_formatted(path, 4, &diags);
+  EXPECT_EQ(got.size(), records.size());
+  EXPECT_EQ(diags.count(DiagCode::BinBadIndex), 1u);
+  std::filesystem::remove(path);
+}
+
+TEST(StreamGz, GzipTextIngestMatchesPlain) {
+  if (!gzip_available()) {
+    GTEST_LOG_(INFO) << "zlib not built in; skipping";
+    return;
+  }
+  TraceContext ctx;
+  const auto records = big_records(ctx, 200);
+  const std::string text = write_trace_string(ctx, records);
+  const auto plain_path = temp_path("tdt_stream_text.out");
+  write_file(plain_path, text);
+  std::string gz;
+  ASSERT_TRUE(gzip_compress(text, gz));
+  const auto gz_path = temp_path("tdt_stream_text.out.gz");
+  write_file(gz_path, gz);
+  ASSERT_LT(slurp(gz_path).size(), text.size());
+
+  DiagEngine plain_diags(ErrorPolicy::Strict);
+  const auto from_plain = stream_formatted(plain_path, 1, &plain_diags);
+  DiagEngine gz_diags(ErrorPolicy::Strict);
+  const auto from_gz = stream_formatted(gz_path, 1, &gz_diags);
+  EXPECT_EQ(from_gz, from_plain);
+  EXPECT_EQ(from_gz.size(), records.size());
+  std::filesystem::remove(plain_path);
+  std::filesystem::remove(gz_path);
+}
+
+}  // namespace
+}  // namespace tdt::trace
