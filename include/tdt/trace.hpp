@@ -18,6 +18,7 @@
 #include "trace/source.hpp"
 #include "trace/stats.hpp"
 #include "trace/stream.hpp"
+#include "trace/view.hpp"
 #include "trace/writer.hpp"
 
 namespace tdt {

@@ -50,6 +50,14 @@ int main(int argc, char** argv) {
                      "';'-separated points of ','-separated key=value "
                      "overrides (size|block|assoc|repl|prefetch), e.g. "
                      "\"assoc=1;assoc=2;size=8k,assoc=4\"");
+    const auto* affinity_report = flags.add_string(
+        "affinity-report", "",
+        "also profile field affinity/heat on the raw (pre-transform) "
+        "records and write the report here — a second consumer of the "
+        "same ingest, no extra trace pass; combines with any mode");
+    const auto* affinity_window = flags.add_uint(
+        "affinity-window", 32,
+        "co-access reuse window in records for --affinity-report");
     const tools::CacheFlags cache_flags = tools::CacheFlags::add(flags);
     const tools::CommonFlags common = tools::CommonFlags::add(
         flags, {.error_policy = true, .jobs = true, .governor = true,
@@ -215,17 +223,30 @@ int main(int argc, char** argv) {
       head = &*progress_sink;
     }
 
-    trace::StreamResult stream_result;
+    // Optional second consumer of the same ingest: the affinity profiler
+    // taps the raw records next to the simulation chain — a two-sink
+    // view graph instead of a second pass over the trace.
+    std::optional<analysis::AffinityCollector> affinity;
+    if (!affinity_report->empty()) {
+      analysis::AffinityOptions profile_options;
+      profile_options.window = static_cast<std::uint32_t>(*affinity_window);
+      affinity.emplace(ctx, profile_options);
+    }
+
+    trace::GraphResult stream_result;
     {
       obs::PhaseTimer phase(registry, "stream");
-      trace::StreamOptions stream_options;
-      stream_options.diags = &diags;
-      stream_options.registry = registry;
-      stream_options.governor = &governor;
-      stream_options.ingest = common.ingest_mode();
-      stream_options.jobs = static_cast<int>(*common.jobs);
+      trace::ViewSourceOptions source_options;
+      source_options.diags = &diags;
+      source_options.ingest = common.ingest_mode();
+      source_options.jobs = static_cast<int>(*common.jobs);
+      const trace::View source =
+          trace::View::source(ctx, *trace_path, source_options);
+      trace::Graph graph;
+      graph.add_sink(source, *head);
+      if (affinity.has_value()) graph.add_sink(source, *affinity);
       stream_result =
-          trace::stream_trace_file(ctx, *trace_path, *head, stream_options);
+          graph.run({.registry = registry, .governor = &governor});
     }
     if (stream_result.deadline_hit) {
       std::fprintf(stderr,
@@ -244,6 +265,18 @@ int main(int argc, char** argv) {
                    static_cast<unsigned long long>(tstats.inserted),
                    static_cast<unsigned long long>(tstats.passthrough),
                    static_cast<unsigned long long>(tstats.skipped));
+    }
+
+    if (affinity.has_value()) {
+      std::ofstream out(*affinity_report);
+      if (!out) {
+        throw_io_error("cannot open '" + *affinity_report + "' for writing");
+      }
+      out << affinity->report();
+      std::fprintf(stderr,
+                   "dinerosim: wrote affinity report for %llu records to %s\n",
+                   static_cast<unsigned long long>(affinity->records_seen()),
+                   affinity_report->c_str());
     }
 
     obs::PhaseTimer report_phase(registry, "report");

@@ -89,8 +89,10 @@ int main(int argc, char** argv) {
 
     DiagEngine diags = common.make_diags();
 
-    // One pass: the records land in memory (evaluation replays them once
-    // per candidate) while the affinity profiler sees them stream by.
+    // One pass, two consumers of the same ingest: the records land in
+    // memory (evaluation replays them once per candidate) while the
+    // affinity profiler sees the identical batches — a two-sink view
+    // graph, so the trace is read exactly once.
     trace::TraceContext ctx;
     analysis::AffinityOptions profile_options;
     profile_options.window = static_cast<std::uint32_t>(*window);
@@ -98,26 +100,28 @@ int main(int argc, char** argv) {
     // The recorded trace is replayed once per candidate: a hard
     // requirement under --max-memory (exhaustion exits 2).
     trace::VectorSink recorder(&governor.memory);
-    trace::TeeSink tee(std::vector<trace::TraceSink*>{&recorder, &affinity});
-    trace::TraceSink* head = &tee;
+    trace::TraceSink* record_head = &recorder;
     std::optional<obs::Heartbeat> heartbeat;
     std::optional<trace::ProgressSink> progress_sink;
     if (*common.progress) {
       heartbeat.emplace("tdtune", std::cerr);
-      progress_sink.emplace(*head, *heartbeat);
-      head = &*progress_sink;
+      progress_sink.emplace(*record_head, *heartbeat);
+      record_head = &*progress_sink;
     }
-    trace::StreamResult stream_result;
+    trace::GraphResult stream_result;
     {
       obs::PhaseTimer phase(registry, "stream");
-      trace::StreamOptions stream_options;
-      stream_options.diags = &diags;
-      stream_options.registry = registry;
-      stream_options.governor = &governor;
-      stream_options.ingest = common.ingest_mode();
-      stream_options.jobs = static_cast<int>(*common.jobs);
+      trace::ViewSourceOptions source_options;
+      source_options.diags = &diags;
+      source_options.ingest = common.ingest_mode();
+      source_options.jobs = static_cast<int>(*common.jobs);
+      const trace::View source =
+          trace::View::source(ctx, trace_path, source_options);
+      trace::Graph graph;
+      graph.add_sink(source, *record_head);
+      graph.add_sink(source, affinity);
       stream_result =
-          trace::stream_trace_file(ctx, trace_path, *head, stream_options);
+          graph.run({.registry = registry, .governor = &governor});
     }
     if (stream_result.deadline_hit) {
       std::fprintf(stderr,

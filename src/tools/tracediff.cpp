@@ -62,14 +62,13 @@ int main(int argc, char** argv) {
       }
       obs::PhaseTimer phase(registry,
                             side == 0 ? "stream-original" : "stream-transformed");
-      trace::StreamOptions stream_options;
-      stream_options.diags = &diags;
-      stream_options.registry = registry;
-      stream_options.governor = &governor;
-      stream_options.ingest = common.ingest_mode();
-      stream_options.jobs = static_cast<int>(*common.jobs);
-      const trace::StreamResult r = trace::stream_trace_file(
-          ctx, flags.positional()[side], *head, stream_options);
+      trace::ViewSourceOptions source_options;
+      source_options.diags = &diags;
+      source_options.ingest = common.ingest_mode();
+      source_options.jobs = static_cast<int>(*common.jobs);
+      const trace::GraphResult r =
+          trace::View::source(ctx, flags.positional()[side], source_options)
+              .drain(*head, {.registry = registry, .governor = &governor});
       deadline_hit = deadline_hit || r.deadline_hit;
     }
     if (deadline_hit) {

@@ -1,0 +1,245 @@
+// Composable lazy trace-view DAG: one ingest, N consumers.
+//
+// A View is an immutable handle on a node of a dataflow graph over trace
+// records. Chaining builders describe a pipeline without running it:
+//
+//   auto src  = View::source(ctx, "trace.out");       // any on-disk format
+//   auto xfrm = src.transform(rules);                 // paper §IV rewrite
+//   Graph g;
+//   g.add_sink(src,  affinity);    // raw records -> profiler
+//   g.add_sink(xfrm, writer);      // transformed -> trace file
+//   g.add_sink(xfrm, sweep);       // transformed -> N cache configs
+//   g.run({.registry = reg, .governor = gov});
+//
+// Nothing reads the trace until Graph::run() (or the drain()/collect()
+// conveniences) evaluates the graph. Evaluation is a single batched pass:
+// the source pulls record batches through the existing next_batch() path
+// and every batch flows through the DAG once, shared (by pointer, no
+// copy) between all consumers of a node — so one ingest feeds any number
+// of transforms, filters and sinks, and a fault injected at the reader
+// fires once per batch regardless of fan-out. Because nodes with a
+// single upstream can never merge streams, the graph is a forest: each
+// registered source is drained in registration order.
+//
+// Laziness also prunes work: a window([lo,hi)) node that has emitted its
+// last record reports itself satisfied, and when every consumer of a
+// source is satisfied the source stops reading early (sinks still get
+// their on_end exactly once).
+//
+// .cache(bytes) attaches a byte-budgeted memo (util/governor.hpp Budget)
+// to a node: the first evaluation records the node's output batches, and
+// any later evaluation whose consumers sit at or below the cache node
+// replays the memo instead of re-reading and re-transforming upstream.
+// A memo is only ever served when it holds the node's complete output;
+// on budget pressure (its own limit or a denial from the evaluation's
+// shared --max-memory budget) the memo is dropped and evaluation
+// degrades to recompute — never to wrong bytes. See docs/PIPELINE.md.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <span>
+#include <string>
+#include <vector>
+
+#include "trace/binary.hpp"
+#include "trace/record.hpp"
+#include "trace/sink.hpp"
+#include "trace/source.hpp"
+#include "util/diag.hpp"
+#include "util/governor.hpp"
+#include "util/obs.hpp"
+
+namespace tdt::core {
+class RuleSet;
+struct TransformOptions;
+struct TransformStats;
+}  // namespace tdt::core
+
+namespace tdt::trace {
+
+/// How a source node opens its input (mirrors StreamOptions: the DAG
+/// source and stream_trace_file read any path identically).
+struct ViewSourceOptions {
+  DiagEngine* diags = nullptr;        ///< error-recovery policy (null = strict)
+  IngestMode ingest = IngestMode::Auto;
+  /// Parallel TDTB v3 frame-decode workers (byte-identical at any count).
+  int jobs = 1;
+  bool clamp_jobs = true;
+};
+
+/// How a .save(path) node writes its stream. The format follows the
+/// extension exactly like the tools' writers: *.tdtb emits a TDTB
+/// container (honouring `binary`), anything else Gleipnir text.
+struct ViewSaveOptions {
+  std::uint64_t pid = 0;
+  BinaryWriterOptions binary;
+};
+
+/// User-defined streaming stage for View::pipe(): consumes input batches
+/// in trace order and appends output records. One instance is created
+/// per evaluation (per Graph::run that reaches the node), so stateful
+/// stages start fresh and repeated evaluations are deterministic.
+class ViewStage {
+ public:
+  virtual ~ViewStage() = default;
+
+  /// Transforms one input batch; append output records to `out` (which
+  /// arrives empty). May emit zero or many records per input record.
+  virtual void on_batch(std::span<const TraceRecord> in,
+                        std::vector<TraceRecord>& out) = 0;
+
+  /// End of stream: flush any tail records into `out`.
+  virtual void on_end(std::vector<TraceRecord>& /*out*/) {}
+};
+
+/// Creates a fresh ViewStage for one evaluation. `ctx` is the trace
+/// context of the node's source.
+using ViewStageFactory =
+    std::function<std::unique_ptr<ViewStage>(TraceContext& ctx)>;
+
+namespace detail {
+struct ViewNode;
+}  // namespace detail
+
+class Graph;
+
+/// Per-run evaluation knobs (Graph::run / View::drain / View::collect).
+struct EvalOptions {
+  /// Folds per-node counters (view.<id>.pulls, view.<id>.cache_hits,
+  /// view.<id>.cache_bytes) and the source read.* family after the run.
+  obs::Registry* registry = nullptr;
+  /// Deadline checked at batch granularity; memory budget charged by
+  /// cache memos (spill-on-denial) exactly like the streaming layer.
+  Governor* governor = nullptr;
+};
+
+/// What one node did during an evaluation (GraphResult::stages).
+struct StageStats {
+  std::string id;             ///< stable per-run id, e.g. "source0"
+  std::uint64_t pulls = 0;    ///< batches the node emitted downstream
+  std::uint64_t records = 0;  ///< records the node emitted
+  std::uint64_t cache_hits = 0;   ///< batches served from the memo
+  std::uint64_t cache_bytes = 0;  ///< bytes retained in the memo after the run
+};
+
+/// What one evaluation delivered (mirrors StreamResult).
+struct GraphResult {
+  std::uint64_t records = 0;  ///< records produced by all sources
+  std::uint64_t pid = 0;      ///< pid of the first source that knew one
+  bool deadline_hit = false;  ///< stopped early at a batch boundary
+  std::vector<StageStats> stages;  ///< evaluation-order node counters
+
+  /// Stats for node `id`; nullptr when the node was not evaluated.
+  [[nodiscard]] const StageStats* stage(std::string_view id) const noexcept;
+};
+
+/// Immutable handle on one DAG node. Copying shares the node; chaining
+/// builders append nodes. A node reached from two views is evaluated
+/// once per run and its batches are shared by all consumers.
+class View {
+ public:
+  View() = default;
+
+  /// Trace-file source; the format is guessed from the extension like
+  /// stream_trace_file ("-" streams stdin, .gz text inflates, TDTB v3
+  /// containers with a valid index decode with options.jobs workers).
+  /// `ctx` must outlive every evaluation.
+  static View source(TraceContext& ctx, std::string path,
+                     ViewSourceOptions options = {});
+
+  /// In-memory Gleipnir text source (zero-copy fast-path parse; the text
+  /// is owned by the node).
+  static View source_text(TraceContext& ctx, std::string text,
+                          ViewSourceOptions options = {});
+
+  /// In-memory record source (records owned by the node).
+  static View source_records(TraceContext& ctx,
+                             std::vector<TraceRecord> records);
+
+  [[nodiscard]] bool valid() const noexcept { return node_ != nullptr; }
+
+  /// Rule-driven trace transformation (paper §IV; core::TraceTransformer
+  /// under the hood, one fresh transformer per evaluation). When
+  /// `stats_out` is non-null the transformer's stats are copied there at
+  /// end of stream (left untouched when a cache memo short-circuits the
+  /// node). `rules` must outlive every evaluation. Defined in
+  /// src/core/view_transform.cpp (links with tdt_core).
+  [[nodiscard]] View transform(const core::RuleSet& rules) const;
+  [[nodiscard]] View transform(const core::RuleSet& rules,
+                               const core::TransformOptions& options,
+                               core::TransformStats* stats_out = nullptr) const;
+
+  /// Keeps records satisfying `pred` (called in trace order).
+  [[nodiscard]] View filter(
+      std::function<bool(const TraceRecord&)> pred) const;
+
+  /// Keeps the half-open record-index range [lo, hi) of the upstream
+  /// stream. Once hi records have passed, the node is satisfied and the
+  /// source may stop reading early.
+  [[nodiscard]] View window(std::uint64_t lo, std::uint64_t hi) const;
+
+  /// Passes the stream through unchanged while pushing every batch (and
+  /// the on_end) into `sink` — the TeeSink shape as a node. `sink` must
+  /// outlive every evaluation.
+  [[nodiscard]] View tee(TraceSink& sink) const;
+
+  /// Passes the stream through unchanged while writing it to `path`
+  /// (Gleipnir text, or a TDTB container for *.tdtb). The file is opened
+  /// when evaluation reaches the node and finalized at end of stream.
+  [[nodiscard]] View save(std::string path, ViewSaveOptions options = {}) const;
+
+  /// Attaches a byte-budgeted memo to this point of the graph (see file
+  /// comment). bytes == 0 never retains anything (pure recompute).
+  [[nodiscard]] View cache(std::uint64_t bytes) const;
+
+  /// Generic streaming stage (the extension point transform() is built
+  /// on). `label` names the node in metrics (view.<label><n>.*).
+  [[nodiscard]] View pipe(ViewStageFactory factory,
+                          std::string label = "pipe") const;
+
+  /// One-consumer convenience: evaluates this view into `sink`.
+  GraphResult drain(TraceSink& sink, const EvalOptions& options = {}) const;
+
+  /// Evaluates this view and returns its records.
+  [[nodiscard]] std::vector<TraceRecord> collect(
+      const EvalOptions& options = {}) const;
+
+ private:
+  friend class Graph;
+  explicit View(std::shared_ptr<detail::ViewNode> node)
+      : node_(std::move(node)) {}
+
+  [[nodiscard]] View derive(detail::ViewNode&& node) const;
+
+  std::shared_ptr<detail::ViewNode> node_;
+};
+
+/// An evaluation: terminal sinks attached to views, drained in one pass.
+/// The graph itself is cheap and single-use-per-run; the Views (and any
+/// cache memos they hold) outlive it.
+class Graph {
+ public:
+  Graph() = default;
+
+  /// Registers `sink` as a consumer of `v`. Sinks attached to the same
+  /// node receive each batch in registration order, before any
+  /// downstream nodes; `sink` must outlive run().
+  void add_sink(const View& v, TraceSink& sink);
+
+  /// Evaluates every registered view in one pass per source (sources
+  /// drain in registration order). Each sink receives its full record
+  /// stream in trace order — bit-identical to evaluating its chain alone
+  /// — and exactly one on_end. Exceptions from sinks or stages propagate
+  /// (remaining sinks see neither further batches nor on_end, matching
+  /// TeeSink). May be called again: later runs re-evaluate, reusing any
+  /// complete cache memos.
+  GraphResult run(const EvalOptions& options = {});
+
+ private:
+  std::vector<std::pair<std::shared_ptr<detail::ViewNode>, TraceSink*>>
+      sinks_;
+};
+
+}  // namespace tdt::trace

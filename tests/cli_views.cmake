@@ -1,0 +1,97 @@
+# View-DAG CLI contract: one dinerosim process whose single ingest
+# feeds three consumers at once — the --sweep simulation (stdout), the
+# affinity profiler (--affinity-report), and the saved transformed trace
+# (--xform-out) — must produce artifacts byte-identical to three
+# independent tool runs that each re-read the trace for one consumer.
+# The matrix crosses --jobs {1,4} with text and v3-compressed inputs.
+file(MAKE_DIRECTORY ${WORKDIR})
+
+set(SWEEP_SPEC "assoc=1;assoc=2;size=8k,assoc=4")
+
+function(check_rc what expected actual)
+  if(NOT actual EQUAL expected)
+    message(FATAL_ERROR "${what}: expected exit ${expected}, got ${actual}")
+  endif()
+endfunction()
+
+function(check_same what file_a file_b)
+  execute_process(COMMAND ${CMAKE_COMMAND} -E compare_files ${file_a} ${file_b}
+    RESULT_VARIABLE rc)
+  if(NOT rc EQUAL 0)
+    message(FATAL_ERROR "${what}: output differs (${file_a} vs ${file_b})")
+  endif()
+endfunction()
+
+# -- Fixtures: the same kernel as Gleipnir text and as a framed v3 ------------
+# container (zstd when loadable, codec none otherwise — the DAG path is
+# identical either way, cli_compress owns the codec matrix).
+execute_process(
+  COMMAND ${GTRACER} --kernel t1_soa --len 4096 --out ${WORKDIR}/trace.out
+  RESULT_VARIABLE rc)
+check_rc("gtracer text" 0 "${rc}")
+
+set(traces ${WORKDIR}/trace.out)
+execute_process(
+  COMMAND ${GTRACER} --kernel t1_soa --len 4096 --binary --compress zstd
+          --out ${WORKDIR}/trace.tdtb
+  RESULT_VARIABLE rc ERROR_VARIABLE err)
+if(NOT rc EQUAL 0)
+  if(rc EQUAL 2 AND err MATCHES "unavailable")
+    message(STATUS "zstd not loadable here; using codec none for the v3 row")
+    execute_process(
+      COMMAND ${GTRACER} --kernel t1_soa --len 4096 --binary --compress none
+              --out ${WORKDIR}/trace.tdtb
+      RESULT_VARIABLE rc)
+    check_rc("gtracer v3 none" 0 "${rc}")
+  else()
+    message(FATAL_ERROR "gtracer v3 zstd: exit ${rc}: ${err}")
+  endif()
+endif()
+list(APPEND traces ${WORKDIR}/trace.tdtb)
+
+foreach(trace ${traces})
+  get_filename_component(ext ${trace} LAST_EXT)
+  string(REPLACE "." "" tag "${ext}")
+
+  # -- The three independent single-consumer runs (the baseline) -------------
+  # A: transform + sweep, stdout is the sweep report.
+  execute_process(
+    COMMAND ${DINEROSIM} --trace ${trace} --rules ${RULES}
+            --xform-out ${WORKDIR}/scratch_${tag}.out --sweep ${SWEEP_SPEC}
+    OUTPUT_FILE ${WORKDIR}/indep_sweep_${tag}.stdout RESULT_VARIABLE rc)
+  check_rc("independent sweep (${tag})" 0 "${rc}")
+
+  # B: transform + save, the transformed trace is the artifact.
+  execute_process(
+    COMMAND ${DINEROSIM} --trace ${trace} --rules ${RULES}
+            --xform-out ${WORKDIR}/indep_xform_${tag}.out --size 4096
+    OUTPUT_QUIET RESULT_VARIABLE rc)
+  check_rc("independent transform (${tag})" 0 "${rc}")
+
+  # C: affinity profile of the raw (pre-transform) records.
+  execute_process(
+    COMMAND ${DINEROSIM} --trace ${trace} --size 4096
+            --affinity-report ${WORKDIR}/indep_affinity_${tag}.txt
+    OUTPUT_QUIET RESULT_VARIABLE rc)
+  check_rc("independent affinity (${tag})" 0 "${rc}")
+
+  # -- One process, one ingest, three consumers, across --jobs ---------------
+  foreach(jobs 1 4)
+    set(prefix ${WORKDIR}/combined_${tag}_j${jobs})
+    execute_process(
+      COMMAND ${DINEROSIM} --trace ${trace} --rules ${RULES}
+              --xform-out ${prefix}.out --sweep ${SWEEP_SPEC}
+              --affinity-report ${prefix}.aff --jobs ${jobs}
+      OUTPUT_FILE ${prefix}.stdout RESULT_VARIABLE rc)
+    check_rc("combined run (${tag}, jobs=${jobs})" 0 "${rc}")
+
+    check_same("sweep report (${tag}, jobs=${jobs})"
+               ${WORKDIR}/indep_sweep_${tag}.stdout ${prefix}.stdout)
+    check_same("transformed trace (${tag}, jobs=${jobs})"
+               ${WORKDIR}/indep_xform_${tag}.out ${prefix}.out)
+    check_same("affinity report (${tag}, jobs=${jobs})"
+               ${WORKDIR}/indep_affinity_${tag}.txt ${prefix}.aff)
+  endforeach()
+endforeach()
+
+message(STATUS "cli_views: 3-consumer DAG byte-identical to independent runs")

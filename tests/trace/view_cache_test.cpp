@@ -1,0 +1,189 @@
+// Cache-identity contract: a .cache(N) node never changes bytes — it
+// only changes how often upstream work reruns. Every budget shape
+// (unlimited, zero, one-batch thrash, governor denial mid-fill) must
+// evaluate identically to the uncached chain, and eviction degrades to
+// recompute, never to wrong or partial output.
+#include <gtest/gtest.h>
+
+#include "trace/view.hpp"
+
+namespace tdt::trace {
+namespace {
+
+std::vector<TraceRecord> make_records(TraceContext& ctx, std::size_t n) {
+  std::vector<TraceRecord> records;
+  records.reserve(n);
+  const Symbol fn = ctx.intern("main");
+  const VarRef var = ctx.parse_var("buf");
+  for (std::size_t i = 0; i < n; ++i) {
+    TraceRecord rec;
+    rec.kind = i % 2 == 0 ? AccessKind::Load : AccessKind::Store;
+    rec.scope = VarScope::GlobalStructure;
+    rec.thread = 1;
+    rec.size = 4;
+    rec.address = 0x20000 + 4 * i;
+    rec.function = fn;
+    rec.var = var;
+    records.push_back(rec);
+  }
+  return records;
+}
+
+bool keep_stores(const TraceRecord& rec) {
+  return rec.kind == AccessKind::Store;
+}
+
+/// Counts upstream evaluations: every time the source re-reads, the
+/// filter node reruns and this counter moves.
+struct CountingFilter {
+  std::uint64_t calls = 0;
+  bool operator()(const TraceRecord& rec) {
+    ++calls;
+    return keep_stores(rec);
+  }
+};
+
+TEST(ViewCache, UnlimitedBudgetServesSecondRunFromMemo) {
+  TraceContext ctx;
+  const auto records = make_records(ctx, 10'000);
+  const View source = View::source_records(ctx, records);
+  auto counter = std::make_shared<CountingFilter>();
+  const View cached =
+      source.filter([counter](const TraceRecord& rec) {
+              return (*counter)(rec);
+            })
+          .cache(1u << 30);
+
+  const std::vector<TraceRecord> expected =
+      source.filter(keep_stores).collect();
+
+  const std::vector<TraceRecord> first = cached.collect();
+  EXPECT_EQ(first, expected);
+  const std::uint64_t calls_after_first = counter->calls;
+  EXPECT_EQ(calls_after_first, records.size());
+
+  // Second evaluation: memo replay, upstream untouched, bytes identical.
+  NullSink sink;
+  Graph graph;
+  graph.add_sink(cached, sink);
+  const GraphResult result = graph.run();
+  EXPECT_EQ(sink.count(), expected.size());
+  EXPECT_EQ(counter->calls, calls_after_first);
+  EXPECT_EQ(cached.collect(), expected);
+
+  bool saw_cache_hit = false;
+  for (const StageStats& s : result.stages) {
+    saw_cache_hit = saw_cache_hit || s.cache_hits > 0;
+  }
+  EXPECT_TRUE(saw_cache_hit);
+}
+
+TEST(ViewCache, ZeroBudgetIsPureRecompute) {
+  TraceContext ctx;
+  const auto records = make_records(ctx, 10'000);
+  const View source = View::source_records(ctx, records);
+  auto counter = std::make_shared<CountingFilter>();
+  const View cached =
+      source.filter([counter](const TraceRecord& rec) {
+              return (*counter)(rec);
+            })
+          .cache(0);
+
+  const std::vector<TraceRecord> expected =
+      source.filter(keep_stores).collect();
+  EXPECT_EQ(cached.collect(), expected);
+  EXPECT_EQ(cached.collect(), expected);
+  // Both evaluations walked the full upstream: nothing was retained.
+  EXPECT_EQ(counter->calls, 2 * records.size());
+}
+
+TEST(ViewCache, OneBatchThrashingBudgetStaysCorrect) {
+  TraceContext ctx;
+  const auto records = make_records(ctx, 20'000);  // several 4096 batches
+  const View source = View::source_records(ctx, records);
+  // Budget fits exactly one full batch, so the second batch's charge is
+  // denied mid-fill and the memo must spill — and still be correct.
+  const View cached = source.cache(4096 * sizeof(TraceRecord));
+
+  const std::vector<TraceRecord> first = cached.collect();
+  EXPECT_EQ(first, records);
+  const std::vector<TraceRecord> second = cached.collect();
+  EXPECT_EQ(second, records);
+}
+
+TEST(ViewCache, GovernorDenialDropsMemoAndRecomputes) {
+  TraceContext ctx;
+  const auto records = make_records(ctx, 20'000);
+  const View source = View::source_records(ctx, records);
+  const View cached = source.cache(1u << 30);  // own budget is ample
+
+  Governor governor;
+  // Room for roughly two batches: the memo starts filling, then the
+  // shared budget denies and the partial memo must be dropped (with its
+  // charges returned), not served.
+  governor.memory.set_limit(2 * 4096 * sizeof(TraceRecord) + 1024);
+
+  VectorSink first_sink;
+  cached.drain(first_sink, {.governor = &governor});
+  EXPECT_EQ(first_sink.records(), records);
+  EXPECT_GT(governor.memory.denials(), 0u);
+  // The dropped memo returned every byte it had charged.
+  EXPECT_EQ(governor.memory.used(), 0u);
+
+  VectorSink second_sink;
+  cached.drain(second_sink, {.governor = &governor});
+  EXPECT_EQ(second_sink.records(), records);
+}
+
+TEST(ViewCache, MemoChargesReportedInStats) {
+  TraceContext ctx;
+  const auto records = make_records(ctx, 6'000);
+  const View cached = View::source_records(ctx, records).cache(1u << 30);
+
+  VectorSink sink;
+  const GraphResult result = cached.drain(sink);
+  const std::uint64_t expected_bytes = records.size() * sizeof(TraceRecord);
+  bool found = false;
+  for (const StageStats& s : result.stages) {
+    if (s.cache_bytes != 0) {
+      found = true;
+      EXPECT_EQ(s.cache_bytes, expected_bytes);
+    }
+  }
+  EXPECT_TRUE(found);
+}
+
+TEST(ViewCache, ConsumersAboveTheCacheStillSeeTheSource) {
+  TraceContext ctx;
+  const auto records = make_records(ctx, 9'000);
+  const View source = View::source_records(ctx, records);
+  const View cached = source.filter(keep_stores).cache(1u << 30);
+
+  // Warm the memo.
+  const std::vector<TraceRecord> filtered = cached.collect();
+
+  // Second run mixes a memo consumer with a raw-source consumer.
+  VectorSink raw;
+  VectorSink from_cache;
+  Graph graph;
+  graph.add_sink(source, raw);
+  graph.add_sink(cached, from_cache);
+  graph.run();
+  EXPECT_EQ(raw.records(), records);
+  EXPECT_EQ(from_cache.records(), filtered);
+}
+
+TEST(ViewCache, DownstreamOfMemoReplaysThroughOperators) {
+  TraceContext ctx;
+  const auto records = make_records(ctx, 9'000);
+  const View cached = View::source_records(ctx, records).cache(1u << 30);
+  const View windowed = cached.window(100, 300);
+
+  const std::vector<TraceRecord> expected(records.begin() + 100,
+                                          records.begin() + 300);
+  EXPECT_EQ(windowed.collect(), expected);  // fills the memo
+  EXPECT_EQ(windowed.collect(), expected);  // replays it
+}
+
+}  // namespace
+}  // namespace tdt::trace

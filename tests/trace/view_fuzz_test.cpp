@@ -1,0 +1,270 @@
+// Differential topology fuzz for the view DAG: random graphs of
+// transform/filter/window/cache nodes (depth <= 4, fan-out <= 4) over
+// randomly shaped structs and record streams, evaluated once through
+// Graph::run with every consumer sharing one ingest — then checked
+// byte-for-byte against the naive baseline that re-reads and re-applies
+// the chain independently per consumer. A second evaluation of the same
+// graph re-checks with warm cache memos (replay must also be identical).
+//
+// The suite/round/record-count macros let the same file run as a small
+// deterministic tier-1 round (tests_trace) and a big slow round
+// (tests_trace_slow, `LABELS slow`).
+#include <gtest/gtest.h>
+
+#include <string>
+#include <vector>
+
+#include "core/rules.hpp"
+#include "core/transformer.hpp"
+#include "layout/path.hpp"
+#include "trace/view.hpp"
+#include "util/rng.hpp"
+
+#ifndef TDT_VIEW_FUZZ_SUITE
+#define TDT_VIEW_FUZZ_SUITE ViewFuzzSmall
+#endif
+#ifndef TDT_VIEW_FUZZ_ROUNDS
+#define TDT_VIEW_FUZZ_ROUNDS 24
+#endif
+#ifndef TDT_VIEW_FUZZ_RECORDS
+#define TDT_VIEW_FUZZ_RECORDS 3000
+#endif
+
+namespace tdt::trace {
+namespace {
+
+struct NodeSpec {
+  enum class Op : std::uint8_t { Source, Transform, Filter, Window, Cache };
+  Op op = Op::Source;
+  int parent = -1;
+  std::uint64_t lo = 0;      // Window
+  std::uint64_t hi = 0;
+  std::uint64_t budget = 0;  // Cache
+  std::uint64_t fk = 0;      // Filter params
+  std::uint64_t fr = 0;
+};
+
+/// The filter predicate as pure data, so the DAG node and the naive
+/// baseline apply bit-identical logic.
+bool filter_keeps(const NodeSpec& spec, const TraceRecord& rec) {
+  return (rec.address / 4 + spec.fk) % 5 != spec.fr;
+}
+
+class ViewFuzz : public ::testing::TestWithParam<int> {};
+
+TEST_P(ViewFuzz, RandomTopologyMatchesNaiveBaseline) {
+  Xoshiro256 rng(static_cast<std::uint64_t>(GetParam()) * 1299721 + 17);
+
+  // --- random struct + reorder rules (the transform op's substrate) ---
+  layout::TypeTable types;
+  const layout::TypeId prims[] = {types.char_type(), types.short_type(),
+                                  types.int_type(), types.long_type(),
+                                  types.float_type(), types.double_type()};
+  const std::size_t nfields = 2 + rng.next_below(5);
+  std::vector<layout::PendingField> fields;
+  for (std::size_t i = 0; i < nfields; ++i) {
+    layout::TypeId t = prims[rng.next_below(6)];
+    if (rng.next_below(3) == 0) t = types.array_of(t, 1 + rng.next_below(5));
+    fields.push_back({"f" + std::to_string(i), t});
+  }
+  std::vector<layout::PendingField> shuffled = fields;
+  for (std::size_t i = shuffled.size(); i > 1; --i) {
+    std::swap(shuffled[i - 1], shuffled[rng.next_below(i)]);
+  }
+  const layout::TypeId in_struct =
+      types.define_struct("In" + std::to_string(GetParam()),
+                          std::move(fields));
+  const layout::TypeId out_struct = types.define_struct(
+      "Out" + std::to_string(GetParam()), std::move(shuffled));
+  core::RuleSet rules(std::move(types));
+  {
+    core::StructRule rule;
+    rule.in_name = "var";
+    rule.in_type = in_struct;
+    rule.outs = {{"out", out_struct}};
+    rules.add(std::move(rule));
+  }
+  for (const core::RuleDiagnostic& d : rules.validate()) {
+    ASSERT_NE(d.severity, core::RuleDiagnostic::Severity::Error) << d.message;
+  }
+
+  // --- random record stream: leaf accesses of the struct, plus noise ---
+  trace::TraceContext ctx;
+  struct Leaf {
+    VarRef var;
+    std::uint64_t offset;
+    std::uint32_t size;
+  };
+  std::vector<Leaf> leaves;
+  const auto& t = rules.types();
+  layout::for_each_leaf(
+      t, in_struct,
+      [&](const layout::Path& path, std::uint64_t offset,
+          layout::TypeId leaf) {
+        leaves.push_back(
+            {ctx.parse_var("var" +
+                           layout::format_path({path.data(), path.size()})),
+             offset, static_cast<std::uint32_t>(t.size_of(leaf))});
+      });
+  ASSERT_FALSE(leaves.empty());
+  const Symbol fn = ctx.intern("main");
+  const VarRef noise_var = ctx.parse_var("other");
+  const std::uint64_t in_base = 0x7ff200000;
+  const std::size_t n = TDT_VIEW_FUZZ_RECORDS / 2 +
+                        rng.next_below(TDT_VIEW_FUZZ_RECORDS / 2 + 1);
+  std::vector<TraceRecord> records;
+  records.reserve(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    TraceRecord rec;
+    rec.kind = rng.next_below(4) == 0 ? AccessKind::Load : AccessKind::Store;
+    rec.thread = 1;
+    rec.function = fn;
+    if (rng.next_below(5) == 0) {
+      rec.scope = VarScope::GlobalVariable;
+      rec.var = noise_var;
+      rec.size = 8;
+      rec.address = 0x600000 + 8 * rng.next_below(64);
+    } else {
+      const Leaf& leaf = leaves[rng.next_below(leaves.size())];
+      rec.scope = VarScope::LocalStructure;
+      rec.var = leaf.var;
+      rec.size = leaf.size;
+      rec.address = in_base + leaf.offset;
+    }
+    records.push_back(rec);
+  }
+
+  // --- random DAG topology: depth <= 4, fan-out <= 4 ---
+  std::vector<NodeSpec> specs(1);  // [0] = source
+  std::vector<int> depth{0};
+  std::vector<int> fanout{0};
+  const std::size_t ops = 3 + rng.next_below(6);
+  for (std::size_t i = 0; i < ops; ++i) {
+    int parent = -1;
+    for (int attempt = 0; attempt < 16; ++attempt) {
+      const int candidate = static_cast<int>(rng.next_below(specs.size()));
+      if (depth[candidate] < 4 && fanout[candidate] < 4) {
+        parent = candidate;
+        break;
+      }
+    }
+    if (parent < 0) break;
+    NodeSpec spec;
+    spec.parent = parent;
+    switch (rng.next_below(4)) {
+      case 0:
+        spec.op = NodeSpec::Op::Transform;
+        break;
+      case 1:
+        spec.op = NodeSpec::Op::Filter;
+        spec.fk = rng.next_below(1000);
+        spec.fr = rng.next_below(5);
+        break;
+      case 2: {
+        spec.op = NodeSpec::Op::Window;
+        spec.lo = rng.next_below(n + n / 4 + 1);
+        spec.hi = rng.next_below(n + n / 4 + 1);
+        break;
+      }
+      default: {
+        spec.op = NodeSpec::Op::Cache;
+        const std::uint64_t budgets[] = {0, 4096 * sizeof(TraceRecord),
+                                         std::uint64_t{1} << 30};
+        spec.budget = budgets[rng.next_below(3)];
+        break;
+      }
+    }
+    ++fanout[parent];
+    depth.push_back(depth[parent] + 1);
+    fanout.push_back(0);
+    specs.push_back(spec);
+  }
+
+  // --- build the views ---
+  std::vector<View> views;
+  views.push_back(View::source_records(ctx, records));
+  for (std::size_t i = 1; i < specs.size(); ++i) {
+    const NodeSpec& spec = specs[i];
+    const View& up = views[static_cast<std::size_t>(spec.parent)];
+    switch (spec.op) {
+      case NodeSpec::Op::Transform:
+        views.push_back(up.transform(rules));
+        break;
+      case NodeSpec::Op::Filter:
+        views.push_back(up.filter([spec](const TraceRecord& rec) {
+          return filter_keeps(spec, rec);
+        }));
+        break;
+      case NodeSpec::Op::Window:
+        views.push_back(up.window(spec.lo, spec.hi));
+        break;
+      default:
+        views.push_back(up.cache(spec.budget));
+        break;
+    }
+  }
+
+  // --- naive baseline: re-read + re-apply per consumer, no sharing ---
+  std::vector<std::vector<TraceRecord>> naive(specs.size());
+  std::vector<bool> have_naive(specs.size(), false);
+  naive[0] = records;
+  have_naive[0] = true;
+  for (std::size_t i = 1; i < specs.size(); ++i) {
+    const NodeSpec& spec = specs[i];
+    const std::vector<TraceRecord>& up =
+        naive[static_cast<std::size_t>(spec.parent)];
+    switch (spec.op) {
+      case NodeSpec::Op::Transform:
+        naive[i] = core::transform_trace(rules, ctx, up);
+        break;
+      case NodeSpec::Op::Filter:
+        for (const TraceRecord& rec : up) {
+          if (filter_keeps(spec, rec)) naive[i].push_back(rec);
+        }
+        break;
+      case NodeSpec::Op::Window: {
+        const std::uint64_t lo = std::min<std::uint64_t>(spec.lo, up.size());
+        const std::uint64_t hi = std::min<std::uint64_t>(
+            std::max(spec.lo, spec.hi), up.size());
+        naive[i].assign(up.begin() + static_cast<std::ptrdiff_t>(lo),
+                        up.begin() + static_cast<std::ptrdiff_t>(hi));
+        break;
+      }
+      default:
+        naive[i] = up;  // cache is an identity over bytes
+        break;
+    }
+    have_naive[i] = true;
+  }
+
+  // --- sink placement: every leaf, plus a sprinkle of inner nodes ---
+  std::vector<bool> sinked(specs.size(), false);
+  for (std::size_t i = 0; i < specs.size(); ++i) {
+    sinked[i] = fanout[i] == 0 || rng.next_below(3) == 0;
+  }
+
+  // --- evaluate the DAG twice (cold, then warm memos) ---
+  for (int round = 0; round < 2; ++round) {
+    std::vector<std::unique_ptr<VectorSink>> sinks(specs.size());
+    Graph graph;
+    for (std::size_t i = 0; i < specs.size(); ++i) {
+      if (!sinked[i]) continue;
+      sinks[i] = std::make_unique<VectorSink>();
+      graph.add_sink(views[i], *sinks[i]);
+    }
+    graph.run();
+    for (std::size_t i = 0; i < specs.size(); ++i) {
+      if (!sinked[i]) continue;
+      ASSERT_TRUE(have_naive[i]);
+      EXPECT_EQ(sinks[i]->records(), naive[i])
+          << "node " << i << " diverged from the naive baseline in round "
+          << round << " (seed " << GetParam() << ")";
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(TDT_VIEW_FUZZ_SUITE, ViewFuzz,
+                         ::testing::Range(0, TDT_VIEW_FUZZ_ROUNDS));
+
+}  // namespace
+}  // namespace tdt::trace

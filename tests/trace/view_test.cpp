@@ -1,0 +1,350 @@
+// Semantics the view DAG inherits from the TeeSink era and must keep:
+// one ingest feeding N consumers delivers every branch its full stream,
+// exactly one on_end per sink, errors out of any branch propagate, and
+// a VectorSink's memory is charged once regardless of fan-out. Plus the
+// view-specific contracts: filter/window/save equivalence, lazy window
+// cut-off, and per-node metrics.
+#include <gtest/gtest.h>
+
+#include <filesystem>
+#include <fstream>
+#include <sstream>
+#include <stdexcept>
+
+#include "trace/binary.hpp"
+#include "trace/stream.hpp"
+#include "trace/view.hpp"
+#include "util/error.hpp"
+
+namespace tdt::trace {
+namespace {
+
+std::vector<TraceRecord> make_records(TraceContext& ctx, std::size_t n) {
+  std::vector<TraceRecord> records;
+  records.reserve(n);
+  const Symbol fn = ctx.intern("main");
+  const VarRef var = ctx.parse_var("buf");
+  for (std::size_t i = 0; i < n; ++i) {
+    TraceRecord rec;
+    rec.kind = i % 3 == 0 ? AccessKind::Store : AccessKind::Load;
+    rec.scope = VarScope::GlobalStructure;
+    rec.thread = 1;
+    rec.size = 4;
+    rec.address = 0x10000 + 8 * i;
+    rec.function = fn;
+    rec.var = var;
+    records.push_back(rec);
+  }
+  return records;
+}
+
+/// Counts batches and on_end calls; optionally records everything.
+class ProbeSink final : public TraceSink {
+ public:
+  void on_record(const TraceRecord& rec) override {
+    records.push_back(rec);
+  }
+  void push_batch(std::span<const TraceRecord> batch) override {
+    ++batches;
+    records.insert(records.end(), batch.begin(), batch.end());
+  }
+  void on_end() override { ++ends; }
+
+  std::vector<TraceRecord> records;
+  int batches = 0;
+  int ends = 0;
+};
+
+/// Fails on the nth delivered batch (1-based); on_end throws if `fatal_end`.
+class FailingSink final : public TraceSink {
+ public:
+  explicit FailingSink(int fail_on_batch) : fail_on_(fail_on_batch) {}
+  void on_record(const TraceRecord&) override {}
+  void push_batch(std::span<const TraceRecord>) override {
+    if (++seen_ == fail_on_) throw std::runtime_error("branch sink failed");
+  }
+
+ private:
+  int fail_on_;
+  int seen_ = 0;
+};
+
+TEST(ViewGraph, EveryBranchGetsFullStreamAndOneEnd) {
+  TraceContext ctx;
+  const auto records = make_records(ctx, 10'000);  // > 2 batches
+  const View source = View::source_records(ctx, records);
+
+  ProbeSink a;
+  ProbeSink b;
+  ProbeSink teed;
+  const View tee_view = source.tee(teed);
+
+  Graph graph;
+  graph.add_sink(source, a);
+  graph.add_sink(tee_view, b);
+  const GraphResult result = graph.run();
+
+  EXPECT_EQ(result.records, records.size());
+  for (const ProbeSink* sink : {&a, &b, &teed}) {
+    EXPECT_EQ(sink->records, records);
+    EXPECT_EQ(sink->ends, 1);
+  }
+  EXPECT_GT(a.batches, 1);
+}
+
+TEST(ViewGraph, SinkRegisteredTwiceGetsTwoFullStreams) {
+  TraceContext ctx;
+  const auto records = make_records(ctx, 100);
+  const View source = View::source_records(ctx, records);
+  ProbeSink sink;
+  Graph graph;
+  graph.add_sink(source, sink);
+  graph.add_sink(source, sink);
+  graph.run();
+  EXPECT_EQ(sink.records.size(), 2 * records.size());
+  EXPECT_EQ(sink.ends, 2);
+}
+
+TEST(ViewGraph, IngestHappensOnceRegardlessOfFanOut) {
+  TraceContext ctx;
+  std::string text = "START PID 7\n";
+  for (int i = 0; i < 100; ++i) {
+    text += "S 7ff000010 4 main\n";
+  }
+  text += "END PID 7\n";
+
+  obs::Registry registry("test");
+  NullSink a;
+  NullSink b;
+  NullSink c;
+  const View source = View::source_text(ctx, text);
+  Graph graph;
+  graph.add_sink(source, a);
+  graph.add_sink(source, b);
+  graph.add_sink(source, c);
+  const GraphResult result = graph.run({.registry = &registry});
+
+  EXPECT_EQ(result.records, 100u);
+  EXPECT_EQ(result.pid, 7u);
+  EXPECT_EQ(a.count(), 100u);
+  EXPECT_EQ(b.count(), 100u);
+  EXPECT_EQ(c.count(), 100u);
+  // The reader parsed each record once: fan-out shares batches instead
+  // of re-reading, so read.records counts the ingest, not the deliveries.
+  EXPECT_EQ(registry.counter("read.records").value(), 100u);
+  const StageStats* stats = result.stage("source0");
+  ASSERT_NE(stats, nullptr);
+  EXPECT_EQ(stats->records, 100u);
+}
+
+TEST(ViewGraph, ErrorInOneBranchPropagates) {
+  TraceContext ctx;
+  const auto records = make_records(ctx, 10'000);
+  const View source = View::source_records(ctx, records);
+  ProbeSink before;
+  FailingSink failing(2);
+  ProbeSink after;
+  Graph graph;
+  graph.add_sink(source, before);
+  graph.add_sink(source, failing);
+  graph.add_sink(source, after);
+  EXPECT_THROW(graph.run(), std::runtime_error);
+  // The sink registered before the failing branch saw the fatal batch;
+  // the one after did not — and nobody got a misleading clean on_end.
+  EXPECT_EQ(before.batches, 2);
+  EXPECT_EQ(after.batches, 1);
+  EXPECT_EQ(before.ends, 0);
+  EXPECT_EQ(after.ends, 0);
+}
+
+TEST(ViewGraph, ErrorInTeeBranchPropagates) {
+  TraceContext ctx;
+  const auto records = make_records(ctx, 10'000);
+  FailingSink failing(1);
+  ProbeSink downstream;
+  const View source = View::source_records(ctx, records);
+  Graph graph;
+  graph.add_sink(source.tee(failing), downstream);
+  EXPECT_THROW(graph.run(), std::runtime_error);
+  EXPECT_EQ(downstream.ends, 0);
+}
+
+TEST(ViewGraph, VectorSinkChargedOnceNotPerBranch) {
+  TraceContext ctx;
+  const auto records = make_records(ctx, 5'000);
+  const std::uint64_t bytes = records.size() * sizeof(TraceRecord);
+
+  Governor governor;
+  governor.memory.set_limit(bytes);  // exactly one copy fits
+  VectorSink buffered(&governor.memory);
+  NullSink branch_a;
+  NullSink branch_b;
+
+  const View source = View::source_records(ctx, records);
+  Graph graph;
+  graph.add_sink(source, branch_a);
+  graph.add_sink(source, buffered);
+  graph.add_sink(source, branch_b);
+  // Were the buffer charged per branch this would throw Error{Resource}.
+  EXPECT_NO_THROW(graph.run({.governor = &governor}));
+  EXPECT_EQ(buffered.records().size(), records.size());
+  EXPECT_EQ(governor.memory.used(), bytes);
+  EXPECT_EQ(governor.memory.denials(), 0u);
+}
+
+TEST(ViewGraph, FilterAndWindowMatchNaiveSemantics) {
+  TraceContext ctx;
+  const auto records = make_records(ctx, 9'000);
+  const View source = View::source_records(ctx, records);
+
+  const auto pred = [](const TraceRecord& rec) {
+    return rec.kind == AccessKind::Store;
+  };
+  std::vector<TraceRecord> expected;
+  for (const TraceRecord& rec : records) {
+    if (pred(rec)) expected.push_back(rec);
+  }
+  const std::vector<TraceRecord> filtered = source.filter(pred).collect();
+  EXPECT_EQ(filtered, expected);
+
+  const std::vector<TraceRecord> windowed =
+      source.window(4'000, 4'100).collect();
+  EXPECT_EQ(windowed, std::vector<TraceRecord>(records.begin() + 4'000,
+                                               records.begin() + 4'100));
+  EXPECT_TRUE(source.window(5, 5).collect().empty());
+  EXPECT_TRUE(source.window(9, 3).collect().empty());
+  // Window past the end: whatever exists.
+  EXPECT_EQ(source.window(8'999, 20'000).collect().size(), 1u);
+}
+
+TEST(ViewGraph, SatisfiedWindowStopsTheSourceEarly) {
+  TraceContext ctx;
+  const auto records = make_records(ctx, 50'000);
+  const View source = View::source_records(ctx, records);
+  ProbeSink sink;
+  const GraphResult result = source.window(0, 10).drain(sink);
+  EXPECT_EQ(sink.records.size(), 10u);
+  EXPECT_EQ(sink.ends, 1);
+  // Lazy cut-off: the source pulled one batch, not all 50k records.
+  EXPECT_LT(result.records, records.size());
+}
+
+TEST(ViewGraph, SaveWritesTheStreamAlongside) {
+  TraceContext ctx;
+  const auto records = make_records(ctx, 300);
+  const std::string path =
+      ::testing::TempDir() + "/view_save_roundtrip.out";
+  ViewSaveOptions save_options;
+  save_options.pid = 42;
+  ProbeSink sink;
+  View::source_records(ctx, records)
+      .save(path, save_options)
+      .drain(sink);
+  EXPECT_EQ(sink.records, records);
+
+  // The saved Gleipnir file replays to the identical stream.
+  ViewSourceOptions source_options;
+  const std::vector<TraceRecord> replayed =
+      View::source(ctx, path, source_options).collect();
+  EXPECT_EQ(replayed, records);
+}
+
+TEST(ViewGraph, PipeStageTransformsAndFlushesTail) {
+  TraceContext ctx;
+  const auto records = make_records(ctx, 4'100);  // forces two batches
+
+  // Doubles every record and appends one sentinel at end of stream.
+  class Doubler final : public ViewStage {
+   public:
+    void on_batch(std::span<const TraceRecord> in,
+                  std::vector<TraceRecord>& out) override {
+      for (const TraceRecord& rec : in) {
+        out.push_back(rec);
+        out.push_back(rec);
+      }
+    }
+    void on_end(std::vector<TraceRecord>& out) override {
+      TraceRecord tail;
+      tail.address = 0xdead;
+      out.push_back(tail);
+    }
+  };
+
+  TraceContext& ctx_ref = ctx;
+  const std::vector<TraceRecord> out =
+      View::source_records(ctx_ref, records)
+          .pipe([](TraceContext&) { return std::make_unique<Doubler>(); },
+                "doubler")
+          .collect();
+  ASSERT_EQ(out.size(), 2 * records.size() + 1);
+  EXPECT_EQ(out[0], records[0]);
+  EXPECT_EQ(out[1], records[0]);
+  EXPECT_EQ(out.back().address, 0xdeadu);
+}
+
+TEST(ViewGraph, IndexedContainerFansOutThroughTheBridge) {
+  // A v3 container with a valid frame index reads through the parallel
+  // seekable decode bridged into the pull cursor; fan-out still ingests
+  // once and every consumer sees the full stream.
+  TraceContext ctx;
+  const auto records = make_records(ctx, 2'000);
+  BinaryWriterOptions options;
+  options.version = kTdtbVersionFramed;
+  options.frame_records = 64;  // plenty of frames for the workers
+  const std::vector<char> blob = write_binary_trace(ctx, records, 9, options);
+  const std::string path =
+      ::testing::TempDir() + "/view_bridge_indexed.tdtb";
+  {
+    std::ofstream out(path, std::ios::binary);
+    out.write(blob.data(), static_cast<std::streamsize>(blob.size()));
+    ASSERT_TRUE(out.good());
+  }
+
+  for (const int jobs : {1, 4}) {
+    obs::Registry registry("test");
+    ViewSourceOptions source_options;
+    source_options.jobs = jobs;
+    source_options.clamp_jobs = false;
+    const View source = View::source(ctx, path, source_options);
+    ProbeSink a;
+    ProbeSink b;
+    Graph graph;
+    graph.add_sink(source, a);
+    graph.add_sink(source, b);
+    const GraphResult result = graph.run({.registry = &registry});
+    EXPECT_EQ(result.records, records.size());
+    EXPECT_EQ(result.pid, 9u);
+    EXPECT_EQ(a.records, records);
+    EXPECT_EQ(b.records, records);
+    EXPECT_EQ(a.ends, 1);
+    EXPECT_EQ(b.ends, 1);
+    EXPECT_EQ(registry.counter("read.records").value(), records.size());
+  }
+  std::filesystem::remove(path);
+}
+
+TEST(ViewGraph, InvalidViewThrowsConfigError) {
+  View invalid;
+  EXPECT_FALSE(invalid.valid());
+  EXPECT_THROW(invalid.filter([](const TraceRecord&) { return true; }),
+               Error);
+  NullSink sink;
+  Graph graph;
+  EXPECT_THROW(graph.add_sink(invalid, sink), Error);
+}
+
+TEST(ViewGraph, MissingTraceFileThrowsIoError) {
+  TraceContext ctx;
+  NullSink sink;
+  const View source =
+      View::source(ctx, "/nonexistent/trace.out", ViewSourceOptions{});
+  try {
+    source.drain(sink);
+    FAIL() << "expected Error{Io}";
+  } catch (const Error& e) {
+    EXPECT_EQ(e.kind(), ErrorKind::Io);
+  }
+}
+
+}  // namespace
+}  // namespace tdt::trace
