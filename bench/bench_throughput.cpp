@@ -40,6 +40,10 @@
 #include "trace/sink.hpp"
 #include "trace/stream.hpp"
 #include "trace/writer.hpp"
+#include "service/client.hpp"
+#include "service/daemon.hpp"
+#include "tools/cli_common.hpp"
+#include "tools/entries.hpp"
 #include "tracer/interp.hpp"
 #include "tracer/kernels.hpp"
 #include "trace/source.hpp"
@@ -484,6 +488,157 @@ bool container_rows(obs::Registry& registry, std::uint64_t repeat) {
   return all_identical;
 }
 
+/// The daemon-side sweep op, registered exactly as tdtd registers it:
+/// the dinerosim tool body under the run_tool_body exit contract.
+service::OpHandler sweep_op() {
+  service::OpHandler handler;
+  handler.op = std::string(service::kOpSweep);
+  handler.input_flags = {"trace"};
+  handler.bool_flags = {"per-set", "per-var", "conflicts", "advise",
+                        "modify-read-write", "progress"};
+  handler.run = [](const service::ToolIO& io,
+                   const std::vector<std::string>& args) {
+    std::vector<std::string> storage;
+    storage.reserve(args.size() + 1);
+    storage.emplace_back("dinerosim");
+    storage.insert(storage.end(), args.begin(), args.end());
+    std::vector<char*> argv;
+    argv.reserve(storage.size());
+    for (std::string& s : storage) argv.push_back(s.data());
+    return tools::run_tool_body("dinerosim", io, [&] {
+      return tools::dinerosim_run(io, static_cast<int>(argv.size()),
+                                  argv.data());
+    });
+  };
+  return handler;
+}
+
+/// tdtd service rows: an in-process daemon on a temp socket serving the
+/// real dinerosim sweep body over tdt-rpc/1. Times a 20-point sweep
+/// cold (distinct memo keys, each request genuinely simulates) and
+/// memo-warm (identical repeats), plus the sustained warm request rate
+/// on one connection. The warm replies must carry the cold run's exact
+/// bytes — that identity gates the report like every other row.
+bool service_rows(obs::Registry& registry, const std::string& text,
+                  std::uint64_t repeat) {
+  obs::PhaseTimer phase(&registry, "bench-service");
+  const auto tmp = std::filesystem::temp_directory_path();
+  const std::string trace_path = (tmp / "tdt_bench_service.trace").string();
+  const std::string socket_path = (tmp / "tdt_bench_service.sock").string();
+  {
+    std::ofstream out(trace_path, std::ios::binary);
+    out.write(text.data(), static_cast<std::streamsize>(text.size()));
+  }
+
+  service::DaemonConfig config;
+  config.socket_path = socket_path;
+  config.workers = 2;
+  config.queue_capacity = 16;
+  config.memo_bytes = 64ull << 20;
+  service::Daemon daemon(config);
+  daemon.register_op(sweep_op());
+  daemon.start();
+
+  // 20 configurations: 5 sizes x 4 associativities.
+  std::string sweep;
+  for (const char* size : {"4k", "8k", "16k", "32k", "64k"}) {
+    for (const int assoc : {1, 2, 4, 8}) {
+      if (!sweep.empty()) sweep.push_back(';');
+      sweep += "size=";
+      sweep += size;
+      sweep += ",assoc=" + std::to_string(assoc);
+    }
+  }
+  constexpr int kSweepPoints = 20;
+  const std::vector<std::string> base_args = {"--trace", trace_path,
+                                              "--sweep", sweep};
+
+  bool all_ok = true;
+  bool warm_hit = true;
+  bool warm_identical = true;
+  double cold_us = 0;
+  double warm_us = 0;
+  double warm_req_s = 0;
+  try {
+    service::Session session(socket_path);
+
+    // Cold: each probe varies --max-errors, so it owns a distinct memo
+    // key and genuinely runs the sweep. Best-of, like every other row.
+    double best_cold = 0;
+    for (std::uint64_t r = 0; r < repeat; ++r) {
+      std::vector<std::string> args = base_args;
+      args.emplace_back("--max-errors");
+      args.push_back(std::to_string(1000 + r));
+      const auto start = std::chrono::steady_clock::now();
+      const service::Reply reply = session.call(service::kOpSweep, args);
+      const double secs = std::chrono::duration<double>(
+                              std::chrono::steady_clock::now() - start)
+                              .count();
+      all_ok = all_ok && reply.ok() && reply.exit_code == 0 &&
+               !reply.memo_hit;
+      if (secs > 0) best_cold = std::max(best_cold, 1.0 / secs);
+    }
+    cold_us = best_cold > 0 ? 1e6 / best_cold : 0;
+
+    // Warm: the identical request repeated must be answered from the
+    // memo with the cold run's exact bytes.
+    const service::Reply cold_reply =
+        session.call(service::kOpSweep, base_args);
+    all_ok = all_ok && cold_reply.ok() && cold_reply.exit_code == 0;
+    double best_warm = 0;
+    for (std::uint64_t r = 0; r < repeat; ++r) {
+      const auto start = std::chrono::steady_clock::now();
+      const service::Reply reply =
+          session.call(service::kOpSweep, base_args);
+      const double secs = std::chrono::duration<double>(
+                              std::chrono::steady_clock::now() - start)
+                              .count();
+      warm_hit = warm_hit && reply.memo_hit;
+      warm_identical = warm_identical && reply.out == cold_reply.out &&
+                       reply.err == cold_reply.err &&
+                       reply.exit_code == cold_reply.exit_code;
+      if (secs > 0) best_warm = std::max(best_warm, 1.0 / secs);
+    }
+    warm_us = best_warm > 0 ? 1e6 / best_warm : 0;
+
+    // Sustained memo-warm request rate over one connection.
+    constexpr int kWarmCalls = 200;
+    const auto start = std::chrono::steady_clock::now();
+    for (int i = 0; i < kWarmCalls; ++i) {
+      const service::Reply reply =
+          session.call(service::kOpSweep, base_args);
+      all_ok = all_ok && reply.ok();
+      warm_hit = warm_hit && reply.memo_hit;
+    }
+    const double secs = std::chrono::duration<double>(
+                            std::chrono::steady_clock::now() - start)
+                            .count();
+    warm_req_s = secs > 0 ? kWarmCalls / secs : 0;
+  } catch (const Error& e) {
+    std::fprintf(stderr, "service rows failed: %s\n", e.what());
+    all_ok = false;
+  }
+
+  daemon.request_shutdown();
+  daemon.wait();
+  std::filesystem::remove(trace_path);
+
+  const double cold_req_s = cold_us > 0 ? 1e6 / cold_us : 0;
+  std::printf("service:   sweep(%dpt) %10.0f us cold (%.1f req/s), "
+              "%8.0f us warm, %10.0f req/s memo-warm%s%s\n",
+              kSweepPoints, cold_us, cold_req_s, warm_us, warm_req_s,
+              warm_hit ? "" : "  MEMO MISS",
+              warm_identical ? "" : "  OUTPUT MISMATCH");
+  registry.gauge("service.sweep_points").set(kSweepPoints);
+  registry.gauge("service.cold_sweep_latency_us").set(cold_us);
+  registry.gauge("service.warm_sweep_latency_us").set(warm_us);
+  registry.gauge("service.cold_sweep_requests_per_s").set(cold_req_s);
+  registry.gauge("service.warm_sweep_requests_per_s").set(warm_req_s);
+  registry.gauge("service.memo_warm_hit").set(warm_hit ? 1 : 0);
+  registry.gauge("service.warm_identical").set(warm_identical ? 1 : 0);
+  return all_ok && warm_hit && warm_identical;
+}
+
 int perf_report(int argc, char** argv) {
   FlagParser flags("bench_throughput",
                    "fast-path vs reference perf report (JSON)");
@@ -697,6 +852,7 @@ int perf_report(int argc, char** argv) {
   std::printf("simulate:  %12.0f rec/s\n", sim_rate);
 
   const bool container_identical = container_rows(registry, *repeat);
+  const bool service_ok = service_rows(registry, text, *repeat);
 
   // Emit through the metrics registry: the report file is a standard
   // tdt-metrics/1 snapshot (docs/OBSERVABILITY.md), same schema the CLI
@@ -737,7 +893,8 @@ int perf_report(int argc, char** argv) {
   }
   std::printf("wrote %s\n", out_path->c_str());
   return read_identical && xform_identical && simd_identical &&
-                 source_identical && gzip_identical && container_identical
+                 source_identical && gzip_identical && container_identical &&
+                 service_ok
              ? 0
              : 1;
 }

@@ -1,0 +1,40 @@
+// Public facade: the tdtd service — client sessions, the tdt-rpc/1
+// message vocabulary, and the embeddable daemon.
+//
+// The redesigned tool surface is client/server: `tdtd` keeps the
+// reader -> view-DAG -> sweep/autotune pipeline warm behind a
+// unix-domain socket, and every batch tool gains `--connect <socket>`
+// to route through it with byte-identical stdout and exit codes. This
+// header is everything an embedder needs to speak the same protocol:
+//
+//   Session   — one connection; call(op, args) -> Reply.
+//   Request / Reply / RpcStatus — the typed tdt-rpc/1 messages.
+//   Daemon / DaemonConfig / OpHandler — run the service in-process.
+//   ToolIO / CaptureIO — the stream seam that lets one tool body serve
+//                        both the standalone and the daemon path.
+//   ResultMemo + memo_eligible/memo_key — the reply cache identity
+//                        rules (docs/SERVICE.md).
+//
+// Include this instead of the internal src/service headers; only the
+// names re-exported here (and the nested tdt::service:: names the
+// included headers define) are supported API.
+#pragma once
+
+#include "service/client.hpp"
+#include "service/daemon.hpp"
+#include "service/io.hpp"
+#include "service/memo.hpp"
+#include "service/protocol.hpp"
+
+namespace tdt {
+
+// Supported surface, re-exported at the top level.
+using service::Daemon;
+using service::DaemonConfig;
+using service::Reply;
+using service::Request;
+using service::RpcStatus;
+using service::Session;
+using service::ToolIO;
+
+}  // namespace tdt

@@ -8,6 +8,7 @@
 // tdt::Governor).
 #pragma once
 
+#include "util/crc32.hpp"
 #include "util/diag.hpp"
 #include "util/error.hpp"
 #include "util/fault.hpp"

@@ -1,0 +1,55 @@
+#include "service/client.hpp"
+
+#include <cstdio>
+
+#include "util/error.hpp"
+
+namespace tdt::service {
+
+Session::Session(std::string socket_path, int timeout_ms)
+    : socket_path_(std::move(socket_path)),
+      timeout_ms_(timeout_ms),
+      fd_(connect_unix(socket_path_)),
+      reader_(kMaxMessageBytes) {}
+
+Reply Session::call(std::string_view op, std::vector<std::string> args) {
+  Request request;
+  request.id = next_id_++;
+  request.op = std::string(op);
+  request.args = std::move(args);
+  std::string line = request.encode();
+  line.push_back('\n');
+  if (!write_all(fd_, line)) {
+    throw_io_error("daemon closed the connection while sending a request");
+  }
+  auto reply_line = reader_.read_line(fd_, timeout_ms_);
+  if (!reply_line) {
+    throw_io_error("daemon closed the connection before replying");
+  }
+  Reply reply = Reply::decode(*reply_line);
+  if (reply.id != request.id) {
+    throw Error(ErrorKind::Parse, "tdt-rpc: reply id does not match request");
+  }
+  return reply;
+}
+
+int Session::run_tool(std::string_view op, std::vector<std::string> args,
+                      std::FILE* out, std::FILE* err) {
+  const Reply reply = call(op, std::move(args));
+  if (!reply.ok()) {
+    std::fprintf(err, "%s: daemon error (%.*s): %s\n",
+                 std::string(op).c_str(),
+                 static_cast<int>(status_name(reply.status).size()),
+                 status_name(reply.status).data(), reply.error.c_str());
+    return 2;
+  }
+  if (!reply.out.empty()) {
+    std::fwrite(reply.out.data(), 1, reply.out.size(), out);
+  }
+  if (!reply.err.empty()) {
+    std::fwrite(reply.err.data(), 1, reply.err.size(), err);
+  }
+  return reply.exit_code;
+}
+
+}  // namespace tdt::service

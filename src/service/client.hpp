@@ -1,0 +1,55 @@
+// Client side of tdt-rpc/1: a Session owns one connection to a tdtd
+// socket and turns Request structs into Reply structs. This is the whole
+// machinery behind every tool's --connect flag — the tool builds its
+// argument vector exactly as it would parse locally, ships it through
+// Session::call, and relays the reply's stdout/stderr/exit verbatim.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "service/netio.hpp"
+#include "service/protocol.hpp"
+
+namespace tdt::service {
+
+class Session {
+ public:
+  /// Connects to the daemon socket at `socket_path`; throws Error{Io}
+  /// when no daemon is listening there. `timeout_ms` bounds each
+  /// reply wait (0 = wait forever — sweeps legitimately run minutes).
+  explicit Session(std::string socket_path, int timeout_ms = 0);
+
+  Session(const Session&) = delete;
+  Session& operator=(const Session&) = delete;
+
+  /// Sends `request` (the Session assigns the id) and waits for the
+  /// matching reply. Throws Error{Io} on transport failure and
+  /// Error{Parse} on a malformed reply; a non-Ok reply status is a
+  /// *value*, not an exception — callers decide how to surface it.
+  [[nodiscard]] Reply call(std::string_view op,
+                           std::vector<std::string> args);
+
+  /// Runs a tool op remotely and relays the reply: captured stdout to
+  /// `out`, captured stderr to `err`, returns the remote exit code.
+  /// Non-Ok statuses print the daemon's error to `err` and return 2
+  /// (fatal), matching the tools' exit-code contract.
+  [[nodiscard]] int run_tool(std::string_view op,
+                             std::vector<std::string> args, std::FILE* out,
+                             std::FILE* err);
+
+  [[nodiscard]] const std::string& socket_path() const noexcept {
+    return socket_path_;
+  }
+
+ private:
+  std::string socket_path_;
+  int timeout_ms_;
+  Fd fd_;
+  LineReader reader_;
+  std::uint64_t next_id_ = 1;
+};
+
+}  // namespace tdt::service

@@ -1,0 +1,478 @@
+#include "service/daemon.hpp"
+
+#include <sys/stat.h>
+#include <unistd.h>
+
+#include <chrono>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+
+#include "util/crc32.hpp"
+#include "util/error.hpp"
+#include "util/fault.hpp"
+
+namespace tdt::service {
+
+namespace {
+
+/// Poll slice for accept/read loops: long enough to be cheap, short
+/// enough that shutdown is felt promptly.
+constexpr int kPollMs = 200;
+
+/// True when `arg` spells `--<flag>` or `--<flag>=...`.
+bool names_flag(std::string_view arg, std::string_view flag) {
+  if (arg.size() < flag.size() + 2 || arg.substr(0, 2) != "--") return false;
+  if (arg.substr(2, flag.size()) != flag) return false;
+  const std::string_view rest = arg.substr(2 + flag.size());
+  return rest.empty() || rest.front() == '=';
+}
+
+bool has_flag(const std::vector<std::string>& args, std::string_view flag) {
+  for (const std::string& a : args) {
+    if (names_flag(a, flag)) return true;
+  }
+  return false;
+}
+
+/// Values of `--<flag> value` / `--<flag>=value` occurrences in `args`.
+std::vector<std::string> flag_values(const std::vector<std::string>& args,
+                                     std::string_view flag) {
+  std::vector<std::string> values;
+  for (std::size_t i = 0; i < args.size(); ++i) {
+    if (!names_flag(args[i], flag)) continue;
+    const std::size_t eq = args[i].find('=');
+    if (eq != std::string::npos) {
+      values.push_back(args[i].substr(eq + 1));
+    } else if (i + 1 < args.size()) {
+      values.push_back(args[i + 1]);
+    }
+  }
+  return values;
+}
+
+/// The positional arguments of `args` under the handler's flag grammar:
+/// `--flag value` consumes the value unless the flag is boolean or
+/// carries '='. Mirrors FlagParser::parse so the daemon and the tool
+/// agree on what is an input file.
+std::vector<std::string> positional_args(const OpHandler& handler,
+                                         const std::vector<std::string>& args) {
+  std::vector<std::string> positionals;
+  for (std::size_t i = 0; i < args.size(); ++i) {
+    const std::string& arg = args[i];
+    if (arg == "--") {  // end of flags, exactly as FlagParser reads it
+      for (++i; i < args.size(); ++i) positionals.push_back(args[i]);
+      break;
+    }
+    if (arg.size() < 2 || arg.compare(0, 2, "--") != 0) {
+      positionals.push_back(arg);
+      continue;
+    }
+    if (arg.find('=') != std::string::npos) continue;
+    bool is_bool = false;
+    for (const std::string& flag : handler.bool_flags) {
+      if (names_flag(arg, flag)) {
+        is_bool = true;
+        break;
+      }
+    }
+    if (!is_bool) ++i;  // value-taking flag consumes the next argument
+  }
+  return positionals;
+}
+
+}  // namespace
+
+Daemon::Daemon(DaemonConfig config)
+    : config_(std::move(config)),
+      registry_("tdtd"),
+      memo_(config_.memo_bytes),
+      queue_(config_.queue_capacity) {
+  const char* env = std::getenv("TDT_FAULT_SPEC");
+  env_faults_ = env != nullptr && env[0] != '\0';
+  registry_.gauge("service.workers").set(config_.workers);
+  registry_.gauge("service.queue_capacity")
+      .set(static_cast<double>(queue_.capacity()));
+  registry_.gauge("service.memo_budget_bytes")
+      .set(static_cast<double>(config_.memo_bytes));
+}
+
+Daemon::~Daemon() {
+  request_shutdown();
+  if (started_) wait();
+}
+
+void Daemon::register_op(OpHandler handler) {
+  internal_check(!started_, "register_op after Daemon::start");
+  std::string op = handler.op;
+  handlers_[std::move(op)] = std::move(handler);
+}
+
+void Daemon::start() {
+  internal_check(!started_, "Daemon::start called twice");
+  listener_ = listen_unix(config_.socket_path);
+  started_ = true;
+  for (unsigned i = 0; i < config_.workers; ++i) {
+    workers_.emplace_back([this] { worker_loop(); });
+  }
+  accept_thread_ = std::thread([this] { accept_loop(); });
+}
+
+void Daemon::request_shutdown() noexcept {
+  stop_.store(true, std::memory_order_release);
+}
+
+void Daemon::wait() {
+  if (!started_) return;
+  if (accept_thread_.joinable()) accept_thread_.join();
+  // Connection threads poll stop_ between reads, so they drain within a
+  // poll slice once their in-flight request (if any) completes.
+  {
+    std::lock_guard lock(connections_mu_);
+    for (std::thread& t : connections_) {
+      if (t.joinable()) t.join();
+    }
+    connections_.clear();
+  }
+  // Only now stop the workers: every connection that queued a job has
+  // already received its reply, so nothing waits on a dropped promise.
+  queue_.close();
+  for (std::thread& t : workers_) {
+    if (t.joinable()) t.join();
+  }
+  workers_.clear();
+  listener_.reset();
+  ::unlink(config_.socket_path.c_str());
+  started_ = false;
+}
+
+void Daemon::accept_loop() {
+  while (!shutting_down()) {
+    Fd conn = accept_unix(listener_, kPollMs);
+    if (!conn.valid()) continue;  // poll timeout; re-check the stop flag
+    std::lock_guard lock(connections_mu_);
+    connections_.emplace_back(
+        [this, fd = std::move(conn)]() mutable { connection_loop(std::move(fd)); });
+  }
+}
+
+void Daemon::connection_loop(Fd fd) {
+  LineReader reader(kMaxMessageBytes);
+  while (true) {
+    bool timed_out = false;
+    std::optional<std::string> line;
+    try {
+      line = reader.read_line_poll(fd, kPollMs, &timed_out);
+    } catch (const Error&) {
+      // Oversized line or mid-message EOF: drop the connection; a
+      // client failure must never take the daemon with it.
+      registry_.counter("service.client_disconnects").add();
+      return;
+    }
+    if (timed_out) {
+      if (shutting_down()) return;
+      continue;
+    }
+    if (!line) return;  // clean EOF
+
+    Reply reply;
+    try {
+      reply = serve(Request::decode(*line));
+    } catch (const Error& e) {
+      reply = Reply{};
+      reply.status = RpcStatus::BadRequest;
+      reply.error = e.what();
+    }
+
+    std::string out = reply.encode();
+    out.push_back('\n');
+    bool sent = false;
+    try {
+      sent = write_all(fd, out);
+    } catch (const Error&) {
+      sent = false;
+    }
+    if (!sent) {
+      // The client went away mid-reply (the disconnect bugfix this PR
+      // pins with a test): count it, drop the connection, carry on.
+      registry_.counter("service.client_disconnects").add();
+      return;
+    }
+  }
+}
+
+Reply Daemon::serve(const Request& request) {
+  const auto start = std::chrono::steady_clock::now();
+  registry_.counter("service.requests").add();
+  Reply reply;
+  if (auto builtin = serve_builtin(request)) {
+    reply = std::move(*builtin);
+  } else if (handlers_.find(request.op) == handlers_.end()) {
+    reply = error_reply(request, RpcStatus::UnknownOp,
+                        "unknown op '" + request.op + "'");
+  } else if (shutting_down()) {
+    reply = error_reply(request, RpcStatus::ShuttingDown,
+                        "daemon is shutting down");
+  } else {
+    auto job = std::make_shared<Job>();
+    job->request = request;
+    std::future<Reply> future = job->promise.get_future();
+    if (!queue_.try_push(job)) {
+      registry_.counter("service.admission_rejections").add();
+      reply = error_reply(request, RpcStatus::Busy,
+                          "request queue is full (capacity " +
+                              std::to_string(queue_.capacity()) + ")");
+    } else {
+      refresh_gauges();
+      reply = future.get();
+    }
+  }
+  const auto micros = std::chrono::duration_cast<std::chrono::microseconds>(
+                          std::chrono::steady_clock::now() - start)
+                          .count();
+  registry_.histogram("service.request_latency_us")
+      .record(static_cast<std::uint64_t>(micros));
+  if (reply.ok()) registry_.counter("service.requests_ok").add();
+  return reply;
+}
+
+void Daemon::worker_loop() {
+  while (true) {
+    auto job = queue_.pop();
+    if (!job) return;  // closed and drained
+    Reply reply;
+    try {
+      reply = execute((*job)->request);
+    } catch (const Error& e) {
+      reply = error_reply((*job)->request, RpcStatus::Internal, e.what());
+    } catch (const std::exception& e) {
+      reply = error_reply((*job)->request, RpcStatus::Internal, e.what());
+    }
+    (*job)->promise.set_value(std::move(reply));
+    refresh_gauges();
+  }
+}
+
+Reply Daemon::execute(const Request& request) {
+  const auto handler_it = handlers_.find(request.op);
+  internal_check(handler_it != handlers_.end(), "job for unregistered op");
+  const OpHandler& handler = handler_it->second;
+
+  // Per-request governance: the daemon's defaults apply unless the
+  // client chose its own limits. Appended *before* the memo key is
+  // built, so governed and ungoverned runs never share an entry.
+  std::vector<std::string> args = request.args;
+  if (!config_.request_max_memory.empty() && !has_flag(args, "max-memory")) {
+    args.emplace_back("--max-memory");
+    args.push_back(config_.request_max_memory);
+  }
+  if (!config_.request_deadline.empty() && !has_flag(args, "deadline")) {
+    args.emplace_back("--deadline");
+    args.push_back(config_.request_deadline);
+  }
+
+  // Memo probe: only side-effect-free requests, and only when every
+  // input file is digestible (an unreadable input still runs — the tool
+  // owns that diagnostic — it just cannot be cached).
+  std::string key;
+  if (memo_.budget_bytes() > 0 && memo_eligible(request.op, args)) {
+    std::vector<std::string> inputs;
+    for (const std::string& flag : handler.input_flags) {
+      for (std::string& path : flag_values(args, flag)) {
+        if (!path.empty()) inputs.push_back(std::move(path));
+      }
+    }
+    if (handler.positional_inputs) {
+      for (std::string& path : positional_args(handler, args)) {
+        inputs.push_back(std::move(path));
+      }
+    }
+    std::vector<std::string> digests;
+    bool digestible = true;
+    for (const std::string& path : inputs) {
+      auto digest = digest_file(path);
+      if (!digest) {
+        digestible = false;
+        break;
+      }
+      digests.push_back(path + "=" + *digest);
+    }
+    if (digestible) {
+      key = memo_key(request.op, args, digests);
+      if (auto cached = memo_.lookup(key)) {
+        registry_.counter("service.memo_hits").add();
+        cached->id = request.id;
+        refresh_gauges();
+        return *cached;
+      }
+      registry_.counter("service.memo_misses").add();
+    }
+  }
+
+  Reply reply = run_handler(handler, request, args);
+  if (!key.empty() && reply.ok()) {
+    const auto before = memo_.counters();
+    memo_.insert(key, reply);
+    const auto after = memo_.counters();
+    registry_.counter("service.memo_insertions")
+        .add(after.insertions - before.insertions);
+    registry_.counter("service.memo_evictions")
+        .add(after.evictions - before.evictions);
+  }
+  refresh_gauges();
+  return reply;
+}
+
+Reply Daemon::run_handler(const OpHandler& handler, const Request& request,
+                          const std::vector<std::string>& args) {
+  // Fault-spec requests flip process-global injector state, so they get
+  // the write side of the lock; ordinary requests run concurrently on
+  // the read side. An ambient TDT_FAULT_SPEC makes every tool run arm
+  // the injector, so then everything serializes.
+  const bool exclusive = env_faults_ || has_flag(args, "fault-spec");
+  std::shared_lock<std::shared_mutex> shared;
+  std::unique_lock<std::shared_mutex> unique;
+  if (exclusive) {
+    unique = std::unique_lock(fault_mu_);
+  } else {
+    shared = std::shared_lock(fault_mu_);
+  }
+
+  Reply reply;
+  reply.id = request.id;
+  reply.status = RpcStatus::Ok;
+  {
+    CaptureIO capture;
+    reply.exit_code = handler.run(capture.io(), args);
+    reply.out = capture.out_bytes();
+    reply.err = capture.err_bytes();
+  }
+  if (exclusive) fault::FaultInjector::reset();
+  return reply;
+}
+
+std::optional<Reply> Daemon::serve_builtin(const Request& request) {
+  if (request.op == kOpStatus) return serve_status(request);
+  if (request.op == kOpMetrics) return serve_metrics(request);
+  if (request.op == kOpRegisterTrace) return serve_register_trace(request);
+  if (request.op == kOpShutdown) {
+    // The stop flag is raised before the reply travels back; the
+    // connection loop still writes this reply, then notices the flag on
+    // its next poll slice and winds down.
+    request_shutdown();
+    Reply reply;
+    reply.id = request.id;
+    reply.status = RpcStatus::Ok;
+    reply.out = "tdtd: shutting down\n";
+    return reply;
+  }
+  return std::nullopt;
+}
+
+Reply Daemon::serve_status(const Request& request) {
+  Reply reply;
+  reply.id = request.id;
+  reply.status = RpcStatus::Ok;
+  std::string ops;
+  for (const auto& [op, handler] : handlers_) {
+    if (!ops.empty()) ops.push_back(',');
+    ops += op;
+  }
+  char line[256];
+  std::snprintf(line, sizeof line,
+                "tdtd: workers=%u queue=%zu/%zu memo_entries=%zu "
+                "memo_bytes=%llu\n",
+                config_.workers, queue_.size(), queue_.capacity(),
+                memo_.entries(),
+                static_cast<unsigned long long>(memo_.used_bytes()));
+  reply.out = line;
+  reply.data["ops"] = ops;
+  reply.data["socket"] = config_.socket_path;
+  reply.data["workers"] = std::to_string(config_.workers);
+  reply.data["queue_capacity"] = std::to_string(queue_.capacity());
+  reply.data["memo_entries"] = std::to_string(memo_.entries());
+  reply.data["memo_bytes"] = std::to_string(memo_.used_bytes());
+  return reply;
+}
+
+Reply Daemon::serve_metrics(const Request& request) {
+  refresh_gauges();
+  Reply reply;
+  reply.id = request.id;
+  reply.status = RpcStatus::Ok;
+  reply.out = registry_.metrics_json();
+  if (reply.out.empty() || reply.out.back() != '\n') reply.out.push_back('\n');
+  return reply;
+}
+
+Reply Daemon::serve_register_trace(const Request& request) {
+  if (request.args.empty()) {
+    return error_reply(request, RpcStatus::BadRequest,
+                       "register-trace needs at least one path");
+  }
+  Reply reply;
+  reply.id = request.id;
+  reply.status = RpcStatus::Ok;
+  for (const std::string& path : request.args) {
+    auto digest = digest_file(path);
+    if (!digest) {
+      return error_reply(request, RpcStatus::BadRequest,
+                         "cannot read '" + path + "'");
+    }
+    reply.out += "tdtd: registered " + path + " " + *digest + "\n";
+    reply.data[path] = *digest;
+  }
+  registry_.counter("service.traces_registered").add(request.args.size());
+  return reply;
+}
+
+std::optional<std::string> Daemon::digest_file(const std::string& path) {
+  struct stat st{};
+  if (::stat(path.c_str(), &st) != 0 || !S_ISREG(st.st_mode)) {
+    return std::nullopt;
+  }
+  const auto size = static_cast<std::uint64_t>(st.st_size);
+  const std::int64_t mtime_ns =
+      static_cast<std::int64_t>(st.st_mtim.tv_sec) * 1'000'000'000 +
+      st.st_mtim.tv_nsec;
+  {
+    std::lock_guard lock(digest_mu_);
+    const auto it = digest_cache_.find(path);
+    if (it != digest_cache_.end() && it->second.size == size &&
+        it->second.mtime_ns == mtime_ns) {
+      registry_.counter("service.digest_cache_hits").add();
+      return it->second.digest;
+    }
+  }
+  std::FILE* file = std::fopen(path.c_str(), "rb");
+  if (file == nullptr) return std::nullopt;
+  Crc32 crc;
+  char buf[1u << 16];
+  std::size_t n = 0;
+  while ((n = std::fread(buf, 1, sizeof buf, file)) > 0) {
+    crc.update(buf, n);
+  }
+  const bool bad = std::ferror(file) != 0;
+  std::fclose(file);
+  if (bad) return std::nullopt;
+  char text[48];
+  std::snprintf(text, sizeof text, "crc32:%08x:%llu", crc.value(),
+                static_cast<unsigned long long>(size));
+  std::string digest(text);
+  {
+    std::lock_guard lock(digest_mu_);
+    digest_cache_[path] = DigestEntry{size, mtime_ns, digest};
+  }
+  return digest;
+}
+
+void Daemon::refresh_gauges() {
+  registry_.gauge("service.queue_depth")
+      .set(static_cast<double>(queue_.size()));
+  registry_.gauge("service.memo_bytes")
+      .set(static_cast<double>(memo_.used_bytes()));
+  registry_.gauge("service.memo_entries")
+      .set(static_cast<double>(memo_.entries()));
+}
+
+}  // namespace tdt::service

@@ -1,0 +1,179 @@
+// tdtd — the persistent sweep/autotune service. One Daemon owns:
+//
+//   * a unix-domain listener speaking tdt-rpc/1 (protocol.hpp), with one
+//     connection thread per client and poll-based reads so shutdown
+//     never waits on a parked accept(2)/read(2);
+//   * a request scheduler: tool-backed ops are queued on a BoundedQueue
+//     and executed by a fixed worker pool; try_push gives admission
+//     control (a full queue answers "busy" instead of stalling the
+//     client); quick built-ins (status/metrics/register-trace/shutdown)
+//     run inline on the connection thread;
+//   * a ResultMemo keyed by (op, canonical args, input-file digests) so
+//     repeated identical requests — the interactive sweep-exploration
+//     loop — are answered from memory, byte-identical to the cold run;
+//   * an obs::Registry serving live service.* metrics over the
+//     `metrics` op.
+//
+// The daemon knows nothing about specific tools: the tdtd executable
+// registers one OpHandler per op, closing over the same tool bodies the
+// standalone binaries run. That is the api_redesign contract — a
+// --connect run and a local run execute identical code, differing only
+// in where the bytes land.
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <functional>
+#include <future>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <optional>
+#include <shared_mutex>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "service/io.hpp"
+#include "service/memo.hpp"
+#include "service/netio.hpp"
+#include "service/protocol.hpp"
+#include "util/bounded_queue.hpp"
+#include "util/obs.hpp"
+
+namespace tdt::service {
+
+struct DaemonConfig {
+  std::string socket_path;
+  unsigned workers = 2;           ///< tool-op executor threads
+  std::size_t queue_capacity = 8; ///< pending tool ops before "busy"
+  std::uint64_t memo_bytes = 64u << 20;  ///< 0 disables the result memo
+  /// Default per-request governance, appended to a tool op's argument
+  /// vector when the client did not pass the flag itself (empty = none).
+  std::string request_max_memory;  ///< --max-memory value
+  std::string request_deadline;    ///< --deadline value
+};
+
+/// One registered operation: the tool body plus the memo metadata the
+/// daemon needs (which flags name input files to digest into the key).
+struct OpHandler {
+  std::string op;
+  /// Flag names (without "--") whose values are input files; their
+  /// content digests become part of the memo key, so editing a trace
+  /// in place invalidates cached results for it.
+  std::vector<std::string> input_flags;
+  /// True when every positional argument names an input file (traceinfo,
+  /// tracediff). Positionals are told apart from flag values using
+  /// bool_flags below, mirroring FlagParser: `--flag value` consumes the
+  /// value unless the flag is boolean or spelled `--flag=...`.
+  bool positional_inputs = false;
+  /// The op's boolean flags (no value consumed when spelled without
+  /// '='). Must match the tool's FlagParser registration or a positional
+  /// after a bare bool flag would be mistaken for its value and escape
+  /// the memo key.
+  std::vector<std::string> bool_flags;
+  /// Runs the tool body against `io` with the given argument vector and
+  /// returns its exit code. Must follow the standalone error contract
+  /// (fatal Error -> message on io.err, exit 2) so replies stay
+  /// byte-identical to local runs.
+  std::function<int(const ToolIO& io, const std::vector<std::string>& args)>
+      run;
+};
+
+class Daemon {
+ public:
+  explicit Daemon(DaemonConfig config);
+  ~Daemon();
+
+  Daemon(const Daemon&) = delete;
+  Daemon& operator=(const Daemon&) = delete;
+
+  /// Registers a tool-backed op. Call before start().
+  void register_op(OpHandler handler);
+
+  /// Binds the socket and spawns the worker pool + accept thread.
+  /// Throws Error{Io} when the socket cannot be bound.
+  void start();
+
+  /// Blocks until shutdown (the `shutdown` op or request_shutdown())
+  /// has fully drained: all threads joined, socket file removed.
+  void wait();
+
+  /// Initiates shutdown from any thread; idempotent.
+  void request_shutdown() noexcept;
+
+  [[nodiscard]] bool shutting_down() const noexcept {
+    return stop_.load(std::memory_order_acquire);
+  }
+
+  [[nodiscard]] obs::Registry& registry() noexcept { return registry_; }
+  [[nodiscard]] ResultMemo& memo() noexcept { return memo_; }
+  [[nodiscard]] const DaemonConfig& config() const noexcept { return config_; }
+
+  /// Serves one request exactly as a connection thread would (admission
+  /// control, memo, governance), without a socket. Benchmarks and tests
+  /// use this to measure the scheduler without transport noise.
+  [[nodiscard]] Reply serve(const Request& request);
+
+ private:
+  struct Job {
+    Request request;
+    std::promise<Reply> promise;
+  };
+
+  void accept_loop();
+  void connection_loop(Fd fd);
+  void worker_loop();
+
+  /// Inline built-ins; nullopt when `request.op` is tool-backed (the
+  /// caller then goes through the queue).
+  std::optional<Reply> serve_builtin(const Request& request);
+  Reply serve_status(const Request& request);
+  Reply serve_metrics(const Request& request);
+  Reply serve_register_trace(const Request& request);
+
+  /// Worker path: governance defaults, memo probe, handler run, memo
+  /// insert.
+  Reply execute(const Request& request);
+  Reply run_handler(const OpHandler& handler, const Request& request,
+                    const std::vector<std::string>& args);
+
+  /// Content digest "crc32:<hex8>:<bytes>" for `path`, cached by
+  /// (size, mtime). nullopt when the file cannot be read — the request
+  /// still runs (and fails with the tool's own diagnostics), it just
+  /// bypasses the memo.
+  std::optional<std::string> digest_file(const std::string& path);
+
+  void refresh_gauges();
+
+  DaemonConfig config_;
+  obs::Registry registry_;
+  ResultMemo memo_;
+  std::map<std::string, OpHandler, std::less<>> handlers_;
+
+  Fd listener_;
+  BoundedQueue<std::shared_ptr<Job>> queue_;
+  std::atomic<bool> stop_{false};
+
+  std::thread accept_thread_;
+  std::vector<std::thread> workers_;
+  std::mutex connections_mu_;
+  std::vector<std::thread> connections_;
+  bool started_ = false;
+
+  /// Fault-injection requests flip process-global state
+  /// (fault::FaultInjector), so they run exclusively; everything else
+  /// shares. Armed ambient TDT_FAULT_SPEC forces exclusive for all.
+  std::shared_mutex fault_mu_;
+  bool env_faults_ = false;
+
+  struct DigestEntry {
+    std::uint64_t size = 0;
+    std::int64_t mtime_ns = 0;
+    std::string digest;
+  };
+  std::mutex digest_mu_;
+  std::map<std::string, DigestEntry> digest_cache_;
+};
+
+}  // namespace tdt::service

@@ -1,0 +1,48 @@
+#include "service/io.hpp"
+
+#include <cstdlib>
+#include <iostream>
+
+#include "util/error.hpp"
+
+namespace tdt::service {
+
+ToolIO standard_io() noexcept {
+  ToolIO io;
+  io.out = stdout;
+  io.err = stderr;
+  io.errs = &std::cerr;
+  return io;
+}
+
+CaptureIO::CaptureIO()
+    : out_file_(open_memstream(&out_buf_, &out_len_)),
+      err_file_(open_memstream(&err_buf_, &err_len_)),
+      err_streambuf_(err_file_),
+      err_stream_(&err_streambuf_) {
+  if (out_file_ == nullptr || err_file_ == nullptr) {
+    throw_io_error("open_memstream failed for tool output capture");
+  }
+  io_.out = out_file_;
+  io_.err = err_file_;
+  io_.errs = &err_stream_;
+}
+
+CaptureIO::~CaptureIO() {
+  if (out_file_ != nullptr) std::fclose(out_file_);
+  if (err_file_ != nullptr) std::fclose(err_file_);
+  std::free(out_buf_);
+  std::free(err_buf_);
+}
+
+std::string CaptureIO::out_bytes() {
+  std::fflush(out_file_);
+  return std::string(out_buf_, out_len_);
+}
+
+std::string CaptureIO::err_bytes() {
+  std::fflush(err_file_);
+  return std::string(err_buf_, err_len_);
+}
+
+}  // namespace tdt::service

@@ -1,0 +1,84 @@
+// Tool I/O indirection: the one seam that lets the same tool body run
+// standalone (stdout/stderr) or inside the tdtd daemon (captured into a
+// reply). A ToolIO carries the two stdio streams a tool is allowed to
+// write plus an ostream view of the error stream for components that
+// speak iostreams (DiagEngine echo, Heartbeat).
+//
+// The capture backend (CaptureIO) funnels *all* error-stream writes —
+// fprintf through `err` and ostream inserts through `errs` — into one
+// open_memstream buffer, so interleaving order is preserved exactly as
+// it would be on a real stderr.
+#pragma once
+
+#include <cstdio>
+#include <ostream>
+#include <streambuf>
+#include <string>
+
+namespace tdt::service {
+
+/// The streams a tool body writes. Standalone runs point these at the
+/// process stdout/stderr; daemon-served runs point them at capture
+/// buffers. Tool bodies must write through these and never name stdout /
+/// stderr / std::cerr directly — that is what keeps a --connect run
+/// byte-identical to a standalone one.
+struct ToolIO {
+  std::FILE* out = nullptr;   ///< the tool's report stream
+  std::FILE* err = nullptr;   ///< diagnostics stream
+  std::ostream* errs = nullptr;  ///< ostream view of `err` (same bytes)
+};
+
+/// std::streambuf that forwards straight to a FILE* (unbuffered), so an
+/// ostream and fprintf writes to the same FILE interleave correctly.
+class FileStreambuf final : public std::streambuf {
+ public:
+  explicit FileStreambuf(std::FILE* file) : file_(file) {}
+
+ protected:
+  int overflow(int ch) override {
+    if (ch == traits_type::eof()) return 0;
+    return std::fputc(ch, file_) == EOF ? traits_type::eof() : ch;
+  }
+  std::streamsize xsputn(const char* s, std::streamsize n) override {
+    return static_cast<std::streamsize>(
+        std::fwrite(s, 1, static_cast<std::size_t>(n), file_));
+  }
+
+ private:
+  std::FILE* file_;
+};
+
+/// ToolIO over the real process streams (the local backend).
+[[nodiscard]] ToolIO standard_io() noexcept;
+
+/// ToolIO whose streams land in in-memory buffers (the daemon backend).
+/// take_out()/take_err() flush and hand the captured bytes over; the
+/// destructor releases everything.
+class CaptureIO {
+ public:
+  CaptureIO();
+  ~CaptureIO();
+
+  CaptureIO(const CaptureIO&) = delete;
+  CaptureIO& operator=(const CaptureIO&) = delete;
+
+  [[nodiscard]] ToolIO& io() noexcept { return io_; }
+
+  /// Captured stdout bytes so far (flushes first).
+  [[nodiscard]] std::string out_bytes();
+  /// Captured stderr bytes so far (flushes first).
+  [[nodiscard]] std::string err_bytes();
+
+ private:
+  std::FILE* out_file_ = nullptr;
+  std::FILE* err_file_ = nullptr;
+  char* out_buf_ = nullptr;
+  char* err_buf_ = nullptr;
+  std::size_t out_len_ = 0;
+  std::size_t err_len_ = 0;
+  FileStreambuf err_streambuf_;
+  std::ostream err_stream_;
+  ToolIO io_;
+};
+
+}  // namespace tdt::service

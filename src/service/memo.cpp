@@ -1,0 +1,151 @@
+#include "service/memo.hpp"
+
+namespace tdt::service {
+
+namespace {
+
+/// Fixed accounting overhead per stored entry (key, index node, list
+/// node, Reply bookkeeping) on top of the captured output bytes.
+constexpr std::uint64_t kEntryOverheadBytes = 256;
+
+/// Flags present on every tool (CommonFlags) that tie a run to ambient
+/// state or write files, independent of which op it is.
+const std::vector<std::string> kCommonBlockers = {
+    "fault-spec", "metrics-json", "trace-spans", "progress",
+};
+
+std::vector<std::string> with_common(std::initializer_list<const char*> own) {
+  std::vector<std::string> flags = kCommonBlockers;
+  for (const char* f : own) flags.emplace_back(f);
+  return flags;
+}
+
+/// True when `arg` spells `--<flag>` or `--<flag>=...`.
+bool names_flag(std::string_view arg, std::string_view flag) {
+  if (arg.size() < flag.size() + 2 || arg.substr(0, 2) != "--") return false;
+  if (arg.substr(2, flag.size()) != flag) return false;
+  const std::string_view rest = arg.substr(2 + flag.size());
+  return rest.empty() || rest.front() == '=';
+}
+
+void append_sized(std::string& out, std::string_view piece) {
+  out += std::to_string(piece.size());
+  out.push_back(':');
+  out += piece;
+  out.push_back('\n');
+}
+
+}  // namespace
+
+const std::vector<std::string>& memo_blockers(std::string_view op) {
+  // `--rules` on a sweep writes the transformed trace to its default
+  // output path as a side effect, so it blocks memoization there; the
+  // autotuner's --emit-best/--json write files likewise.
+  static const std::vector<std::string> sweep = with_common(
+      {"rules", "xform-out", "gnuplot", "affinity-report", "compress"});
+  static const std::vector<std::string> autotune =
+      with_common({"emit-best", "json"});
+  static const std::vector<std::string> read_only = with_common({});
+  static const std::vector<std::string> none;
+  if (op == kOpSweep) return sweep;
+  if (op == kOpAutotune) return autotune;
+  if (op == kOpTraceInfo || op == kOpTraceDiff ||
+      op == kOpTransformDigest) {
+    return read_only;
+  }
+  return none;  // metrics/status/... are live state, never memoized
+}
+
+bool memo_eligible(std::string_view op, const std::vector<std::string>& args) {
+  const bool candidate = op == kOpSweep || op == kOpAutotune ||
+                         op == kOpTraceInfo || op == kOpTraceDiff ||
+                         op == kOpTransformDigest;
+  if (!candidate) return false;
+  for (const std::string& arg : args) {
+    for (const std::string& flag : memo_blockers(op)) {
+      if (names_flag(arg, flag)) return false;
+    }
+  }
+  return true;
+}
+
+ResultMemo::ResultMemo(std::uint64_t budget_bytes) : budget_(budget_bytes) {}
+
+std::optional<Reply> ResultMemo::lookup(const std::string& key) {
+  std::lock_guard lock(mu_);
+  if (budget_.limit() == 0) {
+    ++counters_.misses;
+    return std::nullopt;
+  }
+  const auto it = index_.find(key);
+  if (it == index_.end()) {
+    ++counters_.misses;
+    return std::nullopt;
+  }
+  lru_.splice(lru_.begin(), lru_, it->second);
+  ++counters_.hits;
+  Reply reply = it->second->reply;
+  reply.memo_hit = true;
+  return reply;
+}
+
+void ResultMemo::insert(const std::string& key, const Reply& reply) {
+  std::lock_guard lock(mu_);
+  if (budget_.limit() == 0) return;
+  if (const auto it = index_.find(key); it != index_.end()) {
+    budget_.release(it->second->bytes);
+    lru_.erase(it->second);
+    index_.erase(it);
+  }
+  const std::uint64_t bytes = kEntryOverheadBytes + key.size() +
+                              reply.out.size() + reply.err.size() +
+                              reply.error.size();
+  while (!budget_.try_charge(bytes)) {
+    if (lru_.empty()) {
+      ++counters_.rejected;  // larger than the whole budget
+      return;
+    }
+    evict_lru_locked();
+  }
+  lru_.push_front(Entry{key, reply, bytes});
+  lru_.front().reply.memo_hit = false;  // stored replies record the cold run
+  index_[key] = lru_.begin();
+  ++counters_.insertions;
+}
+
+void ResultMemo::evict_lru_locked() {
+  const Entry& victim = lru_.back();
+  budget_.release(victim.bytes);
+  index_.erase(victim.key);
+  lru_.pop_back();
+  ++counters_.evictions;
+}
+
+ResultMemo::Counters ResultMemo::counters() const {
+  std::lock_guard lock(mu_);
+  return counters_;
+}
+
+std::uint64_t ResultMemo::used_bytes() const {
+  std::lock_guard lock(mu_);
+  return budget_.used();
+}
+
+std::size_t ResultMemo::entries() const {
+  std::lock_guard lock(mu_);
+  return lru_.size();
+}
+
+std::string memo_key(std::string_view op, const std::vector<std::string>& args,
+                     const std::vector<std::string>& input_digests) {
+  std::string key;
+  key.reserve(64);
+  append_sized(key, op);
+  key += "args\n";
+  for (const std::string& a : args) append_sized(key, a);
+  key += "inputs\n";
+  for (const std::string& d : input_digests) append_sized(key, d);
+  return key;
+}
+
+}  // namespace tdt::service

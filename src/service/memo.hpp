@@ -1,0 +1,105 @@
+// Result memo for daemon-served requests: a byte-budgeted LRU cache of
+// finished replies keyed by (op, canonical argument vector, digests of
+// every input file the request reads). A repeated identical request is
+// served from memory with byte-identical stdout/stderr and exit code —
+// the daemon's whole point for interactive sweep exploration, where the
+// second look at a design point should cost microseconds, not a re-run.
+//
+// Identity rules (docs/SERVICE.md):
+//  * The key covers input *content*, not just paths: file digests are
+//    crc32 over the bytes, so overwriting a trace in place invalidates
+//    naturally.
+//  * Only side-effect-free requests are memoizable. Ops that write files
+//    (--xform-out, --gnuplot, --metrics-json, ...) must re-run every
+//    time; the daemon consults memo_blockers() before inserting.
+//  * Budget accounting charges the stored reply's stdout+stderr bytes
+//    (plus a fixed per-entry overhead); inserting evicts LRU entries
+//    until the new entry fits. An entry larger than the whole budget is
+//    simply not stored. A zero budget disables the memo.
+//
+// Thread-safe; the scheduler's workers probe and insert concurrently.
+#pragma once
+
+#include <cstdint>
+#include <list>
+#include <mutex>
+#include <optional>
+#include <string>
+#include <string_view>
+#include <unordered_map>
+#include <vector>
+
+#include "service/protocol.hpp"
+#include "util/governor.hpp"
+
+namespace tdt::service {
+
+/// Flags whose presence makes a request non-memoizable for `op`
+/// (they cause file-system side effects or depend on ambient state).
+/// Returns an empty list for ops that are never memoized.
+[[nodiscard]] const std::vector<std::string>& memo_blockers(
+    std::string_view op);
+
+/// True when `op` + `args` may be served from / inserted into the memo.
+[[nodiscard]] bool memo_eligible(std::string_view op,
+                                 const std::vector<std::string>& args);
+
+class ResultMemo {
+ public:
+  /// Monotonic counters, snapshot via counters().
+  struct Counters {
+    std::uint64_t hits = 0;
+    std::uint64_t misses = 0;
+    std::uint64_t insertions = 0;
+    std::uint64_t evictions = 0;
+    std::uint64_t rejected = 0;  ///< entries larger than the whole budget
+  };
+
+  /// `budget_bytes` caps the retained reply bytes; 0 disables the memo
+  /// (every lookup misses, every insert is dropped).
+  explicit ResultMemo(std::uint64_t budget_bytes);
+
+  ResultMemo(const ResultMemo&) = delete;
+  ResultMemo& operator=(const ResultMemo&) = delete;
+
+  /// Cached reply for `key`, refreshing its LRU position.
+  [[nodiscard]] std::optional<Reply> lookup(const std::string& key);
+
+  /// Stores `reply` under `key`, evicting LRU entries to fit. Replaces an
+  /// existing entry for the same key.
+  void insert(const std::string& key, const Reply& reply);
+
+  [[nodiscard]] Counters counters() const;
+  /// Bytes currently charged for retained entries.
+  [[nodiscard]] std::uint64_t used_bytes() const;
+  [[nodiscard]] std::uint64_t budget_bytes() const noexcept {
+    return budget_.limit();
+  }
+  [[nodiscard]] std::size_t entries() const;
+
+ private:
+  struct Entry {
+    std::string key;
+    Reply reply;
+    std::uint64_t bytes = 0;
+  };
+
+  void evict_lru_locked();
+
+  mutable std::mutex mu_;
+  Budget budget_;
+  std::list<Entry> lru_;  ///< front = most recently used
+  std::unordered_map<std::string, std::list<Entry>::iterator> index_;
+  Counters counters_;
+};
+
+/// Builds the memo key for a request: op + each argument length-prefixed
+/// + one "path=crc32:size" line per entry of `input_digests` (already
+/// sorted by the caller or inherently ordered). Deterministic and
+/// collision-resistant enough for a cache (a false hit additionally
+/// requires equal op and argv, which pin the semantics).
+[[nodiscard]] std::string memo_key(
+    std::string_view op, const std::vector<std::string>& args,
+    const std::vector<std::string>& input_digests);
+
+}  // namespace tdt::service

@@ -1,0 +1,169 @@
+#include "service/netio.hpp"
+
+#include <poll.h>
+#include <sys/socket.h>
+#include <sys/un.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <chrono>
+#include <cstring>
+
+#include "util/error.hpp"
+
+namespace tdt::service {
+
+namespace {
+
+[[noreturn]] void io_fail(const std::string& what) {
+  throw_io_error(what + ": " + std::strerror(errno));
+}
+
+sockaddr_un make_addr(const std::string& path) {
+  sockaddr_un addr{};
+  addr.sun_family = AF_UNIX;
+  if (path.size() >= sizeof addr.sun_path) {
+    throw_io_error("socket path too long: " + path);
+  }
+  std::memcpy(addr.sun_path, path.c_str(), path.size() + 1);
+  return addr;
+}
+
+/// poll() one fd for readability. Returns false on timeout.
+bool wait_readable(int fd, int timeout_ms) {
+  pollfd pfd{};
+  pfd.fd = fd;
+  pfd.events = POLLIN;
+  while (true) {
+    const int rc = ::poll(&pfd, 1, timeout_ms);
+    if (rc > 0) return true;
+    if (rc == 0) return false;
+    if (errno == EINTR) continue;
+    io_fail("poll");
+  }
+}
+
+}  // namespace
+
+void Fd::reset() noexcept {
+  if (fd_ >= 0) ::close(fd_);
+  fd_ = -1;
+}
+
+Fd listen_unix(const std::string& path) {
+  const sockaddr_un addr = make_addr(path);
+  Fd fd(::socket(AF_UNIX, SOCK_STREAM, 0));
+  if (!fd.valid()) io_fail("socket");
+  ::unlink(path.c_str());  // a stale file from a dead daemon blocks bind
+  if (::bind(fd.get(), reinterpret_cast<const sockaddr*>(&addr),
+             sizeof addr) != 0) {
+    io_fail("bind " + path);
+  }
+  if (::listen(fd.get(), 64) != 0) io_fail("listen " + path);
+  return fd;
+}
+
+Fd connect_unix(const std::string& path) {
+  const sockaddr_un addr = make_addr(path);
+  Fd fd(::socket(AF_UNIX, SOCK_STREAM, 0));
+  if (!fd.valid()) io_fail("socket");
+  if (::connect(fd.get(), reinterpret_cast<const sockaddr*>(&addr),
+                sizeof addr) != 0) {
+    io_fail("connect " + path + " (is tdtd running?)");
+  }
+  return fd;
+}
+
+Fd accept_unix(const Fd& listener, int timeout_ms) {
+  if (!wait_readable(listener.get(), timeout_ms)) return Fd();
+  const int fd = ::accept(listener.get(), nullptr, nullptr);
+  if (fd >= 0) return Fd(fd);
+  // The connection may have vanished between poll and accept; treat the
+  // transient family like a timeout and let the caller loop.
+  if (errno == EINTR || errno == EAGAIN || errno == EWOULDBLOCK ||
+      errno == ECONNABORTED) {
+    return Fd();
+  }
+  io_fail("accept");
+}
+
+bool write_all(const Fd& fd, std::string_view bytes) {
+  std::size_t done = 0;
+  while (done < bytes.size()) {
+    // MSG_NOSIGNAL: a peer that vanished mid-reply must surface as EPIPE
+    // (returned as false), never as a process-killing SIGPIPE — the
+    // daemon cannot assume its host ignores the signal.
+    const ssize_t n = ::send(fd.get(), bytes.data() + done,
+                             bytes.size() - done, MSG_NOSIGNAL);
+    if (n > 0) {
+      done += static_cast<std::size_t>(n);
+      continue;
+    }
+    if (n < 0 && errno == EINTR) continue;
+    if (n < 0 && (errno == EPIPE || errno == ECONNRESET)) return false;
+    io_fail("write");
+  }
+  return true;
+}
+
+std::optional<std::string> LineReader::read_line_poll(const Fd& fd,
+                                                      int timeout_ms,
+                                                      bool* timed_out) {
+  *timed_out = false;
+  while (true) {
+    if (const std::size_t nl = buffer_.find('\n');
+        nl != std::string::npos) {
+      std::string line = buffer_.substr(0, nl);
+      buffer_.erase(0, nl + 1);
+      return line;
+    }
+    if (buffer_.size() > max_line_bytes_) {
+      throw_io_error("rpc line exceeds " + std::to_string(max_line_bytes_) +
+                     " bytes");
+    }
+    if (!wait_readable(fd.get(), timeout_ms)) {
+      *timed_out = true;
+      return std::nullopt;
+    }
+    char chunk[4096];
+    const ssize_t n = ::read(fd.get(), chunk, sizeof chunk);
+    if (n > 0) {
+      buffer_.append(chunk, static_cast<std::size_t>(n));
+      continue;
+    }
+    if (n == 0) {
+      if (buffer_.empty()) return std::nullopt;  // clean EOF
+      throw_io_error("connection closed mid-message");
+    }
+    if (errno == EINTR) continue;
+    if (errno == ECONNRESET) {
+      if (buffer_.empty()) return std::nullopt;  // peer gone between lines
+      throw_io_error("connection reset mid-message");
+    }
+    io_fail("read");
+  }
+}
+
+std::optional<std::string> LineReader::read_line(const Fd& fd,
+                                                 int total_timeout_ms) {
+  const auto start = std::chrono::steady_clock::now();
+  while (true) {
+    int slice_ms = 200;
+    if (total_timeout_ms > 0) {
+      const auto elapsed =
+          std::chrono::duration_cast<std::chrono::milliseconds>(
+              std::chrono::steady_clock::now() - start)
+              .count();
+      const auto left = total_timeout_ms - static_cast<int>(elapsed);
+      if (left <= 0) {
+        throw_io_error("timed out waiting for rpc reply");
+      }
+      slice_ms = left < slice_ms ? left : slice_ms;
+    }
+    bool timed_out = false;
+    auto line = read_line_poll(fd, slice_ms, &timed_out);
+    if (!timed_out) return line;
+  }
+}
+
+}  // namespace tdt::service

@@ -1,0 +1,87 @@
+// Unix-domain socket plumbing for tdt-rpc/1: listen/connect helpers and
+// newline framing with poll()-based timeouts. Everything here is
+// blocking-with-timeout rather than plain blocking so the daemon can
+// notice its shutdown flag between polls instead of parking forever in
+// accept(2)/read(2) — tdtd stops cleanly without signal gymnastics.
+#pragma once
+
+#include <optional>
+#include <string>
+#include <string_view>
+
+namespace tdt::service {
+
+/// Owning fd wrapper (close on destruction, move-only).
+class Fd {
+ public:
+  Fd() = default;
+  explicit Fd(int fd) noexcept : fd_(fd) {}
+  ~Fd() { reset(); }
+
+  Fd(Fd&& other) noexcept : fd_(other.fd_) { other.fd_ = -1; }
+  Fd& operator=(Fd&& other) noexcept {
+    if (this != &other) {
+      reset();
+      fd_ = other.fd_;
+      other.fd_ = -1;
+    }
+    return *this;
+  }
+  Fd(const Fd&) = delete;
+  Fd& operator=(const Fd&) = delete;
+
+  [[nodiscard]] int get() const noexcept { return fd_; }
+  [[nodiscard]] bool valid() const noexcept { return fd_ >= 0; }
+  void reset() noexcept;
+
+ private:
+  int fd_ = -1;
+};
+
+/// Binds + listens on a unix-domain stream socket at `path`, unlinking a
+/// stale socket file first. Throws Error{Io} on failure (including a
+/// path longer than sockaddr_un allows).
+[[nodiscard]] Fd listen_unix(const std::string& path);
+
+/// Connects to the daemon socket at `path`. Throws Error{Io} on failure
+/// with a message that names the path (the common case is "daemon not
+/// running").
+[[nodiscard]] Fd connect_unix(const std::string& path);
+
+/// accept(2) with a poll timeout. Returns an invalid Fd on timeout;
+/// throws Error{Io} on a real accept failure (EINTR and the transient
+/// errno family are treated as timeouts).
+[[nodiscard]] Fd accept_unix(const Fd& listener, int timeout_ms);
+
+/// Writes all of `bytes`. Returns false when the peer is gone (EPIPE /
+/// ECONNRESET — a per-request event, never fatal to the caller); throws
+/// Error{Io} on any other failure.
+[[nodiscard]] bool write_all(const Fd& fd, std::string_view bytes);
+
+/// Buffered newline-framed reader over one socket.
+class LineReader {
+ public:
+  explicit LineReader(std::size_t max_line_bytes)
+      : max_line_bytes_(max_line_bytes) {}
+
+  /// Next '\n'-terminated line (terminator stripped). nullopt on clean
+  /// EOF with no buffered partial line. Throws Error{Io} on read errors,
+  /// on EOF mid-line, on a line exceeding the cap, and after
+  /// `total_timeout_ms` with no complete line (0 = no timeout).
+  [[nodiscard]] std::optional<std::string> read_line(const Fd& fd,
+                                                     int total_timeout_ms);
+
+  /// Like read_line, but a timeout returns nullopt-with-flag instead of
+  /// throwing: sets `*timed_out` and keeps partial input buffered so the
+  /// caller can poll a stop flag and come back. Used by daemon
+  /// connection threads.
+  [[nodiscard]] std::optional<std::string> read_line_poll(const Fd& fd,
+                                                          int timeout_ms,
+                                                          bool* timed_out);
+
+ private:
+  std::size_t max_line_bytes_;
+  std::string buffer_;
+};
+
+}  // namespace tdt::service

@@ -1,0 +1,139 @@
+#include "service/protocol.hpp"
+
+#include "service/wire.hpp"
+#include "util/error.hpp"
+
+namespace tdt::service {
+
+namespace {
+
+[[noreturn]] void bad_message(const char* what) {
+  throw Error(ErrorKind::Parse, std::string("tdt-rpc: ") + what);
+}
+
+JsonValue parse_message(std::string_view line) {
+  if (line.size() > kMaxMessageBytes) bad_message("message too large");
+  JsonValue root = JsonValue::parse(line);
+  const JsonValue* rpc = root.find("rpc");
+  if (rpc == nullptr || rpc->as_string() != kRpcVersion) {
+    bad_message("missing or unsupported \"rpc\" version");
+  }
+  return root;
+}
+
+}  // namespace
+
+std::string_view status_name(RpcStatus status) noexcept {
+  switch (status) {
+    case RpcStatus::Ok: return "ok";
+    case RpcStatus::BadRequest: return "bad-request";
+    case RpcStatus::UnknownOp: return "unknown-op";
+    case RpcStatus::Busy: return "busy";
+    case RpcStatus::ShuttingDown: return "shutting-down";
+    case RpcStatus::Internal: return "internal";
+  }
+  return "internal";
+}
+
+std::optional<RpcStatus> parse_status(std::string_view text) noexcept {
+  for (const RpcStatus s :
+       {RpcStatus::Ok, RpcStatus::BadRequest, RpcStatus::UnknownOp,
+        RpcStatus::Busy, RpcStatus::ShuttingDown, RpcStatus::Internal}) {
+    if (text == status_name(s)) return s;
+  }
+  return std::nullopt;
+}
+
+std::string Request::encode() const {
+  JsonValue root = JsonValue::object();
+  root.set("rpc", JsonValue::string(std::string(kRpcVersion)));
+  root.set("id", JsonValue::number(id));
+  root.set("op", JsonValue::string(op));
+  JsonValue arg_list = JsonValue::array();
+  for (const std::string& a : args) arg_list.push(JsonValue::string(a));
+  root.set("args", std::move(arg_list));
+  return root.encode();
+}
+
+Request Request::decode(std::string_view line) {
+  const JsonValue root = parse_message(line);
+  Request request;
+  const JsonValue* id = root.find("id");
+  if (id == nullptr) bad_message("request missing \"id\"");
+  request.id = id->as_uint();
+  const JsonValue* op = root.find("op");
+  if (op == nullptr) bad_message("request missing \"op\"");
+  request.op = op->as_string();
+  if (request.op.empty()) bad_message("empty \"op\"");
+  if (const JsonValue* args = root.find("args")) {
+    for (const JsonValue& a : args->as_array()) {
+      request.args.push_back(a.as_string());
+    }
+  }
+  return request;
+}
+
+std::string Reply::encode() const {
+  JsonValue root = JsonValue::object();
+  root.set("rpc", JsonValue::string(std::string(kRpcVersion)));
+  root.set("id", JsonValue::number(id));
+  root.set("status", JsonValue::string(std::string(status_name(status))));
+  if (status == RpcStatus::Ok) {
+    root.set("exit", JsonValue::number(static_cast<double>(exit_code)));
+    root.set("stdout", JsonValue::string(out));
+    root.set("stderr", JsonValue::string(err));
+    if (memo_hit) root.set("memo", JsonValue::boolean(true));
+  } else {
+    root.set("error", JsonValue::string(error));
+  }
+  if (!data.empty()) {
+    JsonValue extra = JsonValue::object();
+    for (const auto& [key, value] : data) {
+      extra.set(key, JsonValue::string(value));
+    }
+    root.set("data", std::move(extra));
+  }
+  return root.encode();
+}
+
+Reply Reply::decode(std::string_view line) {
+  const JsonValue root = parse_message(line);
+  Reply reply;
+  const JsonValue* id = root.find("id");
+  if (id == nullptr) bad_message("reply missing \"id\"");
+  reply.id = id->as_uint();
+  const JsonValue* status = root.find("status");
+  if (status == nullptr) bad_message("reply missing \"status\"");
+  const auto parsed = parse_status(status->as_string());
+  if (!parsed) bad_message("unknown reply status");
+  reply.status = *parsed;
+  if (reply.status == RpcStatus::Ok) {
+    const JsonValue* exit = root.find("exit");
+    if (exit == nullptr) bad_message("ok reply missing \"exit\"");
+    reply.exit_code = static_cast<int>(exit->as_number());
+    if (const JsonValue* out = root.find("stdout")) reply.out = out->as_string();
+    if (const JsonValue* err = root.find("stderr")) reply.err = err->as_string();
+    if (const JsonValue* memo = root.find("memo")) {
+      reply.memo_hit = memo->as_bool();
+    }
+  } else if (const JsonValue* error = root.find("error")) {
+    reply.error = error->as_string();
+  }
+  if (const JsonValue* data = root.find("data")) {
+    for (const auto& [key, value] : data->as_object()) {
+      reply.data[key] = value.as_string();
+    }
+  }
+  return reply;
+}
+
+Reply error_reply(const Request& request, RpcStatus status,
+                  std::string message) {
+  Reply reply;
+  reply.id = request.id;
+  reply.status = status;
+  reply.error = std::move(message);
+  return reply;
+}
+
+}  // namespace tdt::service

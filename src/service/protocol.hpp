@@ -1,0 +1,110 @@
+// tdt-rpc/1 — the message vocabulary spoken between tdtd and its
+// clients (docs/SERVICE.md). One JSON object per newline-terminated
+// line in each direction over a unix-domain stream socket.
+//
+// Request:
+//   {"rpc":"tdt-rpc/1","id":N,"op":"<op>","args":[...]}
+// Reply:
+//   {"rpc":"tdt-rpc/1","id":N,"status":"ok","exit":E,
+//    "stdout":"...","stderr":"...","memo":B,"data":{...}}
+//   {"rpc":"tdt-rpc/1","id":N,"status":"busy","error":"..."}
+//
+// Ops: register-trace, sweep, autotune, trace-info, trace-diff,
+// transform-digest, metrics, status, shutdown. The four tool-backed ops
+// (sweep/autotune/trace-info/trace-diff) carry the client tool's full
+// argument vector in `args`; the daemon runs the identical tool body and
+// returns its captured stdout/stderr and exit code, which is what makes
+// `dinerosim --connect ...` byte-identical to a standalone run.
+//
+// These structs and the status enum are part of the public facade
+// (include/tdt/service.hpp): embedders writing their own clients build
+// against exactly what the bundled tools use.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <optional>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace tdt::service {
+
+/// Protocol revision tag carried in every message.
+inline constexpr std::string_view kRpcVersion = "tdt-rpc/1";
+
+/// Hard cap on one serialized message line (requests are tiny; replies
+/// carry captured tool output). A peer exceeding it is a protocol error,
+/// not a reason to grow buffers without bound.
+inline constexpr std::size_t kMaxMessageBytes = 64u << 20;
+
+/// Reply status / error classification. `Ok` replies carry the request's
+/// result; every other value is a structured failure with the reason in
+/// Reply::error.
+enum class RpcStatus : std::uint8_t {
+  Ok,           ///< request ran; exit/stdout/stderr are the result
+  BadRequest,   ///< malformed message or invalid arguments
+  UnknownOp,    ///< op name not registered on this daemon
+  Busy,         ///< admission control rejected the request (queue full)
+  ShuttingDown, ///< daemon is draining; no new work accepted
+  Internal,     ///< daemon-side failure outside the tool contract
+};
+
+/// Canonical wire spelling of a status ("ok", "bad-request", ...).
+[[nodiscard]] std::string_view status_name(RpcStatus status) noexcept;
+
+/// Inverse of status_name(); nullopt for unknown spellings.
+[[nodiscard]] std::optional<RpcStatus> parse_status(
+    std::string_view text) noexcept;
+
+/// One client request.
+struct Request {
+  std::uint64_t id = 0;           ///< echoed verbatim in the reply
+  std::string op;                 ///< operation name (see file comment)
+  std::vector<std::string> args;  ///< tool argument vector (tool ops)
+
+  /// Serializes to one line (no trailing newline).
+  [[nodiscard]] std::string encode() const;
+
+  /// Parses a request line. Throws Error{Parse} on malformed input,
+  /// including a missing/mismatched "rpc" version tag.
+  static Request decode(std::string_view line);
+};
+
+/// One daemon reply.
+struct Reply {
+  std::uint64_t id = 0;
+  RpcStatus status = RpcStatus::Ok;
+  int exit_code = 0;       ///< the tool's exit code (status Ok)
+  std::string out;         ///< captured tool stdout bytes (status Ok)
+  std::string err;         ///< captured tool stderr bytes (status Ok)
+  std::string error;       ///< human-readable reason (status != Ok)
+  bool memo_hit = false;   ///< served from the result memo
+  std::map<std::string, std::string> data;  ///< op-specific fields
+
+  [[nodiscard]] bool ok() const noexcept { return status == RpcStatus::Ok; }
+
+  /// Serializes to one line (no trailing newline).
+  [[nodiscard]] std::string encode() const;
+
+  /// Parses a reply line. Throws Error{Parse} on malformed input.
+  static Reply decode(std::string_view line);
+};
+
+/// Builds the error reply for `request` (echoes its id).
+[[nodiscard]] Reply error_reply(const Request& request, RpcStatus status,
+                                std::string message);
+
+// Operation names (shared by daemon dispatch, clients, and the tools'
+// --connect routing).
+inline constexpr std::string_view kOpRegisterTrace = "register-trace";
+inline constexpr std::string_view kOpSweep = "sweep";
+inline constexpr std::string_view kOpAutotune = "autotune";
+inline constexpr std::string_view kOpTraceInfo = "trace-info";
+inline constexpr std::string_view kOpTraceDiff = "trace-diff";
+inline constexpr std::string_view kOpTransformDigest = "transform-digest";
+inline constexpr std::string_view kOpMetrics = "metrics";
+inline constexpr std::string_view kOpStatus = "status";
+inline constexpr std::string_view kOpShutdown = "shutdown";
+
+}  // namespace tdt::service

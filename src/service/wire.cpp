@@ -1,0 +1,377 @@
+#include "service/wire.hpp"
+
+#include <cmath>
+#include <cstdio>
+#include <cstdlib>
+
+#include "util/error.hpp"
+
+namespace tdt::service {
+
+namespace {
+
+[[noreturn]] void bad(const char* what) {
+  throw Error(ErrorKind::Parse, std::string("json: ") + what);
+}
+
+}  // namespace
+
+JsonValue JsonValue::boolean(bool b) {
+  JsonValue v;
+  v.kind_ = Kind::Bool;
+  v.bool_ = b;
+  return v;
+}
+
+JsonValue JsonValue::number(double d) {
+  JsonValue v;
+  v.kind_ = Kind::Number;
+  v.number_ = d;
+  return v;
+}
+
+JsonValue JsonValue::number(std::uint64_t u) {
+  return number(static_cast<double>(u));
+}
+
+JsonValue JsonValue::string(std::string s) {
+  JsonValue v;
+  v.kind_ = Kind::String;
+  v.string_ = std::move(s);
+  return v;
+}
+
+JsonValue JsonValue::array() {
+  JsonValue v;
+  v.kind_ = Kind::Array;
+  return v;
+}
+
+JsonValue JsonValue::object() {
+  JsonValue v;
+  v.kind_ = Kind::Object;
+  return v;
+}
+
+bool JsonValue::as_bool() const {
+  if (kind_ != Kind::Bool) bad("expected a boolean");
+  return bool_;
+}
+
+double JsonValue::as_number() const {
+  if (kind_ != Kind::Number) bad("expected a number");
+  return number_;
+}
+
+std::uint64_t JsonValue::as_uint() const {
+  const double d = as_number();
+  if (!(d >= 0) || d != std::floor(d)) bad("expected a non-negative integer");
+  return static_cast<std::uint64_t>(d);
+}
+
+const std::string& JsonValue::as_string() const {
+  if (kind_ != Kind::String) bad("expected a string");
+  return string_;
+}
+
+const std::vector<JsonValue>& JsonValue::as_array() const {
+  if (kind_ != Kind::Array) bad("expected an array");
+  return array_;
+}
+
+const std::map<std::string, JsonValue>& JsonValue::as_object() const {
+  if (kind_ != Kind::Object) bad("expected an object");
+  return object_;
+}
+
+const JsonValue* JsonValue::find(std::string_view key) const noexcept {
+  if (kind_ != Kind::Object) return nullptr;
+  const auto it = object_.find(std::string(key));
+  return it == object_.end() ? nullptr : &it->second;
+}
+
+void JsonValue::push(JsonValue v) {
+  internal_check(kind_ == Kind::Array, "json push on non-array");
+  array_.push_back(std::move(v));
+}
+
+void JsonValue::set(std::string key, JsonValue v) {
+  internal_check(kind_ == Kind::Object, "json set on non-object");
+  object_[std::move(key)] = std::move(v);
+}
+
+void append_json_string(std::string& out, std::string_view s) {
+  out.push_back('"');
+  for (const char c : s) {
+    const auto b = static_cast<unsigned char>(c);
+    switch (c) {
+      case '"': out += "\\\""; break;
+      case '\\': out += "\\\\"; break;
+      case '\n': out += "\\n"; break;
+      case '\r': out += "\\r"; break;
+      case '\t': out += "\\t"; break;
+      default:
+        if (b < 0x20 || b >= 0x7F) {
+          char buf[8];
+          std::snprintf(buf, sizeof buf, "\\u%04x", b);
+          out += buf;
+        } else {
+          out.push_back(c);
+        }
+    }
+  }
+  out.push_back('"');
+}
+
+namespace {
+
+void encode_value(std::string& out, const JsonValue& v);
+
+void encode_number(std::string& out, double d) {
+  // Integers (the common case: ids, exit codes, counters) encode without
+  // a fractional part so the wire stays stable and compact.
+  if (d == std::floor(d) && std::abs(d) < 9.007199254740992e15) {
+    char buf[32];
+    std::snprintf(buf, sizeof buf, "%.0f", d);
+    out += buf;
+  } else {
+    char buf[32];
+    std::snprintf(buf, sizeof buf, "%.17g", d);
+    out += buf;
+  }
+}
+
+void encode_value(std::string& out, const JsonValue& v) {
+  switch (v.kind()) {
+    case JsonValue::Kind::Null: out += "null"; break;
+    case JsonValue::Kind::Bool: out += v.as_bool() ? "true" : "false"; break;
+    case JsonValue::Kind::Number: encode_number(out, v.as_number()); break;
+    case JsonValue::Kind::String: append_json_string(out, v.as_string()); break;
+    case JsonValue::Kind::Array: {
+      out.push_back('[');
+      bool first = true;
+      for (const JsonValue& e : v.as_array()) {
+        if (!first) out.push_back(',');
+        first = false;
+        encode_value(out, e);
+      }
+      out.push_back(']');
+      break;
+    }
+    case JsonValue::Kind::Object: {
+      out.push_back('{');
+      bool first = true;
+      for (const auto& [key, e] : v.as_object()) {
+        if (!first) out.push_back(',');
+        first = false;
+        append_json_string(out, key);
+        out.push_back(':');
+        encode_value(out, e);
+      }
+      out.push_back('}');
+      break;
+    }
+  }
+}
+
+/// Recursive-descent parser over a bounded view.
+class Parser {
+ public:
+  explicit Parser(std::string_view text) : text_(text) {}
+
+  JsonValue run() {
+    JsonValue v = value();
+    skip_ws();
+    if (pos_ != text_.size()) bad("trailing bytes after value");
+    return v;
+  }
+
+ private:
+  void skip_ws() {
+    while (pos_ < text_.size()) {
+      const char c = text_[pos_];
+      if (c != ' ' && c != '\t' && c != '\n' && c != '\r') break;
+      ++pos_;
+    }
+  }
+
+  char peek() {
+    if (pos_ >= text_.size()) bad("unexpected end of input");
+    return text_[pos_];
+  }
+
+  void expect(char c) {
+    if (peek() != c) bad("unexpected character");
+    ++pos_;
+  }
+
+  bool literal(std::string_view word) {
+    if (text_.substr(pos_, word.size()) != word) return false;
+    pos_ += word.size();
+    return true;
+  }
+
+  JsonValue value() {
+    skip_ws();
+    // Depth cap: a hostile client must not be able to overflow the
+    // daemon's stack with "[[[[...".
+    if (++depth_ > 64) bad("nesting too deep");
+    JsonValue v;
+    switch (peek()) {
+      case '{': v = object(); break;
+      case '[': v = array(); break;
+      case '"': v = JsonValue::string(string()); break;
+      case 't':
+        if (!literal("true")) bad("bad literal");
+        v = JsonValue::boolean(true);
+        break;
+      case 'f':
+        if (!literal("false")) bad("bad literal");
+        v = JsonValue::boolean(false);
+        break;
+      case 'n':
+        if (!literal("null")) bad("bad literal");
+        break;
+      default: v = number(); break;
+    }
+    --depth_;
+    return v;
+  }
+
+  JsonValue object() {
+    expect('{');
+    JsonValue v = JsonValue::object();
+    skip_ws();
+    if (peek() == '}') {
+      ++pos_;
+      return v;
+    }
+    while (true) {
+      skip_ws();
+      std::string key = string();
+      skip_ws();
+      expect(':');
+      v.set(std::move(key), value());
+      skip_ws();
+      if (peek() == ',') {
+        ++pos_;
+        continue;
+      }
+      expect('}');
+      return v;
+    }
+  }
+
+  JsonValue array() {
+    expect('[');
+    JsonValue v = JsonValue::array();
+    skip_ws();
+    if (peek() == ']') {
+      ++pos_;
+      return v;
+    }
+    while (true) {
+      v.push(value());
+      skip_ws();
+      if (peek() == ',') {
+        ++pos_;
+        continue;
+      }
+      expect(']');
+      return v;
+    }
+  }
+
+  std::string string() {
+    expect('"');
+    std::string out;
+    while (true) {
+      if (pos_ >= text_.size()) bad("unterminated string");
+      const char c = text_[pos_++];
+      if (c == '"') return out;
+      if (c != '\\') {
+        out.push_back(c);
+        continue;
+      }
+      if (pos_ >= text_.size()) bad("unterminated escape");
+      const char e = text_[pos_++];
+      switch (e) {
+        case '"': out.push_back('"'); break;
+        case '\\': out.push_back('\\'); break;
+        case '/': out.push_back('/'); break;
+        case 'b': out.push_back('\b'); break;
+        case 'f': out.push_back('\f'); break;
+        case 'n': out.push_back('\n'); break;
+        case 'r': out.push_back('\r'); break;
+        case 't': out.push_back('\t'); break;
+        case 'u': {
+          if (pos_ + 4 > text_.size()) bad("short \\u escape");
+          unsigned code = 0;
+          for (int i = 0; i < 4; ++i) {
+            const char h = text_[pos_++];
+            code <<= 4;
+            if (h >= '0' && h <= '9') code |= static_cast<unsigned>(h - '0');
+            else if (h >= 'a' && h <= 'f') code |= static_cast<unsigned>(h - 'a' + 10);
+            else if (h >= 'A' && h <= 'F') code |= static_cast<unsigned>(h - 'A' + 10);
+            else bad("bad \\u escape");
+          }
+          if (code < 0x100) {
+            // Byte-transparent contract: low escapes are raw bytes.
+            out.push_back(static_cast<char>(code));
+          } else {
+            // Encode as UTF-8 (the encoder never emits these, but a
+            // foreign client may).
+            if (code < 0x800) {
+              out.push_back(static_cast<char>(0xC0 | (code >> 6)));
+              out.push_back(static_cast<char>(0x80 | (code & 0x3F)));
+            } else {
+              out.push_back(static_cast<char>(0xE0 | (code >> 12)));
+              out.push_back(static_cast<char>(0x80 | ((code >> 6) & 0x3F)));
+              out.push_back(static_cast<char>(0x80 | (code & 0x3F)));
+            }
+          }
+          break;
+        }
+        default: bad("unknown escape");
+      }
+    }
+  }
+
+  JsonValue number() {
+    const std::size_t start = pos_;
+    if (peek() == '-') ++pos_;
+    while (pos_ < text_.size()) {
+      const char c = text_[pos_];
+      if ((c >= '0' && c <= '9') || c == '.' || c == 'e' || c == 'E' ||
+          c == '+' || c == '-') {
+        ++pos_;
+      } else {
+        break;
+      }
+    }
+    if (pos_ == start) bad("expected a value");
+    const std::string token(text_.substr(start, pos_ - start));
+    char* end = nullptr;
+    const double d = std::strtod(token.c_str(), &end);
+    if (end != token.c_str() + token.size()) bad("bad number");
+    return JsonValue::number(d);
+  }
+
+  std::string_view text_;
+  std::size_t pos_ = 0;
+  int depth_ = 0;
+};
+
+}  // namespace
+
+std::string JsonValue::encode() const {
+  std::string out;
+  encode_value(out, *this);
+  return out;
+}
+
+JsonValue JsonValue::parse(std::string_view text) {
+  return Parser(text).run();
+}
+
+}  // namespace tdt::service

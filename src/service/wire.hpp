@@ -1,0 +1,77 @@
+// Minimal JSON value model + parser/serializer for the tdt-rpc/1 wire
+// protocol (docs/SERVICE.md). Scope is deliberately narrow: one message
+// per line, objects/arrays/strings/numbers/bools/null, no comments, no
+// trailing commas. Strings are byte-transparent — every byte outside
+// printable ASCII is escaped as \u00XX on encode and any \uXXXX below
+// 0x100 decodes back to the raw byte — so captured tool stdout travels
+// through a reply without an encoding ambiguity.
+//
+// This is the *wire* layer only; the typed Request/Reply structs and
+// their field contracts live in service/protocol.hpp.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace tdt::service {
+
+/// One parsed JSON value. Object keys are kept name-ordered so encode()
+/// output is deterministic for a given value.
+class JsonValue {
+ public:
+  enum class Kind : std::uint8_t { Null, Bool, Number, String, Array, Object };
+
+  JsonValue() = default;
+
+  static JsonValue null() { return JsonValue(); }
+  static JsonValue boolean(bool b);
+  static JsonValue number(double v);
+  static JsonValue number(std::uint64_t v);
+  static JsonValue string(std::string s);
+  static JsonValue array();
+  static JsonValue object();
+
+  [[nodiscard]] Kind kind() const noexcept { return kind_; }
+  [[nodiscard]] bool is_null() const noexcept { return kind_ == Kind::Null; }
+
+  // Typed accessors; each throws Error{Parse} when the value holds a
+  // different kind — decode code paths surface one uniform failure mode.
+  [[nodiscard]] bool as_bool() const;
+  [[nodiscard]] double as_number() const;
+  [[nodiscard]] std::uint64_t as_uint() const;
+  [[nodiscard]] const std::string& as_string() const;
+  [[nodiscard]] const std::vector<JsonValue>& as_array() const;
+  [[nodiscard]] const std::map<std::string, JsonValue>& as_object() const;
+
+  /// Object member or nullptr (also nullptr on non-objects).
+  [[nodiscard]] const JsonValue* find(std::string_view key) const noexcept;
+
+  // Builders (Array / Object kinds only).
+  void push(JsonValue v);
+  void set(std::string key, JsonValue v);
+
+  /// Serializes on one line (no newline appended).
+  [[nodiscard]] std::string encode() const;
+
+  /// Parses exactly one JSON value spanning all of `text` (surrounding
+  /// whitespace allowed). Throws Error{Parse} on anything malformed.
+  static JsonValue parse(std::string_view text);
+
+ private:
+  Kind kind_ = Kind::Null;
+  bool bool_ = false;
+  double number_ = 0;
+  std::string string_;
+  std::vector<JsonValue> array_;
+  std::map<std::string, JsonValue> object_;
+};
+
+/// Appends `s` to `out` as a quoted JSON string with byte-transparent
+/// escaping (see file comment).
+void append_json_string(std::string& out, std::string_view s);
+
+}  // namespace tdt::service

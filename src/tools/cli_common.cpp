@@ -6,7 +6,9 @@
 #include <cstdio>
 #include <cstdlib>
 #include <iostream>
+#include <string_view>
 
+#include "service/client.hpp"
 #include "util/error.hpp"
 #include "util/fault.hpp"
 
@@ -66,13 +68,22 @@ CommonFlags CommonFlags::add(FlagParser& flags, CommonFlagChoices choices) {
       "write a Chrome trace_event span file (Perfetto-loadable) here");
   f.progress = flags.add_bool(
       "progress", false, "periodic one-line records/s heartbeat on stderr");
+  if (choices.connect) {
+    // Registered for --help only: run_tool strips --connect from argv
+    // before the body's parser ever sees it (the value below is never
+    // read).
+    flags.add_string(
+        "connect", "",
+        "route this run through the tdtd daemon at this unix socket "
+        "(tdt-rpc/1); output and exit code match a local run");
+  }
   return f;
 }
 
-DiagEngine CommonFlags::make_diags() const {
+DiagEngine CommonFlags::make_diags(std::ostream* echo) const {
   internal_check(on_error != nullptr, "tool did not register --on-error");
   DiagEngine diags(parse_error_policy(*on_error), *max_errors);
-  diags.set_echo(&std::cerr);
+  diags.set_echo(echo);
   return diags;
 }
 
@@ -122,7 +133,6 @@ CacheFlags CacheFlags::add(FlagParser& flags) {
   f.assoc =
       flags.add_uint("assoc", 1, "ways per set (0 = fully associative)");
   f.repl = flags.add_string("repl", "lru", "lru|fifo|random|rr");
-  flags.add_deprecated_alias("replacement", "repl");
   f.prefetch = flags.add_string(
       "prefetch", "none", "L1 prefetch: none|always|miss|tagged");
   f.l2_size = flags.add_uint(
@@ -242,32 +252,80 @@ double parse_seconds(const std::string& text, const char* flag) {
   return value;
 }
 
-int run_tool(const char* tool, const std::function<int()>& body) {
-  // A downstream reader that goes away (dinerosim | head) must surface
-  // as a write error we can report, not a silent SIGPIPE death.
-  std::signal(SIGPIPE, SIG_IGN);
+int run_tool_body(const char* tool, const service::ToolIO& io,
+                  const std::function<int()>& body) {
   int code;
   try {
     code = body();
   } catch (const Error& e) {
-    std::fprintf(stderr, "%s: %s\n", tool, e.what());
+    std::fprintf(io.err, "%s: %s\n", tool, e.what());
     return 2;
   }
-  // The report goes to stdout through buffered stdio; an EPIPE/ENOSPC on
+  // The report goes to io.out through buffered stdio; an EPIPE/ENOSPC on
   // the final flush is the last chance to notice the output never
-  // arrived (docs/robustness.md: exit 2, diagnostic on stderr).
-  if (std::fflush(stdout) != 0 || std::ferror(stdout) != 0) {
-    std::fprintf(stderr, "%s: error: writing to stdout failed (broken pipe "
+  // arrived (docs/robustness.md: exit 2, diagnostic on the error
+  // stream).
+  if (std::fflush(io.out) != 0 || std::ferror(io.out) != 0) {
+    std::fprintf(io.err, "%s: error: writing to stdout failed (broken pipe "
                          "or disk full?); output is incomplete\n", tool);
     return 2;
   }
   return code;
 }
 
-void print_warnings(const char* tool,
+int run_tool(const ToolSpec& spec, int argc, char** argv) {
+  // A downstream reader that goes away (dinerosim | head) must surface
+  // as a write error we can report, not a silent SIGPIPE death.
+  std::signal(SIGPIPE, SIG_IGN);
+  const service::ToolIO io = service::standard_io();
+
+  // Backend selection happens before the body's own parser runs: strip
+  // --connect out of argv and keep everything else, in order, both as a
+  // local argv and as the argument vector a daemon request would carry.
+  std::string socket;
+  std::vector<char*> local_argv{argv[0]};
+  std::vector<std::string> forward;
+  bool verbatim = false;  // a bare "--" ends flag interpretation
+  for (int i = 1; i < argc; ++i) {
+    const std::string_view arg = argv[i];
+    if (arg == "--") verbatim = true;
+    if (!verbatim && arg == "--connect") {
+      if (i + 1 >= argc) {
+        std::fprintf(io.err, "%s: --connect needs a socket path\n", spec.name);
+        return 2;
+      }
+      socket = argv[++i];
+      continue;
+    }
+    if (!verbatim && arg.rfind("--connect=", 0) == 0) {
+      socket = std::string(arg.substr(10));
+      continue;
+    }
+    local_argv.push_back(argv[i]);
+    forward.emplace_back(arg);
+  }
+
+  if (socket.empty()) {
+    const int local_argc = static_cast<int>(local_argv.size());
+    return run_tool_body(spec.name, io, [&] {
+      return spec.run(io, local_argc, local_argv.data());
+    });
+  }
+  if (spec.rpc_op == nullptr) {
+    std::fprintf(io.err, "%s: this tool runs locally; --connect is not "
+                         "supported\n", spec.name);
+    return 2;
+  }
+  return run_tool_body(spec.name, io, [&] {
+    service::Session session(socket);
+    return session.run_tool(spec.rpc_op, std::move(forward), io.out, io.err);
+  });
+}
+
+void print_warnings(std::FILE* err, const char* tool,
                     const std::vector<std::string>& warnings) {
   for (const std::string& w : warnings) {
-    std::fprintf(stderr, "%s: warning: %s\n", tool, w.c_str());
+    std::fprintf(err, "%s: warning: %s\n", tool, w.c_str());
   }
 }
 

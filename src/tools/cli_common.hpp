@@ -1,11 +1,17 @@
-// Shared CLI option handling for the five tools (gtracer, dinerosim,
-// tracediff, traceinfo, tdtune). One place registers the common flag
-// block — --on-error/--max-errors, --metrics-json/--trace-spans/
+// Shared CLI option handling for the tools (gtracer, dinerosim,
+// tracediff, traceinfo, tdtune, tdtd). One place registers the common
+// flag block — --on-error/--max-errors, --metrics-json/--trace-spans/
 // --progress, --jobs — so spellings, help text, and defaults cannot
 // drift between tools, and one place implements the exit-code contract
 // (docs/robustness.md): 0 = clean, 1 = completed with recovered errors,
-// 2 = fatal/usage. Deprecated spellings live here too, as hidden aliases
-// that warn once on stderr (see the table in docs/RULES.md).
+// 2 = fatal/usage.
+//
+// Since the tdtd redesign, every tool body is a ToolSpec: a function of
+// (ToolIO, argc, argv) that never names stdout/stderr directly. run_tool
+// picks the backend — the local pipeline against the process streams,
+// or, when --connect <socket> is given, a daemon Session that runs the
+// identical body server-side and relays captured bytes — so both paths
+// are byte-identical by construction (docs/SERVICE.md).
 #pragma once
 
 #include <functional>
@@ -17,6 +23,7 @@
 #include "cache/page_map.hpp"
 #include "cache/sim.hpp"
 #include "cache/sweep.hpp"
+#include "service/io.hpp"
 #include "trace/binary.hpp"
 #include "trace/source.hpp"
 #include "util/diag.hpp"
@@ -33,6 +40,7 @@ struct CommonFlagChoices {
   bool governor = false;     ///< --max-memory / --deadline (streaming tools)
   bool ingest = false;       ///< --ingest (trace-reading tools)
   bool compress = false;     ///< --compress (TDTB-writing tools)
+  bool connect = true;       ///< --connect (daemon-routable tools)
 };
 
 /// The shared flag block. Register with add() before FlagParser::parse;
@@ -55,8 +63,9 @@ struct CommonFlags {
   static CommonFlags add(FlagParser& flags, CommonFlagChoices choices = {});
 
   /// Builds the DiagEngine from --on-error/--max-errors with its echo on
-  /// stderr. Only valid when error_policy flags were registered.
-  [[nodiscard]] DiagEngine make_diags() const;
+  /// `echo` (the tool's error stream, io.errs). Only valid when
+  /// error_policy flags were registered.
+  [[nodiscard]] DiagEngine make_diags(std::ostream* echo) const;
 
   /// Arms the process-global fault injector: TDT_FAULT_SPEC first, then
   /// --fault-spec on top when given (the flag wins). Call once, before
@@ -105,8 +114,9 @@ struct CommonFlags {
 /// The cache-geometry flag block shared by dinerosim and tdtune: L1
 /// geometry and policies, optional L2, virtual->physical page mapping,
 /// and the Modify-handling switch. Canonical spelling for the
-/// replacement policy is --repl (matching the sweep-spec key); the old
-/// --replacement spelling stays as a deprecated alias.
+/// replacement policy is --repl (matching the sweep-spec key); its old
+/// deprecated alias has been removed after the one-release warning
+/// window (docs/RULES.md).
 struct CacheFlags {
   const std::uint64_t* size = nullptr;
   const std::uint64_t* block = nullptr;
@@ -163,16 +173,38 @@ struct CacheFlags {
   return degraded && diag_exit < 1 ? 1 : diag_exit;
 }
 
-/// Runs `body` under the shared fatal-error contract: a tdt::Error
-/// escaping it prints "<tool>: <message>" on stderr and yields exit code
-/// 2. SIGPIPE is ignored for the duration so a downstream `head -1`
-/// surfaces as a stream error instead of killing the process; after the
-/// body, stdout is flushed and checked — a failed write (EPIPE, ENOSPC)
-/// prints a diagnostic on stderr and yields exit code 2. Every tool's
-/// main() is one line of this.
-int run_tool(const char* tool, const std::function<int()>& body);
+/// One tool's identity and body, the unit run_tool dispatches on.
+struct ToolSpec {
+  const char* name;    ///< diagnostic prefix ("dinerosim")
+  /// The tdt-rpc/1 op a daemon serves this tool as; nullptr for tools
+  /// that only run locally (gtracer writes trace files where it runs).
+  const char* rpc_op;
+  /// The tool body. All output must go through `io` — that is the whole
+  /// contract that makes a daemon-served run byte-identical.
+  int (*run)(const service::ToolIO& io, int argc, char** argv);
+};
 
-/// Prints each warning as "<tool>: warning: <text>" on stderr.
-void print_warnings(const char* tool, const std::vector<std::string>& warnings);
+/// Runs `body` against `io` under the shared fatal-error contract: a
+/// tdt::Error escaping it prints "<tool>: <message>" on io.err and
+/// yields exit code 2; after the body, io.out is flushed and checked —
+/// a failed write (EPIPE, ENOSPC) prints a diagnostic on io.err and
+/// yields exit code 2. Both run_tool backends and the tdtd worker wrap
+/// tool bodies in exactly this, so failure output cannot drift between
+/// them.
+int run_tool_body(const char* tool, const service::ToolIO& io,
+                  const std::function<int()>& body);
+
+/// Every tool's main() is one line of this. Picks the backend: without
+/// --connect, runs spec.run locally against the process streams
+/// (SIGPIPE ignored so a downstream `head -1` surfaces as a stream
+/// error instead of killing the process). With --connect <socket>, the
+/// flag is stripped from argv, the remaining arguments travel to the
+/// tdtd daemon as op spec.rpc_op, and the reply's captured
+/// stdout/stderr bytes and exit code are relayed verbatim.
+int run_tool(const ToolSpec& spec, int argc, char** argv);
+
+/// Prints each warning as "<tool>: warning: <text>" on `err`.
+void print_warnings(std::FILE* err, const char* tool,
+                    const std::vector<std::string>& warnings);
 
 }  // namespace tdt::tools

@@ -18,13 +18,16 @@
 
 #include "tdt/tdt.hpp"
 #include "tools/cli_common.hpp"
+#include "tools/entries.hpp"
 #include "tools/obs_support.hpp"
 
-int main(int argc, char** argv) {
+int tdt::tools::dinerosim_run(const tdt::service::ToolIO& io, int argc,
+                              char** argv) {
   using namespace tdt;
-  return tools::run_tool("dinerosim", [&]() -> int {
+  {
     FlagParser flags("dinerosim",
                      "trace-driven cache simulator with transformations");
+    flags.set_streams(io.out, io.err);
     const auto* trace_path = flags.add_string("trace", "", "input trace file");
     const auto* rules_path =
         flags.add_string("rules", "", "transformation rule file (optional)");
@@ -79,7 +82,7 @@ int main(int argc, char** argv) {
     if (common.wants_registry()) registry_store.emplace("dinerosim");
     obs::Registry* registry = registry_store ? &*registry_store : nullptr;
 
-    DiagEngine diags = common.make_diags();
+    DiagEngine diags = common.make_diags(io.errs);
 
     trace::TraceContext ctx;
 
@@ -91,7 +94,7 @@ int main(int argc, char** argv) {
       obs::PhaseTimer phase(registry, "parse-rules");
       rules = core::parse_rules_file(*rules_path);
       for (const core::RuleDiagnostic& d : rules->validate()) {
-        std::fprintf(stderr, "dinerosim: rule %s: %s\n",
+        std::fprintf(io.err, "dinerosim: rule %s: %s\n",
                      d.severity == core::RuleDiagnostic::Severity::Error
                          ? "error"
                          : "warning",
@@ -136,7 +139,7 @@ int main(int argc, char** argv) {
           cache::parse_sweep_spec(*sweep, cache_flags.l1(),
                                   cache_flags.extra_levels(), &warnings),
           cache_flags.sim_options(), cache_flags.page_spec());
-      tools::print_warnings("dinerosim", warnings);
+      tools::print_warnings(io.err, "dinerosim", warnings);
       fanout.emplace(sweep_engine->sinks(), pipeline_options);
       terminal = &*fanout;
     } else if (*cores != 0) {
@@ -218,7 +221,7 @@ int main(int argc, char** argv) {
     std::optional<obs::Heartbeat> heartbeat;
     std::optional<trace::ProgressSink> progress_sink;
     if (*common.progress) {
-      heartbeat.emplace("dinerosim", std::cerr);
+      heartbeat.emplace("dinerosim", *io.errs);
       progress_sink.emplace(*head, *heartbeat);
       head = &*progress_sink;
     }
@@ -249,7 +252,7 @@ int main(int argc, char** argv) {
           graph.run({.registry = registry, .governor = &governor});
     }
     if (stream_result.deadline_hit) {
-      std::fprintf(stderr,
+      std::fprintf(io.err,
                    "dinerosim: deadline expired after %llu records; "
                    "results below cover that prefix only\n",
                    static_cast<unsigned long long>(stream_result.records));
@@ -257,7 +260,7 @@ int main(int argc, char** argv) {
 
     if (transformer.has_value()) {
       const core::TransformStats& tstats = transformer->stats();
-      std::fprintf(stderr,
+      std::fprintf(io.err,
                    "dinerosim: transformed %llu records (%llu rewritten, "
                    "%llu inserted, %llu passthrough, %llu skipped)\n",
                    static_cast<unsigned long long>(tstats.records_out),
@@ -273,7 +276,7 @@ int main(int argc, char** argv) {
         throw_io_error("cannot open '" + *affinity_report + "' for writing");
       }
       out << affinity->report();
-      std::fprintf(stderr,
+      std::fprintf(io.err,
                    "dinerosim: wrote affinity report for %llu records to %s\n",
                    static_cast<unsigned long long>(affinity->records_seen()),
                    affinity_report->c_str());
@@ -281,26 +284,26 @@ int main(int argc, char** argv) {
 
     obs::PhaseTimer report_phase(registry, "report");
     if (sweep_engine.has_value()) {
-      std::fputs(sweep_engine->report().c_str(), stdout);
+      std::fputs(sweep_engine->report().c_str(), io.out);
     } else if (msim.has_value()) {
-      std::fputs(msim->report().c_str(), stdout);
+      std::fputs(msim->report().c_str(), io.out);
     } else {
-      std::fputs(hierarchy->report().c_str(), stdout);
+      std::fputs(hierarchy->report().c_str(), io.out);
       if (*per_set) {
         std::fputs(analysis::set_table(sets, sets.variables()).c_str(),
-                   stdout);
+                   io.out);
       }
-      if (*per_var) std::fputs(vars.report().c_str(), stdout);
-      if (*conflicts) std::fputs(conf.report().c_str(), stdout);
+      if (*per_var) std::fputs(vars.report().c_str(), io.out);
+      if (*conflicts) std::fputs(conf.report().c_str(), io.out);
       if (*advise) {
         std::fputs(
             analysis::render(analysis::advise(vars, conf, {}, &adj)).c_str(),
-            stdout);
+            io.out);
       }
       if (!gnuplot->empty()) {
         analysis::write_gnuplot(sets, sets.variables(), *gnuplot,
                                 config.describe());
-        std::fprintf(stderr, "dinerosim: wrote %s.dat and %s.gp\n",
+        std::fprintf(io.err, "dinerosim: wrote %s.dat and %s.gp\n",
                      gnuplot->c_str(), gnuplot->c_str());
       }
     }
@@ -310,7 +313,7 @@ int main(int argc, char** argv) {
     bool degraded = stream_result.deadline_hit;
     if (fanout.has_value()) {
       const trace::PipelineCounters& fc = fanout->counters();
-      std::fputs(fc.summary().c_str(), stderr);
+      std::fputs(fc.summary().c_str(), io.err);
       if (fc.recovered_workers > 0) {
         // Stalls are the watchdog's catch (P001); throws and premature
         // exits surface at join (P002). Either way the replay restored
@@ -335,7 +338,7 @@ int main(int argc, char** argv) {
     }
     const std::string summary = diags.summary();
     if (!summary.empty()) {
-      std::fprintf(stderr, "dinerosim: %s", summary.c_str());
+      std::fprintf(io.err, "dinerosim: %s", summary.c_str());
     }
 
     if (registry != nullptr) {
@@ -356,5 +359,12 @@ int main(int argc, char** argv) {
       common.write(*registry);
     }
     return tools::finalize_exit(diags.exit_code(), degraded);
-  });
+  }
 }
+
+#ifndef TDT_TOOL_LIBRARY
+int main(int argc, char** argv) {
+  return tdt::tools::run_tool(
+      {"dinerosim", "sweep", tdt::tools::dinerosim_run}, argc, argv);
+}
+#endif

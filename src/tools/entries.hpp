@@ -1,0 +1,20 @@
+// The tool bodies as linkable entry points. Each tool's .cpp defines
+// its <name>_run function and, unless TDT_TOOL_LIBRARY is defined, a
+// main() that wraps it in run_tool. Compiling the same sources a second
+// time with TDT_TOOL_LIBRARY produces tdt_tools_lib: the identical
+// bodies without mains, which is what tdtd, the service tests, and the
+// benchmarks link — a daemon-served request and a standalone run
+// execute the same machine code by construction.
+#pragma once
+
+#include "tdt/service.hpp"
+
+namespace tdt::tools {
+
+int gtracer_run(const service::ToolIO& io, int argc, char** argv);
+int dinerosim_run(const service::ToolIO& io, int argc, char** argv);
+int tracediff_run(const service::ToolIO& io, int argc, char** argv);
+int traceinfo_run(const service::ToolIO& io, int argc, char** argv);
+int tdtune_run(const service::ToolIO& io, int argc, char** argv);
+
+}  // namespace tdt::tools

@@ -10,6 +10,7 @@
 
 #include "tdt/tdt.hpp"
 #include "tools/cli_common.hpp"
+#include "tools/entries.hpp"
 #include "tools/obs_support.hpp"
 
 namespace {
@@ -45,9 +46,11 @@ tracer::Program make_kernel(layout::TypeTable& types, const std::string& name,
 
 }  // namespace
 
-int main(int argc, char** argv) {
-  return tools::run_tool("gtracer", [&]() -> int {
+int tdt::tools::gtracer_run(const tdt::service::ToolIO& io, int argc,
+                            char** argv) {
+  {
     FlagParser flags("gtracer", "synthetic Gleipnir trace generator");
+    flags.set_streams(io.out, io.err);
     const auto* kernel = flags.add_string("kernel", "t1_soa", "kernel name");
     const auto* source = flags.add_string(
         "source", "", "parse a C-subset kernel source file instead of "
@@ -56,7 +59,6 @@ int main(int argc, char** argv) {
     const auto* sets = flags.add_int("sets", 16, "t3_strided: target set count");
     const auto* line =
         flags.add_int("cache-line", 32, "t3_strided: cache line bytes");
-    flags.add_deprecated_alias("cacheline", "cache-line");
     const auto* shuffle =
         flags.add_bool("shuffle", false, "linked_list: randomize node order");
     const auto* seed = flags.add_uint("seed", 42, "linked_list shuffle seed");
@@ -67,7 +69,7 @@ int main(int argc, char** argv) {
         "din", false, "write classic DineroIV din format (drops metadata)");
     const auto* pid = flags.add_uint("pid", 4242, "PID for the START marker");
     const tools::CommonFlags common = tools::CommonFlags::add(
-        flags, {.error_policy = false, .compress = true});
+        flags, {.error_policy = false, .compress = true, .connect = false});
     if (!flags.parse(argc, argv)) return 0;
     if (common.wants_compress() && !*binary) {
       throw_config_error("--compress requires --binary (TDTB output)");
@@ -79,7 +81,7 @@ int main(int argc, char** argv) {
     obs::Registry* registry = registry_store ? &*registry_store : nullptr;
 
     std::optional<obs::Heartbeat> heartbeat;
-    if (*common.progress) heartbeat.emplace("gtracer", std::cerr);
+    if (*common.progress) heartbeat.emplace("gtracer", *io.errs);
 
     layout::TypeTable types;
     trace::TraceContext ctx;
@@ -99,7 +101,7 @@ int main(int argc, char** argv) {
     obs::PhaseTimer write_phase(registry, "write");
     if (*din) {
       if (out->empty() || *out == "-") {
-        std::fputs(trace::write_din_string(records).c_str(), stdout);
+        std::fputs(trace::write_din_string(records).c_str(), io.out);
       } else {
         trace::write_din_file(records, *out);
       }
@@ -115,7 +117,7 @@ int main(int argc, char** argv) {
       if (!f) throw_io_error("writing '" + *out + "' failed");
     } else if (out->empty() || *out == "-") {
       std::fputs(trace::write_trace_string(ctx, records, *pid).c_str(),
-                 stdout);
+                 io.out);
     } else if (out->size() > 3 &&
                out->compare(out->size() - 3, 3, ".gz") == 0) {
       // A .gz output name gzips the text trace, matching the transparent
@@ -137,7 +139,7 @@ int main(int argc, char** argv) {
       trace::write_trace_file(ctx, records, *out, *pid);
     }
     write_phase.stop();
-    std::fprintf(stderr, "gtracer: %zu records from %s'%s'\n",
+    std::fprintf(io.err, "gtracer: %zu records from %s'%s'\n",
                  records.size(), source->empty() ? "kernel " : "source ",
                  source->empty() ? kernel->c_str() : source->c_str());
     if (registry != nullptr) {
@@ -145,5 +147,12 @@ int main(int argc, char** argv) {
       common.write(*registry);
     }
     return 0;
-  });
+  }
 }
+
+#ifndef TDT_TOOL_LIBRARY
+int main(int argc, char** argv) {
+  return tdt::tools::run_tool({"gtracer", nullptr, tdt::tools::gtracer_run},
+                              argc, argv);
+}
+#endif

@@ -19,15 +19,18 @@
 
 #include "tdt/tdt.hpp"
 #include "tools/cli_common.hpp"
+#include "tools/entries.hpp"
 #include "tools/obs_support.hpp"
 
-int main(int argc, char** argv) {
+int tdt::tools::tdtune_run(const tdt::service::ToolIO& io, int argc,
+                           char** argv) {
   using namespace tdt;
-  return tools::run_tool("tdtune", [&]() -> int {
+  {
     FlagParser flags("tdtune",
                      "trace-driven layout autotuner: profiles field affinity "
                      "and heat, generates candidate transformation rules, "
                      "and ranks them by simulated cache misses");
+    flags.set_streams(io.out, io.err);
     const auto* trace_flag =
         flags.add_string("trace", "", "input trace file (or pass it "
                                       "positionally)");
@@ -87,7 +90,7 @@ int main(int argc, char** argv) {
     if (common.wants_registry()) registry_store.emplace("tdtune");
     obs::Registry* registry = registry_store ? &*registry_store : nullptr;
 
-    DiagEngine diags = common.make_diags();
+    DiagEngine diags = common.make_diags(io.errs);
 
     // One pass, two consumers of the same ingest: the records land in
     // memory (evaluation replays them once per candidate) while the
@@ -104,7 +107,7 @@ int main(int argc, char** argv) {
     std::optional<obs::Heartbeat> heartbeat;
     std::optional<trace::ProgressSink> progress_sink;
     if (*common.progress) {
-      heartbeat.emplace("tdtune", std::cerr);
+      heartbeat.emplace("tdtune", *io.errs);
       progress_sink.emplace(*record_head, *heartbeat);
       record_head = &*progress_sink;
     }
@@ -124,17 +127,17 @@ int main(int argc, char** argv) {
           graph.run({.registry = registry, .governor = &governor});
     }
     if (stream_result.deadline_hit) {
-      std::fprintf(stderr,
+      std::fprintf(io.err,
                    "tdtune: deadline expired after %llu records; tuning on "
                    "that prefix only\n",
                    static_cast<unsigned long long>(stream_result.records));
     }
     const std::vector<trace::TraceRecord> records = recorder.take();
 
-    std::fprintf(stderr, "tdtune: profiled %llu records, %zu structures\n",
+    std::fprintf(io.err, "tdtune: profiled %llu records, %zu structures\n",
                  static_cast<unsigned long long>(affinity.records_seen()),
                  affinity.structs().size());
-    if (*report) std::fputs(affinity.report().c_str(), stdout);
+    if (*report) std::fputs(affinity.report().c_str(), io.out);
 
     analysis::AutotuneOptions options;
     options.min_accesses = *min_accesses;
@@ -149,7 +152,7 @@ int main(int argc, char** argv) {
       obs::PhaseTimer phase(registry, "generate");
       candidates = analysis::generate_candidates(affinity.structs(), options);
     }
-    std::fprintf(stderr, "tdtune: generated %zu candidate(s)\n",
+    std::fprintf(io.err, "tdtune: generated %zu candidate(s)\n",
                  candidates.size());
     if (registry != nullptr) {
       registry->counter("autotune.structs").add(affinity.structs().size());
@@ -167,7 +170,7 @@ int main(int argc, char** argv) {
       std::vector<std::string> warnings;
       points = cache::parse_sweep_spec(*sweep, cache.l1(),
                                        cache.extra_levels(), &warnings);
-      tools::print_warnings("tdtune", warnings);
+      tools::print_warnings(io.err, "tdtune", warnings);
     }
 
     const analysis::Autotuner tuner(ctx, options);
@@ -176,23 +179,27 @@ int main(int argc, char** argv) {
                        cache.sim_options(), cache.page_spec(),
                        static_cast<std::size_t>(*common.jobs), registry);
 
-    std::fputs(result.table().c_str(), stdout);
-    std::printf("baseline: merged L1 totals: %llu accesses, %llu misses\n",
-                static_cast<unsigned long long>(result.baseline.accesses),
-                static_cast<unsigned long long>(result.baseline.misses));
+    std::fputs(result.table().c_str(), io.out);
+    std::fprintf(io.out,
+                 "baseline: merged L1 totals: %llu accesses, %llu misses\n",
+                 static_cast<unsigned long long>(result.baseline.accesses),
+                 static_cast<unsigned long long>(result.baseline.misses));
     if (const analysis::RankedCandidate* best = result.best()) {
-      std::printf("best (%s): merged L1 totals: %llu accesses, %llu misses\n",
-                  best->candidate.name.c_str(),
-                  static_cast<unsigned long long>(best->eval.accesses),
-                  static_cast<unsigned long long>(best->eval.misses));
-      std::printf("rationale: %s\n", best->candidate.rationale.c_str());
+      std::fprintf(io.out,
+                   "best (%s): merged L1 totals: %llu accesses, %llu "
+                   "misses\n",
+                   best->candidate.name.c_str(),
+                   static_cast<unsigned long long>(best->eval.accesses),
+                   static_cast<unsigned long long>(best->eval.misses));
+      std::fprintf(io.out, "rationale: %s\n",
+                   best->candidate.rationale.c_str());
     } else {
-      std::puts("no candidate beats the baseline");
+      std::fputs("no candidate beats the baseline\n", io.out);
     }
 
     if (!json_path->empty()) {
       if (*json_path == "-") {
-        std::fputs(result.json().c_str(), stdout);
+        std::fputs(result.json().c_str(), io.out);
       } else {
         std::ofstream out(*json_path);
         if (!out) {
@@ -209,10 +216,10 @@ int main(int argc, char** argv) {
           throw_io_error("cannot open '" + *emit_best + "' for writing");
         }
         out << best->candidate.rules_text;
-        std::fprintf(stderr, "tdtune: wrote %s (%s)\n", emit_best->c_str(),
+        std::fprintf(io.err, "tdtune: wrote %s (%s)\n", emit_best->c_str(),
                      best->candidate.name.c_str());
       } else {
-        std::fprintf(stderr,
+        std::fprintf(io.err,
                      "tdtune: no candidate beats the baseline; not writing "
                      "%s\n",
                      emit_best->c_str());
@@ -220,7 +227,7 @@ int main(int argc, char** argv) {
     }
 
     const std::string summary = diags.summary();
-    if (!summary.empty()) std::fprintf(stderr, "tdtune: %s", summary.c_str());
+    if (!summary.empty()) std::fprintf(io.err, "tdtune: %s", summary.c_str());
     if (registry != nullptr) {
       tools::fold_diags(registry, diags);
       governor.fold(registry);
@@ -228,5 +235,12 @@ int main(int argc, char** argv) {
     }
     return tools::finalize_exit(diags.exit_code(),
                                 stream_result.deadline_hit);
-  });
+  }
 }
+
+#ifndef TDT_TOOL_LIBRARY
+int main(int argc, char** argv) {
+  return tdt::tools::run_tool({"tdtune", "autotune", tdt::tools::tdtune_run},
+                              argc, argv);
+}
+#endif

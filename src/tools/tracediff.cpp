@@ -12,12 +12,15 @@
 
 #include "tdt/tdt.hpp"
 #include "tools/cli_common.hpp"
+#include "tools/entries.hpp"
 #include "tools/obs_support.hpp"
 
-int main(int argc, char** argv) {
+int tdt::tools::tracediff_run(const tdt::service::ToolIO& io, int argc,
+                              char** argv) {
   using namespace tdt;
-  return tools::run_tool("tracediff", [&]() -> int {
+  {
     FlagParser flags("tracediff", "side-by-side trace comparison");
+    flags.set_streams(io.out, io.err);
     const auto* max_rows =
         flags.add_uint("max-rows", 0, "limit printed rows (0 = all)");
     const auto* summary_only =
@@ -26,7 +29,7 @@ int main(int argc, char** argv) {
         flags, {.jobs = true, .governor = true, .ingest = true});
     if (!flags.parse(argc, argv)) return 0;
     if (flags.positional().size() != 2) {
-      std::fprintf(stderr,
+      std::fprintf(io.err,
                    "usage: tracediff <original> <transformed> [flags]\n");
       return 2;
     }
@@ -38,10 +41,10 @@ int main(int argc, char** argv) {
     if (common.wants_registry()) registry_store.emplace("tracediff");
     obs::Registry* registry = registry_store ? &*registry_store : nullptr;
 
-    DiagEngine diags = common.make_diags();
+    DiagEngine diags = common.make_diags(io.errs);
 
     std::optional<obs::Heartbeat> heartbeat;
-    if (*common.progress) heartbeat.emplace("tracediff", std::cerr);
+    if (*common.progress) heartbeat.emplace("tracediff", *io.errs);
 
     trace::TraceContext ctx;
     // Both traces must be memory-resident for the diff: a hard
@@ -72,7 +75,7 @@ int main(int argc, char** argv) {
       deadline_hit = deadline_hit || r.deadline_hit;
     }
     if (deadline_hit) {
-      std::fprintf(stderr, "tracediff: deadline expired mid-read; the diff "
+      std::fprintf(io.err, "tracediff: deadline expired mid-read; the diff "
                            "below compares truncated traces\n");
     }
     const auto& original = original_sink.records();
@@ -88,17 +91,18 @@ int main(int argc, char** argv) {
       std::fputs(trace::render_side_by_side(ctx, original, transformed,
                                             entries, rows)
                      .c_str(),
-                 stdout);
+                 io.out);
     }
-    std::printf("same %llu  modified %llu  inserted %llu  deleted %llu\n",
-                static_cast<unsigned long long>(s.same),
-                static_cast<unsigned long long>(s.modified),
-                static_cast<unsigned long long>(s.inserted),
-                static_cast<unsigned long long>(s.deleted));
+    std::fprintf(io.out,
+                 "same %llu  modified %llu  inserted %llu  deleted %llu\n",
+                 static_cast<unsigned long long>(s.same),
+                 static_cast<unsigned long long>(s.modified),
+                 static_cast<unsigned long long>(s.inserted),
+                 static_cast<unsigned long long>(s.deleted));
 
     const std::string summary = diags.summary();
     if (!summary.empty()) {
-      std::fprintf(stderr, "tracediff: %s", summary.c_str());
+      std::fprintf(io.err, "tracediff: %s", summary.c_str());
     }
     if (registry != nullptr) {
       tools::fold_diags(registry, diags);
@@ -111,5 +115,12 @@ int main(int argc, char** argv) {
     }
     const bool differs = s.modified + s.inserted + s.deleted != 0;
     return differs || !diags.clean() || deadline_hit ? 1 : 0;
-  });
+  }
 }
+
+#ifndef TDT_TOOL_LIBRARY
+int main(int argc, char** argv) {
+  return tdt::tools::run_tool(
+      {"tracediff", "trace-diff", tdt::tools::tracediff_run}, argc, argv);
+}
+#endif

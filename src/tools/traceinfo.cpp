@@ -12,6 +12,7 @@
 
 #include "tdt/tdt.hpp"
 #include "tools/cli_common.hpp"
+#include "tools/entries.hpp"
 #include "tools/obs_support.hpp"
 
 namespace {
@@ -20,7 +21,7 @@ namespace {
 /// compression ratio, and the per-frame record table (capped by --top).
 /// Printed only for TDTB inputs, so text-trace output stays byte-
 /// identical to earlier releases.
-void print_container(const tdt::trace::TdtbContainerInfo& c,
+void print_container(std::FILE* out, const tdt::trace::TdtbContainerInfo& c,
                      std::uint64_t top) {
   using tdt::trace::Codec;
   const auto ull = [](std::uint64_t v) {
@@ -31,20 +32,20 @@ void print_container(const tdt::trace::TdtbContainerInfo& c,
     if (codec) return std::string(tdt::trace::codec_name(*codec));
     return "unknown(" + std::to_string(id) + ")";
   };
-  std::printf("== container ==\n");
-  std::printf("  %-16s TDTB v%u\n", "format", c.version);
-  std::printf("  %-16s %llu\n", "pid", ull(c.pid));
-  std::printf("  %-16s %llu\n", "file bytes", ull(c.file_bytes));
+  std::fprintf(out, "== container ==\n");
+  std::fprintf(out, "  %-16s TDTB v%u\n", "format", c.version);
+  std::fprintf(out, "  %-16s %llu\n", "pid", ull(c.pid));
+  std::fprintf(out, "  %-16s %llu\n", "file bytes", ull(c.file_bytes));
   if (c.version < tdt::trace::kTdtbVersionFramed) {
     if (c.total_records != 0) {
-      std::printf("  %-16s %llu\n", "records", ull(c.total_records));
+      std::fprintf(out, "  %-16s %llu\n", "records", ull(c.total_records));
     }
-    std::printf("\n");
+    std::fprintf(out, "\n");
     return;
   }
-  std::printf("  %-16s %s\n", "codec", codec_label(c.default_codec).c_str());
+  std::fprintf(out, "  %-16s %s\n", "codec", codec_label(c.default_codec).c_str());
   if (!c.has_index) {
-    std::printf("  %-16s invalid (footer or frame index failed "
+    std::fprintf(out, "  %-16s invalid (footer or frame index failed "
                 "validation)\n\n", "frame index");
     return;
   }
@@ -54,12 +55,12 @@ void print_container(const tdt::trace::TdtbContainerInfo& c,
     payload += f.usize;
     stored += f.csize;
   }
-  std::printf("  %-16s %zu\n", "frames", c.frames.size());
-  std::printf("  %-16s %llu\n", "records", ull(c.total_records));
-  std::printf("  %-16s %llu\n", "payload bytes", ull(payload));
-  std::printf("  %-16s %llu\n", "stored bytes", ull(stored));
+  std::fprintf(out, "  %-16s %zu\n", "frames", c.frames.size());
+  std::fprintf(out, "  %-16s %llu\n", "records", ull(c.total_records));
+  std::fprintf(out, "  %-16s %llu\n", "payload bytes", ull(payload));
+  std::fprintf(out, "  %-16s %llu\n", "stored bytes", ull(stored));
   if (stored > 0) {
-    std::printf("  %-16s %.2fx\n", "compression",
+    std::fprintf(out, "  %-16s %.2fx\n", "compression",
                 static_cast<double>(payload) / static_cast<double>(stored));
   }
   const std::size_t rows =
@@ -67,20 +68,20 @@ void print_container(const tdt::trace::TdtbContainerInfo& c,
                : std::min<std::size_t>(c.frames.size(),
                                        static_cast<std::size_t>(top));
   if (rows > 0) {
-    std::printf("  %6s %8s %12s %12s %12s\n", "frame", "codec", "records",
+    std::fprintf(out, "  %6s %8s %12s %12s %12s\n", "frame", "codec", "records",
                 "payload", "stored");
     for (std::size_t i = 0; i < rows; ++i) {
       const tdt::trace::TdtbFrameInfo& f = c.frames[i];
-      std::printf("  %6zu %8s %12llu %12llu %12llu\n", i,
+      std::fprintf(out, "  %6zu %8s %12llu %12llu %12llu\n", i,
                   codec_label(f.codec).c_str(), ull(f.records), ull(f.usize),
                   ull(f.csize));
     }
     if (rows < c.frames.size()) {
-      std::printf("  (%zu more frames; raise --top to list them)\n",
+      std::fprintf(out, "  (%zu more frames; raise --top to list them)\n",
                   c.frames.size() - rows);
     }
   }
-  std::printf("\n");
+  std::fprintf(out, "\n");
 }
 
 /// Terminal sink feeding the stats collector.
@@ -102,10 +103,12 @@ class StatsSink final : public tdt::trace::TraceSink {
 
 }  // namespace
 
-int main(int argc, char** argv) {
+int tdt::tools::traceinfo_run(const tdt::service::ToolIO& io, int argc,
+                              char** argv) {
   using namespace tdt;
-  return tools::run_tool("traceinfo", [&]() -> int {
+  {
     FlagParser flags("traceinfo", "trace statistics");
+    flags.set_streams(io.out, io.err);
     const auto* block =
         flags.add_uint("block", 32, "footprint tracking granularity in bytes");
     const auto* top = flags.add_uint("top", 16, "rows per ranking table");
@@ -113,7 +116,7 @@ int main(int argc, char** argv) {
         flags, {.jobs = true, .governor = true, .ingest = true});
     if (!flags.parse(argc, argv)) return 0;
     if (flags.positional().size() != 1) {
-      std::fprintf(stderr, "usage: traceinfo <trace-file> [flags]\n");
+      std::fprintf(io.err, "usage: traceinfo <trace-file> [flags]\n");
       return 2;
     }
     common.arm_faults();
@@ -124,13 +127,13 @@ int main(int argc, char** argv) {
     if (common.wants_registry()) registry_store.emplace("traceinfo");
     obs::Registry* registry = registry_store ? &*registry_store : nullptr;
 
-    DiagEngine diags = common.make_diags();
+    DiagEngine diags = common.make_diags(io.errs);
 
     const std::string& path = flags.positional()[0];
     if (trace::guess_trace_format(path) == trace::TraceFormat::Tdtb) {
       if (const std::optional<trace::TdtbContainerInfo> container =
               trace::probe_tdtb_file(path)) {
-        print_container(*container, *top);
+        print_container(io.out, *container, *top);
       }
     }
 
@@ -140,7 +143,7 @@ int main(int argc, char** argv) {
     std::optional<obs::Heartbeat> heartbeat;
     std::optional<trace::ProgressSink> progress_sink;
     if (*common.progress) {
-      heartbeat.emplace("traceinfo", std::cerr);
+      heartbeat.emplace("traceinfo", *io.errs);
       progress_sink.emplace(sink, *heartbeat);
       head = &*progress_sink;
     }
@@ -157,19 +160,19 @@ int main(int argc, char** argv) {
                                                stream_options);
     }
     if (stream_result.deadline_hit) {
-      std::fprintf(stderr,
+      std::fprintf(io.err,
                    "traceinfo: deadline expired after %llu records; "
                    "statistics below cover that prefix only\n",
                    static_cast<unsigned long long>(stream_result.records));
     }
     {
       obs::PhaseTimer phase(registry, "report");
-      std::fputs(sink.stats().report(ctx, *top).c_str(), stdout);
+      std::fputs(sink.stats().report(ctx, *top).c_str(), io.out);
     }
 
     const std::string summary = diags.summary();
     if (!summary.empty()) {
-      std::fprintf(stderr, "traceinfo: %s", summary.c_str());
+      std::fprintf(io.err, "traceinfo: %s", summary.c_str());
     }
     if (registry != nullptr) {
       tools::fold_diags(registry, diags);
@@ -178,5 +181,12 @@ int main(int argc, char** argv) {
     }
     return tools::finalize_exit(diags.exit_code(),
                                 stream_result.deadline_hit);
-  });
+  }
 }
+
+#ifndef TDT_TOOL_LIBRARY
+int main(int argc, char** argv) {
+  return tdt::tools::run_tool(
+      {"traceinfo", "trace-info", tdt::tools::traceinfo_run}, argc, argv);
+}
+#endif

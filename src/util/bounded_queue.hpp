@@ -70,6 +70,24 @@ class BoundedQueue {
     return true;
   }
 
+  /// Non-blocking push: returns false (item dropped, no wait) when the
+  /// queue is full, closed, or aborted. Admission-control entry point —
+  /// callers that must not stall a caller-facing thread (the tdtd request
+  /// scheduler) use this and surface "busy" instead of blocking.
+  bool try_push(T item) {
+    std::unique_lock lock(mu_);
+    if (closed_ || count_ == ring_.size()) return false;
+    ring_[(head_ + count_) % ring_.size()] = std::move(item);
+    ++count_;
+    ++counters_.pushes;
+    counters_.occupancy_sum += count_;
+    counters_.peak_occupancy = std::max<std::uint64_t>(
+        counters_.peak_occupancy, count_);
+    lock.unlock();
+    not_empty_.notify_one();
+    return true;
+  }
+
   /// Blocks while empty. Returns nullopt once the queue is closed and
   /// drained, or aborted.
   std::optional<T> pop() {

@@ -120,8 +120,12 @@ bool FlagParser::parse(int argc, const char* const* argv) {
   for (int i = 1; i < argc; ++i) {
     std::string_view arg = argv[i];
     if (arg == "--help" || arg == "-h") {
-      std::fputs(usage().c_str(), stdout);
+      std::fputs(usage().c_str(), out_);
       return false;
+    }
+    if (arg == "--") {  // end of flags: the rest is positional verbatim
+      for (int j = i + 1; j < argc; ++j) positional_.emplace_back(argv[j]);
+      break;
     }
     if (!starts_with(arg, "--")) {
       positional_.emplace_back(arg);
@@ -143,7 +147,7 @@ bool FlagParser::parse(int argc, const char* const* argv) {
         if (!alias.warned) {
           alias.warned = true;
           deprecated_used_.push_back(alias.name);
-          std::fprintf(stderr, "%s: warning: --%s is deprecated; use --%s\n",
+          std::fprintf(err_, "%s: warning: --%s is deprecated; use --%s\n",
                        program_.c_str(), alias.name.c_str(),
                        alias.canonical.c_str());
         }

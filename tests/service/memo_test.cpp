@@ -1,0 +1,124 @@
+// Result-memo contract: eligibility (side-effecting requests never
+// cache), key identity (op, canonical args, input digests), LRU
+// eviction under the byte budget, and the memo_hit marking that lets
+// clients and tests tell a warm reply from a cold one.
+#include "tdt/service.hpp"
+
+#include <gtest/gtest.h>
+
+#include <string>
+#include <vector>
+
+namespace tdt::service {
+namespace {
+
+Reply make_reply(const std::string& out) {
+  Reply reply;
+  reply.status = RpcStatus::Ok;
+  reply.out = out;
+  return reply;
+}
+
+TEST(ServiceMemo, EligibilityPerOp) {
+  EXPECT_TRUE(memo_eligible(kOpSweep, {"--trace", "t.out"}));
+  EXPECT_TRUE(memo_eligible(kOpAutotune, {"t.out", "--sweep", "assoc=1"}));
+  EXPECT_TRUE(memo_eligible(kOpTraceInfo, {"t.out"}));
+  EXPECT_TRUE(memo_eligible(kOpTraceDiff, {"a.out", "b.out"}));
+  EXPECT_TRUE(memo_eligible(kOpTransformDigest,
+                            {"t.out", "--rules", "r.rules"}));
+  // Live/state ops are never memoized.
+  EXPECT_FALSE(memo_eligible(kOpStatus, {}));
+  EXPECT_FALSE(memo_eligible(kOpMetrics, {}));
+  EXPECT_FALSE(memo_eligible(kOpRegisterTrace, {"t.out"}));
+}
+
+TEST(ServiceMemo, BlockersDisableCaching) {
+  // A sweep with --rules writes the transformed trace as a side effect.
+  EXPECT_FALSE(
+      memo_eligible(kOpSweep, {"--trace", "t.out", "--rules", "r.rules"}));
+  EXPECT_FALSE(memo_eligible(kOpSweep, {"--trace", "t.out", "--xform-out=x"}));
+  EXPECT_FALSE(memo_eligible(kOpAutotune, {"t.out", "--emit-best", "b"}));
+  EXPECT_FALSE(memo_eligible(kOpAutotune, {"t.out", "--json", "r.json"}));
+  // Common blockers apply to every op: ambient faults, export files,
+  // progress output tied to wall clock.
+  EXPECT_FALSE(memo_eligible(kOpTraceInfo, {"t.out", "--progress"}));
+  EXPECT_FALSE(memo_eligible(kOpTraceInfo, {"t.out", "--metrics-json", "m"}));
+  EXPECT_FALSE(
+      memo_eligible(kOpTraceDiff, {"a", "b", "--fault-spec=seed=1"}));
+  // --rules is an *input* for transform-digest, not a side effect.
+  EXPECT_TRUE(memo_eligible(kOpTransformDigest, {"t.out", "--rules", "r"}));
+}
+
+TEST(ServiceMemo, KeyReflectsOpArgsAndDigests) {
+  const std::string base = memo_key("sweep", {"--trace", "t.out"},
+                                    {"t.out=crc32:12345678:100"});
+  EXPECT_NE(base, memo_key("autotune", {"--trace", "t.out"},
+                           {"t.out=crc32:12345678:100"}));
+  EXPECT_NE(base, memo_key("sweep", {"--trace", "u.out"},
+                           {"t.out=crc32:12345678:100"}));
+  // Same bytes, different digest: an in-place edit must miss.
+  EXPECT_NE(base, memo_key("sweep", {"--trace", "t.out"},
+                           {"t.out=crc32:87654321:100"}));
+  // Argument boundaries matter: ["ab","c"] != ["a","bc"].
+  EXPECT_NE(memo_key("sweep", {"ab", "c"}, {}),
+            memo_key("sweep", {"a", "bc"}, {}));
+}
+
+TEST(ServiceMemo, HitMarksWarmReply) {
+  ResultMemo memo(1u << 20);
+  const std::string key = memo_key("sweep", {"--trace", "t"}, {});
+  EXPECT_FALSE(memo.lookup(key).has_value());
+  Reply cold = make_reply("table\n");
+  cold.memo_hit = true;  // must be stored as a cold result regardless
+  memo.insert(key, cold);
+  const auto warm = memo.lookup(key);
+  ASSERT_TRUE(warm.has_value());
+  EXPECT_TRUE(warm->memo_hit);
+  EXPECT_EQ(warm->out, "table\n");
+  const auto counters = memo.counters();
+  EXPECT_EQ(counters.hits, 1u);
+  EXPECT_EQ(counters.misses, 1u);
+  EXPECT_EQ(counters.insertions, 1u);
+}
+
+TEST(ServiceMemo, LruEvictionUnderBudget) {
+  // Budget fits roughly two entries (256 overhead + key + payload each).
+  ResultMemo memo(900);
+  memo.insert("a", make_reply(std::string(64, 'a')));
+  memo.insert("b", make_reply(std::string(64, 'b')));
+  ASSERT_TRUE(memo.lookup("a").has_value());  // touch: "b" becomes LRU
+  memo.insert("c", make_reply(std::string(64, 'c')));
+  EXPECT_TRUE(memo.lookup("a").has_value());
+  EXPECT_FALSE(memo.lookup("b").has_value()) << "LRU entry must be evicted";
+  EXPECT_TRUE(memo.lookup("c").has_value());
+  EXPECT_GE(memo.counters().evictions, 1u);
+  EXPECT_LE(memo.used_bytes(), 900u);
+}
+
+TEST(ServiceMemo, OversizedEntryIsRejectedNotCached) {
+  ResultMemo memo(512);
+  memo.insert("big", make_reply(std::string(4096, 'x')));
+  EXPECT_FALSE(memo.lookup("big").has_value());
+  EXPECT_EQ(memo.entries(), 0u);
+  EXPECT_EQ(memo.used_bytes(), 0u);
+}
+
+TEST(ServiceMemo, ZeroBudgetDisables) {
+  ResultMemo memo(0);
+  memo.insert("k", make_reply("out"));
+  EXPECT_FALSE(memo.lookup("k").has_value());
+  EXPECT_EQ(memo.entries(), 0u);
+}
+
+TEST(ServiceMemo, InsertReplacesExistingKey) {
+  ResultMemo memo(1u << 20);
+  memo.insert("k", make_reply("first"));
+  memo.insert("k", make_reply("second"));
+  EXPECT_EQ(memo.entries(), 1u);
+  const auto got = memo.lookup("k");
+  ASSERT_TRUE(got.has_value());
+  EXPECT_EQ(got->out, "second");
+}
+
+}  // namespace
+}  // namespace tdt::service

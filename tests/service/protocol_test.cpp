@@ -1,0 +1,94 @@
+// tdt-rpc/1 wire contract: requests and replies survive a round trip
+// bit-for-bit (including raw high bytes and control characters in
+// captured output), and malformed messages are rejected as
+// Error{Parse}, never accepted half-read.
+#include "tdt/service.hpp"
+
+#include <gtest/gtest.h>
+
+#include <string>
+
+#include "tdt/util.hpp"
+
+namespace tdt::service {
+namespace {
+
+TEST(ServiceProtocol, RequestRoundTrip) {
+  Request request;
+  request.id = 42;
+  request.op = "sweep";
+  request.args = {"--trace", "a b.out", "--sweep", "assoc=1;assoc=4"};
+  const Request back = Request::decode(request.encode());
+  EXPECT_EQ(back.id, 42u);
+  EXPECT_EQ(back.op, "sweep");
+  EXPECT_EQ(back.args, request.args);
+}
+
+TEST(ServiceProtocol, ReplyRoundTripPreservesBytes) {
+  Reply reply;
+  reply.id = 7;
+  reply.status = RpcStatus::Ok;
+  reply.exit_code = 1;
+  reply.memo_hit = true;
+  // Raw bytes a captured tool stream can legally carry: newlines, tabs,
+  // NUL, and non-UTF-8 high bytes.
+  reply.out = std::string("table\n\trow\x01\n") + '\0' + "\xff\xfe tail";
+  reply.err = "warn: \"quoted\" and \\backslash\\\n";
+  reply.data["ops"] = "sweep,autotune";
+  const Reply back = Reply::decode(reply.encode());
+  EXPECT_EQ(back.id, 7u);
+  EXPECT_EQ(back.status, RpcStatus::Ok);
+  EXPECT_EQ(back.exit_code, 1);
+  EXPECT_TRUE(back.memo_hit);
+  EXPECT_EQ(back.out, reply.out);
+  EXPECT_EQ(back.err, reply.err);
+  EXPECT_EQ(back.data.at("ops"), "sweep,autotune");
+}
+
+TEST(ServiceProtocol, ErrorReplyCarriesStatusAndMessage) {
+  Request request;
+  request.id = 9;
+  request.op = "nope";
+  const Reply reply = error_reply(request, RpcStatus::UnknownOp, "no such op");
+  EXPECT_FALSE(reply.ok());
+  const Reply back = Reply::decode(reply.encode());
+  EXPECT_EQ(back.id, 9u);
+  EXPECT_EQ(back.status, RpcStatus::UnknownOp);
+  EXPECT_EQ(back.error, "no such op");
+}
+
+TEST(ServiceProtocol, StatusNamesRoundTrip) {
+  for (const RpcStatus status :
+       {RpcStatus::Ok, RpcStatus::BadRequest, RpcStatus::UnknownOp,
+        RpcStatus::Busy, RpcStatus::ShuttingDown, RpcStatus::Internal}) {
+    EXPECT_EQ(parse_status(status_name(status)), status);
+  }
+}
+
+TEST(ServiceProtocol, DecodeRejectsMalformedMessages) {
+  EXPECT_THROW(Request::decode("not json"), Error);
+  EXPECT_THROW(Request::decode("[1,2,3]"), Error);
+  EXPECT_THROW(Request::decode("{\"id\":1,\"op\":\"x\"}"), Error);  // no rpc
+  EXPECT_THROW(
+      Request::decode(
+          "{\"rpc\":\"tdt-rpc/9\",\"id\":1,\"op\":\"x\",\"args\":[]}"),
+      Error);
+  EXPECT_THROW(
+      Request::decode("{\"rpc\":\"tdt-rpc/1\",\"id\":1,\"args\":[]}"),
+      Error);  // no op
+  EXPECT_THROW(Reply::decode("{\"rpc\":\"tdt-rpc/1\",\"id\":1}"), Error);
+}
+
+TEST(ServiceProtocol, EncodeIsSingleLine) {
+  Reply reply;
+  reply.id = 1;
+  reply.status = RpcStatus::Ok;
+  reply.out = "line one\nline two\n";
+  const std::string wire = reply.encode();
+  EXPECT_EQ(wire.find('\n'), std::string::npos)
+      << "newline-delimited protocol: encoded messages must not contain "
+         "raw newlines";
+}
+
+}  // namespace
+}  // namespace tdt::service
